@@ -1,0 +1,20 @@
+"""Formatting helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print one experiment's output as an aligned text table."""
+    widths = [max(len(str(header)), *(len(_fmt(row[i])) for row in rows))
+              for i, header in enumerate(headers)]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(_fmt(cell).ljust(w)
+                        for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

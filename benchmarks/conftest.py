@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the corresponding rows/series (run pytest with ``-s`` to see them).  Use
+``pytest benchmarks/ --benchmark-only`` to execute the whole harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def h2p_system():
+    """One shared H2P system for all benchmarks."""
+    import repro
+
+    return repro.H2PSystem()
+
+
+@pytest.fixture(scope="session")
+def eval_traces():
+    """The three evaluation traces at benchmark scale.
+
+    400 servers keeps each full comparison under ~10 s while preserving
+    the per-circulation statistics that drive the results (circulations
+    are 20 servers, so 400 servers still average over 20 loops).
+    """
+    import repro
+
+    return {name: repro.trace_by_name(name, n_servers=400)
+            for name in ("drastic", "irregular", "common")}

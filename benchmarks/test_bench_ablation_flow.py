@@ -1,0 +1,64 @@
+"""E-AB1 — ablation: is chasing flow rate worth it?
+
+Sec. IV-B observes that a larger flow rate buys slightly more TEG voltage
+but "more power consumption of the pump".  This ablation quantifies the
+trade-off the paper only argues qualitatively: per-server net gain
+(TEG output minus pump draw) across the flow range, at a fixed thermal
+operating point.
+"""
+
+from repro.teg.module import default_server_module
+from repro.thermal.cpu_model import CoolingSetting, CpuThermalModel
+from repro.thermal.hydraulics import loop_pump_power_w, prototype_warm_loop
+
+from bench_utils import print_table
+
+FLOWS = (20.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0)
+UTILISATION = 0.3
+COLD_SOURCE_C = 20.0
+
+
+INLET_C = 50.0  # fixed warm-water supply, as in the Fig. 7 measurement
+
+
+def sweep():
+    model = CpuThermalModel()
+    module = default_server_module()
+    loop = prototype_warm_loop()
+    rows = []
+    for flow in FLOWS:
+        # Fix the thermal operating point (same inlet at every flow, the
+        # Fig. 7 measurement protocol) so only the convective coupling
+        # and the pump change with the flow rate.
+        setting = CoolingSetting(flow_l_per_h=flow, inlet_temp_c=INLET_C)
+        outlet = model.outlet_temp_c(UTILISATION, setting)
+        generation = module.generation_w(outlet, COLD_SOURCE_C, flow)
+        pump = loop_pump_power_w(loop, flow, INLET_C)
+        rows.append([flow, outlet, generation, pump, generation - pump])
+    return rows
+
+
+def test_bench_ablation_flow_rate(benchmark):
+    rows = benchmark(sweep)
+
+    print_table(
+        "Ablation E-AB1 — TEG gain vs pump cost across flow rates "
+        f"(u = {UTILISATION}, inlet fixed at {INLET_C:.0f} C)",
+        ["flow L/H", "T_warm_out C", "TEG W", "pump W", "net W"],
+        rows)
+
+    flows = [row[0] for row in rows]
+    generation = {row[0]: row[2] for row in rows}
+    net = {row[0]: row[4] for row in rows}
+
+    # Gross generation keeps inching up with flow (Fig. 7's effect)...
+    assert generation[300.0] > generation[50.0]
+    # ...but the increment over the whole range is small...
+    assert (generation[300.0] - generation[50.0]) / generation[50.0] < 0.25
+    # ...and the pump eats it: the net optimum is NOT at maximum flow.
+    best_net_flow = max(net, key=net.get)
+    assert best_net_flow < max(flows)
+    # At 300 L/H the pump draw exceeds the *entire* extra generation
+    # gained since 50 L/H — the paper's "too little to be worth making".
+    pump_300 = [row[3] for row in rows if row[0] == 300.0][0]
+    assert pump_300 > generation[300.0] - generation[50.0]

@@ -1,0 +1,53 @@
+"""E-AB6 — ablation: the hot-spot episode warm water cooling must survive.
+
+Sec. II-B's motivating scenario, quantified: a 20 %→100 % load spike on a
+server cooled with 52 °C water, under (a) no mitigation, (b) a chiller
+that reacts after its minutes-long lag, and (c) the TEC of the hybrid
+architecture firing within a second.
+
+Paper shape: unprotected and chiller-only runs cross the 78.9 °C limit
+(the chiller is simply too slow); the TEC absorbs the transient entirely,
+at a bounded energy cost — which is what allows the inlet temperature to
+be raised into the TEG-friendly band in the first place.
+"""
+
+from repro.constants import CPU_MAX_OPERATING_TEMP_C
+from repro.cooling.hotspot import HotSpotScenario
+
+from bench_utils import print_table
+
+
+def run_episode():
+    scenario = HotSpotScenario(spike_duration_s=300.0)
+    return scenario.compare(duration_s=700.0, dt_s=0.5)
+
+
+def test_bench_ablation_hotspot(benchmark):
+    outcomes = benchmark.pedantic(run_episode, rounds=3, iterations=1)
+
+    rows = []
+    for strategy in ("none", "chiller", "tec"):
+        outcome = outcomes[strategy]
+        rows.append([
+            strategy,
+            outcome.peak_cpu_temp_c,
+            "YES" if outcome.violation else "no",
+            outcome.time_above_limit_s,
+            outcome.tec_energy_j / 1000.0,
+        ])
+    print_table(
+        "Ablation E-AB6 — 20%->100% spike at 52 C inlet "
+        f"(limit {CPU_MAX_OPERATING_TEMP_C} C)",
+        ["strategy", "peak CPU C", "violation", "time>limit s",
+         "TEC energy kJ"],
+        rows)
+
+    assert outcomes["none"].violation
+    assert outcomes["chiller"].violation
+    assert not outcomes["tec"].violation
+    # The chiller helps late (shorter violation than nothing at all)...
+    assert outcomes["chiller"].time_above_limit_s \
+        <= outcomes["none"].time_above_limit_s + 1e-9
+    # ...but only the TEC eliminates it.
+    assert outcomes["tec"].time_above_limit_s == 0.0
+    assert outcomes["tec"].tec_energy_j > 0.0

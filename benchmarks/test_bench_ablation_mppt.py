@@ -1,0 +1,66 @@
+"""E-AB5 — ablation: is MPPT worth it over the paper's fixed matched load?
+
+The paper harvests at the nameplate matched load (Sec. III-C).  A TEG's
+internal resistance drifts with temperature, so in principle a
+maximum-power-point tracker recovers the mismatch.  This ablation runs a
+full synthetic day of (ΔT, mean temperature) operating points under the
+fixed, perturb-and-observe and oracle load policies, through the DC-DC
+conversion chain.
+
+Expected (and honest) outcome: for a *linear* source the mismatch loss
+is quadratic in the drift — under 1 % — so the paper's fixed matched
+load is justified, and naive P&O can even lose to it.
+"""
+
+import numpy as np
+
+from repro.teg.power_electronics import MpptHarvester
+
+from bench_utils import print_table
+
+
+def operating_day():
+    t = np.linspace(0.0, 1.0, 288)  # 5-minute points over 24 h
+    deltas = 33.0 + 3.0 * np.sin(2 * np.pi * (t - 0.6))
+    means = 40.0 + 7.0 * np.sin(2 * np.pi * (t - 0.6))
+    return deltas, means
+
+
+def sweep():
+    harvester = MpptHarvester()
+    deltas, means = operating_day()
+    return {policy: harvester.run(deltas, means, policy)
+            for policy in ("fixed", "mppt", "oracle")}
+
+
+def test_bench_ablation_mppt(benchmark):
+    results = benchmark(sweep)
+
+    oracle = results["oracle"]["harvested_total_w"]
+    rows = []
+    for policy in ("fixed", "mppt", "oracle"):
+        result = results[policy]
+        rows.append([
+            policy,
+            result["harvested_total_w"],
+            result["bus_total_w"],
+            100.0 * (result["harvested_total_w"] / oracle - 1.0),
+        ])
+    print_table(
+        "Ablation E-AB5 — load policies over one day "
+        "(12-TEG module, DC-DC chain)",
+        ["policy", "harvested W", "bus W", "vs oracle %"],
+        rows)
+
+    fixed = results["fixed"]["harvested_total_w"]
+    mppt = results["mppt"]["harvested_total_w"]
+
+    # Oracle bounds everything.
+    assert oracle >= fixed and oracle >= mppt
+    # The paper's fixed matched load is within 1 % of the oracle.
+    assert (oracle - fixed) / oracle < 0.01
+    # Naive P&O gains nothing meaningful over fixed (dithering cost).
+    assert mppt < fixed * 1.01
+    # The conversion chain itself costs ~7-15 %.
+    bus = results["fixed"]["bus_total_w"]
+    assert 0.80 < bus / fixed < 0.95

@@ -1,0 +1,50 @@
+"""E-VA — Sec. V-A: economical water-circulation design.
+
+Sweeps the number of servers per circulation for a 1,000-server cluster
+and prints the Eq. 12 cost curve (chiller energy + amortised hardware).
+Paper shape: both extremes are expensive — one chiller per server wastes
+hardware, one giant loop wastes chiller energy (the expected maximum CPU
+temperature of n servers grows with n) — so the optimum is interior.
+"""
+
+from repro.cooling.circulation_design import CirculationDesignProblem
+
+from bench_utils import print_table
+
+CANDIDATES = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000]
+
+
+def optimise():
+    problem = CirculationDesignProblem()
+    return problem, problem.optimise(candidates=CANDIDATES)
+
+
+def test_bench_circulation_design(benchmark):
+    problem, result = benchmark.pedantic(optimise, rounds=3, iterations=1)
+
+    rows = []
+    for i, n in enumerate(result.candidate_n):
+        rows.append([
+            int(n),
+            result.expected_inlet_reduction_c[i],
+            result.energy_costs_usd[i],
+            result.hardware_costs_usd[i],
+            result.total_costs_usd[i],
+        ])
+    print_table(
+        "Sec. V-A — circulation-size sweep (1,000 servers, 1-year "
+        "horizon)",
+        ["servers/circ", "E[dT_i] C", "chiller energy $",
+         "chiller hw $", "total $ (Eq. 12)"],
+        rows)
+    print(f"optimal circulation size: {result.best_n} servers "
+          f"(total ${result.best_cost_usd:,.0f}/year)")
+
+    # Interior optimum: both extremes lose.
+    assert 1 < result.best_n < 1000
+    assert result.cost_for(1) > result.best_cost_usd
+    assert result.cost_for(1000) > result.best_cost_usd
+
+    # The order-statistics effect: E[dT_i] grows with n.
+    reductions = result.expected_inlet_reduction_c
+    assert reductions[-1] > reductions[0]

@@ -1,0 +1,50 @@
+"""E-AB7 — facility-level metrics: PUE and ERE with and without H2P.
+
+Sec. II-C motivates H2P through ERE — the Green Grid metric that credits
+reused energy.  This benchmark rolls a full LoadBalance run up into
+facility energy flows and reports PUE vs ERE for each trace class.
+
+Shape: the warm-water facility lands at a healthy PUE; crediting the TEG
+output pushes ERE visibly below PUE on every trace (the direction the
+paper argues, even though TEGs alone cannot drive ERE below 1).
+"""
+
+from repro.core.config import teg_loadbalance
+from repro.core.facility import FacilityModel
+
+from bench_utils import print_table
+
+
+def run_all(system, traces):
+    model = FacilityModel()
+    reports = {}
+    for name, trace in traces.items():
+        result = system.evaluate(trace, teg_loadbalance())
+        reports[name] = model.assess(result)
+    return reports
+
+
+def test_bench_facility_ere(benchmark, h2p_system, eval_traces):
+    reports = benchmark.pedantic(
+        run_all, args=(h2p_system, eval_traces), rounds=1, iterations=1)
+
+    rows = []
+    for name, report in reports.items():
+        rows.append([
+            name, report.it_kwh, report.cooling_kwh, report.reuse_kwh,
+            report.pue, report.ere, report.ere_gain,
+        ])
+    print_table(
+        "E-AB7 — facility energy flows under TEG_LoadBalance",
+        ["trace", "IT kWh", "cooling kWh", "reuse kWh", "PUE", "ERE",
+         "PUE-ERE"],
+        rows)
+
+    for name, report in reports.items():
+        # Warm-water facility: no chiller load, modest PUE.
+        assert 1.0 < report.pue < 1.6, name
+        # The TEGs visibly improve the reuse metric.
+        assert report.ere < report.pue, name
+        assert report.ere_gain > 0.03, name
+        # But TEGs alone cannot push ERE below 1 (Sec. VI-A's realism).
+        assert report.ere > 1.0, name

@@ -1,0 +1,90 @@
+"""E-AB13 — fault injection: what breaks silently, what breaks loudly.
+
+Runs one circulation through targeted scenarios with injected hardware
+faults and scores safety and generation against the healthy baseline:
+
+* a supply-temperature sensor biased +4 °C — the *silent* failure: the
+  TEG output goes UP (hotter water) while the CPUs quietly lose their
+  safety margin; monitoring only the harvest will not catch it;
+* a valve stuck cold — the *loud* failure: generation collapses
+  immediately, the CPUs are safe;
+* a chiller with a fouled condenser (COP × 0.7) — a pure economics
+  failure: same temperatures, 43 % more chiller energy whenever it runs.
+"""
+
+import numpy as np
+
+from repro.cooling.faults import DegradedChiller, FaultyCdu
+from repro.cooling.loop import WaterCirculation
+from repro.thermal.cpu_model import CoolingSetting
+from repro.workloads.scenarios import ScenarioBuilder
+
+from bench_utils import print_table
+
+SETTING = CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=50.0)
+N_SERVERS = 10
+
+
+def run_injections():
+    trace = (ScenarioBuilder(n_servers=N_SERVERS, duration_s=6 * 3600.0)
+             .background(0.3).sine(period_s=6 * 3600.0, amplitude=0.1)
+             .noise(0.03, seed=3).build())
+    variants = {
+        "healthy": WaterCirculation(n_servers=N_SERVERS),
+        "sensor +4C": WaterCirculation(
+            n_servers=N_SERVERS,
+            cdu=FaultyCdu(fault_mode="sensor_bias", sensor_bias_c=4.0)),
+        "valve stuck cold": WaterCirculation(
+            n_servers=N_SERVERS,
+            cdu=FaultyCdu(fault_mode="stuck_temp", stuck_temp_c=35.0)),
+        "chiller COP x0.7": WaterCirculation(
+            n_servers=N_SERVERS,
+            chiller=DegradedChiller(capacity_kw=200,
+                                    degradation_factor=0.7)),
+    }
+    scores = {}
+    for name, circulation in variants.items():
+        generation = []
+        max_temp = -np.inf
+        for step in range(trace.n_steps):
+            state = circulation.evaluate(trace.step(step), SETTING)
+            generation.append(state.mean_generation_w)
+            max_temp = max(max_temp, state.max_cpu_temp_c)
+        scores[name] = {
+            "generation_w": float(np.mean(generation)),
+            "max_cpu_c": float(max_temp),
+        }
+    # Chiller economics probed directly (the warm set-point never
+    # engages it in this scenario).
+    healthy_chiller_w = variants["healthy"].chiller.\
+        electricity_w_for_heat(10_000.0)
+    fouled_chiller_w = variants["chiller COP x0.7"].chiller.\
+        electricity_w_for_heat(10_000.0)
+    return scores, healthy_chiller_w, fouled_chiller_w
+
+
+def test_bench_fault_injection(benchmark):
+    scores, healthy_w, fouled_w = benchmark.pedantic(
+        run_injections, rounds=1, iterations=1)
+
+    print_table(
+        "E-AB13 — fault injection on one 10-server circulation "
+        "(50 C set-point)",
+        ["variant", "gen W/CPU", "max CPU C"],
+        [[name, s["generation_w"], s["max_cpu_c"]]
+         for name, s in scores.items()])
+    print(f"chiller draw at 10 kW heat: healthy {healthy_w:.0f} W, "
+          f"fouled {fouled_w:.0f} W (+{fouled_w / healthy_w - 1:.0%})")
+
+    healthy = scores["healthy"]
+    biased = scores["sensor +4C"]
+    stuck = scores["valve stuck cold"]
+
+    # The silent failure: MORE generation, LESS safety margin.
+    assert biased["generation_w"] > healthy["generation_w"]
+    assert biased["max_cpu_c"] > healthy["max_cpu_c"] + 3.0
+    # The loud failure: generation collapses, CPUs run cold.
+    assert stuck["generation_w"] < 0.6 * healthy["generation_w"]
+    assert stuck["max_cpu_c"] < healthy["max_cpu_c"]
+    # The economics failure: +43 % chiller energy per unit heat.
+    assert fouled_w / healthy_w == 1.0 / 0.7

@@ -1,0 +1,55 @@
+"""E-F10 — Fig. 10: CPU temperature and frequency vs utilisation.
+
+Regenerates the CPU temperature curves at several coolant temperatures
+(flow fixed at 20 L/H, powersave governor).  Paper shape: the frequency
+rises, slows past 50 % utilisation and settles at ~2.5 GHz; the CPU
+temperature trend follows the frequency/power curve and shifts up with
+coolant temperature.
+"""
+
+import numpy as np
+
+from repro.constants import CPU_MAX_OPERATING_TEMP_C
+from repro.thermal.cpu_model import CoolingSetting, CpuThermalModel
+
+from bench_utils import print_table
+
+UTILS = np.arange(0.0, 1.01, 0.1)
+COOLANTS_C = (30.0, 35.0, 40.0, 45.0)
+
+
+def sweep():
+    model = CpuThermalModel()
+    temps = {coolant: [model.cpu_temp_c(
+        float(u), CoolingSetting(flow_l_per_h=20.0, inlet_temp_c=coolant))
+        for u in UTILS] for coolant in COOLANTS_C}
+    freqs = [model.frequency_ghz(float(u)) for u in UTILS]
+    return temps, freqs
+
+
+def test_bench_fig10_cpu_temperature_vs_utilisation(benchmark):
+    temps, freqs = benchmark(sweep)
+
+    print_table(
+        "Fig. 10 — CPU temperature (C) and frequency (GHz) vs utilisation"
+        " (flow 20 L/H, powersave)",
+        ["utilisation", "freq GHz"] + [f"cool {c:.0f}C"
+                                       for c in COOLANTS_C],
+        [[f"{u:.0%}", freqs[i]] + [temps[c][i] for c in COOLANTS_C]
+         for i, u in enumerate(UTILS)])
+
+    # Frequency plateau at ~2.5 GHz (powersave).
+    assert 2.4 < freqs[-1] < 2.6
+    # Frequency gain slows beyond the knee.
+    assert (freqs[5] - freqs[4]) > (freqs[10] - freqs[9])
+
+    # Temperature monotone in utilisation and in coolant temperature.
+    for coolant in COOLANTS_C:
+        assert all(b > a for a, b in zip(temps[coolant],
+                                         temps[coolant][1:]))
+    for i in range(len(UTILS)):
+        column = [temps[c][i] for c in COOLANTS_C]
+        assert all(b > a for a, b in zip(column, column[1:]))
+
+    # Safety anchor (Sec. II-B): 45 C coolant never exceeds 78.9 C.
+    assert max(temps[45.0]) <= CPU_MAX_OPERATING_TEMP_C

@@ -1,0 +1,60 @@
+"""E-F11 — Fig. 11: CPU temperature vs coolant temperature and flow.
+
+Regenerates the linear T_CPU(T_coolant) family at 100 % utilisation.
+Paper shape: each flow rate gives a straight line; the slope k lies in
+[1, 1.3] and increases as the flow decreases; the benefit of extra flow
+saturates above ~250 L/H.
+"""
+
+import numpy as np
+
+from repro.thermal.cpu_model import CoolingSetting, CpuThermalModel
+
+from bench_utils import print_table
+
+COOLANTS_C = np.arange(30.0, 51.0, 5.0)
+FLOWS = (20.0, 50.0, 100.0, 150.0, 250.0, 300.0)
+
+
+def sweep():
+    model = CpuThermalModel()
+    lines = {flow: [model.cpu_temp_c(
+        1.0, CoolingSetting(flow_l_per_h=flow, inlet_temp_c=float(t)))
+        for t in COOLANTS_C] for flow in FLOWS}
+    slopes = {flow: model.slope(flow) for flow in FLOWS}
+    return lines, slopes
+
+
+def test_bench_fig11_cpu_temperature_vs_coolant(benchmark):
+    lines, slopes = benchmark(sweep)
+
+    print_table(
+        "Fig. 11 — CPU temperature (C) vs coolant temperature at each "
+        "flow (utilisation 100 %)",
+        ["coolant C"] + [f"{f:.0f} L/H" for f in FLOWS],
+        [[f"{t:.0f}"] + [lines[f][i] for f in FLOWS]
+         for i, t in enumerate(COOLANTS_C)])
+    print_table(
+        "Fig. 11 (slopes) — the k of T_CPU = k*T_coolant + b",
+        ["flow L/H", "slope k"],
+        [[f"{f:.0f}", slopes[f]] for f in FLOWS])
+
+    # Linearity: constant increments along each line.
+    for flow in FLOWS:
+        diffs = np.diff(lines[flow])
+        assert np.allclose(diffs, diffs[0], rtol=1e-9)
+
+    # Slopes in the paper's [1, 1.3] band, increasing as flow decreases.
+    slope_values = [slopes[f] for f in FLOWS]
+    assert all(1.0 < k <= 1.3 for k in slope_values)
+    assert all(a > b for a, b in zip(slope_values, slope_values[1:]))
+
+    # More flow means a cooler CPU at any coolant temperature...
+    for i in range(len(COOLANTS_C)):
+        column = [lines[f][i] for f in FLOWS]
+        assert all(a > b for a, b in zip(column, column[1:]))
+
+    # ...but the improvement saturates above ~250 L/H.
+    gain_low = lines[20.0][0] - lines[100.0][0]
+    gain_high = lines[250.0][0] - lines[300.0][0]
+    assert gain_low > 5.0 * gain_high

@@ -1,0 +1,59 @@
+"""E-F12/13 — Figs. 12-13: the lookup space and the A_max/A_avg selection.
+
+Builds the 3-D measurement space (Fig. 12), slices it at T_safe = 62 C
+for a high (U_max) and a low (U_avg) utilisation plane (Fig. 13), and
+prints both regions.  Paper shape: the inlet temperatures admissible on
+the U_avg plane are generally higher than those on the U_max plane, which
+is exactly why workload balancing raises generation.
+"""
+
+import numpy as np
+
+from repro.constants import CPU_SAFE_TEMP_C
+from repro.control.lookup_space import LookupSpace
+
+from bench_utils import print_table
+
+U_MAX = 0.7
+U_AVG = 0.25
+
+
+def build_and_slice():
+    space = LookupSpace()
+    region_max = space.safe_region(U_MAX, CPU_SAFE_TEMP_C, 1.0)
+    region_avg = space.safe_region(U_AVG, CPU_SAFE_TEMP_C, 1.0)
+    return space, region_max, region_avg
+
+
+def test_bench_fig13_region_selection(benchmark):
+    space, region_max, region_avg = benchmark.pedantic(
+        build_and_slice, rounds=3, iterations=1)
+
+    print(f"\nFig. 12 — lookup space size: {space.n_points} points "
+          f"({len(space.utilisation_grid)} utilisations x "
+          f"{len(space.flow_grid)} flows x "
+          f"{len(space.inlet_grid)} inlet temps)")
+
+    def rows(region):
+        return [[f"{p.flow_l_per_h:.0f}", p.inlet_temp_c, p.cpu_temp_c,
+                 p.outlet_temp_c] for p in region]
+
+    print_table(
+        f"Fig. 13 — A_max region (u = {U_MAX}, T_safe = 62 +- 1 C)",
+        ["flow L/H", "T_warm_in C", "T_CPU C", "T_warm_out C"],
+        rows(region_max))
+    print_table(
+        f"Fig. 13 — A_avg region (u = {U_AVG}, T_safe = 62 +- 1 C)",
+        ["flow L/H", "T_warm_in C", "T_CPU C", "T_warm_out C"],
+        rows(region_avg))
+
+    assert region_max and region_avg
+    # All selected points sit inside the T_safe band.
+    for point in region_max + region_avg:
+        assert abs(point.cpu_temp_c - CPU_SAFE_TEMP_C) <= 1.0
+
+    # Paper: "T_warm_in of the points in A_avg are generally higher than
+    # those in A_max".
+    mean_inlet_avg = np.mean([p.inlet_temp_c for p in region_avg])
+    mean_inlet_max = np.mean([p.inlet_temp_c for p in region_max])
+    assert mean_inlet_avg > mean_inlet_max + 2.0

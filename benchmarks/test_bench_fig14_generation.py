@@ -1,0 +1,68 @@
+"""E-F14 — Fig. 14: electricity generation under three traces x two schemes.
+
+The headline experiment.  Replays the drastic / irregular / common traces
+under TEG_Original and TEG_LoadBalance and prints the per-trace average
+and peak per-CPU generation next to the paper's numbers.
+
+Paper shape to hold: LoadBalance wins on every trace; averages ~3.7 W
+(Original) and ~4.2 W (LoadBalance); overall improvement ~13 %; high
+utilisation coincides with low generation.
+"""
+
+import numpy as np
+
+import repro
+
+from bench_utils import print_table
+
+PAPER = {
+    # trace: (orig avg, orig peak, balance avg, balance peak)
+    "drastic": (3.725, 4.210, 4.349, 4.595),
+    "irregular": (3.772, 3.935, 4.203, 4.554),
+    "common": (3.586, 4.035, 3.979, 4.082),
+}
+
+
+def run_all(system, traces):
+    return {name: system.compare(trace)
+            for name, trace in traces.items()}
+
+
+def test_bench_fig14_generation(benchmark, h2p_system, eval_traces):
+    comparisons = benchmark.pedantic(
+        run_all, args=(h2p_system, eval_traces), rounds=1, iterations=1)
+
+    rows = []
+    for name, comparison in comparisons.items():
+        paper = PAPER[name]
+        rows.append([
+            name,
+            comparison.baseline.average_generation_w, paper[0],
+            comparison.baseline.peak_generation_w, paper[1],
+            comparison.optimised.average_generation_w, paper[2],
+            comparison.optimised.peak_generation_w, paper[3],
+        ])
+    orig_avg = np.mean([c.baseline.average_generation_w
+                        for c in comparisons.values()])
+    bal_avg = np.mean([c.optimised.average_generation_w
+                       for c in comparisons.values()])
+    rows.append(["AVERAGE", orig_avg, 3.694, float("nan"), float("nan"),
+                 bal_avg, 4.177, float("nan"), float("nan")])
+    print_table(
+        "Fig. 14 — per-CPU generation (W): measured vs paper",
+        ["trace", "orig avg", "(paper)", "orig peak", "(paper)",
+         "bal avg", "(paper)", "bal peak", "(paper)"],
+        rows)
+    improvement = (bal_avg - orig_avg) / orig_avg
+    print(f"workload balancing improvement: {improvement:.1%} "
+          f"(paper: 13.08%)")
+
+    # Shape assertions.
+    for name, comparison in comparisons.items():
+        assert comparison.generation_improvement > 0.0, name
+        assert comparison.baseline.anti_correlation < 0.0, name
+        assert comparison.optimised.anti_correlation < 0.0, name
+        assert comparison.baseline.total_safety_violations == 0, name
+    assert abs(orig_avg - 3.694) < 0.5
+    assert abs(bal_avg - 4.177) < 0.5
+    assert 0.05 < improvement < 0.30

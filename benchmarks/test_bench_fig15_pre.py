@@ -1,0 +1,53 @@
+"""E-F15 — Fig. 15: power reusing efficiency per trace and scheme.
+
+PRE = TEG generation / CPU consumption (Eq. 19 with Eq. 20 supplying the
+consumption).  Paper: Original 12.0/13.8/11.9 %, LoadBalance
+13.7/16.2/12.8 % for drastic/irregular/common; 14.23 % LoadBalance
+average.
+"""
+
+import numpy as np
+
+from bench_utils import print_table
+
+PAPER_PRE = {
+    "drastic": (0.120, 0.137),
+    "irregular": (0.138, 0.162),
+    "common": (0.119, 0.128),
+}
+
+
+def run_all(system, traces):
+    return {name: system.compare(trace)
+            for name, trace in traces.items()}
+
+
+def test_bench_fig15_pre(benchmark, h2p_system, eval_traces):
+    comparisons = benchmark.pedantic(
+        run_all, args=(h2p_system, eval_traces), rounds=1, iterations=1)
+
+    rows = []
+    for name, comparison in comparisons.items():
+        paper = PAPER_PRE[name]
+        rows.append([
+            name,
+            comparison.baseline.average_pre, paper[0],
+            comparison.optimised.average_pre, paper[1],
+        ])
+    avg_balance = np.mean([c.optimised.average_pre
+                           for c in comparisons.values()])
+    rows.append(["AVERAGE", float("nan"), float("nan"),
+                 avg_balance, 0.1423])
+    print_table(
+        "Fig. 15 — PRE: measured vs paper",
+        ["trace", "orig PRE", "(paper)", "bal PRE", "(paper)"],
+        rows)
+
+    for name, comparison in comparisons.items():
+        # LoadBalance improves PRE on every trace.
+        assert comparison.optimised.average_pre > \
+            comparison.baseline.average_pre, name
+        # Each PRE lands within a widened paper band.
+        assert 0.08 < comparison.baseline.average_pre < 0.20, name
+        assert 0.10 < comparison.optimised.average_pre < 0.20, name
+    assert abs(avg_balance - 0.1423) < 0.035

@@ -1,0 +1,49 @@
+"""E-F3 — Fig. 3: a TEG sandwiched under the CPU can hardly conduct heat.
+
+Regenerates the 50-minute, four-phase (0/10/20/0 % load) transient for
+both CPU branches and prints the temperature/voltage summary per phase.
+Paper shape: CPU0 (TEG under the plate) approaches the 78.9 degC limit at
+just 20 % load while CPU1 stays near the coolant temperature, and the TEG
+voltage tracks CPU0's temperature.
+"""
+
+import numpy as np
+
+from repro.constants import CPU_MAX_OPERATING_TEMP_C
+from repro.teg.placement import FIG3_PHASES, PlacementStudy
+
+from bench_utils import print_table
+
+
+def run_fig3():
+    return PlacementStudy().run(FIG3_PHASES, output_dt_s=10.0)
+
+
+def test_bench_fig3_placement(benchmark):
+    outcome = benchmark.pedantic(run_fig3, rounds=3, iterations=1)
+
+    rows = []
+    start = 0.0
+    for (duration, load) in FIG3_PHASES:
+        end = start + duration
+        window = (outcome.times_s >= start) & (outcome.times_s < end)
+        rows.append([
+            f"{load:.0%} load",
+            float(outcome.sandwiched.temperatures_c["cpu"][window].max()),
+            float(outcome.direct.temperatures_c["cpu"][window].max()),
+            float(outcome.teg_voltage_v[window].max()),
+        ])
+        start = end
+    print_table(
+        "Fig. 3 — TEG sandwich vs direct cold plate (per load phase)",
+        ["phase", "CPU0 (TEG) peak C", "CPU1 peak C", "TEG Voc V"],
+        rows)
+    print(f"max operating temperature: {CPU_MAX_OPERATING_TEMP_C} C; "
+          f"CPU0 peak {outcome.peak_sandwiched_cpu_c:.1f} C "
+          f"(paper: 'very close to the maximum')")
+
+    assert outcome.sandwiched_near_limit
+    assert outcome.peak_direct_cpu_c < 50.0
+    corr = np.corrcoef(outcome.sandwiched.temperatures_c["cpu"],
+                       outcome.teg_voltage_v)[0, 1]
+    assert corr > 0.95

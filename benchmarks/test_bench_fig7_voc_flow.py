@@ -1,0 +1,51 @@
+"""E-F7 — Fig. 7: open-circuit voltage of 6 series TEGs vs dT and flow.
+
+Regenerates the Voc(dT) lines for each prototype flow rate.  Paper shape:
+voltage increases linearly with the coolant temperature difference; a
+larger flow rate gives a slightly higher voltage, but the improvement is
+"too little to be worth making".
+"""
+
+import numpy as np
+
+from repro.teg.module import TegString
+
+from bench_utils import print_table
+
+FLOWS_L_PER_H = (50.0, 100.0, 200.0, 300.0)
+DELTAS_C = np.arange(0.0, 26.0, 5.0)
+
+
+def sweep():
+    string = TegString(count=6)
+    return {
+        flow: [string.open_circuit_voltage_v(float(d), flow)
+               for d in DELTAS_C]
+        for flow in FLOWS_L_PER_H
+    }
+
+
+def test_bench_fig7_voc_vs_flow(benchmark):
+    curves = benchmark(sweep)
+
+    rows = [[f"dT={d:.0f}C"] + [curves[flow][i]
+                                for flow in FLOWS_L_PER_H]
+            for i, d in enumerate(DELTAS_C)]
+    print_table("Fig. 7 — Voc of 6 series TEGs vs dT at each flow rate",
+                ["point"] + [f"{f:.0f} L/H" for f in FLOWS_L_PER_H],
+                rows)
+
+    # Linearity: the increments of each curve are constant.
+    for flow in FLOWS_L_PER_H:
+        diffs = np.diff([v for v in curves[flow] if v > 0.0])
+        assert np.allclose(diffs, diffs[0], rtol=1e-6)
+
+    # Flow ordering: more flow, slightly more voltage.
+    at_20 = [curves[flow][4] for flow in FLOWS_L_PER_H]
+    assert all(b > a for a, b in zip(at_20, at_20[1:]))
+
+    # ... but the effect is small (paper: "too little to be worth").
+    assert (at_20[-1] - at_20[0]) / at_20[0] < 0.10
+
+    # Magnitude anchor: Eq. 3 x 6 at the reference flow.
+    assert curves[200.0][4] == 6 * 0.0448 * 20.0 - 6 * 0.0051

@@ -1,0 +1,62 @@
+"""E-F8 — Fig. 8: voltage and maximum power vs dT for n TEGs in series.
+
+Regenerates Fig. 8a (open-circuit voltage, linear in dT and in n) and
+Fig. 8b (maximum output power, quadratic in dT, linear in n) at the
+200 L/H reference flow.  Paper anchors: Voc_n ~= n * v and P_max of
+12 TEGs exceeding 1.8 W at dT = 25 C.
+"""
+
+import numpy as np
+
+from repro.teg.module import TegString
+
+from bench_utils import print_table
+
+COUNTS = (1, 3, 6, 12)
+DELTAS_C = np.arange(0.0, 26.0, 5.0)
+
+
+def sweep():
+    voltage = {}
+    power = {}
+    for count in COUNTS:
+        string = TegString(count=count)
+        voltage[count] = [string.open_circuit_voltage_v(float(d))
+                          for d in DELTAS_C]
+        power[count] = [string.max_power_w(float(d)) for d in DELTAS_C]
+    return voltage, power
+
+
+def test_bench_fig8_series_scaling(benchmark):
+    voltage, power = benchmark(sweep)
+
+    print_table(
+        "Fig. 8a — open-circuit voltage (V) vs dT for n TEGs in series",
+        ["dT (C)"] + [f"n={n}" for n in COUNTS],
+        [[f"{d:.0f}"] + [voltage[n][i] for n in COUNTS]
+         for i, d in enumerate(DELTAS_C)])
+    print_table(
+        "Fig. 8b — maximum output power (W) vs dT for n TEGs in series",
+        ["dT (C)"] + [f"n={n}" for n in COUNTS],
+        [[f"{d:.0f}"] + [power[n][i] for n in COUNTS]
+         for i, d in enumerate(DELTAS_C)])
+
+    # Eq. 4: Voc_n = n * v.
+    for i in range(len(DELTAS_C)):
+        for n in COUNTS:
+            assert voltage[n][i] == n * voltage[1][i]
+
+    # Eq. 7: P_n = n * P_1.
+    for i in range(len(DELTAS_C)):
+        for n in COUNTS:
+            assert power[n][i] == n * power[1][i]
+
+    # Paper: P_max of 12 TEGs > 1.8 W beyond dT = 25 C.
+    assert power[12][-1] > 1.8
+
+    # Quadratic growth: second differences of P(dT) are constant > 0.
+    # (dT = 0 is excluded: the fit's constant term is clamped to zero
+    # there, since a TEG cannot generate without a gradient.)
+    second = np.diff(power[12][1:], n=2)
+    assert np.all(second > 0.0)
+    assert np.allclose(second, second[0], rtol=1e-6)

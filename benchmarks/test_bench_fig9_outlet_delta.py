@@ -1,0 +1,59 @@
+"""E-F9 — Fig. 9: outlet-inlet temperature difference of the CPU plate.
+
+Fig. 9a sweeps utilisation x flow (averaged over inlet temperatures);
+Fig. 9b sweeps utilisation x inlet temperature at 20 L/H.  Paper shape:
+dT_out-in fluctuates within 1-3.5 C and is driven by CPU utilisation,
+with the flow rate and inlet temperature having little effect.
+"""
+
+import numpy as np
+
+from repro.thermal.cpu_model import OutletDeltaModel
+
+from bench_utils import print_table
+
+UTILS = np.arange(0.0, 1.01, 0.2)
+FLOWS = (20.0, 50.0, 100.0, 200.0, 300.0)
+INLETS = (30.0, 35.0, 40.0, 45.0)
+
+
+def sweep():
+    model = OutletDeltaModel()
+    by_flow = {flow: [np.mean([model.delta_c(u, flow, t) for t in INLETS])
+                      for u in UTILS]
+               for flow in FLOWS}
+    by_inlet = {inlet: [model.delta_c(u, 20.0, inlet) for u in UTILS]
+                for inlet in INLETS}
+    return by_flow, by_inlet
+
+
+def test_bench_fig9_outlet_delta(benchmark):
+    by_flow, by_inlet = benchmark(sweep)
+
+    print_table(
+        "Fig. 9a — dT_out-in (C) vs utilisation and flow "
+        "(averaged over inlet temps)",
+        ["utilisation"] + [f"{f:.0f} L/H" for f in FLOWS],
+        [[f"{u:.0%}"] + [by_flow[f][i] for f in FLOWS]
+         for i, u in enumerate(UTILS)])
+    print_table(
+        "Fig. 9b — dT_out-in (C) vs utilisation and inlet temp "
+        "(flow fixed at 20 L/H)",
+        ["utilisation"] + [f"{t:.0f} C" for t in INLETS],
+        [[f"{u:.0%}"] + [by_inlet[t][i] for t in INLETS]
+         for i, u in enumerate(UTILS)])
+
+    # Band: all values within the paper's 1-3.5 C (with slack for the
+    # flow correction at 300 L/H).
+    values = np.array([by_flow[f] for f in FLOWS])
+    assert values.min() > 0.7
+    assert values.max() < 3.7
+
+    # Utilisation dominates: the span across u is much larger than the
+    # span across flow or inlet at fixed u.
+    util_span = values[:, -1].mean() - values[:, 0].mean()
+    flow_span = np.abs(values[:, 3] - values[0, 3]).max()
+    assert util_span > 2.0 * flow_span
+    inlet_values = np.array([by_inlet[t] for t in INLETS])
+    inlet_span = (inlet_values[:, 3].max() - inlet_values[:, 3].min())
+    assert util_span > 10.0 * inlet_span

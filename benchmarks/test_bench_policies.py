@@ -1,0 +1,138 @@
+"""E-AB14 — cooling-policy ablation: static / lookup / analytic / net.
+
+The paper evaluates one policy (the Step 1-3 lookup search).  This
+ablation lines up the library's whole policy family on the same trace
+and circulation:
+
+* **static 45 °C** — plain warm-water cooling with no adjustment (what
+  a datacenter gets without the paper's control plane);
+* **lookup (paper)** — the Step 1-3 measurement-space search;
+* **analytic** — continuous inversion of the calibrated model (the
+  lookup search's upper bound);
+* **analytic, net of pump** — the same optimiser charged for pump power
+  (the Sec. IV-B caveat taken seriously).
+
+Shape: lookup ≈ analytic (the grid is fine enough); both clearly beat
+static; the pump-aware variant picks lower flows and wins on *net*
+power even though its gross harvest is slightly lower.
+"""
+
+import numpy as np
+
+from repro.cooling.loop import WaterCirculation
+from repro.core.config import SimulationConfig
+from repro.core.simulator import DatacenterSimulator
+from repro.thermal.cpu_model import CoolingSetting
+from repro.thermal.hydraulics import (
+    loop_pump_power_w,
+    production_manifold,
+    prototype_warm_loop,
+)
+from repro.workloads.synthetic import common_trace
+
+from bench_utils import print_table
+
+
+def run_policies():
+    trace = common_trace(n_servers=100, duration_s=12 * 3600.0, seed=41)
+    configs = {
+        "static 45C": SimulationConfig(
+            name="static", policy="static",
+            static_setting=CoolingSetting(flow_l_per_h=50.0,
+                                          inlet_temp_c=45.0)),
+        "lookup (paper)": SimulationConfig(name="lookup",
+                                           policy="lookup"),
+        "analytic": SimulationConfig(name="analytic", policy="analytic"),
+    }
+    scores = {}
+    for name, config in configs.items():
+        result = DatacenterSimulator(trace, config).run()
+        # Two pump accountings: the testbed's bench loop (pessimistic —
+        # 2 m of narrow tubing per server) and a production manifold.
+        flows = [record.mean_flow_l_per_h for record in result.records]
+        inlets = [record.mean_inlet_temp_c for record in result.records]
+        bench_pump = float(np.mean([
+            loop_pump_power_w(prototype_warm_loop(), f, t)
+            for f, t in zip(flows, inlets)]))
+        manifold_pump = float(np.mean([
+            loop_pump_power_w(production_manifold(), f, t)
+            for f, t in zip(flows, inlets)]))
+        scores[name] = {
+            "generation_w": result.average_generation_w,
+            "pump_w": bench_pump,
+            "manifold_pump_w": manifold_pump,
+            "net_w": result.average_generation_w - bench_pump,
+            "manifold_net_w": result.average_generation_w
+            - manifold_pump,
+            "violations": result.total_safety_violations,
+        }
+
+    # The pump-aware analytic policy is evaluated directly (it is not a
+    # SimulationConfig preset): same circulation mechanics, per-decision.
+    from repro.control.cooling_policy import AnalyticPolicy
+
+    circulation = WaterCirculation(n_servers=20)
+    policy = AnalyticPolicy(net_of_pump=True,
+                            flow_candidates=(20.0, 50.0, 100.0, 150.0),
+                            inlet_max_c=54.5)
+    matrix = trace.utilisation[:, :20]
+    generation = []
+    pump = []
+    violations = 0
+    for step in range(matrix.shape[0]):
+        decision = policy.decide(matrix[step])
+        state = circulation.evaluate(matrix[step], decision.setting)
+        generation.append(state.mean_generation_w)
+        pump.append(loop_pump_power_w(prototype_warm_loop(),
+                                      state.setting.flow_l_per_h,
+                                      state.setting.inlet_temp_c))
+        violations += len(circulation.safety_violations(state))
+    manifold_pump = float(np.mean([
+        loop_pump_power_w(production_manifold(), s, t)
+        for s, t in zip([20.0] * len(pump), [50.0] * len(pump))]))
+    scores["analytic net-of-pump"] = {
+        "generation_w": float(np.mean(generation)),
+        "pump_w": float(np.mean(pump)),
+        "manifold_pump_w": manifold_pump,
+        "net_w": float(np.mean(generation)) - float(np.mean(pump)),
+        "manifold_net_w": float(np.mean(generation)) - manifold_pump,
+        "violations": violations,
+    }
+    return scores
+
+
+def test_bench_policy_family(benchmark):
+    scores = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+
+    print_table(
+        "E-AB14 — cooling-policy family on the common trace "
+        "(per-server watts; bench-loop vs production-manifold pumps)",
+        ["policy", "gen W", "bench pump W", "bench net W",
+         "manifold pump W", "manifold net W", "violations"],
+        [[name, s["generation_w"], s["pump_w"], s["net_w"],
+          s["manifold_pump_w"], s["manifold_net_w"], s["violations"]]
+         for name, s in scores.items()])
+    print("note: with the testbed's per-server bench plumbing the pump "
+          "eats the harvest at high flow — production manifolds (an "
+          "order of magnitude less drop) restore the paper's positive "
+          "net.")
+
+    static = scores["static 45C"]
+    lookup = scores["lookup (paper)"]
+    analytic = scores["analytic"]
+    net = scores["analytic net-of-pump"]
+
+    # The paper's control plane earns its keep over plain warm water.
+    assert lookup["generation_w"] > static["generation_w"] + 0.3
+    # Lookup tracks its continuous upper bound closely.
+    assert abs(analytic["generation_w"] - lookup["generation_w"]) < 0.5
+    # The pump-aware policy sacrifices gross harvest for (bench) net.
+    assert net["pump_w"] < lookup["pump_w"]
+    assert net["net_w"] > lookup["net_w"]
+    # At production-manifold hydraulics every adjusted policy nets
+    # positive and the paper's scheme wins outright.
+    assert lookup["manifold_net_w"] > 0.0
+    assert lookup["manifold_net_w"] > static["manifold_net_w"]
+    # Nobody overheats.
+    for name, score in scores.items():
+        assert score["violations"] == 0, name

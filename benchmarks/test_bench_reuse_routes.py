@@ -1,0 +1,65 @@
+"""E-AB8 — the Sec. II-C argument: H2P vs district heating vs CCHP.
+
+Values the three reuse routes for the same 1,000-server heat stream in
+three climates.  The paper's qualitative claims, made quantitative:
+
+* district heating holds up only in high-latitude climates and collapses
+  to a loss in the tropics ("heat is not always in great demand from
+  season to season, from district to district");
+* H2P's value is identical in every climate (electricity, not heat);
+* CCHP is a co-located generator whose economics barely touch the
+  datacenter's low-grade waste heat.
+"""
+
+from repro.environment import CLIMATES
+from repro.heatreuse.comparison import ReuseComparison
+
+from bench_utils import print_table
+
+
+def sweep():
+    rows = {}
+    for climate_name in ("stockholm", "hangzhou", "singapore"):
+        comparison = ReuseComparison(climate=CLIMATES[climate_name])
+        rows[climate_name] = {
+            option.name: option for option in comparison.all_options()}
+    return rows
+
+
+def test_bench_reuse_routes(benchmark):
+    results = benchmark.pedantic(sweep, rounds=3, iterations=1)
+
+    table_rows = []
+    for climate_name, options in results.items():
+        dh = options["district heating"]
+        h2p = options["H2P (TEG recycling)"]
+        cchp = options["CCHP"]
+        table_rows.append([
+            climate_name,
+            h2p.annual_value_usd,
+            dh.annual_value_usd,
+            dh.utilisation,
+            cchp.annual_value_usd,
+        ])
+    print_table(
+        "E-AB8 — annual value of each reuse route, 1,000 servers "
+        "($/year)",
+        ["climate", "H2P $", "district $", "DH heat util",
+         "CCHP $"],
+        table_rows)
+
+    h2p_values = [options["H2P (TEG recycling)"].annual_value_usd
+                  for options in results.values()]
+    dh_values = {name: options["district heating"].annual_value_usd
+                 for name, options in results.items()}
+
+    # H2P is climate-independent.
+    assert max(h2p_values) - min(h2p_values) < 1.0
+    # District heating degrades monotonically toward the tropics and
+    # goes negative in Singapore.
+    assert dh_values["stockholm"] > dh_values["hangzhou"] \
+        > dh_values["singapore"]
+    assert dh_values["singapore"] < 0.0
+    # In the warm climates the paper targets, H2P beats the pipeline.
+    assert h2p_values[0] > dh_values["hangzhou"]
+    assert h2p_values[0] > dh_values["singapore"]

@@ -1,0 +1,54 @@
+"""E-AB9 — seasonal profile of an H2P deployment.
+
+Extends the paper's single-day, fixed-20 °C evaluation to a full year
+with a Qiandao-Lake-class cold source (15-20 °C, Sec. III-C) and a
+subtropical wet-bulb climate.  Prints the monthly generation/PRE/PUE
+profile and the annual roll-up.
+
+Shape: generation is anti-correlated with the cold-source temperature —
+the lake's seasonal swing moves the per-CPU output by ~25 %; winter is
+the best harvesting season, late summer the worst.
+"""
+
+import numpy as np
+
+from repro.core.seasonal import SeasonalStudy, annual_summary
+from repro.workloads.synthetic import common_trace
+
+from bench_utils import print_table
+
+
+def run_year():
+    trace = common_trace(n_servers=80, duration_s=12 * 3600.0, seed=17)
+    outcomes = SeasonalStudy(trace=trace).run()
+    return outcomes, annual_summary(outcomes)
+
+
+def test_bench_seasonal_profile(benchmark):
+    outcomes, summary = benchmark.pedantic(run_year, rounds=1,
+                                           iterations=1)
+
+    print_table(
+        "E-AB9 — month-by-month H2P profile (TEG_LoadBalance)",
+        ["month", "cold src C", "wet bulb C", "gen W/CPU", "PRE",
+         "PUE"],
+        [[outcome.month, outcome.cold_source_c, outcome.wet_bulb_c,
+          outcome.generation_w, outcome.result.average_pre,
+          outcome.facility.pue]
+         for outcome in outcomes])
+    print(f"annual: mean {summary['generation_mean_w']:.2f} W/CPU, "
+          f"swing {summary['seasonal_swing']:.0%} "
+          f"(best {summary['best_month']}, "
+          f"worst {summary['worst_month']})")
+
+    cold = np.array([outcome.cold_source_c for outcome in outcomes])
+    generation = np.array([outcome.generation_w
+                           for outcome in outcomes])
+    # Generation anti-correlates with the cold-source temperature.
+    assert np.corrcoef(cold, generation)[0, 1] < -0.9
+    # The lake's 5 C swing moves output by a noticeable fraction.
+    assert 0.10 < summary["seasonal_swing"] < 0.45
+    # Winter beats summer.
+    by_month = {outcome.month: outcome.generation_w
+                for outcome in outcomes}
+    assert by_month["Jan"] > by_month["Aug"]

@@ -1,0 +1,63 @@
+"""E-T1 — Table I + Sec. V-D: TCO and break-even.
+
+Regenerates Table I (per-server monthly cost lines), the Eq. 21/22 TCO
+with and without H2P, the 0.49 % / 0.57 % reductions, the fleet-level
+annual savings and the 920-day break-even point.
+"""
+
+from repro.economics.breakeven import BreakEvenAnalysis
+from repro.economics.tco import TcoModel
+
+from bench_utils import print_table
+
+GEN_ORIGINAL_W = 3.694
+GEN_LOADBALANCE_W = 4.177
+
+
+def compute():
+    model = TcoModel()
+    analysis = BreakEvenAnalysis()
+    original = model.breakdown(GEN_ORIGINAL_W)
+    balance = model.breakdown(GEN_LOADBALANCE_W)
+    return model, analysis, original, balance
+
+
+def test_bench_table1_tco(benchmark):
+    model, analysis, original, balance = benchmark(compute)
+
+    print_table(
+        "Table I — cost model ($/server/month): measured vs paper",
+        ["line", "measured", "paper"],
+        [
+            ["DCInfraCapEx", model.dc_infra_capex, 21.26],
+            ["ServCapEx", model.server_capex, 31.25],
+            ["DCInfraOpEx", model.dc_infra_opex, 7.63],
+            ["ServOpEx", model.server_opex, 1.56],
+            ["TEGCapEx", model.teg_capex_usd_per_month, 0.04],
+            ["TEGRev (TEG_Original)", original.teg_revenue_usd, 0.34],
+            ["TEGRev (TEG_LoadBalance)", balance.teg_revenue_usd, 0.39],
+        ])
+    print_table(
+        "Sec. V-D — TCO outcomes: measured vs paper",
+        ["metric", "measured", "paper"],
+        [
+            ["TCO_noTEG ($/srv/mo)", original.tco_no_teg_usd, 61.70],
+            ["reduction, Original (%)",
+             100 * original.reduction_fraction, 0.49],
+            ["reduction, LoadBalance (%)",
+             100 * balance.reduction_fraction, 0.57],
+            ["annual savings, 100k CPUs, Original ($)",
+             original.annual_savings_usd(100_000), 350_000],
+            ["annual savings, 100k CPUs, LoadBalance ($)",
+             balance.annual_savings_usd(100_000), 410_000],
+            ["daily energy (kWh)",
+             analysis.daily_energy_kwh(GEN_LOADBALANCE_W), 10_024.8],
+            ["daily revenue ($)",
+             analysis.daily_revenue_usd(GEN_LOADBALANCE_W), 1_303.2],
+            ["break-even (days)",
+             analysis.break_even_days(GEN_LOADBALANCE_W), 920.0],
+        ])
+
+    assert abs(original.reduction_fraction - 0.0049) < 3e-4
+    assert abs(balance.reduction_fraction - 0.0057) < 3e-4
+    assert abs(analysis.break_even_days(GEN_LOADBALANCE_W) - 920.0) < 5.0

@@ -1,0 +1,73 @@
+"""Water-circulation design study (Sec. V-A).
+
+Run:
+    python examples/circulation_designer.py
+    python examples/circulation_designer.py --servers 5000 --sigma 8
+
+How many servers should share one chiller loop?  This script sweeps the
+circulation size for a cluster, prints the Eq. 12 cost curve, and shows
+how the optimum moves with workload volatility and chiller price — the
+design guidance the paper derives from order statistics.
+"""
+
+import argparse
+
+from repro.cooling.chiller import Chiller
+from repro.cooling.circulation_design import CirculationDesignProblem
+
+
+def run_sweep(problem: CirculationDesignProblem, label: str) -> None:
+    result = problem.optimise(
+        candidates=[1, 2, 5, 10, 20, 50, 100, 200, 500,
+                    problem.total_servers])
+    print(f"\n-- {label} "
+          + "-" * max(0, 56 - len(label)))
+    print(f"{'n/circ':>8} {'E[dT] C':>9} {'energy $':>12} "
+          f"{'hardware $':>12} {'total $':>12}")
+    for i, n in enumerate(result.candidate_n):
+        marker = "  <- optimum" if int(n) == result.best_n else ""
+        print(f"{int(n):>8} {result.expected_inlet_reduction_c[i]:>9.2f} "
+              f"{result.energy_costs_usd[i]:>12,.0f} "
+              f"{result.hardware_costs_usd[i]:>12,.0f} "
+              f"{result.total_costs_usd[i]:>12,.0f}{marker}")
+    print(f"best: {result.best_n} servers/circulation, "
+          f"${result.best_cost_usd:,.0f}/year")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Sec. V-A circulation-size optimisation")
+    parser.add_argument("--servers", type=int, default=1000)
+    parser.add_argument("--mu", type=float, default=55.0,
+                        help="mean CPU temperature under the load mix, C")
+    parser.add_argument("--sigma", type=float, default=6.0,
+                        help="CPU temperature standard deviation, C")
+    parser.add_argument("--chiller-capex", type=float, default=20000.0)
+    args = parser.parse_args()
+
+    base = CirculationDesignProblem(
+        total_servers=args.servers,
+        temp_mu_c=args.mu,
+        temp_sigma_c=args.sigma,
+        chiller=Chiller(capacity_kw=500, capex_usd=args.chiller_capex))
+    run_sweep(base, f"baseline (mu={args.mu} C, sigma={args.sigma} C, "
+                    f"chiller ${args.chiller_capex:,.0f})")
+
+    # Sensitivity 1: volatile workloads (hot outliers) want small loops.
+    volatile = CirculationDesignProblem(
+        total_servers=args.servers, temp_mu_c=args.mu,
+        temp_sigma_c=args.sigma * 2.0,
+        chiller=Chiller(capacity_kw=500, capex_usd=args.chiller_capex))
+    run_sweep(volatile, "2x temperature volatility")
+
+    # Sensitivity 2: cheap chillers also want small loops.
+    cheap = CirculationDesignProblem(
+        total_servers=args.servers, temp_mu_c=args.mu,
+        temp_sigma_c=args.sigma,
+        chiller=Chiller(capacity_kw=500,
+                        capex_usd=args.chiller_capex / 10.0))
+    run_sweep(cheap, "10x cheaper chillers")
+
+
+if __name__ == "__main__":
+    main()

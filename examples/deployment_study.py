@@ -1,0 +1,103 @@
+"""Deployment study: should *your* datacenter adopt H2P?
+
+Run:
+    python examples/deployment_study.py
+    python examples/deployment_study.py --climate singapore --servers 500
+
+A site-assessment walkthrough combining the library's analysis layers:
+
+1. seasonal profile — what the local lake/sea cold source does to the
+   harvest over a year;
+2. reuse-route comparison — H2P vs district heating vs CCHP in this
+   climate (the Sec. II-C argument, priced);
+3. uncertainty — 90 % confidence intervals on the headline numbers;
+4. hot-spot safety — confirming the warm set-point survives load spikes
+   when the TEC hybrid cooling is present.
+"""
+
+import argparse
+
+from repro import trace_by_name
+from repro.cooling.hotspot import HotSpotScenario
+from repro.core.seasonal import SeasonalStudy, annual_summary
+from repro.environment import CLIMATES, ColdSourceProfile
+from repro.heatreuse.comparison import ReuseComparison
+from repro.reporting import format_table
+from repro.uncertainty import MonteCarloStudy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="H2P site-assessment walkthrough")
+    parser.add_argument("--climate", default="hangzhou",
+                        choices=sorted(CLIMATES))
+    parser.add_argument("--servers", type=int, default=200)
+    parser.add_argument("--draws", type=int, default=100)
+    args = parser.parse_args()
+
+    climate = CLIMATES[args.climate]
+    trace = trace_by_name("common", n_servers=args.servers)
+
+    # ------------------------------------------------------------------
+    # 1. Seasonal harvest profile.
+    # ------------------------------------------------------------------
+    print(f"== 1. seasonal profile ({args.climate}) "
+          "==========================")
+    study = SeasonalStudy(trace=trace, wet_bulb=climate,
+                          cold_source=ColdSourceProfile())
+    outcomes = study.run()
+    print(format_table(
+        ["month", "cold C", "wet bulb C", "gen W/CPU", "PRE"],
+        [[outcome.month, outcome.cold_source_c, outcome.wet_bulb_c,
+          outcome.generation_w, outcome.result.average_pre]
+         for outcome in outcomes[::2]]))
+    summary = annual_summary(outcomes)
+    print(f"annual mean {summary['generation_mean_w']:.2f} W/CPU, "
+          f"seasonal swing {summary['seasonal_swing']:.0%} "
+          f"(best {summary['best_month']}, worst "
+          f"{summary['worst_month']})\n")
+
+    # ------------------------------------------------------------------
+    # 2. Reuse-route comparison.
+    # ------------------------------------------------------------------
+    print("== 2. reuse routes (Sec. II-C) ============================")
+    comparison = ReuseComparison(
+        n_servers=args.servers, climate=climate,
+        teg_generation_per_server_w=summary["generation_mean_w"])
+    for option in comparison.all_options():
+        print(f"  {option.name:<22} ${option.annual_value_usd:>9,.0f}"
+              f"/yr  ({option.notes})")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Uncertainty on the headline numbers.
+    # ------------------------------------------------------------------
+    print("== 3. uncertainty (Monte Carlo) ===========================")
+    mc = MonteCarloStudy().run(trace, n_draws=args.draws)
+    intervals = mc.summary(confidence=0.90)
+    for metric, label, fmt in (
+            ("generation_w", "generation (W/CPU)", "{:.2f}"),
+            ("pre", "PRE", "{:.1%}"),
+            ("tco_reduction", "TCO reduction", "{:.2%}")):
+        entry = intervals[metric]
+        print(f"  {label:<20} {fmt.format(entry['median'])}  "
+              f"[{fmt.format(entry['low'])}, "
+              f"{fmt.format(entry['high'])}] (90 %)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Hot-spot safety at the warm set-point.
+    # ------------------------------------------------------------------
+    print("== 4. hot-spot safety =====================================")
+    episodes = HotSpotScenario().compare()
+    for strategy, outcome in episodes.items():
+        verdict = "VIOLATION" if outcome.violation else "safe"
+        print(f"  {strategy:<8} peak {outcome.peak_cpu_temp_c:5.1f} C "
+              f"[{verdict}]")
+    print("\nverdict: adopt H2P with TEC hybrid cooling; expect "
+          f"~{summary['generation_mean_w']:.1f} W/CPU averaged over "
+          "the year in this climate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Future materials, storage and applications (Sec. VI).
+
+Run:
+    python examples/materials_future.py
+
+Three studies from the paper's discussion section:
+
+1. Sec. VI-D — what happens to H2P's economics when Bi2Te3 (ZT ~ 1) is
+   replaced by nanostructured bulk or ZT ~ 6 Heusler thin films;
+2. Sec. VI-B — smoothing the diurnal TEG output with a hybrid
+   battery + super-capacitor buffer to carry a constant load;
+3. Sec. VI-C2 — how much LED lighting one server's module can power.
+"""
+
+import numpy as np
+
+from repro import H2PSystem, common_trace, teg_loadbalance
+from repro.applications.lighting import (
+    HIGH_POWER_LED,
+    LedLightingPlan,
+    ORDINARY_LED,
+)
+from repro.economics.breakeven import BreakEvenAnalysis
+from repro.economics.tco import TcoModel
+from repro.storage.battery import Battery
+from repro.storage.hybrid import HybridEnergyBuffer
+from repro.storage.supercap import SuperCapacitor
+from repro.teg.device import PAPER_TEG
+from repro.teg.materials import MATERIALS
+from repro.teg.module import TegModule
+
+
+def material_roadmap() -> None:
+    print("-- Sec. VI-D: thermoelectric material roadmap ---------------")
+    print(f"{'material':<22} {'ZT@54C':>7} {'W/server':>9} "
+          f"{'TCO red.':>9} {'break-even':>11}")
+    for name, material in MATERIALS.items():
+        device = PAPER_TEG.with_material(material)
+        module = TegModule(device=device)
+        generation = module.generation_w(54.0, 20.0)
+        reduction = TcoModel().breakdown(generation).reduction_fraction
+        days = BreakEvenAnalysis().break_even_days(generation)
+        print(f"{name:<22} {material.zt(54.0):>7.2f} {generation:>9.2f} "
+              f"{reduction:>9.2%} {days:>9.0f} d")
+    print()
+
+
+def storage_smoothing() -> None:
+    print("-- Sec. VI-B: hybrid buffer riding through the daily peak ---")
+    # Simulate one day of LoadBalance generation on a small cluster, then
+    # ask a per-server buffer to carry a constant 4 W load through it.
+    trace = common_trace(n_servers=100, seed=21)
+    result = H2PSystem().evaluate(trace, teg_loadbalance())
+    generation = result.generation_series_w
+
+    buffer = HybridEnergyBuffer(
+        battery=Battery(capacity_wh=8.0, soc=0.6),
+        supercap=SuperCapacitor(capacity_wh=1.0, soc=0.5))
+    demand_w = 4.0
+    telemetry = buffer.smooth(generation, demand_w, trace.interval_s)
+    print(f"generation range : {generation.min():.2f} - "
+          f"{generation.max():.2f} W (mean {generation.mean():.2f} W)")
+    print(f"constant demand  : {demand_w:.1f} W")
+    print(f"coverage         : {telemetry.coverage:.1%} of demanded "
+          f"energy served")
+    print(f"curtailment      : {telemetry.curtailment_fraction:.1%} of "
+          f"generation wasted")
+    print(f"battery SoC range: {telemetry.battery_soc.min():.2f} - "
+          f"{telemetry.battery_soc.max():.2f}")
+    print()
+    return float(generation.mean())
+
+
+def led_sizing(mean_generation_w: float) -> None:
+    print("-- Sec. VI-C2: TEGs for lighting ----------------------------")
+    for label, led in (("ordinary 0.05 W LEDs", ORDINARY_LED),
+                       ("high-power 1 W LEDs", HIGH_POWER_LED)):
+        plan = LedLightingPlan(led=led)
+        count = plan.leds_supported(mean_generation_w)
+        saved = plan.energy_saved_kwh_per_month(mean_generation_w)
+        print(f"{label:<22}: {count:>4d} lamps, "
+              f"{plan.luminous_flux_lm(mean_generation_w):>7.0f} lm, "
+              f"{saved:.2f} kWh/month displaced")
+
+
+def main() -> None:
+    np.set_printoptions(precision=3)
+    material_roadmap()
+    mean_generation = storage_smoothing()
+    led_sizing(mean_generation)
+
+
+if __name__ == "__main__":
+    main()

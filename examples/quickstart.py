@@ -1,0 +1,78 @@
+"""Quickstart: evaluate H2P on one server and one small cluster.
+
+Run:
+    python examples/quickstart.py
+
+Walks through the library's core workflow in four steps: a single-server
+operating point, a safety check, a small trace-driven comparison of the
+paper's two schemes, and the resulting TCO.
+"""
+
+from repro import (
+    CoolingSetting,
+    H2PSystem,
+    common_trace,
+    teg_loadbalance,
+    teg_original,
+)
+
+
+def main() -> None:
+    system = H2PSystem()
+
+    # ------------------------------------------------------------------
+    # 1. One server, one operating point.
+    # ------------------------------------------------------------------
+    setting = CoolingSetting(flow_l_per_h=150.0, inlet_temp_c=52.0)
+    utilisation = 0.25
+    generation = system.server_generation_w(utilisation, setting)
+    pre = system.server_pre(utilisation, setting)
+    print("-- single server -------------------------------------------")
+    print(f"cooling setting : {setting.flow_l_per_h:.0f} L/H, "
+          f"{setting.inlet_temp_c:.1f} C inlet")
+    print(f"utilisation     : {utilisation:.0%}")
+    print(f"TEG generation  : {generation:.2f} W "
+          f"(12x SP 1848-27145 at the CPU outlet)")
+    print(f"PRE             : {pre:.1%}")
+
+    # ------------------------------------------------------------------
+    # 2. Safety: warm water is fine, hot water at load is not.
+    # ------------------------------------------------------------------
+    print("\n-- safety check --------------------------------------------")
+    for inlet in (45.0, 50.0, 55.0):
+        candidate = CoolingSetting(flow_l_per_h=50.0, inlet_temp_c=inlet)
+        verdict = "SAFE" if system.is_safe(1.0, candidate) else "UNSAFE"
+        temp = system.cpu_model.cpu_temp_c(1.0, candidate)
+        print(f"inlet {inlet:.0f} C at 100 % load -> CPU {temp:.1f} C "
+              f"[{verdict}] (limit 78.9 C)")
+
+    # ------------------------------------------------------------------
+    # 3. Trace-driven comparison (small cluster for speed).
+    # ------------------------------------------------------------------
+    print("\n-- scheme comparison (common trace, 100 servers) ----------")
+    trace = common_trace(n_servers=100, duration_s=6 * 3600.0, seed=7)
+    comparison = system.compare(trace, teg_original(), teg_loadbalance())
+    base = comparison.baseline
+    balanced = comparison.optimised
+    print(f"TEG_Original    : {base.average_generation_w:.2f} W/CPU avg, "
+          f"PRE {base.average_pre:.1%}")
+    print(f"TEG_LoadBalance : {balanced.average_generation_w:.2f} W/CPU "
+          f"avg, PRE {balanced.average_pre:.1%}")
+    print(f"improvement     : {comparison.generation_improvement:.1%} "
+          f"(paper: ~13 %)")
+
+    # ------------------------------------------------------------------
+    # 4. Economics.
+    # ------------------------------------------------------------------
+    print("\n-- economics -----------------------------------------------")
+    breakdown = system.tco(balanced.average_generation_w)
+    print(f"TCO without H2P : ${breakdown.tco_no_teg_usd:.2f}/server/month")
+    print(f"TCO with H2P    : ${breakdown.tco_h2p_usd:.2f}/server/month")
+    print(f"reduction       : {breakdown.reduction_fraction:.2%} "
+          f"(paper: up to 0.57 %)")
+    print(f"100k-CPU fleet  : "
+          f"${breakdown.annual_savings_usd(100_000):,.0f} saved per year")
+
+
+if __name__ == "__main__":
+    main()

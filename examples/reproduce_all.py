@@ -1,0 +1,56 @@
+"""Reproduce every registered paper experiment and write RESULTS.md.
+
+Run:
+    python examples/reproduce_all.py                # writes RESULTS.md
+    python examples/reproduce_all.py --out /tmp/r.md --skip-slow
+
+Walks the experiment registry (the same E-F*/E-T1/E-VA ids DESIGN.md
+indexes), runs each at registry scale, and renders one markdown report
+with every metric — the artefact to diff against EXPERIMENTS.md after a
+recalibration.
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import list_experiments, run_experiment
+
+SLOW_IDS = {"E-F14", "E-F15"}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="run every registered experiment, write a report")
+    parser.add_argument("--out", default="RESULTS.md")
+    parser.add_argument("--skip-slow", action="store_true",
+                        help="skip the cluster-scale experiments "
+                             f"({', '.join(sorted(SLOW_IDS))})")
+    args = parser.parse_args()
+
+    lines = ["# RESULTS — registry run", ""]
+    for experiment_id, title in list_experiments():
+        if args.skip_slow and experiment_id in SLOW_IDS:
+            print(f"skipping {experiment_id} ({title})")
+            lines += [f"## {experiment_id} — {title}", "",
+                      "_skipped (--skip-slow)_", ""]
+            continue
+        started = time.time()
+        outcome = run_experiment(experiment_id)
+        elapsed = time.time() - started
+        print(f"{experiment_id:<7} {title:<40} {elapsed:6.1f}s")
+        lines += [f"## {experiment_id} — {outcome.title}", ""]
+        for key, value in outcome.metrics.items():
+            if isinstance(value, float):
+                lines.append(f"* `{key}` = {value:.5g}")
+            else:
+                lines.append(f"* `{key}` = {value}")
+        lines.append("")
+
+    out_path = Path(args.out)
+    out_path.write_text("\n".join(lines))
+    print(f"\nreport written to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""H2P: Heat to Power — thermal energy harvesting and recycling for warm
+water-cooled datacenters.
+
+A full reproduction of the ISCA 2020 paper by Zhu, Jiang, Liu et al.
+(HUST).  The package builds every system the paper describes or depends
+on: the thermal/hydraulic substrate, TEG device and module models, the
+warm-water cooling plant (chiller, tower, CDU, TECs), the workload
+substrate, the Sec. V control-plane optimisations, the trace-driven
+datacenter simulator, and the economics.
+
+Quickstart
+----------
+>>> from repro import H2PSystem, CoolingSetting
+>>> system = H2PSystem()
+>>> power = system.server_generation_w(
+...     0.2, CoolingSetting(flow_l_per_h=100, inlet_temp_c=50.0))
+"""
+
+from .constants import (
+    CPU_MAX_OPERATING_TEMP_C,
+    CPU_SAFE_TEMP_C,
+    NATURAL_WATER_TEMP_C,
+    TEGS_PER_SERVER,
+)
+from .core import (
+    DatacenterSimulator,
+    H2PSystem,
+    SchemeComparison,
+    SimulationConfig,
+    SimulationResult,
+    teg_loadbalance,
+    teg_original,
+)
+from .economics import BreakEvenAnalysis, TcoModel, power_reusing_efficiency
+from .errors import (
+    ConfigurationError,
+    CoolingFailureError,
+    PhysicalRangeError,
+    ReproError,
+    TraceFormatError,
+)
+from .teg import PAPER_TEG, TegDevice, TegModule
+from .thermal import CoolingSetting, CpuThermalModel
+from .workloads import (
+    WorkloadTrace,
+    common_trace,
+    drastic_trace,
+    irregular_trace,
+    trace_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "H2PSystem",
+    "DatacenterSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "SchemeComparison",
+    "teg_original",
+    "teg_loadbalance",
+    "CoolingSetting",
+    "CpuThermalModel",
+    "TegDevice",
+    "TegModule",
+    "PAPER_TEG",
+    "WorkloadTrace",
+    "drastic_trace",
+    "irregular_trace",
+    "common_trace",
+    "trace_by_name",
+    "TcoModel",
+    "BreakEvenAnalysis",
+    "power_reusing_efficiency",
+    "ReproError",
+    "ConfigurationError",
+    "PhysicalRangeError",
+    "CoolingFailureError",
+    "TraceFormatError",
+    "CPU_MAX_OPERATING_TEMP_C",
+    "CPU_SAFE_TEMP_C",
+    "NATURAL_WATER_TEMP_C",
+    "TEGS_PER_SERVER",
+    "__version__",
+]

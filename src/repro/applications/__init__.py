@@ -1,0 +1,17 @@
+"""Potential applications of TEG-enabled H2P (Sec. VI-C).
+
+* :mod:`repro.applications.lighting` — sizing LED lighting supplied by
+  TEG modules (Sec. VI-C2);
+* :mod:`repro.applications.tec_powering` — TEGs powering the TECs of the
+  hybrid cooling architecture (Sec. VI-C1).
+"""
+
+from .lighting import LedLightingPlan, Led
+from .tec_powering import TegTecCoupling, CouplingOutcome
+
+__all__ = [
+    "LedLightingPlan",
+    "Led",
+    "TegTecCoupling",
+    "CouplingOutcome",
+]

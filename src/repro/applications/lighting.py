@@ -1,0 +1,90 @@
+"""TEGs for lighting (Sec. VI-C2).
+
+Lighting is ~1 % of datacenter energy.  An ordinary LED draws ~0.05 W at
+20 mA; high-power LEDs draw 1-2 W.  The paper observes that the ~3+ W a
+TEG module generates is "enough for supplying power for some of the LEDs
+used in datacenters"; this module turns that remark into a sizing tool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import PhysicalRangeError
+
+
+@dataclass(frozen=True)
+class Led:
+    """One LED lamp type.
+
+    Attributes
+    ----------
+    power_w:
+        Electrical draw (0.05 W ordinary, 1-2 W high-power; Sec. VI-C2).
+    forward_voltage_v:
+        Forward voltage (~3 V for white LEDs); with the module's output
+        voltage this sets how many can be chained in series.
+    luminous_flux_lm:
+        Light output, for illuminance budgeting.
+    """
+
+    power_w: float = 0.05
+    forward_voltage_v: float = 3.0
+    luminous_flux_lm: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.power_w <= 0:
+            raise PhysicalRangeError("LED power must be > 0")
+        if self.forward_voltage_v <= 0:
+            raise PhysicalRangeError("forward voltage must be > 0")
+        if self.luminous_flux_lm < 0:
+            raise PhysicalRangeError("luminous flux must be >= 0")
+
+
+#: Ordinary indicator/strip LED (0.05 W @ 20 mA, Sec. VI-C2).
+ORDINARY_LED = Led(power_w=0.05, forward_voltage_v=3.0, luminous_flux_lm=5.0)
+
+#: High-power lighting LED (1 W class, Sec. VI-C2).
+HIGH_POWER_LED = Led(power_w=1.0, forward_voltage_v=3.2,
+                     luminous_flux_lm=110.0)
+
+
+@dataclass(frozen=True)
+class LedLightingPlan:
+    """How much lighting one server's TEG module can carry.
+
+    Attributes
+    ----------
+    led:
+        The lamp type to drive.
+    converter_efficiency:
+        DC-DC conversion efficiency between the module and the LED string.
+    """
+
+    led: Led = ORDINARY_LED
+    converter_efficiency: float = 0.90
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.converter_efficiency <= 1.0:
+            raise PhysicalRangeError(
+                "converter efficiency must be in (0, 1]")
+
+    def leds_supported(self, generation_w: float) -> int:
+        """Number of LEDs a given TEG output can power continuously."""
+        if generation_w < 0:
+            raise PhysicalRangeError("generation must be >= 0")
+        usable = generation_w * self.converter_efficiency
+        return int(math.floor(usable / self.led.power_w))
+
+    def luminous_flux_lm(self, generation_w: float) -> float:
+        """Total light output achievable from a TEG output."""
+        return self.leds_supported(generation_w) * self.led.luminous_flux_lm
+
+    def energy_saved_kwh_per_month(self, generation_w: float,
+                                   duty_cycle: float = 1.0) -> float:
+        """Grid energy displaced by TEG-powered lighting per month."""
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise PhysicalRangeError("duty cycle must be in [0, 1]")
+        supported_w = self.leds_supported(generation_w) * self.led.power_w
+        return supported_w * duty_cycle * 720.0 / 1000.0

@@ -1,0 +1,117 @@
+"""TEGs powering TECs (Sec. VI-C1).
+
+The hybrid cooling architecture (Jiang et al., ISCA'19) spends extra
+electricity on TECs to absorb hot spots.  Sec. VI-C1 observes a virtuous
+coupling: a working TEC pumps CPU heat into the water *faster*, raising
+the CPU outlet temperature and therefore the TEG output — and the TEG
+output can in turn offset the TEC's electrical draw.
+
+:class:`TegTecCoupling` quantifies that loop for one server at one
+operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constants import NATURAL_WATER_TEMP_C
+from ..cooling.tec import ThermoelectricCooler
+from ..errors import PhysicalRangeError
+from ..teg.module import TegModule, default_server_module
+from ..thermal.cpu_model import CoolingSetting, CpuThermalModel
+from ..units import litres_per_hour_to_kg_per_s
+from ..constants import WATER_HEAT_CAPACITY_J_PER_KG_C
+
+
+@dataclass(frozen=True)
+class CouplingOutcome:
+    """Result of one TEG-TEC coupling evaluation."""
+
+    tec_power_w: float
+    tec_heat_pumped_w: float
+    outlet_rise_c: float
+    generation_without_tec_w: float
+    generation_with_tec_w: float
+
+    @property
+    def extra_generation_w(self) -> float:
+        """TEG output gained because the TEC is running."""
+        return self.generation_with_tec_w - self.generation_without_tec_w
+
+    @property
+    def self_power_fraction(self) -> float:
+        """Share of the TEC's draw covered by the *extra* TEG output."""
+        if self.tec_power_w <= 0:
+            return 1.0
+        return min(1.0, max(0.0, self.extra_generation_w / self.tec_power_w))
+
+    @property
+    def net_cost_w(self) -> float:
+        """TEC draw net of the extra generation (the true overhead)."""
+        return self.tec_power_w - self.extra_generation_w
+
+
+@dataclass
+class TegTecCoupling:
+    """Evaluate the TEG-TEC interplay on one server."""
+
+    cpu_model: CpuThermalModel = field(default_factory=CpuThermalModel)
+    teg_module: TegModule = field(default_factory=default_server_module)
+    tec: ThermoelectricCooler = field(default_factory=ThermoelectricCooler)
+    cold_source_temp_c: float = NATURAL_WATER_TEMP_C
+
+    def evaluate(self, utilisation: float, setting: CoolingSetting,
+                 tec_current_a: float) -> CouplingOutcome:
+        """Run one operating point with and without the TEC energised.
+
+        Parameters
+        ----------
+        utilisation:
+            CPU load.
+        setting:
+            Cooling setting of the circulation.
+        tec_current_a:
+            Drive current of the TEC (0 disables it).
+
+        Returns
+        -------
+        CouplingOutcome
+            TEC cost, outlet-water temperature rise and TEG outputs.
+        """
+        if tec_current_a < 0:
+            raise PhysicalRangeError("TEC current must be >= 0")
+        outlet_base = self.cpu_model.outlet_temp_c(utilisation, setting)
+        generation_base = self.teg_module.generation_w(
+            outlet_base, self.cold_source_temp_c, setting.flow_l_per_h)
+        if tec_current_a == 0:
+            return CouplingOutcome(
+                tec_power_w=0.0,
+                tec_heat_pumped_w=0.0,
+                outlet_rise_c=0.0,
+                generation_without_tec_w=generation_base,
+                generation_with_tec_w=generation_base,
+            )
+        cpu_temp = self.cpu_model.cpu_temp_c(utilisation, setting)
+        # Cold side of the TEC sits on the CPU lid; hot side on the plate,
+        # a few degrees above the coolant.
+        hot_side = setting.inlet_temp_c + 5.0
+        cold_side = min(cpu_temp, hot_side)
+        pumped = max(0.0, self.tec.heat_pumped_w(tec_current_a, cold_side,
+                                                 hot_side))
+        tec_power = self.tec.electrical_power_w(tec_current_a, cold_side,
+                                                hot_side)
+        # All the TEC's electrical input plus the pumped heat leaves
+        # through the coolant, raising the outlet temperature.
+        mass_flow = litres_per_hour_to_kg_per_s(setting.flow_l_per_h)
+        capacity = mass_flow * WATER_HEAT_CAPACITY_J_PER_KG_C
+        outlet_rise = tec_power / capacity if capacity > 0 else 0.0
+        generation_with = self.teg_module.generation_w(
+            outlet_base + outlet_rise, self.cold_source_temp_c,
+            setting.flow_l_per_h)
+        return CouplingOutcome(
+            tec_power_w=tec_power,
+            tec_heat_pumped_w=pumped,
+            outlet_rise_c=outlet_rise,
+            generation_without_tec_w=generation_base,
+            generation_with_tec_w=generation_with,
+        )

@@ -1,0 +1,351 @@
+"""Command-line interface for the H2P reproduction.
+
+Installed as the ``h2p`` console script::
+
+    h2p simulate --trace common --servers 200      # Fig. 14/15 style run
+    h2p design --servers 1000 --sigma 6            # Sec. V-A loop sizing
+    h2p tco --generation 4.177 --cpus 100000       # Table I economics
+    h2p trace --name drastic --out drastic.csv     # synthetic trace export
+    h2p hotspot --inlet 52 --spike 1.0             # Sec. II-B episode
+
+Every subcommand prints a plain-text report and exits 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="h2p",
+        description="Heat to Power (ISCA 2020) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"h2p {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="trace-driven scheme comparison (Fig. 14/15)")
+    simulate.add_argument("--trace", default="common",
+                          choices=("drastic", "irregular", "common"))
+    simulate.add_argument("--servers", type=int, default=200)
+    simulate.add_argument("--circulation-size", type=int, default=20)
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    design = subparsers.add_parser(
+        "design", help="circulation-size optimisation (Sec. V-A)")
+    design.add_argument("--servers", type=int, default=1000)
+    design.add_argument("--mu", type=float, default=55.0)
+    design.add_argument("--sigma", type=float, default=6.0)
+    design.add_argument("--chiller-capex", type=float, default=20000.0)
+    design.set_defaults(handler=_cmd_design)
+
+    tco = subparsers.add_parser(
+        "tco", help="TCO and break-even report (Table I / Sec. V-D)")
+    tco.add_argument("--generation", type=float, default=4.177,
+                     help="average per-CPU TEG output, watts")
+    tco.add_argument("--cpus", type=int, default=100_000)
+    tco.set_defaults(handler=_cmd_tco)
+
+    trace = subparsers.add_parser(
+        "trace", help="generate and inspect/export a synthetic trace")
+    trace.add_argument("--name", default="common",
+                       choices=("drastic", "irregular", "common"))
+    trace.add_argument("--servers", type=int, default=100)
+    trace.add_argument("--hours", type=float, default=24.0)
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("--out", default=None,
+                       help="write the trace as matrix CSV to this path")
+    trace.add_argument("--classify", action="store_true",
+                       help="run the workload classifier on the trace")
+    trace.set_defaults(handler=_cmd_trace)
+
+    reuse = subparsers.add_parser(
+        "reuse", help="compare H2P vs district heating vs CCHP "
+                      "(Sec. II-C)")
+    reuse.add_argument("--climate", default="hangzhou",
+                       choices=("hangzhou", "singapore", "stockholm"))
+    reuse.add_argument("--servers", type=int, default=1000)
+    reuse.set_defaults(handler=_cmd_reuse)
+
+    audit = subparsers.add_parser(
+        "audit", help="run the physical-consistency self-audits")
+    audit.add_argument("--servers", type=int, default=60)
+    audit.set_defaults(handler=_cmd_audit)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one paper experiment by id")
+    experiment.add_argument("id", nargs="?", default=None,
+                            help="experiment id (e.g. E-F14); omit to "
+                                 "list all")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="heterogeneous-fleet evaluation (Sec. VII)")
+    fleet.add_argument("--servers", type=int, default=120)
+    fleet.add_argument("--trace", default="common",
+                       choices=("drastic", "irregular", "common"))
+    fleet.set_defaults(handler=_cmd_fleet)
+
+    seasonal = subparsers.add_parser(
+        "seasonal", help="annual harvest profile (12 representative "
+                         "days)")
+    seasonal.add_argument("--servers", type=int, default=60)
+    seasonal.add_argument("--climate", default="hangzhou",
+                          choices=("hangzhou", "singapore",
+                                   "stockholm"))
+    seasonal.set_defaults(handler=_cmd_seasonal)
+
+    hotspot = subparsers.add_parser(
+        "hotspot", help="hot-spot episode comparison (Sec. II-B)")
+    hotspot.add_argument("--inlet", type=float, default=52.0)
+    hotspot.add_argument("--flow", type=float, default=50.0)
+    hotspot.add_argument("--baseline", type=float, default=0.2)
+    hotspot.add_argument("--spike", type=float, default=1.0)
+    hotspot.set_defaults(handler=_cmd_hotspot)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Handlers
+# ----------------------------------------------------------------------
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .core.config import teg_loadbalance, teg_original
+    from .core.h2p import H2PSystem
+    from .workloads.synthetic import trace_by_name
+
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    trace = trace_by_name(args.trace, n_servers=args.servers, **kwargs)
+    overrides = dict(circulation_size=args.circulation_size)
+    comparison = H2PSystem().compare(
+        trace, teg_original(**overrides), teg_loadbalance(**overrides))
+    print(f"trace {trace.name!r}: {trace.n_servers} servers, "
+          f"{trace.n_steps} x {trace.interval_s / 60.0:.0f}-min steps")
+    for result in (comparison.baseline, comparison.optimised):
+        print(f"  {result.scheme:<16} avg {result.average_generation_w:6.3f} W"
+              f"  peak {result.peak_generation_w:6.3f} W"
+              f"  PRE {result.average_pre:6.1%}"
+              f"  violations {result.total_safety_violations}")
+    print(f"  improvement: {comparison.generation_improvement:.1%} "
+          f"(paper: 13.08 % overall)")
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from .cooling.chiller import Chiller
+    from .cooling.circulation_design import CirculationDesignProblem
+
+    problem = CirculationDesignProblem(
+        total_servers=args.servers, temp_mu_c=args.mu,
+        temp_sigma_c=args.sigma,
+        chiller=Chiller(capacity_kw=500, capex_usd=args.chiller_capex))
+    result = problem.optimise()
+    print(f"{'n/circ':>8} {'E[dT] C':>9} {'total $/yr':>14}")
+    shown = [n for n in (1, 5, 10, 20, 50, 100, 200, 500, args.servers)
+             if n <= args.servers]
+    for n in shown:
+        try:
+            cost = result.cost_for(n)
+        except KeyError:
+            cost = problem.total_cost_usd(n)
+        marker = "  <- optimum" if n == result.best_n else ""
+        print(f"{n:>8} {problem.expected_inlet_reduction_c(n):>9.2f} "
+              f"{cost:>14,.0f}{marker}")
+    print(f"optimal circulation size: {result.best_n} "
+          f"(${result.best_cost_usd:,.0f}/year)")
+    return 0
+
+
+def _cmd_tco(args: argparse.Namespace) -> int:
+    from .economics.breakeven import BreakEvenAnalysis
+    from .economics.tco import TcoModel
+    from .reliability import TegDegradationModel
+
+    breakdown = TcoModel().breakdown(args.generation)
+    analysis = BreakEvenAnalysis(n_cpus=args.cpus)
+    print(f"average generation : {args.generation:.3f} W/CPU")
+    print(f"TCO without H2P    : ${breakdown.tco_no_teg_usd:.2f}"
+          f"/server/month")
+    print(f"TCO with H2P       : ${breakdown.tco_h2p_usd:.2f}"
+          f"/server/month")
+    print(f"reduction          : {breakdown.reduction_fraction:.2%}")
+    print(f"fleet              : {args.cpus:,} CPUs")
+    print(f"annual savings     : "
+          f"${breakdown.annual_savings_usd(args.cpus):,.0f}")
+    print(f"daily energy       : "
+          f"{analysis.daily_energy_kwh(args.generation):,.1f} kWh")
+    ideal = analysis.break_even_days(args.generation)
+    print(f"break-even (ideal) : {ideal:,.0f} days")
+    if args.generation > 0:
+        degraded = TegDegradationModel().degraded_break_even_days(
+            args.generation,
+            analysis.purchase_price_usd / (args.generation * args.cpus))
+        print(f"break-even (faded) : {degraded:,.0f} days "
+              f"(0.4 %/yr output fade)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .workloads.loader import save_trace_csv
+    from .workloads.synthetic import trace_by_name
+
+    kwargs = dict(n_servers=args.servers,
+                  duration_s=args.hours * 3600.0)
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    trace = trace_by_name(args.name, **kwargs)
+    stats = trace.statistics()
+    print(f"{trace!r}")
+    print(f"statistics: {stats.describe()}")
+    if args.classify:
+        from .workloads.analysis import TraceClassifier
+
+        explanation = TraceClassifier().explain(trace)
+        label = explanation.pop("class")
+        details = ", ".join(f"{k}={v}" for k, v in explanation.items())
+        print(f"classified as: {label} ({details})")
+    if args.out:
+        save_trace_csv(trace, args.out)
+        print(f"written to {args.out}")
+    return 0
+
+
+def _cmd_reuse(args: argparse.Namespace) -> int:
+    from .environment import CLIMATES
+    from .heatreuse.comparison import ReuseComparison
+
+    comparison = ReuseComparison(n_servers=args.servers,
+                                 climate=CLIMATES[args.climate])
+    print(f"climate {args.climate}: {args.servers} servers shedding "
+          f"{comparison.total_heat_kw:.0f} kW of warm-water heat")
+    for option in comparison.all_options():
+        print(f"  {option.name:<22} ${option.annual_value_usd:>10,.0f}"
+              f"/year  (utilisation {option.utilisation:.0%}; "
+              f"{option.notes})")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .cooling.loop import WaterCirculation
+    from .core.h2p import H2PSystem
+    from .thermal.cpu_model import CoolingSetting
+    from .validation import (
+        audit_circulation_state,
+        audit_simulation_result,
+        audit_teg_models,
+    )
+    from .workloads.synthetic import common_trace
+
+    circulation = WaterCirculation(n_servers=8)
+    state = circulation.evaluate(
+        np.linspace(0.0, 1.0, 8),
+        CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=48.0))
+    result = H2PSystem().evaluate(
+        common_trace(n_servers=args.servers, duration_s=4 * 3600.0))
+    reports = [
+        audit_teg_models(),
+        audit_circulation_state(circulation, state),
+        audit_simulation_result(result),
+    ]
+    for report in reports:
+        print(report)
+    return 0 if all(report.ok for report in reports) else 1
+
+
+def _cmd_hotspot(args: argparse.Namespace) -> int:
+    from .constants import CPU_MAX_OPERATING_TEMP_C
+    from .cooling.hotspot import HotSpotScenario
+    from .thermal.cpu_model import CoolingSetting
+
+    scenario = HotSpotScenario(
+        baseline_utilisation=args.baseline,
+        spike_utilisation=args.spike,
+        setting=CoolingSetting(flow_l_per_h=args.flow,
+                               inlet_temp_c=args.inlet))
+    outcomes = scenario.compare()
+    print(f"spike {args.baseline:.0%} -> {args.spike:.0%} at "
+          f"{args.inlet:.0f} C inlet "
+          f"(limit {CPU_MAX_OPERATING_TEMP_C} C)")
+    for strategy in ("none", "chiller", "tec"):
+        outcome = outcomes[strategy]
+        verdict = "VIOLATION" if outcome.violation else "safe"
+        print(f"  {strategy:<8} peak {outcome.peak_cpu_temp_c:6.1f} C  "
+              f"above-limit {outcome.time_above_limit_s:6.1f} s  "
+              f"TEC {outcome.tec_energy_j / 1000.0:6.1f} kJ  [{verdict}]")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import list_experiments, run_experiment
+
+    if args.id is None:
+        for experiment_id, title in list_experiments():
+            print(f"{experiment_id:<7} {title}")
+        return 0
+    outcome = run_experiment(args.id)
+    print(outcome.describe())
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .fleet import FleetMix
+    from .workloads.synthetic import trace_by_name
+
+    trace = trace_by_name(args.trace, n_servers=args.servers)
+    mix = FleetMix()
+    outcomes = mix.run(trace)
+    print(f"{'CPU model':<18} {'servers':>7} {'T_safe C':>9} "
+          f"{'gen W/CPU':>10} {'violations':>10}")
+    for outcome in outcomes:
+        print(f"{outcome.spec.name:<18} {outcome.n_servers:>7} "
+              f"{outcome.spec.safe_temp_c:>9.1f} "
+              f"{outcome.generation_w:>10.3f} "
+              f"{outcome.result.total_safety_violations:>10}")
+    summary = FleetMix.aggregate(outcomes)
+    print(f"fleet: {summary['fleet_generation_w']:.3f} W/CPU, "
+          f"PRE {summary['fleet_pre']:.1%}")
+    return 0
+
+
+def _cmd_seasonal(args: argparse.Namespace) -> int:
+    from .core.seasonal import SeasonalStudy, annual_summary
+    from .environment import CLIMATES
+    from .workloads.synthetic import common_trace
+
+    trace = common_trace(n_servers=args.servers)
+    study = SeasonalStudy(trace=trace,
+                          wet_bulb=CLIMATES[args.climate])
+    outcomes = study.run()
+    print(f"{'month':<6} {'cold C':>7} {'wet bulb C':>11} "
+          f"{'gen W/CPU':>10} {'PRE':>7}")
+    for outcome in outcomes:
+        print(f"{outcome.month:<6} {outcome.cold_source_c:>7.1f} "
+              f"{outcome.wet_bulb_c:>11.1f} "
+              f"{outcome.generation_w:>10.3f} "
+              f"{outcome.result.average_pre:>6.1%}")
+    summary = annual_summary(outcomes)
+    print(f"annual mean {summary['generation_mean_w']:.2f} W/CPU, "
+          f"swing {summary['seasonal_swing']:.0%} "
+          f"(best {summary['best_month']}, worst "
+          f"{summary['worst_month']})")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Physical constants and paper-calibrated parameters.
+
+Every constant that the paper states explicitly is reproduced here with a
+reference to the section or equation it comes from, so that the rest of the
+library never embeds magic numbers.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Fundamental / fluid properties
+# ---------------------------------------------------------------------------
+
+#: Specific heat capacity of water, J/(kg*degC).  Sec. V-A of the paper.
+WATER_HEAT_CAPACITY_J_PER_KG_C = 4.2e3
+
+#: Density of water, kg/m^3.  Sec. V-A (the ``rho`` in Eq. 10).
+WATER_DENSITY_KG_PER_M3 = 1.0e3
+
+#: Zero Celsius expressed in Kelvin.
+ZERO_CELSIUS_K = 273.15
+
+# ---------------------------------------------------------------------------
+# CPU (Intel Xeon E5-2650 V3) — Sec. II-B, Sec. IV
+# ---------------------------------------------------------------------------
+
+#: Maximum operating temperature of the prototype CPU, degC.
+CPU_MAX_OPERATING_TEMP_C = 78.9
+
+#: Safe operating temperature used in Fig. 13 of the paper, degC.
+CPU_SAFE_TEMP_C = 62.0
+
+#: Nominal (maximum) CPU frequency of the E5-2650 V3, GHz.
+CPU_MAX_FREQUENCY_GHZ = 3.0
+
+#: Frequency plateau under the "powersave" governor (Fig. 10), GHz.
+CPU_POWERSAVE_FREQUENCY_GHZ = 2.5
+
+#: CPU power model Eq. 20:  P = A * ln(u + B) + C  with u in [0, 1].
+#: Calibrated on the E5-2650 V3 with RMS error < 5 W (Sec. V-C).
+CPU_POWER_LOG_COEFF_W = 109.71
+CPU_POWER_LOG_OFFSET = 1.17
+CPU_POWER_CONST_W = -7.83
+
+# ---------------------------------------------------------------------------
+# TEG (SP 1848-27145) — Sec. III-A, Sec. IV-B
+# ---------------------------------------------------------------------------
+
+#: Electrical resistance of a single TEG, ohm (Sec. IV-B, "measured as 2").
+TEG_RESISTANCE_OHM = 2.0
+
+#: Linear open-circuit voltage fit of one TEG, Eq. 3:  v = a*dT + b  (volt).
+TEG_VOC_SLOPE_V_PER_C = 0.0448
+TEG_VOC_INTERCEPT_V = -0.0051
+
+#: Quadratic max-power fit of one TEG, Eq. 6:  P = p2*dT^2 + p1*dT + p0 (watt).
+TEG_PMAX_QUAD_W_PER_C2 = 0.0003
+TEG_PMAX_LIN_W_PER_C = -0.0003
+TEG_PMAX_CONST_W = 0.0011
+
+#: Number of TEGs mounted per server in H2P (Sec. IV-A / Sec. V-D).
+TEGS_PER_SERVER = 12
+
+#: Purchase price of one TEG, USD (Sec. III-A).
+TEG_UNIT_PRICE_USD = 1.0
+
+#: Conservative lifespan assumption used in the TCO analysis, years
+#: (Sec. V-D; the datasheet range is 28-34 years).
+TEG_LIFESPAN_YEARS = 25.0
+
+#: TEG footprint, metres (4 cm x 4 cm, Sec. III-A).
+TEG_SIDE_M = 0.04
+
+#: Admissible ambient temperature range of the SP 1848-27145, degC.
+TEG_MIN_AMBIENT_C = -60.0
+TEG_MAX_AMBIENT_C = 120.0
+
+#: Approximate thermal resistance a TEG adds when sandwiched between a CPU
+#: and its cold plate, K/W.  Not stated numerically in the paper; calibrated
+#: so that the Fig. 3 transient (CPU0 approaches 78.9 degC at 20 % load)
+#: is reproduced.  TEGs are "almost adiabatic" (Sec. III-B).
+TEG_THERMAL_RESISTANCE_K_PER_W = 1.55
+
+# ---------------------------------------------------------------------------
+# Cooling system — Sec. V-A
+# ---------------------------------------------------------------------------
+
+#: Coefficient of performance assumed for the chiller (Sec. V-A, after [24]).
+CHILLER_COP = 3.6
+
+#: Default per-server flow rate in a shared circulation, litres/hour
+#: (the constant ``f`` example in Sec. V-A).
+DEFAULT_FLOW_RATE_L_PER_H = 50.0
+
+#: Temperature of the natural cold-water source, degC (Sec. III-C / IV-B).
+NATURAL_WATER_TEMP_C = 20.0
+
+#: Warm-water inlet band the paper advocates, degC (Sec. I / II-B).
+WARM_WATER_MIN_C = 40.0
+WARM_WATER_MAX_C = 50.0
+
+# ---------------------------------------------------------------------------
+# Economics — Sec. V-C / V-D, Table I
+# ---------------------------------------------------------------------------
+
+#: Electricity price, USD per kWh (Sec. V-C, after Parasol [16]).
+ELECTRICITY_PRICE_USD_PER_KWH = 0.13
+
+#: Table I: datacenter infrastructure CapEx, USD per server per month.
+DC_INFRA_CAPEX_USD = 21.26
+
+#: Table I: server CapEx, USD per server per month.
+SERVER_CAPEX_USD = 31.25
+
+#: Table I: datacenter infrastructure OpEx, USD per server per month.
+DC_INFRA_OPEX_USD = 7.63
+
+#: Table I: server OpEx, USD per server per month.
+SERVER_OPEX_USD = 1.56
+
+#: Table I: TEG CapEx, USD per server per month (12 TEGs, 25-year life).
+TEG_CAPEX_USD = 0.04
+
+#: Table I: monthly TEG revenue under the two schemes, USD/server/month.
+TEG_REV_ORIGINAL_USD = 0.34
+TEG_REV_LOADBALANCE_USD = 0.39
+
+#: Headline per-CPU generation averages reported in the abstract, watts.
+PAPER_AVG_POWER_ORIGINAL_W = 3.694
+PAPER_AVG_POWER_LOADBALANCE_W = 4.177
+
+#: Headline PRE band reported in the abstract.
+PAPER_PRE_MIN = 0.128
+PAPER_PRE_MAX = 0.162
+PAPER_PRE_AVG = 0.1423
+
+# ---------------------------------------------------------------------------
+# Evaluation setup — Sec. V
+# ---------------------------------------------------------------------------
+
+#: Cluster size used in the trace-driven evaluation (Sec. V-A).
+EVAL_CLUSTER_SERVERS = 1000
+
+#: Cooling-setting adjustment interval, seconds (Sec. V-B, "e.g., 5 minutes").
+EVAL_CONTROL_INTERVAL_S = 300.0
+
+#: Hours in a month used by the Table I amortisation (30-day month).
+HOURS_PER_MONTH = 720.0

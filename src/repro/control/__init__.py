@@ -1,0 +1,43 @@
+"""Control plane: the software-based optimisations of Sec. V-B.
+
+* :mod:`repro.control.lookup_space` — the fitted 3-D measurement space
+  ``(u, f, T_warm_in) -> T_CPU`` of Fig. 12, with the near-``T_safe``
+  region extraction of Fig. 13;
+* :mod:`repro.control.cooling_policy` — policies choosing the cooling
+  setting ``{f, T_warm_in}`` every control interval (the paper's Step 1-3
+  lookup search plus an analytic equivalent and static baselines);
+* :mod:`repro.control.scheduling` — workload schedulers (none / ideal
+  balancing / threshold balancing), implementing the *TEG_LoadBalance*
+  strategy.
+"""
+
+from .lookup_space import LookupSpace, SpacePoint
+from .cooling_policy import (
+    CoolingPolicy,
+    StaticPolicy,
+    LookupSpacePolicy,
+    AnalyticPolicy,
+    PolicyDecision,
+)
+from .scheduling import (
+    WorkloadScheduler,
+    NoScheduler,
+    IdealBalancer,
+    ThresholdBalancer,
+)
+from .predictive import PredictivePolicy
+
+__all__ = [
+    "LookupSpace",
+    "SpacePoint",
+    "CoolingPolicy",
+    "StaticPolicy",
+    "LookupSpacePolicy",
+    "AnalyticPolicy",
+    "PolicyDecision",
+    "WorkloadScheduler",
+    "NoScheduler",
+    "IdealBalancer",
+    "ThresholdBalancer",
+    "PredictivePolicy",
+]

@@ -1,0 +1,292 @@
+"""Cooling-setting policies (Sec. V-B1).
+
+Every control interval (5 minutes in the paper) the CDU of each water
+circulation must pick a cooling setting ``{f, T_warm_in}``.  The paper's
+policy maximises the TEG output subject to keeping the *binding* CPU at
+the safe temperature:
+
+* Step 1 — take the binding utilisation ``U`` of the circulation
+  (``U_max`` without scheduling, ``U_avg`` after ideal balancing);
+* Step 2 — slice the measurement space for points with
+  ``T_CPU`` within ``T_safe ± 1 degC``;
+* Step 3 — among those, pick the setting with the largest TEG power
+  (Eq. 2 + Eq. 7).
+
+Three policy classes are provided: the verbatim lookup-space search, an
+analytic policy that inverts the calibrated model directly (and can charge
+pump power against generation), and a static baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..constants import CPU_SAFE_TEMP_C, NATURAL_WATER_TEMP_C
+from ..errors import ConfigurationError, PhysicalRangeError
+from ..teg.module import TegModule, default_server_module
+from ..thermal.cpu_model import CoolingSetting, CpuThermalModel
+from ..thermal.hydraulics import PipeSegment, loop_pump_power_w, prototype_warm_loop
+from .lookup_space import LookupSpace
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """A policy's output for one control interval.
+
+    Attributes
+    ----------
+    setting:
+        The cooling setting to apply.
+    binding_utilisation:
+        The utilisation the decision was keyed on (``U_max`` or ``U_avg``).
+    predicted_cpu_temp_c / predicted_outlet_temp_c:
+        Model predictions at the binding utilisation.
+    predicted_generation_w:
+        Per-server TEG power the policy expects.
+    """
+
+    setting: CoolingSetting
+    binding_utilisation: float
+    predicted_cpu_temp_c: float
+    predicted_outlet_temp_c: float
+    predicted_generation_w: float
+
+
+class CoolingPolicy(Protocol):
+    """Anything that maps per-server utilisations to a cooling setting."""
+
+    def decide(self, utilisations: Sequence[float]) -> PolicyDecision:
+        """Choose the cooling setting for the next control interval."""
+        ...
+
+
+def _binding_utilisation(utilisations: Sequence[float],
+                         aggregation: str) -> float:
+    utils = np.asarray(list(utilisations), dtype=float)
+    if utils.size == 0:
+        raise ConfigurationError("utilisation list must not be empty")
+    if np.any((utils < 0) | (utils > 1)):
+        raise PhysicalRangeError("all utilisations must be in [0, 1]")
+    if aggregation == "max":
+        return float(utils.max())
+    if aggregation == "avg":
+        return float(utils.mean())
+    raise ConfigurationError(
+        f"aggregation must be 'max' or 'avg', got {aggregation!r}")
+
+
+@dataclass
+class StaticPolicy:
+    """A fixed cooling setting — the unoptimised warm-water baseline."""
+
+    setting: CoolingSetting = field(default_factory=lambda: CoolingSetting(
+        flow_l_per_h=50.0, inlet_temp_c=45.0))
+    model: CpuThermalModel = field(default_factory=CpuThermalModel)
+    teg_module: TegModule = field(default_factory=default_server_module)
+    cold_source_temp_c: float = NATURAL_WATER_TEMP_C
+    aggregation: str = "max"
+
+    def decide(self, utilisations: Sequence[float]) -> PolicyDecision:
+        """Always return the configured setting (with model predictions)."""
+        binding = _binding_utilisation(utilisations, self.aggregation)
+        cpu_temp = self.model.cpu_temp_c(binding, self.setting)
+        outlet = self.model.outlet_temp_c(binding, self.setting)
+        generation = self.teg_module.generation_w(
+            outlet, self.cold_source_temp_c, self.setting.flow_l_per_h)
+        return PolicyDecision(
+            setting=self.setting,
+            binding_utilisation=binding,
+            predicted_cpu_temp_c=cpu_temp,
+            predicted_outlet_temp_c=outlet,
+            predicted_generation_w=generation,
+        )
+
+
+@dataclass
+class LookupSpacePolicy:
+    """The paper's Step 1-3 search over the measurement space (Fig. 13).
+
+    Attributes
+    ----------
+    space:
+        The fitted measurement space.
+    safe_temp_c / tolerance_c:
+        The ``T_safe ± tol`` slice of Step 2.
+    aggregation:
+        ``"max"`` keys on the hottest server (*TEG_Original*); ``"avg"``
+        keys on the mean (*TEG_LoadBalance* after balancing).
+    fallback_setting:
+        Used when no grid point is near ``T_safe`` (extreme loads); the
+        coldest, fastest setting available — safety first.
+    """
+
+    space: LookupSpace = field(default_factory=LookupSpace)
+    teg_module: TegModule = field(default_factory=default_server_module)
+    cold_source_temp_c: float = NATURAL_WATER_TEMP_C
+    safe_temp_c: float = CPU_SAFE_TEMP_C
+    tolerance_c: float = 1.0
+    aggregation: str = "max"
+    #: Decisions are cached on the binding utilisation quantised to this
+    #: resolution; the lookup grid itself is much coarser, so this loses
+    #: no fidelity while making cluster-scale simulation cheap.
+    cache_resolution: float = 0.005
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def decide(self, utilisations: Sequence[float]) -> PolicyDecision:
+        """Pick the near-``T_safe`` setting with the largest TEG output."""
+        binding = _binding_utilisation(utilisations, self.aggregation)
+        key = round(binding / self.cache_resolution)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        decision = self._decide_uncached(binding)
+        self._cache[key] = decision
+        return decision
+
+    def _decide_uncached(self, binding: float) -> PolicyDecision:
+        region = self.space.safe_region(binding, self.safe_temp_c,
+                                        self.tolerance_c)
+        if not region:
+            return self._fallback(binding)
+        best_point = None
+        best_power = -np.inf
+        for point in region:
+            power = self.teg_module.generation_w(
+                point.outlet_temp_c, self.cold_source_temp_c,
+                point.flow_l_per_h)
+            if power > best_power:
+                best_power = power
+                best_point = point
+        assert best_point is not None
+        return PolicyDecision(
+            setting=best_point.setting,
+            binding_utilisation=binding,
+            predicted_cpu_temp_c=best_point.cpu_temp_c,
+            predicted_outlet_temp_c=best_point.outlet_temp_c,
+            predicted_generation_w=best_power,
+        )
+
+    def _fallback(self, binding: float) -> PolicyDecision:
+        """No grid point sits in the ``T_safe ± tol`` band.
+
+        Two distinct situations end up here:
+
+        * the load is so light that even the hottest admissible setting
+          leaves the CPU *below* the band — then pick the safe setting
+          with the largest TEG output (the actuator simply cannot push
+          the water any hotter);
+        * the load is so heavy that every setting overshoots the band —
+          then cool as hard as possible (coldest inlet, fastest flow).
+        """
+        best_point = None
+        best_power = -np.inf
+        for flow in self.space.flow_grid:
+            for inlet in self.space.inlet_grid:
+                cpu_temp = self.space.cpu_temp_c(binding, float(flow),
+                                                 float(inlet))
+                if cpu_temp > self.safe_temp_c + self.tolerance_c:
+                    continue
+                outlet = self.space.outlet_temp_c(binding, float(flow),
+                                                  float(inlet))
+                power = self.teg_module.generation_w(
+                    outlet, self.cold_source_temp_c, float(flow))
+                if power > best_power:
+                    best_power = power
+                    best_point = (float(flow), float(inlet), cpu_temp,
+                                  outlet)
+        if best_point is None:
+            # Overload: every setting overshoots; emergency-cool.
+            flow = float(self.space.flow_grid[-1])
+            inlet = float(self.space.inlet_grid[0])
+            outlet = self.space.outlet_temp_c(binding, flow, inlet)
+            best_point = (flow, inlet,
+                          self.space.cpu_temp_c(binding, flow, inlet),
+                          outlet)
+            best_power = self.teg_module.generation_w(
+                outlet, self.cold_source_temp_c, flow)
+        flow, inlet, cpu_temp, outlet = best_point
+        return PolicyDecision(
+            setting=CoolingSetting(flow_l_per_h=flow, inlet_temp_c=inlet),
+            binding_utilisation=binding,
+            predicted_cpu_temp_c=cpu_temp,
+            predicted_outlet_temp_c=outlet,
+            predicted_generation_w=best_power,
+        )
+
+
+@dataclass
+class AnalyticPolicy:
+    """Continuous-optimum policy inverting the calibrated model.
+
+    For each candidate flow the constraint ``T_CPU(U, f, T_in) = T_safe``
+    is solved exactly for the inlet temperature; the flow maximising the
+    (optionally pump-net) TEG output wins.  This is the idealised version
+    of the lookup search and doubles as an upper bound on it.
+
+    Attributes
+    ----------
+    net_of_pump:
+        If True, maximise ``P_TEG - P_pump / n_servers_per_pump`` instead
+        of raw generation (the Sec. IV-B flow-rate caveat).
+    """
+
+    model: CpuThermalModel = field(default_factory=CpuThermalModel)
+    teg_module: TegModule = field(default_factory=default_server_module)
+    cold_source_temp_c: float = NATURAL_WATER_TEMP_C
+    safe_temp_c: float = CPU_SAFE_TEMP_C
+    aggregation: str = "max"
+    flow_candidates: Sequence[float] = (
+        20.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0)
+    inlet_min_c: float = 20.0
+    inlet_max_c: float = 60.0
+    net_of_pump: bool = False
+    pipe_segments: Sequence[PipeSegment] = field(
+        default_factory=prototype_warm_loop)
+
+    def decide(self, utilisations: Sequence[float]) -> PolicyDecision:
+        """Maximise predicted generation subject to ``T_CPU <= T_safe``."""
+        binding = _binding_utilisation(utilisations, self.aggregation)
+        best: PolicyDecision | None = None
+        best_objective = -np.inf
+        for flow in self.flow_candidates:
+            inlet = self.model.inlet_for_cpu_temp(binding, flow,
+                                                  self.safe_temp_c)
+            inlet = min(max(inlet, self.inlet_min_c), self.inlet_max_c)
+            setting = CoolingSetting(flow_l_per_h=flow, inlet_temp_c=inlet)
+            cpu_temp = self.model.cpu_temp_c(binding, setting)
+            if cpu_temp > self.safe_temp_c + 1.0:
+                continue  # clamped inlet still too hot at this flow
+            outlet = self.model.outlet_temp_c(binding, setting)
+            generation = self.teg_module.generation_w(
+                outlet, self.cold_source_temp_c, flow)
+            objective = generation
+            if self.net_of_pump:
+                objective -= loop_pump_power_w(self.pipe_segments, flow,
+                                               inlet)
+            if objective > best_objective:
+                best_objective = objective
+                best = PolicyDecision(
+                    setting=setting,
+                    binding_utilisation=binding,
+                    predicted_cpu_temp_c=cpu_temp,
+                    predicted_outlet_temp_c=outlet,
+                    predicted_generation_w=generation,
+                )
+        if best is None:
+            # Even the coldest admissible inlet overheats: emergency cool.
+            flow = max(self.flow_candidates)
+            setting = CoolingSetting(flow_l_per_h=flow,
+                                     inlet_temp_c=self.inlet_min_c)
+            outlet = self.model.outlet_temp_c(binding, setting)
+            best = PolicyDecision(
+                setting=setting,
+                binding_utilisation=binding,
+                predicted_cpu_temp_c=self.model.cpu_temp_c(binding, setting),
+                predicted_outlet_temp_c=outlet,
+                predicted_generation_w=self.teg_module.generation_w(
+                    outlet, self.cold_source_temp_c, flow),
+            )
+        return best

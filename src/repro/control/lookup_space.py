@@ -1,0 +1,186 @@
+"""The 3-D measurement space of Fig. 12 and the Fig. 13 region search.
+
+The paper's policy does not invert a closed-form model: it interpolates a
+cloud of *measurements*.  Each measured point has coordinates
+``(u, f, T_warm_in)`` and carries the observed ``T_CPU`` (and, through
+Eq. 8, ``T_warm_out``).  Because "T_CPU changes continuously and linearly
+with its variables", the discrete cloud is fitted into a continuous lookup
+space usable at any operating point.
+
+:class:`LookupSpace` simulates that workflow: it is *built from samples*
+(by default sampled from the calibrated :class:`CpuThermalModel`, playing
+the role of the testbed), then interpolates trilinearly, and can extract
+the near-``T_safe`` slice the paper calls the space ``X`` intersected with
+the utilisation plane ``U`` (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+from scipy.interpolate import RegularGridInterpolator
+
+from ..constants import CPU_SAFE_TEMP_C
+from ..errors import ConfigurationError, PhysicalRangeError
+from ..thermal.cpu_model import CoolingSetting, CpuThermalModel
+
+
+@dataclass(frozen=True)
+class SpacePoint:
+    """One point of the lookup space with its predicted temperatures."""
+
+    utilisation: float
+    flow_l_per_h: float
+    inlet_temp_c: float
+    cpu_temp_c: float
+    outlet_temp_c: float
+
+    @property
+    def setting(self) -> CoolingSetting:
+        """The cooling setting of this point."""
+        return CoolingSetting(flow_l_per_h=self.flow_l_per_h,
+                              inlet_temp_c=self.inlet_temp_c)
+
+
+class LookupSpace:
+    """Interpolated ``(u, f, T_in) -> (T_CPU, T_out)`` measurement space.
+
+    Parameters
+    ----------
+    model:
+        The CPU thermal model standing in for the testbed measurements.
+    utilisation_grid / flow_grid / inlet_grid:
+        Grid axes of the simulated measurement campaign.  The defaults
+        mirror the prototype's sweeps: utilisation 0-100 % in 10 % steps,
+        flow 20-300 L/H, inlet 20-60 degC.
+    """
+
+    def __init__(self, model: CpuThermalModel | None = None,
+                 utilisation_grid: np.ndarray | None = None,
+                 flow_grid: np.ndarray | None = None,
+                 inlet_grid: np.ndarray | None = None) -> None:
+        self.model = model or CpuThermalModel()
+        self.utilisation_grid = np.asarray(
+            utilisation_grid if utilisation_grid is not None
+            else np.linspace(0.0, 1.0, 11))
+        self.flow_grid = np.asarray(
+            flow_grid if flow_grid is not None
+            else np.array([20.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0]))
+        self.inlet_grid = np.asarray(
+            inlet_grid if inlet_grid is not None
+            else np.linspace(20.0, 60.0, 21))
+        for axis_name, axis in (("utilisation", self.utilisation_grid),
+                                ("flow", self.flow_grid),
+                                ("inlet", self.inlet_grid)):
+            if axis.ndim != 1 or len(axis) < 2:
+                raise ConfigurationError(
+                    f"{axis_name} grid must be 1-D with >= 2 points")
+            if np.any(np.diff(axis) <= 0):
+                raise ConfigurationError(
+                    f"{axis_name} grid must be strictly increasing")
+        self._cpu_temp, self._outlet_temp = self._measure()
+        self._cpu_interp = RegularGridInterpolator(
+            (self.utilisation_grid, self.flow_grid, self.inlet_grid),
+            self._cpu_temp, bounds_error=True)
+        self._outlet_interp = RegularGridInterpolator(
+            (self.utilisation_grid, self.flow_grid, self.inlet_grid),
+            self._outlet_temp, bounds_error=True)
+
+    def _measure(self) -> tuple[np.ndarray, np.ndarray]:
+        """Run the simulated measurement campaign over the grid."""
+        shape = (len(self.utilisation_grid), len(self.flow_grid),
+                 len(self.inlet_grid))
+        cpu = np.empty(shape)
+        outlet = np.empty(shape)
+        for i, util in enumerate(self.utilisation_grid):
+            for j, flow in enumerate(self.flow_grid):
+                for k, inlet in enumerate(self.inlet_grid):
+                    setting = CoolingSetting(flow_l_per_h=float(flow),
+                                             inlet_temp_c=float(inlet))
+                    cpu[i, j, k] = self.model.cpu_temp_c(float(util), setting)
+                    outlet[i, j, k] = self.model.outlet_temp_c(
+                        float(util), setting)
+        return cpu, outlet
+
+    # ------------------------------------------------------------------
+    # Interpolation
+    # ------------------------------------------------------------------
+
+    def _point(self, utilisation: float, flow_l_per_h: float,
+               inlet_temp_c: float) -> np.ndarray:
+        if not 0.0 <= utilisation <= 1.0:
+            raise PhysicalRangeError(
+                f"utilisation must be in [0, 1], got {utilisation}")
+        return np.array([[utilisation, flow_l_per_h, inlet_temp_c]])
+
+    def cpu_temp_c(self, utilisation: float, flow_l_per_h: float,
+                   inlet_temp_c: float) -> float:
+        """Interpolated CPU temperature at an arbitrary operating point."""
+        return float(self._cpu_interp(
+            self._point(utilisation, flow_l_per_h, inlet_temp_c))[0])
+
+    def outlet_temp_c(self, utilisation: float, flow_l_per_h: float,
+                      inlet_temp_c: float) -> float:
+        """Interpolated CPU-outlet water temperature (``T_warm_out``)."""
+        return float(self._outlet_interp(
+            self._point(utilisation, flow_l_per_h, inlet_temp_c))[0])
+
+    # ------------------------------------------------------------------
+    # Fig. 13: the intersection A = U ∩ X
+    # ------------------------------------------------------------------
+
+    def safe_region(self, utilisation: float,
+                    safe_temp_c: float = CPU_SAFE_TEMP_C,
+                    tolerance_c: float = 1.0) -> list[SpacePoint]:
+        """Grid points on the utilisation plane with T_CPU near T_safe.
+
+        Implements Step 1-2 of Sec. V-B1: draw the plane ``u = U`` and keep
+        the points whose CPU temperature lies within
+        ``[T_safe - tol, T_safe + tol]``.
+
+        Returns
+        -------
+        list of SpacePoint
+            The intersection area ``A`` (may be empty when no setting can
+            hold the CPU near ``T_safe`` — e.g. at very high load with a
+            bounded inlet grid).
+        """
+        if tolerance_c <= 0:
+            raise PhysicalRangeError(
+                f"tolerance must be > 0, got {tolerance_c}")
+        region = []
+        for flow in self.flow_grid:
+            for inlet in self.inlet_grid:
+                cpu_temp = self.cpu_temp_c(utilisation, float(flow),
+                                           float(inlet))
+                if abs(cpu_temp - safe_temp_c) <= tolerance_c:
+                    region.append(SpacePoint(
+                        utilisation=utilisation,
+                        flow_l_per_h=float(flow),
+                        inlet_temp_c=float(inlet),
+                        cpu_temp_c=cpu_temp,
+                        outlet_temp_c=self.outlet_temp_c(
+                            utilisation, float(flow), float(inlet)),
+                    ))
+        return region
+
+    def iter_points(self) -> Iterator[SpacePoint]:
+        """Iterate over every simulated measurement point (Fig. 12)."""
+        for i, util in enumerate(self.utilisation_grid):
+            for j, flow in enumerate(self.flow_grid):
+                for k, inlet in enumerate(self.inlet_grid):
+                    yield SpacePoint(
+                        utilisation=float(util),
+                        flow_l_per_h=float(flow),
+                        inlet_temp_c=float(inlet),
+                        cpu_temp_c=float(self._cpu_temp[i, j, k]),
+                        outlet_temp_c=float(self._outlet_temp[i, j, k]),
+                    )
+
+    @property
+    def n_points(self) -> int:
+        """Total number of points in the measurement grid."""
+        return (len(self.utilisation_grid) * len(self.flow_grid)
+                * len(self.inlet_grid))

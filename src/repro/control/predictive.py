@@ -1,0 +1,66 @@
+"""Predictive cooling policy — anticipating the next interval's load.
+
+The paper's Step 1-3 controller is reactive: it cools for the
+utilisation it just measured.  On a fast-moving (*drastic*) trace the
+binding server can rise within the interval, eating the safety margin.
+:class:`PredictivePolicy` wraps any base policy and decides on a
+*forecast* of the next interval instead, with an explicit sigma margin —
+implementing the natural "future work" extension of Sec. V-B.
+
+The wrapper is stateful: call :meth:`decide` once per interval in trace
+order (the simulator does exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import PhysicalRangeError
+from ..workloads.forecast import EwmaForecaster
+from .cooling_policy import AnalyticPolicy, CoolingPolicy, PolicyDecision
+
+
+@dataclass
+class PredictivePolicy:
+    """Decide cooling settings on forecasted, not measured, load.
+
+    Attributes
+    ----------
+    base:
+        The underlying policy that maps utilisations to a setting
+        (defaults to the analytic optimiser).
+    forecaster:
+        Per-server one-step forecaster with a safety margin.
+    warmup_intervals:
+        For the first N intervals (cold forecaster) the measured
+        utilisations are used directly.
+    """
+
+    base: CoolingPolicy = field(default_factory=AnalyticPolicy)
+    forecaster: EwmaForecaster = field(default_factory=EwmaForecaster)
+    warmup_intervals: int = 2
+    _seen: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.warmup_intervals < 1:
+            raise PhysicalRangeError(
+                "warmup_intervals must be >= 1")
+
+    def decide(self, utilisations: Sequence[float]) -> PolicyDecision:
+        """Feed the measurement, then decide on the forecast."""
+        utils = np.asarray(list(utilisations), dtype=float)
+        self.forecaster.observe(utils)
+        self._seen += 1
+        if self._seen <= self.warmup_intervals:
+            return self.base.decide(utils)
+        return self.base.decide(self.forecaster.predict())
+
+    def reset(self) -> None:
+        """Forget the forecaster state (for replaying another trace)."""
+        self.forecaster = type(self.forecaster)(
+            alpha=getattr(self.forecaster, "alpha", 0.5),
+            margin_sigmas=self.forecaster.margin_sigmas)
+        self._seen = 0

@@ -1,0 +1,114 @@
+"""Workload schedulers (Sec. V-B2: "Balancing Workload").
+
+Balancing flattens the utilisation across a circulation so the binding
+(hottest) CPU runs cooler, which lets the inlet temperature — and hence
+the TEG output — rise.  Three schedulers are provided:
+
+* :class:`NoScheduler` — identity; together with a ``max``-keyed cooling
+  policy this is the paper's *TEG_Original* scheme;
+* :class:`IdealBalancer` — every server carries the step average; with an
+  ``avg``-keyed policy this is *TEG_LoadBalance*;
+* :class:`ThresholdBalancer` — a bounded-migration balancer that only
+  moves load above a percentile cap, modelling that real migration is not
+  free; it interpolates between the two extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PhysicalRangeError
+
+
+class WorkloadScheduler:
+    """Base scheduler: maps a per-server utilisation vector to another.
+
+    Subclasses must preserve total work (the sum of utilisations) to
+    within numerical tolerance and keep every value inside ``[0, 1]``.
+    """
+
+    #: Utilisation aggregation the matching cooling policy should key on.
+    policy_aggregation: str = "max"
+
+    def schedule(self, utilisations: np.ndarray) -> np.ndarray:
+        """Return the rebalanced utilisation vector."""
+        raise NotImplementedError
+
+    def _validate(self, utilisations: np.ndarray) -> np.ndarray:
+        utils = np.asarray(utilisations, dtype=float)
+        if utils.ndim != 1 or utils.size == 0:
+            raise PhysicalRangeError(
+                "utilisations must be a non-empty 1-D vector")
+        if np.any((utils < 0) | (utils > 1)):
+            raise PhysicalRangeError("all utilisations must be in [0, 1]")
+        return utils
+
+
+@dataclass
+class NoScheduler(WorkloadScheduler):
+    """Leave the workload where it is (*TEG_Original*)."""
+
+    policy_aggregation: str = "max"
+
+    def schedule(self, utilisations: np.ndarray) -> np.ndarray:
+        """Identity mapping."""
+        return self._validate(utilisations).copy()
+
+
+@dataclass
+class IdealBalancer(WorkloadScheduler):
+    """Perfectly flatten the load (*TEG_LoadBalance*).
+
+    Every server ends up at the circulation average, preserving total
+    work exactly; the binding utilisation becomes ``U_avg``.
+    """
+
+    policy_aggregation: str = "avg"
+
+    def schedule(self, utilisations: np.ndarray) -> np.ndarray:
+        """All servers at the mean utilisation."""
+        utils = self._validate(utilisations)
+        return np.full_like(utils, utils.mean())
+
+
+@dataclass
+class ThresholdBalancer(WorkloadScheduler):
+    """Shave load above a cap and spread it over the cooler servers.
+
+    Models a realistic balancer that migrates only the workload exceeding
+    ``cap`` (a utilisation level), limited by available headroom.  With
+    ``cap=0`` it degenerates to :class:`IdealBalancer`; with ``cap=1`` to
+    :class:`NoScheduler`.
+    """
+
+    cap: float = 0.5
+    policy_aggregation: str = "max"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cap <= 1.0:
+            raise PhysicalRangeError(
+                f"cap must be in [0, 1], got {self.cap}")
+
+    def schedule(self, utilisations: np.ndarray) -> np.ndarray:
+        """Move the excess above ``cap`` onto servers below it."""
+        utils = self._validate(utilisations)
+        mean = utils.mean()
+        cap = max(self.cap, mean)  # cannot flatten below the average
+        excess = np.clip(utils - cap, 0.0, None)
+        shaved = utils - excess
+        headroom = np.clip(cap - shaved, 0.0, None)
+        total_excess = excess.sum()
+        total_headroom = headroom.sum()
+        if total_excess == 0:
+            return shaved
+        if total_headroom <= 0:
+            return utils.copy()
+        placed = min(total_excess, total_headroom)
+        result = shaved + headroom / total_headroom * placed
+        # Any residual that could not be placed stays on its origin server.
+        residual = total_excess - placed
+        if residual > 0:
+            result = result + excess / total_excess * residual
+        return np.clip(result, 0.0, 1.0)

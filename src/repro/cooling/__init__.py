@@ -1,0 +1,50 @@
+"""Cooling-system substrate: chillers, towers, CDUs, TECs and loops.
+
+This subpackage models the facility side of Fig. 1:
+
+* :mod:`repro.cooling.chiller` — vapour-compression chiller with COP
+  (the energy sink Eq. 10 charges against);
+* :mod:`repro.cooling.cooling_tower` — evaporative cooling tower, the
+  primary heat-rejection path of warm water cooling;
+* :mod:`repro.cooling.cdu` — coolant distribution unit coupling the TCS
+  and FWS loops;
+* :mod:`repro.cooling.tec` — thermoelectric coolers, the hybrid hot-spot
+  remedy of Jiang et al. (ISCA'19) that H2P builds on;
+* :mod:`repro.cooling.loop` — a complete water circulation serving n
+  servers;
+* :mod:`repro.cooling.circulation_design` — the Sec. V-A study of how many
+  servers should share one circulation.
+"""
+
+from .chiller import Chiller, chiller_energy_kwh
+from .cooling_tower import CoolingTower
+from .cdu import CoolantDistributionUnit
+from .tec import ThermoelectricCooler
+from .loop import WaterCirculation, CirculationState
+from .circulation_design import (
+    CirculationDesignProblem,
+    CirculationDesignResult,
+    expected_max_of_normal,
+)
+from .hotspot import HotSpotScenario, HotSpotOutcome
+from .plumbing import PlumbingStudy, PlumbingOutcome
+from .faults import FaultyCdu, DegradedChiller
+
+__all__ = [
+    "Chiller",
+    "chiller_energy_kwh",
+    "CoolingTower",
+    "CoolantDistributionUnit",
+    "ThermoelectricCooler",
+    "WaterCirculation",
+    "CirculationState",
+    "CirculationDesignProblem",
+    "CirculationDesignResult",
+    "expected_max_of_normal",
+    "HotSpotScenario",
+    "HotSpotOutcome",
+    "PlumbingStudy",
+    "PlumbingOutcome",
+    "FaultyCdu",
+    "DegradedChiller",
+]

@@ -1,0 +1,85 @@
+"""Coolant distribution unit (CDU).
+
+The CDU separates the facility water system (FWS) from the technology
+cooling system (TCS) with a liquid-to-liquid heat exchanger, and regulates
+the TCS supply temperature and flow with valves and pumps (Fig. 1 and
+Sec. II-A).  It is the actuator through which the Sec. V-B policy applies
+its chosen cooling setting ``{f, T_warm_in}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PhysicalRangeError
+from ..thermal.coldplate import CounterflowHeatExchanger
+from ..thermal.cpu_model import CoolingSetting
+
+
+@dataclass
+class CoolantDistributionUnit:
+    """A CDU serving one water circulation.
+
+    Attributes
+    ----------
+    heat_exchanger:
+        The liquid-liquid exchanger coupling TCS to FWS.
+    min_supply_c / max_supply_c:
+        Admissible band for the TCS supply temperature set-point.
+    min_flow_l_per_h / max_flow_l_per_h:
+        Admissible per-server flow band (prototype valves span 20-300 L/H).
+    """
+
+    heat_exchanger: CounterflowHeatExchanger = field(
+        default_factory=CounterflowHeatExchanger)
+    min_supply_c: float = 20.0
+    max_supply_c: float = 60.0
+    min_flow_l_per_h: float = 20.0
+    max_flow_l_per_h: float = 300.0
+    _setting: CoolingSetting | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.min_supply_c >= self.max_supply_c:
+            raise PhysicalRangeError(
+                "min_supply_c must be below max_supply_c")
+        if not 0 < self.min_flow_l_per_h < self.max_flow_l_per_h:
+            raise PhysicalRangeError(
+                "flow band must satisfy 0 < min < max")
+
+    @property
+    def setting(self) -> CoolingSetting:
+        """Currently applied cooling setting (defaults to mid-band)."""
+        if self._setting is None:
+            self._setting = CoolingSetting(
+                flow_l_per_h=self.min_flow_l_per_h,
+                inlet_temp_c=(self.min_supply_c + self.max_supply_c) / 2.0)
+        return self._setting
+
+    def clamp(self, setting: CoolingSetting) -> CoolingSetting:
+        """Clamp a requested setting into the CDU's actuator range."""
+        flow = min(max(setting.flow_l_per_h, self.min_flow_l_per_h),
+                   self.max_flow_l_per_h)
+        temp = min(max(setting.inlet_temp_c, self.min_supply_c),
+                   self.max_supply_c)
+        return CoolingSetting(flow_l_per_h=flow, inlet_temp_c=temp)
+
+    def apply(self, setting: CoolingSetting) -> CoolingSetting:
+        """Apply (and clamp) a new cooling setting; returns the applied one."""
+        applied = self.clamp(setting)
+        self._setting = applied
+        return applied
+
+    def reject_to_fws(self, tcs_return_c: float, fws_supply_c: float,
+                      tcs_flow_l_per_h: float,
+                      fws_flow_l_per_h: float) -> tuple[float, float]:
+        """Transfer the TCS return heat into the FWS.
+
+        Returns ``(heat_w, tcs_out_c)`` — the heat moved across the
+        exchanger and the TCS temperature after the exchange (this becomes
+        the loop supply once the chiller/tower trims it to set-point).
+        """
+        heat = self.heat_exchanger.transferred_heat_w(
+            tcs_return_c, fws_supply_c, tcs_flow_l_per_h, fws_flow_l_per_h)
+        tcs_out, _ = self.heat_exchanger.outlet_temps_c(
+            tcs_return_c, fws_supply_c, tcs_flow_l_per_h, fws_flow_l_per_h)
+        return heat, tcs_out

@@ -1,0 +1,113 @@
+"""Vapour-compression chiller model.
+
+The chiller is the expensive active element warm water cooling tries to
+avoid (Sec. II-B).  The paper models its energy with Eq. 10:
+
+    E_chiller = C_water * dT * n * f * t * rho / COP
+
+i.e. the heat that must be removed from the circulating water divided by
+the coefficient of performance (assumed 3.6, after Jiang et al.).  We also
+expose a response-lag parameter: the paper stresses that a chiller "needs
+several minutes" to cool the loop, which is what creates the hot-spot risk
+TECs have to cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import (
+    CHILLER_COP,
+    WATER_DENSITY_KG_PER_M3,
+    WATER_HEAT_CAPACITY_J_PER_KG_C,
+)
+from ..errors import PhysicalRangeError
+from ..units import joules_to_kwh, litres_per_hour_to_kg_per_s
+
+
+@dataclass(frozen=True)
+class Chiller:
+    """A facility chiller characterised by its COP and response lag.
+
+    Attributes
+    ----------
+    cop:
+        Coefficient of performance: heat removed / electricity consumed.
+    capacity_kw:
+        Maximum heat-removal rate.
+    response_time_s:
+        Time for a set-point change to propagate to the loop (Sec. II-B:
+        "the chiller needs a relatively long time (e.g., several minutes)").
+    capex_usd:
+        Purchase cost, used by the circulation-design optimisation Eq. 12.
+    """
+
+    cop: float = CHILLER_COP
+    capacity_kw: float = 50.0
+    response_time_s: float = 300.0
+    capex_usd: float = 20000.0
+
+    def __post_init__(self) -> None:
+        if self.cop <= 0:
+            raise PhysicalRangeError(f"COP must be > 0, got {self.cop}")
+        if self.capacity_kw <= 0:
+            raise PhysicalRangeError(
+                f"capacity must be > 0, got {self.capacity_kw}")
+        if self.response_time_s < 0:
+            raise PhysicalRangeError("response time must be >= 0")
+        if self.capex_usd < 0:
+            raise PhysicalRangeError("capex must be >= 0")
+
+    def electricity_w_for_heat(self, heat_w: float) -> float:
+        """Electrical draw to remove ``heat_w`` of heat continuously."""
+        if heat_w < 0:
+            raise PhysicalRangeError(f"heat must be >= 0, got {heat_w}")
+        if heat_w > self.capacity_kw * 1000.0:
+            raise PhysicalRangeError(
+                f"heat load {heat_w/1000:.1f} kW exceeds chiller capacity "
+                f"{self.capacity_kw} kW")
+        return heat_w / self.cop
+
+    def cooling_energy_j(self, delta_t_c: float, n_servers: int,
+                         flow_l_per_h: float, duration_s: float) -> float:
+        """Electrical energy to cool a circulation by ``delta_t_c`` (Eq. 10).
+
+        Parameters
+        ----------
+        delta_t_c:
+            Temperature reduction the chiller must apply to the loop water.
+        n_servers:
+            Number of servers sharing the circulation.
+        flow_l_per_h:
+            Per-server flow rate.
+        duration_s:
+            Interval over which the reduction is sustained.
+
+        Returns
+        -------
+        float
+            Electrical energy in joules
+            (``C_water * dT * n * f * t * rho / COP``).
+        """
+        if delta_t_c < 0:
+            # The loop is already cool enough; the chiller idles.
+            return 0.0
+        if n_servers <= 0:
+            raise PhysicalRangeError(
+                f"n_servers must be > 0, got {n_servers}")
+        if duration_s < 0:
+            raise PhysicalRangeError(
+                f"duration must be >= 0, got {duration_s}")
+        mass_flow = litres_per_hour_to_kg_per_s(
+            flow_l_per_h, WATER_DENSITY_KG_PER_M3)
+        heat_j = (WATER_HEAT_CAPACITY_J_PER_KG_C * delta_t_c
+                  * n_servers * mass_flow * duration_s)
+        return heat_j / self.cop
+
+
+def chiller_energy_kwh(delta_t_c: float, n_servers: int, flow_l_per_h: float,
+                       duration_s: float, cop: float = CHILLER_COP) -> float:
+    """Convenience wrapper around Eq. 10 returning kWh."""
+    chiller = Chiller(cop=cop)
+    return joules_to_kwh(chiller.cooling_energy_j(
+        delta_t_c, n_servers, flow_l_per_h, duration_s))

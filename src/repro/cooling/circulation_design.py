@@ -1,0 +1,242 @@
+"""Economical water-circulation design (Sec. V-A).
+
+How many servers should share one water circulation?  One server per
+circulation lets the inlet temperature track each CPU individually (best
+for TEG output) but needs a chiller and a pump per server; a single giant
+circulation amortises hardware but forces the inlet temperature down to
+whatever the *hottest* CPU demands.
+
+The paper formalises the trade-off with order statistics: if the CPU
+temperatures in a circulation are i.i.d. ``N(mu, sigma^2)``, the expected
+maximum of ``n`` of them (Eqs. 13-17) determines how far the inlet must be
+lowered (Eq. 18), hence the chiller energy (Eqs. 10-11); adding the
+amortised chiller cost gives the total to minimise over ``n`` (Eq. 12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import integrate, stats
+
+from ..constants import (
+    CHILLER_COP,
+    DEFAULT_FLOW_RATE_L_PER_H,
+    ELECTRICITY_PRICE_USD_PER_KWH,
+    EVAL_CLUSTER_SERVERS,
+    CPU_SAFE_TEMP_C,
+)
+from ..errors import PhysicalRangeError
+from ..units import joules_to_kwh
+from .chiller import Chiller
+
+
+def expected_max_of_normal(mu: float, sigma: float, n: int) -> float:
+    """Expectation of the maximum of ``n`` i.i.d. N(mu, sigma^2) draws.
+
+    Implements Eqs. 15-17 of the paper:
+    ``E[T_(n)] = int x * n * F(x)^(n-1) * f(x) dx`` evaluated by adaptive
+    quadrature on the standard normal and rescaled.
+
+    Parameters
+    ----------
+    mu / sigma:
+        Mean and standard deviation of each CPU temperature.
+    n:
+        Number of servers in the circulation.
+
+    Returns
+    -------
+    float
+        ``E[max(T_1..T_n)]`` in the same unit as ``mu``.
+    """
+    if sigma < 0:
+        raise PhysicalRangeError(f"sigma must be >= 0, got {sigma}")
+    if n <= 0:
+        raise PhysicalRangeError(f"n must be > 0, got {n}")
+    if sigma == 0 or n == 1:
+        return mu
+
+    def integrand(z: float) -> float:
+        return z * n * stats.norm.cdf(z) ** (n - 1) * stats.norm.pdf(z)
+
+    expected_z, _ = integrate.quad(integrand, -12.0, 12.0, limit=200)
+    return mu + sigma * expected_z
+
+
+@dataclass(frozen=True)
+class CirculationDesignResult:
+    """Outcome of the circulation-size optimisation.
+
+    Attributes
+    ----------
+    best_n:
+        Cost-minimising number of servers per circulation.
+    candidate_n:
+        All evaluated circulation sizes.
+    total_costs_usd:
+        Total cost (energy + hardware) per candidate, aligned with
+        ``candidate_n``.
+    energy_costs_usd / hardware_costs_usd:
+        The two components of the total.
+    expected_inlet_reduction_c:
+        ``E[dT_i]`` per candidate — how much the inlet must drop below the
+        single-server ideal.
+    """
+
+    best_n: int
+    candidate_n: np.ndarray
+    total_costs_usd: np.ndarray
+    energy_costs_usd: np.ndarray
+    hardware_costs_usd: np.ndarray
+    expected_inlet_reduction_c: np.ndarray
+
+    @property
+    def best_cost_usd(self) -> float:
+        """Total cost at the optimum."""
+        idx = int(np.argmin(self.total_costs_usd))
+        return float(self.total_costs_usd[idx])
+
+    def cost_for(self, n: int) -> float:
+        """Total cost for a specific circulation size."""
+        matches = np.nonzero(self.candidate_n == n)[0]
+        if len(matches) == 0:
+            raise KeyError(f"n={n} was not among the evaluated candidates")
+        return float(self.total_costs_usd[matches[0]])
+
+
+@dataclass(frozen=True)
+class CirculationDesignProblem:
+    """The Sec. V-A optimisation instance.
+
+    Attributes
+    ----------
+    total_servers:
+        Cluster size to partition into circulations (paper: 1,000).
+    temp_mu_c / temp_sigma_c:
+        Normal distribution of individual CPU temperatures under the
+        workload mix (Eq. 13).
+    safe_temp_c:
+        ``T_safe`` every CPU must be brought down to.
+    slope_k:
+        The ``k`` of ``T_CPU = k * T_coolant + b`` used to translate a CPU
+        overshoot into an inlet reduction (Eq. 18; paper: k in [1, 1.3]).
+    flow_l_per_h:
+        Constant per-server flow rate (Eq. 10's ``f``; paper example 50).
+    horizon_hours:
+        Operating time over which chiller energy is accumulated and
+        hardware amortised (e.g. one year).
+    electricity_price_usd_per_kwh:
+        Tariff applied to chiller energy.
+    chiller:
+        Chiller model supplying COP and CapEx.
+    chiller_lifetime_hours:
+        Amortisation horizon of the chiller CapEx.
+    """
+
+    total_servers: int = EVAL_CLUSTER_SERVERS
+    temp_mu_c: float = 55.0
+    temp_sigma_c: float = 6.0
+    safe_temp_c: float = CPU_SAFE_TEMP_C
+    slope_k: float = 1.15
+    flow_l_per_h: float = DEFAULT_FLOW_RATE_L_PER_H
+    horizon_hours: float = 24.0 * 365.0
+    electricity_price_usd_per_kwh: float = ELECTRICITY_PRICE_USD_PER_KWH
+    chiller: Chiller = field(
+        default_factory=lambda: Chiller(cop=CHILLER_COP, capacity_kw=500,
+                                        capex_usd=20000.0))
+    chiller_lifetime_hours: float = 24.0 * 365.0 * 10.0
+
+    def __post_init__(self) -> None:
+        if self.total_servers <= 0:
+            raise PhysicalRangeError("total_servers must be > 0")
+        if self.temp_sigma_c < 0:
+            raise PhysicalRangeError("temp_sigma_c must be >= 0")
+        if not 1.0 <= self.slope_k <= 1.5:
+            raise PhysicalRangeError(
+                f"slope k should be in [1, 1.5] (paper: [1, 1.3]), "
+                f"got {self.slope_k}")
+        if self.horizon_hours <= 0:
+            raise PhysicalRangeError("horizon_hours must be > 0")
+
+    def expected_inlet_reduction_c(self, n: int) -> float:
+        """``E[dT_i]`` for an ``n``-server circulation (Eq. 18), >= 0."""
+        expected_max = expected_max_of_normal(
+            self.temp_mu_c, self.temp_sigma_c, n)
+        return max(0.0, (expected_max - self.safe_temp_c) / self.slope_k)
+
+    def chiller_energy_kwh(self, n: int) -> float:
+        """Chiller energy of ONE ``n``-server circulation over the horizon.
+
+        Eq. 10 with ``dT_i`` replaced by its expectation.
+        """
+        delta = self.expected_inlet_reduction_c(n)
+        energy_j = self.chiller.cooling_energy_j(
+            delta, n, self.flow_l_per_h, self.horizon_hours * 3600.0)
+        return joules_to_kwh(energy_j)
+
+    def circulation_count(self, n: int) -> int:
+        """Number of circulations (``total_servers / n``, rounded up)."""
+        if n <= 0:
+            raise PhysicalRangeError(f"n must be > 0, got {n}")
+        return math.ceil(self.total_servers / n)
+
+    def energy_cost_usd(self, n: int) -> float:
+        """Electricity cost of all chillers over the horizon (Eq. 11)."""
+        per_circulation = self.chiller_energy_kwh(n)
+        return (per_circulation * self.circulation_count(n)
+                * self.electricity_price_usd_per_kwh)
+
+    def hardware_cost_usd(self, n: int) -> float:
+        """Amortised chiller CapEx over the horizon for ``1000/n`` chillers."""
+        amortisation = self.horizon_hours / self.chiller_lifetime_hours
+        return self.circulation_count(n) * self.chiller.capex_usd * amortisation
+
+    def total_cost_usd(self, n: int) -> float:
+        """Objective of Eq. 12 for one candidate circulation size."""
+        return self.energy_cost_usd(n) + self.hardware_cost_usd(n)
+
+    def optimise(self, candidates: list[int] | None = None,
+                 ) -> CirculationDesignResult:
+        """Minimise Eq. 12 over circulation sizes.
+
+        Parameters
+        ----------
+        candidates:
+            Circulation sizes to evaluate; defaults to every divisor-like
+            size from 1 to ``total_servers`` on a log-spaced grid plus the
+            exact divisors of ``total_servers``.
+
+        Returns
+        -------
+        CirculationDesignResult
+            Per-candidate cost breakdown and the optimum.
+        """
+        if candidates is None:
+            grid = set(int(x) for x in np.unique(np.round(
+                np.logspace(0, math.log10(self.total_servers), 40))))
+            divisors = {d for d in range(1, self.total_servers + 1)
+                        if self.total_servers % d == 0}
+            candidates = sorted(grid | divisors)
+        if not candidates:
+            raise PhysicalRangeError("candidate list must not be empty")
+        n_array = np.array(sorted(set(candidates)), dtype=int)
+        if np.any(n_array <= 0) or np.any(n_array > self.total_servers):
+            raise PhysicalRangeError(
+                "candidates must lie in [1, total_servers]")
+        energy = np.array([self.energy_cost_usd(int(n)) for n in n_array])
+        hardware = np.array([self.hardware_cost_usd(int(n)) for n in n_array])
+        total = energy + hardware
+        reductions = np.array([
+            self.expected_inlet_reduction_c(int(n)) for n in n_array])
+        best = int(n_array[int(np.argmin(total))])
+        return CirculationDesignResult(
+            best_n=best,
+            candidate_n=n_array,
+            total_costs_usd=total,
+            energy_costs_usd=energy,
+            hardware_costs_usd=hardware,
+            expected_inlet_reduction_c=reductions,
+        )

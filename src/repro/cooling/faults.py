@@ -1,0 +1,102 @@
+"""Actuator and equipment fault injection.
+
+A control loop is only as good as its actuators.  This module wraps the
+cooling plant's components with configurable fault modes so resilience
+tests (and the E-AB13 benchmark) can ask: *what happens to safety and
+generation when the hardware misbehaves?*
+
+* :class:`FaultyCdu` — a CDU whose set-point tracking degrades: a stuck
+  valve (flow pinned), a stuck supply temperature, or a biased sensor
+  (applies an offset between requested and delivered inlet temperature);
+* :class:`DegradedChiller` — a chiller whose COP has degraded (fouled
+  condenser) by a given factor.
+
+All wrappers preserve the wrapped component's interface, so they drop
+into :class:`~repro.cooling.loop.WaterCirculation` unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PhysicalRangeError
+from ..thermal.cpu_model import CoolingSetting
+from .cdu import CoolantDistributionUnit
+from .chiller import Chiller
+
+_FAULT_MODES = ("none", "stuck_flow", "stuck_temp", "sensor_bias")
+
+
+@dataclass
+class FaultyCdu(CoolantDistributionUnit):
+    """A CDU with an injectable actuator fault.
+
+    Attributes
+    ----------
+    fault_mode:
+        ``"none"`` | ``"stuck_flow"`` | ``"stuck_temp"`` |
+        ``"sensor_bias"``.
+    stuck_flow_l_per_h / stuck_temp_c:
+        The value the faulty actuator is frozen at.
+    sensor_bias_c:
+        Delivered inlet = requested + bias (a miscalibrated supply
+        sensor makes the loop run hotter than the policy believes).
+    """
+
+    fault_mode: str = "none"
+    stuck_flow_l_per_h: float = 20.0
+    stuck_temp_c: float = 50.0
+    sensor_bias_c: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.fault_mode not in _FAULT_MODES:
+            raise PhysicalRangeError(
+                f"fault_mode must be one of {_FAULT_MODES}, "
+                f"got {self.fault_mode!r}")
+
+    def apply(self, setting: CoolingSetting) -> CoolingSetting:
+        """Apply the requested setting through the fault."""
+        requested = self.clamp(setting)
+        flow = requested.flow_l_per_h
+        temp = requested.inlet_temp_c
+        if self.fault_mode == "stuck_flow":
+            flow = self.stuck_flow_l_per_h
+        elif self.fault_mode == "stuck_temp":
+            temp = self.stuck_temp_c
+        elif self.fault_mode == "sensor_bias":
+            temp = temp + self.sensor_bias_c
+        delivered = self.clamp(CoolingSetting(flow_l_per_h=flow,
+                                              inlet_temp_c=temp))
+        self._setting = delivered
+        return delivered
+
+
+@dataclass(frozen=True)
+class DegradedChiller(Chiller):
+    """A chiller whose COP has degraded by ``degradation_factor``."""
+
+    degradation_factor: float = 0.7
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.degradation_factor <= 1.0:
+            raise PhysicalRangeError(
+                "degradation_factor must be in (0, 1]")
+
+    @property
+    def effective_cop(self) -> float:
+        """COP after degradation."""
+        return self.cop * self.degradation_factor
+
+    def electricity_w_for_heat(self, heat_w: float) -> float:
+        """Electrical draw at the degraded COP."""
+        base = super().electricity_w_for_heat(heat_w)
+        return base / self.degradation_factor
+
+    def cooling_energy_j(self, delta_t_c: float, n_servers: int,
+                         flow_l_per_h: float, duration_s: float) -> float:
+        """Eq. 10 energy at the degraded COP."""
+        base = super().cooling_energy_j(delta_t_c, n_servers,
+                                        flow_l_per_h, duration_s)
+        return base / self.degradation_factor

@@ -1,0 +1,224 @@
+"""Hot-spot dynamics: chiller lag vs TEC rescue (Sec. II-B).
+
+Warm water cooling's Achilles heel: when a server's load spikes, the CPU
+can cross its temperature limit "in a few seconds, while the chiller
+needs a relatively long time (e.g., several minutes) to cool the water".
+The hybrid architecture H2P builds on (Jiang et al., ISCA'19) parks a TEC
+on each CPU to bridge exactly that gap.
+
+:class:`HotSpotScenario` plays a sudden utilisation spike through the
+lumped transient network under three mitigation strategies:
+
+* ``"none"`` — the loop keeps its warm set-point; the CPU rides the spike
+  unprotected (quantifies the risk of plain warm-water cooling);
+* ``"chiller"`` — the set-point drops immediately but the loop water only
+  cools after the chiller's response lag (first-order approach);
+* ``"tec"`` — the loop stays warm and the TEC fires within
+  ``tec_response_s`` (sub-second), pumping heat straight into the
+  coolant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import CPU_MAX_OPERATING_TEMP_C
+from ..errors import ConfigurationError, PhysicalRangeError
+from ..thermal.cpu_model import CoolingSetting, CpuThermalModel, cpu_power_w
+from .chiller import Chiller
+from .tec import ThermoelectricCooler
+
+_STRATEGIES = ("none", "chiller", "tec")
+
+
+@dataclass(frozen=True)
+class HotSpotOutcome:
+    """Time series of one hot-spot episode under one strategy."""
+
+    strategy: str
+    times_s: np.ndarray
+    cpu_temp_c: np.ndarray
+    coolant_temp_c: np.ndarray
+    tec_power_w: np.ndarray
+
+    @property
+    def peak_cpu_temp_c(self) -> float:
+        """Hottest point of the episode."""
+        return float(self.cpu_temp_c.max())
+
+    @property
+    def violation(self) -> bool:
+        """Whether the CPU crossed its maximum operating temperature."""
+        return self.peak_cpu_temp_c > CPU_MAX_OPERATING_TEMP_C
+
+    @property
+    def time_above_limit_s(self) -> float:
+        """Seconds spent above the limit (0 when never crossed)."""
+        if len(self.times_s) < 2:
+            return 0.0
+        dt = float(self.times_s[1] - self.times_s[0])
+        return float(np.sum(self.cpu_temp_c
+                            > CPU_MAX_OPERATING_TEMP_C) * dt)
+
+    @property
+    def tec_energy_j(self) -> float:
+        """Electrical energy the TEC spent during the episode."""
+        if len(self.times_s) < 2:
+            return 0.0
+        dt = float(self.times_s[1] - self.times_s[0])
+        return float(np.sum(self.tec_power_w) * dt)
+
+
+@dataclass(frozen=True)
+class HotSpotScenario:
+    """A sudden load spike on one warm water-cooled server.
+
+    Attributes
+    ----------
+    baseline_utilisation / spike_utilisation:
+        Load before and during the spike.
+    spike_start_s / spike_duration_s:
+        When the spike begins and how long it lasts.
+    setting:
+        The warm-water cooling setting in force when the spike hits.
+    cpu_model:
+        Steady-state calibration used for the thermal resistances.
+    cpu_capacity_j_per_k:
+        Lumped die+plate capacity (sets the seconds-scale rise the paper
+        warns about).
+    chiller:
+        Supplies the response lag of the ``"chiller"`` strategy.
+    chiller_setpoint_drop_c:
+        How far the chiller drops the supply once it reacts.
+    tec:
+        The Peltier module of the ``"tec"`` strategy.
+    tec_response_s:
+        TEC actuation delay (fine-grained and fast, Sec. II-B).
+    """
+
+    baseline_utilisation: float = 0.2
+    spike_utilisation: float = 1.0
+    spike_start_s: float = 60.0
+    spike_duration_s: float = 240.0
+    setting: CoolingSetting = field(default_factory=lambda: CoolingSetting(
+        flow_l_per_h=50.0, inlet_temp_c=52.0))
+    cpu_model: CpuThermalModel = field(default_factory=CpuThermalModel)
+    cpu_capacity_j_per_k: float = 150.0
+    chiller: Chiller = field(default_factory=Chiller)
+    chiller_setpoint_drop_c: float = 10.0
+    tec: ThermoelectricCooler = field(
+        default_factory=ThermoelectricCooler)
+    tec_response_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("baseline_utilisation", "spike_utilisation"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise PhysicalRangeError(
+                    f"{name} must be in [0, 1], got {value}")
+        if self.spike_start_s < 0 or self.spike_duration_s <= 0:
+            raise PhysicalRangeError(
+                "spike_start_s must be >= 0 and spike_duration_s > 0")
+        if self.cpu_capacity_j_per_k <= 0:
+            raise PhysicalRangeError("cpu_capacity_j_per_k must be > 0")
+        if self.tec_response_s < 0:
+            raise PhysicalRangeError("tec_response_s must be >= 0")
+
+    # ------------------------------------------------------------------
+
+    def _utilisation_at(self, t: float) -> float:
+        in_spike = (self.spike_start_s <= t
+                    < self.spike_start_s + self.spike_duration_s)
+        return self.spike_utilisation if in_spike \
+            else self.baseline_utilisation
+
+    def _coolant_at(self, t: float, strategy: str) -> float:
+        inlet = self.setting.inlet_temp_c
+        if strategy != "chiller":
+            return inlet
+        reaction_time = self.spike_start_s + self.chiller.response_time_s
+        if t <= reaction_time:
+            return inlet
+        # First-order approach to the dropped set-point after the lag.
+        tau = max(self.chiller.response_time_s / 3.0, 1e-9)
+        progress = 1.0 - np.exp(-(t - reaction_time) / tau)
+        return inlet - self.chiller_setpoint_drop_c * progress
+
+    def run(self, strategy: str, duration_s: float = 600.0,
+            dt_s: float = 0.5) -> HotSpotOutcome:
+        """Integrate the episode under one mitigation strategy.
+
+        Parameters
+        ----------
+        strategy:
+            ``"none"``, ``"chiller"`` or ``"tec"``.
+        duration_s / dt_s:
+            Episode length and integration step.
+
+        Returns
+        -------
+        HotSpotOutcome
+            CPU/coolant temperature and TEC power time series.
+        """
+        if strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
+        if duration_s <= 0 or dt_s <= 0:
+            raise PhysicalRangeError(
+                "duration_s and dt_s must both be > 0")
+
+        flow = self.setting.flow_l_per_h
+        resistance = self.cpu_model.thermal_resistance_k_per_w(flow)
+        slope = self.cpu_model.slope(flow)
+
+        n_steps = int(np.floor(duration_s / dt_s)) + 1
+        times = np.arange(n_steps) * dt_s
+        cpu = np.empty(n_steps)
+        coolant = np.empty(n_steps)
+        tec_power = np.zeros(n_steps)
+
+        # Start from the pre-spike steady state.
+        cpu[0] = self.cpu_model.cpu_temp_c(self.baseline_utilisation,
+                                           self.setting)
+        coolant[0] = self.setting.inlet_temp_c
+
+        for i in range(1, n_steps):
+            t = times[i]
+            coolant[i] = self._coolant_at(t, strategy)
+            power = cpu_power_w(self._utilisation_at(t))
+            pumped = 0.0
+            if (strategy == "tec"
+                    and t >= self.spike_start_s + self.tec_response_s
+                    and t < (self.spike_start_s + self.spike_duration_s
+                             + self.tec_response_s)):
+                hot_side = coolant[i] + 5.0
+                cold_side = min(cpu[i - 1], hot_side)
+                current = self.tec.optimal_current_a(cold_side, hot_side,
+                                                     samples=24)
+                pumped = max(0.0, self.tec.heat_pumped_w(
+                    current, cold_side, hot_side))
+                tec_power[i] = self.tec.electrical_power_w(
+                    current, cold_side, hot_side)
+            # Lumped balance around the steady-state law
+            # T_eq = k * T_coolant + R * (P - Q_tec).
+            equilibrium = (slope * coolant[i]
+                           + resistance * max(0.0, power - pumped))
+            tau = self.cpu_capacity_j_per_k * resistance
+            cpu[i] = equilibrium + (cpu[i - 1] - equilibrium) * np.exp(
+                -dt_s / tau)
+
+        return HotSpotOutcome(
+            strategy=strategy,
+            times_s=times,
+            cpu_temp_c=cpu,
+            coolant_temp_c=coolant,
+            tec_power_w=tec_power,
+        )
+
+    def compare(self, duration_s: float = 600.0,
+                dt_s: float = 0.5) -> dict[str, HotSpotOutcome]:
+        """Run all three strategies on the same episode."""
+        return {strategy: self.run(strategy, duration_s, dt_s)
+                for strategy in _STRATEGIES}

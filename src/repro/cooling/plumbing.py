@@ -1,0 +1,165 @@
+"""Serial vs parallel plumbing of servers in a circulation.
+
+The prototype connects its two CPUs "in parallel in the water
+circulation, hence the flow rate and the inlet temperature in the two
+branches are almost the same" (Sec. III-B).  The alternative — serial
+plumbing, where each cold plate's outlet feeds the next server's inlet —
+is attractive for TEG harvesting: the water leaves the *last* server
+much hotter, so a single TEG module at the chain's end sees a bigger
+temperature difference.  The cost is thermal: downstream CPUs are cooled
+with pre-heated water.
+
+:class:`PlumbingStudy` evaluates both arrangements for one group of
+servers and quantifies the trade the paper settles implicitly by
+choosing parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import NATURAL_WATER_TEMP_C
+from ..errors import PhysicalRangeError
+from ..teg.module import TegModule, default_server_module
+from ..thermal.cpu_model import CoolingSetting, CpuThermalModel
+
+
+@dataclass(frozen=True)
+class PlumbingOutcome:
+    """One arrangement's evaluation."""
+
+    arrangement: str
+    cpu_temps_c: np.ndarray
+    inlet_temps_c: np.ndarray
+    outlet_temps_c: np.ndarray
+    generation_w: float
+
+    @property
+    def max_cpu_temp_c(self) -> float:
+        """The binding CPU temperature of the arrangement."""
+        return float(self.cpu_temps_c.max())
+
+    @property
+    def final_outlet_c(self) -> float:
+        """Water temperature leaving the group."""
+        return float(self.outlet_temps_c[-1])
+
+
+@dataclass
+class PlumbingStudy:
+    """Compare serial and parallel plumbing of one server group.
+
+    In the parallel arrangement every server sees ``setting.inlet_temp_c``
+    and carries a per-server TEG module at its own outlet (the paper's
+    H2P design).  In the serial arrangement the coolant visits the
+    servers in order, and one TEG module harvests at the chain outlet —
+    sized as ``teg_per_server x n`` so the TEG capital is identical.
+
+    Attributes
+    ----------
+    cpu_model:
+        Shared thermal calibration.
+    teg_module:
+        The per-server module (12 TEGs in the prototype).
+    cold_source_temp_c:
+        TEG cold side.
+    """
+
+    cpu_model: CpuThermalModel = field(default_factory=CpuThermalModel)
+    teg_module: TegModule = field(default_factory=default_server_module)
+    cold_source_temp_c: float = NATURAL_WATER_TEMP_C
+
+    def parallel(self, utilisations: np.ndarray,
+                 setting: CoolingSetting) -> PlumbingOutcome:
+        """The paper's arrangement: identical inlets, per-server TEGs."""
+        utils = self._check(utilisations)
+        inlets = np.full(utils.shape, setting.inlet_temp_c)
+        cpu_temps = self.cpu_model.cpu_temp_c(utils, setting)
+        outlets = self.cpu_model.outlet_temp_c(utils, setting)
+        generation = float(np.sum(self.teg_module.generation_w(
+            outlets, self.cold_source_temp_c, setting.flow_l_per_h)))
+        return PlumbingOutcome(
+            arrangement="parallel",
+            cpu_temps_c=np.asarray(cpu_temps, dtype=float),
+            inlet_temps_c=inlets,
+            outlet_temps_c=np.asarray(outlets, dtype=float),
+            generation_w=generation,
+        )
+
+    def serial(self, utilisations: np.ndarray,
+               setting: CoolingSetting) -> PlumbingOutcome:
+        """Chain arrangement: each outlet feeds the next server's inlet.
+
+        The whole chain carries the same flow; the group's TEG capital
+        (n modules' worth of TEGs) sits at the chain outlet.  Note the
+        serial chain sees ``n``-times less total coolant volume per
+        server at the same per-branch flow, which is exactly why its
+        outlet runs hot.
+        """
+        utils = self._check(utilisations)
+        inlets = np.empty(utils.shape)
+        outlets = np.empty(utils.shape)
+        cpu_temps = np.empty(utils.shape)
+        inlet = setting.inlet_temp_c
+        for i, u in enumerate(utils):
+            stage = CoolingSetting(flow_l_per_h=setting.flow_l_per_h,
+                                   inlet_temp_c=float(inlet))
+            inlets[i] = inlet
+            cpu_temps[i] = self.cpu_model.cpu_temp_c(float(u), stage)
+            outlets[i] = self.cpu_model.outlet_temp_c(float(u), stage)
+            inlet = outlets[i]
+        chain_module = TegModule(
+            device=self.teg_module.device,
+            group_size=self.teg_module.group_size,
+            group_count=self.teg_module.group_count * len(utils))
+        generation = float(chain_module.generation_w(
+            float(outlets[-1]), self.cold_source_temp_c,
+            setting.flow_l_per_h))
+        return PlumbingOutcome(
+            arrangement="serial",
+            cpu_temps_c=cpu_temps,
+            inlet_temps_c=inlets,
+            outlet_temps_c=outlets,
+            generation_w=generation,
+        )
+
+    def compare(self, utilisations: np.ndarray,
+                setting: CoolingSetting) -> dict[str, PlumbingOutcome]:
+        """Both arrangements on the same group and setting."""
+        return {
+            "parallel": self.parallel(utilisations, setting),
+            "serial": self.serial(utilisations, setting),
+        }
+
+    def safe_serial_inlet(self, utilisations: np.ndarray,
+                          flow_l_per_h: float,
+                          safe_temp_c: float) -> float:
+        """Hottest group inlet keeping every chained CPU at/below T_safe.
+
+        Because each stage adds its outlet rise to the next inlet, the
+        binding constraint is usually the *last* busy server.  Solved by
+        bisection on the group inlet.
+        """
+        utils = self._check(utilisations)
+        low, high = 0.0, 70.0
+        for _ in range(48):
+            mid = (low + high) / 2.0
+            outcome = self.serial(utils, CoolingSetting(
+                flow_l_per_h=flow_l_per_h, inlet_temp_c=mid))
+            if outcome.max_cpu_temp_c > safe_temp_c:
+                high = mid
+            else:
+                low = mid
+        return low
+
+    @staticmethod
+    def _check(utilisations) -> np.ndarray:
+        utils = np.asarray(utilisations, dtype=float)
+        if utils.ndim != 1 or utils.size == 0:
+            raise PhysicalRangeError(
+                "utilisations must be a non-empty 1-D vector")
+        if np.any((utils < 0) | (utils > 1)):
+            raise PhysicalRangeError("all utilisations must be in [0, 1]")
+        return utils

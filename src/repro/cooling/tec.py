@@ -1,0 +1,135 @@
+"""Thermoelectric cooler (TEC) — the hybrid hot-spot remedy.
+
+H2P assumes the hybrid cooling architecture of Jiang et al. (ISCA'19,
+ref. [24]): each CPU carries a TEC that provides "extra and timely
+fine-grained cooling" when a hot spot emerges faster than the chiller can
+respond.  With TECs absorbing transients, the loop inlet temperature can be
+raised into the warm-water band — which is what makes TEG harvesting
+worthwhile in the first place.
+
+The standard Peltier model is used:
+
+    Q_c = alpha * I * T_c - I^2 R / 2 - K * dT      (heat pumped)
+    P   = alpha * I * dT + I^2 R                     (electrical input)
+
+Sec. VI-C1 of the paper proposes powering TECs from TEGs; the
+:mod:`repro.applications.tec_powering` module builds on this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PhysicalRangeError
+from ..units import celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class ThermoelectricCooler:
+    """A Peltier cooler attached to one CPU.
+
+    Attributes
+    ----------
+    seebeck_v_per_k:
+        Module Seebeck coefficient (all couples in series).
+    resistance_ohm:
+        Electrical resistance of the module.
+    thermal_conductance_w_per_k:
+        Parasitic through-module conductance.
+    max_current_a:
+        Manufacturer current limit.
+    """
+
+    seebeck_v_per_k: float = 0.05
+    resistance_ohm: float = 1.8
+    thermal_conductance_w_per_k: float = 0.7
+    max_current_a: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.seebeck_v_per_k <= 0:
+            raise PhysicalRangeError("Seebeck coefficient must be > 0")
+        if self.resistance_ohm <= 0:
+            raise PhysicalRangeError("resistance must be > 0")
+        if self.thermal_conductance_w_per_k <= 0:
+            raise PhysicalRangeError("thermal conductance must be > 0")
+        if self.max_current_a <= 0:
+            raise PhysicalRangeError("max current must be > 0")
+
+    def _check_current(self, current_a: float) -> None:
+        if current_a < 0:
+            raise PhysicalRangeError(
+                f"current must be >= 0, got {current_a}")
+        if current_a > self.max_current_a:
+            raise PhysicalRangeError(
+                f"current {current_a} A exceeds the module limit "
+                f"{self.max_current_a} A")
+
+    def heat_pumped_w(self, current_a: float, cold_side_c: float,
+                      hot_side_c: float) -> float:
+        """Heat absorbed from the cold side (the CPU) at ``current_a``.
+
+        Can be negative if conduction leak beats the Peltier pumping.
+        """
+        self._check_current(current_a)
+        if hot_side_c < cold_side_c:
+            raise PhysicalRangeError(
+                "hot side must be >= cold side for a cooling TEC")
+        delta = hot_side_c - cold_side_c
+        peltier = (self.seebeck_v_per_k * current_a
+                   * celsius_to_kelvin(cold_side_c))
+        joule_back = 0.5 * current_a ** 2 * self.resistance_ohm
+        leak = self.thermal_conductance_w_per_k * delta
+        return peltier - joule_back - leak
+
+    def electrical_power_w(self, current_a: float, cold_side_c: float,
+                           hot_side_c: float) -> float:
+        """Electrical input power at ``current_a`` (always >= 0)."""
+        self._check_current(current_a)
+        delta = max(0.0, hot_side_c - cold_side_c)
+        return (self.seebeck_v_per_k * current_a * delta
+                + current_a ** 2 * self.resistance_ohm)
+
+    def cop(self, current_a: float, cold_side_c: float,
+            hot_side_c: float) -> float:
+        """Coefficient of performance Q_c / P (0 when not pumping)."""
+        power = self.electrical_power_w(current_a, cold_side_c, hot_side_c)
+        if power <= 0:
+            return 0.0
+        pumped = self.heat_pumped_w(current_a, cold_side_c, hot_side_c)
+        return max(0.0, pumped / power)
+
+    def optimal_current_a(self, cold_side_c: float, hot_side_c: float,
+                          samples: int = 200) -> float:
+        """Current that maximises pumped heat for given side temperatures."""
+        best_current = 0.0
+        best_pumped = 0.0
+        for i in range(1, samples + 1):
+            current = self.max_current_a * i / samples
+            pumped = self.heat_pumped_w(current, cold_side_c, hot_side_c)
+            if pumped > best_pumped:
+                best_pumped = pumped
+                best_current = current
+        return best_current
+
+    def max_heat_pumped_w(self, cold_side_c: float,
+                          hot_side_c: float) -> float:
+        """Largest heat the TEC can absorb at the given side temperatures."""
+        current = self.optimal_current_a(cold_side_c, hot_side_c)
+        if current == 0.0:
+            return 0.0
+        return self.heat_pumped_w(current, cold_side_c, hot_side_c)
+
+    def hotspot_relief_c(self, cpu_power_w: float, cold_side_c: float,
+                         hot_side_c: float,
+                         junction_resistance_k_per_w: float = 0.3) -> float:
+        """CPU temperature reduction the TEC buys during a hot spot.
+
+        The pumped heat no longer flows through the junction-to-coolant
+        resistance, so the die drops by ``Q_pumped * R_jc`` (bounded by the
+        share of the CPU power the TEC can actually absorb).
+        """
+        if cpu_power_w < 0:
+            raise PhysicalRangeError("CPU power must be >= 0")
+        pumped = min(self.max_heat_pumped_w(cold_side_c, hot_side_c),
+                     cpu_power_w)
+        return pumped * junction_resistance_k_per_w

@@ -1,0 +1,33 @@
+"""Core: the H2P system facade and the trace-driven datacenter simulator.
+
+* :mod:`repro.core.config` — simulation/scheme configuration, including
+  the paper's two evaluated schemes (*TEG_Original*, *TEG_LoadBalance*);
+* :mod:`repro.core.results` — result containers and scheme comparison;
+* :mod:`repro.core.simulator` — the time-stepped cluster simulator that
+  produces Fig. 14 / Fig. 15;
+* :mod:`repro.core.h2p` — the top-level :class:`H2PSystem` facade a
+  downstream user starts from.
+"""
+
+from .config import SimulationConfig, teg_original, teg_loadbalance
+from .results import SimulationResult, StepRecord, SchemeComparison
+from .simulator import DatacenterSimulator
+from .h2p import H2PSystem
+from .facility import FacilityModel, FacilityReport
+from .seasonal import SeasonalStudy, MonthOutcome, annual_summary
+
+__all__ = [
+    "SimulationConfig",
+    "teg_original",
+    "teg_loadbalance",
+    "SimulationResult",
+    "StepRecord",
+    "SchemeComparison",
+    "DatacenterSimulator",
+    "H2PSystem",
+    "FacilityModel",
+    "FacilityReport",
+    "SeasonalStudy",
+    "MonthOutcome",
+    "annual_summary",
+]

@@ -1,0 +1,192 @@
+"""Simulation configuration and the paper's evaluated schemes.
+
+A :class:`SimulationConfig` bundles every knob of the trace-driven
+evaluation: how servers are grouped into circulations, which workload
+scheduler runs, which cooling policy chooses the setting, and the safety
+envelope.  The two schemes the paper compares are provided as factories:
+
+* :func:`teg_original` — cooling-setting adjustment only, keyed on the
+  hottest server of each circulation;
+* :func:`teg_loadbalance` — the same plus ideal workload balancing, keyed
+  on the circulation average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from ..constants import (
+    CPU_SAFE_TEMP_C,
+    EVAL_CONTROL_INTERVAL_S,
+    NATURAL_WATER_TEMP_C,
+)
+from ..control.cooling_policy import (
+    AnalyticPolicy,
+    CoolingPolicy,
+    LookupSpacePolicy,
+    StaticPolicy,
+)
+from ..control.lookup_space import LookupSpace
+from ..control.scheduling import (
+    IdealBalancer,
+    NoScheduler,
+    ThresholdBalancer,
+    WorkloadScheduler,
+)
+from ..errors import ConfigurationError
+from ..teg.module import TegModule, default_server_module
+from ..thermal.cpu_model import CoolingSetting, CpuThermalModel
+
+_SCHEDULERS = ("none", "ideal", "threshold")
+_POLICIES = ("lookup", "analytic", "static")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to run one evaluation scheme over a trace.
+
+    Attributes
+    ----------
+    name:
+        Scheme label used in result tables ("TEG_Original", ...).
+    circulation_size:
+        Servers per water circulation (Sec. V-A; the evaluation groups
+        the 1,000-server cluster into circulations of this size).  The
+        default of 20 corresponds to one rack per CDU loop and calibrates
+        the Fig. 14 headline numbers.
+    control_interval_s:
+        How often the cooling setting is re-decided (paper: 5 minutes).
+    scheduler:
+        ``"none"`` | ``"ideal"`` | ``"threshold"`` — the workload
+        scheduling strategy.
+    policy:
+        ``"lookup"`` (the paper's Step 1-3 space search) | ``"analytic"``
+        (model inversion) | ``"static"`` (fixed setting baseline).
+    safe_temp_c:
+        ``T_safe`` the policies hold the binding CPU at.
+    cold_source_temp_c:
+        Natural-water temperature on the TEG cold side.
+    wet_bulb_c:
+        Ambient wet-bulb temperature seen by the cooling towers.
+    inlet_min_c / inlet_max_c:
+        Admissible inlet set-point band of the CDU.
+    flow_candidates_l_per_h:
+        Flow rates the policies may choose from.
+    threshold_cap:
+        Cap of the threshold balancer (only used when
+        ``scheduler == "threshold"``).
+    static_setting:
+        Fixed setting for the static policy.
+    strict_safety:
+        If True the simulator raises on any CPU temperature violation
+        instead of recording it.
+    """
+
+    name: str = "TEG_Original"
+    circulation_size: int = 20
+    control_interval_s: float = EVAL_CONTROL_INTERVAL_S
+    scheduler: str = "none"
+    policy: str = "lookup"
+    safe_temp_c: float = CPU_SAFE_TEMP_C
+    cold_source_temp_c: float = NATURAL_WATER_TEMP_C
+    wet_bulb_c: float = 18.0
+    inlet_min_c: float = 20.0
+    inlet_max_c: float = 54.5
+    flow_candidates_l_per_h: Sequence[float] = (
+        20.0, 50.0, 100.0, 150.0)
+    threshold_cap: float = 0.5
+    static_setting: CoolingSetting = field(
+        default_factory=lambda: CoolingSetting(flow_l_per_h=50.0,
+                                               inlet_temp_c=45.0))
+    strict_safety: bool = False
+
+    def __post_init__(self) -> None:
+        if self.circulation_size <= 0:
+            raise ConfigurationError(
+                f"circulation_size must be > 0, got {self.circulation_size}")
+        if self.scheduler not in _SCHEDULERS:
+            raise ConfigurationError(
+                f"scheduler must be one of {_SCHEDULERS}, "
+                f"got {self.scheduler!r}")
+        if self.policy not in _POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {_POLICIES}, got {self.policy!r}")
+        if self.control_interval_s <= 0:
+            raise ConfigurationError("control_interval_s must be > 0")
+        if self.inlet_min_c >= self.inlet_max_c:
+            raise ConfigurationError(
+                "inlet_min_c must be below inlet_max_c")
+        if not self.flow_candidates_l_per_h:
+            raise ConfigurationError("flow_candidates must not be empty")
+
+    # ------------------------------------------------------------------
+    # Component factories
+    # ------------------------------------------------------------------
+
+    def build_scheduler(self) -> WorkloadScheduler:
+        """Instantiate the configured workload scheduler."""
+        if self.scheduler == "none":
+            return NoScheduler()
+        if self.scheduler == "ideal":
+            return IdealBalancer()
+        return ThresholdBalancer(cap=self.threshold_cap)
+
+    def build_policy(self, model: CpuThermalModel,
+                     teg_module: TegModule | None = None,
+                     space: LookupSpace | None = None) -> CoolingPolicy:
+        """Instantiate the configured cooling policy.
+
+        Parameters
+        ----------
+        model:
+            The CPU thermal model the policies consult.
+        teg_module:
+            Per-server TEG module (defaults to the paper's 12-TEG module).
+        space:
+            Pre-built lookup space to share across circulations; one is
+            built on demand when omitted (lookup policy only).
+        """
+        import numpy as np
+
+        teg_module = teg_module or default_server_module()
+        aggregation = self.build_scheduler().policy_aggregation
+        if self.policy == "static":
+            return StaticPolicy(setting=self.static_setting, model=model,
+                                teg_module=teg_module,
+                                cold_source_temp_c=self.cold_source_temp_c,
+                                aggregation=aggregation)
+        if self.policy == "analytic":
+            return AnalyticPolicy(
+                model=model, teg_module=teg_module,
+                cold_source_temp_c=self.cold_source_temp_c,
+                safe_temp_c=self.safe_temp_c,
+                aggregation=aggregation,
+                flow_candidates=tuple(self.flow_candidates_l_per_h),
+                inlet_min_c=self.inlet_min_c,
+                inlet_max_c=self.inlet_max_c)
+        if space is None:
+            space = LookupSpace(
+                model=model,
+                flow_grid=np.asarray(self.flow_candidates_l_per_h),
+                inlet_grid=np.linspace(self.inlet_min_c, self.inlet_max_c,
+                                       36))
+        return LookupSpacePolicy(
+            space=space, teg_module=teg_module,
+            cold_source_temp_c=self.cold_source_temp_c,
+            safe_temp_c=self.safe_temp_c,
+            aggregation=aggregation)
+
+
+def teg_original(**overrides) -> SimulationConfig:
+    """The paper's *TEG_Original* scheme: cooling adjustment, no scheduling."""
+    config = SimulationConfig(name="TEG_Original", scheduler="none",
+                              policy="lookup")
+    return replace(config, **overrides) if overrides else config
+
+
+def teg_loadbalance(**overrides) -> SimulationConfig:
+    """The paper's *TEG_LoadBalance* scheme: adjustment + ideal balancing."""
+    config = SimulationConfig(name="TEG_LoadBalance", scheduler="ideal",
+                              policy="lookup")
+    return replace(config, **overrides) if overrides else config

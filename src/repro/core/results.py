@@ -1,0 +1,193 @@
+"""Result containers for the trace-driven evaluation.
+
+:class:`SimulationResult` stores per-step cluster aggregates (generation,
+CPU power, temperatures, chosen settings) and derives the paper's headline
+metrics: average/peak per-CPU generation (Fig. 14) and PRE (Fig. 15).
+:class:`SchemeComparison` packages the Original-vs-LoadBalance contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Cluster-level aggregates of one control interval."""
+
+    time_s: float
+    mean_utilisation: float
+    max_utilisation: float
+    generation_per_cpu_w: float
+    cpu_power_per_cpu_w: float
+    mean_inlet_temp_c: float
+    mean_flow_l_per_h: float
+    max_cpu_temp_c: float
+    chiller_power_w: float
+    tower_power_w: float
+    pump_power_w: float
+    safety_violations: int
+
+    @property
+    def pre(self) -> float:
+        """Power reusing efficiency of this step (Eq. 19)."""
+        if self.cpu_power_per_cpu_w <= 0:
+            return 0.0
+        return self.generation_per_cpu_w / self.cpu_power_per_cpu_w
+
+
+@dataclass
+class SimulationResult:
+    """All step records of one scheme over one trace."""
+
+    scheme: str
+    trace_name: str
+    n_servers: int
+    interval_s: float
+    records: list[StepRecord] = field(default_factory=list)
+
+    def append(self, record: StepRecord) -> None:
+        """Add one control interval's aggregates."""
+        self.records.append(record)
+
+    def _series(self, attribute: str) -> np.ndarray:
+        if not self.records:
+            raise ConfigurationError("result has no records yet")
+        return np.array([getattr(record, attribute)
+                         for record in self.records])
+
+    # ------------------------------------------------------------------
+    # Time series (Fig. 14 curves)
+    # ------------------------------------------------------------------
+
+    @property
+    def times_s(self) -> np.ndarray:
+        """Start time of every record."""
+        return self._series("time_s")
+
+    @property
+    def generation_series_w(self) -> np.ndarray:
+        """Per-CPU TEG generation over time (the Fig. 14 power curve)."""
+        return self._series("generation_per_cpu_w")
+
+    @property
+    def utilisation_series(self) -> np.ndarray:
+        """Cluster-mean utilisation over time (the Fig. 14 load curve)."""
+        return self._series("mean_utilisation")
+
+    @property
+    def pre_series(self) -> np.ndarray:
+        """PRE over time (Fig. 15)."""
+        return np.array([record.pre for record in self.records])
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def average_generation_w(self) -> float:
+        """Mean per-CPU generation over the run (paper's headline)."""
+        return float(self.generation_series_w.mean())
+
+    @property
+    def peak_generation_w(self) -> float:
+        """Peak per-CPU generation over the run."""
+        return float(self.generation_series_w.max())
+
+    @property
+    def average_cpu_power_w(self) -> float:
+        """Mean per-CPU power consumption over the run."""
+        return float(self._series("cpu_power_per_cpu_w").mean())
+
+    @property
+    def average_pre(self) -> float:
+        """Run-level PRE: total generation over total CPU energy (Eq. 19)."""
+        generation = self.generation_series_w.sum()
+        consumption = self._series("cpu_power_per_cpu_w").sum()
+        if consumption <= 0:
+            return 0.0
+        return float(generation / consumption)
+
+    @property
+    def total_generation_kwh(self) -> float:
+        """Cluster-wide generated energy over the run."""
+        per_cpu_w = self.generation_series_w
+        return float(per_cpu_w.sum() * self.n_servers * self.interval_s
+                     / 3600.0 / 1000.0)
+
+    @property
+    def total_safety_violations(self) -> int:
+        """Count of (server, interval) pairs above the CPU limit."""
+        return int(self._series("safety_violations").sum())
+
+    @property
+    def anti_correlation(self) -> float:
+        """Pearson correlation between utilisation and generation.
+
+        The paper observes that "when the CPU utilization is high, the
+        corresponding power generation capacity of H2P is low"; this should
+        be negative.
+        """
+        utils = self.utilisation_series
+        gen = self.generation_series_w
+        if utils.std() == 0 or gen.std() == 0:
+            return 0.0
+        return float(np.corrcoef(utils, gen)[0, 1])
+
+    def summary(self) -> dict:
+        """Headline metrics as a plain dictionary (for tables/JSON)."""
+        return {
+            "scheme": self.scheme,
+            "trace": self.trace_name,
+            "servers": self.n_servers,
+            "steps": len(self.records),
+            "avg_generation_w": round(self.average_generation_w, 3),
+            "peak_generation_w": round(self.peak_generation_w, 3),
+            "avg_cpu_power_w": round(self.average_cpu_power_w, 2),
+            "pre": round(self.average_pre, 4),
+            "total_generation_kwh": round(self.total_generation_kwh, 2),
+            "safety_violations": self.total_safety_violations,
+        }
+
+
+@dataclass(frozen=True)
+class SchemeComparison:
+    """Original-vs-LoadBalance contrast for one trace (Fig. 14/15)."""
+
+    baseline: SimulationResult
+    optimised: SimulationResult
+
+    def __post_init__(self) -> None:
+        if self.baseline.trace_name != self.optimised.trace_name:
+            raise ConfigurationError(
+                "compared results must come from the same trace, got "
+                f"{self.baseline.trace_name!r} vs "
+                f"{self.optimised.trace_name!r}")
+
+    @property
+    def generation_improvement(self) -> float:
+        """Relative gain in average generation (paper: ~13.08 % overall)."""
+        base = self.baseline.average_generation_w
+        if base <= 0:
+            return float("inf")
+        return (self.optimised.average_generation_w - base) / base
+
+    @property
+    def pre_improvement(self) -> float:
+        """Absolute PRE gain of the optimised scheme."""
+        return self.optimised.average_pre - self.baseline.average_pre
+
+    def summary(self) -> dict:
+        """Side-by-side headline numbers."""
+        return {
+            "trace": self.baseline.trace_name,
+            "baseline": self.baseline.summary(),
+            "optimised": self.optimised.summary(),
+            "generation_improvement_pct": round(
+                100.0 * self.generation_improvement, 2),
+            "pre_improvement": round(self.pre_improvement, 4),
+        }

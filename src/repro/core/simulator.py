@@ -1,0 +1,175 @@
+"""Trace-driven datacenter simulator (the engine behind Fig. 14/15).
+
+The simulator partitions the cluster into water circulations, then steps
+through the trace at the control interval.  Each interval, per
+circulation:
+
+1. the workload scheduler rebalances the utilisation vector (Sec. V-B2);
+2. the cooling policy picks the setting ``{f, T_warm_in}`` (Sec. V-B1);
+3. the circulation model evaluates CPU temperatures, outlet temperatures,
+   TEG generation and facility power;
+4. cluster-level aggregates are recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cooling.loop import WaterCirculation
+from ..errors import ConfigurationError, CoolingFailureError
+from ..teg.module import TegModule, default_server_module
+from ..thermal.cpu_model import CpuThermalModel
+from ..workloads.trace import WorkloadTrace
+from .config import SimulationConfig
+from .results import SimulationResult, StepRecord
+
+
+@dataclass
+class DatacenterSimulator:
+    """Simulate one scheme over one trace.
+
+    Attributes
+    ----------
+    trace:
+        Utilisation trace (time x servers).  Its interval should match the
+        config's control interval; coarser traces are used as-is and finer
+        ones should be resampled by the caller.
+    config:
+        The scheme to evaluate.
+    cpu_model / teg_module:
+        Shared hardware models (defaults: the paper-calibrated ones).
+    """
+
+    trace: WorkloadTrace
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    cpu_model: CpuThermalModel = field(default_factory=CpuThermalModel)
+    teg_module: TegModule = field(default_factory=default_server_module)
+
+    def __post_init__(self) -> None:
+        if self.trace.n_servers < self.config.circulation_size:
+            raise ConfigurationError(
+                f"trace has {self.trace.n_servers} servers but a single "
+                f"circulation needs {self.config.circulation_size}")
+        self._scheduler = self.config.build_scheduler()
+        self._policy = self.config.build_policy(self.cpu_model,
+                                                self.teg_module)
+        self._groups = self._partition_servers()
+        self._circulations = [
+            WaterCirculation(
+                n_servers=len(group),
+                cpu_model=self.cpu_model,
+                teg_module=self.teg_module,
+                cold_source_temp_c=self.config.cold_source_temp_c,
+                wet_bulb_c=self.config.wet_bulb_c,
+            )
+            for group in self._groups
+        ]
+
+    def _partition_servers(self) -> list[np.ndarray]:
+        """Split server columns into contiguous circulation groups.
+
+        A trailing group smaller than ``circulation_size`` is kept (it
+        simply gets its own, underpopulated circulation).
+        """
+        size = self.config.circulation_size
+        indices = np.arange(self.trace.n_servers)
+        return [indices[start:start + size]
+                for start in range(0, self.trace.n_servers, size)]
+
+    @property
+    def n_circulations(self) -> int:
+        """Number of water circulations in the cluster."""
+        return len(self._groups)
+
+    def run(self) -> SimulationResult:
+        """Replay the whole trace and return cluster aggregates.
+
+        Raises
+        ------
+        CoolingFailureError
+            Only when ``config.strict_safety`` is set and a CPU exceeds
+            its maximum operating temperature.
+        """
+        result = SimulationResult(
+            scheme=self.config.name,
+            trace_name=self.trace.name,
+            n_servers=self.trace.n_servers,
+            interval_s=self.trace.interval_s,
+        )
+        for step_index in range(self.trace.n_steps):
+            result.append(self._run_step(step_index))
+        return result
+
+    def _run_step(self, step_index: int) -> StepRecord:
+        step_utils = self.trace.step(step_index)
+        total_generation = 0.0
+        total_cpu_power = 0.0
+        total_chiller = 0.0
+        total_tower = 0.0
+        total_pump = 0.0
+        violations = 0
+        max_cpu_temp = -np.inf
+        inlet_sum = 0.0
+        flow_sum = 0.0
+
+        for group, circulation in zip(self._groups, self._circulations):
+            raw_utils = step_utils[group]
+            scheduled = self._scheduler.schedule(raw_utils)
+            decision = self._policy.decide(scheduled)
+            state = circulation.evaluate(scheduled, decision.setting)
+            total_generation += state.total_generation_w
+            total_cpu_power += state.total_cpu_power_w
+            total_chiller += state.chiller_power_w
+            total_tower += state.tower_power_w
+            total_pump += state.pump_power_w
+            max_cpu_temp = max(max_cpu_temp, state.max_cpu_temp_c)
+            inlet_sum += state.setting.inlet_temp_c * len(group)
+            flow_sum += state.setting.flow_l_per_h * len(group)
+            step_violations = circulation.safety_violations(state)
+            violations += len(step_violations)
+            if step_violations and self.config.strict_safety:
+                raise CoolingFailureError(
+                    f"CPU over temperature at t="
+                    f"{step_index * self.trace.interval_s:.0f}s in "
+                    f"circulation starting at server {group[0]}",
+                    server_id=int(group[step_violations[0]]),
+                    temperature_c=float(state.cpu_temps_c[
+                        step_violations[0]]),
+                )
+
+        n = self.trace.n_servers
+        return StepRecord(
+            time_s=step_index * self.trace.interval_s,
+            mean_utilisation=float(step_utils.mean()),
+            max_utilisation=float(step_utils.max()),
+            generation_per_cpu_w=total_generation / n,
+            cpu_power_per_cpu_w=total_cpu_power / n,
+            mean_inlet_temp_c=inlet_sum / n,
+            mean_flow_l_per_h=flow_sum / n,
+            max_cpu_temp_c=float(max_cpu_temp),
+            chiller_power_w=total_chiller,
+            tower_power_w=total_tower,
+            pump_power_w=total_pump,
+            safety_violations=violations,
+        )
+
+
+def compare_schemes(trace: WorkloadTrace, baseline: SimulationConfig,
+                    optimised: SimulationConfig,
+                    cpu_model: CpuThermalModel | None = None,
+                    teg_module: TegModule | None = None):
+    """Run two schemes on the same trace and return a comparison.
+
+    Convenience wrapper used by the Fig. 14/15 benchmarks.
+    """
+    from .results import SchemeComparison
+
+    cpu_model = cpu_model or CpuThermalModel()
+    teg_module = teg_module or default_server_module()
+    base_result = DatacenterSimulator(
+        trace, baseline, cpu_model, teg_module).run()
+    opt_result = DatacenterSimulator(
+        trace, optimised, cpu_model, teg_module).run()
+    return SchemeComparison(baseline=base_result, optimised=opt_result)

@@ -1,0 +1,23 @@
+"""Economics: TCO, reuse metrics and break-even analysis (Sec. V-C/V-D).
+
+* :mod:`repro.economics.tco` — the Table I total-cost-of-ownership model;
+* :mod:`repro.economics.metrics` — PRE (Eq. 19), ERE and PUE;
+* :mod:`repro.economics.breakeven` — payback time of the TEG investment.
+"""
+
+from .tco import TcoModel, TcoBreakdown
+from .metrics import (
+    power_reusing_efficiency,
+    energy_reuse_effectiveness,
+    power_usage_effectiveness,
+)
+from .breakeven import BreakEvenAnalysis
+
+__all__ = [
+    "TcoModel",
+    "TcoBreakdown",
+    "power_reusing_efficiency",
+    "energy_reuse_effectiveness",
+    "power_usage_effectiveness",
+    "BreakEvenAnalysis",
+]

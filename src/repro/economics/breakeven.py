@@ -1,0 +1,74 @@
+"""Break-even analysis of the TEG investment (Sec. V-D).
+
+The paper evaluates a 100,000-CPU cluster with 1,200,000 TEGs at $1 each:
+at 4.177 W per CPU the daily revenue is 10,024.8 kWh * $0.13 = $1,303.2,
+so the purchase pays back in ~920 days.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import (
+    ELECTRICITY_PRICE_USD_PER_KWH,
+    TEG_UNIT_PRICE_USD,
+    TEGS_PER_SERVER,
+)
+from ..errors import PhysicalRangeError
+
+
+@dataclass(frozen=True)
+class BreakEvenAnalysis:
+    """Payback analysis of deploying TEGs on a CPU fleet.
+
+    Attributes
+    ----------
+    n_cpus:
+        Fleet size (paper: 100,000).
+    tegs_per_cpu:
+        TEGs per server (paper: 12).
+    teg_unit_price_usd:
+        Purchase price per TEG (paper: $1).
+    electricity_price_usd_per_kwh:
+        Tariff applied to the generated energy.
+    """
+
+    n_cpus: int = 100_000
+    tegs_per_cpu: int = TEGS_PER_SERVER
+    teg_unit_price_usd: float = TEG_UNIT_PRICE_USD
+    electricity_price_usd_per_kwh: float = ELECTRICITY_PRICE_USD_PER_KWH
+
+    def __post_init__(self) -> None:
+        if self.n_cpus <= 0:
+            raise PhysicalRangeError(f"n_cpus must be > 0, got {self.n_cpus}")
+        if self.tegs_per_cpu <= 0:
+            raise PhysicalRangeError("tegs_per_cpu must be > 0")
+        if self.teg_unit_price_usd < 0:
+            raise PhysicalRangeError("TEG price must be >= 0")
+        if self.electricity_price_usd_per_kwh <= 0:
+            raise PhysicalRangeError("electricity price must be > 0")
+
+    @property
+    def purchase_price_usd(self) -> float:
+        """Up-front TEG purchase (paper: $1,200,000)."""
+        return self.n_cpus * self.tegs_per_cpu * self.teg_unit_price_usd
+
+    def daily_energy_kwh(self, average_generation_w: float) -> float:
+        """Fleet-wide energy generated per day (paper: 10,024.8 kWh)."""
+        if average_generation_w < 0:
+            raise PhysicalRangeError(
+                f"generation must be >= 0, got {average_generation_w}")
+        return average_generation_w * self.n_cpus * 24.0 / 1000.0
+
+    def daily_revenue_usd(self, average_generation_w: float) -> float:
+        """Fleet-wide revenue per day (paper: $1,303.2)."""
+        return (self.daily_energy_kwh(average_generation_w)
+                * self.electricity_price_usd_per_kwh)
+
+    def break_even_days(self, average_generation_w: float) -> float:
+        """Days until the purchase is paid back (paper: ~920)."""
+        revenue = self.daily_revenue_usd(average_generation_w)
+        if revenue <= 0:
+            return math.inf
+        return self.purchase_price_usd / revenue

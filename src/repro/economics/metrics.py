@@ -1,0 +1,62 @@
+"""Datacenter energy-efficiency metrics.
+
+* **PRE** (power reusing efficiency, Eq. 19) — the paper's own metric:
+  TEG generation over CPU consumption;
+* **ERE** (energy reuse effectiveness, Green Grid) — Sec. II-C:
+  ``(E_IT + E_Cooling + E_Power + E_Lighting - E_Reuse) / E_IT``;
+* **PUE** (power usage effectiveness) — total facility energy over IT
+  energy.
+"""
+
+from __future__ import annotations
+
+from ..errors import PhysicalRangeError
+
+
+def power_reusing_efficiency(generation_w: float,
+                             cpu_consumption_w: float) -> float:
+    """PRE = TEG generation / CPU consumption (paper Eq. 19).
+
+    Parameters
+    ----------
+    generation_w:
+        TEG output power (per CPU or cluster-wide — be consistent).
+    cpu_consumption_w:
+        CPU power consumption on the same basis.
+
+    Returns
+    -------
+    float
+        PRE as a fraction (paper: 0.128-0.162 under LoadBalance).
+    """
+    if generation_w < 0:
+        raise PhysicalRangeError(
+            f"generation must be >= 0, got {generation_w}")
+    if cpu_consumption_w <= 0:
+        raise PhysicalRangeError(
+            f"CPU consumption must be > 0, got {cpu_consumption_w}")
+    return generation_w / cpu_consumption_w
+
+
+def energy_reuse_effectiveness(it_kwh: float, cooling_kwh: float,
+                               power_kwh: float, lighting_kwh: float,
+                               reuse_kwh: float) -> float:
+    """ERE (Sec. II-C).  Values below PUE indicate effective reuse; going
+    below 1.0 means more energy is reused than non-IT overhead consumed."""
+    for name, value in (("it", it_kwh), ("cooling", cooling_kwh),
+                        ("power", power_kwh), ("lighting", lighting_kwh),
+                        ("reuse", reuse_kwh)):
+        if value < 0:
+            raise PhysicalRangeError(f"{name} energy must be >= 0")
+    if it_kwh == 0:
+        raise PhysicalRangeError("IT energy must be > 0")
+    return (it_kwh + cooling_kwh + power_kwh + lighting_kwh
+            - reuse_kwh) / it_kwh
+
+
+def power_usage_effectiveness(it_kwh: float, cooling_kwh: float,
+                              power_kwh: float,
+                              lighting_kwh: float) -> float:
+    """PUE = total facility energy / IT energy (>= 1 by construction)."""
+    return energy_reuse_effectiveness(it_kwh, cooling_kwh, power_kwh,
+                                      lighting_kwh, reuse_kwh=0.0)

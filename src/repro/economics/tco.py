@@ -1,0 +1,122 @@
+"""Total cost of ownership (Table I, Eqs. 21-22).
+
+The paper computes per-server monthly costs:
+
+    TCO_noTEG = (DCInfraCapEx + ServCapEx) + (DCInfraOpEx + ServOpEx)
+    TCO_H2P   = TCO_noTEG + TEGCapEx - TEGRev
+
+with Table I values (21.26 + 31.25 + 7.63 + 1.56 = $61.70/server/month).
+TEGRev follows from the measured average generation and the electricity
+price; the paper reports TCO reductions of 0.49 % (*TEG_Original*) and
+0.57 % (*TEG_LoadBalance*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import (
+    DC_INFRA_CAPEX_USD,
+    DC_INFRA_OPEX_USD,
+    ELECTRICITY_PRICE_USD_PER_KWH,
+    HOURS_PER_MONTH,
+    SERVER_CAPEX_USD,
+    SERVER_OPEX_USD,
+    TEG_LIFESPAN_YEARS,
+    TEG_UNIT_PRICE_USD,
+    TEGS_PER_SERVER,
+)
+from ..errors import PhysicalRangeError
+
+
+@dataclass(frozen=True)
+class TcoBreakdown:
+    """Per-server monthly TCO with and without H2P (USD/server/month)."""
+
+    tco_no_teg_usd: float
+    teg_capex_usd: float
+    teg_revenue_usd: float
+
+    @property
+    def tco_h2p_usd(self) -> float:
+        """Eq. 22: baseline plus TEG CapEx minus TEG revenue."""
+        return self.tco_no_teg_usd + self.teg_capex_usd - self.teg_revenue_usd
+
+    @property
+    def monthly_saving_usd(self) -> float:
+        """Per-server monthly saving from H2P (can be negative)."""
+        return self.tco_no_teg_usd - self.tco_h2p_usd
+
+    @property
+    def reduction_fraction(self) -> float:
+        """Relative TCO reduction (paper: up to 0.0057)."""
+        return self.monthly_saving_usd / self.tco_no_teg_usd
+
+    def annual_savings_usd(self, n_servers: int) -> float:
+        """Fleet-level yearly saving (paper: ~$410k for 100k CPUs)."""
+        if n_servers <= 0:
+            raise PhysicalRangeError(
+                f"n_servers must be > 0, got {n_servers}")
+        return self.monthly_saving_usd * 12.0 * n_servers
+
+
+@dataclass(frozen=True)
+class TcoModel:
+    """The Table I cost model.
+
+    All money figures are USD per server per month unless noted.
+    """
+
+    dc_infra_capex: float = DC_INFRA_CAPEX_USD
+    server_capex: float = SERVER_CAPEX_USD
+    dc_infra_opex: float = DC_INFRA_OPEX_USD
+    server_opex: float = SERVER_OPEX_USD
+    tegs_per_server: int = TEGS_PER_SERVER
+    teg_unit_price_usd: float = TEG_UNIT_PRICE_USD
+    teg_lifespan_years: float = TEG_LIFESPAN_YEARS
+    electricity_price_usd_per_kwh: float = ELECTRICITY_PRICE_USD_PER_KWH
+
+    def __post_init__(self) -> None:
+        for name in ("dc_infra_capex", "server_capex", "dc_infra_opex",
+                     "server_opex", "teg_unit_price_usd"):
+            if getattr(self, name) < 0:
+                raise PhysicalRangeError(f"{name} must be >= 0")
+        if self.tegs_per_server <= 0:
+            raise PhysicalRangeError("tegs_per_server must be > 0")
+        if self.teg_lifespan_years <= 0:
+            raise PhysicalRangeError("teg_lifespan_years must be > 0")
+        if self.electricity_price_usd_per_kwh <= 0:
+            raise PhysicalRangeError("electricity price must be > 0")
+
+    @property
+    def tco_no_teg_usd(self) -> float:
+        """Eq. 21 (Table I: $61.70/server/month)."""
+        return (self.dc_infra_capex + self.server_capex
+                + self.dc_infra_opex + self.server_opex)
+
+    @property
+    def teg_capex_usd_per_month(self) -> float:
+        """TEG purchase amortised over the lifespan (Table I: $0.04)."""
+        total = self.tegs_per_server * self.teg_unit_price_usd
+        return total / (self.teg_lifespan_years * 12.0)
+
+    def teg_revenue_usd_per_month(self, average_generation_w: float) -> float:
+        """Electricity revenue of one server's TEG module per month.
+
+        ``TEGRev = P_avg[kW] * 720h * price`` — Table I: $0.34 at 3.694 W
+        and $0.39 at 4.177 W.
+        """
+        if average_generation_w < 0:
+            raise PhysicalRangeError(
+                f"generation must be >= 0, got {average_generation_w}")
+        kwh = average_generation_w / 1000.0 * HOURS_PER_MONTH
+        return kwh * self.electricity_price_usd_per_kwh
+
+    def breakdown(self, average_generation_w: float) -> TcoBreakdown:
+        """Full Eq. 21/22 breakdown for a measured average generation."""
+        return TcoBreakdown(
+            tco_no_teg_usd=self.tco_no_teg_usd,
+            teg_capex_usd=self.teg_capex_usd_per_month,
+            teg_revenue_usd=self.teg_revenue_usd_per_month(
+                average_generation_w),
+        )

@@ -1,0 +1,97 @@
+"""Environmental profiles: ambient wet-bulb and natural cold sources.
+
+The paper fixes the TEG cold side at 20 °C (Qiandao Lake deep water is
+"15-20 °C perennially") and lets the cooling tower do the facility-side
+work.  Real deployments see diurnal and seasonal swings in both; this
+module provides smooth profiles so sensitivity studies (benchmark E-AB4)
+and multi-day simulations can vary them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import PhysicalRangeError
+
+_SECONDS_PER_DAY = 86_400.0
+_SECONDS_PER_YEAR = 365.0 * _SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class WetBulbProfile:
+    """Diurnal + seasonal ambient wet-bulb temperature model.
+
+    ``T(t) = annual_mean + seasonal*cos(year phase) + diurnal*cos(day
+    phase)`` with the warmest day at ``peak_day_of_year`` and the warmest
+    hour at ``peak_hour``.
+    """
+
+    annual_mean_c: float = 16.0
+    seasonal_amplitude_c: float = 8.0
+    diurnal_amplitude_c: float = 3.0
+    peak_day_of_year: float = 200.0
+    peak_hour: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.seasonal_amplitude_c < 0 or self.diurnal_amplitude_c < 0:
+            raise PhysicalRangeError("amplitudes must be >= 0")
+
+    def at(self, t_seconds: float) -> float:
+        """Wet-bulb temperature at ``t_seconds`` from year start, degC."""
+        day = t_seconds / _SECONDS_PER_DAY
+        seasonal = self.seasonal_amplitude_c * math.cos(
+            2.0 * math.pi * (day - self.peak_day_of_year) / 365.0)
+        hour = (t_seconds % _SECONDS_PER_DAY) / 3600.0
+        diurnal = self.diurnal_amplitude_c * math.cos(
+            2.0 * math.pi * (hour - self.peak_hour) / 24.0)
+        return self.annual_mean_c + seasonal + diurnal
+
+
+@dataclass(frozen=True)
+class ColdSourceProfile:
+    """Natural-water cold source with seasonal drift and thermal inertia.
+
+    Deep lake/sea water follows the seasons with a damped amplitude and a
+    lag (water heats slower than air).  Defaults model a Qiandao-Lake-
+    class source: 17.5 ± 2.5 °C, warmest ~6 weeks after midsummer.
+    """
+
+    annual_mean_c: float = 17.5
+    seasonal_amplitude_c: float = 2.5
+    peak_day_of_year: float = 240.0
+
+    def __post_init__(self) -> None:
+        if self.seasonal_amplitude_c < 0:
+            raise PhysicalRangeError("amplitude must be >= 0")
+        if self.annual_mean_c < 0 or self.annual_mean_c > 40:
+            raise PhysicalRangeError(
+                "natural water mean outside the plausible 0-40 C")
+
+    def at(self, t_seconds: float) -> float:
+        """Cold-source temperature at ``t_seconds`` from year start."""
+        day = t_seconds / _SECONDS_PER_DAY
+        return self.annual_mean_c + self.seasonal_amplitude_c * math.cos(
+            2.0 * math.pi * (day - self.peak_day_of_year) / 365.0)
+
+    def range_c(self) -> tuple[float, float]:
+        """The (min, max) the profile spans over a year."""
+        return (self.annual_mean_c - self.seasonal_amplitude_c,
+                self.annual_mean_c + self.seasonal_amplitude_c)
+
+
+#: Named climates for sensitivity studies.  Wet-bulb means/amplitudes are
+#: representative of the cited deployment regions (Sec. I-II).
+CLIMATES: dict[str, WetBulbProfile] = {
+    # Qiandao Lake region (subtropical, humid).
+    "hangzhou": WetBulbProfile(annual_mean_c=16.0, seasonal_amplitude_c=9.0,
+                               diurnal_amplitude_c=2.5),
+    # Tropical, hot all year round (the paper's Singapore example).
+    "singapore": WetBulbProfile(annual_mean_c=25.5,
+                                seasonal_amplitude_c=1.0,
+                                diurnal_amplitude_c=1.5),
+    # High latitude with cold winters (the district-heating belt).
+    "stockholm": WetBulbProfile(annual_mean_c=6.0,
+                                seasonal_amplitude_c=9.5,
+                                diurnal_amplitude_c=2.0),
+}

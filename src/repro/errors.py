@@ -1,0 +1,48 @@
+"""Exception hierarchy for the H2P reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch every failure mode of the package with a single ``except`` clause
+while still being able to discriminate on the concrete subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object or parameter set is inconsistent or invalid."""
+
+
+class PhysicalRangeError(ReproError, ValueError):
+    """A physical quantity is outside its admissible range.
+
+    Raised, for example, when a negative flow rate, an absolute temperature
+    below 0 K, or a utilisation outside ``[0, 1]`` is supplied.
+    """
+
+
+class CoolingFailureError(ReproError):
+    """A CPU exceeded its maximum operating temperature during simulation.
+
+    The simulator raises this only when configured with
+    ``strict_safety=True``; otherwise the violation is recorded in the
+    result object and the run continues (matching how the paper's testbed
+    logs rather than halts).
+    """
+
+    def __init__(self, message: str, *, server_id: int | None = None,
+                 temperature_c: float | None = None) -> None:
+        super().__init__(message)
+        self.server_id = server_id
+        self.temperature_c = temperature_c
+
+
+class TraceFormatError(ReproError):
+    """A workload trace file or array does not have the expected layout."""
+
+
+class ConvergenceError(ReproError):
+    """A numerical routine (optimiser, integrator) failed to converge."""

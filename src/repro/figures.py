@@ -1,0 +1,172 @@
+"""Programmatic access to every figure's data series.
+
+Each ``fig*_data`` function regenerates the series behind one figure of
+the paper and returns plain dictionaries of numpy arrays — ready for any
+plotting library (none is required by this package).  The benchmark
+suite asserts on the *shapes* of these series; this module is the public
+way to get the numbers themselves.
+
+>>> from repro.figures import fig8_data
+>>> data = fig8_data()
+>>> data["voltage_v"][12][-1]   # Voc of 12 TEGs at the largest dT
+6.5...
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .constants import CPU_SAFE_TEMP_C
+from .control.lookup_space import LookupSpace
+from .core.config import teg_loadbalance, teg_original
+from .core.h2p import H2PSystem
+from .errors import PhysicalRangeError
+from .teg.module import TegString
+from .teg.placement import FIG3_PHASES, PlacementStudy
+from .thermal.cpu_model import CoolingSetting, CpuThermalModel
+from .workloads.synthetic import trace_by_name
+
+
+def fig3_data(output_dt_s: float = 10.0) -> dict:
+    """Fig. 3: the TEG-sandwich transient (both CPU branches)."""
+    outcome = PlacementStudy().run(FIG3_PHASES, output_dt_s=output_dt_s)
+    return {
+        "times_s": outcome.times_s,
+        "cpu0_temp_c": outcome.sandwiched.temperatures_c["cpu"],
+        "cpu1_temp_c": outcome.direct.temperatures_c["cpu"],
+        "teg_voltage_v": outcome.teg_voltage_v,
+    }
+
+
+def fig7_data(flows_l_per_h: Sequence[float] = (50.0, 100.0, 200.0,
+                                                300.0),
+              deltas_c: Sequence[float] | None = None) -> dict:
+    """Fig. 7: Voc of 6 series TEGs vs dT at several flow rates."""
+    deltas = np.asarray(deltas_c if deltas_c is not None
+                        else np.arange(0.0, 26.0, 1.0))
+    string = TegString(count=6)
+    return {
+        "deltas_c": deltas,
+        "voltage_v": {
+            float(flow): np.array([
+                string.open_circuit_voltage_v(float(d), float(flow))
+                for d in deltas])
+            for flow in flows_l_per_h
+        },
+    }
+
+
+def fig8_data(counts: Sequence[int] = (1, 3, 6, 12),
+              deltas_c: Sequence[float] | None = None) -> dict:
+    """Fig. 8: Voc (a) and max power (b) vs dT for n TEGs in series."""
+    deltas = np.asarray(deltas_c if deltas_c is not None
+                        else np.arange(0.0, 26.0, 1.0))
+    voltage = {}
+    power = {}
+    for count in counts:
+        string = TegString(count=int(count))
+        voltage[int(count)] = np.array(
+            [string.open_circuit_voltage_v(float(d)) for d in deltas])
+        power[int(count)] = np.array(
+            [string.max_power_w(float(d)) for d in deltas])
+    return {"deltas_c": deltas, "voltage_v": voltage, "power_w": power}
+
+
+def fig9_data(utilisations: Sequence[float] | None = None,
+              flows_l_per_h: Sequence[float] = (20.0, 100.0, 300.0),
+              inlets_c: Sequence[float] = (30.0, 35.0, 40.0, 45.0),
+              ) -> dict:
+    """Fig. 9: outlet-inlet temperature rise vs u, flow, inlet temp."""
+    utils = np.asarray(utilisations if utilisations is not None
+                       else np.arange(0.0, 1.01, 0.05))
+    model = CpuThermalModel().outlet_model
+    by_flow = {float(flow): np.array([
+        np.mean([model.delta_c(float(u), float(flow), float(t))
+                 for t in inlets_c]) for u in utils])
+        for flow in flows_l_per_h}
+    by_inlet = {float(t): np.array([
+        model.delta_c(float(u), 20.0, float(t)) for u in utils])
+        for t in inlets_c}
+    return {"utilisations": utils, "by_flow": by_flow,
+            "by_inlet": by_inlet}
+
+
+def fig10_data(coolants_c: Sequence[float] = (30.0, 35.0, 40.0, 45.0),
+               utilisations: Sequence[float] | None = None) -> dict:
+    """Fig. 10: CPU temperature and frequency vs utilisation."""
+    utils = np.asarray(utilisations if utilisations is not None
+                       else np.arange(0.0, 1.01, 0.05))
+    model = CpuThermalModel()
+    temps = {float(c): np.array([
+        model.cpu_temp_c(float(u), CoolingSetting(
+            flow_l_per_h=20.0, inlet_temp_c=float(c))) for u in utils])
+        for c in coolants_c}
+    freqs = np.array([model.frequency_ghz(float(u)) for u in utils])
+    return {"utilisations": utils, "temps_c": temps,
+            "frequency_ghz": freqs}
+
+
+def fig11_data(flows_l_per_h: Sequence[float] = (20.0, 50.0, 100.0,
+                                                 150.0, 250.0, 300.0),
+               coolants_c: Sequence[float] | None = None) -> dict:
+    """Fig. 11: CPU temperature vs coolant temperature per flow."""
+    coolants = np.asarray(coolants_c if coolants_c is not None
+                          else np.arange(30.0, 51.0, 2.5))
+    model = CpuThermalModel()
+    lines = {float(flow): np.array([
+        model.cpu_temp_c(1.0, CoolingSetting(
+            flow_l_per_h=float(flow), inlet_temp_c=float(t)))
+        for t in coolants]) for flow in flows_l_per_h}
+    return {"coolants_c": coolants, "temps_c": lines,
+            "slopes": {float(flow): model.slope(float(flow))
+                       for flow in flows_l_per_h}}
+
+
+def fig13_data(u_max: float = 0.7, u_avg: float = 0.25,
+               safe_temp_c: float = CPU_SAFE_TEMP_C,
+               tolerance_c: float = 1.0) -> dict:
+    """Fig. 13: the A_max and A_avg regions of the lookup space."""
+    if not 0.0 <= u_avg <= u_max <= 1.0:
+        raise PhysicalRangeError(
+            "need 0 <= u_avg <= u_max <= 1")
+    space = LookupSpace()
+    def pack(region):
+        return {
+            "flow_l_per_h": np.array([p.flow_l_per_h for p in region]),
+            "inlet_temp_c": np.array([p.inlet_temp_c for p in region]),
+            "cpu_temp_c": np.array([p.cpu_temp_c for p in region]),
+            "outlet_temp_c": np.array([p.outlet_temp_c
+                                       for p in region]),
+        }
+    return {
+        "a_max": pack(space.safe_region(u_max, safe_temp_c,
+                                        tolerance_c)),
+        "a_avg": pack(space.safe_region(u_avg, safe_temp_c,
+                                        tolerance_c)),
+    }
+
+
+def fig14_15_data(trace_names: Sequence[str] = ("drastic", "irregular",
+                                                "common"),
+                  n_servers: int = 400) -> dict:
+    """Figs. 14-15: generation and PRE series per trace and scheme.
+
+    This is the expensive one (~30 s at 400 servers).
+    """
+    system = H2PSystem()
+    out = {}
+    for name in trace_names:
+        trace = trace_by_name(name, n_servers=n_servers)
+        comparison = system.compare(trace, teg_original(),
+                                    teg_loadbalance())
+        out[name] = {
+            "times_s": comparison.baseline.times_s,
+            "utilisation": comparison.baseline.utilisation_series,
+            "original_w": comparison.baseline.generation_series_w,
+            "loadbalance_w": comparison.optimised.generation_series_w,
+            "original_pre": comparison.baseline.average_pre,
+            "loadbalance_pre": comparison.optimised.average_pre,
+        }
+    return out

@@ -1,0 +1,32 @@
+"""Waste-heat reuse alternatives (Sec. II-C).
+
+The paper positions H2P against the two established reuse routes:
+
+* **district heating** — valuable but demand-limited: "heat is not
+  always in great demand from season to season, from district to
+  district", and it needs a mature urban heating system;
+* **CCHP** — combined cooling, heat and power, with "much higher"
+  construction and maintenance costs and a gas supply.
+
+This subpackage models both alternatives and a comparison harness so the
+Sec. II-C argument can be evaluated quantitatively for a given climate
+and datacenter:
+
+* :mod:`repro.heatreuse.district` — seasonal heat-demand model and a
+  district-heating offtake with transport losses;
+* :mod:`repro.heatreuse.cchp` — an absorption-chiller CCHP plant;
+* :mod:`repro.heatreuse.comparison` — annualised value of each route
+  (H2P TEGs included) for one datacenter heat stream.
+"""
+
+from .district import DistrictHeatingSystem, HeatDemandProfile
+from .cchp import CchpPlant
+from .comparison import ReuseComparison, ReuseOption
+
+__all__ = [
+    "DistrictHeatingSystem",
+    "HeatDemandProfile",
+    "CchpPlant",
+    "ReuseComparison",
+    "ReuseOption",
+]

@@ -1,0 +1,137 @@
+"""Combined cooling, heat and power (CCHP) — the Sec. II-C alternative.
+
+A CCHP plant burns gas to co-generate electricity, useful heat and (via
+an absorption chiller) cooling.  The paper's objections: high
+construction and maintenance costs, gas supply with "stricter fire and
+explosion protection", and the fact that datacenter waste heat is too
+low-grade to drive a steam turbine by itself — CCHP is a *co-located
+generator*, not a waste-heat recycler, so the datacenter's warm water can
+at best pre-heat its bottoming cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PhysicalRangeError
+
+_HOURS_PER_YEAR = 8760.0
+
+
+@dataclass(frozen=True)
+class CchpPlant:
+    """A small gas-fired CCHP plant co-located with the datacenter.
+
+    Attributes
+    ----------
+    electrical_efficiency:
+        Gas-to-electricity conversion of the prime mover.
+    heat_recovery_efficiency:
+        Fraction of the remaining fuel energy recovered as useful heat.
+    absorption_cop:
+        COP of the absorption chiller driven by the recovered heat.
+    gas_price_usd_per_kwh:
+        Fuel price per kWh of gas (HHV).
+    capex_usd_per_kw:
+        Installed cost per kW of electrical capacity.
+    lifetime_years:
+        Plant amortisation horizon.
+    maintenance_usd_per_kwh:
+        O&M per kWh of electricity produced (the "much higher ...
+        maintenance costs").
+    waste_heat_boost:
+        Fraction of the datacenter's warm-water heat that usefully
+        pre-heats the bottoming cycle (small: the water is low-grade).
+    """
+
+    electrical_efficiency: float = 0.35
+    heat_recovery_efficiency: float = 0.45
+    absorption_cop: float = 0.7
+    gas_price_usd_per_kwh: float = 0.035
+    capex_usd_per_kw: float = 1500.0
+    lifetime_years: float = 20.0
+    maintenance_usd_per_kwh: float = 0.012
+    waste_heat_boost: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.electrical_efficiency < 1.0:
+            raise PhysicalRangeError(
+                "electrical efficiency must be in (0, 1)")
+        if not 0.0 <= self.heat_recovery_efficiency < 1.0:
+            raise PhysicalRangeError(
+                "heat recovery efficiency must be in [0, 1)")
+        if (self.electrical_efficiency
+                + self.heat_recovery_efficiency) >= 1.0:
+            raise PhysicalRangeError(
+                "electrical + heat recovery efficiency must be < 1")
+        if self.absorption_cop <= 0:
+            raise PhysicalRangeError("absorption COP must be > 0")
+        if not 0.0 <= self.waste_heat_boost <= 0.5:
+            raise PhysicalRangeError(
+                "waste-heat boost must be in [0, 0.5]")
+        for name in ("gas_price_usd_per_kwh", "capex_usd_per_kw",
+                     "maintenance_usd_per_kwh"):
+            if getattr(self, name) < 0:
+                raise PhysicalRangeError(f"{name} must be >= 0")
+        if self.lifetime_years <= 0:
+            raise PhysicalRangeError("lifetime must be > 0")
+
+    # ------------------------------------------------------------------
+
+    def electricity_kwh_per_year(self, capacity_kw: float,
+                                 capacity_factor: float = 0.85) -> float:
+        """Annual electricity production of a plant of ``capacity_kw``."""
+        self._check_capacity(capacity_kw, capacity_factor)
+        return capacity_kw * capacity_factor * _HOURS_PER_YEAR
+
+    def gas_kwh_per_year(self, capacity_kw: float,
+                         capacity_factor: float = 0.85,
+                         datacenter_heat_kw: float = 0.0) -> float:
+        """Annual fuel input; datacenter warm water trims it slightly."""
+        if datacenter_heat_kw < 0:
+            raise PhysicalRangeError("datacenter heat must be >= 0")
+        electricity = self.electricity_kwh_per_year(capacity_kw,
+                                                    capacity_factor)
+        gas = electricity / self.electrical_efficiency
+        credit = (datacenter_heat_kw * self.waste_heat_boost
+                  * _HOURS_PER_YEAR)
+        return max(0.0, gas - credit)
+
+    def cooling_kwh_per_year(self, capacity_kw: float,
+                             capacity_factor: float = 0.85) -> float:
+        """Annual cooling the absorption chiller delivers."""
+        gas = (self.electricity_kwh_per_year(capacity_kw, capacity_factor)
+               / self.electrical_efficiency)
+        recovered_heat = gas * self.heat_recovery_efficiency
+        return recovered_heat * self.absorption_cop
+
+    def annual_net_value_usd(self, capacity_kw: float,
+                             electricity_price_usd_per_kwh: float,
+                             capacity_factor: float = 0.85,
+                             datacenter_heat_kw: float = 0.0,
+                             cooling_value_usd_per_kwh: float = 0.02,
+                             ) -> float:
+        """Revenue (electricity + cooling) minus fuel, O&M and CapEx."""
+        if electricity_price_usd_per_kwh < 0 or cooling_value_usd_per_kwh < 0:
+            raise PhysicalRangeError("prices must be >= 0")
+        electricity = self.electricity_kwh_per_year(capacity_kw,
+                                                    capacity_factor)
+        cooling = self.cooling_kwh_per_year(capacity_kw, capacity_factor)
+        gas = self.gas_kwh_per_year(capacity_kw, capacity_factor,
+                                    datacenter_heat_kw)
+        revenue = (electricity * electricity_price_usd_per_kwh
+                   + cooling * cooling_value_usd_per_kwh)
+        costs = (gas * self.gas_price_usd_per_kwh
+                 + electricity * self.maintenance_usd_per_kwh
+                 + capacity_kw * self.capex_usd_per_kw
+                 / self.lifetime_years)
+        return revenue - costs
+
+    @staticmethod
+    def _check_capacity(capacity_kw: float,
+                        capacity_factor: float) -> None:
+        if capacity_kw < 0:
+            raise PhysicalRangeError("capacity must be >= 0")
+        if not 0.0 <= capacity_factor <= 1.0:
+            raise PhysicalRangeError(
+                "capacity factor must be in [0, 1]")

@@ -1,0 +1,147 @@
+"""Side-by-side valuation of the reuse routes (the Sec. II-C argument).
+
+Given one datacenter's waste-heat stream and climate, compute the
+annualised value of:
+
+* **H2P** — TEG recycling: revenue follows the electricity recovered,
+  installation is trivial (the modules clamp onto existing loops);
+* **district heating** — demand-limited heat sales minus the pipeline;
+* **CCHP** — a co-located tri-generation plant (whose value is mostly
+  independent of the datacenter's low-grade heat).
+
+The paper's qualitative claims this harness makes testable: district
+heating collapses in warm climates (Singapore) and holds up in cold ones
+(Stockholm); H2P's value is climate-independent; CCHP is a different
+business, not a waste-heat recycler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constants import ELECTRICITY_PRICE_USD_PER_KWH, TEG_UNIT_PRICE_USD
+from ..environment import WetBulbProfile
+from ..errors import PhysicalRangeError
+from .cchp import CchpPlant
+from .district import DistrictHeatingSystem, HeatDemandProfile
+
+_HOURS_PER_YEAR = 8760.0
+
+
+@dataclass(frozen=True)
+class ReuseOption:
+    """One valued reuse route."""
+
+    name: str
+    annual_value_usd: float
+    utilisation: float
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class ReuseComparison:
+    """A datacenter's heat stream, valued under each reuse route.
+
+    Attributes
+    ----------
+    n_servers:
+        Cluster size.
+    heat_per_server_kw:
+        Average heat each server sheds into the loop (~IT power).
+    teg_generation_per_server_w:
+        Average TEG output per server under H2P.
+    climate:
+        The deployment climate (drives district-heating demand).
+    electricity_price_usd_per_kwh:
+        Local tariff.
+    """
+
+    n_servers: int = 1000
+    heat_per_server_kw: float = 0.048
+    teg_generation_per_server_w: float = 4.177
+    climate: WetBulbProfile = field(default_factory=WetBulbProfile)
+    electricity_price_usd_per_kwh: float = ELECTRICITY_PRICE_USD_PER_KWH
+    #: District-heating connection cost per kW of exported heat
+    #: (pipes, heat exchangers, integration — the "huge project").
+    dh_connection_usd_per_kw: float = 800.0
+    district: DistrictHeatingSystem | None = None
+    cchp: CchpPlant = field(default_factory=CchpPlant)
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise PhysicalRangeError("n_servers must be > 0")
+        if self.heat_per_server_kw <= 0:
+            raise PhysicalRangeError("heat per server must be > 0")
+        if self.teg_generation_per_server_w < 0:
+            raise PhysicalRangeError("TEG generation must be >= 0")
+        if self.dh_connection_usd_per_kw < 0:
+            raise PhysicalRangeError("connection cost must be >= 0")
+
+    @property
+    def total_heat_kw(self) -> float:
+        """The datacenter's continuous waste-heat stream."""
+        return self.n_servers * self.heat_per_server_kw
+
+    def _district(self) -> DistrictHeatingSystem:
+        if self.district is not None:
+            return self.district
+        # Size the district's peak demand to the datacenter's output so
+        # the *seasonal availability*, not sizing, drives the result, and
+        # scale the pipeline to the exported capacity.
+        return DistrictHeatingSystem(
+            demand=HeatDemandProfile(climate=self.climate,
+                                     peak_demand_kw=self.total_heat_kw),
+            pipeline_capex_usd=self.dh_connection_usd_per_kw
+            * self.total_heat_kw)
+
+    # ------------------------------------------------------------------
+
+    def h2p_option(self) -> ReuseOption:
+        """Value of TEG recycling, net of amortised module cost."""
+        generation_kw = (self.n_servers
+                         * self.teg_generation_per_server_w / 1000.0)
+        revenue = (generation_kw * _HOURS_PER_YEAR
+                   * self.electricity_price_usd_per_kwh)
+        module_cost = (self.n_servers * 12 * TEG_UNIT_PRICE_USD) / 25.0
+        electricity_fraction = (generation_kw / self.total_heat_kw
+                                if self.total_heat_kw else 0.0)
+        return ReuseOption(
+            name="H2P (TEG recycling)",
+            annual_value_usd=revenue - module_cost,
+            utilisation=electricity_fraction,
+            notes="climate-independent; electricity, not heat",
+        )
+
+    def district_option(self) -> ReuseOption:
+        """Value of selling the heat to a district heating system."""
+        system = self._district()
+        supply = self.total_heat_kw
+        return ReuseOption(
+            name="district heating",
+            annual_value_usd=system.annual_revenue_usd(supply),
+            utilisation=system.utilisation_factor(supply),
+            notes=f"{system.demand.heating_hours_per_year()} heating "
+                  f"hours/year in this climate",
+        )
+
+    def cchp_option(self) -> ReuseOption:
+        """Value of a co-located CCHP plant of matching capacity."""
+        capacity_kw = self.total_heat_kw  # same order as the DC's load
+        value = self.cchp.annual_net_value_usd(
+            capacity_kw, self.electricity_price_usd_per_kwh,
+            datacenter_heat_kw=self.total_heat_kw)
+        boost = self.cchp.waste_heat_boost
+        return ReuseOption(
+            name="CCHP",
+            annual_value_usd=value,
+            utilisation=boost,
+            notes="a generator, not a recycler: only "
+                  f"{boost:.0%} of DC heat is usable",
+        )
+
+    def all_options(self) -> list[ReuseOption]:
+        """All three routes, most valuable first."""
+        options = [self.h2p_option(), self.district_option(),
+                   self.cchp_option()]
+        return sorted(options, key=lambda option: option.annual_value_usd,
+                      reverse=True)

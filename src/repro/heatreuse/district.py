@@ -1,0 +1,142 @@
+"""District heating: seasonal demand and the datacenter offtake.
+
+The paper's core objection to district heating is the *mismatch*: "most
+datacenters are located in warm areas, where the peak-hour heat capacity
+of datacenters exceeds the heat demand of residential homes from spring
+to autumn" (Sec. I).  :class:`HeatDemandProfile` models demand as a
+degree-day function of the climate, and
+:class:`DistrictHeatingSystem` computes how much of a datacenter's
+(constant, year-round) heat stream the district can actually absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..environment import WetBulbProfile
+from ..errors import PhysicalRangeError
+
+_HOURS_PER_YEAR = 8760
+
+
+@dataclass(frozen=True)
+class HeatDemandProfile:
+    """Heating demand of the district served by the datacenter's heat.
+
+    Demand follows the heating-degree concept: proportional to how far
+    the ambient sits below a base temperature, zero above it.
+
+    Attributes
+    ----------
+    climate:
+        The district's ambient profile (wet-bulb is a fine proxy for the
+        seasonal shape).
+    base_temp_c:
+        No heating is needed above this ambient temperature.
+    peak_demand_kw:
+        Demand when the ambient is at its annual minimum.
+    """
+
+    climate: WetBulbProfile = field(default_factory=WetBulbProfile)
+    base_temp_c: float = 15.0
+    peak_demand_kw: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.peak_demand_kw <= 0:
+            raise PhysicalRangeError("peak demand must be > 0")
+
+    def _coldest_c(self) -> float:
+        return (self.climate.annual_mean_c
+                - self.climate.seasonal_amplitude_c
+                - self.climate.diurnal_amplitude_c)
+
+    def demand_kw(self, t_seconds: float) -> float:
+        """Heat demand at one instant, kW (0 outside the heating season)."""
+        ambient = self.climate.at(t_seconds)
+        shortfall = self.base_temp_c - ambient
+        if shortfall <= 0.0:
+            return 0.0
+        coldest_shortfall = self.base_temp_c - self._coldest_c()
+        if coldest_shortfall <= 0.0:
+            return 0.0
+        return self.peak_demand_kw * min(1.0,
+                                         shortfall / coldest_shortfall)
+
+    def hourly_demand_kw(self) -> np.ndarray:
+        """Demand sampled at every hour of a year."""
+        hours = np.arange(_HOURS_PER_YEAR) * 3600.0
+        return np.array([self.demand_kw(float(t)) for t in hours])
+
+    def heating_hours_per_year(self) -> int:
+        """Hours with nonzero demand (the paper's season length issue)."""
+        return int(np.count_nonzero(self.hourly_demand_kw() > 0.0))
+
+
+@dataclass(frozen=True)
+class DistrictHeatingSystem:
+    """The offtake contract between a datacenter and a DHS.
+
+    Attributes
+    ----------
+    demand:
+        The district's demand profile.
+    transport_efficiency:
+        Fraction of exported heat that survives the piping to the
+        district (the "complex piping arrangement" loss).
+    heat_price_usd_per_kwh:
+        What the DHS pays for delivered heat (well below the electricity
+        tariff — heat is the lower-grade product).
+    pipeline_capex_usd:
+        One-time cost of connecting the datacenter to the district
+        (the "huge project" of Sec. II-C).
+    pipeline_lifetime_years:
+        Amortisation horizon of that connection.
+    """
+
+    demand: HeatDemandProfile = field(default_factory=HeatDemandProfile)
+    transport_efficiency: float = 0.85
+    heat_price_usd_per_kwh: float = 0.03
+    pipeline_capex_usd: float = 2_000_000.0
+    pipeline_lifetime_years: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.transport_efficiency <= 1.0:
+            raise PhysicalRangeError(
+                "transport efficiency must be in (0, 1]")
+        if self.heat_price_usd_per_kwh < 0:
+            raise PhysicalRangeError("heat price must be >= 0")
+        if self.pipeline_capex_usd < 0:
+            raise PhysicalRangeError("pipeline capex must be >= 0")
+        if self.pipeline_lifetime_years <= 0:
+            raise PhysicalRangeError("pipeline lifetime must be > 0")
+
+    def absorbed_heat_kwh_per_year(self, supply_kw: float) -> float:
+        """Heat the district actually takes from a constant supply.
+
+        Hour by hour, the offtake is ``min(supply, demand)`` — the
+        mismatch the paper describes: in warm seasons demand is zero and
+        the datacenter's heat has nowhere to go.
+        """
+        if supply_kw < 0:
+            raise PhysicalRangeError("supply must be >= 0")
+        demand = self.demand.hourly_demand_kw()
+        delivered = np.minimum(supply_kw * self.transport_efficiency,
+                               demand)
+        return float(delivered.sum())
+
+    def utilisation_factor(self, supply_kw: float) -> float:
+        """Fraction of the datacenter's annual heat that finds a buyer."""
+        if supply_kw == 0:
+            return 0.0
+        absorbed = self.absorbed_heat_kwh_per_year(supply_kw)
+        available = supply_kw * _HOURS_PER_YEAR
+        return absorbed / available
+
+    def annual_revenue_usd(self, supply_kw: float) -> float:
+        """Heat sales minus the amortised pipeline cost (can be < 0)."""
+        sales = (self.absorbed_heat_kwh_per_year(supply_kw)
+                 * self.heat_price_usd_per_kwh)
+        amortised = self.pipeline_capex_usd / self.pipeline_lifetime_years
+        return sales - amortised

@@ -1,0 +1,194 @@
+"""Rack-level DC power integration for TEG output.
+
+Sec. VI-D argues H2P fits DC-supplied datacenters: racks already carry a
+12/48 V bus with decentralised batteries.  This module assembles the
+whole harvesting chain for one rack:
+
+    TEG modules -> DC-DC converters -> rack bus -> hybrid buffer -> loads
+
+where the loads are the rack's own ancillaries — LED lighting
+(Sec. VI-C2) and, when hot spots fire, the TECs of the hybrid cooling
+architecture (Sec. VI-C1).  The headline question it answers: *what
+fraction of the rack's ancillary load can the TEGs carry?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .applications.lighting import LedLightingPlan, ORDINARY_LED
+from .errors import ConfigurationError, PhysicalRangeError
+from .storage.battery import Battery
+from .storage.hybrid import HybridEnergyBuffer
+from .storage.supercap import SuperCapacitor
+from .teg.power_electronics import DcDcConverter
+
+
+@dataclass(frozen=True)
+class RackTelemetry:
+    """Energy flows of one simulated rack over a run."""
+
+    times_s: np.ndarray
+    harvested_w: np.ndarray
+    bus_w: np.ndarray
+    load_w: np.ndarray
+    served_w: np.ndarray
+    grid_w: np.ndarray
+    curtailed_w: np.ndarray
+    exported_w: np.ndarray
+
+    @property
+    def self_powered_fraction(self) -> float:
+        """Share of the rack's ancillary energy the TEGs covered."""
+        total_load = float(self.load_w.sum())
+        if total_load <= 0:
+            return 1.0
+        return float(self.served_w.sum()) / total_load
+
+    @property
+    def conversion_efficiency(self) -> float:
+        """Bus energy over harvested energy (converter losses)."""
+        harvested = float(self.harvested_w.sum())
+        if harvested <= 0:
+            return 0.0
+        return float(self.bus_w.sum()) / harvested
+
+    @property
+    def curtailment_fraction(self) -> float:
+        """Share of bus energy thrown away (buffer full, load met)."""
+        bus = float(self.bus_w.sum())
+        if bus <= 0:
+            return 0.0
+        return float(self.curtailed_w.sum()) / bus
+
+    @property
+    def exported_kwh(self) -> float:
+        """Energy pushed onto the rack bus to offset server draw."""
+        if len(self.times_s) < 2:
+            return 0.0
+        dt_h = float(self.times_s[1] - self.times_s[0]) / 3600.0
+        return float(self.exported_w.sum()) * dt_h / 1000.0
+
+
+@dataclass
+class RackPowerSystem:
+    """One rack's TEG harvesting chain.
+
+    Attributes
+    ----------
+    n_servers:
+        Servers (and TEG modules) in the rack.
+    converter:
+        Per-rack DC-DC stage between the series-connected modules and
+        the bus (modules are paralleled after individual conversion; we
+        model the aggregate).
+    buffer:
+        Hybrid storage smoothing generation against the load.
+    lighting_w:
+        Constant LED lighting load of the rack.
+    module_voltage_v:
+        Typical module output voltage at the operating point (clears the
+        converter's start-up threshold when TEGs are series-stacked).
+    """
+
+    n_servers: int = 20
+    converter: DcDcConverter = field(
+        default_factory=lambda: DcDcConverter(rated_power_w=100.0))
+    buffer: HybridEnergyBuffer = field(
+        default_factory=lambda: HybridEnergyBuffer(
+            battery=Battery(capacity_wh=100.0, soc=0.5,
+                            max_charge_w=200.0, max_discharge_w=200.0),
+            supercap=SuperCapacitor(capacity_wh=5.0, soc=0.5)))
+    lighting_w: float = 15.0
+    module_voltage_v: float = 8.0
+    #: When True (the Sec. VI-D DC-bus deployment), surplus that the
+    #: buffer cannot absorb offsets server draw on the shared bus rather
+    #: than being curtailed.
+    export_surplus: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise PhysicalRangeError("n_servers must be > 0")
+        if self.lighting_w < 0:
+            raise PhysicalRangeError("lighting load must be >= 0")
+        if self.module_voltage_v <= 0:
+            raise PhysicalRangeError("module voltage must be > 0")
+
+    def lighting_capacity(self) -> int:
+        """How many ordinary LEDs the rack's lighting budget implies."""
+        plan = LedLightingPlan(led=ORDINARY_LED,
+                               converter_efficiency=1.0)
+        return plan.leds_supported(self.lighting_w)
+
+    def simulate(self, per_server_generation_w: np.ndarray,
+                 interval_s: float,
+                 tec_power_w: np.ndarray | None = None) -> RackTelemetry:
+        """Run a generation profile against the rack's ancillary loads.
+
+        Parameters
+        ----------
+        per_server_generation_w:
+            Per-interval mean TEG output of one server (the simulator's
+            ``generation_series_w``).
+        interval_s:
+            Interval length.
+        tec_power_w:
+            Optional per-interval rack-level TEC draw (hot-spot events);
+            zero when omitted.
+
+        Returns
+        -------
+        RackTelemetry
+            Per-interval energy flows and the self-powered fraction.
+        """
+        generation = np.asarray(per_server_generation_w, dtype=float)
+        if generation.ndim != 1 or generation.size == 0:
+            raise PhysicalRangeError(
+                "generation profile must be a non-empty 1-D array")
+        if np.any(generation < 0):
+            raise PhysicalRangeError("generation must be >= 0")
+        if interval_s <= 0:
+            raise PhysicalRangeError("interval must be > 0")
+        if tec_power_w is None:
+            tec = np.zeros_like(generation)
+        else:
+            tec = np.asarray(tec_power_w, dtype=float)
+            if tec.shape != generation.shape:
+                raise ConfigurationError(
+                    "tec_power_w must match the generation profile")
+            if np.any(tec < 0):
+                raise PhysicalRangeError("TEC power must be >= 0")
+
+        n = generation.size
+        harvested = generation * self.n_servers
+        bus = np.array([
+            self.converter.output_power_w(float(p),
+                                          self.module_voltage_v)
+            for p in harvested])
+        load = self.lighting_w + tec
+        served = np.empty(n)
+        grid = np.empty(n)
+        curtailed = np.empty(n)
+        exported = np.zeros(n)
+        for i in range(n):
+            supplied, deficit, wasted = self.buffer.step(
+                float(bus[i]), float(load[i]), interval_s)
+            served[i] = supplied
+            grid[i] = deficit
+            if self.export_surplus:
+                exported[i] = wasted
+                curtailed[i] = 0.0
+            else:
+                curtailed[i] = wasted
+        return RackTelemetry(
+            times_s=np.arange(n) * interval_s,
+            harvested_w=harvested,
+            bus_w=bus,
+            load_w=load,
+            served_w=served,
+            grid_w=grid,
+            curtailed_w=curtailed,
+            exported_w=exported,
+        )

@@ -1,0 +1,178 @@
+"""Reliability models: CPU lifetime vs temperature and TEG ageing.
+
+Two reliability questions hang over warm water cooling and H2P:
+
+* **Does warm water shorten CPU life?**  Sec. II-B cites El-Sayed et
+  al.'s finding that the effect of high temperature "is not so high",
+  but Sec. V-A still derates to ``T_safe`` because "pro-longed operation
+  at close to the maximum temperatures may cause CPU performance
+  degradation and shorten the CPU lifespan".  We model the standard
+  Arrhenius acceleration so the trade-off can be quantified.
+* **How long do the TEGs really pay back?**  The TCO analysis assumes a
+  25-year TEG life with constant output; commercial Bi2Te3 modules fade
+  slowly (fractions of a percent per year with stable heat sources).
+  :class:`TegDegradationModel` folds that fade into the revenue stream
+  and corrects the break-even estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .constants import ELECTRICITY_PRICE_USD_PER_KWH
+from .errors import PhysicalRangeError
+from .units import celsius_to_kelvin
+
+#: Boltzmann constant in eV/K.
+BOLTZMANN_EV_PER_K = 8.617e-5
+
+
+@dataclass(frozen=True)
+class ArrheniusModel:
+    """Thermally accelerated wear-out (electromigration class).
+
+    ``AF(T) = exp(Ea/k * (1/T_ref - 1/T))`` — the acceleration factor of
+    operating at ``T`` relative to the reference temperature.
+    """
+
+    activation_energy_ev: float = 0.7
+    reference_temp_c: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.activation_energy_ev <= 0:
+            raise PhysicalRangeError("activation energy must be > 0")
+
+    def acceleration_factor(self, temp_c: float) -> float:
+        """Wear acceleration at ``temp_c`` vs the reference (1.0 there)."""
+        t_ref = celsius_to_kelvin(self.reference_temp_c)
+        t = celsius_to_kelvin(temp_c)
+        return math.exp(self.activation_energy_ev / BOLTZMANN_EV_PER_K
+                        * (1.0 / t_ref - 1.0 / t))
+
+
+@dataclass(frozen=True)
+class CpuLifetimeModel:
+    """CPU wear under a junction-temperature history.
+
+    Attributes
+    ----------
+    base_lifetime_years:
+        Expected lifetime at the reference temperature.
+    arrhenius:
+        The acceleration law.
+    """
+
+    base_lifetime_years: float = 7.0
+    arrhenius: ArrheniusModel = ArrheniusModel()
+
+    def __post_init__(self) -> None:
+        if self.base_lifetime_years <= 0:
+            raise PhysicalRangeError("base lifetime must be > 0")
+
+    def lifetime_years_at(self, temp_c: float) -> float:
+        """Expected lifetime under constant operation at ``temp_c``."""
+        return (self.base_lifetime_years
+                / self.arrhenius.acceleration_factor(temp_c))
+
+    def effective_lifetime_years(self, temps_c: np.ndarray) -> float:
+        """Lifetime under a temperature time series (Miner's rule).
+
+        The mean acceleration factor over the history divides the base
+        lifetime — equal time-weighted damage accumulation.
+        """
+        temps = np.asarray(temps_c, dtype=float)
+        if temps.ndim != 1 or temps.size == 0:
+            raise PhysicalRangeError(
+                "temperature history must be a non-empty 1-D array")
+        factors = np.array([self.arrhenius.acceleration_factor(float(t))
+                            for t in temps])
+        return self.base_lifetime_years / float(factors.mean())
+
+    def derating_benefit(self, hot_temp_c: float,
+                         safe_temp_c: float) -> float:
+        """Lifetime multiplier bought by derating hot to safe.
+
+        The Sec. V-A rationale for ``T_safe``: running at 62 °C instead
+        of 78.9 °C multiplies the expected CPU life by this factor.
+        """
+        return (self.lifetime_years_at(safe_temp_c)
+                / self.lifetime_years_at(hot_temp_c))
+
+
+@dataclass(frozen=True)
+class TegDegradationModel:
+    """Slow output fade of a TEG module with constant heat sources.
+
+    Attributes
+    ----------
+    fade_per_year:
+        Fractional output loss per year (constant-source Bi2Te3 modules
+        are specified at small fractions of a percent).
+    lifetime_years:
+        Hard end-of-life (the paper assumes >= 25 years).
+    """
+
+    fade_per_year: float = 0.004
+    lifetime_years: float = 25.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fade_per_year < 1.0:
+            raise PhysicalRangeError("fade must be in [0, 1)")
+        if self.lifetime_years <= 0:
+            raise PhysicalRangeError("lifetime must be > 0")
+
+    def output_factor(self, age_years: float) -> float:
+        """Remaining output fraction at ``age_years`` (0 past EOL)."""
+        if age_years < 0:
+            raise PhysicalRangeError("age must be >= 0")
+        if age_years >= self.lifetime_years:
+            return 0.0
+        return (1.0 - self.fade_per_year) ** age_years
+
+    def lifetime_energy_kwh(self, initial_power_w: float) -> float:
+        """Energy one module yields over its whole life, fade included."""
+        if initial_power_w < 0:
+            raise PhysicalRangeError("power must be >= 0")
+        years = np.arange(math.ceil(self.lifetime_years))
+        factors = np.array([self.output_factor(float(y) + 0.5)
+                            for y in years])
+        hours_per_year = 24.0 * 365.0
+        return float(initial_power_w / 1000.0 * hours_per_year
+                     * factors.sum())
+
+    def degraded_break_even_days(
+            self, initial_power_w: float, purchase_usd_per_watt_capacity:
+            float, electricity_price_usd_per_kwh:
+            float = ELECTRICITY_PRICE_USD_PER_KWH) -> float:
+        """Break-even corrected for output fade.
+
+        Parameters
+        ----------
+        initial_power_w:
+            Day-one average output of the installed capacity.
+        purchase_usd_per_watt_capacity:
+            Purchase cost divided by day-one output (the paper's
+            instance: $12 of TEGs per ~4.18 W -> ~$2.87/W).
+
+        Returns
+        -------
+        float
+            Days until cumulative (fading) revenue covers the purchase;
+            ``inf`` if the module dies first.
+        """
+        if initial_power_w <= 0:
+            return math.inf
+        if purchase_usd_per_watt_capacity < 0:
+            raise PhysicalRangeError("purchase cost must be >= 0")
+        target_usd = purchase_usd_per_watt_capacity * initial_power_w
+        revenue = 0.0
+        for day in range(int(self.lifetime_years * 365.0)):
+            factor = self.output_factor(day / 365.0)
+            daily_kwh = initial_power_w * factor * 24.0 / 1000.0
+            revenue += daily_kwh * electricity_price_usd_per_kwh
+            if revenue >= target_usd:
+                return float(day + 1)
+        return math.inf

@@ -1,0 +1,128 @@
+"""Plain-text reporting: tables, strip charts and run summaries.
+
+Everything the CLI and the examples print goes through here, so library
+users can generate the same artefacts programmatically (and tests can
+assert on their structure).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .core.results import SchemeComparison, SimulationResult
+from .errors import PhysicalRangeError
+
+_GLYPHS = " .:-=+*#%@"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 float_format: str = "{:.3f}") -> str:
+    """Render an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row cells; floats are formatted with ``float_format``.
+
+    Returns
+    -------
+    str
+        The table, newline-joined, no trailing newline.
+    """
+    if not headers:
+        raise PhysicalRangeError("headers must not be empty")
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[fmt(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise PhysicalRangeError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [max(len(str(header)),
+                  *(len(row[i]) for row in rendered)) if rendered
+              else len(str(header))
+              for i, header in enumerate(headers)]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def strip_chart(series: Sequence[float], width: int = 60,
+                label: str = "") -> str:
+    """Render a series as a one-line density strip.
+
+    Each column maps the local value onto a glyph ramp between the
+    series' min and max — enough to see trends and anti-correlations in
+    a terminal.
+    """
+    values = np.asarray(list(series), dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise PhysicalRangeError("series must be a non-empty 1-D array")
+    if width < 1:
+        raise PhysicalRangeError(f"width must be >= 1, got {width}")
+    step = max(1, values.size // width)
+    sampled = values[::step]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    span = (hi - lo) or 1.0
+    cells = "".join(
+        _GLYPHS[min(len(_GLYPHS) - 1,
+                    int((value - lo) / span * (len(_GLYPHS) - 1)))]
+        for value in sampled)
+    prefix = f"{label:<12}" if label else ""
+    return f"{prefix}|{cells}|"
+
+
+def result_report(result: SimulationResult) -> str:
+    """One-paragraph text summary of a simulation run."""
+    lines = [
+        f"scheme {result.scheme} on trace {result.trace_name!r} "
+        f"({result.n_servers} servers, {len(result.records)} intervals "
+        f"of {result.interval_s / 60.0:.0f} min)",
+        f"  generation : avg {result.average_generation_w:.3f} W/CPU, "
+        f"peak {result.peak_generation_w:.3f} W/CPU "
+        f"({result.total_generation_kwh:.2f} kWh total)",
+        f"  PRE        : {result.average_pre:.2%}",
+        f"  safety     : {result.total_safety_violations} violations",
+        f"  util-gen correlation: {result.anti_correlation:+.2f}",
+    ]
+    return "\n".join(lines)
+
+
+def comparison_report(comparison: SchemeComparison,
+                      chart_width: int = 60) -> str:
+    """Full text report of an Original-vs-LoadBalance comparison."""
+    base = comparison.baseline
+    optimised = comparison.optimised
+    table = format_table(
+        ["metric", base.scheme, optimised.scheme],
+        [
+            ["avg generation (W/CPU)", base.average_generation_w,
+             optimised.average_generation_w],
+            ["peak generation (W/CPU)", base.peak_generation_w,
+             optimised.peak_generation_w],
+            ["PRE", base.average_pre, optimised.average_pre],
+            ["violations", base.total_safety_violations,
+             optimised.total_safety_violations],
+        ])
+    lines = [
+        f"trace {base.trace_name!r}: "
+        f"{100.0 * comparison.generation_improvement:+.1f} % generation "
+        f"from workload balancing",
+        table,
+        strip_chart(optimised.utilisation_series, chart_width,
+                    "utilisation"),
+        strip_chart(optimised.generation_series_w, chart_width,
+                    "generation"),
+    ]
+    return "\n".join(lines)

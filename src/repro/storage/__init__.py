@@ -1,0 +1,23 @@
+"""Energy storage for TEG output (Sec. VI-B).
+
+TEG output is fluctuant and time-varying; connecting it directly to loads
+would over- or under-supply them.  The paper points to hybrid energy
+buffers — batteries for capacity, super-capacitors (SCs) for efficiency
+and power density — after Liu et al. (ISCA'15).
+
+* :mod:`repro.storage.battery` — a round-trip-efficiency battery model;
+* :mod:`repro.storage.supercap` — a high-efficiency, low-capacity SC;
+* :mod:`repro.storage.hybrid` — the hybrid buffer policy that splits
+  power mismatches between the two.
+"""
+
+from .battery import Battery
+from .supercap import SuperCapacitor
+from .hybrid import HybridEnergyBuffer, BufferTelemetry
+
+__all__ = [
+    "Battery",
+    "SuperCapacitor",
+    "HybridEnergyBuffer",
+    "BufferTelemetry",
+]

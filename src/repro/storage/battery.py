@@ -1,0 +1,99 @@
+"""Battery energy storage.
+
+A simple state-of-charge model with asymmetric round-trip losses and
+power limits — adequate for sizing the small per-rack buffers Sec. VI-B
+proposes for TEG output smoothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PhysicalRangeError
+
+
+@dataclass
+class Battery:
+    """A battery characterised by capacity, efficiency and power limits.
+
+    Attributes
+    ----------
+    capacity_wh:
+        Usable energy capacity.
+    round_trip_efficiency:
+        Fraction of charged energy recoverable on discharge (~0.80 for
+        lead-acid, ~0.90 for Li-ion; the paper contrasts this with
+        SCs' 0.90-0.95).
+    max_charge_w / max_discharge_w:
+        Power limits.
+    soc:
+        Initial state of charge as a fraction of capacity.
+    """
+
+    capacity_wh: float = 50.0
+    round_trip_efficiency: float = 0.80
+    max_charge_w: float = 100.0
+    max_discharge_w: float = 100.0
+    soc: float = 0.5
+    cycle_depth_wh: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_wh <= 0:
+            raise PhysicalRangeError("capacity must be > 0")
+        if not 0.0 < self.round_trip_efficiency <= 1.0:
+            raise PhysicalRangeError(
+                "round-trip efficiency must be in (0, 1]")
+        if self.max_charge_w <= 0 or self.max_discharge_w <= 0:
+            raise PhysicalRangeError("power limits must be > 0")
+        if not 0.0 <= self.soc <= 1.0:
+            raise PhysicalRangeError("soc must be in [0, 1]")
+
+    @property
+    def stored_wh(self) -> float:
+        """Currently stored energy."""
+        return self.soc * self.capacity_wh
+
+    @property
+    def headroom_wh(self) -> float:
+        """Energy that can still be stored."""
+        return (1.0 - self.soc) * self.capacity_wh
+
+    def charge(self, power_w: float, duration_s: float) -> float:
+        """Charge at ``power_w`` for ``duration_s``.
+
+        Returns the power actually accepted (limited by the charge rate
+        and remaining headroom).  Charging losses are applied on the way
+        in (sqrt of the round-trip efficiency per direction).
+        """
+        if power_w < 0 or duration_s < 0:
+            raise PhysicalRangeError("power and duration must be >= 0")
+        accepted_w = min(power_w, self.max_charge_w)
+        one_way = self.round_trip_efficiency ** 0.5
+        energy_in_wh = accepted_w * duration_s / 3600.0 * one_way
+        if energy_in_wh > self.headroom_wh:
+            energy_in_wh = self.headroom_wh
+            accepted_w = (energy_in_wh / one_way) / (duration_s / 3600.0) \
+                if duration_s > 0 else 0.0
+        self.soc += energy_in_wh / self.capacity_wh
+        self.cycle_depth_wh += energy_in_wh
+        return accepted_w
+
+    def discharge(self, power_w: float, duration_s: float) -> float:
+        """Discharge at ``power_w`` for ``duration_s``.
+
+        Returns the power actually delivered (limited by the discharge
+        rate and stored energy).  Discharge losses are applied on the way
+        out.
+        """
+        if power_w < 0 or duration_s < 0:
+            raise PhysicalRangeError("power and duration must be >= 0")
+        delivered_w = min(power_w, self.max_discharge_w)
+        one_way = self.round_trip_efficiency ** 0.5
+        energy_out_wh = delivered_w * duration_s / 3600.0 / one_way
+        if energy_out_wh > self.stored_wh:
+            energy_out_wh = self.stored_wh
+            delivered_w = (energy_out_wh * one_way) / (duration_s / 3600.0) \
+                if duration_s > 0 else 0.0
+        self.soc -= energy_out_wh / self.capacity_wh
+        self.cycle_depth_wh += energy_out_wh
+        return delivered_w

@@ -1,0 +1,133 @@
+"""Hybrid energy buffer: SC for the fast mismatch, battery for the bulk.
+
+Sec. VI-B proposes a small-scale hybrid buffering system (after HEB,
+Liu et al. ISCA'15) between the TEG modules and the loads they supply.
+The split rule implemented here is the standard one: the super-capacitor
+absorbs/serves the power mismatch first (it is the more efficient,
+power-dense device), and the battery handles whatever the SC cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PhysicalRangeError
+from .battery import Battery
+from .supercap import SuperCapacitor
+
+
+@dataclass(frozen=True)
+class BufferTelemetry:
+    """Time series recorded while the buffer smooths a generation profile."""
+
+    times_s: np.ndarray
+    supplied_w: np.ndarray
+    deficit_w: np.ndarray
+    curtailed_w: np.ndarray
+    battery_soc: np.ndarray
+    supercap_soc: np.ndarray
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of demanded energy actually supplied."""
+        demanded = self.supplied_w + self.deficit_w
+        total = demanded.sum()
+        if total <= 0:
+            return 1.0
+        return float(self.supplied_w.sum() / total)
+
+    @property
+    def curtailment_fraction(self) -> float:
+        """Fraction of generated energy thrown away (buffers full)."""
+        generated = self.supplied_w + self.curtailed_w
+        total = generated.sum()
+        if total <= 0:
+            return 0.0
+        return float(self.curtailed_w.sum() / total)
+
+
+@dataclass
+class HybridEnergyBuffer:
+    """SC + battery buffer between TEG generation and a load."""
+
+    battery: Battery = field(default_factory=Battery)
+    supercap: SuperCapacitor = field(default_factory=SuperCapacitor)
+
+    def step(self, generation_w: float, demand_w: float,
+             duration_s: float) -> tuple[float, float, float]:
+        """Process one interval.
+
+        Parameters
+        ----------
+        generation_w:
+            TEG output during the interval.
+        demand_w:
+            Load demand during the interval.
+        duration_s:
+            Interval length.
+
+        Returns
+        -------
+        (supplied_w, deficit_w, curtailed_w)
+            Power delivered to the load, unmet demand, and surplus
+            generation that could not be stored.
+        """
+        if generation_w < 0 or demand_w < 0 or duration_s <= 0:
+            raise PhysicalRangeError(
+                "generation/demand must be >= 0 and duration > 0")
+        direct = min(generation_w, demand_w)
+        surplus = generation_w - direct
+        shortfall = demand_w - direct
+
+        curtailed = 0.0
+        if surplus > 0:
+            accepted_sc = self.supercap.charge(surplus, duration_s)
+            remaining = surplus - accepted_sc
+            accepted_batt = self.battery.charge(remaining, duration_s) \
+                if remaining > 0 else 0.0
+            curtailed = max(0.0, surplus - accepted_sc - accepted_batt)
+
+        served_from_storage = 0.0
+        if shortfall > 0:
+            from_sc = self.supercap.discharge(shortfall, duration_s)
+            remaining = shortfall - from_sc
+            from_batt = self.battery.discharge(remaining, duration_s) \
+                if remaining > 0 else 0.0
+            served_from_storage = from_sc + from_batt
+
+        supplied = direct + served_from_storage
+        deficit = max(0.0, demand_w - supplied)
+        return supplied, deficit, curtailed
+
+    def smooth(self, generation_w: np.ndarray, demand_w: float,
+               interval_s: float) -> BufferTelemetry:
+        """Run a whole generation profile against a constant demand.
+
+        The typical H2P use case: a TEG module (fluctuating with the
+        cooling setting) powering a constant load such as LED lighting
+        (Sec. VI-C2).
+        """
+        generation = np.asarray(generation_w, dtype=float)
+        if generation.ndim != 1 or generation.size == 0:
+            raise PhysicalRangeError(
+                "generation profile must be a non-empty 1-D array")
+        supplied = np.empty_like(generation)
+        deficit = np.empty_like(generation)
+        curtailed = np.empty_like(generation)
+        batt_soc = np.empty_like(generation)
+        sc_soc = np.empty_like(generation)
+        for i, gen in enumerate(generation):
+            supplied[i], deficit[i], curtailed[i] = self.step(
+                float(gen), demand_w, interval_s)
+            batt_soc[i] = self.battery.soc
+            sc_soc[i] = self.supercap.soc
+        return BufferTelemetry(
+            times_s=np.arange(len(generation)) * interval_s,
+            supplied_w=supplied,
+            deficit_w=deficit,
+            curtailed_w=curtailed,
+            battery_soc=batt_soc,
+            supercap_soc=sc_soc,
+        )

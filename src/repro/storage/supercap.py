@@ -1,0 +1,78 @@
+"""Super-capacitor energy storage.
+
+SCs trade capacity for efficiency (90-95 %, Sec. VI-B) and effectively
+unlimited power density at these scales; they absorb the fast component
+of the TEG power mismatch in the hybrid buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PhysicalRangeError
+
+
+@dataclass
+class SuperCapacitor:
+    """A super-capacitor bank.
+
+    Attributes
+    ----------
+    capacity_wh:
+        Usable energy (small — SCs are power devices, not energy devices).
+    round_trip_efficiency:
+        0.90-0.95 per the paper.
+    soc:
+        Initial state of charge.
+    """
+
+    capacity_wh: float = 2.0
+    round_trip_efficiency: float = 0.93
+    soc: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.capacity_wh <= 0:
+            raise PhysicalRangeError("capacity must be > 0")
+        if not 0.0 < self.round_trip_efficiency <= 1.0:
+            raise PhysicalRangeError(
+                "round-trip efficiency must be in (0, 1]")
+        if not 0.0 <= self.soc <= 1.0:
+            raise PhysicalRangeError("soc must be in [0, 1]")
+
+    @property
+    def stored_wh(self) -> float:
+        """Currently stored energy."""
+        return self.soc * self.capacity_wh
+
+    @property
+    def headroom_wh(self) -> float:
+        """Energy that can still be stored."""
+        return (1.0 - self.soc) * self.capacity_wh
+
+    def charge(self, power_w: float, duration_s: float) -> float:
+        """Charge; returns the power actually accepted (headroom-limited)."""
+        if power_w < 0 or duration_s < 0:
+            raise PhysicalRangeError("power and duration must be >= 0")
+        one_way = self.round_trip_efficiency ** 0.5
+        energy_in_wh = power_w * duration_s / 3600.0 * one_way
+        accepted_w = power_w
+        if energy_in_wh > self.headroom_wh:
+            energy_in_wh = self.headroom_wh
+            accepted_w = (energy_in_wh / one_way) / (duration_s / 3600.0) \
+                if duration_s > 0 else 0.0
+        self.soc += energy_in_wh / self.capacity_wh
+        return accepted_w
+
+    def discharge(self, power_w: float, duration_s: float) -> float:
+        """Discharge; returns the power actually delivered (SoC-limited)."""
+        if power_w < 0 or duration_s < 0:
+            raise PhysicalRangeError("power and duration must be >= 0")
+        one_way = self.round_trip_efficiency ** 0.5
+        energy_out_wh = power_w * duration_s / 3600.0 / one_way
+        delivered_w = power_w
+        if energy_out_wh > self.stored_wh:
+            energy_out_wh = self.stored_wh
+            delivered_w = (energy_out_wh * one_way) / (duration_s / 3600.0) \
+                if duration_s > 0 else 0.0
+        self.soc -= energy_out_wh / self.capacity_wh
+        return delivered_w

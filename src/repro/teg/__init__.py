@@ -1,0 +1,40 @@
+"""Thermoelectric generator (TEG) models.
+
+* :mod:`repro.teg.materials` — thermoelectric material library (Bi2Te3 as
+  used by the SP 1848-27145, plus research materials for the Sec. VI-D
+  what-if analysis).
+* :mod:`repro.teg.device` — a single TEG: Seebeck physics and the paper's
+  empirical fits (Eqs. 3-7).
+* :mod:`repro.teg.module` — series-connected TEG modules with load matching
+  and maximum-power-point operation (Fig. 5, Fig. 7, Fig. 8).
+* :mod:`repro.teg.placement` — the Sec. III-B placement study: sandwiching
+  a TEG under the CPU vs. placing the module at the CPU outlet.
+"""
+
+from .materials import ThermoelectricMaterial, BISMUTH_TELLURIDE, HEUSLER_FE2VAL, MATERIALS
+from .device import TegDevice, EmpiricalTegFit, PAPER_TEG
+from .module import TegModule, TegString, OperatingPoint
+from .placement import PlacementStudy, PlacementOutcome
+from .power_electronics import (
+    DcDcConverter,
+    MpptHarvester,
+    ThermalResistanceDrift,
+)
+
+__all__ = [
+    "ThermoelectricMaterial",
+    "BISMUTH_TELLURIDE",
+    "HEUSLER_FE2VAL",
+    "MATERIALS",
+    "TegDevice",
+    "EmpiricalTegFit",
+    "PAPER_TEG",
+    "TegModule",
+    "TegString",
+    "OperatingPoint",
+    "PlacementStudy",
+    "PlacementOutcome",
+    "DcDcConverter",
+    "MpptHarvester",
+    "ThermalResistanceDrift",
+]

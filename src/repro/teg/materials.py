@@ -1,0 +1,139 @@
+"""Thermoelectric material library.
+
+A thermoelectric material is characterised by its Seebeck coefficient
+``alpha``, electrical conductivity ``sigma`` and thermal conductivity
+``kappa``; its quality is summarised by the dimensionless figure of merit
+
+    ZT = alpha^2 * sigma * T / kappa.
+
+Sec. VI-D of the paper discusses the material roadmap: the deployed
+SP 1848-27145 is Bi2Te3 with ZT ~ 1 at 300-330 K and ~5 % conversion
+efficiency, while thin-film Heusler alloys (Fe2V0.8W0.2Al) have shown
+ZT ~ 6 around 360 K in the lab.  The :data:`MATERIALS` registry lets the
+ablation benchmark (E-AB2) swap materials and re-run the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import PhysicalRangeError
+from ..units import celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class ThermoelectricMaterial:
+    """Bulk properties of a thermoelectric material (per n-p couple leg).
+
+    Attributes
+    ----------
+    name:
+        Human-readable material name.
+    seebeck_v_per_k:
+        Effective Seebeck coefficient of one n-p couple (|alpha_p| +
+        |alpha_n|), volts per kelvin.
+    electrical_conductivity_s_per_m:
+        Electrical conductivity of the legs.
+    thermal_conductivity_w_per_m_k:
+        Thermal conductivity of the legs.
+    reference_temp_c:
+        Temperature at which the properties were measured.
+    """
+
+    name: str
+    seebeck_v_per_k: float
+    electrical_conductivity_s_per_m: float
+    thermal_conductivity_w_per_m_k: float
+    reference_temp_c: float = 27.0
+
+    def __post_init__(self) -> None:
+        if self.seebeck_v_per_k <= 0:
+            raise PhysicalRangeError(
+                f"{self.name}: Seebeck coefficient must be > 0")
+        if self.electrical_conductivity_s_per_m <= 0:
+            raise PhysicalRangeError(
+                f"{self.name}: electrical conductivity must be > 0")
+        if self.thermal_conductivity_w_per_m_k <= 0:
+            raise PhysicalRangeError(
+                f"{self.name}: thermal conductivity must be > 0")
+
+    @property
+    def leg_seebeck_v_per_k(self) -> float:
+        """Seebeck coefficient of a single leg (half the couple value)."""
+        return self.seebeck_v_per_k / 2.0
+
+    def zt(self, temp_c: float | None = None) -> float:
+        """Figure of merit ZT at ``temp_c`` (defaults to the reference).
+
+        Uses the per-leg Seebeck coefficient, as ZT is a material (not a
+        couple) property.
+        """
+        temp_k = celsius_to_kelvin(
+            self.reference_temp_c if temp_c is None else temp_c)
+        return (self.leg_seebeck_v_per_k ** 2
+                * self.electrical_conductivity_s_per_m
+                * temp_k
+                / self.thermal_conductivity_w_per_m_k)
+
+    def carnot_fraction(self, hot_c: float, cold_c: float) -> float:
+        """Fraction of the Carnot efficiency this material achieves.
+
+        Standard thermoelectric result:
+        ``eta/eta_carnot = (sqrt(1+ZT) - 1) / (sqrt(1+ZT) + Tc/Th)``
+        evaluated at the mean temperature.
+        """
+        if hot_c <= cold_c:
+            return 0.0
+        hot_k = celsius_to_kelvin(hot_c)
+        cold_k = celsius_to_kelvin(cold_c)
+        mean_c = (hot_c + cold_c) / 2.0
+        m = math.sqrt(1.0 + self.zt(mean_c))
+        return (m - 1.0) / (m + cold_k / hot_k)
+
+    def conversion_efficiency(self, hot_c: float, cold_c: float) -> float:
+        """Heat-to-electricity conversion efficiency between two plates."""
+        if hot_c <= cold_c:
+            return 0.0
+        hot_k = celsius_to_kelvin(hot_c)
+        carnot = 1.0 - celsius_to_kelvin(cold_c) / hot_k
+        return carnot * self.carnot_fraction(hot_c, cold_c)
+
+
+#: Bi2Te3 as used in the SP 1848-27145 (ZT ~ 1 near room temperature).
+#: The couple Seebeck value (~400 uV/K) is the standard |alpha_p|+|alpha_n|
+#: for commercial bismuth telluride.
+BISMUTH_TELLURIDE = ThermoelectricMaterial(
+    name="Bi2Te3",
+    seebeck_v_per_k=4.0e-4,
+    electrical_conductivity_s_per_m=1.1e5,
+    thermal_conductivity_w_per_m_k=1.45,
+    reference_temp_c=27.0,
+)
+
+#: Thin-film Heusler alloy Fe2V0.8W0.2Al; laboratory ZT ~ 6 around 360 K
+#: (Hinterleitner et al., Nature 2019; paper Sec. VI-D).  Leg-level
+#: parameters back-solved so that zt(87 C) ~ 6.
+HEUSLER_FE2VAL = ThermoelectricMaterial(
+    name="Fe2V0.8W0.2Al",
+    seebeck_v_per_k=6.9e-4,
+    electrical_conductivity_s_per_m=3.64e4,
+    thermal_conductivity_w_per_m_k=0.26,
+    reference_temp_c=87.0,
+)
+
+#: A mid-term nanostructured bulk material (Sec. VI-D cites ZT ~ 1.5-2
+#: for nanostructured bulk thermoelectrics under commercialisation).
+NANOSTRUCTURED_BULK = ThermoelectricMaterial(
+    name="nanostructured-bulk",
+    seebeck_v_per_k=4.6e-4,
+    electrical_conductivity_s_per_m=1.06e5,
+    thermal_conductivity_w_per_m_k=1.0,
+    reference_temp_c=47.0,
+)
+
+#: Registry used by the material-sensitivity ablation (benchmark E-AB2).
+MATERIALS: dict[str, ThermoelectricMaterial] = {
+    material.name: material
+    for material in (BISMUTH_TELLURIDE, NANOSTRUCTURED_BULK, HEUSLER_FE2VAL)
+}

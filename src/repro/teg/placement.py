@@ -1,0 +1,187 @@
+"""Where to place TEGs: the Sec. III-B placement study (Fig. 3).
+
+The paper rules out sandwiching a TEG between the CPU and its cold plate by
+measurement: TEGs are almost adiabatic, so CPU0 (with the TEG under its
+plate) races toward the 78.9 degC limit at only 20 % load while CPU1
+(directly plated) stays cool.  H2P therefore places the TEG module at the
+CPU *outlet*, the hottest point of the circulation.
+
+:class:`PlacementStudy` reproduces the experiment with the transient
+thermal network: two CPUs in parallel branches of the same loop, one with
+the extra TEG thermal resistance in its heat path.  It also quantifies the
+alternative the paper adopts — the module at the outlet — so the two
+designs can be compared on both safety and generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..constants import CPU_MAX_OPERATING_TEMP_C
+from ..errors import PhysicalRangeError
+from ..thermal.cpu_model import cpu_power_w
+from ..thermal.transient import (
+    ThermalLink,
+    ThermalNode,
+    TransientResult,
+    TransientThermalNetwork,
+    step_load_profile,
+)
+from .device import TegDevice, PAPER_TEG
+from .module import TegModule, default_server_module
+
+#: Load phases of the Fig. 3 experiment: 50 minutes split into four phases
+#: of 0 %, 10 %, 20 % and 0 % CPU utilisation.
+FIG3_PHASES: tuple[tuple[float, float], ...] = (
+    (750.0, 0.0), (750.0, 0.10), (750.0, 0.20), (750.0, 0.0))
+
+
+@dataclass(frozen=True)
+class PlacementOutcome:
+    """Results of one placement experiment run.
+
+    Attributes
+    ----------
+    sandwiched:
+        Transient series of the branch whose CPU has a TEG under its plate.
+    direct:
+        Transient series of the directly-plated CPU branch.
+    teg_voltage_v:
+        Open-circuit voltage of the sandwiched TEG over time (tracks the
+        CPU0 temperature trace in Fig. 3).
+    times_s:
+        Common time base of the series.
+    """
+
+    sandwiched: TransientResult
+    direct: TransientResult
+    teg_voltage_v: np.ndarray
+    times_s: np.ndarray
+
+    @property
+    def peak_sandwiched_cpu_c(self) -> float:
+        """Peak temperature of the TEG-sandwiched CPU (CPU0)."""
+        return self.sandwiched.max_temp_c("cpu")
+
+    @property
+    def peak_direct_cpu_c(self) -> float:
+        """Peak temperature of the directly-plated CPU (CPU1)."""
+        return self.direct.max_temp_c("cpu")
+
+    @property
+    def sandwiched_near_limit(self) -> bool:
+        """Whether CPU0 approached its maximum operating temperature."""
+        return self.peak_sandwiched_cpu_c >= CPU_MAX_OPERATING_TEMP_C - 5.0
+
+    @property
+    def temperature_penalty_c(self) -> float:
+        """Extra peak temperature caused by the sandwiched TEG."""
+        return self.peak_sandwiched_cpu_c - self.peak_direct_cpu_c
+
+
+@dataclass(frozen=True)
+class PlacementStudy:
+    """Reproduction of the Fig. 3 experiment and the outlet alternative.
+
+    Attributes
+    ----------
+    device:
+        The TEG under test.
+    coolant_temp_c:
+        Coolant temperature of the shared loop (stable in Fig. 3).
+    plate_resistance_k_per_w:
+        CPU-lid-to-coolant resistance of the cold plate path.
+    cpu_capacity_j_per_k:
+        Lumped heat capacity of die + spreader + plate metal.
+    """
+
+    device: TegDevice = PAPER_TEG
+    coolant_temp_c: float = 28.0
+    plate_resistance_k_per_w: float = 0.30
+    cpu_capacity_j_per_k: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.plate_resistance_k_per_w <= 0:
+            raise PhysicalRangeError("plate resistance must be > 0")
+        if self.cpu_capacity_j_per_k <= 0:
+            raise PhysicalRangeError("CPU capacity must be > 0")
+
+    def _branch_network(self, with_teg: bool,
+                        phases: Sequence[tuple[float, float]],
+                        ) -> TransientThermalNetwork:
+        """One CPU branch; optionally with the TEG in the heat path."""
+        power_phases = [(duration, cpu_power_w(util))
+                        for duration, util in phases]
+        profile = step_load_profile(power_phases)
+        nodes = [
+            ThermalNode(name="cpu", capacity_j_per_k=self.cpu_capacity_j_per_k,
+                        initial_temp_c=self.coolant_temp_c, power_w=profile),
+            ThermalNode(name="coolant", initial_temp_c=self.coolant_temp_c,
+                        boundary=True),
+        ]
+        if with_teg:
+            # CPU -> TEG -> plate -> coolant.  The plate itself is a small
+            # thermal mass between the TEG cold face and the coolant.
+            nodes.insert(1, ThermalNode(
+                name="plate", capacity_j_per_k=80.0,
+                initial_temp_c=self.coolant_temp_c))
+            links = [
+                ThermalLink("cpu", "plate",
+                            self.device.thermal_conductance_w_per_k),
+                ThermalLink("plate", "coolant",
+                            1.0 / self.plate_resistance_k_per_w),
+            ]
+        else:
+            links = [
+                ThermalLink("cpu", "coolant",
+                            1.0 / self.plate_resistance_k_per_w),
+            ]
+        return TransientThermalNetwork(nodes, links)
+
+    def run(self, phases: Sequence[tuple[float, float]] = FIG3_PHASES,
+            output_dt_s: float = 10.0) -> PlacementOutcome:
+        """Replay the Fig. 3 load schedule on both branches.
+
+        Parameters
+        ----------
+        phases:
+            ``(duration_seconds, utilisation)`` tuples; defaults to the
+            paper's 0/10/20/0 % schedule over 50 minutes.
+        output_dt_s:
+            Sampling interval of the returned series.
+
+        Returns
+        -------
+        PlacementOutcome
+            Time series for both branches and the sandwiched TEG's voltage.
+        """
+        duration = sum(duration for duration, _ in phases)
+        sandwiched_net = self._branch_network(True, phases)
+        direct_net = self._branch_network(False, phases)
+        sandwiched = sandwiched_net.simulate(duration, output_dt_s)
+        direct = direct_net.simulate(duration, output_dt_s)
+        delta_across_teg = np.maximum(
+            0.0, sandwiched.temperatures_c["cpu"]
+            - sandwiched.temperatures_c["plate"])
+        slope = self.device.seebeck_slope_v_per_c()
+        voltage = slope * delta_across_teg
+        return PlacementOutcome(
+            sandwiched=sandwiched,
+            direct=direct,
+            teg_voltage_v=voltage,
+            times_s=sandwiched.times_s,
+        )
+
+    def outlet_generation_w(self, warm_out_temp_c: float,
+                            cold_source_temp_c: float = 20.0,
+                            module: TegModule | None = None) -> float:
+        """Generation of the adopted design: the module at the CPU outlet.
+
+        The outlet design adds *no* thermal resistance to the CPU heat path
+        (its safety is unchanged), which is why the paper selects it.
+        """
+        module = module or default_server_module(self.device)
+        return module.generation_w(warm_out_temp_c, cold_source_temp_c)

@@ -1,0 +1,50 @@
+"""Thermal substrate: fluids, hydraulics, cold plates and CPU thermal models.
+
+This subpackage provides the physics the H2P architecture sits on top of:
+
+* :mod:`repro.thermal.water` — temperature-dependent water properties;
+* :mod:`repro.thermal.hydraulics` — pipe pressure drop and pump power;
+* :mod:`repro.thermal.coldplate` — effectiveness-NTU cold plates and
+  liquid-liquid heat exchangers;
+* :mod:`repro.thermal.cpu_model` — the steady-state CPU temperature and
+  outlet-water models calibrated against Figs. 9-11 of the paper;
+* :mod:`repro.thermal.transient` — a lumped-capacitance transient network
+  used to reproduce Fig. 3 and hot-spot dynamics.
+"""
+
+from .water import WaterProperties, water_properties
+from .hydraulics import PipeSegment, Pump, PumpCurve, loop_pump_power_w
+from .coldplate import ColdPlate, CounterflowHeatExchanger
+from .cpu_model import (
+    CpuThermalModel,
+    FrequencyGovernor,
+    OutletDeltaModel,
+    CoolingSetting,
+)
+from .transient import (
+    ThermalNode,
+    ThermalLink,
+    TransientThermalNetwork,
+    TransientResult,
+    step_load_profile,
+)
+
+__all__ = [
+    "WaterProperties",
+    "water_properties",
+    "PipeSegment",
+    "Pump",
+    "PumpCurve",
+    "loop_pump_power_w",
+    "ColdPlate",
+    "CounterflowHeatExchanger",
+    "CpuThermalModel",
+    "FrequencyGovernor",
+    "OutletDeltaModel",
+    "CoolingSetting",
+    "ThermalNode",
+    "ThermalLink",
+    "TransientThermalNetwork",
+    "TransientResult",
+    "step_load_profile",
+]

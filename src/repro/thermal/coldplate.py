@@ -1,0 +1,160 @@
+"""Cold plates and liquid-liquid heat exchangers (effectiveness-NTU).
+
+Two heat-transfer elements appear throughout the paper's architecture:
+
+* **Cold plates** press against a heat source (CPU die or TEG face) and
+  transfer heat into/out of the coolant flowing through them.  We model a
+  plate as a single-stream heat exchanger with effectiveness
+  ``eps = 1 - exp(-NTU)`` where ``NTU = UA / (m_dot * cp)``.
+* **CDU heat exchangers** couple the TCS loop to the FWS loop (Fig. 1);
+  we model them as counterflow exchangers with the standard two-stream
+  effectiveness relation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import PhysicalRangeError
+from ..units import litres_per_hour_to_kg_per_s
+from .water import water_properties
+
+
+def _mass_capacity_w_per_k(flow_l_per_h: float, temp_c: float) -> float:
+    """Capacity rate m_dot * cp of a water stream, W/K."""
+    mass_flow = litres_per_hour_to_kg_per_s(flow_l_per_h)
+    cp = water_properties(temp_c).heat_capacity_j_per_kg_c
+    return mass_flow * cp
+
+
+@dataclass(frozen=True)
+class ColdPlate:
+    """A liquid cold plate pressed against a solid surface.
+
+    Attributes
+    ----------
+    ua_w_per_k:
+        Overall conductance between the plate surface and the bulk coolant.
+        The prototype's 4x4 cm CPU plate is ~20 W/K; the 4x24 cm TEG plates
+        are ~80 W/K (scaled by wetted area).
+    contact_resistance_k_per_w:
+        Interface resistance between the source (CPU lid / TEG ceramic) and
+        the plate, including thermal paste.
+    """
+
+    ua_w_per_k: float = 20.0
+    contact_resistance_k_per_w: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.ua_w_per_k <= 0:
+            raise PhysicalRangeError(
+                f"UA must be > 0, got {self.ua_w_per_k}")
+        if self.contact_resistance_k_per_w < 0:
+            raise PhysicalRangeError("contact resistance must be >= 0")
+
+    def effectiveness(self, flow_l_per_h: float, temp_c: float = 40.0) -> float:
+        """Single-stream effectiveness ``1 - exp(-NTU)`` in [0, 1]."""
+        if flow_l_per_h <= 0:
+            return 1.0  # stagnant coolant equilibrates with the surface
+        capacity = _mass_capacity_w_per_k(flow_l_per_h, temp_c)
+        ntu = self.ua_w_per_k / capacity
+        return 1.0 - math.exp(-ntu)
+
+    def heat_to_coolant_w(self, surface_temp_c: float, inlet_temp_c: float,
+                          flow_l_per_h: float) -> float:
+        """Heat absorbed by the coolant from an isothermal surface.
+
+        ``q = eps * m_dot * cp * (T_surface - T_inlet)``; negative when the
+        surface is colder than the coolant (the plate then pre-heats the
+        surface, as happens on the TEG cold side).
+        """
+        if flow_l_per_h <= 0:
+            return 0.0
+        capacity = _mass_capacity_w_per_k(flow_l_per_h, inlet_temp_c)
+        eps = self.effectiveness(flow_l_per_h, inlet_temp_c)
+        return eps * capacity * (surface_temp_c - inlet_temp_c)
+
+    def outlet_temp_c(self, surface_temp_c: float, inlet_temp_c: float,
+                      flow_l_per_h: float) -> float:
+        """Coolant outlet temperature after traversing the plate."""
+        if flow_l_per_h <= 0:
+            return surface_temp_c
+        q = self.heat_to_coolant_w(surface_temp_c, inlet_temp_c, flow_l_per_h)
+        capacity = _mass_capacity_w_per_k(flow_l_per_h, inlet_temp_c)
+        return inlet_temp_c + q / capacity
+
+    def surface_temp_for_heat_w(self, heat_w: float, inlet_temp_c: float,
+                                flow_l_per_h: float) -> float:
+        """Surface temperature required to reject ``heat_w`` into the coolant.
+
+        Inverts :meth:`heat_to_coolant_w` and adds the contact-resistance
+        rise, giving the steady-state temperature of a source dissipating
+        ``heat_w`` (e.g. a CPU die) through this plate.
+        """
+        if flow_l_per_h <= 0:
+            raise PhysicalRangeError(
+                "cannot reject steady heat into a stagnant coolant")
+        capacity = _mass_capacity_w_per_k(flow_l_per_h, inlet_temp_c)
+        eps = self.effectiveness(flow_l_per_h, inlet_temp_c)
+        plate_surface = inlet_temp_c + heat_w / (eps * capacity)
+        return plate_surface + heat_w * self.contact_resistance_k_per_w
+
+
+@dataclass(frozen=True)
+class CounterflowHeatExchanger:
+    """Counterflow liquid-liquid heat exchanger (the CDU in Fig. 1)."""
+
+    ua_w_per_k: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.ua_w_per_k <= 0:
+            raise PhysicalRangeError(f"UA must be > 0, got {self.ua_w_per_k}")
+
+    def effectiveness(self, hot_flow_l_per_h: float, cold_flow_l_per_h: float,
+                      hot_temp_c: float = 45.0,
+                      cold_temp_c: float = 25.0) -> float:
+        """Two-stream counterflow effectiveness.
+
+        Uses the standard relation
+        ``eps = (1 - exp(-NTU (1-Cr))) / (1 - Cr exp(-NTU (1-Cr)))`` with
+        the balanced-flow limit ``eps = NTU / (1 + NTU)`` when Cr -> 1.
+        """
+        if hot_flow_l_per_h <= 0 or cold_flow_l_per_h <= 0:
+            return 0.0
+        c_hot = _mass_capacity_w_per_k(hot_flow_l_per_h, hot_temp_c)
+        c_cold = _mass_capacity_w_per_k(cold_flow_l_per_h, cold_temp_c)
+        c_min, c_max = min(c_hot, c_cold), max(c_hot, c_cold)
+        cr = c_min / c_max
+        ntu = self.ua_w_per_k / c_min
+        if abs(1.0 - cr) < 1e-9:
+            return ntu / (1.0 + ntu)
+        expo = math.exp(-ntu * (1.0 - cr))
+        return (1.0 - expo) / (1.0 - cr * expo)
+
+    def transferred_heat_w(self, hot_in_c: float, cold_in_c: float,
+                           hot_flow_l_per_h: float,
+                           cold_flow_l_per_h: float) -> float:
+        """Heat moved from the hot stream to the cold stream, watts."""
+        if hot_in_c < cold_in_c:
+            # No heat flows "uphill" in a passive exchanger.
+            return 0.0
+        c_hot = _mass_capacity_w_per_k(hot_flow_l_per_h, hot_in_c)
+        c_cold = _mass_capacity_w_per_k(cold_flow_l_per_h, cold_in_c)
+        if c_hot == 0 or c_cold == 0:
+            return 0.0
+        eps = self.effectiveness(hot_flow_l_per_h, cold_flow_l_per_h,
+                                 hot_in_c, cold_in_c)
+        return eps * min(c_hot, c_cold) * (hot_in_c - cold_in_c)
+
+    def outlet_temps_c(self, hot_in_c: float, cold_in_c: float,
+                       hot_flow_l_per_h: float,
+                       cold_flow_l_per_h: float) -> tuple[float, float]:
+        """Return ``(hot_out_c, cold_out_c)`` for the given inlets."""
+        q = self.transferred_heat_w(hot_in_c, cold_in_c,
+                                    hot_flow_l_per_h, cold_flow_l_per_h)
+        c_hot = _mass_capacity_w_per_k(hot_flow_l_per_h, hot_in_c)
+        c_cold = _mass_capacity_w_per_k(cold_flow_l_per_h, cold_in_c)
+        hot_out = hot_in_c - (q / c_hot if c_hot > 0 else 0.0)
+        cold_out = cold_in_c + (q / c_cold if c_cold > 0 else 0.0)
+        return hot_out, cold_out

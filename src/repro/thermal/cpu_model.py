@@ -1,0 +1,266 @@
+"""Steady-state CPU thermal and power models calibrated to the paper.
+
+The paper characterises an Intel Xeon E5-2650 V3 cooled by a cold plate and
+reports three empirical relationships that this module encodes:
+
+* **Eq. 20** — CPU power vs. utilisation:
+  ``P = 109.71 * ln(u + 1.17) - 7.83`` watts with ``u`` in ``[0, 1]``
+  (9.4 W idle, ~77 W at full load, RMS error < 5 W).
+* **Fig. 10 / Fig. 11** — CPU temperature is linear in coolant temperature,
+  ``T_CPU = k(f) * T_coolant + b(u, f)`` with the slope ``k`` in [1, 1.3]
+  growing as the flow rate shrinks, and the cooling benefit of extra flow
+  saturating above ~250 L/H.
+* **Fig. 9** — the coolant outlet-inlet temperature difference fluctuates
+  within 1-3.5 degC and is driven almost entirely by CPU utilisation.
+
+The calibration constants were chosen so that the model reproduces every
+anchor point the paper states: full load with 40-45 degC water stays below
+the 78.9 degC limit, while 50 degC water with >=70 % utilisation exceeds it
+(Sec. II-B), and the Fig. 13 working region around T_safe = 62 degC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    CPU_MAX_FREQUENCY_GHZ,
+    CPU_MAX_OPERATING_TEMP_C,
+    CPU_POWER_CONST_W,
+    CPU_POWER_LOG_COEFF_W,
+    CPU_POWER_LOG_OFFSET,
+    CPU_POWERSAVE_FREQUENCY_GHZ,
+    WATER_HEAT_CAPACITY_J_PER_KG_C,
+)
+from ..errors import PhysicalRangeError
+from ..units import litres_per_hour_to_kg_per_s
+
+
+def _check_utilisation(utilisation) -> np.ndarray:
+    """Validate a scalar or array utilisation and return it as an array."""
+    utils = np.asarray(utilisation, dtype=float)
+    if np.any((utils < 0.0) | (utils > 1.0)):
+        raise PhysicalRangeError(
+            f"utilisation must be in [0, 1], got {utilisation}")
+    return utils
+
+
+def cpu_power_w(utilisation):
+    """CPU electrical power at a given utilisation (paper Eq. 20).
+
+    Parameters
+    ----------
+    utilisation:
+        CPU utilisation as a fraction in ``[0, 1]``; scalar or array.
+
+    Returns
+    -------
+    float or numpy.ndarray
+        Package power in watts (~9.4 W idle, ~77 W at 100 %); matches the
+        input's shape.
+    """
+    utils = _check_utilisation(utilisation)
+    power = (CPU_POWER_LOG_COEFF_W
+             * np.log(utils + CPU_POWER_LOG_OFFSET)
+             + CPU_POWER_CONST_W)
+    if power.ndim == 0:
+        return float(power)
+    return power
+
+
+@dataclass(frozen=True)
+class CoolingSetting:
+    """The pair ``{f, T_warm_in}`` the control plane adjusts (Sec. V-B).
+
+    Attributes
+    ----------
+    flow_l_per_h:
+        Coolant flow rate through each server's cold plate, litres/hour.
+    inlet_temp_c:
+        Inlet water temperature ``T_warm_in``, degC.
+    """
+
+    flow_l_per_h: float
+    inlet_temp_c: float
+
+    def __post_init__(self) -> None:
+        if self.flow_l_per_h <= 0:
+            raise PhysicalRangeError(
+                f"flow rate must be > 0, got {self.flow_l_per_h}")
+        if not -10.0 <= self.inlet_temp_c <= 90.0:
+            raise PhysicalRangeError(
+                f"inlet temperature {self.inlet_temp_c} C is outside the "
+                f"plausible coolant range (-10..90 C)")
+
+
+@dataclass(frozen=True)
+class FrequencyGovernor:
+    """The "powersave" CPU frequency governor observed in Fig. 10.
+
+    Frequency rises roughly linearly with utilisation, slows beyond 50 %
+    and settles at ~2.5 GHz instead of the 3.0 GHz maximum.
+    """
+
+    idle_frequency_ghz: float = 1.2
+    knee_utilisation: float = 0.5
+    knee_frequency_ghz: float = 2.3
+    plateau_frequency_ghz: float = CPU_POWERSAVE_FREQUENCY_GHZ
+    plateau_rate: float = 0.15
+
+    def frequency_ghz(self, utilisation: float) -> float:
+        """Operating frequency at ``utilisation`` (fraction in [0, 1])."""
+        if not 0.0 <= utilisation <= 1.0:
+            raise PhysicalRangeError(
+                f"utilisation must be in [0, 1], got {utilisation}")
+        if utilisation <= self.knee_utilisation:
+            slope = ((self.knee_frequency_ghz - self.idle_frequency_ghz)
+                     / self.knee_utilisation)
+            return self.idle_frequency_ghz + slope * utilisation
+        span = self.plateau_frequency_ghz - self.knee_frequency_ghz
+        progress = 1.0 - math.exp(
+            -(utilisation - self.knee_utilisation) / self.plateau_rate)
+        freq = self.knee_frequency_ghz + span * progress
+        return min(freq, CPU_MAX_FREQUENCY_GHZ)
+
+
+@dataclass(frozen=True)
+class OutletDeltaModel:
+    """Model of ``dT_out-in``, the coolant temperature rise across the CPU.
+
+    Two modes are provided:
+
+    * ``"empirical"`` (default) reproduces Fig. 9: the rise is ~1 degC idle
+      and ~3.5 degC at full load at the prototype's 20 L/H reference flow,
+      with only weak flow-rate and inlet-temperature dependence.
+    * ``"physical"`` applies the energy balance
+      ``dT = eta * P_cpu / (m_dot * cp)`` with a heat-capture efficiency
+      ``eta``; use it when strict energy conservation across the loop
+      matters more than matching the measured weak flow sensitivity.
+    """
+
+    mode: str = "empirical"
+    capture_efficiency: float = 0.85
+    base_delta_c: float = 1.05
+    load_delta_c: float = 2.45
+    flow_exponent: float = -0.08
+    inlet_sensitivity_per_c: float = 0.004
+    reference_flow_l_per_h: float = 20.0
+    reference_inlet_c: float = 35.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("empirical", "physical"):
+            raise PhysicalRangeError(
+                f"mode must be 'empirical' or 'physical', got {self.mode!r}")
+        if not 0.0 < self.capture_efficiency <= 1.0:
+            raise PhysicalRangeError(
+                f"capture efficiency must be in (0, 1], "
+                f"got {self.capture_efficiency}")
+
+    def delta_c(self, utilisation, flow_l_per_h: float,
+                inlet_temp_c: float):
+        """Outlet-inlet temperature difference, degC.
+
+        ``utilisation`` may be a scalar or an array; the result matches.
+        """
+        utilisation = _check_utilisation(utilisation)
+        if utilisation.ndim == 0:
+            utilisation = float(utilisation)
+        if flow_l_per_h <= 0:
+            raise PhysicalRangeError(
+                f"flow rate must be > 0, got {flow_l_per_h}")
+        if self.mode == "physical":
+            mass_flow = litres_per_hour_to_kg_per_s(flow_l_per_h)
+            capacity = mass_flow * WATER_HEAT_CAPACITY_J_PER_KG_C
+            return self.capture_efficiency * cpu_power_w(utilisation) / capacity
+        base = self.base_delta_c + self.load_delta_c * utilisation
+        flow_factor = (flow_l_per_h
+                       / self.reference_flow_l_per_h) ** self.flow_exponent
+        inlet_factor = 1.0 + self.inlet_sensitivity_per_c * (
+            inlet_temp_c - self.reference_inlet_c)
+        return base * flow_factor * max(inlet_factor, 0.0)
+
+
+@dataclass(frozen=True)
+class CpuThermalModel:
+    """Steady-state CPU temperature model (Figs. 10-11).
+
+    ``T_CPU = k(f) * T_inlet + R_th(f) * P_cpu(u)``
+
+    where the slope ``k(f) = 1 + k_amp * exp(-f / k_flow)`` reproduces the
+    paper's observation that the slope grows as the flow decreases
+    (k in [1, 1.3]) and the junction-to-coolant thermal resistance
+    ``R_th(f) = r_min + r_amp * exp(-f / r_flow)`` saturates above
+    ~250 L/H (Fig. 11).
+    """
+
+    k_amp: float = 0.30
+    k_flow_l_per_h: float = 100.0
+    r_min_k_per_w: float = 0.12
+    r_amp_k_per_w: float = 0.196
+    r_flow_l_per_h: float = 120.0
+    max_operating_temp_c: float = CPU_MAX_OPERATING_TEMP_C
+    outlet_model: OutletDeltaModel = OutletDeltaModel()
+    governor: FrequencyGovernor = FrequencyGovernor()
+    extra_resistance_k_per_w: float = 0.0
+    #: Multiplier on the Eq. 20 power curve; 1.0 is the prototype CPU.
+    #: Lets heterogeneous-fleet specs reuse the same calibration shape.
+    power_scale: float = 1.0
+
+    def slope(self, flow_l_per_h: float) -> float:
+        """The coefficient ``k(f)`` of the linear law (paper: k in [1, 1.3])."""
+        if flow_l_per_h <= 0:
+            raise PhysicalRangeError(
+                f"flow rate must be > 0, got {flow_l_per_h}")
+        return 1.0 + self.k_amp * math.exp(-flow_l_per_h / self.k_flow_l_per_h)
+
+    def thermal_resistance_k_per_w(self, flow_l_per_h: float) -> float:
+        """Junction-to-coolant thermal resistance at ``flow_l_per_h``."""
+        if flow_l_per_h <= 0:
+            raise PhysicalRangeError(
+                f"flow rate must be > 0, got {flow_l_per_h}")
+        r_plate = (self.r_min_k_per_w
+                   + self.r_amp_k_per_w
+                   * math.exp(-flow_l_per_h / self.r_flow_l_per_h))
+        return r_plate + self.extra_resistance_k_per_w
+
+    def cpu_power_w(self, utilisation):
+        """CPU power at ``utilisation`` — Eq. 20 times ``power_scale``."""
+        return self.power_scale * cpu_power_w(utilisation)
+
+    def cpu_temp_c(self, utilisation, setting: CoolingSetting):
+        """Steady-state CPU temperature for a load and cooling setting."""
+        power = self.cpu_power_w(utilisation)
+        return (self.slope(setting.flow_l_per_h) * setting.inlet_temp_c
+                + self.thermal_resistance_k_per_w(setting.flow_l_per_h) * power)
+
+    def outlet_temp_c(self, utilisation: float,
+                      setting: CoolingSetting) -> float:
+        """CPU outlet water temperature ``T_warm_out`` (paper Eq. 8)."""
+        delta = self.outlet_model.delta_c(
+            utilisation, setting.flow_l_per_h, setting.inlet_temp_c)
+        return setting.inlet_temp_c + delta
+
+    def inlet_for_cpu_temp(self, utilisation: float, flow_l_per_h: float,
+                           target_cpu_temp_c: float) -> float:
+        """Invert the linear law: the inlet temperature giving a CPU temp.
+
+        This is the analytic core of the cooling-setting policy: for a given
+        load and flow, the hottest admissible inlet temperature is the one
+        that puts the CPU exactly at the safe temperature.
+        """
+        power = self.cpu_power_w(utilisation)
+        rth = self.thermal_resistance_k_per_w(flow_l_per_h)
+        return (target_cpu_temp_c - rth * power) / self.slope(flow_l_per_h)
+
+    def is_safe(self, utilisation: float, setting: CoolingSetting,
+                safety_margin_c: float = 0.0) -> bool:
+        """Whether the CPU stays below its maximum operating temperature."""
+        return (self.cpu_temp_c(utilisation, setting)
+                <= self.max_operating_temp_c - safety_margin_c)
+
+    def frequency_ghz(self, utilisation: float) -> float:
+        """Operating frequency under the configured governor (Fig. 10)."""
+        return self.governor.frequency_ghz(utilisation)

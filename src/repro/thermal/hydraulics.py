@@ -1,0 +1,220 @@
+"""Pipe pressure drop and pump power for the water circulations.
+
+The paper notes (Sec. IV-B) that raising the flow rate buys only a small
+increase in TEG voltage while costing "more power consumption of the pump".
+To quantify that trade-off (benchmark E-AB1) we model:
+
+* laminar/turbulent Darcy-Weisbach pressure drop in the loop piping,
+* minor losses through cold plates and fittings as equivalent K-factors,
+* a variable-speed pump with a wire-to-water efficiency curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import PhysicalRangeError
+from ..units import litres_per_hour_to_kg_per_s
+from .water import water_properties
+
+_LAMINAR_REYNOLDS_LIMIT = 2300.0
+
+
+@dataclass(frozen=True)
+class PipeSegment:
+    """One hydraulic element of a cooling loop.
+
+    Attributes
+    ----------
+    length_m:
+        Straight pipe length.
+    diameter_m:
+        Inner diameter.
+    k_minor:
+        Sum of minor-loss coefficients for the fittings, bends and cold
+        plates lumped into this segment (dimensionless).
+    roughness_m:
+        Absolute wall roughness; the default corresponds to drawn plastic
+        tubing used in the prototype loops.
+    """
+
+    length_m: float
+    diameter_m: float
+    k_minor: float = 0.0
+    roughness_m: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        if self.length_m < 0:
+            raise PhysicalRangeError(f"length must be >= 0, got {self.length_m}")
+        if self.diameter_m <= 0:
+            raise PhysicalRangeError(
+                f"diameter must be > 0, got {self.diameter_m}")
+        if self.k_minor < 0:
+            raise PhysicalRangeError(f"k_minor must be >= 0, got {self.k_minor}")
+
+    @property
+    def area_m2(self) -> float:
+        """Flow cross-section area."""
+        return math.pi * self.diameter_m ** 2 / 4.0
+
+    def velocity_m_per_s(self, flow_l_per_h: float, temp_c: float = 40.0) -> float:
+        """Mean flow velocity for a volumetric flow rate."""
+        mass_flow = litres_per_hour_to_kg_per_s(flow_l_per_h)
+        rho = water_properties(temp_c).density_kg_per_m3
+        return mass_flow / rho / self.area_m2
+
+    def reynolds(self, flow_l_per_h: float, temp_c: float = 40.0) -> float:
+        """Reynolds number of the flow in this segment."""
+        props = water_properties(temp_c)
+        velocity = self.velocity_m_per_s(flow_l_per_h, temp_c)
+        return (props.density_kg_per_m3 * velocity * self.diameter_m
+                / props.viscosity_pa_s)
+
+    def friction_factor(self, flow_l_per_h: float, temp_c: float = 40.0) -> float:
+        """Darcy friction factor (laminar 64/Re, else Swamee-Jain)."""
+        re = self.reynolds(flow_l_per_h, temp_c)
+        if re <= 0:
+            return 0.0
+        if re < _LAMINAR_REYNOLDS_LIMIT:
+            return 64.0 / re
+        relative_roughness = self.roughness_m / self.diameter_m
+        return 0.25 / math.log10(relative_roughness / 3.7
+                                 + 5.74 / re ** 0.9) ** 2
+
+    def pressure_drop_pa(self, flow_l_per_h: float, temp_c: float = 40.0) -> float:
+        """Total pressure drop (friction + minor losses) across the segment."""
+        if flow_l_per_h < 0:
+            raise PhysicalRangeError(
+                f"flow rate must be >= 0, got {flow_l_per_h}")
+        if flow_l_per_h == 0:
+            return 0.0
+        props = water_properties(temp_c)
+        velocity = self.velocity_m_per_s(flow_l_per_h, temp_c)
+        dynamic_pressure = 0.5 * props.density_kg_per_m3 * velocity ** 2
+        friction = self.friction_factor(flow_l_per_h, temp_c)
+        major = friction * self.length_m / self.diameter_m * dynamic_pressure
+        minor = self.k_minor * dynamic_pressure
+        return major + minor
+
+
+@dataclass(frozen=True)
+class PumpCurve:
+    """Wire-to-water efficiency of a small variable-speed circulation pump.
+
+    Efficiency peaks at ``best_efficiency`` around ``best_flow_l_per_h`` and
+    degrades quadratically away from it, floored at ``min_efficiency`` —
+    the typical bathtub shape of small canned-rotor pumps.
+    """
+
+    best_efficiency: float = 0.45
+    best_flow_l_per_h: float = 200.0
+    falloff_per_l_per_h: float = 1.2e-3
+    min_efficiency: float = 0.08
+
+    def __post_init__(self) -> None:
+        if not (0 < self.best_efficiency <= 1):
+            raise PhysicalRangeError(
+                f"best_efficiency must be in (0, 1], got {self.best_efficiency}")
+        if not (0 < self.min_efficiency <= self.best_efficiency):
+            raise PhysicalRangeError(
+                "min_efficiency must be in (0, best_efficiency]")
+
+    def efficiency(self, flow_l_per_h: float) -> float:
+        """Wire-to-water efficiency at ``flow_l_per_h``."""
+        if flow_l_per_h < 0:
+            raise PhysicalRangeError(
+                f"flow rate must be >= 0, got {flow_l_per_h}")
+        deviation = abs(flow_l_per_h - self.best_flow_l_per_h)
+        eff = self.best_efficiency * (
+            1.0 - (self.falloff_per_l_per_h * deviation) ** 2)
+        return max(self.min_efficiency, eff)
+
+
+@dataclass(frozen=True)
+class Pump:
+    """A variable-speed pump driving one or more pipe segments."""
+
+    curve: PumpCurve = field(default_factory=PumpCurve)
+
+    def electrical_power_w(self, flow_l_per_h: float, head_pa: float) -> float:
+        """Electrical power drawn to deliver ``flow_l_per_h`` against ``head_pa``.
+
+        Parameters
+        ----------
+        flow_l_per_h:
+            Delivered volumetric flow.
+        head_pa:
+            Total pressure the pump must develop.
+
+        Returns
+        -------
+        float
+            Electrical input power in watts (hydraulic power divided by the
+            wire-to-water efficiency at this operating point).
+        """
+        if head_pa < 0:
+            raise PhysicalRangeError(f"head must be >= 0, got {head_pa}")
+        if flow_l_per_h == 0 or head_pa == 0:
+            return 0.0
+        volume_m3_per_s = flow_l_per_h / 1000.0 / 3600.0
+        hydraulic_w = volume_m3_per_s * head_pa
+        return hydraulic_w / self.curve.efficiency(flow_l_per_h)
+
+
+def loop_pump_power_w(segments: Sequence[PipeSegment], flow_l_per_h: float,
+                      temp_c: float = 40.0,
+                      pump: Pump | None = None) -> float:
+    """Electrical pump power needed to drive a loop of segments in series.
+
+    This is the quantity weighed against the extra TEG output when the
+    paper concludes that a larger flow rate "may be too little to be worth
+    making" (Sec. IV-B).
+    """
+    pump = pump or Pump()
+    total_drop = sum(seg.pressure_drop_pa(flow_l_per_h, temp_c)
+                     for seg in segments)
+    return pump.electrical_power_w(flow_l_per_h, total_drop)
+
+
+def prototype_warm_loop() -> list[PipeSegment]:
+    """Pipe network of the prototype's warm (TCS) circulation (Sec. IV-A).
+
+    Three cold plates (one 4x4 cm on the CPU, two 4x24 cm on the TEG
+    modules), a flowmeter and interconnecting tubing, lumped into
+    segments with representative minor-loss coefficients.
+    """
+    return [
+        PipeSegment(length_m=2.0, diameter_m=0.008, k_minor=4.0),   # tubing+bends
+        PipeSegment(length_m=0.04, diameter_m=0.004, k_minor=8.0),  # CPU plate
+        PipeSegment(length_m=0.24, diameter_m=0.004, k_minor=6.0),  # TEG plate 1
+        PipeSegment(length_m=0.24, diameter_m=0.004, k_minor=6.0),  # TEG plate 2
+        PipeSegment(length_m=0.1, diameter_m=0.006, k_minor=2.5),   # flowmeter
+    ]
+
+
+def production_manifold() -> list[PipeSegment]:
+    """Per-server hydraulics of a production rack manifold.
+
+    Real racks feed cold plates from wide supply/return manifolds with
+    short drops per server; the per-server share of the pressure drop is
+    an order of magnitude below the prototype's bench loop.  Use this
+    when accounting pump power at datacenter scale (the prototype loop
+    is only fair for the testbed itself).
+    """
+    return [
+        PipeSegment(length_m=0.3, diameter_m=0.012, k_minor=1.0),  # drop
+        PipeSegment(length_m=0.04, diameter_m=0.006, k_minor=4.0),  # plate
+        PipeSegment(length_m=0.3, diameter_m=0.012, k_minor=1.0),  # return
+    ]
+
+
+def prototype_cold_loop() -> list[PipeSegment]:
+    """Pipe network of the prototype's cold (natural-water) circulation."""
+    return [
+        PipeSegment(length_m=2.0, diameter_m=0.008, k_minor=4.0),
+        PipeSegment(length_m=0.24, diameter_m=0.004, k_minor=6.0),
+        PipeSegment(length_m=0.24, diameter_m=0.004, k_minor=6.0),
+        PipeSegment(length_m=0.3, diameter_m=0.008, k_minor=3.0),   # heat sink
+    ]

@@ -1,0 +1,246 @@
+"""Lumped-capacitance transient thermal network.
+
+The paper's Fig. 3 experiment (a TEG sandwiched between CPU0 and its cold
+plate drives the CPU toward its temperature limit at only 20 % load) and
+the hot-spot / chiller-lag dynamics of Sec. II-B are transient phenomena.
+We model them with a small RC network:
+
+* a :class:`ThermalNode` is either a capacitive node (die, plate, coolant
+  slug) with heat capacity and an optional injected power, or a boundary
+  node pinned at a fixed temperature (an infinite reservoir);
+* a :class:`ThermalLink` is a conductance (1/R) between two nodes;
+* :class:`TransientThermalNetwork` integrates the resulting ODE system
+  ``C_i dT_i/dt = P_i + sum_j G_ij (T_j - T_i)`` with an explicit scheme
+  and automatic sub-stepping for stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, PhysicalRangeError
+
+PowerFunction = Callable[[float], float]
+
+
+@dataclass
+class ThermalNode:
+    """One lumped thermal mass (or a fixed-temperature boundary).
+
+    Attributes
+    ----------
+    name:
+        Unique identifier used to address the node in results.
+    capacity_j_per_k:
+        Heat capacity. Ignored for boundary nodes.
+    initial_temp_c:
+        Temperature at ``t = 0``.
+    power_w:
+        Constant injected power, or a callable ``power(t_seconds) -> watts``
+        for time-varying loads (used to replay the Fig. 3 load phases).
+    boundary:
+        If True the node temperature is held at ``initial_temp_c`` forever
+        (an ideal reservoir such as the facility water supply).
+    """
+
+    name: str
+    capacity_j_per_k: float = 100.0
+    initial_temp_c: float = 25.0
+    power_w: float | PowerFunction = 0.0
+    boundary: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.boundary and self.capacity_j_per_k <= 0:
+            raise PhysicalRangeError(
+                f"node {self.name!r}: capacity must be > 0, "
+                f"got {self.capacity_j_per_k}")
+
+    def power_at(self, t_seconds: float) -> float:
+        """Injected power at simulation time ``t_seconds``."""
+        if callable(self.power_w):
+            return float(self.power_w(t_seconds))
+        return float(self.power_w)
+
+
+@dataclass(frozen=True)
+class ThermalLink:
+    """A thermal conductance between two named nodes."""
+
+    node_a: str
+    node_b: str
+    conductance_w_per_k: float
+
+    def __post_init__(self) -> None:
+        if self.conductance_w_per_k <= 0:
+            raise PhysicalRangeError(
+                f"link {self.node_a}-{self.node_b}: conductance must be > 0, "
+                f"got {self.conductance_w_per_k}")
+        if self.node_a == self.node_b:
+            raise ConfigurationError(
+                f"link endpoints must differ, got {self.node_a!r} twice")
+
+    @property
+    def resistance_k_per_w(self) -> float:
+        """Thermal resistance of the link (1 / conductance)."""
+        return 1.0 / self.conductance_w_per_k
+
+
+@dataclass
+class TransientResult:
+    """Time series produced by :meth:`TransientThermalNetwork.simulate`."""
+
+    times_s: np.ndarray
+    temperatures_c: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def max_temp_c(self, node: str) -> float:
+        """Peak temperature reached by ``node`` over the run."""
+        return float(np.max(self.temperatures_c[node]))
+
+    def final_temp_c(self, node: str) -> float:
+        """Temperature of ``node`` at the end of the run."""
+        return float(self.temperatures_c[node][-1])
+
+
+class TransientThermalNetwork:
+    """Explicitly-integrated RC thermal network.
+
+    Parameters
+    ----------
+    nodes:
+        The thermal masses and boundaries of the network.
+    links:
+        Conductances between pairs of nodes.  Every endpoint must name an
+        existing node.
+    """
+
+    def __init__(self, nodes: Sequence[ThermalNode],
+                 links: Sequence[ThermalLink]) -> None:
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate node names in {names}")
+        self._nodes = list(nodes)
+        self._index = {name: i for i, name in enumerate(names)}
+        for link in links:
+            for endpoint in (link.node_a, link.node_b):
+                if endpoint not in self._index:
+                    raise ConfigurationError(
+                        f"link references unknown node {endpoint!r}")
+        self._links = list(links)
+        self._conductance = self._build_conductance_matrix()
+
+    def _build_conductance_matrix(self) -> np.ndarray:
+        n = len(self._nodes)
+        matrix = np.zeros((n, n))
+        for link in self._links:
+            i = self._index[link.node_a]
+            j = self._index[link.node_b]
+            matrix[i, j] += link.conductance_w_per_k
+            matrix[j, i] += link.conductance_w_per_k
+        return matrix
+
+    @property
+    def node_names(self) -> list[str]:
+        """Names of all nodes in insertion order."""
+        return [node.name for node in self._nodes]
+
+    def _stable_dt(self) -> float:
+        """Largest explicit-Euler step that keeps every node stable."""
+        dt = np.inf
+        row_conductance = self._conductance.sum(axis=1)
+        for i, node in enumerate(self._nodes):
+            if node.boundary or row_conductance[i] == 0:
+                continue
+            tau = node.capacity_j_per_k / row_conductance[i]
+            dt = min(dt, 0.5 * tau)
+        if not np.isfinite(dt):
+            dt = 1.0
+        return dt
+
+    def simulate(self, duration_s: float, output_dt_s: float = 1.0,
+                 ) -> TransientResult:
+        """Integrate the network for ``duration_s`` seconds.
+
+        Parameters
+        ----------
+        duration_s:
+            Total simulated time.
+        output_dt_s:
+            Sampling interval of the returned time series.  Internally the
+            integrator sub-steps as needed for stability.
+
+        Returns
+        -------
+        TransientResult
+            Per-node temperature time series sampled every ``output_dt_s``.
+        """
+        if duration_s <= 0:
+            raise PhysicalRangeError(
+                f"duration must be > 0, got {duration_s}")
+        if output_dt_s <= 0:
+            raise PhysicalRangeError(
+                f"output interval must be > 0, got {output_dt_s}")
+        inner_dt = min(self._stable_dt(), output_dt_s)
+        substeps = max(1, int(np.ceil(output_dt_s / inner_dt)))
+        inner_dt = output_dt_s / substeps
+
+        n_out = int(np.floor(duration_s / output_dt_s)) + 1
+        times = np.arange(n_out) * output_dt_s
+        temps = np.array([node.initial_temp_c for node in self._nodes],
+                         dtype=float)
+        boundary_mask = np.array([node.boundary for node in self._nodes])
+        capacities = np.array([node.capacity_j_per_k for node in self._nodes])
+
+        history = np.empty((n_out, len(self._nodes)))
+        history[0] = temps
+        t = 0.0
+        for step in range(1, n_out):
+            for _ in range(substeps):
+                powers = np.array([node.power_at(t) for node in self._nodes])
+                inflow = self._conductance @ temps
+                outflow = self._conductance.sum(axis=1) * temps
+                dTdt = (powers + inflow - outflow) / capacities
+                dTdt[boundary_mask] = 0.0
+                temps = temps + inner_dt * dTdt
+                t += inner_dt
+            history[step] = temps
+
+        series = {name: history[:, i] for name, i in self._index.items()}
+        return TransientResult(times_s=times, temperatures_c=series)
+
+
+def step_load_profile(phases: Sequence[tuple[float, float]],
+                      ) -> PowerFunction:
+    """Build a piecewise-constant power function from (duration, watts) pairs.
+
+    Used to replay the Fig. 3 experiment, whose 50 minutes are split into
+    four phases of 0 %, 10 %, 20 % and 0 % CPU load.
+
+    Parameters
+    ----------
+    phases:
+        Sequence of ``(duration_seconds, power_watts)`` tuples.  After the
+        last phase the final power level persists.
+    """
+    if not phases:
+        raise ConfigurationError("at least one phase is required")
+    boundaries: list[float] = []
+    powers: list[float] = []
+    elapsed = 0.0
+    for duration, power in phases:
+        if duration <= 0:
+            raise PhysicalRangeError(
+                f"phase duration must be > 0, got {duration}")
+        elapsed += duration
+        boundaries.append(elapsed)
+        powers.append(power)
+
+    def profile(t_seconds: float) -> float:
+        for boundary, power in zip(boundaries, powers):
+            if t_seconds < boundary:
+                return power
+        return powers[-1]
+
+    return profile

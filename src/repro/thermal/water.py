@@ -1,0 +1,134 @@
+"""Temperature-dependent thermophysical properties of liquid water.
+
+The paper treats water as having constant heat capacity (Sec. V-A), which is
+adequate over the 20-60 degC range it operates in.  We provide both the
+constant-property shortcut the paper uses and smooth engineering
+correlations, so that the heat-exchanger and hydraulics models can resolve
+second-order effects (viscosity drop with temperature, Prandtl number) when
+desired.
+
+The correlations below are standard polynomial fits to IAPWS data for liquid
+water at atmospheric pressure, valid for 0-100 degC; each is accurate to
+better than 1 % over 10-80 degC, which comfortably covers every operating
+point in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import WATER_DENSITY_KG_PER_M3, WATER_HEAT_CAPACITY_J_PER_KG_C
+from ..errors import PhysicalRangeError
+
+_VALID_MIN_C = 0.0
+_VALID_MAX_C = 100.0
+
+
+@dataclass(frozen=True)
+class WaterProperties:
+    """Bundle of water properties evaluated at one temperature.
+
+    Attributes
+    ----------
+    temperature_c:
+        Evaluation temperature, degC.
+    density_kg_per_m3:
+        Mass density.
+    heat_capacity_j_per_kg_c:
+        Isobaric specific heat.
+    viscosity_pa_s:
+        Dynamic viscosity.
+    conductivity_w_per_m_k:
+        Thermal conductivity.
+    """
+
+    temperature_c: float
+    density_kg_per_m3: float
+    heat_capacity_j_per_kg_c: float
+    viscosity_pa_s: float
+    conductivity_w_per_m_k: float
+
+    @property
+    def prandtl(self) -> float:
+        """Prandtl number Pr = cp * mu / k (dimensionless)."""
+        return (self.heat_capacity_j_per_kg_c * self.viscosity_pa_s
+                / self.conductivity_w_per_m_k)
+
+    @property
+    def kinematic_viscosity_m2_per_s(self) -> float:
+        """Kinematic viscosity nu = mu / rho."""
+        return self.viscosity_pa_s / self.density_kg_per_m3
+
+
+def _check_range(temp_c: float) -> None:
+    if not (_VALID_MIN_C <= temp_c <= _VALID_MAX_C):
+        raise PhysicalRangeError(
+            f"water property correlations are valid for "
+            f"{_VALID_MIN_C}-{_VALID_MAX_C} C, got {temp_c} C")
+
+
+def density_kg_per_m3(temp_c: float) -> float:
+    """Density of liquid water at ``temp_c`` (polynomial fit, 0-100 degC)."""
+    _check_range(temp_c)
+    # Kell-style fit truncated to cubic; 999.97 kg/m^3 near 4 C.
+    t = temp_c
+    return 999.85 + 5.332e-2 * t - 7.564e-3 * t ** 2 + 4.323e-5 * t ** 3
+
+
+def heat_capacity_j_per_kg_c(temp_c: float) -> float:
+    """Isobaric specific heat of liquid water at ``temp_c``."""
+    _check_range(temp_c)
+    t = temp_c
+    # Quartic fit to IAPWS liquid-water data (max error ~1.5 J/kg/K);
+    # shallow minimum of ~4178 J/kg/K near 35 C.
+    return (4216.92 - 3.04861 * t + 7.96623e-2 * t ** 2
+            - 8.32343e-4 * t ** 3 + 3.40035e-6 * t ** 4)
+
+
+def viscosity_pa_s(temp_c: float) -> float:
+    """Dynamic viscosity of liquid water (Vogel-type fit)."""
+    _check_range(temp_c)
+    # mu = A * 10^(B / (T - C)) with T in kelvin; classic Vogel fit.
+    temp_k = temp_c + 273.15
+    return 2.414e-5 * 10.0 ** (247.8 / (temp_k - 140.0))
+
+
+def conductivity_w_per_m_k(temp_c: float) -> float:
+    """Thermal conductivity of liquid water (quadratic fit)."""
+    _check_range(temp_c)
+    t = temp_c
+    return 0.5706 + 1.756e-3 * t - 6.46e-6 * t ** 2
+
+
+def water_properties(temp_c: float, *, constant: bool = False) -> WaterProperties:
+    """Evaluate all water properties at a temperature.
+
+    Parameters
+    ----------
+    temp_c:
+        Water temperature in degC (0-100).
+    constant:
+        If True, return the constant properties the paper assumes
+        (rho = 1000 kg/m^3, cp = 4200 J/kg/K) with viscosity and
+        conductivity evaluated at the requested temperature.  Use this to
+        reproduce the paper's Eq. 10 arithmetic exactly.
+
+    Returns
+    -------
+    WaterProperties
+        Property bundle at ``temp_c``.
+    """
+    _check_range(temp_c)
+    if constant:
+        rho = WATER_DENSITY_KG_PER_M3
+        cp = WATER_HEAT_CAPACITY_J_PER_KG_C
+    else:
+        rho = density_kg_per_m3(temp_c)
+        cp = heat_capacity_j_per_kg_c(temp_c)
+    return WaterProperties(
+        temperature_c=temp_c,
+        density_kg_per_m3=rho,
+        heat_capacity_j_per_kg_c=cp,
+        viscosity_pa_s=viscosity_pa_s(temp_c),
+        conductivity_w_per_m_k=conductivity_w_per_m_k(temp_c),
+    )

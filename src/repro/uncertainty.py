@@ -1,0 +1,238 @@
+"""Uncertainty quantification over the paper's fitted models.
+
+Every headline number in the paper flows through a handful of fitted
+coefficients: the TEG voltage/power fits (Eqs. 3/6), the CPU power model
+(Eq. 20, "root mean square error less than 5 W") and the thermal
+calibration.  This module propagates plausible uncertainty in those fits
+through the full evaluation pipeline by Monte Carlo, producing
+confidence intervals on per-CPU generation, PRE and the TCO reduction —
+the error bars the paper itself does not report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .constants import (
+    TEG_PMAX_CONST_W,
+    TEG_PMAX_LIN_W_PER_C,
+    TEG_PMAX_QUAD_W_PER_C2,
+    TEG_VOC_INTERCEPT_V,
+    TEG_VOC_SLOPE_V_PER_C,
+)
+from .economics.tco import TcoModel
+from .errors import PhysicalRangeError
+from .teg.device import EmpiricalTegFit, TegDevice
+from .teg.module import TegModule
+from .thermal.cpu_model import CpuThermalModel, OutletDeltaModel
+from .workloads.trace import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class ParameterPriors:
+    """Relative 1-sigma uncertainty on each calibrated coefficient.
+
+    Defaults are conservative reading of the paper: a few percent on the
+    TEG fits (clean bench measurements), ~5 W RMS on Eq. 20 translated
+    into a ~6 % scale uncertainty, and ~5 % on the thermal-resistance
+    calibration.
+    """
+
+    teg_quad_sigma: float = 0.03
+    teg_slope_sigma: float = 0.03
+    cpu_power_scale_sigma: float = 0.06
+    thermal_resistance_sigma: float = 0.05
+    outlet_delta_sigma: float = 0.08
+
+    def __post_init__(self) -> None:
+        for name in ("teg_quad_sigma", "teg_slope_sigma",
+                     "cpu_power_scale_sigma",
+                     "thermal_resistance_sigma", "outlet_delta_sigma"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 0.5:
+                raise PhysicalRangeError(
+                    f"{name} must be in [0, 0.5), got {value}")
+
+
+@dataclass(frozen=True)
+class UncertaintyResult:
+    """Monte Carlo samples of the headline metrics."""
+
+    generation_w: np.ndarray
+    pre: np.ndarray
+    tco_reduction: np.ndarray
+
+    def interval(self, metric: str,
+                 confidence: float = 0.90) -> tuple[float, float]:
+        """Central confidence interval of one metric."""
+        if not 0.0 < confidence < 1.0:
+            raise PhysicalRangeError(
+                f"confidence must be in (0, 1), got {confidence}")
+        samples = getattr(self, metric)
+        tail = (1.0 - confidence) / 2.0 * 100.0
+        return (float(np.percentile(samples, tail)),
+                float(np.percentile(samples, 100.0 - tail)))
+
+    def summary(self, confidence: float = 0.90) -> dict:
+        """Medians and intervals for every metric."""
+        out = {}
+        for metric in ("generation_w", "pre", "tco_reduction"):
+            samples = getattr(self, metric)
+            low, high = self.interval(metric, confidence)
+            out[metric] = {
+                "median": float(np.median(samples)),
+                "low": low,
+                "high": high,
+            }
+        return out
+
+
+@dataclass
+class MonteCarloStudy:
+    """Propagate coefficient uncertainty through the evaluation pipeline.
+
+    To stay tractable, each draw perturbs the calibrated models and
+    replays a *reduced* evaluation: the per-interval binding-utilisation
+    pipeline on the supplied trace at a single representative
+    circulation, exactly the arithmetic that produces Fig. 14's averages.
+    """
+
+    priors: ParameterPriors = field(default_factory=ParameterPriors)
+    safe_temp_c: float = 62.0
+    inlet_max_c: float = 54.5
+    flow_l_per_h: float = 150.0
+    cold_source_temp_c: float = 20.0
+    circulation_size: int = 20
+    seed: int = 0
+
+    def _perturbed_models(self, rng: np.random.Generator,
+                          ) -> tuple[CpuThermalModel, TegModule, float]:
+        p = self.priors
+        fit = EmpiricalTegFit(
+            voc_slope_v_per_c=TEG_VOC_SLOPE_V_PER_C
+            * (1.0 + rng.normal(0.0, p.teg_slope_sigma)),
+            voc_intercept_v=TEG_VOC_INTERCEPT_V,
+            pmax_quad_w_per_c2=TEG_PMAX_QUAD_W_PER_C2
+            * (1.0 + rng.normal(0.0, p.teg_quad_sigma)),
+            pmax_lin_w_per_c=TEG_PMAX_LIN_W_PER_C,
+            pmax_const_w=TEG_PMAX_CONST_W,
+        )
+        module = TegModule(device=TegDevice(fit=fit))
+        resistance_scale = 1.0 + rng.normal(
+            0.0, p.thermal_resistance_sigma)
+        outlet_scale = 1.0 + rng.normal(0.0, p.outlet_delta_sigma)
+        base = CpuThermalModel()
+        model = CpuThermalModel(
+            r_min_k_per_w=base.r_min_k_per_w * max(0.2, resistance_scale),
+            r_amp_k_per_w=base.r_amp_k_per_w * max(0.2, resistance_scale),
+            outlet_model=OutletDeltaModel(
+                base_delta_c=base.outlet_model.base_delta_c
+                * max(0.2, outlet_scale),
+                load_delta_c=base.outlet_model.load_delta_c
+                * max(0.2, outlet_scale)),
+        )
+        power_scale = 1.0 + rng.normal(0.0, p.cpu_power_scale_sigma)
+        return model, module, max(0.3, power_scale)
+
+    def _evaluate_draw(self, trace: WorkloadTrace, model: CpuThermalModel,
+                       module: TegModule,
+                       power_scale: float) -> tuple[float, float]:
+        """Mean generation and PRE of one perturbed pipeline replay."""
+        size = min(self.circulation_size, trace.n_servers)
+        utils = trace.utilisation[:, :size]
+        binding = utils.max(axis=1)
+        generation = np.empty(len(binding))
+        consumption = np.empty(len(binding))
+        for i, (u_max, row) in enumerate(zip(binding, utils)):
+            inlet = min(self.inlet_max_c, model.inlet_for_cpu_temp(
+                float(u_max), self.flow_l_per_h, self.safe_temp_c))
+            from .thermal.cpu_model import CoolingSetting
+
+            setting = CoolingSetting(flow_l_per_h=self.flow_l_per_h,
+                                     inlet_temp_c=max(20.0, inlet))
+            outlets = model.outlet_temp_c(row, setting)
+            generation[i] = float(np.mean(module.generation_w(
+                outlets, self.cold_source_temp_c, self.flow_l_per_h)))
+            consumption[i] = float(np.mean(
+                model.cpu_power_w(row))) * power_scale
+        return float(generation.mean()), float(
+            generation.sum() / consumption.sum())
+
+    def run_improvement(self, trace: WorkloadTrace,
+                        n_draws: int = 100) -> np.ndarray:
+        """Monte Carlo samples of the balancing improvement.
+
+        For each perturbed pipeline, evaluates both the ``max``-keyed
+        (Original) and ``mean``-keyed (LoadBalance) variants and returns
+        the relative generation improvement — testing whether the
+        paper's headline "+13 %" conclusion survives fit uncertainty.
+        """
+        if n_draws <= 0:
+            raise PhysicalRangeError(f"n_draws must be > 0, got {n_draws}")
+        rng = np.random.default_rng(self.seed)
+        improvements = np.empty(n_draws)
+        size = min(self.circulation_size, trace.n_servers)
+        utils = trace.utilisation[:, :size]
+        for draw in range(n_draws):
+            model, module, _ = self._perturbed_models(rng)
+            gen = {}
+            for key, binding_series in (
+                    ("max", utils.max(axis=1)),
+                    ("mean", np.repeat(utils.mean(axis=1)[:, None],
+                                       size, axis=1).max(axis=1))):
+                rows = utils if key == "max" else np.repeat(
+                    utils.mean(axis=1)[:, None], size, axis=1)
+                totals = np.empty(len(binding_series))
+                for i, (binding, row) in enumerate(zip(binding_series,
+                                                       rows)):
+                    inlet = min(self.inlet_max_c,
+                                model.inlet_for_cpu_temp(
+                                    float(binding), self.flow_l_per_h,
+                                    self.safe_temp_c))
+                    from .thermal.cpu_model import CoolingSetting
+
+                    setting = CoolingSetting(
+                        flow_l_per_h=self.flow_l_per_h,
+                        inlet_temp_c=max(20.0, inlet))
+                    outlets = model.outlet_temp_c(row, setting)
+                    totals[i] = float(np.mean(module.generation_w(
+                        outlets, self.cold_source_temp_c,
+                        self.flow_l_per_h)))
+                gen[key] = float(totals.mean())
+            improvements[draw] = (gen["mean"] - gen["max"]) / gen["max"]
+        return improvements
+
+    def run(self, trace: WorkloadTrace,
+            n_draws: int = 100) -> UncertaintyResult:
+        """Monte Carlo over ``n_draws`` perturbed pipelines.
+
+        Parameters
+        ----------
+        trace:
+            Evaluation workload (only the first ``circulation_size``
+            servers are used per draw; pick a representative slice).
+        n_draws:
+            Number of Monte Carlo samples.
+
+        Returns
+        -------
+        UncertaintyResult
+            Samples of mean generation, PRE and TCO reduction.
+        """
+        if n_draws <= 0:
+            raise PhysicalRangeError(f"n_draws must be > 0, got {n_draws}")
+        rng = np.random.default_rng(self.seed)
+        tco = TcoModel()
+        generation = np.empty(n_draws)
+        pre = np.empty(n_draws)
+        reduction = np.empty(n_draws)
+        for draw in range(n_draws):
+            model, module, power_scale = self._perturbed_models(rng)
+            generation[draw], pre[draw] = self._evaluate_draw(
+                trace, model, module, power_scale)
+            reduction[draw] = tco.breakdown(
+                generation[draw]).reduction_fraction
+        return UncertaintyResult(generation_w=generation, pre=pre,
+                                 tco_reduction=reduction)

@@ -1,0 +1,79 @@
+"""Small unit-conversion helpers.
+
+The paper mixes litres/hour, kilograms/second, degrees Celsius and Kelvin.
+Centralising the conversions keeps the physics modules free of ad-hoc
+arithmetic and makes the intended unit of every quantity explicit at the
+call site.
+"""
+
+from __future__ import annotations
+
+from .constants import WATER_DENSITY_KG_PER_M3, ZERO_CELSIUS_K
+from .errors import PhysicalRangeError
+
+SECONDS_PER_HOUR = 3600.0
+LITRES_PER_M3 = 1000.0
+
+
+def litres_per_hour_to_kg_per_s(flow_l_per_h: float,
+                                density_kg_per_m3: float = WATER_DENSITY_KG_PER_M3) -> float:
+    """Convert a volumetric water flow (L/H) to a mass flow (kg/s).
+
+    Parameters
+    ----------
+    flow_l_per_h:
+        Volumetric flow rate in litres per hour.  Must be non-negative.
+    density_kg_per_m3:
+        Fluid density; defaults to water.
+
+    Returns
+    -------
+    float
+        Mass flow rate in kilograms per second.
+    """
+    if flow_l_per_h < 0:
+        raise PhysicalRangeError(f"flow rate must be >= 0, got {flow_l_per_h}")
+    volume_m3_per_s = flow_l_per_h / LITRES_PER_M3 / SECONDS_PER_HOUR
+    return volume_m3_per_s * density_kg_per_m3
+
+
+def kg_per_s_to_litres_per_hour(mass_flow_kg_per_s: float,
+                                density_kg_per_m3: float = WATER_DENSITY_KG_PER_M3) -> float:
+    """Convert a mass flow (kg/s) back to a volumetric flow (L/H)."""
+    if mass_flow_kg_per_s < 0:
+        raise PhysicalRangeError(
+            f"mass flow must be >= 0, got {mass_flow_kg_per_s}")
+    volume_m3_per_s = mass_flow_kg_per_s / density_kg_per_m3
+    return volume_m3_per_s * LITRES_PER_M3 * SECONDS_PER_HOUR
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    temp_k = temp_c + ZERO_CELSIUS_K
+    if temp_k < 0:
+        raise PhysicalRangeError(f"temperature below absolute zero: {temp_c} C")
+    return temp_k
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    if temp_k < 0:
+        raise PhysicalRangeError(f"temperature below absolute zero: {temp_k} K")
+    return temp_k - ZERO_CELSIUS_K
+
+
+def watts_to_kwh(power_w: float, duration_s: float) -> float:
+    """Energy in kWh produced by ``power_w`` watts over ``duration_s`` seconds."""
+    if duration_s < 0:
+        raise PhysicalRangeError(f"duration must be >= 0, got {duration_s}")
+    return power_w * duration_s / SECONDS_PER_HOUR / 1000.0
+
+
+def kwh_to_joules(energy_kwh: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return energy_kwh * 3.6e6
+
+
+def joules_to_kwh(energy_j: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return energy_j / 3.6e6

@@ -1,0 +1,155 @@
+"""Self-audit: physical-consistency checks on models and results.
+
+A reproduction is only trustworthy if its numbers obey the physics they
+claim to come from.  This module re-derives invariants from first
+principles and checks simulator outputs against them:
+
+* circulation states — temperature ordering, energy-split consistency,
+  TEG output bounded by the heat actually available;
+* simulation results — finite series, PRE sanity, time-base integrity;
+* model cross-checks — the empirical TEG fits vs the Seebeck physics,
+  and Eq. 20 vs the thermal model's assumptions.
+
+Audits return an :class:`AuditReport` rather than raising, so callers
+can decide whether a finding is fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .constants import CPU_MAX_OPERATING_TEMP_C
+from .cooling.loop import CirculationState, WaterCirculation
+from .core.results import SimulationResult
+from .teg.device import PAPER_TEG, TegDevice
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audit: a list of human-readable findings."""
+
+    subject: str
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no issue was found."""
+        return not self.issues
+
+    def add(self, message: str) -> None:
+        """Record one finding."""
+        self.issues.append(message)
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"[OK] {self.subject}"
+        details = "; ".join(self.issues)
+        return f"[{len(self.issues)} issue(s)] {self.subject}: {details}"
+
+
+def audit_circulation_state(circulation: WaterCirculation,
+                            state: CirculationState) -> AuditReport:
+    """Check one evaluated circulation state for physical consistency."""
+    report = AuditReport(subject="circulation state")
+
+    if np.any(~np.isfinite(state.cpu_temps_c)):
+        report.add("non-finite CPU temperatures")
+    if np.any(~np.isfinite(state.teg_powers_w)):
+        report.add("non-finite TEG powers")
+
+    # Outlets must sit above the inlet (the CPU adds heat).
+    if np.any(state.outlet_temps_c <= state.setting.inlet_temp_c):
+        report.add("an outlet temperature at or below the inlet")
+
+    # CPUs must sit above their own coolant.
+    if np.any(state.cpu_temps_c < state.setting.inlet_temp_c):
+        report.add("a CPU colder than its coolant")
+
+    # TEG output cannot exceed the Carnot-limited fraction of the heat
+    # the warm stream carries above the cold source.
+    cold = circulation.cold_source_temp_c
+    hot = state.outlet_temps_c
+    carnot = 1.0 - (cold + 273.15) / np.maximum(hot + 273.15,
+                                                cold + 273.15 + 1e-9)
+    heat_available = np.array([
+        circulation.teg_module.heat_harvested_w(float(t), cold)
+        for t in hot])
+    bound = carnot * np.maximum(heat_available, 0.0)
+    over = state.teg_powers_w > bound + 1e-9
+    if np.any(over & (heat_available > 0)):
+        report.add("TEG output exceeds the Carnot-limited heat draw")
+
+    # Facility powers must be non-negative.
+    for name in ("chiller_power_w", "tower_power_w", "pump_power_w"):
+        if getattr(state, name) < 0:
+            report.add(f"negative {name}")
+
+    return report
+
+
+def audit_simulation_result(result: SimulationResult) -> AuditReport:
+    """Check a finished simulation run for integrity."""
+    report = AuditReport(
+        subject=f"result {result.scheme}/{result.trace_name}")
+    if not result.records:
+        report.add("no records")
+        return report
+
+    times = result.times_s
+    if np.any(np.diff(times) <= 0):
+        report.add("time base is not strictly increasing")
+
+    for name, series in (
+            ("generation", result.generation_series_w),
+            ("utilisation", result.utilisation_series),
+            ("PRE", result.pre_series)):
+        if np.any(~np.isfinite(series)):
+            report.add(f"non-finite {name} series")
+
+    if np.any(result.generation_series_w < 0):
+        report.add("negative generation")
+    if np.any((result.utilisation_series < 0)
+              | (result.utilisation_series > 1)):
+        report.add("utilisation outside [0, 1]")
+    if np.any(result.pre_series < 0) or np.any(result.pre_series > 1.0):
+        report.add("PRE outside [0, 1] — generation exceeds CPU power?")
+
+    max_temps = np.array([r.max_cpu_temp_c for r in result.records])
+    recorded = result.total_safety_violations
+    if recorded == 0 and np.any(
+            max_temps > CPU_MAX_OPERATING_TEMP_C + 1e-9):
+        report.add("max CPU temperature exceeds the limit but no "
+                   "violation was recorded")
+
+    return report
+
+
+def audit_teg_models(device: TegDevice = PAPER_TEG,
+                     tolerance: float = 0.25) -> AuditReport:
+    """Cross-check the empirical fits against the Seebeck physics."""
+    report = AuditReport(subject=f"TEG model ({device.material.name})")
+    physical = TegDevice(mode="physical", material=device.material,
+                         n_couples=device.n_couples,
+                         resistance_ohm=device.resistance_ohm)
+    for delta in (5.0, 15.0, 25.0, 40.0):
+        emp_v = device.open_circuit_voltage_v(delta)
+        phy_v = physical.open_circuit_voltage_v(delta)
+        if phy_v > 0 and abs(emp_v - phy_v) / phy_v > tolerance:
+            report.add(f"Voc disagreement at dT={delta}: empirical "
+                       f"{emp_v:.3f} V vs physical {phy_v:.3f} V")
+        emp_p = device.max_power_w(delta)
+        phy_p = physical.max_power_w(delta)
+        if phy_p > 0 and abs(emp_p - phy_p) / phy_p > 2 * tolerance:
+            report.add(f"Pmax disagreement at dT={delta}: empirical "
+                       f"{emp_p:.4f} W vs physical {phy_p:.4f} W")
+    # Efficiency sanity: electrical output must stay below Carnot at a
+    # representative operating point.
+    hot, cold = 55.0, 20.0
+    carnot = 1.0 - (cold + 273.15) / (hot + 273.15)
+    efficiency = device.conversion_efficiency(hot, cold)
+    if efficiency >= carnot:
+        report.add(f"conversion efficiency {efficiency:.3f} exceeds "
+                   f"Carnot {carnot:.3f}")
+    return report

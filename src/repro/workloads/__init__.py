@@ -1,0 +1,52 @@
+"""Workload substrate: utilisation traces and CPU power.
+
+The paper's evaluation replays CPU-utilisation traces from Alibaba and
+Google clusters (Sec. V-C).  Since the raw traces cannot ship with the
+library, :mod:`repro.workloads.synthetic` generates statistically matched
+stand-ins for the three classes the paper defines (*drastic*, *irregular*,
+*common*), and :mod:`repro.workloads.loader` can ingest the real traces
+from CSV when available.
+"""
+
+from .trace import WorkloadTrace, TraceStatistics
+from .synthetic import (
+    drastic_trace,
+    irregular_trace,
+    common_trace,
+    trace_by_name,
+    TRACE_GENERATORS,
+)
+from .loader import save_trace_csv, load_trace_csv, load_cluster_table
+from .cpu_power import trace_power_w, trace_energy_kwh, average_power_w
+from .analysis import (
+    TraceClassifier,
+    TraceFeatures,
+    autocorrelation,
+    extract_features,
+)
+from .forecast import Ar1Forecaster, EwmaForecaster, backtest
+from .scenarios import ScenarioBuilder
+
+__all__ = [
+    "WorkloadTrace",
+    "TraceStatistics",
+    "drastic_trace",
+    "irregular_trace",
+    "common_trace",
+    "trace_by_name",
+    "TRACE_GENERATORS",
+    "save_trace_csv",
+    "load_trace_csv",
+    "load_cluster_table",
+    "trace_power_w",
+    "trace_energy_kwh",
+    "average_power_w",
+    "TraceClassifier",
+    "TraceFeatures",
+    "autocorrelation",
+    "extract_features",
+    "Ar1Forecaster",
+    "EwmaForecaster",
+    "backtest",
+    "ScenarioBuilder",
+]

@@ -1,0 +1,149 @@
+"""Trace analytics: the features behind the paper's workload taxonomy.
+
+Sec. V-C sorts workloads into three classes by eye — *drastic* ("drastic
+and frequent fluctuations"), *irregular* ("relatively common, but with
+occasional high peaks") and *common* ("very little fluctuations").  This
+module extracts the features that formalise that judgement and provides
+a rule-based classifier, so arbitrary (e.g. freshly ingested) traces can
+be routed to the right expectations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PhysicalRangeError
+from .trace import WorkloadTrace
+
+
+def autocorrelation(series: np.ndarray, lag: int = 1) -> float:
+    """Lag-``lag`` autocorrelation of a 1-D series (0 for flat series)."""
+    values = np.asarray(series, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise PhysicalRangeError("series must be a non-empty 1-D array")
+    if lag < 1 or lag >= values.size:
+        raise PhysicalRangeError(
+            f"lag must be in [1, {values.size - 1}], got {lag}")
+    a = values[:-lag]
+    b = values[lag:]
+    if a.std() == 0 or b.std() == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+@dataclass(frozen=True)
+class TraceFeatures:
+    """Feature vector summarising one trace's dynamics.
+
+    Attributes
+    ----------
+    mean / std:
+        Overall utilisation statistics.
+    volatility:
+        Mean absolute step-to-step change per server (the "drastic"
+        axis).
+    spike_rate:
+        Fraction of (server, step) samples that are *transient*
+        excursions — far above their own server's typical level (the
+        "occasional high peaks" axis).  Persistent per-server offsets do
+        not count: a steadily busy server is heterogeneity, not a spike.
+    heterogeneity:
+        Standard deviation of per-server mean utilisations — how unlike
+        each other the servers are.
+    persistence:
+        Lag-1 autocorrelation of the cluster-mean series.
+    diurnality:
+        Amplitude of the best-fit 24 h cosine on the cluster mean
+        (0 when the trace is shorter than a day).
+    """
+
+    mean: float
+    std: float
+    volatility: float
+    spike_rate: float
+    heterogeneity: float
+    persistence: float
+    diurnality: float
+
+
+def extract_features(trace: WorkloadTrace) -> TraceFeatures:
+    """Compute the :class:`TraceFeatures` of a trace."""
+    matrix = trace.utilisation
+    flat = matrix.ravel()
+    mean = float(flat.mean())
+    std = float(flat.std())
+    if trace.n_steps > 1:
+        volatility = float(np.mean(np.abs(np.diff(matrix, axis=0))))
+    else:
+        volatility = 0.0
+
+    # Transient excursions: deviation from each server's own mean, at
+    # least 0.25 utilisation and 3 deviation-sigmas above it.
+    deviations = matrix - matrix.mean(axis=0, keepdims=True)
+    dev_std = float(deviations.std())
+    if dev_std > 0:
+        threshold = max(0.25, 3.0 * dev_std)
+        spike_rate = float(np.mean(deviations > threshold))
+    else:
+        spike_rate = 0.0
+
+    heterogeneity = float(matrix.mean(axis=0).std())
+
+    cluster_mean = trace.mean_per_step()
+    persistence = (autocorrelation(cluster_mean, 1)
+                   if trace.n_steps > 2 else 0.0)
+
+    diurnality = 0.0
+    if trace.duration_s >= 86_400.0:
+        phase = 2.0 * np.pi * trace.times_s / 86_400.0
+        design = np.column_stack([np.cos(phase), np.sin(phase),
+                                  np.ones_like(phase)])
+        coeffs, *_ = np.linalg.lstsq(design, cluster_mean, rcond=None)
+        diurnality = float(np.hypot(coeffs[0], coeffs[1]))
+
+    return TraceFeatures(
+        mean=mean,
+        std=std,
+        volatility=volatility,
+        spike_rate=spike_rate,
+        heterogeneity=heterogeneity,
+        persistence=persistence,
+        diurnality=diurnality,
+    )
+
+
+@dataclass(frozen=True)
+class TraceClassifier:
+    """Rule-based classifier for the paper's three workload classes.
+
+    The rules mirror the prose: heavy step-to-step movement makes a trace
+    *drastic*; a calm background punctured by outliers makes it
+    *irregular*; everything else is *common*.
+    """
+
+    drastic_volatility: float = 0.03
+    irregular_spike_rate: float = 1e-4
+
+    def classify(self, trace: WorkloadTrace) -> str:
+        """Return ``"drastic"``, ``"irregular"`` or ``"common"``."""
+        features = extract_features(trace)
+        if features.volatility >= self.drastic_volatility:
+            return "drastic"
+        if features.spike_rate >= self.irregular_spike_rate:
+            return "irregular"
+        return "common"
+
+    def explain(self, trace: WorkloadTrace) -> dict:
+        """The classification together with the features behind it."""
+        features = extract_features(trace)
+        return {
+            "class": self.classify(trace),
+            "volatility": round(features.volatility, 5),
+            "spike_rate": round(features.spike_rate, 6),
+            "mean": round(features.mean, 4),
+            "heterogeneity": round(features.heterogeneity, 4),
+            "persistence": round(features.persistence, 3),
+            "diurnality": round(features.diurnality, 4),
+        }

@@ -1,0 +1,42 @@
+"""Trace-level CPU power (vectorised Eq. 20).
+
+The PRE metric (Eq. 19) divides TEG generation by CPU power consumption;
+this module evaluates the paper's CPU power model over whole traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import (
+    CPU_POWER_CONST_W,
+    CPU_POWER_LOG_COEFF_W,
+    CPU_POWER_LOG_OFFSET,
+)
+from ..errors import PhysicalRangeError
+from .trace import WorkloadTrace
+
+
+def power_w(utilisation: np.ndarray | float) -> np.ndarray:
+    """Vectorised CPU power model (Eq. 20) for utilisations in [0, 1]."""
+    utils = np.asarray(utilisation, dtype=float)
+    if np.any((utils < 0) | (utils > 1)):
+        raise PhysicalRangeError("all utilisations must be in [0, 1]")
+    return (CPU_POWER_LOG_COEFF_W * np.log(utils + CPU_POWER_LOG_OFFSET)
+            + CPU_POWER_CONST_W)
+
+
+def trace_power_w(trace: WorkloadTrace) -> np.ndarray:
+    """Per-step, per-server CPU power matrix for a trace, watts."""
+    return power_w(trace.utilisation)
+
+
+def average_power_w(trace: WorkloadTrace) -> float:
+    """Mean per-CPU power over the whole trace, watts."""
+    return float(trace_power_w(trace).mean())
+
+
+def trace_energy_kwh(trace: WorkloadTrace) -> float:
+    """Total CPU energy of the trace, kWh."""
+    total_w = trace_power_w(trace).sum(axis=1)  # watts per step
+    return float(total_w.sum() * trace.interval_s / 3600.0 / 1000.0)

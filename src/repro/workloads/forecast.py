@@ -1,0 +1,182 @@
+"""Short-horizon utilisation forecasting.
+
+The paper's controller is reactive: at the start of each 5-minute
+interval it reads the *current* utilisations and sets the cooling for
+the interval (Sec. V-B).  If the load rises mid-interval, the safety
+margin absorbs it.  A predictive controller instead sets the cooling for
+the utilisation it *expects* — which needs a forecaster.
+
+Two classic one-step forecasters are provided, both per-server:
+
+* :class:`EwmaForecaster` — exponentially weighted moving average;
+* :class:`Ar1Forecaster` — a mean-reverting AR(1) fitted online.
+
+Both support an uncertainty margin ("forecast + k sigma") so a policy
+can trade generation for safety headroom explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PhysicalRangeError
+
+
+@dataclass
+class EwmaForecaster:
+    """Exponentially weighted moving-average forecaster.
+
+    Attributes
+    ----------
+    alpha:
+        Smoothing factor; 1.0 degenerates to "next = current" (the
+        paper's implicit reactive assumption).
+    margin_sigmas:
+        How many residual standard deviations to add to the forecast
+        (safety headroom).
+    """
+
+    alpha: float = 0.5
+    margin_sigmas: float = 1.0
+    _level: np.ndarray | None = field(default=None, repr=False)
+    _residual_var: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise PhysicalRangeError(
+                f"alpha must be in (0, 1], got {self.alpha}")
+        if self.margin_sigmas < 0:
+            raise PhysicalRangeError("margin_sigmas must be >= 0")
+
+    def observe(self, utilisations: np.ndarray) -> None:
+        """Feed one interval's per-server utilisations."""
+        utils = np.asarray(utilisations, dtype=float)
+        if utils.ndim != 1 or utils.size == 0:
+            raise PhysicalRangeError(
+                "utilisations must be a non-empty 1-D vector")
+        if self._level is None:
+            self._level = utils.copy()
+            self._residual_var = np.zeros_like(utils)
+            return
+        if utils.shape != self._level.shape:
+            raise PhysicalRangeError(
+                "server count changed between observations")
+        residual = utils - self._level
+        self._residual_var = (0.9 * self._residual_var
+                              + 0.1 * residual ** 2)
+        self._level = self._level + self.alpha * residual
+
+    def predict(self) -> np.ndarray:
+        """One-step-ahead per-server forecast (with safety margin)."""
+        if self._level is None:
+            raise PhysicalRangeError(
+                "forecaster has seen no observations yet")
+        margin = self.margin_sigmas * np.sqrt(self._residual_var)
+        return np.clip(self._level + margin, 0.0, 1.0)
+
+
+@dataclass
+class Ar1Forecaster:
+    """Online mean-reverting AR(1): ``u[t+1] = mu + rho (u[t] - mu)``.
+
+    ``mu`` and ``rho`` are estimated per server with exponential
+    forgetting; the forecast reverts toward each server's running mean,
+    which suits the strongly persistent *common*-class traces.
+    """
+
+    forgetting: float = 0.95
+    margin_sigmas: float = 1.0
+    _mean: np.ndarray | None = field(default=None, repr=False)
+    _last: np.ndarray | None = field(default=None, repr=False)
+    _cov: np.ndarray | None = field(default=None, repr=False)
+    _var: np.ndarray | None = field(default=None, repr=False)
+    _residual_var: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.forgetting < 1.0:
+            raise PhysicalRangeError(
+                f"forgetting must be in [0.5, 1), got {self.forgetting}")
+        if self.margin_sigmas < 0:
+            raise PhysicalRangeError("margin_sigmas must be >= 0")
+
+    def observe(self, utilisations: np.ndarray) -> None:
+        """Feed one interval's per-server utilisations."""
+        utils = np.asarray(utilisations, dtype=float)
+        if utils.ndim != 1 or utils.size == 0:
+            raise PhysicalRangeError(
+                "utilisations must be a non-empty 1-D vector")
+        if self._mean is None:
+            self._mean = utils.copy()
+            self._last = utils.copy()
+            self._cov = np.zeros_like(utils)
+            self._var = np.full_like(utils, 1e-6)
+            self._residual_var = np.zeros_like(utils)
+            return
+        if utils.shape != self._mean.shape:
+            raise PhysicalRangeError(
+                "server count changed between observations")
+        f = self.forgetting
+        prediction = self._point_forecast()
+        self._residual_var = (f * self._residual_var
+                              + (1 - f) * (utils - prediction) ** 2)
+        prev_dev = self._last - self._mean
+        self._mean = f * self._mean + (1 - f) * utils
+        new_dev = utils - self._mean
+        self._cov = f * self._cov + (1 - f) * prev_dev * new_dev
+        self._var = f * self._var + (1 - f) * prev_dev ** 2
+        self._last = utils.copy()
+
+    def _rho(self) -> np.ndarray:
+        rho = np.where(self._var > 1e-9, self._cov / self._var, 0.0)
+        return np.clip(rho, -0.99, 0.99)
+
+    def _point_forecast(self) -> np.ndarray:
+        return self._mean + self._rho() * (self._last - self._mean)
+
+    def predict(self) -> np.ndarray:
+        """One-step-ahead per-server forecast (with safety margin)."""
+        if self._mean is None:
+            raise PhysicalRangeError(
+                "forecaster has seen no observations yet")
+        margin = self.margin_sigmas * np.sqrt(self._residual_var)
+        return np.clip(self._point_forecast() + margin, 0.0, 1.0)
+
+
+def backtest(forecaster, trace_matrix: np.ndarray) -> dict:
+    """Walk a forecaster through a trace and score it.
+
+    Parameters
+    ----------
+    forecaster:
+        An object with ``observe`` / ``predict``.
+    trace_matrix:
+        (time x servers) utilisation matrix.
+
+    Returns
+    -------
+    dict
+        Mean absolute error of the point forecast and the *coverage* —
+        the fraction of next-interval binding (max) utilisations at or
+        below the forecast binding (what a safety-minded policy needs).
+    """
+    matrix = np.asarray(trace_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] < 3:
+        raise PhysicalRangeError(
+            "trace matrix must be 2-D with at least 3 steps")
+    errors = []
+    covered = 0
+    total = 0
+    forecaster.observe(matrix[0])
+    for step in range(1, matrix.shape[0] - 1):
+        forecaster.observe(matrix[step])
+        forecast = forecaster.predict()
+        actual = matrix[step + 1]
+        errors.append(np.mean(np.abs(forecast - actual)))
+        covered += int(actual.max() <= forecast.max() + 1e-9)
+        total += 1
+    return {
+        "mae": float(np.mean(errors)),
+        "binding_coverage": covered / total,
+    }

@@ -1,0 +1,78 @@
+"""TEG-powered LED lighting tests (Sec. VI-C2)."""
+
+import pytest
+
+from repro.applications.lighting import (
+    HIGH_POWER_LED,
+    Led,
+    LedLightingPlan,
+    ORDINARY_LED,
+)
+from repro.errors import PhysicalRangeError
+
+
+class TestLed:
+    def test_paper_led_classes(self):
+        # "The power of an ordinary LED is generally 0.05 W ... even
+        # high-power LEDs work at 1 W and 2 W."
+        assert ORDINARY_LED.power_w == pytest.approx(0.05)
+        assert 1.0 <= HIGH_POWER_LED.power_w <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            Led(power_w=0.0)
+        with pytest.raises(PhysicalRangeError):
+            Led(forward_voltage_v=-1.0)
+        with pytest.raises(PhysicalRangeError):
+            Led(luminous_flux_lm=-5.0)
+
+
+class TestSizing:
+    def test_paper_claim_dozens_of_ordinary_leds(self):
+        # "TEGs in H2P can generate 3 W or more electricity, which is
+        # enough for supplying power for some of the LEDs."
+        plan = LedLightingPlan(led=ORDINARY_LED)
+        assert plan.leds_supported(3.0) >= 50
+
+    def test_high_power_leds_few(self):
+        plan = LedLightingPlan(led=HIGH_POWER_LED)
+        assert 2 <= plan.leds_supported(4.177) <= 4
+
+    def test_zero_generation_zero_leds(self):
+        assert LedLightingPlan().leds_supported(0.0) == 0
+
+    def test_converter_losses_reduce_count(self):
+        lossy = LedLightingPlan(converter_efficiency=0.5)
+        clean = LedLightingPlan(converter_efficiency=1.0)
+        assert lossy.leds_supported(4.0) < clean.leds_supported(4.0)
+
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            LedLightingPlan(converter_efficiency=0.0)
+        with pytest.raises(PhysicalRangeError):
+            LedLightingPlan().leds_supported(-1.0)
+
+
+class TestEnergyAccounting:
+    def test_luminous_flux(self):
+        plan = LedLightingPlan(led=HIGH_POWER_LED)
+        leds = plan.leds_supported(4.0)
+        assert plan.luminous_flux_lm(4.0) == pytest.approx(
+            leds * HIGH_POWER_LED.luminous_flux_lm)
+
+    def test_monthly_energy_saving(self):
+        plan = LedLightingPlan(led=HIGH_POWER_LED)
+        saved = plan.energy_saved_kwh_per_month(4.177)
+        # 3 LEDs x 1 W x 720 h = 2.16 kWh.
+        assert saved == pytest.approx(3 * 720.0 / 1000.0)
+
+    def test_duty_cycle(self):
+        plan = LedLightingPlan(led=HIGH_POWER_LED)
+        half = plan.energy_saved_kwh_per_month(4.0, duty_cycle=0.5)
+        full = plan.energy_saved_kwh_per_month(4.0, duty_cycle=1.0)
+        assert half == pytest.approx(full / 2.0)
+
+    def test_bad_duty_cycle_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            LedLightingPlan().energy_saved_kwh_per_month(4.0,
+                                                         duty_cycle=1.5)

@@ -1,0 +1,55 @@
+"""TEG-TEC coupling tests (Sec. VI-C1)."""
+
+import pytest
+
+from repro.applications.tec_powering import TegTecCoupling
+from repro.errors import PhysicalRangeError
+from repro.thermal.cpu_model import CoolingSetting
+
+
+@pytest.fixture(scope="module")
+def coupling():
+    return TegTecCoupling()
+
+
+@pytest.fixture
+def setting():
+    return CoolingSetting(flow_l_per_h=50.0, inlet_temp_c=48.0)
+
+
+class TestEvaluation:
+    def test_disabled_tec_is_neutral(self, coupling, setting):
+        outcome = coupling.evaluate(0.5, setting, tec_current_a=0.0)
+        assert outcome.tec_power_w == 0.0
+        assert outcome.outlet_rise_c == 0.0
+        assert outcome.extra_generation_w == 0.0
+        assert outcome.self_power_fraction == 1.0
+
+    def test_running_tec_raises_outlet(self, coupling, setting):
+        # Sec. VI-C1: "the outlet water temperature of CPU is higher when
+        # TEC is working".
+        outcome = coupling.evaluate(0.6, setting, tec_current_a=3.0)
+        assert outcome.outlet_rise_c > 0.0
+        assert outcome.generation_with_tec_w > \
+            outcome.generation_without_tec_w
+
+    def test_tec_costs_more_than_extra_generation(self, coupling, setting):
+        # The coupling softens but does not erase the TEC's cost — TEGs
+        # are ~5 % devices.
+        outcome = coupling.evaluate(0.6, setting, tec_current_a=3.0)
+        assert 0.0 <= outcome.self_power_fraction < 1.0
+        assert outcome.net_cost_w > 0.0
+
+    def test_more_current_more_rise(self, coupling, setting):
+        low = coupling.evaluate(0.6, setting, tec_current_a=1.0)
+        high = coupling.evaluate(0.6, setting, tec_current_a=4.0)
+        assert high.outlet_rise_c > low.outlet_rise_c
+        assert high.tec_power_w > low.tec_power_w
+
+    def test_negative_current_rejected(self, coupling, setting):
+        with pytest.raises(PhysicalRangeError):
+            coupling.evaluate(0.6, setting, tec_current_a=-1.0)
+
+    def test_pumping_positive_at_moderate_drive(self, coupling, setting):
+        outcome = coupling.evaluate(0.8, setting, tec_current_a=3.0)
+        assert outcome.tec_heat_pumped_w >= 0.0

@@ -1,0 +1,159 @@
+"""Cooling-policy tests (Sec. V-B1, Fig. 13)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CPU_SAFE_TEMP_C
+from repro.control.cooling_policy import (
+    AnalyticPolicy,
+    LookupSpacePolicy,
+    StaticPolicy,
+)
+from repro.errors import ConfigurationError, PhysicalRangeError
+from repro.thermal.cpu_model import CoolingSetting
+
+
+@pytest.fixture
+def lookup_policy(lookup_space):
+    return LookupSpacePolicy(space=lookup_space, aggregation="max")
+
+
+class TestStaticPolicy:
+    def test_always_same_setting(self):
+        policy = StaticPolicy()
+        d1 = policy.decide([0.1, 0.2])
+        d2 = policy.decide([0.9, 0.95])
+        assert d1.setting == d2.setting
+
+    def test_predictions_filled(self):
+        decision = StaticPolicy().decide([0.5])
+        assert decision.predicted_cpu_temp_c > 0.0
+        assert decision.predicted_outlet_temp_c > \
+            decision.setting.inlet_temp_c
+        assert decision.predicted_generation_w >= 0.0
+
+
+class TestBindingUtilisation:
+    def test_max_aggregation(self, lookup_policy):
+        decision = lookup_policy.decide([0.1, 0.6, 0.3])
+        assert decision.binding_utilisation == pytest.approx(0.6)
+
+    def test_avg_aggregation(self, lookup_space):
+        policy = LookupSpacePolicy(space=lookup_space, aggregation="avg")
+        decision = policy.decide([0.1, 0.6, 0.2])
+        assert decision.binding_utilisation == pytest.approx(0.3)
+
+    def test_empty_rejected(self, lookup_policy):
+        with pytest.raises(ConfigurationError):
+            lookup_policy.decide([])
+
+    def test_out_of_range_rejected(self, lookup_policy):
+        with pytest.raises(PhysicalRangeError):
+            lookup_policy.decide([0.5, 1.4])
+
+    def test_bad_aggregation_rejected(self, lookup_space):
+        policy = LookupSpacePolicy(space=lookup_space,
+                                   aggregation="median")
+        with pytest.raises(ConfigurationError):
+            policy.decide([0.5])
+
+
+class TestLookupSpacePolicy:
+    def test_cpu_held_near_safe_temp(self, lookup_policy):
+        decision = lookup_policy.decide([0.5, 0.6, 0.7])
+        assert decision.predicted_cpu_temp_c == pytest.approx(
+            CPU_SAFE_TEMP_C, abs=1.5)
+
+    def test_lower_load_hotter_inlet(self, lookup_policy):
+        # The heart of the optimisation: cooler clusters allow hotter
+        # water, hence more generation.
+        low = lookup_policy.decide([0.2])
+        high = lookup_policy.decide([0.8])
+        assert low.setting.inlet_temp_c > high.setting.inlet_temp_c
+        assert low.predicted_generation_w > high.predicted_generation_w
+
+    def test_balanced_beats_unbalanced(self, lookup_space):
+        # The Fig. 13 A_avg-vs-A_max contrast on one decision.
+        utils = [0.1, 0.2, 0.8]
+        original = LookupSpacePolicy(space=lookup_space,
+                                     aggregation="max").decide(utils)
+        balanced = LookupSpacePolicy(space=lookup_space,
+                                     aggregation="avg").decide(utils)
+        assert balanced.predicted_generation_w > \
+            original.predicted_generation_w
+
+    def test_idle_cluster_uses_fallback_hottest(self):
+        # With an actuator whose inlet tops out at 48 C, an idle CPU can
+        # never reach T_safe: the fallback must pick a hot (maximum
+        # generation), still-safe setting — not emergency cold.
+        import numpy as np
+        from repro.control.lookup_space import LookupSpace
+
+        capped_space = LookupSpace(
+            inlet_grid=np.linspace(20.0, 44.0, 13))
+        policy = LookupSpacePolicy(space=capped_space, aggregation="max")
+        decision = policy.decide([0.0, 0.0])
+        assert decision.predicted_cpu_temp_c < CPU_SAFE_TEMP_C
+        assert decision.setting.inlet_temp_c == pytest.approx(44.0)
+        assert decision.predicted_generation_w > 1.5
+
+    def test_overload_fallback_cools_hard(self, lookup_space):
+        # With a very low safe temperature nothing is admissible: the
+        # policy must pick the coldest, fastest setting.
+        policy = LookupSpacePolicy(space=lookup_space, safe_temp_c=20.0,
+                                   aggregation="max")
+        decision = policy.decide([1.0])
+        assert decision.setting.inlet_temp_c == pytest.approx(
+            float(lookup_space.inlet_grid[0]))
+        assert decision.setting.flow_l_per_h == pytest.approx(
+            float(lookup_space.flow_grid[-1]))
+
+    def test_decisions_cached(self, lookup_space):
+        policy = LookupSpacePolicy(space=lookup_space, aggregation="max")
+        d1 = policy.decide([0.5])
+        d2 = policy.decide([0.5])
+        assert d1 is d2  # cache hit returns the same object
+
+    def test_cache_resolution_distinguishes(self, lookup_space):
+        policy = LookupSpacePolicy(space=lookup_space, aggregation="max")
+        d1 = policy.decide([0.2])
+        d2 = policy.decide([0.8])
+        assert d1 is not d2
+
+
+class TestAnalyticPolicy:
+    def test_cpu_exactly_at_safe_temp_when_unclamped(self):
+        policy = AnalyticPolicy(inlet_max_c=70.0)
+        decision = policy.decide([0.7])
+        assert decision.predicted_cpu_temp_c == pytest.approx(
+            CPU_SAFE_TEMP_C, abs=1e-6)
+
+    def test_clamped_inlet_respected(self):
+        policy = AnalyticPolicy(inlet_max_c=50.0)
+        decision = policy.decide([0.05])
+        assert decision.setting.inlet_temp_c <= 50.0
+
+    def test_lower_load_more_generation(self):
+        policy = AnalyticPolicy()
+        low = policy.decide([0.2])
+        high = policy.decide([0.9])
+        assert low.predicted_generation_w >= high.predicted_generation_w
+
+    def test_net_of_pump_prefers_lower_flow(self):
+        gross = AnalyticPolicy(net_of_pump=False).decide([0.5])
+        net = AnalyticPolicy(net_of_pump=True).decide([0.5])
+        assert net.setting.flow_l_per_h <= gross.setting.flow_l_per_h
+
+    def test_analytic_upper_bounds_lookup(self, lookup_space):
+        # The analytic optimum is the continuous version of the lookup
+        # search; it can only do better (or equal within grid error).
+        utils = [0.4, 0.5]
+        lookup = LookupSpacePolicy(space=lookup_space,
+                                   aggregation="max").decide(utils)
+        analytic = AnalyticPolicy(
+            inlet_max_c=float(lookup_space.inlet_grid[-1]),
+            flow_candidates=tuple(float(f)
+                                  for f in lookup_space.flow_grid),
+        ).decide(utils)
+        assert analytic.predicted_generation_w >= \
+            lookup.predicted_generation_w - 0.15

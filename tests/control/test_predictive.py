@@ -1,0 +1,80 @@
+"""Predictive cooling-policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CPU_SAFE_TEMP_C
+from repro.control.cooling_policy import AnalyticPolicy
+from repro.control.predictive import PredictivePolicy
+from repro.errors import PhysicalRangeError
+from repro.thermal.cpu_model import CpuThermalModel
+from repro.workloads.forecast import EwmaForecaster
+
+
+class TestConstruction:
+    def test_bad_warmup_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            PredictivePolicy(warmup_intervals=0)
+
+
+class TestBehaviour:
+    def test_warmup_uses_measurement(self):
+        policy = PredictivePolicy(warmup_intervals=2)
+        reactive = AnalyticPolicy()
+        measured = [0.4, 0.5]
+        # During warm-up the decisions match the reactive baseline.
+        assert policy.decide(measured).setting == \
+            reactive.decide(measured).setting
+
+    def test_forecast_takes_over_after_warmup(self):
+        policy = PredictivePolicy(
+            warmup_intervals=1,
+            forecaster=EwmaForecaster(alpha=1.0, margin_sigmas=2.0))
+        model = CpuThermalModel()
+        # A noisy load: the margin should make the predictive policy
+        # pick a *colder* inlet than the reactive one would.
+        rng = np.random.default_rng(0)
+        reactive = AnalyticPolicy()
+        last_decision = None
+        for _ in range(8):
+            utils = np.clip(rng.normal(0.4, 0.15, 10), 0, 1)
+            last_decision = policy.decide(utils)
+            last_reactive = reactive.decide(utils)
+        assert last_decision.setting.inlet_temp_c <= \
+            last_reactive.setting.inlet_temp_c + 1e-9
+
+    def test_rising_load_anticipated(self):
+        # Feed a steady ramp: the forecast (with margin) exceeds the
+        # last measurement, so the predicted binding utilisation is
+        # higher than the reactive one.
+        policy = PredictivePolicy(
+            warmup_intervals=1,
+            forecaster=EwmaForecaster(alpha=1.0, margin_sigmas=1.0))
+        decision = None
+        for level in (0.2, 0.3, 0.4, 0.5):
+            decision = policy.decide([level] * 5)
+        assert decision.binding_utilisation >= 0.5
+
+    def test_safety_preserved_under_spikes(self):
+        # Even with a drastic load, the decided settings keep the CPU at
+        # or below the safe band for the *measured* load.
+        model = CpuThermalModel()
+        policy = PredictivePolicy()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            utils = np.clip(rng.uniform(0.0, 1.0, 8), 0, 1)
+            decision = policy.decide(utils)
+            worst = model.cpu_temp_c(float(np.max(utils)),
+                                     decision.setting)
+            # Forecast margin can only make the setting colder than the
+            # reactive optimum, never hotter than the safe band.
+            assert worst <= CPU_SAFE_TEMP_C + 1.5
+
+    def test_reset_restores_warmup(self):
+        policy = PredictivePolicy(warmup_intervals=1)
+        policy.decide([0.5])
+        policy.decide([0.5])
+        policy.reset()
+        reactive = AnalyticPolicy()
+        assert policy.decide([0.9]).setting == \
+            reactive.decide([0.9]).setting

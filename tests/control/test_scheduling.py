@@ -1,0 +1,111 @@
+"""Workload scheduler tests (Sec. V-B2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.control.scheduling import (
+    IdealBalancer,
+    NoScheduler,
+    ThresholdBalancer,
+)
+from repro.errors import PhysicalRangeError
+
+util_vectors = arrays(float, st.integers(min_value=1, max_value=30),
+                      elements=st.floats(min_value=0.0, max_value=1.0))
+
+
+class TestNoScheduler:
+    def test_identity(self):
+        utils = np.array([0.1, 0.9, 0.4])
+        assert np.array_equal(NoScheduler().schedule(utils), utils)
+
+    def test_returns_copy(self):
+        utils = np.array([0.1, 0.9])
+        result = NoScheduler().schedule(utils)
+        result[0] = 0.5
+        assert utils[0] == 0.1
+
+    def test_aggregation_is_max(self):
+        # TEG_Original keys the cooling on the hottest server.
+        assert NoScheduler().policy_aggregation == "max"
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            NoScheduler().schedule(np.array([1.5]))
+        with pytest.raises(PhysicalRangeError):
+            NoScheduler().schedule(np.array([]))
+
+
+class TestIdealBalancer:
+    def test_flattens_to_mean(self):
+        utils = np.array([0.2, 0.4, 0.9])
+        result = IdealBalancer().schedule(utils)
+        assert np.allclose(result, utils.mean())
+
+    def test_aggregation_is_avg(self):
+        # TEG_LoadBalance keys the cooling on the average.
+        assert IdealBalancer().policy_aggregation == "avg"
+
+    @given(util_vectors)
+    def test_work_preserved(self, utils):
+        result = IdealBalancer().schedule(utils)
+        assert result.sum() == pytest.approx(utils.sum(), abs=1e-9)
+
+    @given(util_vectors)
+    def test_max_never_raised(self, utils):
+        result = IdealBalancer().schedule(utils)
+        assert result.max() <= utils.max() + 1e-12
+
+
+class TestThresholdBalancer:
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            ThresholdBalancer(cap=1.5)
+
+    def test_cap_one_is_identity(self):
+        utils = np.array([0.2, 0.8, 0.5])
+        result = ThresholdBalancer(cap=1.0).schedule(utils)
+        assert np.allclose(result, utils)
+
+    def test_cap_zero_is_ideal(self):
+        utils = np.array([0.2, 0.8, 0.5])
+        result = ThresholdBalancer(cap=0.0).schedule(utils)
+        assert np.allclose(result, utils.mean())
+
+    def test_shaves_above_cap(self):
+        utils = np.array([0.9, 0.1, 0.1])
+        result = ThresholdBalancer(cap=0.5).schedule(utils)
+        assert result.max() <= 0.5 + 1e-9
+
+    def test_cold_servers_absorb(self):
+        utils = np.array([0.9, 0.1, 0.1])
+        result = ThresholdBalancer(cap=0.5).schedule(utils)
+        assert result[1] > 0.1 and result[2] > 0.1
+
+    def test_no_action_below_cap(self):
+        utils = np.array([0.2, 0.3, 0.4])
+        result = ThresholdBalancer(cap=0.5).schedule(utils)
+        assert np.allclose(result, utils)
+
+    def test_cap_below_mean_clamped(self):
+        # Cannot flatten below the average: degenerates to ideal balance.
+        utils = np.array([0.9, 0.9, 0.9])
+        result = ThresholdBalancer(cap=0.1).schedule(utils)
+        assert np.allclose(result, 0.9)
+
+    @given(util_vectors, st.floats(min_value=0.0, max_value=1.0))
+    def test_invariants(self, utils, cap):
+        result = ThresholdBalancer(cap=cap).schedule(utils)
+        assert result.sum() == pytest.approx(utils.sum(), abs=1e-6)
+        assert np.all(result >= -1e-12)
+        assert np.all(result <= 1.0 + 1e-12)
+        assert result.max() <= utils.max() + 1e-9
+
+    @given(util_vectors)
+    def test_between_extremes(self, utils):
+        # Threshold balancing never exceeds the unbalanced max and never
+        # goes below the ideal-balanced max.
+        result = ThresholdBalancer(cap=0.5).schedule(utils)
+        assert utils.mean() - 1e-9 <= result.max() <= utils.max() + 1e-9

@@ -1,0 +1,67 @@
+"""Coolant distribution unit tests."""
+
+import pytest
+
+from repro.cooling.cdu import CoolantDistributionUnit
+from repro.errors import PhysicalRangeError
+from repro.thermal.cpu_model import CoolingSetting
+
+
+class TestValidation:
+    def test_inverted_supply_band_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            CoolantDistributionUnit(min_supply_c=60.0, max_supply_c=20.0)
+
+    def test_inverted_flow_band_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            CoolantDistributionUnit(min_flow_l_per_h=300.0,
+                                    max_flow_l_per_h=20.0)
+
+
+class TestSettingManagement:
+    def test_default_setting_is_mid_band(self):
+        cdu = CoolantDistributionUnit()
+        assert cdu.setting.inlet_temp_c == pytest.approx(40.0)
+
+    def test_clamp_flow(self):
+        cdu = CoolantDistributionUnit()
+        clamped = cdu.clamp(CoolingSetting(flow_l_per_h=500.0,
+                                           inlet_temp_c=45.0))
+        assert clamped.flow_l_per_h == cdu.max_flow_l_per_h
+
+    def test_clamp_temperature_both_sides(self):
+        cdu = CoolantDistributionUnit()
+        hot = cdu.clamp(CoolingSetting(flow_l_per_h=50.0, inlet_temp_c=80.0))
+        cold = cdu.clamp(CoolingSetting(flow_l_per_h=50.0, inlet_temp_c=5.0))
+        assert hot.inlet_temp_c == cdu.max_supply_c
+        assert cold.inlet_temp_c == cdu.min_supply_c
+
+    def test_apply_remembers(self):
+        cdu = CoolantDistributionUnit()
+        wanted = CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=45.0)
+        applied = cdu.apply(wanted)
+        assert applied == wanted
+        assert cdu.setting == wanted
+
+    def test_in_band_setting_unchanged(self):
+        cdu = CoolantDistributionUnit()
+        setting = CoolingSetting(flow_l_per_h=150.0, inlet_temp_c=50.0)
+        assert cdu.clamp(setting) == setting
+
+
+class TestHeatRejection:
+    def test_rejects_heat_downhill(self):
+        cdu = CoolantDistributionUnit()
+        heat, tcs_out = cdu.reject_to_fws(
+            tcs_return_c=50.0, fws_supply_c=25.0,
+            tcs_flow_l_per_h=1000.0, fws_flow_l_per_h=2000.0)
+        assert heat > 0.0
+        assert 25.0 < tcs_out < 50.0
+
+    def test_no_uphill_transfer(self):
+        cdu = CoolantDistributionUnit()
+        heat, tcs_out = cdu.reject_to_fws(
+            tcs_return_c=25.0, fws_supply_c=40.0,
+            tcs_flow_l_per_h=1000.0, fws_flow_l_per_h=1000.0)
+        assert heat == 0.0
+        assert tcs_out == pytest.approx(25.0)

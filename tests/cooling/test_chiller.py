@@ -1,0 +1,82 @@
+"""Chiller model tests — Eq. 10 arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cooling.chiller import Chiller, chiller_energy_kwh
+from repro.errors import PhysicalRangeError
+
+
+class TestChillerValidation:
+    def test_invalid_cop_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            Chiller(cop=0.0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            Chiller(capacity_kw=-1.0)
+
+    def test_negative_heat_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            Chiller().electricity_w_for_heat(-1.0)
+
+    def test_over_capacity_rejected(self):
+        chiller = Chiller(capacity_kw=10.0)
+        with pytest.raises(PhysicalRangeError):
+            chiller.electricity_w_for_heat(20_000.0)
+
+
+class TestElectricity:
+    def test_cop_division(self):
+        chiller = Chiller(cop=3.6)
+        assert chiller.electricity_w_for_heat(3600.0) == pytest.approx(
+            1000.0)
+
+    def test_default_cop_matches_paper(self):
+        assert Chiller().cop == 3.6
+
+
+class TestEq10:
+    def test_hand_computed_case(self):
+        # Eq. 10: C_water * dT * n * f * t * rho / COP.
+        # dT=5 C, n=10 servers, f=50 L/H, t=3600 s:
+        # mass flow = 10 * 50/3600 kg/s = 0.1389 kg/s
+        # heat = 4200 * 5 * 0.1389 * 3600 = 10.5e6 J -> /3.6 = 2.917e6 J.
+        chiller = Chiller(cop=3.6)
+        energy = chiller.cooling_energy_j(5.0, 10, 50.0, 3600.0)
+        assert energy == pytest.approx(2.9167e6, rel=1e-3)
+
+    def test_negative_delta_means_idle(self):
+        assert Chiller().cooling_energy_j(-2.0, 10, 50.0, 3600.0) == 0.0
+
+    def test_zero_duration(self):
+        assert Chiller().cooling_energy_j(5.0, 10, 50.0, 0.0) == 0.0
+
+    def test_invalid_servers_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            Chiller().cooling_energy_j(5.0, 0, 50.0, 3600.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            Chiller().cooling_energy_j(5.0, 10, 50.0, -1.0)
+
+    @given(st.floats(min_value=0.0, max_value=20.0),
+           st.integers(min_value=1, max_value=1000))
+    def test_linear_in_delta_and_servers(self, delta, n):
+        chiller = Chiller()
+        base = chiller.cooling_energy_j(1.0, 1, 50.0, 3600.0)
+        combined = chiller.cooling_energy_j(delta, n, 50.0, 3600.0)
+        assert combined == pytest.approx(base * delta * n, rel=1e-9,
+                                         abs=1e-6)
+
+    def test_kwh_wrapper(self):
+        joules = Chiller().cooling_energy_j(5.0, 10, 50.0, 3600.0)
+        assert chiller_energy_kwh(5.0, 10, 50.0, 3600.0) == pytest.approx(
+            joules / 3.6e6)
+
+
+class TestResponseLag:
+    def test_default_lag_is_minutes(self):
+        # Sec. II-B: "the chiller needs a relatively long time (e.g.,
+        # several minutes)" — the default must reflect that.
+        assert Chiller().response_time_s >= 60.0

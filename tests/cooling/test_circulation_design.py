@@ -1,0 +1,148 @@
+"""Circulation-design (Sec. V-A) tests: order statistics and Eq. 12."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cooling.circulation_design import (
+    CirculationDesignProblem,
+    expected_max_of_normal,
+)
+from repro.errors import PhysicalRangeError
+
+
+class TestExpectedMax:
+    def test_single_sample_is_mean(self):
+        assert expected_max_of_normal(55.0, 6.0, 1) == 55.0
+
+    def test_zero_sigma_is_mean(self):
+        assert expected_max_of_normal(55.0, 0.0, 100) == 55.0
+
+    def test_two_samples_analytic(self):
+        # E[max of 2 standard normals] = 1/sqrt(pi).
+        expected = expected_max_of_normal(0.0, 1.0, 2)
+        assert expected == pytest.approx(1.0 / np.sqrt(np.pi), abs=1e-6)
+
+    def test_grows_with_n(self):
+        values = [expected_max_of_normal(55.0, 6.0, n)
+                  for n in (1, 2, 10, 100, 1000)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_concave_growth(self):
+        # Going 10 -> 100 adds more than 100 -> 1000 (log-like growth).
+        g1 = (expected_max_of_normal(0.0, 1.0, 100)
+              - expected_max_of_normal(0.0, 1.0, 10))
+        g2 = (expected_max_of_normal(0.0, 1.0, 1000)
+              - expected_max_of_normal(0.0, 1.0, 100))
+        assert g1 > g2
+
+    def test_matches_monte_carlo(self, rng):
+        n = 50
+        samples = rng.normal(55.0, 6.0, size=(20000, n)).max(axis=1)
+        assert expected_max_of_normal(55.0, 6.0, n) == pytest.approx(
+            samples.mean(), abs=0.1)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            expected_max_of_normal(0.0, -1.0, 10)
+        with pytest.raises(PhysicalRangeError):
+            expected_max_of_normal(0.0, 1.0, 0)
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_location_scale_property(self, n):
+        base = expected_max_of_normal(0.0, 1.0, n)
+        shifted = expected_max_of_normal(10.0, 2.0, n)
+        assert shifted == pytest.approx(10.0 + 2.0 * base, abs=1e-6)
+
+
+class TestDesignProblem:
+    def test_invalid_slope_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            CirculationDesignProblem(slope_k=0.8)
+
+    def test_inlet_reduction_zero_for_cool_cluster(self):
+        # If even the max CPU sits below T_safe, no chilling is needed.
+        problem = CirculationDesignProblem(temp_mu_c=40.0, temp_sigma_c=2.0)
+        assert problem.expected_inlet_reduction_c(100) == 0.0
+
+    def test_inlet_reduction_grows_with_n(self):
+        problem = CirculationDesignProblem()
+        r10 = problem.expected_inlet_reduction_c(10)
+        r1000 = problem.expected_inlet_reduction_c(1000)
+        assert 0.0 <= r10 < r1000
+
+    def test_chiller_energy_eq10(self):
+        problem = CirculationDesignProblem()
+        n = 100
+        delta = problem.expected_inlet_reduction_c(n)
+        # Reconstruct Eq. 10 by hand.
+        mass_flow = n * 50.0 / 3600.0  # kg/s at 50 L/H per server
+        heat_j = 4.2e3 * delta * mass_flow * problem.horizon_hours * 3600.0
+        expected_kwh = heat_j / 3.6 / 3.6e6  # COP then J->kWh
+        assert problem.chiller_energy_kwh(n) == pytest.approx(
+            expected_kwh, rel=1e-6)
+
+    def test_circulation_count_rounds_up(self):
+        problem = CirculationDesignProblem(total_servers=1000)
+        assert problem.circulation_count(1000) == 1
+        assert problem.circulation_count(300) == 4
+        assert problem.circulation_count(1) == 1000
+
+    def test_hardware_cost_decreases_with_n(self):
+        problem = CirculationDesignProblem()
+        assert problem.hardware_cost_usd(1) > problem.hardware_cost_usd(100)
+
+    def test_total_cost_combines(self):
+        problem = CirculationDesignProblem()
+        n = 50
+        assert problem.total_cost_usd(n) == pytest.approx(
+            problem.energy_cost_usd(n) + problem.hardware_cost_usd(n))
+
+
+class TestOptimisation:
+    def test_interior_optimum(self):
+        # The Sec. V-A trade-off: neither 1 server/circulation (hardware-
+        # dominated) nor 1000 (energy-dominated) is optimal.
+        problem = CirculationDesignProblem()
+        result = problem.optimise()
+        assert 1 < result.best_n < problem.total_servers
+
+    def test_best_cost_is_minimum(self):
+        result = CirculationDesignProblem().optimise()
+        assert result.best_cost_usd == pytest.approx(
+            result.total_costs_usd.min())
+
+    def test_cost_for_lookup(self):
+        result = CirculationDesignProblem().optimise(candidates=[1, 10, 100])
+        assert result.cost_for(10) > 0.0
+        with pytest.raises(KeyError):
+            result.cost_for(7)
+
+    def test_explicit_candidates(self):
+        result = CirculationDesignProblem().optimise(
+            candidates=[5, 50, 500])
+        assert set(result.candidate_n) == {5, 50, 500}
+        assert result.best_n in {5, 50, 500}
+
+    def test_invalid_candidates_rejected(self):
+        problem = CirculationDesignProblem()
+        with pytest.raises(PhysicalRangeError):
+            problem.optimise(candidates=[0, 10])
+        with pytest.raises(PhysicalRangeError):
+            problem.optimise(candidates=[2000])
+        with pytest.raises(PhysicalRangeError):
+            problem.optimise(candidates=[])
+
+    def test_cheap_chillers_push_toward_small_loops(self):
+        from repro.cooling.chiller import Chiller
+
+        expensive = CirculationDesignProblem()
+        cheap = CirculationDesignProblem(
+            chiller=Chiller(cop=3.6, capacity_kw=500, capex_usd=500.0))
+        assert cheap.optimise().best_n <= expensive.optimise().best_n
+
+    def test_volatile_loads_push_toward_small_loops(self):
+        calm = CirculationDesignProblem(temp_sigma_c=2.0)
+        volatile = CirculationDesignProblem(temp_sigma_c=10.0)
+        assert volatile.optimise().best_n <= calm.optimise().best_n

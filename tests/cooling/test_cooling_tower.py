@@ -1,0 +1,80 @@
+"""Cooling tower tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cooling.cooling_tower import CoolingTower
+from repro.errors import PhysicalRangeError
+
+
+class TestValidation:
+    def test_negative_approach_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            CoolingTower(approach_c=-1.0)
+
+    def test_negative_heat_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            CoolingTower().electricity_w_for_heat(-5.0)
+
+    def test_over_capacity_rejected(self):
+        tower = CoolingTower(max_heat_kw=1.0)
+        with pytest.raises(PhysicalRangeError):
+            tower.electricity_w_for_heat(5000.0)
+
+
+class TestReach:
+    def test_coldest_supply(self):
+        tower = CoolingTower(approach_c=4.0)
+        assert tower.coldest_supply_c(18.0) == pytest.approx(22.0)
+
+    def test_warm_water_reachable_without_chiller(self):
+        # The warm-water premise: a 40+ C set-point is free-coolable in
+        # any climate with a wet bulb below ~36 C.
+        tower = CoolingTower()
+        assert tower.can_reach(40.0, wet_bulb_c=30.0)
+
+    def test_cold_water_not_reachable(self):
+        # Legacy 7-10 C facility water cannot come from a tower alone.
+        tower = CoolingTower()
+        assert not tower.can_reach(8.0, wet_bulb_c=18.0)
+
+
+class TestEconomy:
+    def test_tower_much_cheaper_than_chiller(self):
+        # Rejecting 1 kW: tower fans ~15 W vs chiller ~278 W at COP 3.6.
+        tower = CoolingTower()
+        assert tower.electricity_w_for_heat(1000.0) < 1000.0 / 3.6 / 5.0
+
+
+class TestSplit:
+    def test_all_tower_when_reachable(self):
+        tower = CoolingTower()
+        tower_heat, chiller_heat = tower.split_with_chiller(
+            10_000.0, target_supply_c=45.0, wet_bulb_c=18.0)
+        assert chiller_heat == 0.0
+        assert tower_heat == 10_000.0
+
+    def test_chiller_share_grows_with_shortfall(self):
+        tower = CoolingTower(approach_c=4.0)
+        _, chill_small = tower.split_with_chiller(10_000.0, 20.0, 18.0)
+        _, chill_big = tower.split_with_chiller(10_000.0, 12.0, 18.0)
+        assert 0.0 < chill_small < chill_big
+
+    def test_split_conserves_heat(self):
+        tower = CoolingTower()
+        for target in (10.0, 18.0, 30.0, 45.0):
+            t, c = tower.split_with_chiller(5000.0, target, 18.0)
+            assert t + c == pytest.approx(5000.0)
+            assert t >= 0.0 and c >= 0.0
+
+    @given(st.floats(min_value=0.0, max_value=1e6),
+           st.floats(min_value=5.0, max_value=50.0),
+           st.floats(min_value=0.0, max_value=35.0))
+    def test_split_always_conserves(self, heat, target, wet_bulb):
+        tower = CoolingTower(max_heat_kw=2000.0)
+        t, c = tower.split_with_chiller(heat, target, wet_bulb)
+        assert t + c == pytest.approx(heat)
+
+    def test_negative_heat_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            CoolingTower().split_with_chiller(-1.0, 40.0, 18.0)

@@ -1,0 +1,97 @@
+"""Fault-injection tests: resilience of the control loop."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.faults import DegradedChiller, FaultyCdu
+from repro.cooling.loop import WaterCirculation
+from repro.errors import PhysicalRangeError
+from repro.thermal.cpu_model import CoolingSetting
+
+
+class TestFaultyCdu:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            FaultyCdu(fault_mode="gremlins")
+
+    def test_no_fault_behaves_normally(self):
+        cdu = FaultyCdu(fault_mode="none")
+        wanted = CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=45.0)
+        assert cdu.apply(wanted) == wanted
+
+    def test_stuck_flow(self):
+        cdu = FaultyCdu(fault_mode="stuck_flow", stuck_flow_l_per_h=20.0)
+        applied = cdu.apply(CoolingSetting(flow_l_per_h=200.0,
+                                           inlet_temp_c=45.0))
+        assert applied.flow_l_per_h == 20.0
+        assert applied.inlet_temp_c == 45.0
+
+    def test_stuck_temperature(self):
+        cdu = FaultyCdu(fault_mode="stuck_temp", stuck_temp_c=50.0)
+        applied = cdu.apply(CoolingSetting(flow_l_per_h=100.0,
+                                           inlet_temp_c=30.0))
+        assert applied.inlet_temp_c == 50.0
+
+    def test_sensor_bias(self):
+        cdu = FaultyCdu(fault_mode="sensor_bias", sensor_bias_c=3.0)
+        applied = cdu.apply(CoolingSetting(flow_l_per_h=100.0,
+                                           inlet_temp_c=45.0))
+        assert applied.inlet_temp_c == pytest.approx(48.0)
+
+    def test_bias_still_clamped(self):
+        cdu = FaultyCdu(fault_mode="sensor_bias", sensor_bias_c=30.0)
+        applied = cdu.apply(CoolingSetting(flow_l_per_h=100.0,
+                                           inlet_temp_c=55.0))
+        assert applied.inlet_temp_c <= cdu.max_supply_c
+
+
+class TestFaultInCirculation:
+    def test_biased_sensor_heats_cpus(self):
+        setting = CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=48.0)
+        utils = np.full(5, 0.5)
+        healthy = WaterCirculation(n_servers=5)
+        healthy_state = healthy.evaluate(utils, setting)
+        faulty = WaterCirculation(
+            n_servers=5, cdu=FaultyCdu(fault_mode="sensor_bias",
+                                       sensor_bias_c=4.0))
+        faulty_state = faulty.evaluate(utils, setting)
+        assert faulty_state.max_cpu_temp_c > \
+            healthy_state.max_cpu_temp_c + 3.0
+        # ...and, perversely, generates more (hotter outlet) — the
+        # failure is silent if you only watch the TEG output.
+        assert faulty_state.mean_generation_w > \
+            healthy_state.mean_generation_w
+
+    def test_stuck_cold_valve_hurts_generation(self):
+        setting = CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=52.0)
+        utils = np.full(5, 0.3)
+        healthy = WaterCirculation(n_servers=5)
+        stuck = WaterCirculation(
+            n_servers=5, cdu=FaultyCdu(fault_mode="stuck_temp",
+                                       stuck_temp_c=35.0))
+        assert stuck.evaluate(utils, setting).mean_generation_w < \
+            healthy.evaluate(utils, setting).mean_generation_w
+
+
+class TestDegradedChiller:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            DegradedChiller(degradation_factor=0.0)
+
+    def test_degradation_raises_draw(self):
+        healthy = DegradedChiller(degradation_factor=1.0)
+        fouled = DegradedChiller(degradation_factor=0.5)
+        assert fouled.electricity_w_for_heat(3600.0) == pytest.approx(
+            2.0 * healthy.electricity_w_for_heat(3600.0))
+
+    def test_eq10_scaled(self):
+        fouled = DegradedChiller(degradation_factor=0.5)
+        base = DegradedChiller(degradation_factor=1.0)
+        assert fouled.cooling_energy_j(5.0, 10, 50.0, 3600.0) == \
+            pytest.approx(2.0 * base.cooling_energy_j(5.0, 10, 50.0,
+                                                      3600.0))
+
+    def test_effective_cop(self):
+        assert DegradedChiller(cop=3.6,
+                               degradation_factor=0.5).effective_cop == \
+            pytest.approx(1.8)

@@ -1,0 +1,113 @@
+"""Hot-spot scenario tests: chiller lag vs TEC rescue (Sec. II-B)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CPU_MAX_OPERATING_TEMP_C
+from repro.cooling.hotspot import HotSpotScenario
+from repro.errors import ConfigurationError, PhysicalRangeError
+from repro.thermal.cpu_model import CoolingSetting
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return HotSpotScenario().compare()
+
+
+class TestValidation:
+    def test_bad_utilisations_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            HotSpotScenario(spike_utilisation=1.5)
+        with pytest.raises(PhysicalRangeError):
+            HotSpotScenario(baseline_utilisation=-0.1)
+
+    def test_bad_timing_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            HotSpotScenario(spike_duration_s=0.0)
+        with pytest.raises(PhysicalRangeError):
+            HotSpotScenario(tec_response_s=-1.0)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotSpotScenario().run("prayer")
+
+    def test_bad_integration_arguments(self):
+        with pytest.raises(PhysicalRangeError):
+            HotSpotScenario().run("none", duration_s=0.0)
+        with pytest.raises(PhysicalRangeError):
+            HotSpotScenario().run("none", dt_s=-1.0)
+
+
+class TestPaperNarrative:
+    def test_unprotected_warm_water_violates(self, outcomes):
+        # The Sec. II-B risk: warm water + sudden 100 % load = violation.
+        assert outcomes["none"].violation
+
+    def test_chiller_lag_misses_the_spike(self, outcomes):
+        # The chiller reacts in minutes; the CPU crossed the limit in
+        # seconds.  The violation happens anyway.
+        assert outcomes["chiller"].violation
+        assert outcomes["chiller"].time_above_limit_s > 30.0
+
+    def test_tec_rescues(self, outcomes):
+        # The fine-grained remedy: sub-second TEC response keeps the CPU
+        # below the limit for the whole episode.
+        assert not outcomes["tec"].violation
+        assert outcomes["tec"].time_above_limit_s == 0.0
+
+    def test_tec_costs_energy(self, outcomes):
+        assert outcomes["tec"].tec_energy_j > 0.0
+        assert outcomes["none"].tec_energy_j == 0.0
+
+    def test_tec_peak_lower_than_unprotected(self, outcomes):
+        assert outcomes["tec"].peak_cpu_temp_c \
+            < outcomes["none"].peak_cpu_temp_c - 5.0
+
+
+class TestDynamics:
+    def test_starts_at_steady_state(self, outcomes):
+        for outcome in outcomes.values():
+            first = outcome.cpu_temp_c[0]
+            # Pre-spike plateau: essentially flat over the first minute.
+            pre = outcome.cpu_temp_c[outcome.times_s < 60.0]
+            assert np.allclose(pre, first, atol=0.5)
+
+    def test_rises_within_seconds(self, outcomes):
+        # "They may exceed the safe operating temperature in a few
+        # seconds": at least +10 C within 60 s of the spike.
+        outcome = outcomes["none"]
+        spike_mask = (outcome.times_s >= 60.0) & (outcome.times_s <= 120.0)
+        rise = (outcome.cpu_temp_c[spike_mask].max()
+                - outcome.cpu_temp_c[0])
+        assert rise > 10.0
+
+    def test_recovers_after_spike(self, outcomes):
+        # After the spike the CPU returns to its pre-spike steady state.
+        outcome = outcomes["none"]
+        assert outcome.cpu_temp_c[-1] == pytest.approx(
+            outcome.cpu_temp_c[0], abs=1.0)
+        assert outcome.cpu_temp_c[-1] < outcome.peak_cpu_temp_c - 10.0
+
+    def test_chiller_coolant_eventually_drops(self, outcomes):
+        coolant = outcomes["chiller"].coolant_temp_c
+        assert coolant[-1] < coolant[0] - 3.0
+
+    def test_cooler_setpoint_prevents_violation_without_tec(self):
+        # With a conservative (cold) set-point even the unprotected run
+        # stays safe — the over-provisioning warm water avoids.
+        scenario = HotSpotScenario(setting=CoolingSetting(
+            flow_l_per_h=50.0, inlet_temp_c=40.0))
+        outcome = scenario.run("none")
+        assert not outcome.violation
+
+    def test_short_spike_softens_peak(self):
+        long = HotSpotScenario(spike_duration_s=240.0).run("none")
+        short = HotSpotScenario(spike_duration_s=20.0).run("none")
+        assert short.peak_cpu_temp_c < long.peak_cpu_temp_c
+
+    def test_custom_duration_and_step(self):
+        outcome = HotSpotScenario().run("none", duration_s=120.0,
+                                        dt_s=0.25)
+        assert outcome.times_s[-1] == pytest.approx(120.0)
+        assert outcome.times_s[1] - outcome.times_s[0] == pytest.approx(
+            0.25)

@@ -1,0 +1,115 @@
+"""Water circulation integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.loop import WaterCirculation
+from repro.errors import ConfigurationError, PhysicalRangeError
+from repro.thermal.cpu_model import CoolingSetting
+
+
+@pytest.fixture
+def circulation():
+    return WaterCirculation(n_servers=8)
+
+
+@pytest.fixture
+def setting():
+    return CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=48.0)
+
+
+class TestValidation:
+    def test_zero_servers_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            WaterCirculation(n_servers=0)
+
+    def test_wrong_vector_length_rejected(self, circulation, setting):
+        with pytest.raises(ConfigurationError):
+            circulation.evaluate([0.5] * 3, setting)
+
+    def test_out_of_range_utilisation_rejected(self, circulation, setting):
+        with pytest.raises(PhysicalRangeError):
+            circulation.evaluate([0.5] * 7 + [1.5], setting)
+
+
+class TestEvaluation:
+    def test_shapes(self, circulation, setting):
+        state = circulation.evaluate(np.linspace(0, 1, 8), setting)
+        assert state.cpu_temps_c.shape == (8,)
+        assert state.outlet_temps_c.shape == (8,)
+        assert state.teg_powers_w.shape == (8,)
+
+    def test_hotter_cpu_for_higher_load(self, circulation, setting):
+        state = circulation.evaluate(np.linspace(0, 1, 8), setting)
+        assert np.all(np.diff(state.cpu_temps_c) > 0)
+
+    def test_outlets_above_inlet(self, circulation, setting):
+        state = circulation.evaluate(np.linspace(0, 1, 8), setting)
+        assert np.all(state.outlet_temps_c > setting.inlet_temp_c)
+
+    def test_generation_positive_in_warm_regime(self, circulation, setting):
+        state = circulation.evaluate([0.3] * 8, setting)
+        assert np.all(state.teg_powers_w > 0.0)
+        assert 2.0 < state.mean_generation_w < 6.0
+
+    def test_no_generation_with_cold_loop(self, circulation):
+        cold = CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=20.0)
+        # With a 20 C loop the outlet barely exceeds the 20 C cold source.
+        state = circulation.evaluate([0.1] * 8, cold)
+        assert state.mean_generation_w < 0.3
+
+    def test_warm_setting_needs_no_chiller(self, circulation, setting):
+        # 48 C supply is reachable by the tower alone: free cooling.
+        state = circulation.evaluate([0.5] * 8, setting)
+        assert state.chiller_power_w == 0.0
+        assert state.tower_power_w > 0.0
+
+    def test_cold_setting_engages_chiller(self, circulation):
+        state = circulation.evaluate(
+            [0.5] * 8, CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=15.0))
+        assert state.chiller_power_w > 0.0
+
+    def test_pump_power_scales_with_servers(self, setting):
+        small = WaterCirculation(n_servers=4)
+        large = WaterCirculation(n_servers=8)
+        s_state = small.evaluate([0.5] * 4, setting)
+        l_state = large.evaluate([0.5] * 8, setting)
+        assert l_state.pump_power_w == pytest.approx(
+            2.0 * s_state.pump_power_w)
+
+    def test_cdu_clamps_setting(self, circulation):
+        wild = CoolingSetting(flow_l_per_h=900.0, inlet_temp_c=75.0)
+        state = circulation.evaluate([0.5] * 8, wild)
+        assert state.setting.flow_l_per_h <= 300.0
+        assert state.setting.inlet_temp_c <= 60.0
+
+
+class TestAggregates:
+    def test_totals_consistent(self, circulation, setting):
+        state = circulation.evaluate(np.linspace(0, 1, 8), setting)
+        assert state.total_generation_w == pytest.approx(
+            state.teg_powers_w.sum())
+        assert state.total_cpu_power_w == pytest.approx(
+            state.cpu_powers_w.sum())
+        assert state.mean_generation_w == pytest.approx(
+            state.teg_powers_w.mean())
+        assert state.max_cpu_temp_c == pytest.approx(
+            state.cpu_temps_c.max())
+
+
+class TestSafety:
+    def test_violations_detected(self, circulation):
+        hot = CoolingSetting(flow_l_per_h=20.0, inlet_temp_c=58.0)
+        state = circulation.evaluate([1.0] * 8, hot)
+        assert len(circulation.safety_violations(state)) == 8
+
+    def test_no_violations_in_safe_regime(self, circulation, setting):
+        state = circulation.evaluate([0.5] * 8, setting)
+        assert circulation.safety_violations(state) == []
+
+    def test_margin_tightens(self, circulation):
+        warmish = CoolingSetting(flow_l_per_h=20.0, inlet_temp_c=50.0)
+        state = circulation.evaluate([1.0] * 8, warmish)
+        relaxed = circulation.safety_violations(state)
+        strict = circulation.safety_violations(state, margin_c=15.0)
+        assert len(strict) >= len(relaxed)

@@ -1,0 +1,108 @@
+"""Serial-vs-parallel plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.plumbing import PlumbingStudy
+from repro.errors import PhysicalRangeError
+from repro.thermal.cpu_model import CoolingSetting
+
+
+@pytest.fixture(scope="module")
+def study():
+    return PlumbingStudy()
+
+
+@pytest.fixture
+def setting():
+    return CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=48.0)
+
+
+UTILS = np.full(5, 0.25)
+
+
+class TestValidation:
+    def test_bad_utilisations_rejected(self, study, setting):
+        with pytest.raises(PhysicalRangeError):
+            study.parallel(np.array([]), setting)
+        with pytest.raises(PhysicalRangeError):
+            study.serial(np.array([0.5, 1.5]), setting)
+
+
+class TestParallel:
+    def test_identical_inlets(self, study, setting):
+        outcome = study.parallel(UTILS, setting)
+        assert np.allclose(outcome.inlet_temps_c,
+                           setting.inlet_temp_c)
+
+    def test_uniform_load_uniform_outlets(self, study, setting):
+        outcome = study.parallel(UTILS, setting)
+        assert np.allclose(outcome.outlet_temps_c,
+                           outcome.outlet_temps_c[0])
+
+
+class TestSerial:
+    def test_inlets_cascade(self, study, setting):
+        outcome = study.serial(UTILS, setting)
+        # Each server's inlet is the previous server's outlet.
+        assert np.allclose(outcome.inlet_temps_c[1:],
+                           outcome.outlet_temps_c[:-1])
+        assert outcome.inlet_temps_c[0] == setting.inlet_temp_c
+
+    def test_chain_outlet_hotter_than_parallel(self, study, setting):
+        serial = study.serial(UTILS, setting)
+        parallel = study.parallel(UTILS, setting)
+        assert serial.final_outlet_c > parallel.final_outlet_c + 3.0
+
+    def test_downstream_cpus_hotter(self, study, setting):
+        outcome = study.serial(UTILS, setting)
+        assert np.all(np.diff(outcome.cpu_temps_c) > 0.0)
+
+    def test_naive_serial_generates_more_but_runs_hotter(self, study,
+                                                         setting):
+        # At the SAME group inlet the serial chain harvests more (hotter
+        # chain outlet) but cooks its downstream CPUs harder — the
+        # unfair comparison that makes serial look tempting.
+        serial = study.serial(UTILS, setting)
+        parallel = study.parallel(UTILS, setting)
+        assert serial.generation_w > parallel.generation_w
+        assert serial.max_cpu_temp_c > parallel.max_cpu_temp_c
+
+
+class TestFairComparison:
+    def test_equal_safety_equal_generation_for_uniform_load(self, study):
+        # The study's punchline: with uniform load and the affine model,
+        # once both arrangements are pushed to the same T_safe, the
+        # binding stage sees the same inlet — so the chain outlet equals
+        # the parallel outlet and generation ties (TEG count is equal by
+        # construction).  Parallel then wins on robustness alone.
+        flow, safe = 100.0, 62.0
+        serial_inlet = study.safe_serial_inlet(UTILS, flow, safe)
+        serial = study.serial(UTILS, CoolingSetting(
+            flow_l_per_h=flow, inlet_temp_c=serial_inlet))
+        parallel_inlet = study.cpu_model.inlet_for_cpu_temp(
+            float(UTILS[0]), flow, safe)
+        parallel = study.parallel(UTILS, CoolingSetting(
+            flow_l_per_h=flow, inlet_temp_c=parallel_inlet))
+        assert serial.generation_w == pytest.approx(
+            parallel.generation_w, rel=0.02)
+
+    def test_safe_serial_inlet_is_binding(self, study):
+        inlet = study.safe_serial_inlet(UTILS, 100.0, 62.0)
+        outcome = study.serial(UTILS, CoolingSetting(
+            flow_l_per_h=100.0, inlet_temp_c=inlet))
+        assert outcome.max_cpu_temp_c == pytest.approx(62.0, abs=0.01)
+
+    def test_busy_first_beats_busy_last(self, study):
+        # Ordering matters in a chain: the busy server belongs at the
+        # COLD end, where its heat pre-warms everyone else instead of
+        # arriving on top of their pre-heated water.
+        busy_first = np.array([0.9, 0.2, 0.2, 0.2, 0.2])
+        busy_last = busy_first[::-1].copy()
+        flow, safe = 100.0, 62.0
+        gen = {}
+        for name, utils in (("first", busy_first), ("last", busy_last)):
+            inlet = study.safe_serial_inlet(utils, flow, safe)
+            gen[name] = study.serial(utils, CoolingSetting(
+                flow_l_per_h=flow, inlet_temp_c=inlet)).generation_w
+        assert gen["first"] > 1.2 * gen["last"]

@@ -1,0 +1,100 @@
+"""Thermoelectric cooler (hybrid-cooling substrate) tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cooling.tec import ThermoelectricCooler
+from repro.errors import PhysicalRangeError
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            ThermoelectricCooler(seebeck_v_per_k=0.0)
+        with pytest.raises(PhysicalRangeError):
+            ThermoelectricCooler(resistance_ohm=-1.0)
+        with pytest.raises(PhysicalRangeError):
+            ThermoelectricCooler(max_current_a=0.0)
+
+    def test_current_limits_enforced(self):
+        tec = ThermoelectricCooler(max_current_a=6.0)
+        with pytest.raises(PhysicalRangeError):
+            tec.heat_pumped_w(7.0, 50.0, 60.0)
+        with pytest.raises(PhysicalRangeError):
+            tec.electrical_power_w(-1.0, 50.0, 60.0)
+
+    def test_side_ordering_enforced(self):
+        with pytest.raises(PhysicalRangeError):
+            ThermoelectricCooler().heat_pumped_w(2.0, 70.0, 50.0)
+
+
+class TestPeltierPhysics:
+    def test_pumps_heat_at_moderate_current(self):
+        tec = ThermoelectricCooler()
+        assert tec.heat_pumped_w(3.0, 55.0, 60.0) > 0.0
+
+    def test_zero_current_leaks_backwards(self):
+        # Without drive the TEC is just a (bad) conductor: negative
+        # "pumping" equals the conduction leak.
+        tec = ThermoelectricCooler()
+        pumped = tec.heat_pumped_w(0.0, 50.0, 60.0)
+        assert pumped == pytest.approx(
+            -tec.thermal_conductance_w_per_k * 10.0)
+
+    def test_electrical_power_quadratic_in_current(self):
+        tec = ThermoelectricCooler()
+        p1 = tec.electrical_power_w(1.0, 55.0, 55.0)
+        p2 = tec.electrical_power_w(2.0, 55.0, 55.0)
+        assert p2 == pytest.approx(4.0 * p1)  # pure Joule when dT = 0
+
+    def test_cop_positive_and_finite(self):
+        tec = ThermoelectricCooler()
+        cop = tec.cop(3.0, 55.0, 60.0)
+        assert 0.0 < cop < 10.0
+
+    def test_cop_degrades_with_gradient(self):
+        tec = ThermoelectricCooler()
+        assert tec.cop(3.0, 55.0, 58.0) > tec.cop(3.0, 45.0, 60.0)
+
+    @given(st.floats(min_value=0.5, max_value=6.0))
+    def test_energy_balance(self, current):
+        # Heat rejected at the hot side = heat pumped + electrical input;
+        # our interface exposes the two right-hand terms — both finite.
+        tec = ThermoelectricCooler()
+        pumped = tec.heat_pumped_w(current, 55.0, 60.0)
+        power = tec.electrical_power_w(current, 55.0, 60.0)
+        assert power > 0.0
+        assert pumped < power + tec.seebeck_v_per_k * current * 400.0
+
+
+class TestOptimalDrive:
+    def test_optimal_current_within_limits(self):
+        tec = ThermoelectricCooler()
+        best = tec.optimal_current_a(55.0, 60.0)
+        assert 0.0 < best <= tec.max_current_a
+
+    def test_max_heat_at_optimal(self):
+        tec = ThermoelectricCooler()
+        best = tec.optimal_current_a(55.0, 60.0)
+        max_pumped = tec.max_heat_pumped_w(55.0, 60.0)
+        assert max_pumped == pytest.approx(
+            tec.heat_pumped_w(best, 55.0, 60.0))
+        # And nearby currents do no better.
+        for current in (best * 0.8, min(tec.max_current_a, best * 1.2)):
+            assert tec.heat_pumped_w(current, 55.0, 60.0) <= max_pumped + 1e-9
+
+    def test_hotspot_relief_positive(self):
+        tec = ThermoelectricCooler()
+        relief = tec.hotspot_relief_c(77.0, 60.0, 70.0)
+        assert relief > 0.0
+
+    def test_relief_bounded_by_cpu_power(self):
+        # The TEC cannot remove more heat than the CPU produces.
+        tec = ThermoelectricCooler()
+        relief = tec.hotspot_relief_c(10.0, 60.0, 70.0,
+                                      junction_resistance_k_per_w=0.3)
+        assert relief <= 10.0 * 0.3 + 1e-9
+
+    def test_negative_cpu_power_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            ThermoelectricCooler().hotspot_relief_c(-1.0, 60.0, 70.0)

@@ -1,0 +1,116 @@
+"""Simulation configuration tests."""
+
+import pytest
+
+from repro.control.cooling_policy import (
+    AnalyticPolicy,
+    LookupSpacePolicy,
+    StaticPolicy,
+)
+from repro.control.scheduling import (
+    IdealBalancer,
+    NoScheduler,
+    ThresholdBalancer,
+)
+from repro.core.config import (
+    SimulationConfig,
+    teg_loadbalance,
+    teg_original,
+)
+from repro.errors import ConfigurationError
+from repro.thermal.cpu_model import CpuThermalModel
+
+
+class TestValidation:
+    def test_bad_circulation_size(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(circulation_size=0)
+
+    def test_bad_scheduler_name(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(scheduler="round-robin")
+
+    def test_bad_policy_name(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(policy="oracle")
+
+    def test_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(control_interval_s=0.0)
+
+    def test_bad_inlet_band(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(inlet_min_c=60.0, inlet_max_c=50.0)
+
+    def test_empty_flows(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(flow_candidates_l_per_h=())
+
+
+class TestSchemeFactories:
+    def test_teg_original(self):
+        config = teg_original()
+        assert config.name == "TEG_Original"
+        assert config.scheduler == "none"
+        assert config.policy == "lookup"
+
+    def test_teg_loadbalance(self):
+        config = teg_loadbalance()
+        assert config.name == "TEG_LoadBalance"
+        assert config.scheduler == "ideal"
+
+    def test_overrides(self):
+        config = teg_original(circulation_size=100, inlet_max_c=52.0)
+        assert config.circulation_size == 100
+        assert config.inlet_max_c == 52.0
+        assert config.name == "TEG_Original"
+
+    def test_frozen(self):
+        config = teg_original()
+        with pytest.raises(AttributeError):
+            config.circulation_size = 5
+
+
+class TestComponentFactories:
+    def test_scheduler_mapping(self):
+        assert isinstance(
+            SimulationConfig(scheduler="none").build_scheduler(),
+            NoScheduler)
+        assert isinstance(
+            SimulationConfig(scheduler="ideal").build_scheduler(),
+            IdealBalancer)
+        threshold = SimulationConfig(
+            scheduler="threshold", threshold_cap=0.4).build_scheduler()
+        assert isinstance(threshold, ThresholdBalancer)
+        assert threshold.cap == 0.4
+
+    def test_policy_mapping(self):
+        model = CpuThermalModel()
+        assert isinstance(
+            SimulationConfig(policy="static").build_policy(model),
+            StaticPolicy)
+        assert isinstance(
+            SimulationConfig(policy="analytic").build_policy(model),
+            AnalyticPolicy)
+        assert isinstance(
+            SimulationConfig(policy="lookup").build_policy(model),
+            LookupSpacePolicy)
+
+    def test_policy_inherits_scheduler_aggregation(self):
+        model = CpuThermalModel()
+        original = teg_original().build_policy(model)
+        balanced = teg_loadbalance().build_policy(model)
+        assert original.aggregation == "max"
+        assert balanced.aggregation == "avg"
+
+    def test_lookup_space_respects_bounds(self, lookup_space):
+        model = CpuThermalModel()
+        config = SimulationConfig(policy="lookup", inlet_max_c=50.0)
+        policy = config.build_policy(model)
+        assert float(policy.space.inlet_grid[-1]) == pytest.approx(50.0)
+
+    def test_shared_space_reused(self, lookup_space):
+        model = CpuThermalModel()
+        policy = SimulationConfig(policy="lookup").build_policy(
+            model, space=lookup_space)
+        assert policy.space is lookup_space

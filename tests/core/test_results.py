@@ -1,0 +1,129 @@
+"""Result container tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import (
+    SchemeComparison,
+    SimulationResult,
+    StepRecord,
+)
+from repro.errors import ConfigurationError
+
+
+def make_record(time_s=0.0, gen=4.0, cpu=29.0, util=0.25, viol=0):
+    return StepRecord(
+        time_s=time_s,
+        mean_utilisation=util,
+        max_utilisation=min(1.0, util * 2),
+        generation_per_cpu_w=gen,
+        cpu_power_per_cpu_w=cpu,
+        mean_inlet_temp_c=52.0,
+        mean_flow_l_per_h=150.0,
+        max_cpu_temp_c=62.0,
+        chiller_power_w=0.0,
+        tower_power_w=100.0,
+        pump_power_w=50.0,
+        safety_violations=viol,
+    )
+
+
+def make_result(gens, scheme="TEG_Original", trace="common", cpu=29.0):
+    result = SimulationResult(scheme=scheme, trace_name=trace,
+                              n_servers=100, interval_s=300.0)
+    for i, gen in enumerate(gens):
+        result.append(make_record(time_s=i * 300.0, gen=gen, cpu=cpu))
+    return result
+
+
+class TestStepRecord:
+    def test_pre(self):
+        record = make_record(gen=4.0, cpu=32.0)
+        assert record.pre == pytest.approx(0.125)
+
+    def test_pre_zero_power(self):
+        record = make_record(gen=4.0, cpu=0.0)
+        assert record.pre == 0.0
+
+
+class TestSimulationResult:
+    def test_empty_result_rejected(self):
+        result = SimulationResult("s", "t", 10, 300.0)
+        with pytest.raises(ConfigurationError):
+            _ = result.average_generation_w
+
+    def test_headline_metrics(self):
+        result = make_result([3.0, 4.0, 5.0])
+        assert result.average_generation_w == pytest.approx(4.0)
+        assert result.peak_generation_w == 5.0
+        assert result.average_cpu_power_w == pytest.approx(29.0)
+
+    def test_average_pre_is_energy_weighted(self):
+        result = make_result([2.0, 6.0], cpu=29.0)
+        assert result.average_pre == pytest.approx(8.0 / 58.0)
+
+    def test_total_generation_kwh(self):
+        # 2 steps x 4 W x 100 servers x 300 s.
+        result = make_result([4.0, 4.0])
+        expected = 8.0 * 100 * 300.0 / 3600.0 / 1000.0
+        assert result.total_generation_kwh == pytest.approx(expected)
+
+    def test_series_shapes(self):
+        result = make_result([3.0, 4.0, 5.0])
+        assert result.times_s.shape == (3,)
+        assert result.generation_series_w.tolist() == [3.0, 4.0, 5.0]
+        assert result.pre_series.shape == (3,)
+
+    def test_violations_accumulate(self):
+        result = SimulationResult("s", "t", 10, 300.0)
+        result.append(make_record(viol=2))
+        result.append(make_record(viol=3))
+        assert result.total_safety_violations == 5
+
+    def test_anti_correlation_sign(self):
+        result = SimulationResult("s", "t", 10, 300.0)
+        for i, (util, gen) in enumerate([(0.2, 5.0), (0.5, 4.0),
+                                         (0.8, 3.0)]):
+            result.append(make_record(time_s=i * 300.0, gen=gen,
+                                      util=util))
+        assert result.anti_correlation < -0.9
+
+    def test_anti_correlation_degenerate(self):
+        result = make_result([4.0, 4.0])
+        assert result.anti_correlation == 0.0
+
+    def test_summary_keys(self):
+        summary = make_result([4.0]).summary()
+        for key in ("scheme", "trace", "avg_generation_w", "pre",
+                    "safety_violations"):
+            assert key in summary
+
+
+class TestSchemeComparison:
+    def test_improvement(self):
+        base = make_result([3.694], scheme="TEG_Original")
+        opt = make_result([4.177], scheme="TEG_LoadBalance")
+        comparison = SchemeComparison(baseline=base, optimised=opt)
+        # The paper's 13.08 % headline.
+        assert comparison.generation_improvement == pytest.approx(
+            0.1308, abs=0.001)
+
+    def test_mismatched_traces_rejected(self):
+        base = make_result([3.0], trace="common")
+        opt = make_result([4.0], trace="drastic")
+        with pytest.raises(ConfigurationError):
+            SchemeComparison(baseline=base, optimised=opt)
+
+    def test_pre_improvement(self):
+        base = make_result([3.0])
+        opt = make_result([4.0])
+        comparison = SchemeComparison(baseline=base, optimised=opt)
+        assert comparison.pre_improvement == pytest.approx(1.0 / 29.0)
+
+    def test_summary_structure(self):
+        base = make_result([3.0])
+        opt = make_result([4.0])
+        summary = SchemeComparison(baseline=base, optimised=opt).summary()
+        assert summary["baseline"]["scheme"] == "TEG_Original"
+        assert summary["generation_improvement_pct"] == pytest.approx(
+            33.33, abs=0.01)

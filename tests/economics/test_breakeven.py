@@ -1,0 +1,63 @@
+"""Break-even analysis tests — the Sec. V-D arithmetic."""
+
+import math
+
+import pytest
+
+from repro.economics.breakeven import BreakEvenAnalysis
+from repro.errors import PhysicalRangeError
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return BreakEvenAnalysis()
+
+
+class TestPaperArithmetic:
+    def test_purchase_price(self, analysis):
+        # 100,000 CPUs x 12 TEGs x $1 = $1.2M.
+        assert analysis.purchase_price_usd == pytest.approx(1_200_000.0)
+
+    def test_daily_energy(self, analysis):
+        # Paper: 10,024.8 kWh/day at 4.177 W per CPU.
+        assert analysis.daily_energy_kwh(4.177) == pytest.approx(
+            10_024.8, rel=1e-4)
+
+    def test_daily_revenue(self, analysis):
+        # Paper: $1,303.2/day.
+        assert analysis.daily_revenue_usd(4.177) == pytest.approx(
+            1_303.2, rel=1e-3)
+
+    def test_break_even_920_days(self, analysis):
+        # Paper: "the break-even point of this system will be 920 days".
+        assert analysis.break_even_days(4.177) == pytest.approx(
+            920.0, abs=2.0)
+
+
+class TestBehaviour:
+    def test_zero_generation_never_breaks_even(self, analysis):
+        assert math.isinf(analysis.break_even_days(0.0))
+
+    def test_more_generation_faster_payback(self, analysis):
+        assert analysis.break_even_days(5.0) < analysis.break_even_days(3.0)
+
+    def test_price_scaling(self):
+        pricier = BreakEvenAnalysis(teg_unit_price_usd=2.0)
+        base = BreakEvenAnalysis()
+        assert pricier.break_even_days(4.0) == pytest.approx(
+            2.0 * base.break_even_days(4.0))
+
+    def test_fleet_size_cancels(self):
+        # Break-even per TEG is independent of fleet size.
+        small = BreakEvenAnalysis(n_cpus=1000)
+        large = BreakEvenAnalysis(n_cpus=100_000)
+        assert small.break_even_days(4.0) == pytest.approx(
+            large.break_even_days(4.0))
+
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            BreakEvenAnalysis(n_cpus=0)
+        with pytest.raises(PhysicalRangeError):
+            BreakEvenAnalysis(tegs_per_cpu=-1)
+        with pytest.raises(PhysicalRangeError):
+            BreakEvenAnalysis().daily_energy_kwh(-1.0)

@@ -1,0 +1,63 @@
+"""PRE / ERE / PUE metric tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.economics.metrics import (
+    energy_reuse_effectiveness,
+    power_reusing_efficiency,
+    power_usage_effectiveness,
+)
+from repro.errors import PhysicalRangeError
+
+
+class TestPre:
+    def test_paper_average(self):
+        # 4.177 W over ~29.35 W gives the paper's 14.23 % average PRE.
+        assert power_reusing_efficiency(4.177, 29.35) == pytest.approx(
+            0.1423, abs=0.001)
+
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            power_reusing_efficiency(-1.0, 30.0)
+        with pytest.raises(PhysicalRangeError):
+            power_reusing_efficiency(4.0, 0.0)
+
+    @given(st.floats(min_value=0.0, max_value=100.0),
+           st.floats(min_value=0.1, max_value=1000.0))
+    def test_nonnegative(self, gen, cons):
+        assert power_reusing_efficiency(gen, cons) >= 0.0
+
+
+class TestEre:
+    def test_no_reuse_equals_pue(self):
+        assert energy_reuse_effectiveness(100.0, 30.0, 10.0, 1.0, 0.0) == \
+            power_usage_effectiveness(100.0, 30.0, 10.0, 1.0)
+
+    def test_reuse_lowers_ere(self):
+        base = energy_reuse_effectiveness(100.0, 30.0, 10.0, 1.0, 0.0)
+        reused = energy_reuse_effectiveness(100.0, 30.0, 10.0, 1.0, 20.0)
+        assert reused < base
+
+    def test_can_drop_below_one(self):
+        # Sec. II-C: "maximizing energy reuse enables the ratio less
+        # than 1".
+        assert energy_reuse_effectiveness(
+            100.0, 10.0, 5.0, 1.0, 30.0) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            energy_reuse_effectiveness(0.0, 1.0, 1.0, 1.0, 0.0)
+        with pytest.raises(PhysicalRangeError):
+            energy_reuse_effectiveness(10.0, -1.0, 1.0, 1.0, 0.0)
+
+
+class TestPue:
+    def test_google_class_pue(self):
+        # Sec. II-C mentions Google's ~1.1 PUE; with 8 % cooling and 2 %
+        # power overhead the metric lands there.
+        assert power_usage_effectiveness(100.0, 8.0, 2.0, 1.0) == \
+            pytest.approx(1.11)
+
+    def test_at_least_one(self):
+        assert power_usage_effectiveness(50.0, 0.0, 0.0, 0.0) == 1.0

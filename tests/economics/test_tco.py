@@ -1,0 +1,94 @@
+"""TCO model tests — Table I and Eqs. 21/22 verbatim."""
+
+import pytest
+
+from repro.economics.tco import TcoModel
+from repro.errors import PhysicalRangeError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TcoModel()
+
+
+class TestTableI:
+    def test_baseline_tco(self, model):
+        # 21.26 + 31.25 + 7.63 + 1.56 = 61.70 $/server/month (Eq. 21).
+        assert model.tco_no_teg_usd == pytest.approx(61.70)
+
+    def test_teg_capex(self, model):
+        # 12 TEGs x $1 over 25 years = $0.04/month (Table I).
+        assert model.teg_capex_usd_per_month == pytest.approx(0.04)
+
+    def test_teg_rev_original(self, model):
+        # Table I: $0.34 at 3.694 W.
+        assert model.teg_revenue_usd_per_month(3.694) == pytest.approx(
+            0.34, abs=0.01)
+
+    def test_teg_rev_loadbalance(self, model):
+        # Table I: $0.39 at 4.177 W.
+        assert model.teg_revenue_usd_per_month(4.177) == pytest.approx(
+            0.39, abs=0.01)
+
+
+class TestEq22:
+    def test_tco_reduction_original(self, model):
+        # Paper: TEG_Original reduces TCO by 0.49 %.
+        breakdown = model.breakdown(3.694)
+        assert breakdown.reduction_fraction == pytest.approx(0.0049,
+                                                             abs=0.0003)
+
+    def test_tco_reduction_loadbalance(self, model):
+        # Paper: TEG_LoadBalance reduces TCO by 0.57 %.
+        breakdown = model.breakdown(4.177)
+        assert breakdown.reduction_fraction == pytest.approx(0.0057,
+                                                             abs=0.0003)
+
+    def test_tco_h2p_composition(self, model):
+        breakdown = model.breakdown(4.0)
+        assert breakdown.tco_h2p_usd == pytest.approx(
+            breakdown.tco_no_teg_usd + breakdown.teg_capex_usd
+            - breakdown.teg_revenue_usd)
+
+    def test_annual_savings_at_paper_scale(self, model):
+        # Paper: $350,000-$410,000 a year for 100,000 CPUs.
+        low = model.breakdown(3.694).annual_savings_usd(100_000)
+        high = model.breakdown(4.177).annual_savings_usd(100_000)
+        assert 330_000 < low < 380_000
+        assert 390_000 < high < 440_000
+
+    def test_zero_generation_slightly_increases_tco(self, model):
+        # Dead TEGs still cost their CapEx.
+        breakdown = model.breakdown(0.0)
+        assert breakdown.monthly_saving_usd < 0.0
+
+
+class TestValidation:
+    def test_negative_generation_rejected(self, model):
+        with pytest.raises(PhysicalRangeError):
+            model.teg_revenue_usd_per_month(-1.0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            TcoModel(server_capex=-1.0)
+        with pytest.raises(PhysicalRangeError):
+            TcoModel(tegs_per_server=0)
+        with pytest.raises(PhysicalRangeError):
+            TcoModel(electricity_price_usd_per_kwh=0.0)
+
+    def test_bad_fleet_size_rejected(self, model):
+        with pytest.raises(PhysicalRangeError):
+            model.breakdown(4.0).annual_savings_usd(0)
+
+
+class TestSensitivity:
+    def test_higher_tariff_more_savings(self):
+        cheap = TcoModel(electricity_price_usd_per_kwh=0.08)
+        dear = TcoModel(electricity_price_usd_per_kwh=0.20)
+        assert dear.breakdown(4.0).reduction_fraction > \
+            cheap.breakdown(4.0).reduction_fraction
+
+    def test_shorter_lifespan_more_capex(self):
+        short = TcoModel(teg_lifespan_years=5.0)
+        assert short.teg_capex_usd_per_month > \
+            TcoModel().teg_capex_usd_per_month

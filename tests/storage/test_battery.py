@@ -1,0 +1,102 @@
+"""Battery storage tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PhysicalRangeError
+from repro.storage.battery import Battery
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            Battery(capacity_wh=0.0)
+        with pytest.raises(PhysicalRangeError):
+            Battery(round_trip_efficiency=1.5)
+        with pytest.raises(PhysicalRangeError):
+            Battery(soc=1.2)
+        with pytest.raises(PhysicalRangeError):
+            Battery(max_charge_w=0.0)
+
+    def test_negative_power_rejected(self):
+        battery = Battery()
+        with pytest.raises(PhysicalRangeError):
+            battery.charge(-1.0, 60.0)
+        with pytest.raises(PhysicalRangeError):
+            battery.discharge(5.0, -1.0)
+
+
+class TestCharging:
+    def test_soc_rises(self):
+        battery = Battery(capacity_wh=10.0, soc=0.0)
+        battery.charge(10.0, 3600.0)
+        assert battery.soc > 0.8  # ~10 Wh * sqrt(0.8) into 10 Wh
+
+    def test_charge_losses_applied(self):
+        battery = Battery(capacity_wh=100.0, soc=0.0,
+                          round_trip_efficiency=0.81)
+        battery.charge(10.0, 3600.0)
+        # 10 Wh in, one-way efficiency 0.9 -> 9 Wh stored.
+        assert battery.stored_wh == pytest.approx(9.0)
+
+    def test_power_limit(self):
+        battery = Battery(max_charge_w=50.0, capacity_wh=1000.0, soc=0.0)
+        accepted = battery.charge(200.0, 60.0)
+        assert accepted == 50.0
+
+    def test_headroom_limit(self):
+        battery = Battery(capacity_wh=1.0, soc=0.99, max_charge_w=1000.0)
+        accepted = battery.charge(1000.0, 3600.0)
+        assert battery.soc == pytest.approx(1.0)
+        assert accepted < 1000.0
+
+
+class TestDischarging:
+    def test_soc_falls(self):
+        battery = Battery(capacity_wh=10.0, soc=1.0)
+        battery.discharge(5.0, 3600.0)
+        assert battery.soc < 0.5
+
+    def test_discharge_losses_applied(self):
+        battery = Battery(capacity_wh=100.0, soc=1.0,
+                          round_trip_efficiency=0.81)
+        battery.discharge(9.0, 3600.0)
+        # Delivering 9 Wh at one-way 0.9 drains 10 Wh.
+        assert battery.stored_wh == pytest.approx(90.0)
+
+    def test_empty_battery_delivers_less(self):
+        battery = Battery(capacity_wh=1.0, soc=0.01,
+                          max_discharge_w=1000.0)
+        delivered = battery.discharge(1000.0, 3600.0)
+        assert delivered < 1000.0
+        assert battery.soc == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRoundTrip:
+    @given(st.floats(min_value=0.5, max_value=0.99))
+    def test_round_trip_efficiency_realised(self, efficiency):
+        battery = Battery(capacity_wh=1000.0, soc=0.0,
+                          round_trip_efficiency=efficiency,
+                          max_charge_w=10.0, max_discharge_w=10.0)
+        battery.charge(10.0, 3600.0)  # 10 Wh in
+        stored = battery.stored_wh
+        delivered = battery.discharge(10.0, 3600.0 * stored / 10.0)
+        duration_h = stored / 10.0
+        energy_out = delivered * duration_h
+        assert energy_out == pytest.approx(10.0 * efficiency, rel=0.05)
+
+    def test_soc_always_bounded(self):
+        battery = Battery(capacity_wh=5.0, soc=0.5)
+        for _ in range(20):
+            battery.charge(100.0, 600.0)
+        assert battery.soc <= 1.0 + 1e-9
+        for _ in range(40):
+            battery.discharge(100.0, 600.0)
+        assert battery.soc >= -1e-9
+
+    def test_cycle_depth_tracked(self):
+        battery = Battery(capacity_wh=100.0, soc=0.5)
+        assert battery.cycle_depth_wh == 0.0
+        battery.charge(10.0, 3600.0)
+        battery.discharge(10.0, 1800.0)
+        assert battery.cycle_depth_wh > 0.0

@@ -1,0 +1,100 @@
+"""Hybrid buffer tests (Sec. VI-B)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicalRangeError
+from repro.storage.battery import Battery
+from repro.storage.hybrid import HybridEnergyBuffer
+from repro.storage.supercap import SuperCapacitor
+
+
+def fresh_buffer(batt_soc=0.5, sc_soc=0.5):
+    return HybridEnergyBuffer(
+        battery=Battery(capacity_wh=20.0, soc=batt_soc),
+        supercap=SuperCapacitor(capacity_wh=2.0, soc=sc_soc))
+
+
+class TestStep:
+    def test_direct_supply_when_matched(self):
+        buffer = fresh_buffer()
+        supplied, deficit, curtailed = buffer.step(4.0, 4.0, 300.0)
+        assert supplied == pytest.approx(4.0)
+        assert deficit == 0.0
+        assert curtailed == 0.0
+
+    def test_surplus_charges_storage(self):
+        buffer = fresh_buffer(batt_soc=0.0, sc_soc=0.0)
+        buffer.step(6.0, 4.0, 300.0)
+        assert buffer.supercap.stored_wh > 0.0
+
+    def test_supercap_charged_first(self):
+        buffer = fresh_buffer(batt_soc=0.0, sc_soc=0.0)
+        buffer.step(5.0, 4.0, 300.0)
+        # 1 W surplus for 5 min is 0.083 Wh — all within SC headroom.
+        assert buffer.supercap.stored_wh > 0.0
+        assert buffer.battery.stored_wh == 0.0
+
+    def test_shortfall_served_from_storage(self):
+        buffer = fresh_buffer(batt_soc=1.0, sc_soc=1.0)
+        supplied, deficit, _ = buffer.step(2.0, 5.0, 300.0)
+        assert supplied == pytest.approx(5.0)
+        assert deficit == 0.0
+
+    def test_deficit_when_storage_empty(self):
+        buffer = fresh_buffer(batt_soc=0.0, sc_soc=0.0)
+        supplied, deficit, _ = buffer.step(2.0, 5.0, 300.0)
+        assert supplied == pytest.approx(2.0)
+        assert deficit == pytest.approx(3.0)
+
+    def test_curtailment_when_storage_full(self):
+        buffer = fresh_buffer(batt_soc=1.0, sc_soc=1.0)
+        _, _, curtailed = buffer.step(10.0, 4.0, 300.0)
+        assert curtailed == pytest.approx(6.0)
+
+    def test_validation(self):
+        buffer = fresh_buffer()
+        with pytest.raises(PhysicalRangeError):
+            buffer.step(-1.0, 4.0, 300.0)
+        with pytest.raises(PhysicalRangeError):
+            buffer.step(4.0, 4.0, 0.0)
+
+
+class TestSmooth:
+    def test_full_coverage_when_generation_ample(self):
+        buffer = fresh_buffer()
+        gen = 4.0 + np.sin(np.linspace(0.0, 12.0, 100))
+        telemetry = buffer.smooth(gen, demand_w=3.5, interval_s=300.0)
+        assert telemetry.coverage > 0.99
+
+    def test_deficit_when_underpowered(self):
+        buffer = fresh_buffer(batt_soc=0.1, sc_soc=0.1)
+        gen = np.full(50, 2.0)
+        telemetry = buffer.smooth(gen, demand_w=5.0, interval_s=300.0)
+        assert telemetry.coverage < 0.75
+        assert telemetry.deficit_w.sum() > 0.0
+
+    def test_buffer_rides_through_dips(self):
+        # The Sec. VI-B scenario: high generation at night, low at peak
+        # hours; the buffer carries a constant load through the dip.
+        buffer = fresh_buffer(batt_soc=0.8)
+        gen = np.concatenate([np.full(20, 4.6), np.full(6, 3.2),
+                              np.full(20, 4.6)])
+        telemetry = buffer.smooth(gen, demand_w=4.2, interval_s=300.0)
+        assert telemetry.coverage == pytest.approx(1.0)
+
+    def test_telemetry_shapes(self):
+        buffer = fresh_buffer()
+        telemetry = buffer.smooth(np.full(10, 4.0), 4.0, 300.0)
+        assert telemetry.times_s.shape == (10,)
+        assert telemetry.battery_soc.shape == (10,)
+        assert telemetry.supercap_soc.shape == (10,)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            fresh_buffer().smooth(np.array([]), 4.0, 300.0)
+
+    def test_curtailment_fraction_zero_without_surplus(self):
+        buffer = fresh_buffer()
+        telemetry = buffer.smooth(np.full(5, 4.0), 4.0, 300.0)
+        assert telemetry.curtailment_fraction == 0.0

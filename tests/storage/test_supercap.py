@@ -1,0 +1,59 @@
+"""Super-capacitor storage tests."""
+
+import pytest
+
+from repro.errors import PhysicalRangeError
+from repro.storage.supercap import SuperCapacitor
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            SuperCapacitor(capacity_wh=0.0)
+        with pytest.raises(PhysicalRangeError):
+            SuperCapacitor(round_trip_efficiency=0.0)
+        with pytest.raises(PhysicalRangeError):
+            SuperCapacitor(soc=-0.1)
+
+    def test_negative_power_rejected(self):
+        sc = SuperCapacitor()
+        with pytest.raises(PhysicalRangeError):
+            sc.charge(-1.0, 10.0)
+        with pytest.raises(PhysicalRangeError):
+            sc.discharge(1.0, -10.0)
+
+
+class TestBehaviour:
+    def test_more_efficient_than_battery_default(self):
+        from repro.storage.battery import Battery
+
+        assert SuperCapacitor().round_trip_efficiency > \
+            Battery().round_trip_efficiency
+
+    def test_small_capacity_by_default(self):
+        from repro.storage.battery import Battery
+
+        assert SuperCapacitor().capacity_wh < Battery().capacity_wh
+
+    def test_charge_and_discharge(self):
+        sc = SuperCapacitor(capacity_wh=2.0, soc=0.0)
+        sc.charge(4.0, 900.0)  # 1 Wh in
+        assert sc.stored_wh == pytest.approx(
+            1.0 * 0.93 ** 0.5, rel=1e-6)
+        delivered = sc.discharge(1.0, 900.0)
+        assert 0.0 < delivered <= 1.0
+
+    def test_headroom_respected(self):
+        sc = SuperCapacitor(capacity_wh=1.0, soc=0.9)
+        sc.charge(100.0, 3600.0)
+        assert sc.soc == pytest.approx(1.0)
+
+    def test_empty_limits_delivery(self):
+        sc = SuperCapacitor(capacity_wh=1.0, soc=0.05)
+        delivered = sc.discharge(100.0, 3600.0)
+        assert delivered < 100.0
+        assert sc.soc == pytest.approx(0.0, abs=1e-9)
+
+    def test_headroom_property(self):
+        sc = SuperCapacitor(capacity_wh=2.0, soc=0.25)
+        assert sc.headroom_wh == pytest.approx(1.5)

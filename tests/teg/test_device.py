@@ -1,0 +1,155 @@
+"""Single-TEG device tests, anchored to Eqs. 1, 3, 5 and 6."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PhysicalRangeError
+from repro.teg.device import (
+    EmpiricalTegFit,
+    PAPER_TEG,
+    TegDevice,
+    matched_load_power_w,
+)
+from repro.teg.materials import HEUSLER_FE2VAL
+
+deltas = st.floats(min_value=0.0, max_value=60.0)
+
+
+class TestEmpiricalFit:
+    """Eq. 3 and Eq. 6 verbatim."""
+
+    def test_voc_at_25c(self):
+        # v = 0.0448*25 - 0.0051 = 1.1149 V.
+        assert EmpiricalTegFit().open_circuit_voltage_v(25.0) == \
+            pytest.approx(1.1149)
+
+    def test_voc_floored_at_zero(self):
+        # The fit's negative intercept cannot mean negative voltage.
+        assert EmpiricalTegFit().open_circuit_voltage_v(0.05) == 0.0
+
+    def test_pmax_at_25c(self):
+        # P = 0.0003*625 - 0.0003*25 + 0.0011 = 0.1811 W.
+        assert EmpiricalTegFit().max_power_w(25.0) == pytest.approx(0.1811)
+
+    def test_pmax_zero_at_zero_delta(self):
+        assert EmpiricalTegFit().max_power_w(0.0) == 0.0
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            EmpiricalTegFit().open_circuit_voltage_v(-1.0)
+        with pytest.raises(PhysicalRangeError):
+            EmpiricalTegFit().max_power_w(-1.0)
+
+    @given(deltas)
+    def test_outputs_never_negative(self, delta):
+        fit = EmpiricalTegFit()
+        assert fit.open_circuit_voltage_v(delta) >= 0.0
+        assert fit.max_power_w(delta) >= 0.0
+
+    @given(st.floats(min_value=1.0, max_value=59.0))
+    def test_voc_linear(self, delta):
+        fit = EmpiricalTegFit()
+        v1 = fit.open_circuit_voltage_v(delta)
+        v2 = fit.open_circuit_voltage_v(delta + 1.0)
+        assert v2 - v1 == pytest.approx(0.0448, abs=1e-9)
+
+    def test_vectorised(self):
+        fit = EmpiricalTegFit()
+        deltas_arr = np.array([0.0, 10.0, 25.0])
+        voc = fit.open_circuit_voltage_v(deltas_arr)
+        pmax = fit.max_power_w(deltas_arr)
+        assert voc.shape == pmax.shape == (3,)
+        assert pmax[0] == 0.0
+
+
+class TestTegDevice:
+    def test_paper_device_defaults(self):
+        assert PAPER_TEG.resistance_ohm == 2.0
+        assert PAPER_TEG.mode == "empirical"
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            TegDevice(resistance_ohm=0.0)
+        with pytest.raises(PhysicalRangeError):
+            TegDevice(n_couples=0)
+        with pytest.raises(PhysicalRangeError):
+            TegDevice(mode="mystery")
+
+    def test_ambient_range_check(self):
+        PAPER_TEG.check_ambient(50.0)
+        with pytest.raises(PhysicalRangeError):
+            PAPER_TEG.check_ambient(150.0)
+
+    def test_physical_mode_eq1(self):
+        # Eq. 1: Voc = n * alpha * dT.
+        device = TegDevice(mode="physical")
+        expected = 127 * device.material.seebeck_v_per_k * 20.0
+        assert device.open_circuit_voltage_v(20.0) == pytest.approx(expected)
+
+    def test_modes_agree_roughly(self):
+        # The paper's fit and first-principles Seebeck must agree ~15 %.
+        physical = TegDevice(mode="physical")
+        for delta in (10.0, 20.0, 30.0):
+            assert physical.open_circuit_voltage_v(delta) == pytest.approx(
+                PAPER_TEG.open_circuit_voltage_v(delta), rel=0.2)
+
+    def test_matched_load_maximises_power(self):
+        delta = 25.0
+        matched = PAPER_TEG.power_at_load_w(delta, PAPER_TEG.resistance_ohm)
+        for load in (0.5, 1.0, 3.0, 5.0):
+            assert PAPER_TEG.power_at_load_w(delta, load) <= matched + 1e-12
+
+    def test_max_power_physical_is_voc_squared_over_4r(self):
+        device = TegDevice(mode="physical")
+        delta = 30.0
+        voc = device.open_circuit_voltage_v(delta)
+        assert device.max_power_w(delta) == pytest.approx(
+            voc ** 2 / 8.0)  # 4R with R = 2
+
+    def test_current_zero_at_zero_delta(self):
+        assert PAPER_TEG.current_a(0.0, 2.0) == 0.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            PAPER_TEG.current_a(10.0, -1.0)
+
+    def test_thermal_resistance_is_high(self):
+        # Sec. III-B: TEGs are "almost adiabatic" — orders of magnitude
+        # worse than a copper cold plate (~0.05 K/W).
+        assert PAPER_TEG.thermal_resistance_k_per_w > 1.0
+
+    def test_heat_through_positive(self):
+        assert PAPER_TEG.heat_through_w(50.0, 20.0) > 0.0
+
+    def test_heat_through_ordering_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            PAPER_TEG.heat_through_w(20.0, 50.0)
+
+    def test_conversion_efficiency_low(self):
+        # Sec. VI-D: ~5 % for Bi2Te3; at H2P's modest gradients even less.
+        eff = PAPER_TEG.conversion_efficiency(55.0, 20.0)
+        assert 0.0 < eff < 0.08
+
+    def test_with_material_switches_mode(self):
+        upgraded = PAPER_TEG.with_material(HEUSLER_FE2VAL)
+        assert upgraded.mode == "physical"
+        assert upgraded.material is HEUSLER_FE2VAL
+        # Higher Seebeck coefficient means more voltage.
+        assert (upgraded.open_circuit_voltage_v(25.0)
+                > PAPER_TEG.open_circuit_voltage_v(25.0))
+
+    @given(deltas)
+    def test_power_nonnegative_any_mode(self, delta):
+        for device in (PAPER_TEG, TegDevice(mode="physical")):
+            assert device.max_power_w(delta) >= 0.0
+
+
+class TestMatchedLoadHelper:
+    def test_eq5(self):
+        # P = (v/2)^2 / R.
+        assert matched_load_power_w(2.0, 2.0) == pytest.approx(0.5)
+
+    def test_invalid_resistance_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            matched_load_power_w(1.0, 0.0)

@@ -1,0 +1,83 @@
+"""Placement study tests — the Fig. 3 reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CPU_MAX_OPERATING_TEMP_C
+from repro.errors import PhysicalRangeError
+from repro.teg.placement import FIG3_PHASES, PlacementStudy
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return PlacementStudy().run()
+
+
+class TestFig3Reproduction:
+    def test_phases_cover_50_minutes(self):
+        assert sum(d for d, _ in FIG3_PHASES) == pytest.approx(3000.0)
+
+    def test_sandwiched_cpu_approaches_limit(self, outcome):
+        # Fig. 3: CPU0 is "very close to the maximum operating
+        # temperature at a load of 20 %".
+        assert outcome.sandwiched_near_limit
+        assert outcome.peak_sandwiched_cpu_c \
+            <= CPU_MAX_OPERATING_TEMP_C + 2.0
+
+    def test_direct_cpu_stays_cool(self, outcome):
+        # CPU1 (no TEG) stays within a few degrees of the coolant.
+        assert outcome.peak_direct_cpu_c < 45.0
+
+    def test_large_penalty(self, outcome):
+        # The TEG sandwich costs tens of degrees of headroom.
+        assert outcome.temperature_penalty_c > 25.0
+
+    def test_voltage_tracks_cpu_temperature(self, outcome):
+        # "The variation of voltage accords with CPU0's temperature."
+        cpu = outcome.sandwiched.temperatures_c["cpu"]
+        corr = np.corrcoef(cpu, outcome.teg_voltage_v)[0, 1]
+        assert corr > 0.95
+
+    def test_voltage_order_of_magnitude(self, outcome):
+        # dT across the TEG peaks ~40 C -> Voc ~ 1.8 V for one device.
+        assert 1.0 < outcome.teg_voltage_v.max() < 3.0
+
+    def test_temperature_returns_toward_coolant(self, outcome):
+        # The final 0 %-load phase cools CPU0 back down.
+        cpu = outcome.sandwiched.temperatures_c["cpu"]
+        assert cpu[-1] < outcome.peak_sandwiched_cpu_c - 10.0
+
+    def test_phases_visible_in_trace(self, outcome):
+        # Temperature at the end of the 10 % phase is strictly between
+        # the idle and the 20 %-phase peaks ("twists and turns").
+        times = outcome.times_s
+        cpu = outcome.sandwiched.temperatures_c["cpu"]
+        end_phase1 = cpu[times <= 750.0][-1]
+        end_phase2 = cpu[times <= 1500.0][-1]
+        end_phase3 = cpu[times <= 2250.0][-1]
+        assert end_phase1 < end_phase2 < end_phase3
+
+
+class TestOutletAlternative:
+    def test_outlet_design_generates(self):
+        study = PlacementStudy()
+        assert study.outlet_generation_w(52.0) > 2.0
+
+    def test_outlet_design_does_not_heat_cpu(self):
+        # The whole point of the outlet placement: CPU cooling path is
+        # untouched, so its temperature equals the direct configuration.
+        outcome = PlacementStudy().run()
+        assert outcome.peak_direct_cpu_c < 45.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            PlacementStudy(plate_resistance_k_per_w=0.0)
+        with pytest.raises(PhysicalRangeError):
+            PlacementStudy(cpu_capacity_j_per_k=-1.0)
+
+    def test_custom_phases(self):
+        outcome = PlacementStudy().run(
+            phases=[(300.0, 0.0), (300.0, 0.5)], output_dt_s=10.0)
+        assert outcome.times_s[-1] == pytest.approx(600.0)
+        # Half load through the TEG sandwich is far beyond the limit.
+        assert outcome.peak_sandwiched_cpu_c > CPU_MAX_OPERATING_TEMP_C

@@ -1,0 +1,104 @@
+"""CLI tests (the ``h2p`` console script)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParser:
+    def test_no_command_errors(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code != 0
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "h2p" in capsys.readouterr().out
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_trace_choice_errors(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--trace", "bursty"])
+
+
+class TestSimulate:
+    def test_runs_and_reports(self, capsys):
+        code = main(["simulate", "--trace", "common", "--servers", "40",
+                     "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TEG_Original" in out
+        assert "TEG_LoadBalance" in out
+        assert "improvement" in out
+
+    def test_circulation_size_forwarded(self, capsys):
+        code = main(["simulate", "--trace", "common", "--servers", "40",
+                     "--circulation-size", "10", "--seed", "3"])
+        assert code == 0
+
+
+class TestDesign:
+    def test_reports_optimum(self, capsys):
+        code = main(["design", "--servers", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimal circulation size" in out
+        assert "<- optimum" in out
+
+
+class TestTco:
+    def test_paper_numbers(self, capsys):
+        code = main(["tco", "--generation", "4.177",
+                     "--cpus", "100000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0.57%" in out
+        assert "10,024.8 kWh" in out
+
+    def test_zero_generation(self, capsys):
+        code = main(["tco", "--generation", "0.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "inf" in out.lower()
+
+
+class TestTrace:
+    def test_stats_only(self, capsys):
+        code = main(["trace", "--name", "irregular", "--servers", "10",
+                     "--hours", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean=" in out
+
+    def test_export_round_trips(self, tmp_path, capsys):
+        from repro.workloads.loader import load_trace_csv
+
+        path = tmp_path / "t.csv"
+        code = main(["trace", "--name", "common", "--servers", "10",
+                     "--hours", "2", "--seed", "4", "--out", str(path)])
+        assert code == 0
+        trace = load_trace_csv(path)
+        assert trace.n_servers == 10
+        assert trace.name == "common"
+
+
+class TestHotspot:
+    def test_reports_three_strategies(self, capsys):
+        code = main(["hotspot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for strategy in ("none", "chiller", "tec"):
+            assert strategy in out
+        assert "VIOLATION" in out
+        assert "safe" in out
+
+    def test_cold_inlet_all_safe(self, capsys):
+        code = main(["hotspot", "--inlet", "38"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VIOLATION" not in out

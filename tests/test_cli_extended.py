@@ -1,0 +1,71 @@
+"""Tests for the reuse/audit/classify CLI surfaces."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTraceClassify:
+    def test_classify_flag(self, capsys):
+        code = main(["trace", "--name", "common", "--servers", "60",
+                     "--classify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "classified as: common" in out
+        assert "volatility=" in out
+
+
+class TestReuse:
+    def test_tropical_climate(self, capsys):
+        code = main(["reuse", "--climate", "singapore",
+                     "--servers", "500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "district heating" in out
+        assert "H2P" in out
+        assert "CCHP" in out
+        assert "0 heating hours" in out
+
+    def test_cold_climate_has_heating_hours(self, capsys):
+        code = main(["reuse", "--climate", "stockholm"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 heating hours" not in out
+
+    def test_bad_climate_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reuse", "--climate", "mars"])
+
+
+class TestAudit:
+    def test_all_audits_pass(self, capsys):
+        code = main(["audit", "--servers", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("[OK]") == 3
+
+
+class TestFleetCommand:
+    def test_reports_all_specs(self, capsys):
+        code = main(["fleet", "--servers", "60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Xeon E5-2650 v3" in out
+        assert "EPYC" in out
+        assert "fleet:" in out
+
+
+class TestSeasonalCommand:
+    def test_twelve_months_reported(self, capsys):
+        code = main(["seasonal", "--servers", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for month in ("Jan", "Jun", "Dec"):
+            assert month in out
+        assert "annual mean" in out
+
+    def test_bad_climate_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["seasonal", "--climate", "atlantis"])

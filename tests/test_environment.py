@@ -1,0 +1,81 @@
+"""Environmental profile tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.environment import (
+    CLIMATES,
+    ColdSourceProfile,
+    WetBulbProfile,
+)
+from repro.errors import PhysicalRangeError
+
+DAY = 86_400.0
+
+
+class TestWetBulbProfile:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            WetBulbProfile(seasonal_amplitude_c=-1.0)
+        with pytest.raises(PhysicalRangeError):
+            WetBulbProfile(diurnal_amplitude_c=-0.5)
+
+    def test_summer_hotter_than_winter(self):
+        profile = WetBulbProfile()
+        summer = profile.at(profile.peak_day_of_year * DAY)
+        winter = profile.at((profile.peak_day_of_year + 182.5) * DAY)
+        assert summer > winter + profile.seasonal_amplitude_c
+
+    def test_afternoon_hotter_than_night(self):
+        profile = WetBulbProfile()
+        noonish = profile.at(100 * DAY + profile.peak_hour * 3600.0)
+        night = profile.at(100 * DAY + ((profile.peak_hour + 12.0) % 24)
+                           * 3600.0)
+        assert noonish > night
+
+    @given(st.floats(min_value=0.0, max_value=365.0 * DAY))
+    def test_bounded_by_amplitudes(self, t):
+        profile = WetBulbProfile()
+        bound = (profile.seasonal_amplitude_c
+                 + profile.diurnal_amplitude_c)
+        assert abs(profile.at(t) - profile.annual_mean_c) <= bound + 1e-9
+
+    def test_named_climates(self):
+        assert set(CLIMATES) >= {"hangzhou", "singapore", "stockholm"}
+        # Singapore is hot and flat; Stockholm cold and seasonal.
+        assert CLIMATES["singapore"].annual_mean_c > \
+            CLIMATES["stockholm"].annual_mean_c + 15.0
+        assert CLIMATES["singapore"].seasonal_amplitude_c < \
+            CLIMATES["stockholm"].seasonal_amplitude_c
+
+
+class TestColdSourceProfile:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            ColdSourceProfile(seasonal_amplitude_c=-1.0)
+        with pytest.raises(PhysicalRangeError):
+            ColdSourceProfile(annual_mean_c=60.0)
+
+    def test_default_matches_qiandao_lake(self):
+        # Sec. III-C: "stabilizes perennially at 15-20 C".
+        low, high = ColdSourceProfile().range_c()
+        assert low == pytest.approx(15.0)
+        assert high == pytest.approx(20.0)
+
+    def test_lags_the_air(self):
+        # Water peaks weeks after the air does.
+        air = WetBulbProfile()
+        water = ColdSourceProfile()
+        assert water.peak_day_of_year > air.peak_day_of_year
+
+    @given(st.floats(min_value=0.0, max_value=2 * 365.0 * DAY))
+    def test_within_range(self, t):
+        profile = ColdSourceProfile()
+        low, high = profile.range_c()
+        assert low - 1e-9 <= profile.at(t) <= high + 1e-9
+
+    def test_annual_periodicity(self):
+        profile = ColdSourceProfile()
+        assert profile.at(10 * DAY) == pytest.approx(
+            profile.at((365.0 + 10.0) * DAY), abs=1e-9)

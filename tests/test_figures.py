@@ -1,0 +1,87 @@
+"""Figure-data API tests."""
+
+import numpy as np
+import pytest
+
+from repro import figures
+from repro.errors import PhysicalRangeError
+
+
+class TestFig3:
+    def test_series_aligned(self):
+        data = figures.fig3_data(output_dt_s=30.0)
+        n = len(data["times_s"])
+        assert len(data["cpu0_temp_c"]) == n
+        assert len(data["cpu1_temp_c"]) == n
+        assert len(data["teg_voltage_v"]) == n
+
+    def test_sandwich_runs_hotter(self):
+        data = figures.fig3_data(output_dt_s=30.0)
+        assert data["cpu0_temp_c"].max() > data["cpu1_temp_c"].max() + 20
+
+
+class TestFig7:
+    def test_default_flows(self):
+        data = figures.fig7_data()
+        assert set(data["voltage_v"]) == {50.0, 100.0, 200.0, 300.0}
+
+    def test_reference_flow_matches_eq3(self):
+        data = figures.fig7_data(deltas_c=[20.0])
+        assert data["voltage_v"][200.0][0] == pytest.approx(
+            6 * (0.0448 * 20.0 - 0.0051))
+
+
+class TestFig8:
+    def test_linear_scaling(self):
+        data = figures.fig8_data(deltas_c=[10.0, 20.0])
+        assert np.allclose(data["voltage_v"][12],
+                           12 * data["voltage_v"][1])
+        assert np.allclose(data["power_w"][6], 6 * data["power_w"][1])
+
+
+class TestFig9:
+    def test_structure(self):
+        data = figures.fig9_data(utilisations=[0.0, 0.5, 1.0])
+        assert set(data["by_flow"]) == {20.0, 100.0, 300.0}
+        for series in data["by_flow"].values():
+            assert series.shape == (3,)
+
+    def test_band(self):
+        data = figures.fig9_data()
+        for series in data["by_inlet"].values():
+            assert series.min() > 0.7
+            assert series.max() < 3.7
+
+
+class TestFig10And11:
+    def test_fig10_frequency_plateau(self):
+        data = figures.fig10_data()
+        assert data["frequency_ghz"][-1] == pytest.approx(2.5, abs=0.05)
+
+    def test_fig11_slopes_in_band(self):
+        data = figures.fig11_data()
+        for slope in data["slopes"].values():
+            assert 1.0 < slope <= 1.3
+
+
+class TestFig13:
+    def test_regions_nonempty_and_ordered(self):
+        data = figures.fig13_data()
+        assert len(data["a_max"]["inlet_temp_c"]) > 0
+        assert len(data["a_avg"]["inlet_temp_c"]) > 0
+        assert data["a_avg"]["inlet_temp_c"].mean() > \
+            data["a_max"]["inlet_temp_c"].mean()
+
+    def test_invalid_utilisations_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            figures.fig13_data(u_max=0.2, u_avg=0.5)
+
+
+class TestFig14And15:
+    def test_small_instance(self):
+        data = figures.fig14_15_data(trace_names=("common",),
+                                     n_servers=40)
+        entry = data["common"]
+        assert entry["loadbalance_w"].mean() > entry["original_w"].mean()
+        assert 0.08 < entry["loadbalance_pre"] < 0.22
+        assert entry["times_s"].shape == entry["original_w"].shape

@@ -1,0 +1,110 @@
+"""Golden regression tests.
+
+These pin exact (or near-exact) values of deterministic pipeline outputs
+so that refactors cannot silently shift the reproduction's numbers.  If
+a *deliberate* recalibration changes one of these, update the constant
+here and record the change in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.teg.device import PAPER_TEG
+from repro.teg.module import default_server_module
+from repro.thermal.cpu_model import CoolingSetting, CpuThermalModel
+
+
+class TestModelGoldens:
+    """Closed-form model outputs (platform-independent arithmetic)."""
+
+    def test_eq3_voc_at_25(self):
+        assert PAPER_TEG.open_circuit_voltage_v(25.0) == pytest.approx(
+            1.1149, abs=1e-12)
+
+    def test_eq6_pmax_at_25(self):
+        assert PAPER_TEG.max_power_w(25.0) == pytest.approx(
+            0.1811, abs=1e-12)
+
+    def test_module_generation_at_operating_point(self):
+        module = default_server_module()
+        assert module.generation_w(54.5, 20.0, 150.0) == pytest.approx(
+            4.106069, abs=1e-4)
+
+    def test_eq20_power_curve(self):
+        from repro.thermal.cpu_model import cpu_power_w
+
+        assert cpu_power_w(0.0) == pytest.approx(9.394881, abs=1e-5)
+        assert cpu_power_w(0.5) == pytest.approx(48.431880, abs=1e-5)
+        assert cpu_power_w(1.0) == pytest.approx(77.165318, abs=1e-5)
+
+    def test_cpu_temperature_anchor(self):
+        model = CpuThermalModel()
+        setting = CoolingSetting(flow_l_per_h=20.0, inlet_temp_c=45.0)
+        assert model.cpu_temp_c(1.0, setting) == pytest.approx(
+            78.115, abs=1e-2)
+
+    def test_tco_reductions(self):
+        from repro.economics.tco import TcoModel
+
+        model = TcoModel()
+        assert model.breakdown(3.694).reduction_fraction == \
+            pytest.approx(0.0049556, abs=1e-6)
+        assert model.breakdown(4.177).reduction_fraction == \
+            pytest.approx(0.0056883, abs=1e-6)
+
+    def test_break_even(self):
+        from repro.economics.breakeven import BreakEvenAnalysis
+
+        assert BreakEvenAnalysis().break_even_days(4.177) == \
+            pytest.approx(920.7934, abs=1e-3)
+
+    def test_expected_max_of_normal(self):
+        from repro.cooling.circulation_design import (
+            expected_max_of_normal,
+        )
+
+        assert expected_max_of_normal(0.0, 1.0, 100) == pytest.approx(
+            2.507594, abs=1e-5)
+
+
+class TestPipelineGoldens:
+    """Seeded end-to-end outputs (guard the calibrated configuration)."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        trace = repro.trace_by_name("common", n_servers=100, seed=2)
+        return repro.H2PSystem().compare(trace)
+
+    def test_trace_checksum(self):
+        trace = repro.trace_by_name("common", n_servers=100, seed=2)
+        assert float(trace.utilisation.mean()) == pytest.approx(
+            0.23375, abs=2e-4)
+
+    def test_original_average(self, comparison):
+        assert comparison.baseline.average_generation_w == \
+            pytest.approx(3.69, abs=0.05)
+
+    def test_loadbalance_average(self, comparison):
+        assert comparison.optimised.average_generation_w == \
+            pytest.approx(4.28, abs=0.05)
+
+    def test_policy_decision_golden(self, lookup_space):
+        from repro.control.cooling_policy import LookupSpacePolicy
+
+        policy = LookupSpacePolicy(space=lookup_space,
+                                   aggregation="max")
+        decision = policy.decide([0.5])
+        # The chosen setting is a stable grid point of the default space.
+        assert decision.setting.flow_l_per_h == pytest.approx(300.0)
+        assert decision.setting.inlet_temp_c == pytest.approx(54.0)
+        assert decision.predicted_cpu_temp_c == pytest.approx(
+            61.398, abs=1e-2)
+
+    def test_fig3_peak_golden(self):
+        from repro.teg.placement import PlacementStudy
+
+        outcome = PlacementStudy().run()
+        assert outcome.peak_sandwiched_cpu_c == pytest.approx(76.3,
+                                                              abs=0.3)
+        assert outcome.peak_direct_cpu_c == pytest.approx(36.0, abs=0.3)

@@ -1,0 +1,189 @@
+"""Heat-reuse alternative tests (district heating, CCHP, comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.environment import CLIMATES, WetBulbProfile
+from repro.errors import PhysicalRangeError
+from repro.heatreuse.cchp import CchpPlant
+from repro.heatreuse.comparison import ReuseComparison
+from repro.heatreuse.district import (
+    DistrictHeatingSystem,
+    HeatDemandProfile,
+)
+
+
+class TestHeatDemandProfile:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            HeatDemandProfile(peak_demand_kw=0.0)
+
+    def test_no_demand_in_warm_weather(self):
+        profile = HeatDemandProfile(climate=CLIMATES["singapore"])
+        assert profile.heating_hours_per_year() == 0
+
+    def test_winter_demand_peaks(self):
+        profile = HeatDemandProfile(climate=CLIMATES["stockholm"],
+                                    peak_demand_kw=100.0)
+        demand = profile.hourly_demand_kw()
+        assert demand.max() == pytest.approx(100.0, rel=0.02)
+
+    def test_seasonality(self):
+        # Winter demand exceeds summer demand in a seasonal climate.
+        profile = HeatDemandProfile(climate=CLIMATES["stockholm"])
+        demand = profile.hourly_demand_kw()
+        january = demand[:31 * 24].mean()
+        july = demand[181 * 24:212 * 24].mean()
+        assert january > july
+
+    def test_heating_hours_ordering(self):
+        # Colder climates need heat for more of the year.
+        hours = {name: HeatDemandProfile(
+            climate=CLIMATES[name]).heating_hours_per_year()
+            for name in ("stockholm", "hangzhou", "singapore")}
+        assert hours["stockholm"] > hours["hangzhou"] \
+            > hours["singapore"]
+
+    def test_demand_nonnegative(self):
+        profile = HeatDemandProfile()
+        assert np.all(profile.hourly_demand_kw() >= 0.0)
+
+
+class TestDistrictHeatingSystem:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            DistrictHeatingSystem(transport_efficiency=0.0)
+        with pytest.raises(PhysicalRangeError):
+            DistrictHeatingSystem(heat_price_usd_per_kwh=-1.0)
+        with pytest.raises(PhysicalRangeError):
+            DistrictHeatingSystem().absorbed_heat_kwh_per_year(-1.0)
+
+    def test_absorption_bounded_by_supply(self):
+        system = DistrictHeatingSystem(
+            demand=HeatDemandProfile(climate=CLIMATES["stockholm"],
+                                     peak_demand_kw=1e6))
+        supply_kw = 100.0
+        absorbed = system.absorbed_heat_kwh_per_year(supply_kw)
+        assert absorbed <= supply_kw * 8760.0
+
+    def test_absorption_bounded_by_demand(self):
+        system = DistrictHeatingSystem(
+            demand=HeatDemandProfile(climate=CLIMATES["stockholm"],
+                                     peak_demand_kw=10.0))
+        absorbed = system.absorbed_heat_kwh_per_year(1e6)
+        assert absorbed <= 10.0 * 8760.0
+
+    def test_utilisation_zero_in_tropics(self):
+        system = DistrictHeatingSystem(
+            demand=HeatDemandProfile(climate=CLIMATES["singapore"]))
+        assert system.utilisation_factor(100.0) == 0.0
+
+    def test_utilisation_partial_in_cold_climate(self):
+        # Even in Stockholm the paper's mismatch shows: a constant
+        # datacenter stream is only partially absorbed over the year.
+        system = DistrictHeatingSystem(
+            demand=HeatDemandProfile(climate=CLIMATES["stockholm"],
+                                     peak_demand_kw=100.0))
+        utilisation = system.utilisation_factor(100.0)
+        assert 0.2 < utilisation < 0.8
+
+    def test_transport_losses_reduce_sales(self):
+        demand = HeatDemandProfile(climate=CLIMATES["stockholm"],
+                                   peak_demand_kw=100.0)
+        lossy = DistrictHeatingSystem(demand=demand,
+                                      transport_efficiency=0.6)
+        clean = DistrictHeatingSystem(demand=demand,
+                                      transport_efficiency=1.0)
+        assert lossy.absorbed_heat_kwh_per_year(100.0) < \
+            clean.absorbed_heat_kwh_per_year(100.0)
+
+    def test_pipeline_cost_can_sink_the_project(self):
+        demand = HeatDemandProfile(climate=CLIMATES["stockholm"],
+                                   peak_demand_kw=50.0)
+        expensive = DistrictHeatingSystem(demand=demand,
+                                          pipeline_capex_usd=1e8)
+        assert expensive.annual_revenue_usd(50.0) < 0.0
+
+
+class TestCchpPlant:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            CchpPlant(electrical_efficiency=0.0)
+        with pytest.raises(PhysicalRangeError):
+            CchpPlant(electrical_efficiency=0.6,
+                      heat_recovery_efficiency=0.5)
+        with pytest.raises(PhysicalRangeError):
+            CchpPlant().electricity_kwh_per_year(-1.0)
+        with pytest.raises(PhysicalRangeError):
+            CchpPlant().gas_kwh_per_year(10.0, datacenter_heat_kw=-1.0)
+
+    def test_energy_flows_consistent(self):
+        plant = CchpPlant()
+        electricity = plant.electricity_kwh_per_year(100.0)
+        gas = plant.gas_kwh_per_year(100.0)
+        # Without the DC credit: gas = electricity / eta_e.
+        assert gas == pytest.approx(
+            electricity / plant.electrical_efficiency)
+        cooling = plant.cooling_kwh_per_year(100.0)
+        assert cooling < gas  # second-law sanity
+
+    def test_datacenter_heat_trims_fuel(self):
+        plant = CchpPlant()
+        without = plant.gas_kwh_per_year(100.0)
+        with_dc = plant.gas_kwh_per_year(100.0, datacenter_heat_kw=48.0)
+        assert with_dc < without
+        # But only by the small low-grade boost, not dramatically.
+        assert (without - with_dc) / without < 0.05
+
+    def test_value_needs_decent_tariff(self):
+        plant = CchpPlant()
+        rich = plant.annual_net_value_usd(100.0, 0.13)
+        poor = plant.annual_net_value_usd(100.0, 0.03)
+        assert rich > 0.0 > poor
+
+
+class TestReuseComparison:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            ReuseComparison(n_servers=0)
+        with pytest.raises(PhysicalRangeError):
+            ReuseComparison(heat_per_server_kw=0.0)
+        with pytest.raises(PhysicalRangeError):
+            ReuseComparison(teg_generation_per_server_w=-1.0)
+
+    def test_h2p_value_climate_independent(self):
+        values = [ReuseComparison(
+            climate=CLIMATES[name]).h2p_option().annual_value_usd
+            for name in ("stockholm", "hangzhou", "singapore")]
+        assert max(values) == pytest.approx(min(values))
+
+    def test_district_value_ordering(self):
+        # The Sec. I/II-C geography argument: district heating's value
+        # drops monotonically from high-latitude to tropical sites.
+        values = {name: ReuseComparison(
+            climate=CLIMATES[name]).district_option().annual_value_usd
+            for name in ("stockholm", "hangzhou", "singapore")}
+        assert values["stockholm"] > values["hangzhou"] \
+            > values["singapore"]
+
+    def test_district_negative_in_tropics(self):
+        option = ReuseComparison(
+            climate=CLIMATES["singapore"]).district_option()
+        assert option.annual_value_usd < 0.0
+        assert option.utilisation == 0.0
+
+    def test_h2p_beats_district_in_warm_climates(self):
+        for name in ("hangzhou", "singapore"):
+            comparison = ReuseComparison(climate=CLIMATES[name])
+            assert comparison.h2p_option().annual_value_usd > \
+                comparison.district_option().annual_value_usd, name
+
+    def test_all_options_sorted(self):
+        options = ReuseComparison().all_options()
+        values = [option.annual_value_usd for option in options]
+        assert values == sorted(values, reverse=True)
+        assert len(options) == 3
+
+    def test_cchp_mostly_ignores_dc_heat(self):
+        option = ReuseComparison().cchp_option()
+        assert option.utilisation <= 0.1

@@ -1,0 +1,84 @@
+"""Public-API surface tests.
+
+Guard the package's importable surface: every ``__all__`` entry must
+resolve, every public module must carry a docstring, and the top-level
+namespace must keep exposing the names the README and examples rely on.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_PACKAGES = [
+    "repro",
+    "repro.thermal",
+    "repro.teg",
+    "repro.cooling",
+    "repro.workloads",
+    "repro.control",
+    "repro.core",
+    "repro.economics",
+    "repro.storage",
+    "repro.applications",
+    "repro.heatreuse",
+]
+
+
+def iter_all_modules():
+    for package_name in PUBLIC_PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                yield importlib.import_module(
+                    f"{package_name}.{info.name}")
+
+
+class TestAllEntriesResolve:
+    @pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+    def test_all_exports_exist(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), package_name
+        for name in package.__all__:
+            assert hasattr(package, name), (
+                f"{package_name}.__all__ exports missing name {name!r}")
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [module.__name__
+                        for module in iter_all_modules()
+                        if not (module.__doc__ or "").strip()]
+        assert undocumented == []
+
+    def test_every_public_class_documented(self):
+        missing = []
+        for module in iter_all_modules():
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if isinstance(obj, type) and not (obj.__doc__
+                                                  or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert missing == []
+
+
+class TestTopLevelSurface:
+    def test_readme_names_present(self):
+        for name in ("H2PSystem", "CoolingSetting", "common_trace",
+                     "teg_original", "teg_loadbalance", "TcoModel",
+                     "BreakEvenAnalysis", "WorkloadTrace",
+                     "DatacenterSimulator", "PAPER_TEG"):
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_exceptions_form_a_hierarchy(self):
+        for name in ("ConfigurationError", "PhysicalRangeError",
+                     "CoolingFailureError", "TraceFormatError"):
+            assert issubclass(getattr(repro, name), repro.ReproError)

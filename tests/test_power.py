@@ -1,0 +1,114 @@
+"""Rack DC-bus integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PhysicalRangeError
+from repro.power import RackPowerSystem
+from repro.storage.battery import Battery
+from repro.storage.hybrid import HybridEnergyBuffer
+from repro.storage.supercap import SuperCapacitor
+
+
+def small_rack(**overrides):
+    defaults = dict(n_servers=20, lighting_w=15.0)
+    defaults.update(overrides)
+    return RackPowerSystem(**defaults)
+
+
+class TestValidation:
+    def test_bad_construction(self):
+        with pytest.raises(PhysicalRangeError):
+            RackPowerSystem(n_servers=0)
+        with pytest.raises(PhysicalRangeError):
+            RackPowerSystem(lighting_w=-1.0)
+        with pytest.raises(PhysicalRangeError):
+            RackPowerSystem(module_voltage_v=0.0)
+
+    def test_bad_profiles(self):
+        rack = small_rack()
+        with pytest.raises(PhysicalRangeError):
+            rack.simulate(np.array([]), 300.0)
+        with pytest.raises(PhysicalRangeError):
+            rack.simulate(np.array([-1.0]), 300.0)
+        with pytest.raises(PhysicalRangeError):
+            rack.simulate(np.array([4.0]), 0.0)
+        with pytest.raises(ConfigurationError):
+            rack.simulate(np.array([4.0, 4.0]), 300.0,
+                          tec_power_w=np.array([1.0]))
+        with pytest.raises(PhysicalRangeError):
+            rack.simulate(np.array([4.0]), 300.0,
+                          tec_power_w=np.array([-1.0]))
+
+
+class TestEnergyFlows:
+    def test_rack_fully_powers_lighting(self):
+        # ~4 W x 20 servers >> 15 W of LEDs: the Sec. VI-C2 claim at
+        # rack scale.
+        rack = small_rack()
+        telemetry = rack.simulate(np.full(50, 4.2), 300.0)
+        assert telemetry.self_powered_fraction == pytest.approx(1.0)
+        assert telemetry.grid_w.sum() == pytest.approx(0.0)
+
+    def test_conversion_losses_applied(self):
+        rack = small_rack()
+        telemetry = rack.simulate(np.full(10, 4.0), 300.0)
+        assert 0.7 < telemetry.conversion_efficiency < 1.0
+        assert np.all(telemetry.bus_w <= telemetry.harvested_w)
+
+    def test_surplus_exported_by_default(self):
+        rack = small_rack()
+        telemetry = rack.simulate(np.full(50, 4.2), 300.0)
+        assert telemetry.exported_kwh > 0.0
+        assert telemetry.curtailment_fraction == 0.0
+
+    def test_no_export_mode_curtails(self):
+        rack = small_rack(export_surplus=False)
+        telemetry = rack.simulate(np.full(50, 4.2), 300.0)
+        assert telemetry.curtailment_fraction > 0.0
+        assert telemetry.exported_kwh == 0.0
+
+    def test_tec_bursts_still_covered(self):
+        rack = small_rack()
+        generation = np.full(40, 4.2)
+        tec = np.zeros(40)
+        tec[10:14] = 60.0  # a hot-spot episode on the rack
+        telemetry = rack.simulate(generation, 300.0, tec)
+        assert telemetry.self_powered_fraction > 0.95
+
+    def test_sustained_overload_needs_grid(self):
+        rack = small_rack(
+            buffer=HybridEnergyBuffer(
+                battery=Battery(capacity_wh=1.0, soc=0.1),
+                supercap=SuperCapacitor(capacity_wh=0.2, soc=0.1)))
+        generation = np.full(50, 1.0)  # feeble harvest
+        tec = np.full(50, 100.0)       # constant heavy TEC load
+        telemetry = rack.simulate(generation, 300.0, tec)
+        assert telemetry.self_powered_fraction < 0.5
+        assert telemetry.grid_w.sum() > 0.0
+
+    def test_zero_load_is_trivially_covered(self):
+        rack = small_rack(lighting_w=0.0)
+        telemetry = rack.simulate(np.full(5, 4.0), 300.0)
+        assert telemetry.self_powered_fraction == 1.0
+
+
+class TestLightingCapacity:
+    def test_budget_in_leds(self):
+        rack = small_rack(lighting_w=15.0)
+        assert rack.lighting_capacity() == 300  # 15 W / 0.05 W
+
+
+class TestEndToEnd:
+    def test_with_simulator_output(self, tiny_traces):
+        import repro
+
+        result = repro.H2PSystem().evaluate(
+            tiny_traces["common"], repro.teg_loadbalance())
+        rack = small_rack()
+        telemetry = rack.simulate(result.generation_series_w,
+                                  tiny_traces["common"].interval_s)
+        assert telemetry.self_powered_fraction > 0.99
+        # The surplus is substantial: a rack's TEGs do far more than
+        # light it.
+        assert telemetry.exported_kwh > 0.0

@@ -1,0 +1,169 @@
+"""Cross-module property tests: system-level invariants under hypothesis.
+
+These complement the per-module tests by asserting properties that span
+subsystem boundaries — the statements that must hold for *any* input,
+not just the calibrated operating points.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.constants import CPU_SAFE_TEMP_C
+from repro.control.cooling_policy import AnalyticPolicy, LookupSpacePolicy
+from repro.control.scheduling import IdealBalancer, ThresholdBalancer
+from repro.cooling.chiller import Chiller
+from repro.cooling.loop import WaterCirculation
+from repro.economics.tco import TcoModel
+from repro.teg.module import default_server_module
+from repro.thermal.cpu_model import CoolingSetting, CpuThermalModel
+from repro.workloads.trace import WorkloadTrace
+
+util_vectors = arrays(float, st.integers(min_value=2, max_value=16),
+                      elements=st.floats(min_value=0.0, max_value=1.0))
+
+MODULE = default_server_module()
+MODEL = CpuThermalModel()
+
+
+class TestSafetyInvariants:
+    """No policy may cook a CPU."""
+
+    @given(util_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_policy_respects_safe_band(self, lookup_space,
+                                              utils):
+        policy = LookupSpacePolicy(space=lookup_space, aggregation="max")
+        decision = policy.decide(utils)
+        binding = float(np.max(utils))
+        actual = MODEL.cpu_temp_c(
+            binding, decision.setting)
+        assert actual <= CPU_SAFE_TEMP_C + policy.tolerance_c + 0.5
+
+    @given(util_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_analytic_policy_respects_safe_band(self, utils):
+        policy = AnalyticPolicy()
+        decision = policy.decide(utils)
+        binding = float(np.max(utils))
+        assert MODEL.cpu_temp_c(binding, decision.setting) \
+            <= CPU_SAFE_TEMP_C + 1.5
+
+    @given(util_vectors)
+    @settings(max_examples=25, deadline=None)
+    def test_balanced_policy_never_exceeds_on_balanced_load(
+            self, lookup_space, utils):
+        # After ideal balancing every server carries the mean, so an
+        # avg-keyed decision is safe for all of them.
+        balanced = IdealBalancer().schedule(utils)
+        policy = LookupSpacePolicy(space=lookup_space, aggregation="avg")
+        decision = policy.decide(balanced)
+        worst = MODEL.cpu_temp_c(float(balanced.max()), decision.setting)
+        assert worst <= CPU_SAFE_TEMP_C + policy.tolerance_c + 0.5
+
+
+class TestGenerationInvariants:
+    @given(st.floats(min_value=21.0, max_value=60.0),
+           st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_generation_monotone_in_outlet_temp(self, warm, bump):
+        # Restricted to dT >= 1: the paper's quadratic fit (Eq. 6) has a
+        # non-physical decreasing toe below dT ~ 0.5 C (its vertex),
+        # which we preserve deliberately for fidelity.
+        low = MODULE.generation_w(warm, 20.0)
+        high = MODULE.generation_w(warm + bump, 20.0)
+        assert high >= low
+
+    @given(st.floats(min_value=25.0, max_value=60.0),
+           st.floats(min_value=0.1, max_value=4.9))
+    @settings(max_examples=50, deadline=None)
+    def test_generation_monotone_in_cold_source(self, warm, bump):
+        cold_base = 20.0
+        assert MODULE.generation_w(warm, cold_base) >= \
+            MODULE.generation_w(warm, cold_base + bump)
+
+    @given(util_vectors)
+    @settings(max_examples=25, deadline=None)
+    def test_circulation_aggregate_permutation_invariant(self, utils):
+        circulation = WaterCirculation(n_servers=len(utils))
+        setting = CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=48.0)
+        forward = circulation.evaluate(utils, setting)
+        circulation2 = WaterCirculation(n_servers=len(utils))
+        backward = circulation2.evaluate(utils[::-1].copy(), setting)
+        assert forward.total_generation_w == pytest.approx(
+            backward.total_generation_w, rel=1e-9)
+        assert forward.total_cpu_power_w == pytest.approx(
+            backward.total_cpu_power_w, rel=1e-9)
+        assert forward.max_cpu_temp_c == pytest.approx(
+            backward.max_cpu_temp_c, rel=1e-9)
+
+
+class TestSchedulingInvariants:
+    @given(util_vectors, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_any_balancer_helps_or_is_neutral_for_binding(self, utils,
+                                                          cap):
+        # Every scheduler weakly reduces the binding (max) utilisation —
+        # the quantity that caps the inlet temperature.
+        for scheduler in (IdealBalancer(), ThresholdBalancer(cap=cap)):
+            out = scheduler.schedule(utils)
+            assert out.max() <= utils.max() + 1e-9
+
+    @given(util_vectors)
+    @settings(max_examples=25, deadline=None)
+    def test_balancing_weakly_raises_allowed_inlet(self, utils):
+        # Lower binding utilisation -> the safe-temperature constraint
+        # allows a hotter inlet (monotonicity of the inversion).
+        flow = 100.0
+        raw_inlet = MODEL.inlet_for_cpu_temp(float(utils.max()), flow,
+                                             CPU_SAFE_TEMP_C)
+        balanced = IdealBalancer().schedule(utils)
+        balanced_inlet = MODEL.inlet_for_cpu_temp(
+            float(balanced.max()), flow, CPU_SAFE_TEMP_C)
+        assert balanced_inlet >= raw_inlet - 1e-9
+
+
+class TestEconomicsInvariants:
+    @given(st.floats(min_value=0.0, max_value=20.0),
+           st.floats(min_value=0.01, max_value=5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_tco_reduction_monotone_in_generation(self, gen, bump):
+        model = TcoModel()
+        assert model.breakdown(gen + bump).reduction_fraction >= \
+            model.breakdown(gen).reduction_fraction
+
+    @given(st.floats(min_value=0.0, max_value=15.0),
+           st.integers(min_value=1, max_value=500),
+           st.floats(min_value=1.0, max_value=300.0),
+           st.floats(min_value=1.0, max_value=7200.0))
+    @settings(max_examples=50, deadline=None)
+    def test_chiller_energy_nonnegative_and_linear(self, delta, n, flow,
+                                                   duration):
+        chiller = Chiller()
+        energy = chiller.cooling_energy_j(delta, n, flow, duration)
+        assert energy >= 0.0
+        doubled = chiller.cooling_energy_j(delta, n, flow,
+                                           2.0 * duration)
+        assert doubled == pytest.approx(2.0 * energy, rel=1e-9,
+                                        abs=1e-9)
+
+
+class TestTraceInvariants:
+    @given(arrays(float, (12, 6),
+                  elements=st.floats(min_value=0.0, max_value=1.0)))
+    @settings(max_examples=30, deadline=None)
+    def test_resample_preserves_mean(self, matrix):
+        trace = WorkloadTrace(matrix, 300.0)
+        coarse = trace.resample(600.0)
+        assert coarse.utilisation.mean() == pytest.approx(
+            trace.utilisation.mean(), abs=1e-12)
+
+    @given(arrays(float, (8, 5),
+                  elements=st.floats(min_value=0.0, max_value=1.0)))
+    @settings(max_examples=30, deadline=None)
+    def test_balanced_trace_volatility_never_higher(self, matrix):
+        trace = WorkloadTrace(matrix, 300.0)
+        balanced = trace.balanced()
+        assert balanced.statistics().volatility <= \
+            trace.statistics().volatility + 1e-12

@@ -1,0 +1,126 @@
+"""Reliability model tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PhysicalRangeError
+from repro.reliability import (
+    ArrheniusModel,
+    CpuLifetimeModel,
+    TegDegradationModel,
+)
+
+
+class TestArrhenius:
+    def test_unity_at_reference(self):
+        model = ArrheniusModel()
+        assert model.acceleration_factor(model.reference_temp_c) == \
+            pytest.approx(1.0)
+
+    def test_hotter_wears_faster(self):
+        model = ArrheniusModel()
+        assert model.acceleration_factor(80.0) > 1.0
+        assert model.acceleration_factor(40.0) < 1.0
+
+    def test_rule_of_thumb_doubling(self):
+        # With Ea ~ 0.7 eV, every ~10 C roughly doubles the wear rate
+        # around server temperatures.
+        model = ArrheniusModel(activation_energy_ev=0.7)
+        ratio = (model.acceleration_factor(70.0)
+                 / model.acceleration_factor(60.0))
+        assert 1.7 < ratio < 2.4
+
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            ArrheniusModel(activation_energy_ev=0.0)
+
+    @given(st.floats(min_value=20.0, max_value=99.0))
+    def test_monotone(self, temp):
+        model = ArrheniusModel()
+        assert model.acceleration_factor(temp + 1.0) > \
+            model.acceleration_factor(temp)
+
+
+class TestCpuLifetime:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            CpuLifetimeModel(base_lifetime_years=0.0)
+        with pytest.raises(PhysicalRangeError):
+            CpuLifetimeModel().effective_lifetime_years(np.array([]))
+
+    def test_reference_lifetime(self):
+        model = CpuLifetimeModel(base_lifetime_years=7.0)
+        assert model.lifetime_years_at(60.0) == pytest.approx(7.0)
+
+    def test_derating_benefit_motivates_t_safe(self):
+        # Sec. V-A derates from the 78.9 C limit to T_safe = 62 C; the
+        # Arrhenius view says that buys ~3x CPU life.
+        model = CpuLifetimeModel()
+        benefit = model.derating_benefit(78.9, 62.0)
+        assert 2.0 < benefit < 5.0
+
+    def test_effective_lifetime_between_extremes(self):
+        model = CpuLifetimeModel()
+        temps = np.array([55.0, 65.0])
+        effective = model.effective_lifetime_years(temps)
+        assert model.lifetime_years_at(65.0) < effective \
+            < model.lifetime_years_at(55.0)
+
+    def test_constant_history_matches_point_model(self):
+        model = CpuLifetimeModel()
+        temps = np.full(100, 63.0)
+        assert model.effective_lifetime_years(temps) == pytest.approx(
+            model.lifetime_years_at(63.0))
+
+
+class TestTegDegradation:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            TegDegradationModel(fade_per_year=1.0)
+        with pytest.raises(PhysicalRangeError):
+            TegDegradationModel(lifetime_years=0.0)
+        with pytest.raises(PhysicalRangeError):
+            TegDegradationModel().output_factor(-1.0)
+
+    def test_new_module_full_output(self):
+        assert TegDegradationModel().output_factor(0.0) == 1.0
+
+    def test_fade_compounds(self):
+        model = TegDegradationModel(fade_per_year=0.01)
+        assert model.output_factor(10.0) == pytest.approx(0.99 ** 10)
+
+    def test_end_of_life(self):
+        model = TegDegradationModel(lifetime_years=25.0)
+        assert model.output_factor(25.0) == 0.0
+        assert model.output_factor(30.0) == 0.0
+
+    def test_lifetime_energy_below_ideal(self):
+        model = TegDegradationModel(fade_per_year=0.004)
+        ideal_kwh = 4.177 / 1000.0 * 24.0 * 365.0 * 25.0
+        energy = model.lifetime_energy_kwh(4.177)
+        assert 0.9 * ideal_kwh < energy < ideal_kwh
+
+    def test_degraded_break_even_close_to_ideal(self):
+        # The paper's 920-day payback moves by only days under realistic
+        # fade — the investment story survives degradation.
+        model = TegDegradationModel(fade_per_year=0.004)
+        days = model.degraded_break_even_days(4.177, 12.0 / 4.177)
+        assert 915.0 < days < 950.0
+
+    def test_heavy_fade_delays_break_even(self):
+        gentle = TegDegradationModel(fade_per_year=0.002)
+        harsh = TegDegradationModel(fade_per_year=0.10)
+        assert harsh.degraded_break_even_days(4.177, 12.0 / 4.177) > \
+            gentle.degraded_break_even_days(4.177, 12.0 / 4.177)
+
+    def test_dead_module_never_pays(self):
+        model = TegDegradationModel()
+        assert math.isinf(model.degraded_break_even_days(0.0, 3.0))
+
+    def test_unpayable_fade(self):
+        model = TegDegradationModel(fade_per_year=0.5, lifetime_years=2.0)
+        assert math.isinf(
+            model.degraded_break_even_days(4.0, 1000.0))

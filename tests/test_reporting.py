@@ -1,0 +1,96 @@
+"""Reporting helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicalRangeError
+from repro.reporting import (
+    comparison_report,
+    format_table,
+    result_report,
+    strip_chart,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bbbb"], [[1.0, "x"], [22.5, "yy"]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        # All lines equally wide.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[1.23456]])
+        assert "1.235" in table
+
+    def test_custom_float_format(self):
+        table = format_table(["v"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in table
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            format_table([], [])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            format_table(["a", "b"], [[1.0]])
+
+    def test_no_rows_is_fine(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+
+class TestStripChart:
+    def test_renders_extremes(self):
+        chart = strip_chart([0.0, 1.0], width=2)
+        assert chart.startswith("|")
+        assert chart[1] == " "   # minimum glyph
+        assert chart[2] == "@"   # maximum glyph
+
+    def test_label(self):
+        chart = strip_chart([1.0, 2.0], label="gen")
+        assert chart.startswith("gen")
+
+    def test_flat_series(self):
+        chart = strip_chart([0.5] * 10)
+        assert set(chart.strip("|")) == {" "}
+
+    def test_downsampling(self):
+        chart = strip_chart(np.linspace(0, 1, 600), width=60)
+        # 600 points into 60 columns.
+        assert len(chart.strip("|")) == 60
+
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            strip_chart([])
+        with pytest.raises(PhysicalRangeError):
+            strip_chart([1.0], width=0)
+
+
+class TestRunReports:
+    @pytest.fixture(scope="class")
+    def comparison(self, tiny_traces):
+        import repro
+
+        return repro.H2PSystem().compare(tiny_traces["common"])
+
+    def test_result_report_contents(self, comparison):
+        report = result_report(comparison.baseline)
+        assert "TEG_Original" in report
+        assert "PRE" in report
+        assert "violations" in report
+
+    def test_comparison_report_contents(self, comparison):
+        report = comparison_report(comparison)
+        assert "TEG_Original" in report
+        assert "TEG_LoadBalance" in report
+        assert "utilisation" in report
+        assert "generation" in report
+        assert "%" in report
+
+    def test_comparison_chart_width(self, comparison):
+        report = comparison_report(comparison, chart_width=30)
+        chart_lines = [line for line in report.splitlines()
+                       if line.endswith("|")]
+        assert len(chart_lines) == 2

@@ -1,0 +1,123 @@
+"""Monte Carlo uncertainty-propagation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicalRangeError
+from repro.uncertainty import (
+    MonteCarloStudy,
+    ParameterPriors,
+    UncertaintyResult,
+)
+from repro.workloads.synthetic import common_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return common_trace(n_servers=30, duration_s=6 * 3600.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def result(trace):
+    return MonteCarloStudy(seed=1).run(trace, n_draws=80)
+
+
+class TestPriors:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            ParameterPriors(teg_quad_sigma=-0.01)
+        with pytest.raises(PhysicalRangeError):
+            ParameterPriors(cpu_power_scale_sigma=0.6)
+
+
+class TestStudy:
+    def test_bad_draw_count_rejected(self, trace):
+        with pytest.raises(PhysicalRangeError):
+            MonteCarloStudy().run(trace, n_draws=0)
+
+    def test_sample_shapes(self, result):
+        assert result.generation_w.shape == (80,)
+        assert result.pre.shape == (80,)
+        assert result.tco_reduction.shape == (80,)
+
+    def test_deterministic_given_seed(self, trace):
+        a = MonteCarloStudy(seed=7).run(trace, n_draws=10)
+        b = MonteCarloStudy(seed=7).run(trace, n_draws=10)
+        assert np.array_equal(a.generation_w, b.generation_w)
+
+    def test_different_seeds_differ(self, trace):
+        a = MonteCarloStudy(seed=7).run(trace, n_draws=10)
+        b = MonteCarloStudy(seed=8).run(trace, n_draws=10)
+        assert not np.array_equal(a.generation_w, b.generation_w)
+
+    def test_paper_numbers_inside_interval(self, result):
+        # The paper's headline generation (3.98 W for common under
+        # LoadBalance-ish settings; 3.6-4.2 W band) should be covered.
+        low, high = result.interval("generation_w", 0.95)
+        assert low < 4.0 < high or low < 3.9 < high
+
+    def test_pre_in_plausible_band(self, result):
+        low, high = result.interval("pre", 0.95)
+        assert 0.08 < low < high < 0.25
+
+    def test_tco_reduction_sub_percent(self, result):
+        low, high = result.interval("tco_reduction", 0.95)
+        assert 0.0 < low < high < 0.01
+
+    def test_zero_priors_collapse_spread(self, trace):
+        frozen = ParameterPriors(
+            teg_quad_sigma=0.0, teg_slope_sigma=0.0,
+            cpu_power_scale_sigma=0.0, thermal_resistance_sigma=0.0,
+            outlet_delta_sigma=0.0)
+        result = MonteCarloStudy(priors=frozen, seed=2).run(trace,
+                                                            n_draws=10)
+        assert result.generation_w.std() == pytest.approx(0.0, abs=1e-12)
+
+    def test_wider_priors_wider_interval(self, trace):
+        narrow = MonteCarloStudy(
+            priors=ParameterPriors(teg_quad_sigma=0.01,
+                                   cpu_power_scale_sigma=0.01,
+                                   thermal_resistance_sigma=0.01,
+                                   outlet_delta_sigma=0.01),
+            seed=3).run(trace, n_draws=60)
+        wide = MonteCarloStudy(
+            priors=ParameterPriors(teg_quad_sigma=0.10,
+                                   cpu_power_scale_sigma=0.15,
+                                   thermal_resistance_sigma=0.12,
+                                   outlet_delta_sigma=0.15),
+            seed=3).run(trace, n_draws=60)
+        narrow_span = np.subtract(*reversed(
+            narrow.interval("generation_w")))
+        wide_span = np.subtract(*reversed(wide.interval("generation_w")))
+        assert wide_span > narrow_span
+
+
+class TestResultApi:
+    def test_interval_validation(self, result):
+        with pytest.raises(PhysicalRangeError):
+            result.interval("generation_w", confidence=1.5)
+
+    def test_summary_structure(self, result):
+        summary = result.summary()
+        assert set(summary) == {"generation_w", "pre", "tco_reduction"}
+        for metric in summary.values():
+            assert metric["low"] <= metric["median"] <= metric["high"]
+
+
+class TestImprovementRobustness:
+    def test_balancing_wins_in_every_draw(self, trace):
+        improvements = MonteCarloStudy(seed=9).run_improvement(
+            trace, n_draws=50)
+        assert improvements.shape == (50,)
+        # The paper's headline conclusion survives the whole parameter
+        # cloud: balancing never loses.
+        assert np.all(improvements > 0.0)
+
+    def test_improvement_magnitude_plausible(self, trace):
+        improvements = MonteCarloStudy(seed=9).run_improvement(
+            trace, n_draws=50)
+        assert 0.03 < float(np.median(improvements)) < 0.35
+
+    def test_bad_draws_rejected(self, trace):
+        with pytest.raises(PhysicalRangeError):
+            MonteCarloStudy().run_improvement(trace, n_draws=0)

@@ -1,0 +1,87 @@
+"""Unit-conversion helper tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PhysicalRangeError
+from repro import units
+
+
+class TestFlowConversions:
+    def test_one_cubic_metre_per_hour(self):
+        # 1000 L/H of water is 1 m^3/h = 1000 kg / 3600 s.
+        assert units.litres_per_hour_to_kg_per_s(1000.0) == pytest.approx(
+            1000.0 / 3600.0)
+
+    def test_prototype_reference_flow(self):
+        # The paper's 200 L/H reference flow is ~0.0556 kg/s.
+        assert units.litres_per_hour_to_kg_per_s(200.0) == pytest.approx(
+            0.05556, rel=1e-3)
+
+    def test_zero_flow(self):
+        assert units.litres_per_hour_to_kg_per_s(0.0) == 0.0
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            units.litres_per_hour_to_kg_per_s(-1.0)
+
+    def test_negative_mass_flow_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            units.kg_per_s_to_litres_per_hour(-0.1)
+
+    def test_custom_density(self):
+        # A coolant 10 % denser carries 10 % more mass at the same flow.
+        base = units.litres_per_hour_to_kg_per_s(100.0)
+        heavier = units.litres_per_hour_to_kg_per_s(
+            100.0, density_kg_per_m3=1100.0)
+        assert heavier == pytest.approx(1.1 * base)
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_round_trip(self, flow):
+        mass = units.litres_per_hour_to_kg_per_s(flow)
+        back = units.kg_per_s_to_litres_per_hour(mass)
+        assert math.isclose(back, flow, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestTemperatureConversions:
+    def test_zero_celsius(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_natural_water(self):
+        assert units.celsius_to_kelvin(20.0) == pytest.approx(293.15)
+
+    def test_below_absolute_zero_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            units.celsius_to_kelvin(-300.0)
+
+    def test_negative_kelvin_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            units.kelvin_to_celsius(-1.0)
+
+    @given(st.floats(min_value=-273.15, max_value=1e4))
+    def test_round_trip(self, temp_c):
+        back = units.kelvin_to_celsius(units.celsius_to_kelvin(temp_c))
+        assert math.isclose(back, temp_c, rel_tol=1e-12, abs_tol=1e-9)
+
+
+class TestEnergyConversions:
+    def test_one_kw_for_one_hour(self):
+        assert units.watts_to_kwh(1000.0, 3600.0) == pytest.approx(1.0)
+
+    def test_paper_daily_energy(self):
+        # 4.177 W on 100k CPUs for 24 h is the paper's 10,024.8 kWh/day.
+        per_cpu = units.watts_to_kwh(4.177, 24 * 3600.0)
+        assert per_cpu * 100_000 == pytest.approx(10_024.8, rel=1e-3)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            units.watts_to_kwh(10.0, -1.0)
+
+    def test_kwh_joule_round_trip(self):
+        assert units.joules_to_kwh(units.kwh_to_joules(2.5)) == pytest.approx(
+            2.5)
+
+    def test_one_kwh_is_3_6_megajoules(self):
+        assert units.kwh_to_joules(1.0) == pytest.approx(3.6e6)

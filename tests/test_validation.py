@@ -1,0 +1,170 @@
+"""Self-audit module tests — including deliberate failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.loop import CirculationState, WaterCirculation
+from repro.core.results import SimulationResult, StepRecord
+from repro.teg.device import TegDevice, EmpiricalTegFit
+from repro.thermal.cpu_model import CoolingSetting
+from repro.validation import (
+    AuditReport,
+    audit_circulation_state,
+    audit_simulation_result,
+    audit_teg_models,
+)
+
+
+@pytest.fixture
+def circulation():
+    return WaterCirculation(n_servers=5)
+
+
+@pytest.fixture
+def good_state(circulation):
+    return circulation.evaluate(
+        np.linspace(0.1, 0.9, 5),
+        CoolingSetting(flow_l_per_h=100.0, inlet_temp_c=48.0))
+
+
+def make_result(records=None):
+    result = SimulationResult(scheme="s", trace_name="t", n_servers=10,
+                              interval_s=300.0)
+    for record in records or []:
+        result.append(record)
+    return result
+
+
+def make_record(**overrides):
+    base = dict(time_s=0.0, mean_utilisation=0.3, max_utilisation=0.5,
+                generation_per_cpu_w=4.0, cpu_power_per_cpu_w=30.0,
+                mean_inlet_temp_c=50.0, mean_flow_l_per_h=100.0,
+                max_cpu_temp_c=62.0, chiller_power_w=0.0,
+                tower_power_w=10.0, pump_power_w=5.0,
+                safety_violations=0)
+    base.update(overrides)
+    return StepRecord(**base)
+
+
+class TestAuditReport:
+    def test_ok_when_empty(self):
+        report = AuditReport(subject="x")
+        assert report.ok
+        assert "[OK]" in str(report)
+
+    def test_issues_accumulate(self):
+        report = AuditReport(subject="x")
+        report.add("first")
+        report.add("second")
+        assert not report.ok
+        assert "2 issue(s)" in str(report)
+
+
+class TestCirculationAudit:
+    def test_good_state_passes(self, circulation, good_state):
+        assert audit_circulation_state(circulation, good_state).ok
+
+    def test_detects_nan_temperature(self, circulation, good_state):
+        temps = good_state.cpu_temps_c.copy()
+        temps[0] = np.nan
+        broken = CirculationState(
+            utilisations=good_state.utilisations,
+            cpu_temps_c=temps,
+            outlet_temps_c=good_state.outlet_temps_c,
+            cpu_powers_w=good_state.cpu_powers_w,
+            teg_powers_w=good_state.teg_powers_w,
+            setting=good_state.setting,
+            chiller_power_w=good_state.chiller_power_w,
+            tower_power_w=good_state.tower_power_w,
+            pump_power_w=good_state.pump_power_w)
+        report = audit_circulation_state(circulation, broken)
+        assert not report.ok
+        assert any("non-finite" in issue for issue in report.issues)
+
+    def test_detects_inverted_outlet(self, circulation, good_state):
+        broken = CirculationState(
+            utilisations=good_state.utilisations,
+            cpu_temps_c=good_state.cpu_temps_c,
+            outlet_temps_c=np.full(5, 10.0),  # below the 48 C inlet
+            cpu_powers_w=good_state.cpu_powers_w,
+            teg_powers_w=good_state.teg_powers_w,
+            setting=good_state.setting,
+            chiller_power_w=good_state.chiller_power_w,
+            tower_power_w=good_state.tower_power_w,
+            pump_power_w=good_state.pump_power_w)
+        report = audit_circulation_state(circulation, broken)
+        assert any("outlet" in issue for issue in report.issues)
+
+    def test_detects_over_unity_teg(self, circulation, good_state):
+        broken = CirculationState(
+            utilisations=good_state.utilisations,
+            cpu_temps_c=good_state.cpu_temps_c,
+            outlet_temps_c=good_state.outlet_temps_c,
+            cpu_powers_w=good_state.cpu_powers_w,
+            teg_powers_w=np.full(5, 500.0),  # absurd output
+            setting=good_state.setting,
+            chiller_power_w=good_state.chiller_power_w,
+            tower_power_w=good_state.tower_power_w,
+            pump_power_w=good_state.pump_power_w)
+        report = audit_circulation_state(circulation, broken)
+        assert any("Carnot" in issue for issue in report.issues)
+
+    def test_detects_negative_facility_power(self, circulation,
+                                             good_state):
+        broken = CirculationState(
+            utilisations=good_state.utilisations,
+            cpu_temps_c=good_state.cpu_temps_c,
+            outlet_temps_c=good_state.outlet_temps_c,
+            cpu_powers_w=good_state.cpu_powers_w,
+            teg_powers_w=good_state.teg_powers_w,
+            setting=good_state.setting,
+            chiller_power_w=-5.0,
+            tower_power_w=good_state.tower_power_w,
+            pump_power_w=good_state.pump_power_w)
+        report = audit_circulation_state(circulation, broken)
+        assert any("chiller_power_w" in issue for issue in report.issues)
+
+
+class TestResultAudit:
+    def test_good_run_passes(self, tiny_traces):
+        import repro
+
+        result = repro.H2PSystem().evaluate(tiny_traces["common"])
+        assert audit_simulation_result(result).ok
+
+    def test_empty_result_flagged(self):
+        report = audit_simulation_result(make_result())
+        assert not report.ok
+
+    def test_non_monotone_time_flagged(self):
+        result = make_result([make_record(time_s=0.0),
+                              make_record(time_s=0.0)])
+        report = audit_simulation_result(result)
+        assert any("time base" in issue for issue in report.issues)
+
+    def test_unrecorded_violation_flagged(self):
+        result = make_result([make_record(max_cpu_temp_c=95.0,
+                                          safety_violations=0)])
+        report = audit_simulation_result(result)
+        assert any("no violation was recorded" in issue
+                   for issue in report.issues)
+
+    def test_absurd_pre_flagged(self):
+        result = make_result([make_record(generation_per_cpu_w=50.0,
+                                          cpu_power_per_cpu_w=30.0)])
+        report = audit_simulation_result(result)
+        assert any("PRE" in issue for issue in report.issues)
+
+
+class TestTegModelAudit:
+    def test_paper_device_consistent(self):
+        assert audit_teg_models().ok
+
+    def test_corrupted_fit_detected(self):
+        # A fit with triple the real slope no longer matches the physics.
+        corrupted = TegDevice(fit=EmpiricalTegFit(
+            voc_slope_v_per_c=0.15))
+        report = audit_teg_models(corrupted)
+        assert not report.ok
+        assert any("Voc disagreement" in issue
+                   for issue in report.issues)

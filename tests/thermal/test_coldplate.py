@@ -1,0 +1,122 @@
+"""Cold plate and heat exchanger tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PhysicalRangeError
+from repro.thermal.coldplate import ColdPlate, CounterflowHeatExchanger
+
+
+class TestColdPlate:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            ColdPlate(ua_w_per_k=0.0)
+        with pytest.raises(PhysicalRangeError):
+            ColdPlate(contact_resistance_k_per_w=-0.1)
+
+    def test_effectiveness_bounds(self):
+        plate = ColdPlate()
+        assert 0.0 < plate.effectiveness(100.0) < 1.0
+
+    def test_stagnant_coolant_fully_equilibrates(self):
+        plate = ColdPlate()
+        assert plate.effectiveness(0.0) == 1.0
+        assert plate.outlet_temp_c(70.0, 30.0, 0.0) == 70.0
+
+    @given(st.floats(min_value=1.0, max_value=299.0))
+    def test_effectiveness_decreases_with_flow(self, flow):
+        # Faster coolant spends less time in the plate.
+        plate = ColdPlate()
+        assert (plate.effectiveness(flow)
+                > plate.effectiveness(flow + 1.0))
+
+    def test_heat_positive_when_surface_hotter(self):
+        plate = ColdPlate()
+        assert plate.heat_to_coolant_w(60.0, 40.0, 100.0) > 0.0
+
+    def test_heat_negative_when_surface_colder(self):
+        # The TEG cold-side plate pre-heats a colder surface.
+        plate = ColdPlate()
+        assert plate.heat_to_coolant_w(20.0, 40.0, 100.0) < 0.0
+
+    def test_outlet_between_inlet_and_surface(self):
+        plate = ColdPlate()
+        outlet = plate.outlet_temp_c(70.0, 40.0, 100.0)
+        assert 40.0 < outlet < 70.0
+
+    def test_surface_temp_inverts_heat(self):
+        plate = ColdPlate()
+        surface = plate.surface_temp_for_heat_w(77.0, 45.0, 20.0)
+        # Round trip: that surface temperature must reject ~77 W again
+        # (up to the contact-resistance term, which is excluded from the
+        # plate-side balance).
+        plate_only = surface - 77.0 * plate.contact_resistance_k_per_w
+        assert plate.heat_to_coolant_w(plate_only, 45.0, 20.0) == \
+            pytest.approx(77.0, rel=1e-6)
+
+    def test_surface_temp_needs_flow(self):
+        with pytest.raises(PhysicalRangeError):
+            ColdPlate().surface_temp_for_heat_w(77.0, 45.0, 0.0)
+
+    @given(st.floats(min_value=5.0, max_value=300.0),
+           st.floats(min_value=5.0, max_value=150.0))
+    def test_hotter_source_needs_more_surface_temp(self, flow, heat):
+        plate = ColdPlate()
+        t1 = plate.surface_temp_for_heat_w(heat, 40.0, flow)
+        t2 = plate.surface_temp_for_heat_w(heat + 5.0, 40.0, flow)
+        assert t2 > t1
+
+
+class TestCounterflowHeatExchanger:
+    def test_invalid_ua_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            CounterflowHeatExchanger(ua_w_per_k=-1.0)
+
+    def test_effectiveness_bounds(self):
+        hx = CounterflowHeatExchanger()
+        eps = hx.effectiveness(500.0, 500.0)
+        assert 0.0 < eps < 1.0
+
+    def test_balanced_flow_limit(self):
+        # With equal capacity rates, eps = NTU / (1 + NTU).
+        hx = CounterflowHeatExchanger(ua_w_per_k=100.0)
+        eps = hx.effectiveness(300.0, 300.0, 45.0, 45.0)
+        capacity = 300.0 / 3600.0 * 4.2e3 / 1000.0 * 1000.0
+        # Approximate with the constant-cp capacity (within a percent).
+        ntu = 100.0 / capacity
+        assert eps == pytest.approx(ntu / (1.0 + ntu), rel=0.02)
+
+    def test_no_flow_no_transfer(self):
+        hx = CounterflowHeatExchanger()
+        assert hx.effectiveness(0.0, 100.0) == 0.0
+        assert hx.transferred_heat_w(50.0, 20.0, 0.0, 100.0) == 0.0
+
+    def test_no_uphill_heat(self):
+        hx = CounterflowHeatExchanger()
+        assert hx.transferred_heat_w(20.0, 50.0, 100.0, 100.0) == 0.0
+
+    def test_outlet_temperatures_bracketed(self):
+        hx = CounterflowHeatExchanger()
+        hot_out, cold_out = hx.outlet_temps_c(50.0, 20.0, 200.0, 200.0)
+        # Each stream stays within the inlet envelope.  Note a counterflow
+        # exchanger legitimately allows hot_out < cold_out at high NTU —
+        # that is exactly what distinguishes it from parallel flow.
+        assert 20.0 < hot_out < 50.0
+        assert 20.0 < cold_out < 50.0
+
+    def test_energy_balance(self):
+        hx = CounterflowHeatExchanger()
+        q = hx.transferred_heat_w(50.0, 20.0, 150.0, 250.0)
+        hot_out, cold_out = hx.outlet_temps_c(50.0, 20.0, 150.0, 250.0)
+        # Heat lost by the hot stream equals heat gained by the cold one.
+        c_hot = 150.0 / 3600.0 * 4181.0  # approx at 50 C
+        c_cold = 250.0 / 3600.0 * 4184.0
+        assert c_hot * (50.0 - hot_out) == pytest.approx(q, rel=0.02)
+        assert c_cold * (cold_out - 20.0) == pytest.approx(q, rel=0.02)
+
+    @given(st.floats(min_value=30.0, max_value=70.0))
+    def test_bigger_difference_more_heat(self, hot_in):
+        hx = CounterflowHeatExchanger()
+        q1 = hx.transferred_heat_w(hot_in, 20.0, 200.0, 200.0)
+        q2 = hx.transferred_heat_w(hot_in + 5.0, 20.0, 200.0, 200.0)
+        assert q2 > q1

@@ -1,0 +1,147 @@
+"""Pipe, pump and loop hydraulic tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PhysicalRangeError
+from repro.thermal.hydraulics import (
+    PipeSegment,
+    Pump,
+    PumpCurve,
+    loop_pump_power_w,
+    prototype_cold_loop,
+    prototype_warm_loop,
+)
+
+
+class TestPipeSegment:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            PipeSegment(length_m=-1.0, diameter_m=0.01)
+        with pytest.raises(PhysicalRangeError):
+            PipeSegment(length_m=1.0, diameter_m=0.0)
+        with pytest.raises(PhysicalRangeError):
+            PipeSegment(length_m=1.0, diameter_m=0.01, k_minor=-1.0)
+
+    def test_velocity_scales_linearly_with_flow(self):
+        pipe = PipeSegment(length_m=1.0, diameter_m=0.008)
+        v1 = pipe.velocity_m_per_s(100.0)
+        v2 = pipe.velocity_m_per_s(200.0)
+        assert v2 == pytest.approx(2.0 * v1, rel=1e-6)
+
+    def test_prototype_flow_is_laminar_in_tubing(self):
+        # 20 L/H in 8 mm tubing: Re ~ 1100 — laminar, as expected for the
+        # prototype's small loop.
+        pipe = PipeSegment(length_m=1.0, diameter_m=0.008)
+        assert pipe.reynolds(20.0) < 2300.0
+
+    def test_high_flow_is_turbulent_in_narrow_plate(self):
+        plate = PipeSegment(length_m=0.04, diameter_m=0.004)
+        assert plate.reynolds(300.0) > 2300.0
+
+    def test_laminar_friction_factor(self):
+        pipe = PipeSegment(length_m=1.0, diameter_m=0.008)
+        re = pipe.reynolds(20.0)
+        assert pipe.friction_factor(20.0) == pytest.approx(64.0 / re)
+
+    def test_zero_flow_zero_drop(self):
+        pipe = PipeSegment(length_m=1.0, diameter_m=0.008, k_minor=5.0)
+        assert pipe.pressure_drop_pa(0.0) == 0.0
+
+    def test_negative_flow_rejected(self):
+        pipe = PipeSegment(length_m=1.0, diameter_m=0.008)
+        with pytest.raises(PhysicalRangeError):
+            pipe.pressure_drop_pa(-10.0)
+
+    @given(st.floats(min_value=10.0, max_value=290.0))
+    def test_pressure_drop_monotone_in_flow(self, flow):
+        pipe = PipeSegment(length_m=1.0, diameter_m=0.006, k_minor=3.0)
+        assert (pipe.pressure_drop_pa(flow + 10.0)
+                > pipe.pressure_drop_pa(flow))
+
+    def test_minor_losses_add_pressure(self):
+        plain = PipeSegment(length_m=1.0, diameter_m=0.006)
+        with_fittings = PipeSegment(length_m=1.0, diameter_m=0.006,
+                                    k_minor=10.0)
+        assert (with_fittings.pressure_drop_pa(100.0)
+                > plain.pressure_drop_pa(100.0))
+
+    def test_hot_water_flows_easier(self):
+        # Lower viscosity at higher temperature cuts the laminar drop.
+        pipe = PipeSegment(length_m=2.0, diameter_m=0.008)
+        assert (pipe.pressure_drop_pa(20.0, temp_c=60.0)
+                < pipe.pressure_drop_pa(20.0, temp_c=20.0))
+
+
+class TestPumpCurve:
+    def test_peak_at_best_flow(self):
+        curve = PumpCurve()
+        assert curve.efficiency(curve.best_flow_l_per_h) == pytest.approx(
+            curve.best_efficiency)
+
+    def test_efficiency_floor(self):
+        curve = PumpCurve()
+        assert curve.efficiency(5000.0) == curve.min_efficiency
+
+    def test_invalid_efficiencies_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            PumpCurve(best_efficiency=1.5)
+        with pytest.raises(PhysicalRangeError):
+            PumpCurve(best_efficiency=0.4, min_efficiency=0.5)
+
+    @given(st.floats(min_value=0.0, max_value=2000.0))
+    def test_efficiency_bounded(self, flow):
+        curve = PumpCurve()
+        eff = curve.efficiency(flow)
+        assert curve.min_efficiency <= eff <= curve.best_efficiency
+
+
+class TestPump:
+    def test_zero_conditions(self):
+        pump = Pump()
+        assert pump.electrical_power_w(0.0, 1000.0) == 0.0
+        assert pump.electrical_power_w(100.0, 0.0) == 0.0
+
+    def test_negative_head_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            Pump().electrical_power_w(100.0, -1.0)
+
+    def test_electrical_exceeds_hydraulic(self):
+        pump = Pump()
+        flow, head = 200.0, 5000.0
+        hydraulic = flow / 1000.0 / 3600.0 * head
+        assert pump.electrical_power_w(flow, head) > hydraulic
+
+
+class TestLoopPower:
+    def test_prototype_loops_are_modest(self):
+        # The paper's point: pump power is small but not free.  The warm
+        # prototype loop at 200 L/H costs tens of watts at most — already
+        # an appreciable fraction of what the TEGs generate, which is why
+        # the paper deems chasing flow rate "not worth making".
+        power = loop_pump_power_w(prototype_warm_loop(), 200.0)
+        assert 0.1 < power < 40.0
+
+    def test_grows_superlinearly_with_flow(self):
+        loop = prototype_warm_loop()
+        p100 = loop_pump_power_w(loop, 100.0)
+        p300 = loop_pump_power_w(loop, 300.0)
+        assert p300 > 3.0 * p100
+
+    def test_cold_loop_positive(self):
+        assert loop_pump_power_w(prototype_cold_loop(), 100.0) > 0.0
+
+
+class TestProductionManifold:
+    def test_far_cheaper_than_bench_loop(self):
+        from repro.thermal.hydraulics import production_manifold
+
+        bench = loop_pump_power_w(prototype_warm_loop(), 150.0)
+        manifold = loop_pump_power_w(production_manifold(), 150.0)
+        # An order of magnitude less per-server pump power.
+        assert manifold < bench / 10.0
+
+    def test_still_positive(self):
+        from repro.thermal.hydraulics import production_manifold
+
+        assert loop_pump_power_w(production_manifold(), 100.0) > 0.0

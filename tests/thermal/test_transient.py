@@ -1,0 +1,162 @@
+"""Transient RC thermal network tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PhysicalRangeError
+from repro.thermal.transient import (
+    ThermalLink,
+    ThermalNode,
+    TransientThermalNetwork,
+    step_load_profile,
+)
+
+
+def two_node_network(power_w=50.0, resistance=0.5, capacity=200.0,
+                     coolant_c=30.0):
+    nodes = [
+        ThermalNode(name="die", capacity_j_per_k=capacity,
+                    initial_temp_c=coolant_c, power_w=power_w),
+        ThermalNode(name="coolant", initial_temp_c=coolant_c, boundary=True),
+    ]
+    links = [ThermalLink("die", "coolant", 1.0 / resistance)]
+    return TransientThermalNetwork(nodes, links)
+
+
+class TestValidation:
+    def test_duplicate_node_names_rejected(self):
+        nodes = [ThermalNode(name="a"), ThermalNode(name="a")]
+        with pytest.raises(ConfigurationError):
+            TransientThermalNetwork(nodes, [])
+
+    def test_unknown_link_endpoint_rejected(self):
+        nodes = [ThermalNode(name="a"), ThermalNode(name="b")]
+        with pytest.raises(ConfigurationError):
+            TransientThermalNetwork(
+                nodes, [ThermalLink("a", "ghost", 1.0)])
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalLink("a", "a", 1.0)
+
+    def test_non_positive_conductance_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            ThermalLink("a", "b", 0.0)
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            ThermalNode(name="x", capacity_j_per_k=0.0)
+
+    def test_bad_simulation_arguments(self):
+        net = two_node_network()
+        with pytest.raises(PhysicalRangeError):
+            net.simulate(-1.0)
+        with pytest.raises(PhysicalRangeError):
+            net.simulate(10.0, output_dt_s=0.0)
+
+
+class TestPhysics:
+    def test_steady_state_matches_analytic(self):
+        # T_final = T_coolant + P * R.
+        net = two_node_network(power_w=50.0, resistance=0.5, coolant_c=30.0)
+        result = net.simulate(duration_s=2000.0, output_dt_s=5.0)
+        assert result.final_temp_c("die") == pytest.approx(
+            30.0 + 50.0 * 0.5, abs=0.1)
+
+    def test_boundary_node_never_moves(self):
+        net = two_node_network()
+        result = net.simulate(500.0, 5.0)
+        coolant = result.temperatures_c["coolant"]
+        assert np.all(coolant == coolant[0])
+
+    def test_time_constant(self):
+        # After one tau = R*C the response reaches ~63 % of the step.
+        resistance, capacity = 0.5, 200.0
+        net = two_node_network(power_w=40.0, resistance=resistance,
+                               capacity=capacity, coolant_c=25.0)
+        tau = resistance * capacity
+        result = net.simulate(duration_s=tau * 6, output_dt_s=1.0)
+        idx = int(tau)
+        rise = result.temperatures_c["die"][idx] - 25.0
+        assert rise == pytest.approx(40.0 * resistance * 0.632, rel=0.05)
+
+    def test_monotone_heating(self):
+        net = two_node_network()
+        result = net.simulate(500.0, 5.0)
+        die = result.temperatures_c["die"]
+        assert np.all(np.diff(die) >= -1e-9)
+
+    def test_no_power_stays_at_equilibrium(self):
+        net = two_node_network(power_w=0.0)
+        result = net.simulate(300.0, 5.0)
+        assert result.max_temp_c("die") == pytest.approx(30.0, abs=1e-6)
+
+    def test_energy_conservation_isolated_pair(self):
+        # Two capacitive nodes exchanging heat conserve total energy.
+        nodes = [
+            ThermalNode(name="hot", capacity_j_per_k=100.0,
+                        initial_temp_c=80.0),
+            ThermalNode(name="cold", capacity_j_per_k=300.0,
+                        initial_temp_c=20.0),
+        ]
+        net = TransientThermalNetwork(
+            nodes, [ThermalLink("hot", "cold", 2.0)])
+        result = net.simulate(2000.0, 5.0)
+        final_hot = result.final_temp_c("hot")
+        final_cold = result.final_temp_c("cold")
+        # Both converge to the capacity-weighted mean: 35 C.
+        expected = (100.0 * 80.0 + 300.0 * 20.0) / 400.0
+        assert final_hot == pytest.approx(expected, abs=0.2)
+        assert final_cold == pytest.approx(expected, abs=0.2)
+
+    def test_three_node_chain_ordering(self):
+        # die -> plate -> coolant: temperatures must be ordered.
+        nodes = [
+            ThermalNode(name="die", capacity_j_per_k=150.0,
+                        initial_temp_c=30.0, power_w=40.0),
+            ThermalNode(name="plate", capacity_j_per_k=80.0,
+                        initial_temp_c=30.0),
+            ThermalNode(name="coolant", initial_temp_c=30.0, boundary=True),
+        ]
+        links = [ThermalLink("die", "plate", 2.0),
+                 ThermalLink("plate", "coolant", 3.0)]
+        result = TransientThermalNetwork(nodes, links).simulate(2000.0, 5.0)
+        assert result.final_temp_c("die") > result.final_temp_c("plate") \
+            > 30.0
+
+
+class TestStepLoadProfile:
+    def test_phases_addressed_correctly(self):
+        profile = step_load_profile([(10.0, 1.0), (10.0, 2.0), (5.0, 3.0)])
+        assert profile(0.0) == 1.0
+        assert profile(9.99) == 1.0
+        assert profile(10.0) == 2.0
+        assert profile(19.99) == 2.0
+        assert profile(20.0) == 3.0
+
+    def test_last_phase_persists(self):
+        profile = step_load_profile([(10.0, 1.0), (10.0, 5.0)])
+        assert profile(1e6) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            step_load_profile([])
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            step_load_profile([(0.0, 1.0)])
+
+    def test_in_network(self):
+        profile = step_load_profile([(100.0, 0.0), (100.0, 50.0)])
+        nodes = [
+            ThermalNode(name="die", capacity_j_per_k=50.0,
+                        initial_temp_c=30.0, power_w=profile),
+            ThermalNode(name="coolant", initial_temp_c=30.0, boundary=True),
+        ]
+        net = TransientThermalNetwork(
+            nodes, [ThermalLink("die", "coolant", 2.0)])
+        result = net.simulate(200.0, 1.0)
+        die = result.temperatures_c["die"]
+        # Flat during the zero-power phase, rising afterwards.
+        assert die[50] == pytest.approx(30.0, abs=1e-6)
+        assert die[-1] > 40.0

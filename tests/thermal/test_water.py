@@ -1,0 +1,98 @@
+"""Water property correlation tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PhysicalRangeError
+from repro.thermal import water
+
+
+class TestDensity:
+    def test_near_maximum_at_4c(self):
+        assert water.density_kg_per_m3(4.0) == pytest.approx(1000.0, abs=1.0)
+
+    def test_decreases_with_temperature(self):
+        assert (water.density_kg_per_m3(20.0)
+                > water.density_kg_per_m3(60.0))
+
+    def test_at_60c_reference(self):
+        # IAPWS: ~983.2 kg/m^3 at 60 C.
+        assert water.density_kg_per_m3(60.0) == pytest.approx(983.2, abs=2.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            water.density_kg_per_m3(150.0)
+
+
+class TestHeatCapacity:
+    def test_reference_value_at_20c(self):
+        # ~4184 J/kg/K at 20 C.
+        assert water.heat_capacity_j_per_kg_c(20.0) == pytest.approx(
+            4184.0, abs=25.0)
+
+    def test_minimum_in_mid_range(self):
+        # cp has a shallow minimum between ~30 and 50 C.
+        mid = water.heat_capacity_j_per_kg_c(40.0)
+        assert mid < water.heat_capacity_j_per_kg_c(5.0)
+        assert mid < water.heat_capacity_j_per_kg_c(95.0)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_close_to_paper_constant(self, temp_c):
+        # The paper uses cp = 4200 J/kg/K; the correlation must stay
+        # within ~1 % of it over the full liquid range.
+        assert water.heat_capacity_j_per_kg_c(temp_c) == pytest.approx(
+            4200.0, rel=0.012)
+
+
+class TestViscosity:
+    def test_reference_value_at_20c(self):
+        # ~1.0 mPa s at 20 C.
+        assert water.viscosity_pa_s(20.0) == pytest.approx(1.0e-3, rel=0.03)
+
+    def test_halves_roughly_by_50c(self):
+        # ~0.55 mPa s at 50 C.
+        assert water.viscosity_pa_s(50.0) == pytest.approx(0.55e-3, rel=0.05)
+
+    @given(st.floats(min_value=0.0, max_value=99.0))
+    def test_monotonically_decreasing(self, temp_c):
+        assert (water.viscosity_pa_s(temp_c)
+                > water.viscosity_pa_s(temp_c + 1.0))
+
+
+class TestConductivity:
+    def test_reference_value_at_25c(self):
+        # ~0.61 W/m/K at 25 C.
+        assert water.conductivity_w_per_m_k(25.0) == pytest.approx(
+            0.61, rel=0.02)
+
+    def test_increases_with_temperature_in_liquid_range(self):
+        assert (water.conductivity_w_per_m_k(60.0)
+                > water.conductivity_w_per_m_k(20.0))
+
+
+class TestPropertyBundle:
+    def test_prandtl_around_7_at_20c(self):
+        props = water.water_properties(20.0)
+        assert props.prandtl == pytest.approx(7.0, rel=0.07)
+
+    def test_constant_mode_matches_paper(self):
+        props = water.water_properties(40.0, constant=True)
+        assert props.density_kg_per_m3 == 1000.0
+        assert props.heat_capacity_j_per_kg_c == 4200.0
+
+    def test_kinematic_viscosity(self):
+        props = water.water_properties(20.0)
+        assert props.kinematic_viscosity_m2_per_s == pytest.approx(
+            props.viscosity_pa_s / props.density_kg_per_m3)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_all_properties_positive(self, temp_c):
+        props = water.water_properties(temp_c)
+        assert props.density_kg_per_m3 > 0
+        assert props.heat_capacity_j_per_kg_c > 0
+        assert props.viscosity_pa_s > 0
+        assert props.conductivity_w_per_m_k > 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            water.water_properties(-5.0)

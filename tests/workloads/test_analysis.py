@@ -1,0 +1,115 @@
+"""Trace analytics and classifier tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicalRangeError
+from repro.workloads.analysis import (
+    TraceClassifier,
+    autocorrelation,
+    extract_features,
+)
+from repro.workloads.trace import WorkloadTrace
+
+
+def make_trace(matrix, interval=300.0):
+    return WorkloadTrace(np.asarray(matrix, dtype=float), interval)
+
+
+class TestAutocorrelation:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            autocorrelation(np.array([]))
+        with pytest.raises(PhysicalRangeError):
+            autocorrelation(np.array([1.0, 2.0]), lag=2)
+        with pytest.raises(PhysicalRangeError):
+            autocorrelation(np.array([[1.0], [2.0]]))
+
+    def test_flat_series_zero(self):
+        assert autocorrelation(np.full(10, 0.4)) == 0.0
+
+    def test_persistent_series_high(self):
+        rng = np.random.default_rng(0)
+        series = np.cumsum(rng.normal(0, 0.01, 500)) + 0.5
+        assert autocorrelation(series) > 0.9
+
+    def test_alternating_series_negative(self):
+        series = np.array([0.1, 0.9] * 50)
+        assert autocorrelation(series) < -0.9
+
+    def test_lag_parameter(self):
+        series = np.sin(np.linspace(0, 8 * np.pi, 200))
+        # Half a period apart: strongly negative.
+        assert autocorrelation(series, lag=25) < -0.9
+
+
+class TestExtractFeatures:
+    def test_constant_trace(self):
+        features = extract_features(make_trace(np.full((20, 5), 0.3)))
+        assert features.mean == pytest.approx(0.3)
+        assert features.std == 0.0
+        assert features.volatility == 0.0
+        assert features.spike_rate == 0.0
+        assert features.heterogeneity == 0.0
+
+    def test_volatility_detects_movement(self):
+        rng = np.random.default_rng(1)
+        noisy = np.clip(0.3 + rng.normal(0, 0.15, (50, 10)), 0, 1)
+        calm = np.clip(0.3 + rng.normal(0, 0.005, (50, 10)), 0, 1)
+        assert extract_features(make_trace(noisy)).volatility > \
+            5.0 * extract_features(make_trace(calm)).volatility
+
+    def test_spikes_detected(self):
+        matrix = np.full((100, 10), 0.2)
+        matrix[50, 3] = 0.9  # one transient spike
+        features = extract_features(make_trace(matrix))
+        assert features.spike_rate > 0.0
+
+    def test_persistent_hot_server_not_a_spike(self):
+        matrix = np.full((100, 10), 0.2)
+        matrix[:, 3] = 0.7  # steadily busy server
+        features = extract_features(make_trace(matrix))
+        assert features.spike_rate == 0.0
+        assert features.heterogeneity > 0.1
+
+    def test_diurnality_needs_a_full_day(self):
+        hours = np.arange(288) * 300.0 / 3600.0
+        daily = 0.3 + 0.1 * np.cos(2 * np.pi * hours / 24.0)
+        matrix = np.repeat(daily[:, None], 4, axis=1)
+        features = extract_features(make_trace(matrix))
+        assert features.diurnality == pytest.approx(0.1, abs=0.01)
+
+    def test_short_trace_no_diurnality(self):
+        features = extract_features(make_trace(np.full((10, 4), 0.3)))
+        assert features.diurnality == 0.0
+
+
+class TestClassifier:
+    def test_classifies_the_synthetic_generators(self, tiny_traces):
+        # The classifier must agree with the generators' own labels.
+        # (tiny_traces are 4-hour slices; use full-length ones for the
+        # diurnal/spike structure to be present.)
+        from repro.workloads.synthetic import trace_by_name
+
+        classifier = TraceClassifier()
+        for name in ("drastic", "irregular", "common"):
+            trace = trace_by_name(name, n_servers=200)
+            assert classifier.classify(trace) == name, name
+
+    def test_explain_contains_class_and_features(self):
+        from repro.workloads.synthetic import common_trace
+
+        explanation = TraceClassifier().explain(
+            common_trace(n_servers=50, seed=9))
+        assert explanation["class"] == "common"
+        for key in ("volatility", "spike_rate", "mean", "persistence"):
+            assert key in explanation
+
+    def test_flat_trace_is_common(self):
+        trace = make_trace(np.full((50, 10), 0.25))
+        assert TraceClassifier().classify(trace) == "common"
+
+    def test_noisy_trace_is_drastic(self):
+        rng = np.random.default_rng(3)
+        matrix = np.clip(rng.uniform(0, 1, (50, 10)), 0, 1)
+        assert TraceClassifier().classify(make_trace(matrix)) == "drastic"

@@ -1,0 +1,112 @@
+"""Forecasting tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicalRangeError
+from repro.workloads.forecast import (
+    Ar1Forecaster,
+    EwmaForecaster,
+    backtest,
+)
+from repro.workloads.synthetic import common_trace, drastic_trace
+
+
+class TestEwma:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            EwmaForecaster(alpha=0.0)
+        with pytest.raises(PhysicalRangeError):
+            EwmaForecaster(margin_sigmas=-1.0)
+        with pytest.raises(PhysicalRangeError):
+            EwmaForecaster().predict()  # no observations yet
+        f = EwmaForecaster()
+        f.observe(np.array([0.5]))
+        with pytest.raises(PhysicalRangeError):
+            f.observe(np.array([0.5, 0.4]))  # width changed
+
+    def test_constant_series_predicted_exactly(self):
+        f = EwmaForecaster(margin_sigmas=0.0)
+        for _ in range(10):
+            f.observe(np.array([0.4, 0.6]))
+        assert np.allclose(f.predict(), [0.4, 0.6])
+
+    def test_margin_adds_headroom(self):
+        rng = np.random.default_rng(0)
+        series = 0.4 + rng.normal(0, 0.1, size=(50, 3))
+        plain = EwmaForecaster(margin_sigmas=0.0)
+        padded = EwmaForecaster(margin_sigmas=2.0)
+        for row in series:
+            clipped = np.clip(row, 0, 1)
+            plain.observe(clipped)
+            padded.observe(clipped)
+        assert np.all(padded.predict() >= plain.predict())
+
+    def test_forecast_clipped_to_unit_interval(self):
+        f = EwmaForecaster(margin_sigmas=5.0)
+        for _ in range(5):
+            f.observe(np.array([0.95, 0.05]))
+            f.observe(np.array([0.5, 0.5]))
+        prediction = f.predict()
+        assert np.all(prediction <= 1.0)
+        assert np.all(prediction >= 0.0)
+
+
+class TestAr1:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            Ar1Forecaster(forgetting=0.4)
+        with pytest.raises(PhysicalRangeError):
+            Ar1Forecaster().predict()
+
+    def test_learns_mean_reversion(self):
+        # An alternating series has rho ~ -1: the forecast should flip
+        # to the other side of the mean.
+        f = Ar1Forecaster(margin_sigmas=0.0)
+        for i in range(60):
+            f.observe(np.array([0.3 if i % 2 == 0 else 0.7]))
+        last_was = 0.7 if 59 % 2 else 0.3
+        prediction = float(f.predict()[0])
+        # Next value is the opposite extreme; forecast leans that way.
+        expected = 0.3 if last_was == 0.7 else 0.7
+        assert abs(prediction - expected) < 0.15
+
+    def test_constant_series(self):
+        f = Ar1Forecaster(margin_sigmas=0.0)
+        for _ in range(20):
+            f.observe(np.array([0.55]))
+        assert f.predict()[0] == pytest.approx(0.55, abs=1e-6)
+
+
+class TestBacktest:
+    def test_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            backtest(EwmaForecaster(), np.zeros((2, 3)))
+
+    def test_persistent_trace_forecasts_well(self):
+        trace = common_trace(n_servers=40, duration_s=12 * 3600.0,
+                             seed=4)
+        score = backtest(EwmaForecaster(margin_sigmas=0.0),
+                         trace.utilisation)
+        # Common-class traces are highly persistent: tiny MAE.
+        assert score["mae"] < 0.02
+
+    def test_margin_buys_coverage(self):
+        trace = drastic_trace(n_servers=40, duration_s=12 * 3600.0,
+                              seed=4)
+        plain = backtest(EwmaForecaster(alpha=1.0, margin_sigmas=0.0),
+                         trace.utilisation)
+        padded = backtest(EwmaForecaster(alpha=1.0, margin_sigmas=2.0),
+                          trace.utilisation)
+        assert padded["binding_coverage"] > plain["binding_coverage"]
+
+    def test_ar1_beats_naive_on_mean_reverting_load(self):
+        # Drastic traces are weakly persistent (rho ~ 0.3): reverting to
+        # the mean forecasts better than carrying the last value.
+        trace = drastic_trace(n_servers=60, duration_s=12 * 3600.0,
+                              seed=8)
+        naive = backtest(EwmaForecaster(alpha=1.0, margin_sigmas=0.0),
+                         trace.utilisation)
+        ar1 = backtest(Ar1Forecaster(margin_sigmas=0.0),
+                       trace.utilisation)
+        assert ar1["mae"] < naive["mae"]

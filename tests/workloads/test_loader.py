@@ -1,0 +1,144 @@
+"""Trace persistence and cluster-table ingestion tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.workloads.loader import (
+    load_cluster_table,
+    load_trace_csv,
+    save_trace_csv,
+)
+from repro.workloads.synthetic import common_trace
+from repro.workloads.trace import WorkloadTrace
+
+
+class TestMatrixCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        trace = common_trace(n_servers=7, duration_s=3600.0, seed=5)
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert loaded.name == "common"
+        assert loaded.interval_s == trace.interval_s
+        assert np.allclose(loaded.utilisation, trace.utilisation, atol=1e-6)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("bogus,300\n0.1,0.2\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_bad_interval_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("interval_s,abc\n0.1,0.2\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_no_rows_rejected(self, tmp_path):
+        path = tmp_path / "empty_body.csv"
+        path.write_text("interval_s,300\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("interval_s,300\n0.1,0.2\n0.3\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("interval_s,300\n0.1,oops\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_default_name_from_stem(self, tmp_path):
+        trace = WorkloadTrace(np.array([[0.5]]), 300.0, name="x")
+        path = tmp_path / "mytrace.csv"
+        # Write without a name column by hand.
+        path.write_text("interval_s,300\n0.5\n")
+        assert load_trace_csv(path).name == "mytrace"
+        del trace
+
+
+class TestClusterTable:
+    def write_table(self, tmp_path, rows, header=True):
+        path = tmp_path / "cluster.csv"
+        lines = ["timestamp,machine,cpu"] if header else []
+        lines += [",".join(str(x) for x in row) for row in rows]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_basic_pivot(self, tmp_path):
+        path = self.write_table(tmp_path, [
+            (0, "m1", 0.2), (0, "m2", 0.4),
+            (300, "m1", 0.3), (300, "m2", 0.5),
+        ])
+        trace = load_cluster_table(path, interval_s=300.0)
+        assert trace.n_steps == 2
+        assert trace.n_servers == 2
+        assert trace.utilisation[1, 1] == pytest.approx(0.5)
+
+    def test_percent_scale_detected(self, tmp_path):
+        path = self.write_table(tmp_path, [
+            (0, "m1", 20.0), (300, "m1", 45.0),
+        ])
+        trace = load_cluster_table(path, interval_s=300.0)
+        assert trace.utilisation.max() == pytest.approx(0.45)
+
+    def test_over_100_percent_rejected(self, tmp_path):
+        path = self.write_table(tmp_path, [(0, "m1", 250.0)])
+        with pytest.raises(TraceFormatError):
+            load_cluster_table(path)
+
+    def test_bin_averaging(self, tmp_path):
+        # Two reports in the same 300 s bin are averaged.
+        path = self.write_table(tmp_path, [
+            (0, "m1", 0.2), (100, "m1", 0.4), (300, "m1", 0.6),
+        ])
+        trace = load_cluster_table(path, interval_s=300.0)
+        assert trace.utilisation[0, 0] == pytest.approx(0.3)
+
+    def test_forward_fill(self, tmp_path):
+        path = self.write_table(tmp_path, [
+            (0, "m1", 0.4), (0, "m2", 0.1),
+            (600, "m1", 0.6), (600, "m2", 0.2),
+        ])
+        trace = load_cluster_table(path, interval_s=300.0)
+        # The middle bin has no reports: forward-filled.
+        assert trace.utilisation[1, 0] == pytest.approx(0.4)
+
+    def test_max_servers_selection(self, tmp_path):
+        path = self.write_table(tmp_path, [
+            (0, "m1", 0.1), (0, "m2", 0.2), (0, "m3", 0.3),
+        ])
+        trace = load_cluster_table(path, max_servers=2)
+        assert trace.n_servers == 2
+
+    def test_headerless_table(self, tmp_path):
+        path = self.write_table(tmp_path, [(0, "m1", 0.5)], header=False)
+        trace = load_cluster_table(path)
+        assert trace.n_servers == 1
+
+    def test_short_rows_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("0,m1\n")
+        with pytest.raises(TraceFormatError):
+            load_cluster_table(path)
+
+    def test_empty_table_rejected(self, tmp_path):
+        path = tmp_path / "none.csv"
+        path.write_text("timestamp,machine,cpu\n")
+        with pytest.raises(TraceFormatError):
+            load_cluster_table(path)
+
+    def test_custom_name(self, tmp_path):
+        path = self.write_table(tmp_path, [(0, "m1", 0.5)])
+        assert load_cluster_table(path, name="alibaba").name == "alibaba"

@@ -1,0 +1,120 @@
+"""Scenario-builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PhysicalRangeError
+from repro.workloads.scenarios import ScenarioBuilder
+from repro.workloads.synthetic import common_trace
+
+
+class TestConstruction:
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            ScenarioBuilder(n_servers=0)
+        with pytest.raises(PhysicalRangeError):
+            ScenarioBuilder(duration_s=-1.0)
+        with pytest.raises(PhysicalRangeError):
+            ScenarioBuilder(duration_s=10.0, interval_s=300.0)
+
+    def test_from_base_trace(self):
+        base = common_trace(n_servers=12, duration_s=3600.0, seed=5)
+        built = ScenarioBuilder(base=base).build()
+        assert built.n_servers == 12
+        assert built.n_steps == base.n_steps
+
+    def test_empty_builder_is_idle(self):
+        trace = ScenarioBuilder(n_servers=4, duration_s=1800.0).build()
+        assert trace.utilisation.max() == 0.0
+
+
+class TestEvents:
+    def builder(self):
+        return ScenarioBuilder(n_servers=6, duration_s=7200.0,
+                               interval_s=300.0)
+
+    def test_background(self):
+        trace = self.builder().background(0.3).build()
+        assert np.allclose(trace.utilisation, 0.3)
+
+    def test_background_validation(self):
+        with pytest.raises(PhysicalRangeError):
+            self.builder().background(1.5)
+
+    def test_step_window(self):
+        trace = (self.builder().background(0.2)
+                 .step(start_s=1800.0, magnitude=0.5,
+                       duration_s=1800.0, servers=[2])
+                 .build())
+        matrix = trace.utilisation
+        assert matrix[5, 2] == pytest.approx(0.2)   # before
+        assert matrix[7, 2] == pytest.approx(0.7)   # during
+        assert matrix[13, 2] == pytest.approx(0.2)  # after
+        assert matrix[7, 3] == pytest.approx(0.2)   # other server
+
+    def test_step_without_duration_persists(self):
+        trace = (self.builder().background(0.1)
+                 .step(start_s=3600.0, magnitude=0.4).build())
+        assert trace.utilisation[-1, 0] == pytest.approx(0.5)
+
+    def test_step_after_end_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.builder().step(start_s=10_000.0, magnitude=0.5)
+
+    def test_negative_step_allowed(self):
+        trace = (self.builder().background(0.6)
+                 .step(start_s=0.0, magnitude=-0.4,
+                       duration_s=600.0).build())
+        assert trace.utilisation[0, 0] == pytest.approx(0.2)
+
+    def test_ramp_reaches_and_holds(self):
+        trace = (self.builder()
+                 .ramp(start_s=0.0, duration_s=3600.0, magnitude=0.8)
+                 .build())
+        matrix = trace.utilisation
+        assert matrix[0, 0] == pytest.approx(0.0)
+        assert matrix[11, 0] == pytest.approx(0.8, abs=0.08)
+        assert matrix[-1, 0] == pytest.approx(0.8)
+
+    def test_sine_symmetric(self):
+        trace = (self.builder().background(0.5)
+                 .sine(period_s=3600.0, amplitude=0.2).build())
+        assert trace.utilisation.mean() == pytest.approx(0.5, abs=0.02)
+        assert trace.utilisation.max() > 0.65
+
+    def test_runaway_pins_server(self):
+        trace = (self.builder().background(0.2)
+                 .runaway(server=4, start_s=3600.0).build())
+        assert np.all(trace.utilisation[12:, 4] == 1.0)
+        assert np.all(trace.utilisation[:12, 4] == pytest.approx(0.2))
+
+    def test_noise_deterministic(self):
+        a = self.builder().background(0.5).noise(0.05, seed=7).build()
+        b = self.builder().background(0.5).noise(0.05, seed=7).build()
+        assert np.array_equal(a.utilisation, b.utilisation)
+
+    def test_server_index_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.builder().background(0.2, servers=[9])
+        with pytest.raises(ConfigurationError):
+            self.builder().background(0.2, servers=[])
+
+    def test_always_clipped(self):
+        trace = (self.builder().background(0.9)
+                 .step(start_s=0.0, magnitude=0.9)
+                 .noise(0.3, seed=1).build())
+        assert trace.utilisation.max() <= 1.0
+        assert trace.utilisation.min() >= 0.0
+
+
+class TestPolicyIntegration:
+    def test_runaway_scenario_drives_policy_cold(self):
+        from repro.control.cooling_policy import AnalyticPolicy
+
+        trace = (ScenarioBuilder(n_servers=10, duration_s=7200.0)
+                 .background(0.2).runaway(server=0, start_s=3600.0)
+                 .build())
+        policy = AnalyticPolicy()
+        before = policy.decide(trace.step(2))
+        after = policy.decide(trace.step(20))
+        assert after.setting.inlet_temp_c < before.setting.inlet_temp_c

@@ -1,0 +1,123 @@
+"""Synthetic trace generator tests — the three paper classes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicalRangeError
+from repro.workloads.synthetic import (
+    TRACE_GENERATORS,
+    common_trace,
+    drastic_trace,
+    irregular_trace,
+    trace_by_name,
+)
+
+
+class TestRegistry:
+    def test_all_three_classes(self):
+        assert set(TRACE_GENERATORS) == {"drastic", "irregular", "common"}
+
+    def test_trace_by_name(self):
+        trace = trace_by_name("common", n_servers=10,
+                              duration_s=3600.0, seed=0)
+        assert trace.name == "common"
+        assert trace.n_servers == 10
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            trace_by_name("bursty")
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = drastic_trace(n_servers=20, duration_s=7200.0, seed=42)
+        b = drastic_trace(n_servers=20, duration_s=7200.0, seed=42)
+        assert np.array_equal(a.utilisation, b.utilisation)
+
+    def test_different_seeds_differ(self):
+        a = drastic_trace(n_servers=20, duration_s=7200.0, seed=1)
+        b = drastic_trace(n_servers=20, duration_s=7200.0, seed=2)
+        assert not np.array_equal(a.utilisation, b.utilisation)
+
+
+class TestPaperShapes:
+    """The qualitative structure the paper assigns to each class."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        kwargs = dict(n_servers=300, duration_s=12 * 3600.0)
+        return {
+            "drastic": drastic_trace(seed=0, **kwargs),
+            "irregular": irregular_trace(seed=1, **kwargs),
+            "common": common_trace(seed=2, **kwargs),
+        }
+
+    def test_default_durations(self):
+        # Alibaba: 12 h; Google selections: 24 h.
+        assert drastic_trace(n_servers=5).duration_s == 12 * 3600.0
+        assert irregular_trace(n_servers=5).duration_s == 24 * 3600.0
+        assert common_trace(n_servers=5).duration_s == 24 * 3600.0
+
+    def test_default_server_counts(self):
+        assert drastic_trace(duration_s=3600.0).n_servers == 1313
+        assert irregular_trace(duration_s=3600.0).n_servers == 1000
+
+    def test_volatility_ordering(self, traces):
+        # Drastic >> irregular > common in step-to-step movement.
+        v = {k: t.statistics().volatility for k, t in traces.items()}
+        assert v["drastic"] > 3.0 * v["irregular"]
+        assert v["irregular"] > v["common"]
+
+    def test_irregular_has_high_peaks(self, traces):
+        stats = traces["irregular"].statistics()
+        # Background is calm (p95 low) but peaks reach high utilisation.
+        assert stats.p95 < 0.35
+        assert stats.max > 0.6
+
+    def test_common_has_small_range(self, traces):
+        stats = traces["common"].statistics()
+        assert stats.max < 0.85
+        assert stats.std < 0.12
+
+    def test_mean_utilisations_match_pre_arithmetic(self, traces):
+        # Back-solved from the paper's PRE numbers: drastic ~0.26,
+        # irregular ~0.19, common ~0.25 (see module docstring).
+        assert traces["drastic"].statistics().mean == pytest.approx(
+            0.27, abs=0.04)
+        assert traces["irregular"].statistics().mean == pytest.approx(
+            0.19, abs=0.04)
+        assert traces["common"].statistics().mean == pytest.approx(
+            0.25, abs=0.04)
+
+    def test_all_in_unit_interval(self, traces):
+        for trace in traces.values():
+            assert trace.utilisation.min() >= 0.0
+            assert trace.utilisation.max() <= 1.0
+
+    def test_diurnal_pattern_present(self):
+        # 24 h classes must be busier in the afternoon than pre-dawn.
+        trace = common_trace(n_servers=100, seed=3)
+        hours = trace.times_s / 3600.0
+        afternoon = trace.mean_per_step()[(hours >= 12) & (hours < 16)]
+        night = trace.mean_per_step()[(hours >= 2) & (hours < 6)]
+        assert afternoon.mean() > night.mean()
+
+
+class TestArguments:
+    def test_bad_duration_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            drastic_trace(n_servers=5, duration_s=0.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            common_trace(n_servers=5, interval_s=-5.0)
+
+    def test_sub_interval_duration_rejected(self):
+        with pytest.raises(PhysicalRangeError):
+            common_trace(n_servers=5, duration_s=10.0, interval_s=300.0)
+
+    def test_custom_interval(self):
+        trace = irregular_trace(n_servers=5, duration_s=3600.0,
+                                interval_s=600.0)
+        assert trace.interval_s == 600.0
+        assert trace.n_steps == 6
