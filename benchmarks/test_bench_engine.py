@@ -1,0 +1,67 @@
+"""Engine throughput smoke: the batch fast path must not be slower.
+
+Runs one scheme over a 50-step trace through the serial
+``DatacenterSimulator`` and through the engine's vectorised, cached
+path, timing the *stepping* phase only (simulators are constructed
+outside the timed region; the engine's ``EngineMetrics.step_time_s``
+isolates the same phase).  Asserts the engine is at least as fast as
+serial within a small headroom, and bit-identical.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import teg_original
+from repro.core.engine import simulate
+from repro.core.simulator import DatacenterSimulator
+from repro.workloads.synthetic import common_trace
+
+from bench_utils import print_table
+
+ROUNDS = 3
+#: The engine may be up to this factor slower before the smoke fails;
+#: in practice it is several times faster (cache + vectorisation).
+HEADROOM = 1.10
+
+
+def _fifty_step_trace():
+    return common_trace(n_servers=100, duration_s=50 * 300.0,
+                        interval_s=300.0, seed=7)
+
+
+@pytest.mark.benchmark
+def test_bench_engine_not_slower_than_serial(benchmark):
+    trace = _fifty_step_trace()
+    config = teg_original()
+    assert trace.n_steps == 50
+
+    serial_times = []
+    serial_result = None
+    for _ in range(ROUNDS):
+        simulator = DatacenterSimulator(trace, config)  # untimed setup
+        started = time.perf_counter()
+        serial_result = simulator.run()
+        serial_times.append(time.perf_counter() - started)
+    serial_s = min(serial_times)
+
+    engine_results = benchmark.pedantic(
+        lambda: [simulate(trace, config) for _ in range(ROUNDS)],
+        rounds=1, iterations=1)
+    engine_s = min(result.metrics.step_time_s
+                   for result in engine_results)
+    engine_result = engine_results[-1]
+
+    print_table(
+        "Engine vs serial — 50-step common trace, 100 servers",
+        ["path", "step time s", "steps/s", "cache hit rate"],
+        [
+            ["serial", serial_s, 50.0 / serial_s, float("nan")],
+            ["engine", engine_s, 50.0 / engine_s,
+             engine_result.metrics.cache_hit_rate],
+        ])
+
+    assert engine_result.records == serial_result.records
+    assert engine_result.metrics.cache_hit_rate > 0
+    assert engine_s <= serial_s * HEADROOM, (
+        f"engine stepping {engine_s:.3f}s vs serial {serial_s:.3f}s")

@@ -3,6 +3,7 @@
 Run:
     python examples/reproduce_all.py                # writes RESULTS.md
     python examples/reproduce_all.py --out /tmp/r.md --skip-slow
+    python examples/reproduce_all.py --workers 4    # parallel engine runs
 
 Walks the experiment registry (the same E-F*/E-T1/E-VA ids DESIGN.md
 indexes), runs each at registry scale, and renders one markdown report
@@ -11,9 +12,11 @@ recalibration.
 """
 
 import argparse
+import os
 import time
 from pathlib import Path
 
+from repro.core.engine import WORKERS_ENV_VAR
 from repro.experiments import list_experiments, run_experiment
 
 SLOW_IDS = {"E-F14", "E-F15"}
@@ -26,7 +29,12 @@ def main() -> None:
     parser.add_argument("--skip-slow", action="store_true",
                         help="skip the cluster-scale experiments "
                              f"({', '.join(sorted(SLOW_IDS))})")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel workers for the engine-backed "
+                             "experiments (sets " + WORKERS_ENV_VAR + ")")
     args = parser.parse_args()
+    if args.workers is not None:
+        os.environ[WORKERS_ENV_VAR] = str(args.workers)
 
     lines = ["# RESULTS — registry run", ""]
     for experiment_id, title in list_experiments():

@@ -23,11 +23,15 @@ from .constants import (
     TEGS_PER_SERVER,
 )
 from .core import (
+    BatchResult,
+    BatchSimulationEngine,
     DatacenterSimulator,
     H2PSystem,
     SchemeComparison,
     SimulationConfig,
+    SimulationJob,
     SimulationResult,
+    run_batch,
     teg_loadbalance,
     teg_original,
 )
@@ -54,6 +58,10 @@ __version__ = "1.0.0"
 __all__ = [
     "H2PSystem",
     "DatacenterSimulator",
+    "BatchSimulationEngine",
+    "BatchResult",
+    "SimulationJob",
+    "run_batch",
     "SimulationConfig",
     "SimulationResult",
     "SchemeComparison",

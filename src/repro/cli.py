@@ -3,6 +3,7 @@
 Installed as the ``h2p`` console script::
 
     h2p simulate --trace common --servers 200      # Fig. 14/15 style run
+    h2p batch --servers 100 --workers 4 --check    # engine sweep + identity
     h2p design --servers 1000 --sigma 6            # Sec. V-A loop sizing
     h2p tco --generation 4.177 --cpus 100000       # Table I economics
     h2p trace --name drastic --out drastic.csv     # synthetic trace export
@@ -36,6 +37,24 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--circulation-size", type=int, default=20)
     simulate.add_argument("--seed", type=int, default=None)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    batch = subparsers.add_parser(
+        "batch", help="batched (scheme x trace) sweep through the "
+                      "simulation engine")
+    batch.add_argument("--traces", nargs="+",
+                       default=["drastic", "irregular", "common"],
+                       choices=("drastic", "irregular", "common"))
+    batch.add_argument("--schemes", nargs="+",
+                       default=["original", "loadbalance"],
+                       choices=("original", "loadbalance"))
+    batch.add_argument("--servers", type=int, default=100)
+    batch.add_argument("--workers", type=int, default=None,
+                       help="parallel workers (default: REPRO_WORKERS "
+                            "or the CPU count)")
+    batch.add_argument("--check", action="store_true",
+                       help="also run the first job serially and "
+                            "verify bit-identity")
+    batch.set_defaults(handler=_cmd_batch)
 
     design = subparsers.add_parser(
         "design", help="circulation-size optimisation (Sec. V-A)")
@@ -135,6 +154,41 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"  violations {result.total_safety_violations}")
     print(f"  improvement: {comparison.generation_improvement:.1%} "
           f"(paper: 13.08 % overall)")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .core.config import teg_loadbalance, teg_original
+    from .core.engine import SimulationJob, run_batch
+    from .core.simulator import DatacenterSimulator
+    from .workloads.synthetic import trace_by_name
+
+    factories = {"original": teg_original, "loadbalance": teg_loadbalance}
+    traces = [trace_by_name(name, n_servers=args.servers)
+              for name in args.traces]
+    jobs = [SimulationJob(trace=trace, config=factories[scheme]())
+            for trace in traces for scheme in args.schemes]
+    batch = run_batch(jobs, args.workers)
+    print(f"{'scheme':<16} {'trace':<10} {'avg W':>7} {'PRE':>7} "
+          f"{'steps/s':>8} {'cache':>6}")
+    for result in batch.results:
+        metrics = result.metrics
+        print(f"{result.scheme:<16} {result.trace_name:<10} "
+              f"{result.average_generation_w:>7.3f} "
+              f"{result.average_pre:>6.1%} "
+              f"{metrics.steps_per_s:>8.0f} "
+              f"{metrics.cache_hit_rate:>6.1%}")
+    aggregate = batch.metrics
+    print(f"batch: {aggregate.n_jobs} jobs via {aggregate.executor} "
+          f"x{aggregate.n_workers} in {aggregate.wall_time_s:.2f} s "
+          f"({aggregate.steps_per_s:.0f} steps/s, cache "
+          f"{aggregate.cache_hit_rate:.1%})")
+    if args.check:
+        first = jobs[0]
+        serial = DatacenterSimulator(first.trace, first.config).run()
+        identical = serial.records == batch.results[0].records
+        print(f"serial check: {'bit-identical' if identical else 'MISMATCH'}")
+        return 0 if identical else 1
     return 0
 
 

@@ -181,16 +181,15 @@ class LookupSpacePolicy:
         * the load is so heavy that every setting overshoots the band —
           then cool as hard as possible (coldest inlet, fastest flow).
         """
+        cpu_plane, outlet_plane = self.space.plane_temperatures(binding)
         best_point = None
         best_power = -np.inf
-        for flow in self.space.flow_grid:
-            for inlet in self.space.inlet_grid:
-                cpu_temp = self.space.cpu_temp_c(binding, float(flow),
-                                                 float(inlet))
+        for j, flow in enumerate(self.space.flow_grid):
+            for k, inlet in enumerate(self.space.inlet_grid):
+                cpu_temp = float(cpu_plane[j, k])
                 if cpu_temp > self.safe_temp_c + self.tolerance_c:
                     continue
-                outlet = self.space.outlet_temp_c(binding, float(flow),
-                                                  float(inlet))
+                outlet = float(outlet_plane[j, k])
                 power = self.teg_module.generation_w(
                     outlet, self.cold_source_temp_c, float(flow))
                 if power > best_power:
@@ -201,10 +200,8 @@ class LookupSpacePolicy:
             # Overload: every setting overshoots; emergency-cool.
             flow = float(self.space.flow_grid[-1])
             inlet = float(self.space.inlet_grid[0])
-            outlet = self.space.outlet_temp_c(binding, flow, inlet)
-            best_point = (flow, inlet,
-                          self.space.cpu_temp_c(binding, flow, inlet),
-                          outlet)
+            outlet = float(outlet_plane[-1, 0])
+            best_point = (flow, inlet, float(cpu_plane[-1, 0]), outlet)
             best_power = self.teg_module.generation_w(
                 outlet, self.cold_source_temp_c, flow)
         flow, inlet, cpu_temp, outlet = best_point

@@ -131,6 +131,26 @@ class LookupSpace:
     # Fig. 13: the intersection A = U ∩ X
     # ------------------------------------------------------------------
 
+    def plane_temperatures(self, utilisation: float
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """Interpolated ``(T_CPU, T_out)`` over the whole ``u`` plane.
+
+        One batched interpolator call over every ``(flow, inlet)`` grid
+        point — bit-identical to (but far faster than) the per-point
+        :meth:`cpu_temp_c` / :meth:`outlet_temp_c` loop.  Both returned
+        arrays have shape ``(len(flow_grid), len(inlet_grid))``.
+        """
+        if not 0.0 <= utilisation <= 1.0:
+            raise PhysicalRangeError(
+                f"utilisation must be in [0, 1], got {utilisation}")
+        flows = np.repeat(self.flow_grid, len(self.inlet_grid))
+        inlets = np.tile(self.inlet_grid, len(self.flow_grid))
+        points = np.column_stack(
+            [np.full(flows.shape, utilisation), flows, inlets])
+        shape = (len(self.flow_grid), len(self.inlet_grid))
+        return (self._cpu_interp(points).reshape(shape),
+                self._outlet_interp(points).reshape(shape))
+
     def safe_region(self, utilisation: float,
                     safe_temp_c: float = CPU_SAFE_TEMP_C,
                     tolerance_c: float = 1.0) -> list[SpacePoint]:
@@ -145,24 +165,24 @@ class LookupSpace:
         list of SpacePoint
             The intersection area ``A`` (may be empty when no setting can
             hold the CPU near ``T_safe`` — e.g. at very high load with a
-            bounded inlet grid).
+            bounded inlet grid).  Points are ordered flow-major then
+            inlet, exactly as the measurement sweeps run.
         """
         if tolerance_c <= 0:
             raise PhysicalRangeError(
                 f"tolerance must be > 0, got {tolerance_c}")
+        cpu_plane, outlet_plane = self.plane_temperatures(utilisation)
         region = []
-        for flow in self.flow_grid:
-            for inlet in self.inlet_grid:
-                cpu_temp = self.cpu_temp_c(utilisation, float(flow),
-                                           float(inlet))
+        for j, flow in enumerate(self.flow_grid):
+            for k, inlet in enumerate(self.inlet_grid):
+                cpu_temp = float(cpu_plane[j, k])
                 if abs(cpu_temp - safe_temp_c) <= tolerance_c:
                     region.append(SpacePoint(
                         utilisation=utilisation,
                         flow_l_per_h=float(flow),
                         inlet_temp_c=float(inlet),
                         cpu_temp_c=cpu_temp,
-                        outlet_temp_c=self.outlet_temp_c(
-                            utilisation, float(flow), float(inlet)),
+                        outlet_temp_c=float(outlet_plane[j, k]),
                     ))
         return region
 

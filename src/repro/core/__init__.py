@@ -5,6 +5,8 @@
 * :mod:`repro.core.results` — result containers and scheme comparison;
 * :mod:`repro.core.simulator` — the time-stepped cluster simulator that
   produces Fig. 14 / Fig. 15;
+* :mod:`repro.core.engine` — the parallel batch execution layer (many
+  (scheme x trace) runs through one API, cached and vectorised);
 * :mod:`repro.core.h2p` — the top-level :class:`H2PSystem` facade a
   downstream user starts from.
 """
@@ -12,6 +14,15 @@
 from .config import SimulationConfig, teg_original, teg_loadbalance
 from .results import SimulationResult, StepRecord, SchemeComparison
 from .simulator import DatacenterSimulator
+from .engine import (
+    BatchResult,
+    BatchSimulationEngine,
+    CoolingDecisionCache,
+    EngineMetrics,
+    SimulationJob,
+    compare_batch,
+    run_batch,
+)
 from .h2p import H2PSystem
 from .facility import FacilityModel, FacilityReport
 from .seasonal import SeasonalStudy, MonthOutcome, annual_summary
@@ -24,6 +35,13 @@ __all__ = [
     "StepRecord",
     "SchemeComparison",
     "DatacenterSimulator",
+    "BatchSimulationEngine",
+    "BatchResult",
+    "SimulationJob",
+    "EngineMetrics",
+    "CoolingDecisionCache",
+    "run_batch",
+    "compare_batch",
     "H2PSystem",
     "FacilityModel",
     "FacilityReport",

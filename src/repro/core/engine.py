@@ -1,0 +1,628 @@
+"""Batch execution engine for (scheme x trace) simulation sweeps.
+
+Every headline result of the paper (Fig. 14/15, Table I, the ablations)
+re-runs :class:`~repro.core.simulator.DatacenterSimulator` once per
+scheme per trace.  This module turns that hot path into a batch API:
+
+* :class:`SimulationJob` names one (trace, config) pair to evaluate;
+* :class:`BatchSimulationEngine` fans a list of jobs out over a process
+  pool (``concurrent.futures``), degrading gracefully to threads or a
+  serial loop when processes are unavailable, with a ``REPRO_WORKERS``
+  environment override;
+* inside each job the step loop is *vectorised*: circulations sharing a
+  cooling setting are evaluated as one NumPy batch instead of per-group
+  Python calls, and cooling decisions are memoised by
+  :class:`CoolingDecisionCache`;
+* :class:`EngineMetrics` (wall time per phase, steps/sec, cache hit
+  rate) is attached to every :class:`~repro.core.results.SimulationResult`
+  so benchmarks can assert speedups.
+
+Bit-identity
+------------
+Engine results are **bit-identical** to the serial
+``DatacenterSimulator.run`` path:
+
+* all per-server quantities (CPU temperature, outlet temperature, CPU
+  power, TEG power) are elementwise NumPy computations, so evaluating a
+  gathered multi-circulation batch yields exactly the per-circulation
+  values;
+* per-circulation sums and the cluster-level accumulation reuse the
+  simulator's own :meth:`DatacenterSimulator._aggregate_step`, in the
+  same circulation order;
+* the decision cache only serves hits that provably reproduce what the
+  policy itself would return (see :class:`CoolingDecisionCache`).
+
+The golden and determinism tests in ``tests/core/test_engine.py``
+enforce this equivalence.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..cooling.loop import CirculationState
+from ..errors import ConfigurationError
+from ..teg.module import TegModule
+from ..thermal.cpu_model import CpuThermalModel
+from ..thermal.hydraulics import loop_pump_power_w
+from ..workloads.trace import WorkloadTrace
+from .config import SimulationConfig
+from .results import SimulationResult
+from .simulator import DatacenterSimulator
+
+#: Environment variable overriding the engine's worker count.
+#: ``0`` or ``1`` force the serial in-process path.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Default utilisation quantisation of the cooling-decision cache,
+#: matching :class:`~repro.control.cooling_policy.LookupSpacePolicy`.
+DEFAULT_CACHE_RESOLUTION = 0.005
+
+
+# ----------------------------------------------------------------------
+# Cooling-decision cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`CoolingDecisionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``decide`` calls answered."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class CoolingDecisionCache:
+    """Memoised cooling-setting decisions across steps and circulations.
+
+    The ``control.cooling_policy`` / ``control.lookup_space`` search is
+    the dominant per-decision cost and highly repetitive across steps:
+    the decision depends only on the *binding* utilisation (the max or
+    mean of the circulation's utilisation vector), which revisits the
+    same quantised values over and over.
+
+    Keys are derived from the quantised utilisation vector together with
+    the cold-source temperature and the policy identity (the ``context``
+    tuple).  Hits are guaranteed bit-identical to calling the policy:
+
+    * for :class:`~repro.control.cooling_policy.LookupSpacePolicy` (it
+      exposes ``cache_resolution``) the key uses the same quantised
+      binding bucket the policy's own memo uses, so any colliding vector
+      would be answered with the identical cached decision by the policy
+      itself;
+    * for policies without an internal memo (analytic, static) the key
+      carries the *exact* binding utilisation, and the decision is a
+      pure function of it.
+    """
+
+    def __init__(self, resolution: float = DEFAULT_CACHE_RESOLUTION) -> None:
+        if resolution <= 0:
+            raise ConfigurationError(
+                f"cache resolution must be > 0, got {resolution}")
+        self.resolution = resolution
+        self.stats = CacheStats()
+        self._store: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def decide(self, policy, utilisations: np.ndarray, context: tuple = ()):
+        """Return ``policy.decide(utilisations)``, memoised.
+
+        Parameters
+        ----------
+        policy:
+            Any cooling policy keyed on a binding utilisation through an
+            ``aggregation`` attribute (``"max"`` or ``"avg"``).
+        utilisations:
+            The scheduled per-server utilisation vector.
+        context:
+            Hashable policy/environment identity (policy kind, cold
+            source temperature, safe temperature, ...) so one cache can
+            serve several simulations without cross-talk.
+        """
+        utils = np.asarray(utilisations, dtype=float)
+        aggregation = getattr(policy, "aggregation", "max")
+        if aggregation == "avg":
+            binding = float(utils.mean())
+        else:
+            binding = float(utils.max())
+        policy_resolution = getattr(policy, "cache_resolution", None)
+        if policy_resolution:
+            # Same bucketing (and same round()) as the policy's memo.
+            binding_key = round(binding / policy_resolution)
+        else:
+            binding_key = binding
+        key = (context, aggregation, utils.size, binding_key)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        decision = policy.decide(utils)
+        self._store[key] = decision
+        self.stats.misses += 1
+        return decision
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+@dataclass
+class EngineMetrics:
+    """Observability attached to engine-produced results.
+
+    Attributes
+    ----------
+    setup_time_s / step_time_s / wall_time_s:
+        Wall time spent building the simulator (policy, lookup space,
+        circulations), stepping the trace, and in total.
+    n_steps / steps_per_s:
+        Steps replayed and throughput of the stepping phase.
+    cache_hits / cache_misses / cache_hit_rate:
+        Cooling-decision cache counters for this run.
+    vectorised:
+        Whether the NumPy-batched step loop was used.
+    executor / n_workers:
+        How the batch layer ran this job (``"process"``, ``"thread"``
+        or ``"serial"``); filled in by :class:`BatchSimulationEngine`.
+    """
+
+    setup_time_s: float = 0.0
+    step_time_s: float = 0.0
+    wall_time_s: float = 0.0
+    n_steps: int = 0
+    steps_per_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    vectorised: bool = True
+    executor: str = "serial"
+    n_workers: int = 1
+
+    def summary(self) -> dict:
+        """Headline metrics as a plain dictionary (for tables/JSON)."""
+        return {
+            "wall_time_s": round(self.wall_time_s, 4),
+            "steps_per_s": round(self.steps_per_s, 1),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "vectorised": self.vectorised,
+            "executor": self.executor,
+            "n_workers": self.n_workers,
+        }
+
+
+@dataclass(frozen=True)
+class BatchMetrics:
+    """Aggregate metrics of one :meth:`BatchSimulationEngine.run` call."""
+
+    wall_time_s: float
+    n_jobs: int
+    n_workers: int
+    executor: str
+    total_steps: int
+    steps_per_s: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Aggregate cooling-cache hit rate across all jobs."""
+        lookups = self.cache_hits + self.cache_misses
+        if not lookups:
+            return 0.0
+        return self.cache_hits / lookups
+
+    def summary(self) -> dict:
+        """Headline metrics as a plain dictionary (for tables/JSON)."""
+        return {
+            "jobs": self.n_jobs,
+            "executor": self.executor,
+            "workers": self.n_workers,
+            "wall_time_s": round(self.wall_time_s, 3),
+            "steps_per_s": round(self.steps_per_s, 1),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+        }
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One (scheme x trace) pair to evaluate.
+
+    ``cpu_model`` / ``teg_module`` default to the simulator's
+    paper-calibrated hardware when omitted; heterogeneous-fleet sweeps
+    pass per-slice models.
+    """
+
+    trace: WorkloadTrace
+    config: SimulationConfig
+    cpu_model: CpuThermalModel | None = None
+    teg_module: TegModule | None = None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """``(scheme, trace)`` label used to index batch results."""
+        return (self.config.name, self.trace.name)
+
+
+class _CachedVectorisedSimulator(DatacenterSimulator):
+    """A :class:`DatacenterSimulator` with memoised, batched stepping.
+
+    The scheduler, policy, partitioning and aggregation all come from
+    the parent class; only two things change:
+
+    * cooling decisions go through a :class:`CoolingDecisionCache`;
+    * the per-server thermal/TEG evaluation is batched across all
+      circulations that chose the same (clamped) cooling setting.
+    """
+
+    def __init__(self, trace: WorkloadTrace, config: SimulationConfig,
+                 cpu_model: CpuThermalModel | None = None,
+                 teg_module: TegModule | None = None,
+                 cache: CoolingDecisionCache | None = None,
+                 vectorised: bool = True) -> None:
+        kwargs = {}
+        if cpu_model is not None:
+            kwargs["cpu_model"] = cpu_model
+        if teg_module is not None:
+            kwargs["teg_module"] = teg_module
+        super().__init__(trace, config, **kwargs)
+        # `is None` check: an empty cache is falsy (it has __len__).
+        self._cache = cache if cache is not None else CoolingDecisionCache()
+        self._vectorised = vectorised
+        self._context = (config.name, config.policy, config.scheduler,
+                         config.cold_source_temp_c, config.safe_temp_c)
+
+    @property
+    def cache(self) -> CoolingDecisionCache:
+        """The cooling-decision cache backing this simulator."""
+        return self._cache
+
+    def _decide(self, scheduled: np.ndarray):
+        return self._cache.decide(self._policy, scheduled, self._context)
+
+    def _run_step(self, step_index: int):
+        if not self._vectorised:
+            return super()._run_step(step_index)
+        step_utils = self.trace.step(step_index)
+
+        # Phase 1 — schedule and decide per circulation (cache-assisted).
+        scheduled_groups = []
+        applied_settings = []
+        for group, circulation in zip(self._groups, self._circulations):
+            scheduled = self._scheduler.schedule(step_utils[group])
+            decision = self._decide(scheduled)
+            scheduled_groups.append(scheduled)
+            applied_settings.append(circulation.cdu.apply(decision.setting))
+
+        # Phase 2 — batched per-server evaluation.  All model entry
+        # points are elementwise over utilisation, so evaluating the
+        # gathered batch yields exactly the per-circulation values.
+        n = self.trace.n_servers
+        sched_all = np.empty(n)
+        cpu_temps = np.empty(n)
+        outlet_temps = np.empty(n)
+        cpu_powers = np.empty(n)
+        teg_powers = np.empty(n)
+        for group, scheduled in zip(self._groups, scheduled_groups):
+            sched_all[group] = scheduled
+
+        by_setting: dict[tuple[float, float], list[int]] = {}
+        for index, applied in enumerate(applied_settings):
+            by_setting.setdefault(
+                (applied.flow_l_per_h, applied.inlet_temp_c),
+                []).append(index)
+        for members in by_setting.values():
+            applied = applied_settings[members[0]]
+            if len(members) == 1:
+                indices = self._groups[members[0]]
+            else:
+                indices = np.concatenate(
+                    [self._groups[m] for m in members])
+            batch = sched_all[indices]
+            outlets = self.cpu_model.outlet_temp_c(batch, applied)
+            cpu_temps[indices] = self.cpu_model.cpu_temp_c(batch, applied)
+            outlet_temps[indices] = outlets
+            cpu_powers[indices] = self.cpu_model.cpu_power_w(batch)
+            teg_powers[indices] = self.teg_module.generation_w(
+                outlets, self.config.cold_source_temp_c,
+                applied.flow_l_per_h)
+
+        # Phase 3 — per-circulation facility accounting, then fold with
+        # the serial aggregation (same order, same arithmetic).
+        states = []
+        for group, circulation, applied, scheduled in zip(
+                self._groups, self._circulations, applied_settings,
+                scheduled_groups):
+            group_powers = cpu_powers[group]
+            captured_heat_w = float(np.sum(group_powers))
+            tower_heat, chiller_heat = circulation.tower.split_with_chiller(
+                captured_heat_w, applied.inlet_temp_c,
+                circulation.wet_bulb_c)
+            states.append(CirculationState(
+                utilisations=scheduled,
+                cpu_temps_c=cpu_temps[group],
+                outlet_temps_c=outlet_temps[group],
+                cpu_powers_w=group_powers,
+                teg_powers_w=teg_powers[group],
+                setting=applied,
+                chiller_power_w=circulation.chiller.electricity_w_for_heat(
+                    chiller_heat),
+                tower_power_w=circulation.tower.electricity_w_for_heat(
+                    tower_heat),
+                pump_power_w=circulation.n_servers * loop_pump_power_w(
+                    circulation.pipe_segments, applied.flow_l_per_h,
+                    applied.inlet_temp_c),
+            ))
+        return self._aggregate_step(step_index, step_utils, states)
+
+
+def simulate(trace: WorkloadTrace, config: SimulationConfig,
+             cpu_model: CpuThermalModel | None = None,
+             teg_module: TegModule | None = None, *,
+             vectorised: bool = True,
+             cache: CoolingDecisionCache | None = None,
+             cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
+             ) -> SimulationResult:
+    """Run one scheme over one trace through the engine's fast path.
+
+    Returns a :class:`SimulationResult` that is bit-identical to
+    ``DatacenterSimulator(trace, config, ...).run()`` but carries
+    :class:`EngineMetrics` (phase wall times, steps/sec, cache stats).
+    """
+    started = time.perf_counter()
+    if cache is None:
+        cache = CoolingDecisionCache(resolution=cache_resolution)
+    simulator = _CachedVectorisedSimulator(
+        trace, config, cpu_model, teg_module, cache=cache,
+        vectorised=vectorised)
+    setup_done = time.perf_counter()
+    result = simulator.run()
+    finished = time.perf_counter()
+    step_time = finished - setup_done
+    result.metrics = EngineMetrics(
+        setup_time_s=setup_done - started,
+        step_time_s=step_time,
+        wall_time_s=finished - started,
+        n_steps=trace.n_steps,
+        steps_per_s=trace.n_steps / step_time if step_time > 0 else 0.0,
+        cache_hits=cache.stats.hits,
+        cache_misses=cache.stats.misses,
+        cache_hit_rate=cache.stats.hit_rate,
+        vectorised=vectorised,
+    )
+    return result
+
+
+def _execute_job(job: SimulationJob, vectorised: bool,
+                 cache_resolution: float) -> SimulationResult:
+    """Worker entry point (module-level so process pools can pickle it)."""
+    return simulate(job.trace, job.config, job.cpu_model, job.teg_module,
+                    vectorised=vectorised,
+                    cache_resolution=cache_resolution)
+
+
+# ----------------------------------------------------------------------
+# Batch layer
+# ----------------------------------------------------------------------
+
+@dataclass
+class BatchResult:
+    """Results and aggregate metrics of one batch run."""
+
+    results: list[SimulationResult]
+    metrics: BatchMetrics
+
+    def get(self, scheme: str, trace_name: str) -> SimulationResult:
+        """Look one result up by its (scheme, trace) label."""
+        for result in self.results:
+            if (result.scheme, result.trace_name) == (scheme, trace_name):
+                return result
+        raise ConfigurationError(
+            f"no result for scheme {scheme!r} on trace {trace_name!r}")
+
+    def summaries(self) -> list[dict]:
+        """Per-job headline summaries plus engine metrics."""
+        out = []
+        for result in self.results:
+            summary = result.summary()
+            if result.metrics is not None:
+                summary["engine"] = result.metrics.summary()
+            out.append(summary)
+        return out
+
+
+def resolve_workers(n_workers: int | None, n_jobs: int) -> int:
+    """Worker count for a batch: explicit > ``REPRO_WORKERS`` > default.
+
+    The default is one worker per job capped at the CPU count; the
+    result is always at least 1.
+    """
+    if n_workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR)
+        if env is not None:
+            try:
+                n_workers = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{WORKERS_ENV_VAR} must be an integer, "
+                    f"got {env!r}") from None
+        else:
+            n_workers = min(n_jobs, os.cpu_count() or 1)
+    return max(1, min(n_workers, max(n_jobs, 1)))
+
+
+class BatchSimulationEngine:
+    """Run many (scheme x trace) simulations through one API.
+
+    Parameters
+    ----------
+    n_workers:
+        Parallel workers; ``None`` defers to ``REPRO_WORKERS`` or the
+        CPU count.  ``1`` runs serially in-process.
+    vectorised:
+        Use the NumPy-batched step loop (results are bit-identical
+        either way; vectorised is faster).
+    cache_resolution:
+        Utilisation quantisation of each job's decision cache.
+    prefer:
+        ``"process"`` (default), ``"thread"`` or ``"serial"``.  Process
+        pools that cannot start (sandboxes, exotic platforms) degrade
+        automatically: process -> thread -> serial.
+    """
+
+    def __init__(self, n_workers: int | None = None, *,
+                 vectorised: bool = True,
+                 cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
+                 prefer: str = "process") -> None:
+        if prefer not in ("process", "thread", "serial"):
+            raise ConfigurationError(
+                f"prefer must be 'process', 'thread' or 'serial', "
+                f"got {prefer!r}")
+        self.n_workers = n_workers
+        self.vectorised = vectorised
+        self.cache_resolution = cache_resolution
+        self.prefer = prefer
+
+    # -- executors -----------------------------------------------------
+
+    def _run_serial(self, jobs: Sequence[SimulationJob]
+                    ) -> list[SimulationResult]:
+        return [_execute_job(job, self.vectorised, self.cache_resolution)
+                for job in jobs]
+
+    def _run_pool(self, jobs: Sequence[SimulationJob], workers: int,
+                  kind: str) -> list[SimulationResult]:
+        if kind == "process":
+            from concurrent.futures import ProcessPoolExecutor
+
+            executor_cls = ProcessPoolExecutor
+        else:
+            executor_cls = ThreadPoolExecutor
+        with executor_cls(max_workers=workers) as pool:
+            return list(pool.map(
+                _execute_job, jobs,
+                [self.vectorised] * len(jobs),
+                [self.cache_resolution] * len(jobs)))
+
+    def run(self, jobs: Iterable[SimulationJob]) -> BatchResult:
+        """Execute every job and return results in submission order."""
+        jobs = list(jobs)
+        if not jobs:
+            raise ConfigurationError("batch must contain at least one job")
+        for job in jobs:
+            if not isinstance(job, SimulationJob):
+                raise ConfigurationError(
+                    f"jobs must be SimulationJob instances, got "
+                    f"{type(job).__name__}")
+        workers = resolve_workers(self.n_workers, len(jobs))
+        started = time.perf_counter()
+        executor = self.prefer
+        if workers <= 1 or self.prefer == "serial" or len(jobs) == 1:
+            executor = "serial"
+            results = self._run_serial(jobs)
+        else:
+            attempts = (["process", "thread"] if self.prefer == "process"
+                        else ["thread"])
+            results = None
+            for kind in attempts:
+                try:
+                    results = self._run_pool(jobs, workers, kind)
+                    executor = kind
+                    break
+                except Exception:  # pool unavailable: degrade gracefully
+                    continue
+            if results is None:
+                executor = "serial"
+                results = self._run_serial(jobs)
+        wall = time.perf_counter() - started
+        if executor == "serial":
+            workers = 1
+
+        total_steps = 0
+        cache_hits = 0
+        cache_misses = 0
+        for result in results:
+            metrics = result.metrics
+            if metrics is None:
+                continue
+            metrics.executor = executor
+            metrics.n_workers = workers
+            total_steps += metrics.n_steps
+            cache_hits += metrics.cache_hits
+            cache_misses += metrics.cache_misses
+        return BatchResult(
+            results=results,
+            metrics=BatchMetrics(
+                wall_time_s=wall,
+                n_jobs=len(jobs),
+                n_workers=workers,
+                executor=executor,
+                total_steps=total_steps,
+                steps_per_s=total_steps / wall if wall > 0 else 0.0,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+            ),
+        )
+
+
+def run_batch(jobs: Iterable[SimulationJob],
+              n_workers: int | None = None, *,
+              vectorised: bool = True,
+              prefer: str = "process") -> BatchResult:
+    """One-call convenience wrapper around :class:`BatchSimulationEngine`."""
+    engine = BatchSimulationEngine(n_workers, vectorised=vectorised,
+                                   prefer=prefer)
+    return engine.run(jobs)
+
+
+def compare_batch(traces: Sequence[WorkloadTrace],
+                  configs: Sequence[SimulationConfig],
+                  n_workers: int | None = None, *,
+                  cpu_model: CpuThermalModel | None = None,
+                  teg_module: TegModule | None = None,
+                  vectorised: bool = True,
+                  prefer: str = "process") -> BatchResult:
+    """Run the full cross product of ``traces`` x ``configs`` as one batch."""
+    jobs = [SimulationJob(trace=trace, config=config, cpu_model=cpu_model,
+                          teg_module=teg_module)
+            for trace in traces for config in configs]
+    return run_batch(jobs, n_workers, vectorised=vectorised, prefer=prefer)
+
+
+__all__ = [
+    "WORKERS_ENV_VAR",
+    "DEFAULT_CACHE_RESOLUTION",
+    "CacheStats",
+    "CoolingDecisionCache",
+    "EngineMetrics",
+    "BatchMetrics",
+    "SimulationJob",
+    "BatchResult",
+    "BatchSimulationEngine",
+    "simulate",
+    "run_batch",
+    "compare_batch",
+    "resolve_workers",
+]

@@ -9,10 +9,14 @@ metrics: average/peak per-CPU generation (Fig. 14) and PRE (Fig. 15).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import EngineMetrics
 
 
 @dataclass(frozen=True)
@@ -42,13 +46,21 @@ class StepRecord:
 
 @dataclass
 class SimulationResult:
-    """All step records of one scheme over one trace."""
+    """All step records of one scheme over one trace.
+
+    ``metrics`` is attached by :mod:`repro.core.engine` runs (wall time,
+    steps/sec, cooling-cache hit rate); it is observational only and is
+    excluded from equality so serial and engine results that agree on
+    every record compare equal.
+    """
 
     scheme: str
     trace_name: str
     n_servers: int
     interval_s: float
     records: list[StepRecord] = field(default_factory=list)
+    metrics: "EngineMetrics | None" = field(default=None, repr=False,
+                                            compare=False)
 
     def append(self, record: StepRecord) -> None:
         """Add one control interval's aggregates."""

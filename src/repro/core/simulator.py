@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..cooling.loop import WaterCirculation
+from ..cooling.loop import CirculationState, WaterCirculation
 from ..errors import ConfigurationError, CoolingFailureError
 from ..teg.module import TegModule, default_server_module
 from ..thermal.cpu_model import CpuThermalModel
@@ -83,15 +83,36 @@ class DatacenterSimulator:
         """Number of water circulations in the cluster."""
         return len(self._groups)
 
+    def _check_trace_width(self) -> None:
+        """Guard against a trace narrower than the partitioned cluster.
+
+        The simulator partitions server columns at construction time; if
+        the trace is later replaced (the dataclass is mutable) with one
+        that has fewer servers than the groups expect, stepping would
+        fail deep inside NumPy with a bare ``IndexError``.  Surface the
+        misconfiguration explicitly instead.
+        """
+        expected = sum(len(group) for group in self._groups)
+        if self.trace.n_servers != expected:
+            raise ConfigurationError(
+                f"trace has {self.trace.n_servers} servers but the "
+                f"simulator was partitioned for {expected}; rebuild the "
+                f"simulator instead of swapping the trace")
+
     def run(self) -> SimulationResult:
         """Replay the whole trace and return cluster aggregates.
 
         Raises
         ------
+        ConfigurationError
+            When the trace no longer matches the server partitioning the
+            simulator was built with (e.g. it was swapped for a narrower
+            one after construction).
         CoolingFailureError
             Only when ``config.strict_safety`` is set and a CPU exceeds
             its maximum operating temperature.
         """
+        self._check_trace_width()
         result = SimulationResult(
             scheme=self.config.name,
             trace_name=self.trace.name,
@@ -102,8 +123,32 @@ class DatacenterSimulator:
             result.append(self._run_step(step_index))
         return result
 
+    def _decide(self, scheduled: np.ndarray):
+        """Pick the cooling setting for one circulation's scheduled load.
+
+        Split out so :mod:`repro.core.engine` can interpose its memoised
+        decision cache without touching the step semantics.
+        """
+        return self._policy.decide(scheduled)
+
     def _run_step(self, step_index: int) -> StepRecord:
         step_utils = self.trace.step(step_index)
+        states = []
+        for group, circulation in zip(self._groups, self._circulations):
+            raw_utils = step_utils[group]
+            scheduled = self._scheduler.schedule(raw_utils)
+            decision = self._decide(scheduled)
+            states.append(circulation.evaluate(scheduled, decision.setting))
+        return self._aggregate_step(step_index, step_utils, states)
+
+    def _aggregate_step(self, step_index: int, step_utils: np.ndarray,
+                        states: list[CirculationState]) -> StepRecord:
+        """Fold per-circulation states into one cluster-level record.
+
+        Accumulation happens in circulation order with plain float adds —
+        the engine's vectorised path funnels through this same method so
+        both paths are bit-identical.
+        """
         total_generation = 0.0
         total_cpu_power = 0.0
         total_chiller = 0.0
@@ -114,11 +159,8 @@ class DatacenterSimulator:
         inlet_sum = 0.0
         flow_sum = 0.0
 
-        for group, circulation in zip(self._groups, self._circulations):
-            raw_utils = step_utils[group]
-            scheduled = self._scheduler.schedule(raw_utils)
-            decision = self._policy.decide(scheduled)
-            state = circulation.evaluate(scheduled, decision.setting)
+        for group, circulation, state in zip(self._groups,
+                                             self._circulations, states):
             total_generation += state.total_generation_w
             total_cpu_power += state.total_cpu_power_w
             total_chiller += state.chiller_power_w

@@ -210,6 +210,38 @@ def _run_table1() -> ExperimentOutcome:
     )
 
 
+def _run_batch_engine(n_servers: int = 80) -> ExperimentOutcome:
+    from .core.config import teg_loadbalance, teg_original
+    from .core.engine import compare_batch
+    from .core.simulator import DatacenterSimulator
+    from .workloads.synthetic import trace_by_name
+
+    traces = [trace_by_name(name, n_servers=n_servers)
+              for name in ("drastic", "common")]
+    configs = [teg_original(), teg_loadbalance()]
+    batch = compare_batch(traces, configs)
+    # Self-check: the engine must be bit-identical to the serial
+    # simulator on one of the jobs.
+    serial = DatacenterSimulator(traces[0], configs[0]).run()
+    engine_result = batch.get(configs[0].name, traces[0].name)
+    identical = serial.records == engine_result.records
+    aggregate = batch.metrics
+    return ExperimentOutcome(
+        experiment_id="E-BATCH",
+        title="Batch engine self-check (throughput + cache + identity)",
+        metrics={
+            "jobs": aggregate.n_jobs,
+            "executor": aggregate.executor,
+            "workers": aggregate.n_workers,
+            "wall_time_s": aggregate.wall_time_s,
+            "steps_per_s": aggregate.steps_per_s,
+            "cache_hit_rate": aggregate.cache_hit_rate,
+            "bit_identical_to_serial": identical,
+        },
+        series={"per_job": batch.summaries()},
+    )
+
+
 def _run_circulation_design() -> ExperimentOutcome:
     from .cooling.circulation_design import CirculationDesignProblem
 
@@ -244,6 +276,7 @@ _REGISTRY: dict[str, tuple[str, Callable[[], ExperimentOutcome]]] = {
     "E-F15": ("Fig. 15 PRE", _run_fig15),
     "E-T1": ("Table I + break-even", _run_table1),
     "E-VA": ("Sec. V-A circulation design", _run_circulation_design),
+    "E-BATCH": ("Batch engine self-check", _run_batch_engine),
 }
 
 

@@ -21,7 +21,7 @@ import numpy as np
 from .constants import CPU_SAFE_TEMP_C
 from .control.lookup_space import LookupSpace
 from .core.config import teg_loadbalance, teg_original
-from .core.h2p import H2PSystem
+from .core.engine import compare_batch
 from .errors import PhysicalRangeError
 from .teg.module import TegString
 from .teg.placement import FIG3_PHASES, PlacementStudy
@@ -150,23 +150,30 @@ def fig13_data(u_max: float = 0.7, u_avg: float = 0.25,
 
 def fig14_15_data(trace_names: Sequence[str] = ("drastic", "irregular",
                                                 "common"),
-                  n_servers: int = 400) -> dict:
+                  n_servers: int = 400,
+                  n_workers: int | None = None) -> dict:
     """Figs. 14-15: generation and PRE series per trace and scheme.
 
-    This is the expensive one (~30 s at 400 servers).
+    This is the expensive one; all (trace x scheme) pairs run as one
+    :class:`~repro.core.engine.BatchSimulationEngine` batch (parallel
+    across simulations, bit-identical to the serial simulator).  Worker
+    count follows ``n_workers``, then ``REPRO_WORKERS``, then the CPU
+    count.
     """
-    system = H2PSystem()
+    traces = [trace_by_name(name, n_servers=n_servers)
+              for name in trace_names]
+    batch = compare_batch(traces, [teg_original(), teg_loadbalance()],
+                          n_workers=n_workers)
     out = {}
-    for name in trace_names:
-        trace = trace_by_name(name, n_servers=n_servers)
-        comparison = system.compare(trace, teg_original(),
-                                    teg_loadbalance())
+    for name, trace in zip(trace_names, traces):
+        baseline = batch.get("TEG_Original", trace.name)
+        optimised = batch.get("TEG_LoadBalance", trace.name)
         out[name] = {
-            "times_s": comparison.baseline.times_s,
-            "utilisation": comparison.baseline.utilisation_series,
-            "original_w": comparison.baseline.generation_series_w,
-            "loadbalance_w": comparison.optimised.generation_series_w,
-            "original_pre": comparison.baseline.average_pre,
-            "loadbalance_pre": comparison.optimised.average_pre,
+            "times_s": baseline.times_s,
+            "utilisation": baseline.utilisation_series,
+            "original_w": baseline.generation_series_w,
+            "loadbalance_w": optimised.generation_series_w,
+            "original_pre": baseline.average_pre,
+            "loadbalance_pre": optimised.average_pre,
         }
     return out

@@ -21,8 +21,8 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from .core.config import SimulationConfig, teg_loadbalance
+from .core.engine import SimulationJob, run_batch
 from .core.results import SimulationResult
-from .core.simulator import DatacenterSimulator
 from .errors import ConfigurationError, PhysicalRangeError
 from .thermal.cpu_model import CpuThermalModel, OutletDeltaModel
 from .workloads.trace import WorkloadTrace
@@ -151,18 +151,25 @@ class FleetMix:
         if any(share <= 0 for share in self.shares.values()):
             raise ConfigurationError("every share must be > 0")
 
-    def run(self, trace: WorkloadTrace) -> list[FleetShareResult]:
+    def run(self, trace: WorkloadTrace,
+            n_workers: int | None = None) -> list[FleetShareResult]:
         """Evaluate every model's slice on its portion of the trace.
 
         Server columns are dealt out contiguously in share order; each
         slice runs with its spec's thermal model and safe temperature.
+        All slices run as one
+        :class:`~repro.core.engine.BatchSimulationEngine` batch (one job
+        per CPU model, parallel across slices, bit-identical to serial
+        per-slice simulation); ``n_workers`` defers to ``REPRO_WORKERS``
+        and then the CPU count when omitted.
         """
-        outcomes = []
+        jobs = []
+        specs = []
         start = 0
-        specs = list(self.shares)
-        for index, spec in enumerate(specs):
+        spec_list = list(self.shares)
+        for index, spec in enumerate(spec_list):
             share = self.shares[spec]
-            if index == len(specs) - 1:
+            if index == len(spec_list) - 1:
                 stop = trace.n_servers
             else:
                 stop = start + max(1, int(round(share * trace.n_servers)))
@@ -179,13 +186,14 @@ class FleetMix:
                                      sub_trace.n_servers))
             # Eq. 20 scaling enters through the spec's thermal model and
             # a scaled power accounting below.
-            simulator = DatacenterSimulator(
-                sub_trace, config, cpu_model=spec.thermal_model())
-            result = simulator.run()
-            outcomes.append(FleetShareResult(
-                spec=spec, n_servers=sub_trace.n_servers, result=result))
+            jobs.append(SimulationJob(trace=sub_trace, config=config,
+                                      cpu_model=spec.thermal_model()))
+            specs.append(spec)
             start = stop
-        return outcomes
+        batch = run_batch(jobs, n_workers)
+        return [FleetShareResult(spec=spec, n_servers=job.trace.n_servers,
+                                 result=result)
+                for spec, job, result in zip(specs, jobs, batch.results)]
 
     @staticmethod
     def aggregate(outcomes: list[FleetShareResult]) -> dict:

@@ -33,6 +33,30 @@ class TestConstruction:
         assert sim.n_circulations == 2
 
 
+class TestTraceWidthGuard:
+    def test_narrower_trace_raises_configuration_error(self):
+        # Swapping in a trace with fewer servers than the simulator was
+        # partitioned for must fail loudly, not with a bare IndexError.
+        sim = DatacenterSimulator(flat_trace(servers=40),
+                                  SimulationConfig(circulation_size=20))
+        sim.trace = flat_trace(servers=30)
+        with pytest.raises(ConfigurationError, match="partitioned for 40"):
+            sim.run()
+
+    def test_wider_trace_also_rejected(self):
+        sim = DatacenterSimulator(flat_trace(servers=40),
+                                  SimulationConfig(circulation_size=20))
+        sim.trace = flat_trace(servers=60)
+        with pytest.raises(ConfigurationError):
+            sim.run()
+
+    def test_matching_trace_still_runs(self):
+        sim = DatacenterSimulator(flat_trace(servers=40),
+                                  SimulationConfig(circulation_size=20))
+        sim.trace = flat_trace(util=0.5, servers=40)
+        assert len(sim.run().records) == 4
+
+
 class TestRun:
     def test_records_per_step(self):
         sim = DatacenterSimulator(flat_trace(steps=6),

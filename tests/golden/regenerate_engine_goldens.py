@@ -1,0 +1,71 @@
+"""Regenerate the engine golden fixtures in this directory.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regenerate_engine_goldens.py
+
+The fixtures pin per-step cluster aggregates of the *serial*
+``DatacenterSimulator`` (the source of truth) on a small seeded trace
+under the baseline (*TEG_Original*) and H2P (*TEG_LoadBalance*) schemes.
+``tests/core/test_engine.py`` asserts that both the serial and the batch
+engine paths still reproduce these numbers; regenerate only after a
+deliberate recalibration and record the change in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.config import teg_loadbalance, teg_original
+from repro.core.simulator import DatacenterSimulator
+from repro.workloads.synthetic import common_trace
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: The fixed scenario every fixture derives from.
+TRACE_KWARGS = dict(n_servers=40, duration_s=4 * 3600.0,
+                    interval_s=300.0, seed=12)
+
+#: Per-step fields pinned by the fixtures.
+RECORD_FIELDS = (
+    "time_s",
+    "generation_per_cpu_w",
+    "cpu_power_per_cpu_w",
+    "max_cpu_temp_c",
+    "chiller_power_w",
+    "tower_power_w",
+    "pump_power_w",
+)
+
+
+def golden_path(scheme: str) -> Path:
+    """Fixture file for one scheme."""
+    return GOLDEN_DIR / f"engine_{scheme}_common40.json"
+
+
+def build_golden(config) -> dict:
+    """Serial ground-truth aggregates for one scheme."""
+    trace = common_trace(**TRACE_KWARGS)
+    result = DatacenterSimulator(trace, config).run()
+    return {
+        "trace": dict(TRACE_KWARGS, name=trace.name),
+        "scheme": result.scheme,
+        "n_steps": len(result.records),
+        "records": {
+            name: [getattr(record, name) for record in result.records]
+            for name in RECORD_FIELDS
+        },
+    }
+
+
+def main() -> None:
+    for config in (teg_original(), teg_loadbalance()):
+        golden = build_golden(config)
+        path = golden_path(config.name)
+        path.write_text(json.dumps(golden, indent=1) + "\n")
+        print(f"wrote {path} ({golden['n_steps']} steps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -63,6 +63,40 @@ class TestSafetyInvariants:
         assert worst <= CPU_SAFE_TEMP_C + policy.tolerance_c + 0.5
 
 
+class TestTegModuleInvariants:
+    """The per-server TEG module as a pure function of temperatures."""
+
+    @given(st.floats(min_value=0.0, max_value=70.0),
+           st.floats(min_value=5.0, max_value=30.0),
+           st.floats(min_value=10.0, max_value=300.0))
+    @settings(max_examples=60, deadline=None)
+    def test_generation_never_negative(self, warm, cold, flow):
+        assert MODULE.generation_w(warm, cold, flow) >= 0.0
+
+    @given(st.floats(min_value=5.0, max_value=30.0),
+           st.floats(min_value=0.0, max_value=25.0),
+           st.floats(min_value=10.0, max_value=300.0))
+    @settings(max_examples=60, deadline=None)
+    def test_generation_zero_without_temperature_difference(
+            self, cold, deficit, flow):
+        # Warm loop at or below the cold source: nothing to harvest.
+        assert MODULE.generation_w(cold - deficit, cold, flow) == 0.0
+        assert MODULE.generation_w(cold, cold, flow) == 0.0
+
+    @given(st.floats(min_value=5.0, max_value=30.0),
+           st.floats(min_value=1.0, max_value=20.0),
+           st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=10.0, max_value=300.0))
+    @settings(max_examples=60, deadline=None)
+    def test_generation_monotone_in_delta_t(self, cold, delta, bump,
+                                            flow):
+        # Monotone within the calibrated range (dT >= 1 C; the Eq. 6
+        # quadratic has a deliberate non-physical toe below ~0.5 C).
+        low = MODULE.generation_w(cold + delta, cold, flow)
+        high = MODULE.generation_w(cold + delta + bump, cold, flow)
+        assert high >= low
+
+
 class TestGenerationInvariants:
     @given(st.floats(min_value=21.0, max_value=60.0),
            st.floats(min_value=0.1, max_value=10.0))
