@@ -26,6 +26,7 @@ from .core import (
     BatchResult,
     BatchSimulationEngine,
     DatacenterSimulator,
+    FailedJob,
     H2PSystem,
     SchemeComparison,
     SimulationConfig,
@@ -39,10 +40,13 @@ from .economics import BreakEvenAnalysis, TcoModel, power_reusing_efficiency
 from .errors import (
     ConfigurationError,
     CoolingFailureError,
+    FaultInjectionError,
+    JobExecutionError,
     PhysicalRangeError,
     ReproError,
     TraceFormatError,
 )
+from .faults import FaultSchedule, FaultSpec
 from .teg import PAPER_TEG, TegDevice, TegModule
 from .thermal import CoolingSetting, CpuThermalModel
 from .workloads import (
@@ -61,7 +65,10 @@ __all__ = [
     "BatchSimulationEngine",
     "BatchResult",
     "SimulationJob",
+    "FailedJob",
     "run_batch",
+    "FaultSchedule",
+    "FaultSpec",
     "SimulationConfig",
     "SimulationResult",
     "SchemeComparison",
@@ -85,6 +92,8 @@ __all__ = [
     "PhysicalRangeError",
     "CoolingFailureError",
     "TraceFormatError",
+    "FaultInjectionError",
+    "JobExecutionError",
     "CPU_MAX_OPERATING_TEMP_C",
     "CPU_SAFE_TEMP_C",
     "NATURAL_WATER_TEMP_C",

@@ -54,6 +54,16 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--check", action="store_true",
                        help="also run the first job serially and "
                             "verify bit-identity")
+    batch.add_argument("--faults", default=None, metavar="SPEC.JSON",
+                       help="attach a fault schedule (JSON file, see "
+                            "docs/faults.md) to every job")
+    batch.add_argument("--max-retries", type=int, default=0,
+                       help="extra attempts per failed job "
+                            "(default: 0)")
+    batch.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock budget (default: "
+                            "REPRO_JOB_TIMEOUT or none)")
     batch.set_defaults(handler=_cmd_batch)
 
     design = subparsers.add_parser(
@@ -161,35 +171,57 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from .core.config import teg_loadbalance, teg_original
     from .core.engine import SimulationJob, run_batch
     from .core.simulator import DatacenterSimulator
+    from .faults import FaultSchedule
     from .workloads.synthetic import trace_by_name
 
+    schedule = None
+    if args.faults is not None:
+        schedule = FaultSchedule.from_json(args.faults)
+        print(f"fault schedule: {len(schedule)} spec(s), "
+              f"seed {schedule.seed} ({args.faults})")
     factories = {"original": teg_original, "loadbalance": teg_loadbalance}
     traces = [trace_by_name(name, n_servers=args.servers)
               for name in args.traces]
-    jobs = [SimulationJob(trace=trace, config=factories[scheme]())
+    jobs = [SimulationJob(trace=trace, config=factories[scheme](),
+                          faults=schedule)
             for trace in traces for scheme in args.schemes]
-    batch = run_batch(jobs, args.workers)
+    batch = run_batch(jobs, args.workers, max_retries=args.max_retries,
+                      job_timeout_s=args.timeout)
     print(f"{'scheme':<16} {'trace':<10} {'avg W':>7} {'PRE':>7} "
           f"{'steps/s':>8} {'cache':>6}")
     for result in batch.results:
         metrics = result.metrics
-        print(f"{result.scheme:<16} {result.trace_name:<10} "
-              f"{result.average_generation_w:>7.3f} "
-              f"{result.average_pre:>6.1%} "
-              f"{metrics.steps_per_s:>8.0f} "
-              f"{metrics.cache_hit_rate:>6.1%}")
+        line = (f"{result.scheme:<16} {result.trace_name:<10} "
+                f"{result.average_generation_w:>7.3f} "
+                f"{result.average_pre:>6.1%} "
+                f"{metrics.steps_per_s:>8.0f} "
+                f"{metrics.cache_hit_rate:>6.1%}")
+        if result.degraded_steps:
+            line += (f"  degraded {result.degraded_steps} steps, "
+                     f"lost {result.total_lost_harvest_kwh:.3f} kWh")
+        print(line)
     aggregate = batch.metrics
     print(f"batch: {aggregate.n_jobs} jobs via {aggregate.executor} "
           f"x{aggregate.n_workers} in {aggregate.wall_time_s:.2f} s "
           f"({aggregate.steps_per_s:.0f} steps/s, cache "
           f"{aggregate.cache_hit_rate:.1%})")
-    if args.check:
+    if aggregate.retries or aggregate.timeouts:
+        print(f"recovery: {aggregate.retries} retrie(s), "
+              f"{aggregate.timeouts} timeout(s)")
+    for failed in batch.failures:
+        print(f"FAILED {failed.scheme} on {failed.trace_name}: "
+              f"[{failed.error_type}] {failed.message} "
+              f"({failed.attempts} attempt(s), "
+              f"{failed.elapsed_s:.1f} s)")
+    if args.check and batch.results:
         first = jobs[0]
-        serial = DatacenterSimulator(first.trace, first.config).run()
+        serial = DatacenterSimulator(first.trace, first.config,
+                                     faults=first.faults).run()
         identical = serial.records == batch.results[0].records
         print(f"serial check: {'bit-identical' if identical else 'MISMATCH'}")
-        return 0 if identical else 1
-    return 0
+        if not identical:
+            return 1
+    return 0 if batch.ok else 1
 
 
 def _cmd_design(args: argparse.Namespace) -> int:

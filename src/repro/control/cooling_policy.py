@@ -78,6 +78,31 @@ def _binding_utilisation(utilisations: Sequence[float],
         f"aggregation must be 'max' or 'avg', got {aggregation!r}")
 
 
+def conservative_setting(policy) -> CoolingSetting:
+    """The safest setting a policy's actuator space offers.
+
+    Coldest admissible inlet at the fastest admissible flow — the
+    degraded-mode fallback when sensor readings are implausible or a
+    plant fault has tripped (harvesting efficiency is sacrificed for
+    thermal headroom).  Works for all three policy classes:
+
+    * :class:`LookupSpacePolicy` — last flow / first inlet of its grid;
+    * :class:`AnalyticPolicy` — fastest candidate flow at ``inlet_min_c``;
+    * anything else (e.g. :class:`StaticPolicy`) — the prototype's full
+      actuator range (300 L/h at 20 °C).
+    """
+    space = getattr(policy, "space", None)
+    if space is not None:
+        return CoolingSetting(flow_l_per_h=float(space.flow_grid[-1]),
+                              inlet_temp_c=float(space.inlet_grid[0]))
+    flows = getattr(policy, "flow_candidates", None)
+    inlet_min = getattr(policy, "inlet_min_c", None)
+    if flows and inlet_min is not None:
+        return CoolingSetting(flow_l_per_h=float(max(flows)),
+                              inlet_temp_c=float(inlet_min))
+    return CoolingSetting(flow_l_per_h=300.0, inlet_temp_c=20.0)
+
+
 @dataclass
 class StaticPolicy:
     """A fixed cooling setting — the unoptimised warm-water baseline."""

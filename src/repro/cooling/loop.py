@@ -109,7 +109,11 @@ class WaterCirculation:
                 f"n_servers must be > 0, got {self.n_servers}")
 
     def evaluate(self, utilisations: Sequence[float],
-                 setting: CoolingSetting) -> CirculationState:
+                 setting: CoolingSetting, *,
+                 clamp_setting: bool = True,
+                 cold_source_temp_c: float | None = None,
+                 teg_output_factor: "np.ndarray | float" = 1.0
+                 ) -> CirculationState:
         """Steady-state evaluation of the circulation at one instant.
 
         Parameters
@@ -119,6 +123,17 @@ class WaterCirculation:
             ``n_servers``.
         setting:
             The cooling setting to apply (clamped by the CDU).
+        clamp_setting:
+            Route the setting through the CDU actuator (the default).
+            Fault injection passes ``False`` when the plant physically
+            delivers something outside the actuator band (e.g. a stalled
+            pump trickling below the valve minimum).
+        cold_source_temp_c:
+            Per-call override of the TEG cold-side temperature
+            (chiller-loop excursion faults); ``None`` uses the nominal.
+        teg_output_factor:
+            Scalar or per-server multiplier on the nominal TEG output
+            (open strings, accelerated fade); 1.0 means healthy.
 
         Returns
         -------
@@ -132,14 +147,17 @@ class WaterCirculation:
         if np.any((utils < 0) | (utils > 1)):
             raise PhysicalRangeError(
                 "all utilisations must be in [0, 1]")
-        applied = self.cdu.apply(setting)
+        applied = self.cdu.apply(setting) if clamp_setting else setting
+        cold_side_c = (self.cold_source_temp_c if cold_source_temp_c is None
+                       else cold_source_temp_c)
 
         # All model entry points are vectorised over utilisation.
         cpu_temps = self.cpu_model.cpu_temp_c(utils, applied)
         outlet_temps = self.cpu_model.outlet_temp_c(utils, applied)
         cpu_powers = self.cpu_model.cpu_power_w(utils)
         teg_powers = self.teg_module.generation_w(
-            outlet_temps, self.cold_source_temp_c, applied.flow_l_per_h)
+            outlet_temps, cold_side_c, applied.flow_l_per_h)
+        teg_powers = teg_powers * teg_output_factor
 
         # Facility side: all captured heat returns through the CDU and is
         # rejected by tower and (if the set-point is below the tower's

@@ -12,13 +12,19 @@
 """
 
 from .config import SimulationConfig, teg_original, teg_loadbalance
-from .results import SimulationResult, StepRecord, SchemeComparison
+from .results import (
+    SafetyViolation,
+    SimulationResult,
+    StepRecord,
+    SchemeComparison,
+)
 from .simulator import DatacenterSimulator
 from .engine import (
     BatchResult,
     BatchSimulationEngine,
     CoolingDecisionCache,
     EngineMetrics,
+    FailedJob,
     SimulationJob,
     compare_batch,
     run_batch,
@@ -33,11 +39,13 @@ __all__ = [
     "teg_loadbalance",
     "SimulationResult",
     "StepRecord",
+    "SafetyViolation",
     "SchemeComparison",
     "DatacenterSimulator",
     "BatchSimulationEngine",
     "BatchResult",
     "SimulationJob",
+    "FailedJob",
     "EngineMetrics",
     "CoolingDecisionCache",
     "run_batch",

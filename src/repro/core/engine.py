@@ -39,15 +39,23 @@ enforce this equivalence.
 from __future__ import annotations
 
 import os
+import pickle
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..cooling.loop import CirculationState
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, JobExecutionError
+from ..faults import FaultSchedule
 from ..teg.module import TegModule
 from ..thermal.cpu_model import CpuThermalModel
 from ..thermal.hydraulics import loop_pump_power_w
@@ -59,6 +67,15 @@ from .simulator import DatacenterSimulator
 #: Environment variable overriding the engine's worker count.
 #: ``0`` or ``1`` force the serial in-process path.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Environment variable setting the per-job wall-clock budget (seconds).
+#: Enforced on pooled executors; see ``docs/engine.md`` for the exact
+#: guarantees per executor kind.
+JOB_TIMEOUT_ENV_VAR = "REPRO_JOB_TIMEOUT"
+
+#: How often the batch layer polls in-flight futures for completion,
+#: timeouts and pool breakage.
+_POLL_INTERVAL_S = 0.05
 
 #: Default utilisation quantisation of the cooling-decision cache,
 #: matching :class:`~repro.control.cooling_policy.LookupSpacePolicy`.
@@ -183,6 +200,9 @@ class EngineMetrics:
     executor / n_workers:
         How the batch layer ran this job (``"process"``, ``"thread"``
         or ``"serial"``); filled in by :class:`BatchSimulationEngine`.
+    retries:
+        How many failed attempts preceded the one that produced this
+        result (0 on a first-try success); filled in by the batch layer.
     """
 
     setup_time_s: float = 0.0
@@ -196,6 +216,7 @@ class EngineMetrics:
     vectorised: bool = True
     executor: str = "serial"
     n_workers: int = 1
+    retries: int = 0
 
     def summary(self) -> dict:
         """Headline metrics as a plain dictionary (for tables/JSON)."""
@@ -206,12 +227,19 @@ class EngineMetrics:
             "vectorised": self.vectorised,
             "executor": self.executor,
             "n_workers": self.n_workers,
+            "retries": self.retries,
         }
 
 
 @dataclass(frozen=True)
 class BatchMetrics:
-    """Aggregate metrics of one :meth:`BatchSimulationEngine.run` call."""
+    """Aggregate metrics of one :meth:`BatchSimulationEngine.run` call.
+
+    ``retries`` counts failed attempts that were retried, ``timeouts``
+    counts jobs killed by the wall-clock budget, and ``n_failed`` counts
+    jobs that exhausted their attempts (each has a matching
+    :class:`FailedJob` record on the :class:`BatchResult`).
+    """
 
     wall_time_s: float
     n_jobs: int
@@ -221,6 +249,9 @@ class BatchMetrics:
     steps_per_s: float
     cache_hits: int
     cache_misses: int
+    retries: int = 0
+    timeouts: int = 0
+    n_failed: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -239,6 +270,9 @@ class BatchMetrics:
             "wall_time_s": round(self.wall_time_s, 3),
             "steps_per_s": round(self.steps_per_s, 1),
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failed": self.n_failed,
         }
 
 
@@ -252,13 +286,16 @@ class SimulationJob:
 
     ``cpu_model`` / ``teg_module`` default to the simulator's
     paper-calibrated hardware when omitted; heterogeneous-fleet sweeps
-    pass per-slice models.
+    pass per-slice models.  ``faults`` attaches an optional
+    :class:`~repro.faults.FaultSchedule`; jobs without one keep the
+    bit-exact nominal path.
     """
 
     trace: WorkloadTrace
     config: SimulationConfig
     cpu_model: CpuThermalModel | None = None
     teg_module: TegModule | None = None
+    faults: FaultSchedule | None = None
 
     @property
     def key(self) -> tuple[str, str]:
@@ -281,16 +318,19 @@ class _CachedVectorisedSimulator(DatacenterSimulator):
                  cpu_model: CpuThermalModel | None = None,
                  teg_module: TegModule | None = None,
                  cache: CoolingDecisionCache | None = None,
-                 vectorised: bool = True) -> None:
+                 vectorised: bool = True,
+                 faults: FaultSchedule | None = None) -> None:
         kwargs = {}
         if cpu_model is not None:
             kwargs["cpu_model"] = cpu_model
         if teg_module is not None:
             kwargs["teg_module"] = teg_module
-        super().__init__(trace, config, **kwargs)
+        super().__init__(trace, config, faults=faults, **kwargs)
         # `is None` check: an empty cache is falsy (it has __len__).
         self._cache = cache if cache is not None else CoolingDecisionCache()
-        self._vectorised = vectorised
+        # Fault injection needs the parent's fault-aware serial step
+        # (degraded fallback, shadow accounting); decisions stay cached.
+        self._vectorised = vectorised and self._fault_runtime is None
         self._context = (config.name, config.policy, config.scheduler,
                          config.cold_source_temp_c, config.safe_temp_c)
 
@@ -384,19 +424,23 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
              vectorised: bool = True,
              cache: CoolingDecisionCache | None = None,
              cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
+             faults: FaultSchedule | None = None,
              ) -> SimulationResult:
     """Run one scheme over one trace through the engine's fast path.
 
     Returns a :class:`SimulationResult` that is bit-identical to
     ``DatacenterSimulator(trace, config, ...).run()`` but carries
     :class:`EngineMetrics` (phase wall times, steps/sec, cache stats).
+    Attaching a ``faults`` schedule switches stepping to the simulator's
+    fault-aware serial loop (decisions stay cached); without one the
+    output is unchanged down to the bit.
     """
     started = time.perf_counter()
     if cache is None:
         cache = CoolingDecisionCache(resolution=cache_resolution)
     simulator = _CachedVectorisedSimulator(
         trace, config, cpu_model, teg_module, cache=cache,
-        vectorised=vectorised)
+        vectorised=vectorised, faults=faults)
     setup_done = time.perf_counter()
     result = simulator.run()
     finished = time.perf_counter()
@@ -410,7 +454,7 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
         cache_hits=cache.stats.hits,
         cache_misses=cache.stats.misses,
         cache_hit_rate=cache.stats.hit_rate,
-        vectorised=vectorised,
+        vectorised=simulator._vectorised,
     )
     return result
 
@@ -420,25 +464,94 @@ def _execute_job(job: SimulationJob, vectorised: bool,
     """Worker entry point (module-level so process pools can pickle it)."""
     return simulate(job.trace, job.config, job.cpu_model, job.teg_module,
                     vectorised=vectorised,
-                    cache_resolution=cache_resolution)
+                    cache_resolution=cache_resolution,
+                    faults=job.faults)
 
 
 # ----------------------------------------------------------------------
 # Batch layer
 # ----------------------------------------------------------------------
 
+@dataclass(frozen=True)
+class FailedJob:
+    """Structured record of one job the batch could not complete.
+
+    Attributes
+    ----------
+    scheme / trace_name:
+        The job's ``(scheme, trace)`` label.
+    error_type / message:
+        Class name and text of the last failure (for a worker crash this
+        is the pool's ``BrokenProcessPool``-style error; the batch keeps
+        running either way).
+    attempts:
+        Execution attempts consumed, including the first one.
+    elapsed_s:
+        Wall-clock time spent on this job across all attempts.
+    timed_out:
+        Whether the final attempt was killed by the ``REPRO_JOB_TIMEOUT``
+        wall-clock budget (timeouts are terminal; they are not retried).
+    """
+
+    scheme: str
+    trace_name: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """``(scheme, trace)`` label matching :attr:`SimulationJob.key`."""
+        return (self.scheme, self.trace_name)
+
+    def to_error(self) -> JobExecutionError:
+        """Re-package the record as a raisable :class:`JobExecutionError`."""
+        return JobExecutionError(
+            f"job ({self.scheme!r}, {self.trace_name!r}) failed after "
+            f"{self.attempts} attempt(s): [{self.error_type}] {self.message}",
+            scheme=self.scheme, trace_name=self.trace_name,
+            attempts=self.attempts, elapsed_s=self.elapsed_s,
+            timed_out=self.timed_out)
+
+
 @dataclass
 class BatchResult:
-    """Results and aggregate metrics of one batch run."""
+    """Results and aggregate metrics of one batch run.
+
+    ``results`` holds every job that completed, in submission order;
+    ``failures`` holds a :class:`FailedJob` record for every job that
+    did not.  A crashed or timed-out job never aborts the batch — check
+    :attr:`ok` (or ``metrics.n_failed``) before trusting completeness.
+    """
 
     results: list[SimulationResult]
     metrics: BatchMetrics
+    failures: list[FailedJob] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every submitted job produced a result."""
+        return not self.failures
 
     def get(self, scheme: str, trace_name: str) -> SimulationResult:
-        """Look one result up by its (scheme, trace) label."""
+        """Look one result up by its (scheme, trace) label.
+
+        Raises
+        ------
+        JobExecutionError
+            When the job ran but failed (the :class:`FailedJob` record
+            is re-packaged with its attempt/timeout details).
+        ConfigurationError
+            When no job with that label was submitted at all.
+        """
         for result in self.results:
             if (result.scheme, result.trace_name) == (scheme, trace_name):
                 return result
+        for failed in self.failures:
+            if failed.key == (scheme, trace_name):
+                raise failed.to_error()
         raise ConfigurationError(
             f"no result for scheme {scheme!r} on trace {trace_name!r}")
 
@@ -457,7 +570,13 @@ def resolve_workers(n_workers: int | None, n_jobs: int) -> int:
     """Worker count for a batch: explicit > ``REPRO_WORKERS`` > default.
 
     The default is one worker per job capped at the CPU count; the
-    result is always at least 1.
+    result is always at least 1 (``0`` forces the serial path).
+
+    Raises
+    ------
+    ConfigurationError
+        When ``REPRO_WORKERS`` is set to a non-integer or negative
+        value.
     """
     if n_workers is None:
         env = os.environ.get(WORKERS_ENV_VAR)
@@ -468,9 +587,87 @@ def resolve_workers(n_workers: int | None, n_jobs: int) -> int:
                 raise ConfigurationError(
                     f"{WORKERS_ENV_VAR} must be an integer, "
                     f"got {env!r}") from None
+            if n_workers < 0:
+                raise ConfigurationError(
+                    f"{WORKERS_ENV_VAR} must be >= 0, got {n_workers}")
         else:
             n_workers = min(n_jobs, os.cpu_count() or 1)
     return max(1, min(n_workers, max(n_jobs, 1)))
+
+
+def resolve_job_timeout(timeout_s: float | None = None) -> float | None:
+    """Per-job wall-clock budget: explicit > ``REPRO_JOB_TIMEOUT`` > none.
+
+    Returns ``None`` when no timeout is configured.
+
+    Raises
+    ------
+    ConfigurationError
+        When ``REPRO_JOB_TIMEOUT`` is set to a non-numeric or
+        non-positive value (an explicit non-positive argument raises
+        too).
+    """
+    if timeout_s is None:
+        env = os.environ.get(JOB_TIMEOUT_ENV_VAR)
+        if env is None:
+            return None
+        try:
+            timeout_s = float(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{JOB_TIMEOUT_ENV_VAR} must be a number of seconds, "
+                f"got {env!r}") from None
+        if timeout_s <= 0:
+            raise ConfigurationError(
+                f"{JOB_TIMEOUT_ENV_VAR} must be > 0, got {env!r}")
+        return timeout_s
+    if timeout_s <= 0:
+        raise ConfigurationError(
+            f"job timeout must be > 0 seconds, got {timeout_s}")
+    return timeout_s
+
+
+@dataclass
+class _JobState:
+    """Book-keeping for one job while the batch executes it."""
+
+    index: int
+    job: SimulationJob
+    attempts: int = 0
+    retries: int = 0
+    started_at: float | None = None
+    #: When the current attempt's future was first observed running
+    #: (``None`` while queued); the timeout clock starts here so time
+    #: spent waiting for a worker is never billed against the job.
+    running_since: float | None = None
+
+    def failed(self, exc: BaseException) -> FailedJob:
+        """Package the terminal exception as a :class:`FailedJob`."""
+        elapsed = (0.0 if self.started_at is None
+                   else time.perf_counter() - self.started_at)
+        return FailedJob(
+            scheme=self.job.config.name,
+            trace_name=self.job.trace.name,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=self.attempts,
+            elapsed_s=elapsed,
+        )
+
+    def timed_out(self, timeout_s: float) -> FailedJob:
+        """Package a wall-clock timeout as a :class:`FailedJob`."""
+        elapsed = (0.0 if self.started_at is None
+                   else time.perf_counter() - self.started_at)
+        return FailedJob(
+            scheme=self.job.config.name,
+            trace_name=self.job.trace.name,
+            error_type="TimeoutError",
+            message=(f"job exceeded the {timeout_s:g}s wall-clock budget "
+                     f"({JOB_TIMEOUT_ENV_VAR})"),
+            attempts=self.attempts,
+            elapsed_s=elapsed,
+            timed_out=True,
+        )
 
 
 class BatchSimulationEngine:
@@ -490,44 +687,307 @@ class BatchSimulationEngine:
         ``"process"`` (default), ``"thread"`` or ``"serial"``.  Process
         pools that cannot start (sandboxes, exotic platforms) degrade
         automatically: process -> thread -> serial.
+    max_retries:
+        Extra attempts per job after the first one fails (crashed
+        worker or raised exception).  Backoff between attempts doubles
+        from ``retry_backoff_s``.  Timeouts are terminal: a job killed
+        by the wall-clock budget is never retried.
+    retry_backoff_s:
+        Base sleep before attempt ``k``'s retry:
+        ``retry_backoff_s * 2**(k-1)`` seconds.
+    job_timeout_s:
+        Per-job wall-clock budget in seconds; ``None`` defers to
+        ``REPRO_JOB_TIMEOUT`` (unset means no timeout).  Enforced on
+        pooled executors only — the serial path cannot pre-empt a job
+        (see ``docs/engine.md``).
     """
 
     def __init__(self, n_workers: int | None = None, *,
                  vectorised: bool = True,
                  cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
-                 prefer: str = "process") -> None:
+                 prefer: str = "process",
+                 max_retries: int = 0,
+                 retry_backoff_s: float = 0.1,
+                 job_timeout_s: float | None = None) -> None:
         if prefer not in ("process", "thread", "serial"):
             raise ConfigurationError(
                 f"prefer must be 'process', 'thread' or 'serial', "
                 f"got {prefer!r}")
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise ConfigurationError(
+                f"job timeout must be > 0 seconds, got {job_timeout_s}")
         self.n_workers = n_workers
         self.vectorised = vectorised
         self.cache_resolution = cache_resolution
         self.prefer = prefer
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.job_timeout_s = job_timeout_s
 
     # -- executors -----------------------------------------------------
 
-    def _run_serial(self, jobs: Sequence[SimulationJob]
-                    ) -> list[SimulationResult]:
-        return [_execute_job(job, self.vectorised, self.cache_resolution)
-                for job in jobs]
+    @property
+    def _budget(self) -> int:
+        """Total attempts allowed per job (first try + retries)."""
+        return 1 + self.max_retries
+
+    def _backoff(self, attempts: int) -> None:
+        """Sleep before the retry following failed attempt ``attempts``."""
+        if self.retry_backoff_s > 0:
+            time.sleep(self.retry_backoff_s * 2 ** (attempts - 1))
+
+    def _submit(self, executor, job: SimulationJob) -> Future:
+        return executor.submit(_execute_job, job, self.vectorised,
+                               self.cache_resolution)
+
+    @staticmethod
+    def _kill_executor(executor, kind: str) -> None:
+        """Tear a pool down without waiting on hung workers.
+
+        Process workers are terminated outright (a hung worker would
+        otherwise block shutdown and interpreter exit).  Thread workers
+        cannot be killed in CPython; the pool is abandoned and a truly
+        hung thread may delay interpreter exit — documented in
+        ``docs/engine.md``.
+        """
+        # Snapshot the worker processes *before* shutdown: the executor
+        # clears its ``_processes`` map on shutdown even with
+        # ``wait=False``, which would leave a hung worker unkillable.
+        processes = []
+        if kind == "process":
+            processes = list((getattr(executor, "_processes", None)
+                              or {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+
+    def _run_serial(self, jobs: Sequence[SimulationJob]):
+        """In-process execution with retry; no timeout enforcement."""
+        results: dict[int, SimulationResult] = {}
+        failures: dict[int, FailedJob] = {}
+        stats = {"retries": 0, "timeouts": 0}
+        for index, job in enumerate(jobs):
+            state = _JobState(index=index, job=job,
+                              started_at=time.perf_counter())
+            while True:
+                state.attempts += 1
+                try:
+                    result = _execute_job(job, self.vectorised,
+                                          self.cache_resolution)
+                except Exception as exc:
+                    if state.attempts < self._budget:
+                        stats["retries"] += 1
+                        state.retries += 1
+                        self._backoff(state.attempts)
+                        continue
+                    failures[index] = state.failed(exc)
+                    break
+                if result.metrics is not None:
+                    result.metrics.retries = state.retries
+                results[index] = result
+                break
+        return results, failures, stats
 
     def _run_pool(self, jobs: Sequence[SimulationJob], workers: int,
-                  kind: str) -> list[SimulationResult]:
+                  kind: str, timeout_s: float | None):
+        """Pooled execution: shared pool fast path, isolated recovery.
+
+        All jobs start on one shared pool.  When that pool can no
+        longer attribute failures to a single job — a worker crash
+        breaks a process pool as a whole, and a wall-clock timeout
+        forces a teardown — every unfinished job is re-run in its own
+        single-worker pool, so crashes and timeouts land on exactly the
+        job that caused them.
+        """
         if kind == "process":
             from concurrent.futures import ProcessPoolExecutor
 
             executor_cls = ProcessPoolExecutor
+            # Pre-flight the pickling so unpicklable jobs degrade to the
+            # thread pool instead of surfacing as per-job failures.
+            pickle.dumps(jobs)
         else:
             executor_cls = ThreadPoolExecutor
-        with executor_cls(max_workers=workers) as pool:
-            return list(pool.map(
-                _execute_job, jobs,
-                [self.vectorised] * len(jobs),
-                [self.cache_resolution] * len(jobs)))
+
+        results: dict[int, SimulationResult] = {}
+        failures: dict[int, FailedJob] = {}
+        stats = {"retries": 0, "timeouts": 0}
+        states = {index: _JobState(index=index, job=job)
+                  for index, job in enumerate(jobs)}
+
+        executor = executor_cls(max_workers=workers)
+        clean = False
+        try:
+            leftovers = self._drain_shared(
+                executor, kind, states, results, failures, stats,
+                timeout_s)
+            clean = not leftovers
+        finally:
+            if clean:
+                executor.shutdown(wait=True)
+            else:
+                self._kill_executor(executor, kind)
+        for index in leftovers:
+            self._run_isolated(executor_cls, kind, states[index],
+                               results, failures, stats, timeout_s)
+        return results, failures, stats
+
+    def _drain_shared(self, executor, kind: str,
+                      states: dict[int, _JobState],
+                      results: dict[int, SimulationResult],
+                      failures: dict[int, FailedJob],
+                      stats: dict[str, int],
+                      timeout_s: float | None) -> list[int]:
+        """Run every job on the shared pool; return unfinished indices.
+
+        A non-empty return means the pool is no longer trustworthy
+        (broken, or torn down after a timeout) and the listed jobs must
+        be re-run in isolation.  Attempts consumed by pool-wide
+        breakage are not charged to innocent jobs.
+        """
+        futures: dict[Future, int] = {}
+        now = time.perf_counter()
+        for index, state in states.items():
+            state.started_at = now
+            futures[self._submit(executor, state.job)] = index
+
+        while futures:
+            done, _ = wait(futures, timeout=_POLL_INTERVAL_S,
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures.pop(future)
+                state = states[index]
+                state.attempts += 1
+                state.running_since = None
+                try:
+                    result = future.result()
+                except BrokenExecutor:
+                    # Pool-wide breakage: blame cannot be pinned on this
+                    # future specifically.  Un-charge the attempt and
+                    # redo everything unfinished in isolation.
+                    state.attempts -= 1
+                    return [index] + [futures.pop(f)
+                                      for f in list(futures)]
+                except Exception as exc:
+                    if state.attempts < self._budget:
+                        stats["retries"] += 1
+                        state.retries += 1
+                        self._backoff(state.attempts)
+                        try:
+                            futures[self._submit(executor,
+                                                 state.job)] = index
+                        except BrokenExecutor:
+                            return [index] + [futures.pop(f)
+                                              for f in list(futures)]
+                    else:
+                        failures[index] = state.failed(exc)
+                else:
+                    if result.metrics is not None:
+                        result.metrics.retries = state.retries
+                    results[index] = result
+            if timeout_s is None:
+                continue
+            now = time.perf_counter()
+            for future, index in list(futures.items()):
+                state = states[index]
+                if state.running_since is None and future.running():
+                    state.running_since = now
+                if (state.running_since is not None
+                        and now - state.running_since >= timeout_s):
+                    # Terminal: the hung worker makes the shared pool
+                    # unusable, so fail this job and move the rest to
+                    # isolated execution.
+                    state.attempts += 1
+                    stats["timeouts"] += 1
+                    failures[index] = state.timed_out(timeout_s)
+                    futures.pop(future)
+                    return [futures.pop(f) for f in list(futures)]
+        return []
+
+    def _run_isolated(self, executor_cls, kind: str, state: _JobState,
+                      results: dict[int, SimulationResult],
+                      failures: dict[int, FailedJob],
+                      stats: dict[str, int],
+                      timeout_s: float | None) -> None:
+        """Run one job in its own single-worker pool, with retry.
+
+        Isolation makes failure attribution exact: a crash or hang can
+        only come from this job, and terminating the pool's worker
+        cannot take other jobs down with it.
+        """
+        if state.started_at is None:
+            state.started_at = time.perf_counter()
+        while True:
+            state.attempts += 1
+            verdict, payload = self._attempt_isolated(
+                executor_cls, kind, state.job, timeout_s)
+            if verdict == "ok":
+                if payload.metrics is not None:
+                    payload.metrics.retries = state.retries
+                results[state.index] = payload
+                return
+            if verdict == "timeout":
+                stats["timeouts"] += 1
+                failures[state.index] = state.timed_out(timeout_s)
+                return
+            if state.attempts < self._budget:
+                stats["retries"] += 1
+                state.retries += 1
+                self._backoff(state.attempts)
+                continue
+            failures[state.index] = state.failed(payload)
+            return
+
+    def _attempt_isolated(self, executor_cls, kind: str,
+                          job: SimulationJob, timeout_s: float | None):
+        """One attempt on a fresh single-worker pool.
+
+        Returns ``("ok", result)``, ``("error", exception)`` — a worker
+        crash surfaces here as its ``BrokenExecutor`` subclass and is
+        retryable — or ``("timeout", None)`` after killing the worker.
+        """
+        executor = executor_cls(max_workers=1)
+        future = self._submit(executor, job)
+        deadline = None
+        while True:
+            done, _ = wait([future], timeout=_POLL_INTERVAL_S)
+            if done:
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    self._kill_executor(executor, kind)
+                    return ("error", exc)
+                executor.shutdown(wait=False)
+                return ("ok", result)
+            if timeout_s is None:
+                continue
+            now = time.perf_counter()
+            if deadline is None and future.running():
+                deadline = now + timeout_s
+            if deadline is not None and now >= deadline:
+                self._kill_executor(executor, kind)
+                return ("timeout", None)
 
     def run(self, jobs: Iterable[SimulationJob]) -> BatchResult:
-        """Execute every job and return results in submission order."""
+        """Execute every job; return partial results plus failures.
+
+        Results come back in submission order.  A job that crashes its
+        worker, raises, or exceeds the wall-clock budget becomes a
+        :class:`FailedJob` record on the returned :class:`BatchResult`
+        — it never aborts the batch or takes other jobs' results with
+        it.
+        """
         jobs = list(jobs)
         if not jobs:
             raise ConfigurationError("batch must contain at least one job")
@@ -537,29 +997,34 @@ class BatchSimulationEngine:
                     f"jobs must be SimulationJob instances, got "
                     f"{type(job).__name__}")
         workers = resolve_workers(self.n_workers, len(jobs))
+        timeout_s = resolve_job_timeout(self.job_timeout_s)
         started = time.perf_counter()
         executor = self.prefer
+        outcome = None
         if workers <= 1 or self.prefer == "serial" or len(jobs) == 1:
             executor = "serial"
-            results = self._run_serial(jobs)
+            outcome = self._run_serial(jobs)
         else:
-            attempts = (["process", "thread"] if self.prefer == "process"
-                        else ["thread"])
-            results = None
-            for kind in attempts:
+            kinds = (["process", "thread"] if self.prefer == "process"
+                     else ["thread"])
+            for kind in kinds:
                 try:
-                    results = self._run_pool(jobs, workers, kind)
+                    outcome = self._run_pool(jobs, workers, kind,
+                                             timeout_s)
                     executor = kind
                     break
                 except Exception:  # pool unavailable: degrade gracefully
                     continue
-            if results is None:
+            if outcome is None:
                 executor = "serial"
-                results = self._run_serial(jobs)
+                outcome = self._run_serial(jobs)
+        results_map, failures_map, stats = outcome
         wall = time.perf_counter() - started
         if executor == "serial":
             workers = 1
 
+        results = [results_map[i] for i in sorted(results_map)]
+        failures = [failures_map[i] for i in sorted(failures_map)]
         total_steps = 0
         cache_hits = 0
         cache_misses = 0
@@ -574,6 +1039,7 @@ class BatchSimulationEngine:
             cache_misses += metrics.cache_misses
         return BatchResult(
             results=results,
+            failures=failures,
             metrics=BatchMetrics(
                 wall_time_s=wall,
                 n_jobs=len(jobs),
@@ -583,6 +1049,9 @@ class BatchSimulationEngine:
                 steps_per_s=total_steps / wall if wall > 0 else 0.0,
                 cache_hits=cache_hits,
                 cache_misses=cache_misses,
+                retries=stats["retries"],
+                timeouts=stats["timeouts"],
+                n_failed=len(failures),
             ),
         )
 
@@ -590,10 +1059,15 @@ class BatchSimulationEngine:
 def run_batch(jobs: Iterable[SimulationJob],
               n_workers: int | None = None, *,
               vectorised: bool = True,
-              prefer: str = "process") -> BatchResult:
+              prefer: str = "process",
+              max_retries: int = 0,
+              retry_backoff_s: float = 0.1,
+              job_timeout_s: float | None = None) -> BatchResult:
     """One-call convenience wrapper around :class:`BatchSimulationEngine`."""
     engine = BatchSimulationEngine(n_workers, vectorised=vectorised,
-                                   prefer=prefer)
+                                   prefer=prefer, max_retries=max_retries,
+                                   retry_backoff_s=retry_backoff_s,
+                                   job_timeout_s=job_timeout_s)
     return engine.run(jobs)
 
 
@@ -613,16 +1087,19 @@ def compare_batch(traces: Sequence[WorkloadTrace],
 
 __all__ = [
     "WORKERS_ENV_VAR",
+    "JOB_TIMEOUT_ENV_VAR",
     "DEFAULT_CACHE_RESOLUTION",
     "CacheStats",
     "CoolingDecisionCache",
     "EngineMetrics",
     "BatchMetrics",
     "SimulationJob",
+    "FailedJob",
     "BatchResult",
     "BatchSimulationEngine",
     "simulate",
     "run_batch",
     "compare_batch",
     "resolve_workers",
+    "resolve_job_timeout",
 ]

@@ -20,8 +20,30 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 @dataclass(frozen=True)
+class SafetyViolation:
+    """One (server, interval) pair observed above the CPU limit.
+
+    Recorded by the non-strict simulator path for *every* violation so
+    post-mortems can see which servers overheated and when, not just a
+    count.  ``time_s`` is the start of the offending control interval.
+    """
+
+    server_id: int
+    step_index: int
+    time_s: float
+    temperature_c: float
+
+
+@dataclass(frozen=True)
 class StepRecord:
-    """Cluster-level aggregates of one control interval."""
+    """Cluster-level aggregates of one control interval.
+
+    ``degraded_circulations`` / ``lost_harvest_w`` / ``active_faults``
+    are the fault-injection accounting (all zero on a healthy run):
+    circulations that fell back to the conservative safe cooling setting
+    this interval, cluster-wide TEG output lost to faults versus the
+    healthy plant, and fault specs active during the interval.
+    """
 
     time_s: float
     mean_utilisation: float
@@ -35,6 +57,9 @@ class StepRecord:
     tower_power_w: float
     pump_power_w: float
     safety_violations: int
+    degraded_circulations: int = 0
+    lost_harvest_w: float = 0.0
+    active_faults: int = 0
 
     @property
     def pre(self) -> float:
@@ -61,6 +86,11 @@ class SimulationResult:
     records: list[StepRecord] = field(default_factory=list)
     metrics: "EngineMetrics | None" = field(default=None, repr=False,
                                             compare=False)
+    #: Every (server, interval) temperature violation observed by the
+    #: non-strict simulator path, in step order.  Observational like
+    #: ``metrics``: excluded from equality.
+    violations: list[SafetyViolation] = field(default_factory=list,
+                                              repr=False, compare=False)
 
     def append(self, record: StepRecord) -> None:
         """Add one control interval's aggregates."""
@@ -136,6 +166,22 @@ class SimulationResult:
         """Count of (server, interval) pairs above the CPU limit."""
         return int(self._series("safety_violations").sum())
 
+    # ------------------------------------------------------------------
+    # Degraded-mode accounting (fault injection)
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded_steps(self) -> int:
+        """Intervals in which at least one circulation ran degraded."""
+        return int(np.count_nonzero(
+            self._series("degraded_circulations")))
+
+    @property
+    def total_lost_harvest_kwh(self) -> float:
+        """Cluster-wide TEG energy lost to faults over the run."""
+        lost_w = self._series("lost_harvest_w")
+        return float(lost_w.sum() * self.interval_s / 3600.0 / 1000.0)
+
     @property
     def anti_correlation(self) -> float:
         """Pearson correlation between utilisation and generation.
@@ -152,7 +198,7 @@ class SimulationResult:
 
     def summary(self) -> dict:
         """Headline metrics as a plain dictionary (for tables/JSON)."""
-        return {
+        summary = {
             "scheme": self.scheme,
             "trace": self.trace_name,
             "servers": self.n_servers,
@@ -164,6 +210,11 @@ class SimulationResult:
             "total_generation_kwh": round(self.total_generation_kwh, 2),
             "safety_violations": self.total_safety_violations,
         }
+        if self.degraded_steps or self.total_lost_harvest_kwh:
+            summary["degraded_steps"] = self.degraded_steps
+            summary["lost_harvest_kwh"] = round(
+                self.total_lost_harvest_kwh, 3)
+        return summary
 
 
 @dataclass(frozen=True)

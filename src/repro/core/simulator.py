@@ -17,13 +17,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..control.cooling_policy import conservative_setting
 from ..cooling.loop import CirculationState, WaterCirculation
 from ..errors import ConfigurationError, CoolingFailureError
+from ..faults import FaultRuntime, FaultSchedule, plausible_readings
 from ..teg.module import TegModule, default_server_module
 from ..thermal.cpu_model import CpuThermalModel
 from ..workloads.trace import WorkloadTrace
 from .config import SimulationConfig
-from .results import SimulationResult, StepRecord
+from .results import SafetyViolation, SimulationResult, StepRecord
 
 
 @dataclass
@@ -46,6 +48,9 @@ class DatacenterSimulator:
     config: SimulationConfig = field(default_factory=SimulationConfig)
     cpu_model: CpuThermalModel = field(default_factory=CpuThermalModel)
     teg_module: TegModule = field(default_factory=default_server_module)
+    #: Optional fault schedule; ``None`` keeps the nominal, bit-exact
+    #: code path.  See :mod:`repro.faults` and ``docs/faults.md``.
+    faults: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.trace.n_servers < self.config.circulation_size:
@@ -66,6 +71,11 @@ class DatacenterSimulator:
             )
             for group in self._groups
         ]
+        self._fault_runtime = (
+            None if self.faults is None or not len(self.faults)
+            else FaultRuntime(self.faults, self.trace.n_servers,
+                              len(self._groups)))
+        self._violation_log: list[SafetyViolation] = []
 
     def _partition_servers(self) -> list[np.ndarray]:
         """Split server columns into contiguous circulation groups.
@@ -113,6 +123,7 @@ class DatacenterSimulator:
             its maximum operating temperature.
         """
         self._check_trace_width()
+        self._violation_log = []
         result = SimulationResult(
             scheme=self.config.name,
             trace_name=self.trace.name,
@@ -121,6 +132,7 @@ class DatacenterSimulator:
         )
         for step_index in range(self.trace.n_steps):
             result.append(self._run_step(step_index))
+        result.violations = self._violation_log
         return result
 
     def _decide(self, scheduled: np.ndarray):
@@ -132,6 +144,8 @@ class DatacenterSimulator:
         return self._policy.decide(scheduled)
 
     def _run_step(self, step_index: int) -> StepRecord:
+        if self._fault_runtime is not None:
+            return self._run_step_faulted(step_index)
         step_utils = self.trace.step(step_index)
         states = []
         for group, circulation in zip(self._groups, self._circulations):
@@ -141,8 +155,65 @@ class DatacenterSimulator:
             states.append(circulation.evaluate(scheduled, decision.setting))
         return self._aggregate_step(step_index, step_utils, states)
 
+    def _run_step_faulted(self, step_index: int) -> StepRecord:
+        """One control interval under an active fault schedule.
+
+        Per circulation the controller sees *sensed* (possibly
+        corrupted) utilisations; implausible readings or a tripped pump
+        stall make it fall back to the conservative safe setting instead
+        of crashing.  A healthy shadow evaluation prices the harvest
+        lost to the faults.  Slower than the nominal loop (two
+        evaluations per circulation), which is why it only runs when a
+        schedule is attached.
+        """
+        runtime = self._fault_runtime
+        time_s = step_index * self.trace.interval_s
+        step_utils = self.trace.step(step_index)
+        states = []
+        degraded = 0
+        lost_w = 0.0
+        for circ_index, (group, circulation) in enumerate(
+                zip(self._groups, self._circulations)):
+            scheduled = self._scheduler.schedule(step_utils[group])
+
+            # Healthy shadow: what the plant would harvest fault-free.
+            nominal_decision = self._decide(scheduled)
+            nominal_state = circulation.evaluate(
+                scheduled, nominal_decision.setting)
+
+            # Control path: decide on what the sensors *read*.
+            readings = runtime.sense(scheduled, step_index, circ_index,
+                                     time_s)
+            tripped = runtime.pump_stalled(time_s, circ_index)
+            if tripped or not plausible_readings(readings):
+                setting = conservative_setting(self._policy)
+                degraded += 1
+            else:
+                setting = self._decide(
+                    np.clip(readings, 0.0, 1.0)).setting
+
+            # Physical path: the loop delivers what the faults allow.
+            applied = circulation.cdu.apply(setting)
+            applied = runtime.apply_pump(applied, time_s, circ_index)
+            state = circulation.evaluate(
+                scheduled, applied, clamp_setting=False,
+                cold_source_temp_c=runtime.cold_source_temp_c(
+                    circulation.cold_source_temp_c, time_s, circ_index),
+                teg_output_factor=runtime.teg_output_factor(
+                    time_s, circ_index, group))
+            lost_w += max(0.0, nominal_state.total_generation_w
+                          - state.total_generation_w)
+            states.append(state)
+        return self._aggregate_step(
+            step_index, step_utils, states,
+            degraded_circulations=degraded, lost_harvest_w=lost_w,
+            active_faults=runtime.active_count(time_s))
+
     def _aggregate_step(self, step_index: int, step_utils: np.ndarray,
-                        states: list[CirculationState]) -> StepRecord:
+                        states: list[CirculationState], *,
+                        degraded_circulations: int = 0,
+                        lost_harvest_w: float = 0.0,
+                        active_faults: int = 0) -> StepRecord:
         """Fold per-circulation states into one cluster-level record.
 
         Accumulation happens in circulation order with plain float adds —
@@ -179,7 +250,18 @@ class DatacenterSimulator:
                     server_id=int(group[step_violations[0]]),
                     temperature_c=float(state.cpu_temps_c[
                         step_violations[0]]),
+                    step_index=step_index,
                 )
+            # Non-strict path: log every offending (server, interval)
+            # pair, not just the count (post-mortems need identities).
+            time_s = step_index * self.trace.interval_s
+            for offender in step_violations:
+                self._violation_log.append(SafetyViolation(
+                    server_id=int(group[offender]),
+                    step_index=step_index,
+                    time_s=time_s,
+                    temperature_c=float(state.cpu_temps_c[offender]),
+                ))
 
         n = self.trace.n_servers
         return StepRecord(
@@ -195,6 +277,9 @@ class DatacenterSimulator:
             tower_power_w=total_tower,
             pump_power_w=total_pump,
             safety_violations=violations,
+            degraded_circulations=degraded_circulations,
+            lost_harvest_w=lost_harvest_w,
+            active_faults=active_faults,
         )
 
 

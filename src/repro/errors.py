@@ -31,13 +31,54 @@ class CoolingFailureError(ReproError):
     ``strict_safety=True``; otherwise the violation is recorded in the
     result object and the run continues (matching how the paper's testbed
     logs rather than halts).
+
+    ``server_id`` / ``temperature_c`` / ``step_index`` identify the
+    offending (server, interval) pair machine-readably so supervisors can
+    react without parsing the message.
     """
 
     def __init__(self, message: str, *, server_id: int | None = None,
-                 temperature_c: float | None = None) -> None:
+                 temperature_c: float | None = None,
+                 step_index: int | None = None) -> None:
         super().__init__(message)
         self.server_id = server_id
         self.temperature_c = temperature_c
+        self.step_index = step_index
+
+
+class FaultInjectionError(ReproError):
+    """A fault specification or schedule is invalid or cannot be applied.
+
+    Raised by :mod:`repro.faults` when a spec names an unknown fault kind,
+    carries an out-of-range magnitude, or a schedule file does not parse.
+    """
+
+
+class JobExecutionError(ReproError):
+    """A batch job failed permanently (all retries exhausted or timed out).
+
+    Attributes
+    ----------
+    scheme / trace_name:
+        The ``(scheme, trace)`` key of the failed job.
+    attempts:
+        How many times the job was attempted before giving up.
+    elapsed_s:
+        Wall-clock time spent on the job across all attempts.
+    timed_out:
+        True when the final failure was the ``REPRO_JOB_TIMEOUT``
+        wall-clock budget, not an exception from the job itself.
+    """
+
+    def __init__(self, message: str, *, scheme: str | None = None,
+                 trace_name: str | None = None, attempts: int = 1,
+                 elapsed_s: float = 0.0, timed_out: bool = False) -> None:
+        super().__init__(message)
+        self.scheme = scheme
+        self.trace_name = trace_name
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+        self.timed_out = timed_out
 
 
 class TraceFormatError(ReproError):

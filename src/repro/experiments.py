@@ -242,6 +242,72 @@ def _run_batch_engine(n_servers: int = 80) -> ExperimentOutcome:
     )
 
 
+def _run_faults(n_servers: int = 60) -> ExperimentOutcome:
+    """Fault-intensity sweep: recycled power vs injected fault severity.
+
+    One schedule template (sensor noise + TEG open strings + a pump
+    stall on circulation 0) is scaled from intensity 0 (healthy) to 1
+    (severe) and replayed over the common trace.  The healthy point
+    doubles as a regression anchor: it must match the fault-free run
+    bit for bit.
+    """
+    from .core.config import teg_loadbalance
+    from .core.engine import SimulationJob, run_batch
+    from .faults import FaultSchedule, FaultSpec
+    from .workloads.synthetic import common_trace
+
+    trace = common_trace(n_servers=n_servers, duration_s=8 * 3600.0)
+    config = teg_loadbalance()
+
+    def schedule(intensity: float) -> FaultSchedule | None:
+        if intensity <= 0:
+            return None
+        specs = [
+            FaultSpec(kind="sensor_noise", magnitude=0.2 * intensity),
+            FaultSpec(kind="teg_open_circuit",
+                      magnitude=0.3 * intensity),
+            FaultSpec(kind="chiller_excursion",
+                      magnitude=8.0 * intensity),
+        ]
+        if intensity >= 0.75:
+            specs.append(FaultSpec(kind="pump_stall",
+                                   start_s=4 * 3600.0, circulation=0))
+        return FaultSchedule(specs=tuple(specs), seed=29)
+
+    intensities = [0.0, 0.25, 0.5, 0.75, 1.0]
+    jobs = [SimulationJob(trace=trace, config=config,
+                          faults=schedule(intensity))
+            for intensity in intensities]
+    batch = run_batch(jobs, n_workers=1)
+    healthy = batch.results[0]
+    metrics: dict = {
+        "healthy_generation_w": healthy.average_generation_w,
+    }
+    generation = []
+    lost = []
+    degraded = []
+    for intensity, result in zip(intensities, batch.results):
+        generation.append(result.average_generation_w)
+        lost.append(result.total_lost_harvest_kwh)
+        degraded.append(result.degraded_steps)
+        tag = f"{intensity:.2f}"
+        metrics[f"generation_w_at_{tag}"] = result.average_generation_w
+        metrics[f"lost_kwh_at_{tag}"] = result.total_lost_harvest_kwh
+    metrics["worst_case_retention"] = (
+        generation[-1] / generation[0] if generation[0] > 0 else 0.0)
+    return ExperimentOutcome(
+        experiment_id="E-FAULTS",
+        title="Recycled power under injected fault intensity",
+        metrics=metrics,
+        series={
+            "intensity": intensities,
+            "generation_w": generation,
+            "lost_harvest_kwh": lost,
+            "degraded_steps": degraded,
+        },
+    )
+
+
 def _run_circulation_design() -> ExperimentOutcome:
     from .cooling.circulation_design import CirculationDesignProblem
 
@@ -277,6 +343,7 @@ _REGISTRY: dict[str, tuple[str, Callable[[], ExperimentOutcome]]] = {
     "E-T1": ("Table I + break-even", _run_table1),
     "E-VA": ("Sec. V-A circulation design", _run_circulation_design),
     "E-BATCH": ("Batch engine self-check", _run_batch_engine),
+    "E-FAULTS": ("Fault-intensity vs recycled power", _run_faults),
 }
 
 

@@ -1,0 +1,41 @@
+"""Fault injection: deterministic disturbance models for the H2P plant.
+
+Real warm-water datacenters do not run the nominal plant the paper
+evaluates: TEG strings go open-circuit, modules age faster than their
+datasheet fade, pumps derate or stall, chiller loops lose their cold
+side, and the utilisation sensors the control plane reads drift, stick
+or go noisy.  This package models those disturbances as data
+(:class:`FaultSpec` / :class:`FaultSchedule`) plus a seeded, fully
+deterministic runtime (:class:`FaultRuntime`) that the simulator queries
+every control interval.
+
+Design rules
+------------
+* **Deterministic** — every random draw is keyed on
+  ``(schedule.seed, spec index, step index, circulation index)`` through
+  ``numpy``'s ``default_rng``; the same seed always yields the same
+  injected series regardless of evaluation order or worker count.
+* **Declarative** — a schedule is plain data and round-trips through
+  JSON (``h2p batch --faults spec.json``); see ``docs/faults.md`` for
+  the schema.
+* **Non-invasive** — with no schedule attached the simulator takes its
+  original code path and its output stays bit-identical.
+"""
+
+from .schedule import FAULT_KINDS, FaultSpec, FaultSchedule
+from .injectors import (
+    SENSOR_PLAUSIBLE_SLACK,
+    STALL_FLOW_L_PER_H,
+    FaultRuntime,
+    plausible_readings,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultSchedule",
+    "FaultRuntime",
+    "plausible_readings",
+    "SENSOR_PLAUSIBLE_SLACK",
+    "STALL_FLOW_L_PER_H",
+]

@@ -1,0 +1,194 @@
+"""Seeded fault injectors (the runtime layer).
+
+A :class:`FaultRuntime` binds one :class:`~repro.faults.schedule.FaultSchedule`
+to one simulation (a cluster partitioned into circulations) and answers
+the four questions the simulator asks every control interval:
+
+* :meth:`FaultRuntime.sense` — what do the utilisation sensors *read*
+  (noise, bias, stuck-at applied to the true scheduled values)?
+* :meth:`FaultRuntime.apply_pump` — what flow does the loop *actually*
+  deliver after derating/stall, regardless of what the CDU commanded?
+* :meth:`FaultRuntime.teg_output_factor` — what fraction of the nominal
+  TEG output does each server produce (open strings, accelerated fade)?
+* :meth:`FaultRuntime.cold_source_temp_c` — what temperature does the
+  TEG cold side really see (chiller-loop excursions)?
+
+Every random draw is produced by ``np.random.default_rng`` keyed on
+``(schedule seed, spec index[, step index, circulation index])``, so the
+injected series depend only on the schedule — never on evaluation order,
+caching, or the worker a job landed on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FaultInjectionError
+from ..reliability import TegDegradationModel
+from ..thermal.cpu_model import CoolingSetting
+from .schedule import FaultSchedule, FaultSpec
+
+#: Flow a stalled pump still trickles through the loop (thermosiphon /
+#: bypass leakage) — deliberately below any CDU's actuator minimum.
+STALL_FLOW_L_PER_H = 5.0
+
+#: Sensor readings farther than this outside [0, 1] are implausible: the
+#: control plane must assume the sensor is broken and degrade safely.
+SENSOR_PLAUSIBLE_SLACK = 0.05
+
+
+def plausible_readings(readings: np.ndarray) -> bool:
+    """Whether a utilisation vector could come from a healthy sensor.
+
+    Finite and within ``[0 - slack, 1 + slack]``; small excursions are
+    expected from honest noise and are clipped by the caller, anything
+    beyond marks the reading implausible.
+    """
+    values = np.asarray(readings, dtype=float)
+    if values.size == 0 or not np.all(np.isfinite(values)):
+        return False
+    return bool(np.all((values >= -SENSOR_PLAUSIBLE_SLACK)
+                       & (values <= 1.0 + SENSOR_PLAUSIBLE_SLACK)))
+
+
+class FaultRuntime:
+    """One schedule bound to one simulated cluster.
+
+    Parameters
+    ----------
+    schedule:
+        The declarative fault schedule.
+    n_servers / n_circulations:
+        Shape of the simulated cluster; per-server masks (which TEG
+        strings are open) are drawn once at construction.
+    degradation_model:
+        Fade law used by ``teg_degradation`` faults.
+    """
+
+    def __init__(self, schedule: FaultSchedule, n_servers: int,
+                 n_circulations: int,
+                 degradation_model: TegDegradationModel | None = None
+                 ) -> None:
+        if not isinstance(schedule, FaultSchedule):
+            raise FaultInjectionError(
+                f"expected a FaultSchedule, got {type(schedule).__name__}")
+        if n_servers <= 0 or n_circulations <= 0:
+            raise FaultInjectionError(
+                "runtime needs a positive server and circulation count")
+        for spec in schedule:
+            if (spec.circulation is not None
+                    and spec.circulation >= n_circulations):
+                raise FaultInjectionError(
+                    f"fault targets circulation {spec.circulation} but the "
+                    f"cluster only has {n_circulations}")
+        self.schedule = schedule
+        self.n_servers = n_servers
+        self.n_circulations = n_circulations
+        self.degradation = degradation_model or TegDegradationModel()
+        # Draw static per-server masks up front: which servers' TEG
+        # strings break under each open-circuit spec.
+        self._open_masks: dict[int, np.ndarray] = {}
+        for index, spec in enumerate(schedule):
+            if spec.kind == "teg_open_circuit":
+                rng = self._rng(index)
+                self._open_masks[index] = (
+                    rng.random(n_servers) < spec.magnitude)
+
+    def _rng(self, spec_index: int, *extra: int) -> np.random.Generator:
+        """Deterministic generator keyed on (seed, spec, *extra)."""
+        return np.random.default_rng(
+            (self.schedule.seed, spec_index) + extra)
+
+    def _active(self, time_s: float, circ_index: int,
+                kinds: tuple[str, ...]) -> list[tuple[int, FaultSpec]]:
+        return [(index, spec) for index, spec in self.schedule.active(time_s)
+                if spec.kind in kinds and spec.targets(circ_index)]
+
+    # ------------------------------------------------------------------
+    # Queries, one per subsystem
+    # ------------------------------------------------------------------
+
+    def active_count(self, time_s: float) -> int:
+        """Number of fault specs active anywhere at ``time_s``."""
+        return len(self.schedule.active(time_s))
+
+    def sense(self, scheduled: np.ndarray, step_index: int,
+              circ_index: int, time_s: float) -> np.ndarray:
+        """The utilisation vector the policy *reads* for one circulation.
+
+        Applies every active sensor fault in schedule order; returns the
+        true values (same array contents, copied) when none are active.
+        """
+        readings = np.array(scheduled, dtype=float, copy=True)
+        kinds = ("sensor_noise", "sensor_bias", "sensor_stuck")
+        for index, spec in self._active(time_s, circ_index, kinds):
+            if spec.kind == "sensor_noise":
+                rng = self._rng(index, step_index, circ_index)
+                readings += spec.magnitude * rng.standard_normal(
+                    readings.size)
+            elif spec.kind == "sensor_bias":
+                readings += spec.magnitude
+            else:  # sensor_stuck
+                readings[:] = spec.magnitude
+        return readings
+
+    def pump_stalled(self, time_s: float, circ_index: int) -> bool:
+        """Whether a stall fault grips this circulation's pump."""
+        return bool(self._active(time_s, circ_index, ("pump_stall",)))
+
+    def apply_pump(self, setting: CoolingSetting, time_s: float,
+                   circ_index: int) -> CoolingSetting:
+        """The setting the loop physically delivers after pump faults.
+
+        Derates multiply the commanded flow; a stall collapses it to
+        :data:`STALL_FLOW_L_PER_H`.  The inlet set-point is untouched
+        (the CDU's valves still regulate temperature).
+        """
+        flow = setting.flow_l_per_h
+        for _, spec in self._active(time_s, circ_index, ("pump_derate",)):
+            flow *= (1.0 - spec.magnitude)
+        if self.pump_stalled(time_s, circ_index):
+            flow = STALL_FLOW_L_PER_H
+        flow = max(flow, STALL_FLOW_L_PER_H)
+        if flow == setting.flow_l_per_h:
+            return setting
+        return CoolingSetting(flow_l_per_h=flow,
+                              inlet_temp_c=setting.inlet_temp_c)
+
+    def teg_output_factor(self, time_s: float, circ_index: int,
+                          group: np.ndarray) -> np.ndarray | float:
+        """Per-server multiplier on nominal TEG output (1.0 = healthy).
+
+        ``group`` holds the global server indices of the circulation, so
+        open-circuit masks drawn over the whole cluster line up with the
+        per-circulation evaluation.
+        """
+        factor: np.ndarray | float = 1.0
+        for index, spec in self._active(
+                time_s, circ_index, ("teg_open_circuit", "teg_degradation")):
+            if spec.kind == "teg_open_circuit":
+                mask = self._open_masks[index][np.asarray(group)]
+                server_factor = np.where(mask, 0.0, 1.0)
+                factor = factor * server_factor
+            else:  # accelerated ageing through the fade law
+                aged_years = (spec.elapsed_s(time_s) / 3600.0
+                              * spec.magnitude)
+                factor = factor * self.degradation.output_factor(aged_years)
+        return factor
+
+    def cold_source_temp_c(self, nominal_c: float, time_s: float,
+                           circ_index: int) -> float:
+        """TEG cold-side temperature after chiller-loop excursions."""
+        temp = nominal_c
+        for _, spec in self._active(time_s, circ_index,
+                                    ("chiller_excursion",)):
+            temp += spec.magnitude
+        return temp
+
+
+__all__ = [
+    "STALL_FLOW_L_PER_H",
+    "SENSOR_PLAUSIBLE_SLACK",
+    "FaultRuntime",
+    "plausible_readings",
+]

@@ -1,0 +1,248 @@
+"""Fault specifications and schedules (the declarative layer).
+
+A :class:`FaultSpec` names one disturbance — what kind, when it starts,
+how long it lasts, how hard it hits, and which circulation it targets.
+A :class:`FaultSchedule` bundles several specs with one seed; it is the
+unit the simulator, the batch engine and the CLI pass around, and it
+round-trips through JSON so sweeps can be described in files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from ..errors import FaultInjectionError
+
+#: Every supported fault kind, grouped by subsystem.
+FAULT_KINDS = (
+    # TEG harvesting hardware
+    "teg_open_circuit",
+    "teg_degradation",
+    # Hydraulics
+    "pump_derate",
+    "pump_stall",
+    # Facility cold side
+    "chiller_excursion",
+    # Sensing (what the cooling policy reads)
+    "sensor_noise",
+    "sensor_bias",
+    "sensor_stuck",
+)
+
+#: Kinds whose magnitude must be a fraction in [0, 1].
+_FRACTIONAL_KINDS = ("teg_open_circuit", "pump_derate")
+
+#: Kinds whose magnitude must be non-negative.
+_NON_NEGATIVE_KINDS = ("teg_degradation", "sensor_noise")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One disturbance applied over a time window.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    start_s / duration_s:
+        Active window ``[start_s, start_s + duration_s)`` in simulation
+        time.  ``duration_s`` defaults to infinity (permanent fault).
+    magnitude:
+        Kind-specific intensity:
+
+        * ``teg_open_circuit`` — fraction of servers whose TEG string is
+          broken (a series string with one open module produces nothing);
+        * ``teg_degradation`` — equivalent ageing in *years per elapsed
+          fault hour*, run through
+          :class:`repro.reliability.TegDegradationModel`;
+        * ``pump_derate`` — fractional flow-rate loss (0.3 = -30 %);
+        * ``pump_stall`` — magnitude is ignored; flow collapses to the
+          trickle floor :data:`repro.faults.injectors.STALL_FLOW_L_PER_H`;
+        * ``chiller_excursion`` — degrees Celsius added to the TEG
+          cold-side temperature;
+        * ``sensor_noise`` — Gaussian sigma added to every utilisation
+          reading;
+        * ``sensor_bias`` — constant offset added to every reading;
+        * ``sensor_stuck`` — all readings freeze at this value.
+    circulation:
+        Index of the targeted water circulation, or ``None`` for all.
+    """
+
+    kind: str
+    start_s: float = 0.0
+    duration_s: float = math.inf
+    magnitude: float = 0.0
+    circulation: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown fault kind {self.kind!r}; valid kinds: "
+                f"{', '.join(FAULT_KINDS)}")
+        if not math.isfinite(self.start_s) or self.start_s < 0:
+            raise FaultInjectionError(
+                f"start_s must be finite and >= 0, got {self.start_s}")
+        if math.isnan(self.duration_s) or self.duration_s <= 0:
+            raise FaultInjectionError(
+                f"duration_s must be > 0, got {self.duration_s}")
+        if math.isnan(self.magnitude) or math.isinf(self.magnitude):
+            raise FaultInjectionError(
+                f"magnitude must be finite, got {self.magnitude}")
+        if self.kind in _FRACTIONAL_KINDS and not 0.0 <= self.magnitude <= 1.0:
+            raise FaultInjectionError(
+                f"{self.kind} magnitude is a fraction in [0, 1], "
+                f"got {self.magnitude}")
+        if self.kind in _NON_NEGATIVE_KINDS and self.magnitude < 0:
+            raise FaultInjectionError(
+                f"{self.kind} magnitude must be >= 0, got {self.magnitude}")
+        if self.circulation is not None and self.circulation < 0:
+            raise FaultInjectionError(
+                f"circulation index must be >= 0, got {self.circulation}")
+
+    def active_at(self, time_s: float) -> bool:
+        """Whether the fault is active at simulation time ``time_s``."""
+        return self.start_s <= time_s < self.start_s + self.duration_s
+
+    def targets(self, circulation_index: int) -> bool:
+        """Whether the fault applies to the given circulation."""
+        return self.circulation is None or self.circulation == circulation_index
+
+    def elapsed_s(self, time_s: float) -> float:
+        """Seconds the fault has been active at ``time_s`` (0 if not yet)."""
+        return max(0.0, time_s - self.start_s)
+
+    @property
+    def is_sensor_fault(self) -> bool:
+        """Whether the fault corrupts readings rather than hardware."""
+        return self.kind.startswith("sensor_")
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (infinite durations are omitted)."""
+        out = {"kind": self.kind, "start_s": self.start_s,
+               "magnitude": self.magnitude}
+        if math.isfinite(self.duration_s):
+            out["duration_s"] = self.duration_s
+        if self.circulation is not None:
+            out["circulation"] = self.circulation
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Build a spec from a JSON object, rejecting unknown keys."""
+        if not isinstance(data, dict):
+            raise FaultInjectionError(
+                f"fault spec must be an object, got {type(data).__name__}")
+        unknown = set(data) - {"kind", "start_s", "duration_s",
+                               "magnitude", "circulation"}
+        if unknown:
+            raise FaultInjectionError(
+                f"unknown fault spec keys: {sorted(unknown)}")
+        if "kind" not in data:
+            raise FaultInjectionError("fault spec is missing 'kind'")
+        try:
+            return cls(
+                kind=data["kind"],
+                start_s=float(data.get("start_s", 0.0)),
+                duration_s=float(data.get("duration_s", math.inf)),
+                magnitude=float(data.get("magnitude", 0.0)),
+                circulation=(None if data.get("circulation") is None
+                             else int(data["circulation"])),
+            )
+        except (TypeError, ValueError) as exc:
+            raise FaultInjectionError(
+                f"invalid fault spec field: {exc}") from None
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered set of fault specs plus the seed that fixes all draws.
+
+    Two schedules with equal specs and seeds inject **identical** series
+    into any simulation — that property is enforced by the hypothesis
+    tests in ``tests/faults/``.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise FaultInjectionError(
+                    f"schedule entries must be FaultSpec, got "
+                    f"{type(spec).__name__}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise FaultInjectionError(
+                f"seed must be an integer, got {self.seed!r}")
+        if self.seed < 0:
+            raise FaultInjectionError(f"seed must be >= 0, got {self.seed}")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def active(self, time_s: float) -> list[tuple[int, FaultSpec]]:
+        """``(index, spec)`` pairs active at ``time_s`` (schedule order)."""
+        return [(index, spec) for index, spec in enumerate(self.specs)
+                if spec.active_at(time_s)]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation of the whole schedule."""
+        return {"seed": self.seed,
+                "faults": [spec.to_dict() for spec in self.specs]}
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialise to a JSON string, optionally writing ``path``."""
+        text = json.dumps(self.to_dict(), indent=2)
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        """Build a schedule from a parsed JSON object."""
+        if not isinstance(data, dict):
+            raise FaultInjectionError(
+                f"fault schedule must be an object, got "
+                f"{type(data).__name__}")
+        unknown = set(data) - {"seed", "faults"}
+        if unknown:
+            raise FaultInjectionError(
+                f"unknown fault schedule keys: {sorted(unknown)}")
+        faults = data.get("faults", [])
+        if not isinstance(faults, Sequence) or isinstance(faults, str):
+            raise FaultInjectionError("'faults' must be a list of specs")
+        seed = data.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise FaultInjectionError(f"seed must be an integer, got {seed!r}")
+        return cls(specs=tuple(FaultSpec.from_dict(entry)
+                               for entry in faults), seed=seed)
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "FaultSchedule":
+        """Parse a schedule from a JSON file path or a JSON string."""
+        text = str(source)
+        path = Path(text)
+        try:
+            is_file = path.is_file()
+        except OSError:  # e.g. a JSON string too long for a file name
+            is_file = False
+        if is_file:
+            text = path.read_text()
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultInjectionError(
+                f"fault schedule is not valid JSON: {exc}") from None
+        return cls.from_dict(data)

@@ -216,7 +216,7 @@ class TestDeterminism:
         jobs = self.jobs()[:2]
         reference = run_batch(jobs, n_workers=1)
 
-        def broken_pool(self, jobs, workers, kind):
+        def broken_pool(self, jobs, workers, kind, timeout_s):
             raise OSError("no pools in this sandbox")
 
         monkeypatch.setattr(BatchSimulationEngine, "_run_pool",

@@ -1,0 +1,189 @@
+"""FaultRuntime behaviour: what each injector does and determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultRuntime,
+    FaultSchedule,
+    FaultSpec,
+    STALL_FLOW_L_PER_H,
+    plausible_readings,
+)
+from repro.thermal.cpu_model import CoolingSetting
+
+pytestmark = pytest.mark.faults
+
+
+def runtime(*specs, seed=0, n_servers=20, n_circulations=2):
+    return FaultRuntime(FaultSchedule(specs=tuple(specs), seed=seed),
+                        n_servers, n_circulations)
+
+
+class TestPlausibility:
+    def test_healthy_readings_plausible(self):
+        assert plausible_readings(np.linspace(0.0, 1.0, 8))
+
+    def test_small_noise_excursion_still_plausible(self):
+        assert plausible_readings(np.array([-0.04, 1.04]))
+
+    @pytest.mark.parametrize("bad", [
+        np.array([1.2, 0.5]),
+        np.array([-0.2, 0.5]),
+        np.array([np.nan, 0.5]),
+        np.array([np.inf, 0.5]),
+        np.array([]),
+    ])
+    def test_implausible_readings(self, bad):
+        assert not plausible_readings(bad)
+
+
+class TestRuntimeValidation:
+    def test_out_of_cluster_circulation_rejected(self):
+        with pytest.raises(FaultInjectionError, match="circulation 5"):
+            runtime(FaultSpec(kind="pump_stall", circulation=5))
+
+    def test_non_schedule_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultRuntime([], 10, 1)
+
+
+class TestSensorFaults:
+    def test_no_faults_returns_true_values(self):
+        rt = runtime()
+        scheduled = np.linspace(0.0, 1.0, 20)
+        readings = rt.sense(scheduled, 0, 0, 0.0)
+        np.testing.assert_array_equal(readings, scheduled)
+        assert readings is not scheduled
+
+    def test_stuck_sensor_freezes_all_readings(self):
+        rt = runtime(FaultSpec(kind="sensor_stuck", magnitude=0.42))
+        readings = rt.sense(np.linspace(0, 1, 20), 3, 0, 0.0)
+        np.testing.assert_array_equal(readings, np.full(20, 0.42))
+
+    def test_bias_shifts_readings(self):
+        rt = runtime(FaultSpec(kind="sensor_bias", magnitude=0.1))
+        scheduled = np.full(20, 0.5)
+        np.testing.assert_allclose(rt.sense(scheduled, 0, 0, 0.0),
+                                   scheduled + 0.1)
+
+    def test_noise_varies_by_step_but_not_by_call(self):
+        rt = runtime(FaultSpec(kind="sensor_noise", magnitude=0.2))
+        scheduled = np.full(20, 0.5)
+        first = rt.sense(scheduled, 0, 0, 0.0)
+        again = rt.sense(scheduled, 0, 0, 0.0)
+        other_step = rt.sense(scheduled, 1, 0, 300.0)
+        np.testing.assert_array_equal(first, again)
+        assert not np.array_equal(first, other_step)
+
+    def test_circulation_target_respected(self):
+        rt = runtime(FaultSpec(kind="sensor_stuck", magnitude=0.9,
+                               circulation=1))
+        scheduled = np.full(10, 0.2)
+        np.testing.assert_array_equal(rt.sense(scheduled, 0, 0, 0.0),
+                                      scheduled)
+        np.testing.assert_array_equal(rt.sense(scheduled, 0, 1, 0.0),
+                                      np.full(10, 0.9))
+
+
+class TestPumpFaults:
+    def test_derate_scales_flow(self):
+        rt = runtime(FaultSpec(kind="pump_derate", magnitude=0.5))
+        setting = CoolingSetting(flow_l_per_h=200.0, inlet_temp_c=45.0)
+        applied = rt.apply_pump(setting, 0.0, 0)
+        assert applied.flow_l_per_h == pytest.approx(100.0)
+        assert applied.inlet_temp_c == 45.0
+
+    def test_stall_collapses_flow_to_trickle(self):
+        rt = runtime(FaultSpec(kind="pump_stall"))
+        setting = CoolingSetting(flow_l_per_h=300.0, inlet_temp_c=45.0)
+        assert rt.apply_pump(setting, 0.0, 0).flow_l_per_h == \
+            STALL_FLOW_L_PER_H
+        assert rt.pump_stalled(0.0, 0)
+
+    def test_inactive_window_leaves_setting_untouched(self):
+        rt = runtime(FaultSpec(kind="pump_stall", start_s=1000.0))
+        setting = CoolingSetting(flow_l_per_h=300.0, inlet_temp_c=45.0)
+        assert rt.apply_pump(setting, 0.0, 0) is setting
+        assert not rt.pump_stalled(0.0, 0)
+
+
+class TestTegAndChillerFaults:
+    def test_open_circuit_zeroes_a_fraction(self):
+        rt = runtime(FaultSpec(kind="teg_open_circuit", magnitude=0.5),
+                     n_servers=400, n_circulations=1)
+        factor = rt.teg_output_factor(0.0, 0, np.arange(400))
+        assert set(np.unique(factor)) <= {0.0, 1.0}
+        broken = float(np.mean(factor == 0.0))
+        assert 0.3 < broken < 0.7
+
+    def test_degradation_ages_with_elapsed_time(self):
+        rt = runtime(FaultSpec(kind="teg_degradation", magnitude=10.0))
+        early = rt.teg_output_factor(0.0, 0, np.arange(20))
+        late = rt.teg_output_factor(36000.0, 0, np.arange(20))
+        assert early == pytest.approx(1.0)
+        assert np.all(np.asarray(late) < 1.0)
+
+    def test_chiller_excursion_warms_cold_side(self):
+        rt = runtime(FaultSpec(kind="chiller_excursion", magnitude=6.0))
+        assert rt.cold_source_temp_c(25.0, 0.0, 0) == pytest.approx(31.0)
+        assert rt.cold_source_temp_c(25.0, -1.0, 0) == pytest.approx(25.0)
+
+    def test_active_count(self):
+        rt = runtime(FaultSpec(kind="pump_stall", start_s=100.0),
+                     FaultSpec(kind="sensor_bias", magnitude=0.1))
+        assert rt.active_count(0.0) == 1
+        assert rt.active_count(200.0) == 2
+
+
+spec_strategy = st.builds(
+    FaultSpec,
+    kind=st.sampled_from(FAULT_KINDS),
+    start_s=st.floats(min_value=0.0, max_value=3600.0),
+    duration_s=st.floats(min_value=60.0, max_value=7200.0),
+    magnitude=st.floats(min_value=0.0, max_value=1.0),
+    circulation=st.one_of(st.none(), st.integers(0, 1)),
+)
+
+
+class TestSeededReproducibility:
+    """Same (schedule, seed) => identical injected series, always."""
+
+    @given(specs=st.lists(spec_strategy, min_size=1, max_size=3),
+           seed=st.integers(0, 2**31 - 1),
+           step=st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_two_runtimes_agree_everywhere(self, specs, seed, step):
+        schedule = FaultSchedule(specs=tuple(specs), seed=seed)
+        a = FaultRuntime(schedule, 16, 2)
+        b = FaultRuntime(schedule, 16, 2)
+        scheduled = np.linspace(0.1, 0.9, 16)
+        time_s = step * 300.0
+        setting = CoolingSetting(flow_l_per_h=150.0, inlet_temp_c=46.0)
+        for circ in (0, 1):
+            np.testing.assert_array_equal(
+                a.sense(scheduled, step, circ, time_s),
+                b.sense(scheduled, step, circ, time_s))
+            assert a.apply_pump(setting, time_s, circ) == \
+                b.apply_pump(setting, time_s, circ)
+            np.testing.assert_array_equal(
+                np.asarray(a.teg_output_factor(time_s, circ,
+                                               np.arange(16))),
+                np.asarray(b.teg_output_factor(time_s, circ,
+                                               np.arange(16))))
+            assert a.cold_source_temp_c(25.0, time_s, circ) == \
+                b.cold_source_temp_c(25.0, time_s, circ)
+
+    @given(seed_a=st.integers(0, 1000), seed_b=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_noise_differs_across_seeds(self, seed_a, seed_b):
+        spec = FaultSpec(kind="sensor_noise", magnitude=0.3)
+        a = runtime(spec, seed=seed_a)
+        b = runtime(spec, seed=seed_b)
+        scheduled = np.full(20, 0.5)
+        same = np.array_equal(a.sense(scheduled, 0, 0, 0.0),
+                              b.sense(scheduled, 0, 0, 0.0))
+        assert same == (seed_a == seed_b)

@@ -1,0 +1,129 @@
+"""FaultSpec/FaultSchedule validation, windows and JSON round-trips."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FaultInjectionError
+from repro.faults import FAULT_KINDS, FaultSchedule, FaultSpec
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultSpecValidation:
+    def test_every_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            spec = FaultSpec(kind=kind, magnitude=0.1)
+            assert spec.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault kind"):
+            FaultSpec(kind="meteor_strike")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind="pump_derate", start_s=-1.0),
+        dict(kind="pump_derate", duration_s=0.0),
+        dict(kind="pump_derate", duration_s=-5.0),
+    ])
+    def test_bad_window_rejected(self, kwargs):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(**kwargs)
+
+    @pytest.mark.parametrize("kind,magnitude", [
+        ("teg_open_circuit", 1.5),
+        ("teg_open_circuit", -0.1),
+        ("pump_derate", 2.0),
+        ("sensor_noise", -0.2),
+        ("teg_degradation", -1.0),
+    ])
+    def test_out_of_range_magnitude_rejected(self, kind, magnitude):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(kind=kind, magnitude=magnitude)
+
+    def test_negative_circulation_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(kind="pump_stall", circulation=-1)
+
+    def test_window_membership(self):
+        spec = FaultSpec(kind="pump_stall", start_s=100.0,
+                         duration_s=50.0)
+        assert not spec.active_at(99.9)
+        assert spec.active_at(100.0)
+        assert spec.active_at(149.9)
+        assert not spec.active_at(150.0)
+
+    def test_default_window_is_forever(self):
+        spec = FaultSpec(kind="sensor_bias", magnitude=0.1)
+        assert spec.active_at(0.0)
+        assert spec.active_at(1e12)
+        assert math.isinf(spec.duration_s)
+
+    def test_targets(self):
+        everywhere = FaultSpec(kind="pump_stall")
+        only_two = FaultSpec(kind="pump_stall", circulation=2)
+        assert everywhere.targets(0) and everywhere.targets(7)
+        assert only_two.targets(2) and not only_two.targets(1)
+
+
+class TestScheduleSerialisation:
+    def schedule(self):
+        return FaultSchedule(specs=(
+            FaultSpec(kind="sensor_noise", magnitude=0.1),
+            FaultSpec(kind="pump_stall", start_s=600.0,
+                      duration_s=1200.0, circulation=1),
+            FaultSpec(kind="teg_degradation", magnitude=2.0),
+        ), seed=13)
+
+    def test_round_trip_dict(self):
+        schedule = self.schedule()
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_round_trip_json_file(self, tmp_path):
+        schedule = self.schedule()
+        path = tmp_path / "faults.json"
+        schedule.to_json(path)
+        assert FaultSchedule.from_json(path) == schedule
+
+    def test_round_trip_json_string(self):
+        schedule = self.schedule()
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_unknown_schedule_key_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown"):
+            FaultSchedule.from_dict({"seed": 0, "specs": []})
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSchedule.from_dict(
+                {"faults": [{"kind": "pump_stall", "severity": 2}]})
+
+    def test_invalid_json_text_rejected(self):
+        with pytest.raises(FaultInjectionError, match="not valid JSON"):
+            FaultSchedule.from_json("{nope")
+
+    def test_active_returns_indexed_specs(self):
+        schedule = self.schedule()
+        active = schedule.active(700.0)
+        assert [index for index, _ in active] == [0, 1, 2]
+        assert schedule.active(2000.0) == [
+            (0, schedule.specs[0]), (2, schedule.specs[2])]
+
+
+spec_strategy = st.builds(
+    FaultSpec,
+    kind=st.sampled_from(FAULT_KINDS),
+    start_s=st.floats(min_value=0.0, max_value=7200.0),
+    duration_s=st.floats(min_value=1.0, max_value=7200.0),
+    magnitude=st.floats(min_value=0.0, max_value=1.0),
+    circulation=st.one_of(st.none(), st.integers(0, 2)),
+)
+
+
+class TestScheduleProperties:
+    @given(specs=st.lists(spec_strategy, max_size=4),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_json_round_trip_is_lossless(self, specs, seed):
+        schedule = FaultSchedule(specs=tuple(specs), seed=seed)
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule

@@ -101,7 +101,7 @@ class TestRegistryDocAlignment:
         registered = {experiment_id
                       for experiment_id, _ in list_experiments()}
         text = read("DESIGN.md")
-        indexed = set(re.findall(r"\| (E-(?:F\d+|T1|VA|BATCH))[ /]",
+        indexed = set(re.findall(r"\| (E-(?:F\d+|T1|VA|BATCH|FAULTS))[ /]",
                                  text))
         assert registered <= indexed | {"E-F13"}, (
             registered - indexed)

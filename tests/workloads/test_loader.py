@@ -59,6 +59,18 @@ class TestMatrixCsvRoundTrip:
         with pytest.raises(TraceFormatError):
             load_trace_csv(path)
 
+    def test_blank_lines_only_body_rejected(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("interval_s,300\n\n\n")
+        with pytest.raises(TraceFormatError, match="no data rows"):
+            load_trace_csv(path)
+
+    def test_error_names_file_and_line(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("interval_s,300\n0.1,0.2\n0.3,oops\n")
+        with pytest.raises(TraceFormatError, match=r"text\.csv:3"):
+            load_trace_csv(path)
+
     def test_default_name_from_stem(self, tmp_path):
         trace = WorkloadTrace(np.array([[0.5]]), 300.0, name="x")
         path = tmp_path / "mytrace.csv"
@@ -137,6 +149,24 @@ class TestClusterTable:
         path = tmp_path / "none.csv"
         path.write_text("timestamp,machine,cpu\n")
         with pytest.raises(TraceFormatError):
+            load_cluster_table(path)
+
+    def test_fully_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="no data rows"):
+            load_cluster_table(path)
+
+    def test_non_numeric_utilisation_rejected(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("timestamp,machine,cpu\n0,m1,busy\n")
+        with pytest.raises(TraceFormatError, match=r"text\.csv:2"):
+            load_cluster_table(path)
+
+    def test_non_numeric_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("noon,m1,0.5\nlater,m1,0.6\n")
+        with pytest.raises(TraceFormatError, match="non-numeric"):
             load_cluster_table(path)
 
     def test_custom_name(self, tmp_path):
