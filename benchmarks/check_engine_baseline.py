@@ -1,0 +1,72 @@
+"""Compare engine throughput against the committed baseline.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/check_engine_baseline.py
+    PYTHONPATH=src:benchmarks python benchmarks/check_engine_baseline.py --update
+
+Without ``--update`` the script re-measures kernel and per-step
+throughput on the pinned 1,000-step x 200-server scenario and fails
+(exit 1) if either mode drops below ``TOLERANCE`` x its committed
+``BENCH_engine.json`` figure.  The tolerance is deliberately generous —
+CI runners are noisy and heterogeneous; the check exists to catch
+large, real regressions (an accidentally quadratic loop, a lost fast
+path), not small scheduling jitter.  With ``--update`` it rewrites the
+baseline from a fresh measurement instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from test_bench_engine import measure_kernel_throughput
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_engine.json"
+
+#: A mode fails the check below this fraction of its baseline steps/sec.
+TOLERANCE = 0.25
+
+#: The throughput figures the check compares.
+CHECKED_FIELDS = ("step_steps_per_s", "kernel_steps_per_s")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline instead of checking")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help=f"baseline file (default: {BASELINE_PATH})")
+    args = parser.parse_args(argv)
+
+    report = measure_kernel_throughput()
+    if args.update:
+        args.baseline.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    if baseline.get("trace") != report["trace"]:
+        print(f"baseline scenario {baseline.get('trace')} does not match "
+              f"current scenario {report['trace']}; re-run with --update")
+        return 1
+
+    failed = False
+    for field in CHECKED_FIELDS:
+        floor = baseline[field] * TOLERANCE
+        ratio = report[field] / baseline[field]
+        verdict = "ok" if report[field] >= floor else "REGRESSION"
+        failed = failed or report[field] < floor
+        print(f"{field:<20} baseline {baseline[field]:>10.1f}  "
+              f"now {report[field]:>10.1f}  ({ratio:>5.2f}x, floor "
+              f"{TOLERANCE:.0%})  [{verdict}]")
+    print(f"{'speedup':<20} baseline {baseline['speedup']:>10.2f}  "
+          f"now {report['speedup']:>10.2f}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,13 @@ path, timing the *stepping* phase only (simulators are constructed
 outside the timed region; the engine's ``EngineMetrics.step_time_s``
 isolates the same phase).  Asserts the engine is at least as fast as
 serial within a small headroom, and bit-identical.
+
+A second benchmark pins the whole-trace kernel pipeline: on a
+1,000-step x 200-server trace the ``"kernel"`` mode must deliver at
+least :data:`KERNEL_SPEEDUP_FLOOR` x the per-step vectorised
+(``"step"``) throughput.  ``measure_kernel_throughput`` is shared with
+``benchmarks/check_engine_baseline.py``, which compares fresh numbers
+against the committed ``BENCH_engine.json`` baseline in CI.
 """
 
 import time
@@ -24,10 +31,65 @@ ROUNDS = 3
 #: in practice it is several times faster (cache + vectorisation).
 HEADROOM = 1.10
 
+#: The kernel benchmark scenario (ISSUE 3 acceptance scenario).
+KERNEL_TRACE_KWARGS = dict(n_servers=200, duration_s=1000 * 300.0,
+                           interval_s=300.0, seed=7)
+#: Minimum kernel-vs-step speedup on that scenario.  Measured ~20x on
+#: a developer container; 3x leaves room for slow CI runners.
+KERNEL_SPEEDUP_FLOOR = 3.0
+
 
 def _fifty_step_trace():
     return common_trace(n_servers=100, duration_s=50 * 300.0,
                         interval_s=300.0, seed=7)
+
+
+def measure_kernel_throughput(rounds: int = ROUNDS) -> dict:
+    """Kernel vs per-step vectorised throughput on the 1,000 x 200 trace.
+
+    Returns a plain dict (steps/sec per mode plus the speedup) so the
+    baseline checker can serialise it; also asserts bit-identity between
+    the two modes so a fast-but-wrong kernel can never look good.
+    """
+    trace = common_trace(**KERNEL_TRACE_KWARGS)
+    config = teg_original()
+    measured = {}
+    results = {}
+    for mode in ("step", "kernel"):
+        best = None
+        for _ in range(rounds):
+            result = simulate(trace, config, mode=mode)
+            step_time = result.metrics.step_time_s
+            best = step_time if best is None else min(best, step_time)
+            results[mode] = result
+        measured[mode] = trace.n_steps / best
+    assert results["kernel"].records == results["step"].records
+    kernel_metrics = results["kernel"].metrics
+    return {
+        "trace": dict(KERNEL_TRACE_KWARGS),
+        "n_steps": trace.n_steps,
+        "step_steps_per_s": round(measured["step"], 1),
+        "kernel_steps_per_s": round(measured["kernel"], 1),
+        "speedup": round(measured["kernel"] / measured["step"], 2),
+        "kernel_phases": kernel_metrics.kernel.summary(),
+    }
+
+
+@pytest.mark.benchmark
+def test_bench_kernel_speedup_over_step_mode(benchmark):
+    report = benchmark.pedantic(measure_kernel_throughput,
+                                rounds=1, iterations=1)
+    print_table(
+        "Kernel vs per-step vectorised — 1,000-step trace, 200 servers",
+        ["mode", "steps/s"],
+        [
+            ["step", report["step_steps_per_s"]],
+            ["kernel", report["kernel_steps_per_s"]],
+            ["speedup", report["speedup"]],
+        ])
+    assert report["speedup"] >= KERNEL_SPEEDUP_FLOOR, (
+        f"kernel speedup {report['speedup']:.2f}x below the "
+        f"{KERNEL_SPEEDUP_FLOOR:.0f}x floor")
 
 
 @pytest.mark.benchmark

@@ -64,6 +64,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="per-job wall-clock budget (default: "
                             "REPRO_JOB_TIMEOUT or none)")
+    batch.add_argument("--mode", default=None,
+                       choices=("kernel", "step", "loop"),
+                       help="execution mode for every job (default: "
+                            "kernel)")
+    batch.add_argument("--profile", default=None, metavar="PATH",
+                       help="dump batch + per-job metrics (wall times, "
+                            "steps/sec, cache hit rate, kernel-phase "
+                            "timings) as JSON to this path")
     batch.set_defaults(handler=_cmd_batch)
 
     design = subparsers.add_parser(
@@ -185,7 +193,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     jobs = [SimulationJob(trace=trace, config=factories[scheme](),
                           faults=schedule)
             for trace in traces for scheme in args.schemes]
-    batch = run_batch(jobs, args.workers, max_retries=args.max_retries,
+    batch = run_batch(jobs, args.workers, mode=args.mode,
+                      max_retries=args.max_retries,
                       job_timeout_s=args.timeout)
     print(f"{'scheme':<16} {'trace':<10} {'avg W':>7} {'PRE':>7} "
           f"{'steps/s':>8} {'cache':>6}")
@@ -213,6 +222,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
               f"[{failed.error_type}] {failed.message} "
               f"({failed.attempts} attempt(s), "
               f"{failed.elapsed_s:.1f} s)")
+    if args.profile:
+        _write_batch_profile(args.profile, batch)
+        print(f"profile written to {args.profile}")
     if args.check and batch.results:
         first = jobs[0]
         serial = DatacenterSimulator(first.trace, first.config,
@@ -222,6 +234,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if not identical:
             return 1
     return 0 if batch.ok else 1
+
+
+def _write_batch_profile(path: str, batch) -> None:
+    """Dump BatchMetrics + per-job EngineMetrics summaries as JSON."""
+    import json
+
+    profile = {
+        "batch": batch.metrics.summary(),
+        "jobs": [
+            {
+                "scheme": result.scheme,
+                "trace": result.trace_name,
+                **(result.metrics.summary()
+                   if result.metrics is not None else {}),
+            }
+            for result in batch.results
+        ],
+        "failures": [
+            {
+                "scheme": failed.scheme,
+                "trace": failed.trace_name,
+                "error_type": failed.error_type,
+                "message": failed.message,
+                "attempts": failed.attempts,
+                "elapsed_s": round(failed.elapsed_s, 4),
+            }
+            for failed in batch.failures
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(profile, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _cmd_design(args: argparse.Namespace) -> int:

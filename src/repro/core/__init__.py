@@ -13,6 +13,7 @@
 
 from .config import SimulationConfig, teg_original, teg_loadbalance
 from .results import (
+    ColumnarSteps,
     SafetyViolation,
     SimulationResult,
     StepRecord,
@@ -20,14 +21,18 @@ from .results import (
 )
 from .simulator import DatacenterSimulator
 from .engine import (
+    EXECUTION_MODES,
     BatchResult,
     BatchSimulationEngine,
     CoolingDecisionCache,
     EngineMetrics,
     FailedJob,
+    KernelTimings,
+    SharedTraceRef,
     SimulationJob,
     compare_batch,
     run_batch,
+    simulate,
 )
 from .h2p import H2PSystem
 from .facility import FacilityModel, FacilityReport
@@ -39,6 +44,7 @@ __all__ = [
     "teg_loadbalance",
     "SimulationResult",
     "StepRecord",
+    "ColumnarSteps",
     "SafetyViolation",
     "SchemeComparison",
     "DatacenterSimulator",
@@ -47,7 +53,11 @@ __all__ = [
     "SimulationJob",
     "FailedJob",
     "EngineMetrics",
+    "KernelTimings",
+    "SharedTraceRef",
+    "EXECUTION_MODES",
     "CoolingDecisionCache",
+    "simulate",
     "run_batch",
     "compare_batch",
     "H2PSystem",

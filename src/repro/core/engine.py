@@ -41,6 +41,7 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import weakref
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -49,6 +50,7 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -61,6 +63,7 @@ from ..thermal.cpu_model import CpuThermalModel
 from ..thermal.hydraulics import loop_pump_power_w
 from ..workloads.trace import WorkloadTrace
 from .config import SimulationConfig
+from .kernel import KernelTimings, run_whole_trace
 from .results import SimulationResult
 from .simulator import DatacenterSimulator
 
@@ -80,6 +83,30 @@ _POLL_INTERVAL_S = 0.05
 #: Default utilisation quantisation of the cooling-decision cache,
 #: matching :class:`~repro.control.cooling_policy.LookupSpacePolicy`.
 DEFAULT_CACHE_RESOLUTION = 0.005
+
+#: Execution modes of one job, fastest first.  All are bit-identical:
+#:
+#: * ``"kernel"`` — whole-trace NumPy pipeline (no per-step Python loop);
+#: * ``"step"``   — PR 1's per-step loop, vectorised within each step;
+#: * ``"loop"``   — the serial per-circulation loop with cached decisions.
+#:
+#: Jobs carrying a fault schedule always step through the simulator's
+#: fault-aware serial loop, whatever mode was requested.
+EXECUTION_MODES = ("kernel", "step", "loop")
+
+
+def resolve_mode(mode: str | None, vectorised: bool = True) -> str:
+    """Normalise the (mode, legacy ``vectorised`` flag) pair.
+
+    ``mode`` wins when given; otherwise ``vectorised=True`` selects the
+    kernel pipeline and ``vectorised=False`` the serial cached loop.
+    """
+    if mode is None:
+        return "kernel" if vectorised else "loop"
+    if mode not in EXECUTION_MODES:
+        raise ConfigurationError(
+            f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
+    return mode
 
 
 # ----------------------------------------------------------------------
@@ -195,8 +222,15 @@ class EngineMetrics:
         Steps replayed and throughput of the stepping phase.
     cache_hits / cache_misses / cache_hit_rate:
         Cooling-decision cache counters for this run.
+    mode:
+        Execution mode actually used (see :data:`EXECUTION_MODES`;
+        fault-carrying jobs report ``"loop"``).
     vectorised:
-        Whether the NumPy-batched step loop was used.
+        Whether an array-batched path (``"kernel"`` or ``"step"``) ran;
+        kept for backward compatibility with ``mode``.
+    kernel:
+        Per-phase wall times of the whole-trace kernel
+        (decide/evaluate/reduce/fold); ``None`` outside kernel mode.
     executor / n_workers:
         How the batch layer ran this job (``"process"``, ``"thread"``
         or ``"serial"``); filled in by :class:`BatchSimulationEngine`.
@@ -213,22 +247,28 @@ class EngineMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_hit_rate: float = 0.0
+    mode: str = "kernel"
     vectorised: bool = True
+    kernel: KernelTimings | None = None
     executor: str = "serial"
     n_workers: int = 1
     retries: int = 0
 
     def summary(self) -> dict:
         """Headline metrics as a plain dictionary (for tables/JSON)."""
-        return {
+        summary = {
             "wall_time_s": round(self.wall_time_s, 4),
             "steps_per_s": round(self.steps_per_s, 1),
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "mode": self.mode,
             "vectorised": self.vectorised,
             "executor": self.executor,
             "n_workers": self.n_workers,
             "retries": self.retries,
         }
+        if self.kernel is not None:
+            summary["kernel"] = self.kernel.summary()
+        return summary
 
 
 @dataclass(frozen=True)
@@ -307,11 +347,14 @@ class _CachedVectorisedSimulator(DatacenterSimulator):
     """A :class:`DatacenterSimulator` with memoised, batched stepping.
 
     The scheduler, policy, partitioning and aggregation all come from
-    the parent class; only two things change:
+    the parent class; what changes depends on the execution mode:
 
-    * cooling decisions go through a :class:`CoolingDecisionCache`;
-    * the per-server thermal/TEG evaluation is batched across all
-      circulations that chose the same (clamped) cooling setting.
+    * every mode routes cooling decisions through a
+      :class:`CoolingDecisionCache`;
+    * ``"step"`` batches the per-server thermal/TEG evaluation across
+      all circulations that chose the same (clamped) cooling setting;
+    * ``"kernel"`` skips the step loop entirely and runs the
+      whole-trace pipeline of :mod:`repro.core.kernel`.
     """
 
     def __init__(self, trace: WorkloadTrace, config: SimulationConfig,
@@ -319,6 +362,7 @@ class _CachedVectorisedSimulator(DatacenterSimulator):
                  teg_module: TegModule | None = None,
                  cache: CoolingDecisionCache | None = None,
                  vectorised: bool = True,
+                 mode: str | None = None,
                  faults: FaultSchedule | None = None) -> None:
         kwargs = {}
         if cpu_model is not None:
@@ -330,7 +374,15 @@ class _CachedVectorisedSimulator(DatacenterSimulator):
         self._cache = cache if cache is not None else CoolingDecisionCache()
         # Fault injection needs the parent's fault-aware serial step
         # (degraded fallback, shadow accounting); decisions stay cached.
-        self._vectorised = vectorised and self._fault_runtime is None
+        mode = resolve_mode(mode, vectorised)
+        if mode == "kernel" and type(trace) is not WorkloadTrace:
+            # Trace subclasses may override step(); the whole-trace
+            # kernel reads the utilisation plane directly and would
+            # silently bypass them, so drop to the per-step path.
+            mode = "step"
+        self._mode = "loop" if self._fault_runtime is not None else mode
+        self._vectorised = self._mode in ("kernel", "step")
+        self.kernel_timings: KernelTimings | None = None
         self._context = (config.name, config.policy, config.scheduler,
                          config.cold_source_temp_c, config.safe_temp_c)
 
@@ -339,11 +391,23 @@ class _CachedVectorisedSimulator(DatacenterSimulator):
         """The cooling-decision cache backing this simulator."""
         return self._cache
 
+    @property
+    def mode(self) -> str:
+        """Execution mode actually in effect (fault jobs force "loop")."""
+        return self._mode
+
     def _decide(self, scheduled: np.ndarray):
         return self._cache.decide(self._policy, scheduled, self._context)
 
+    def run(self) -> SimulationResult:
+        if self._mode != "kernel":
+            return super().run()
+        self._check_trace_width()
+        self._violation_log = []
+        return run_whole_trace(self)
+
     def _run_step(self, step_index: int):
-        if not self._vectorised:
+        if self._mode != "step":
             return super()._run_step(step_index)
         step_utils = self.trace.step(step_index)
 
@@ -422,6 +486,7 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
              cpu_model: CpuThermalModel | None = None,
              teg_module: TegModule | None = None, *,
              vectorised: bool = True,
+             mode: str | None = None,
              cache: CoolingDecisionCache | None = None,
              cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
              faults: FaultSchedule | None = None,
@@ -430,17 +495,19 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
 
     Returns a :class:`SimulationResult` that is bit-identical to
     ``DatacenterSimulator(trace, config, ...).run()`` but carries
-    :class:`EngineMetrics` (phase wall times, steps/sec, cache stats).
-    Attaching a ``faults`` schedule switches stepping to the simulator's
-    fault-aware serial loop (decisions stay cached); without one the
-    output is unchanged down to the bit.
+    :class:`EngineMetrics` (phase wall times, steps/sec, cache stats,
+    kernel-phase timings).  ``mode`` picks the execution path (see
+    :data:`EXECUTION_MODES`; default ``"kernel"``, or ``"loop"`` when
+    ``vectorised=False``).  Attaching a ``faults`` schedule switches
+    stepping to the simulator's fault-aware serial loop (decisions stay
+    cached); without one the output is unchanged down to the bit.
     """
     started = time.perf_counter()
     if cache is None:
         cache = CoolingDecisionCache(resolution=cache_resolution)
     simulator = _CachedVectorisedSimulator(
         trace, config, cpu_model, teg_module, cache=cache,
-        vectorised=vectorised, faults=faults)
+        vectorised=vectorised, mode=mode, faults=faults)
     setup_done = time.perf_counter()
     result = simulator.run()
     finished = time.perf_counter()
@@ -454,18 +521,156 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
         cache_hits=cache.stats.hits,
         cache_misses=cache.stats.misses,
         cache_hit_rate=cache.stats.hit_rate,
+        mode=simulator.mode,
         vectorised=simulator._vectorised,
+        kernel=simulator.kernel_timings,
     )
     return result
 
 
-def _execute_job(job: SimulationJob, vectorised: bool,
+def _execute_job(job: SimulationJob, mode: str,
                  cache_resolution: float) -> SimulationResult:
     """Worker entry point (module-level so process pools can pickle it)."""
     return simulate(job.trace, job.config, job.cpu_model, job.teg_module,
-                    vectorised=vectorised,
+                    mode=mode,
                     cache_resolution=cache_resolution,
                     faults=job.faults)
+
+
+# ----------------------------------------------------------------------
+# Zero-copy trace dispatch (process pools)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SharedTraceRef:
+    """Handle to a trace plane living in ``multiprocessing.shared_memory``.
+
+    The handle is what a process-pool job pickles instead of the
+    ``(steps x servers)`` array: segment name, shape/dtype to rebuild
+    the NumPy view, and the trace metadata.  The segment is owned by the
+    :class:`BatchSimulationEngine` that created it and stays alive until
+    the engine is closed (see ``docs/engine.md`` for the contract).
+    """
+
+    shm_name: str
+    shape: tuple[int, int]
+    dtype: str
+    interval_s: float
+    name: str
+
+
+class _SharedTraceRegistry:
+    """Owner-side registry of shared-memory trace segments.
+
+    One engine owns one registry.  ``ref_for`` uploads a trace's plane
+    into a fresh segment on first sight (keyed by object identity — the
+    registry keeps a strong reference, so a key can never be recycled
+    while its entry lives) and returns the same :class:`SharedTraceRef`
+    for every job that reuses the trace.  ``close`` unmaps and unlinks
+    every segment; workers that still hold a mapping keep it until they
+    drop it (POSIX unlink semantics), so no copy is ever torn out from
+    under a running job.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple[WorkloadTrace,
+                                       shared_memory.SharedMemory,
+                                       SharedTraceRef]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def ref_for(self, trace: WorkloadTrace) -> SharedTraceRef:
+        """The (possibly freshly uploaded) shared handle for ``trace``."""
+        entry = self._entries.get(id(trace))
+        if entry is not None:
+            return entry[2]
+        matrix = trace.utilisation
+        block = shared_memory.SharedMemory(create=True, size=matrix.nbytes)
+        np.ndarray(matrix.shape, dtype=matrix.dtype,
+                   buffer=block.buf)[:] = matrix
+        ref = SharedTraceRef(
+            shm_name=block.name,
+            shape=matrix.shape,
+            dtype=str(matrix.dtype),
+            interval_s=trace.interval_s,
+            name=trace.name,
+        )
+        self._entries[id(trace)] = (trace, block, ref)
+        return ref
+
+    def close(self) -> None:
+        """Unmap and unlink every owned segment (idempotent)."""
+        while self._entries:
+            _, (_, block, _) = self._entries.popitem()
+            try:
+                block.close()
+            except OSError:  # pragma: no cover - already unmapped
+                pass
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+#: Per-worker cache of attached shared traces, keyed by segment name.
+#: Entries live for the worker process's lifetime — attaching, validating
+#: and wrapping a plane happens once per (worker, trace), and every
+#: subsequent job ships only the :class:`SharedTraceRef`.
+_WORKER_TRACES: dict[str, WorkloadTrace] = {}
+
+
+def _trace_from_ref(ref: SharedTraceRef) -> WorkloadTrace:
+    """Attach (or reuse) the shared trace named by ``ref`` in a worker."""
+    trace = _WORKER_TRACES.get(ref.shm_name)
+    if trace is not None:
+        return trace
+    # Attaching re-registers the segment with the resource tracker the
+    # worker shares with the engine's process; registration is
+    # set-idempotent, and the engine's own unlink balances it, so no
+    # unregister dance is needed here.
+    block = shared_memory.SharedMemory(name=ref.shm_name)
+    matrix = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
+                        buffer=block.buf)
+    trace = WorkloadTrace.from_shared(matrix, ref.interval_s,
+                                      name=ref.name, block=block)
+    _WORKER_TRACES[ref.shm_name] = trace
+    return trace
+
+
+@dataclass(frozen=True)
+class _JobPayload:
+    """What a process-pool job actually pickles: config + trace handle.
+
+    Everything except the trace rides along as-is (configs and hardware
+    models are tiny); the trace plane itself is referenced by a
+    :class:`SharedTraceRef`, so payload size is independent of trace
+    length — the property the zero-copy dispatch tests pin down.
+    ``WorkloadTrace`` *subclasses* can carry behaviour (an overridden
+    ``step``, say) that a rebuilt plain trace would lose, so those are
+    pickled whole via ``trace`` instead of going through shared memory.
+    """
+
+    trace_ref: SharedTraceRef | None
+    config: SimulationConfig
+    cpu_model: CpuThermalModel | None
+    teg_module: TegModule | None
+    faults: FaultSchedule | None
+    mode: str
+    cache_resolution: float
+    trace: WorkloadTrace | None = None
+
+
+def _execute_payload(payload: _JobPayload) -> SimulationResult:
+    """Process-worker entry point for shared-memory dispatched jobs."""
+    if payload.trace is not None:
+        trace = payload.trace
+    else:
+        trace = _trace_from_ref(payload.trace_ref)
+    return simulate(trace, payload.config, payload.cpu_model,
+                    payload.teg_module, mode=payload.mode,
+                    cache_resolution=payload.cache_resolution,
+                    faults=payload.faults)
 
 
 # ----------------------------------------------------------------------
@@ -679,8 +884,12 @@ class BatchSimulationEngine:
         Parallel workers; ``None`` defers to ``REPRO_WORKERS`` or the
         CPU count.  ``1`` runs serially in-process.
     vectorised:
-        Use the NumPy-batched step loop (results are bit-identical
-        either way; vectorised is faster).
+        Legacy switch between the fastest array path and the serial
+        cached loop; superseded by ``mode`` (results are bit-identical
+        either way).
+    mode:
+        Execution mode inside each job — ``"kernel"`` (default),
+        ``"step"`` or ``"loop"``; see :data:`EXECUTION_MODES`.
     cache_resolution:
         Utilisation quantisation of each job's decision cache.
     prefer:
@@ -700,10 +909,20 @@ class BatchSimulationEngine:
         ``REPRO_JOB_TIMEOUT`` (unset means no timeout).  Enforced on
         pooled executors only — the serial path cannot pre-empt a job
         (see ``docs/engine.md``).
+
+    Lifetime
+    --------
+    An engine owns two long-lived resources: the shared executor pool
+    (reused across :meth:`run` calls — repeated batches do not re-fork
+    workers) and the shared-memory trace segments uploaded for process
+    dispatch.  :meth:`close` releases both; the engine is also a context
+    manager, and a garbage-collected engine cleans its segments up via a
+    finalizer.  :func:`run_batch` closes its throwaway engine for you.
     """
 
     def __init__(self, n_workers: int | None = None, *,
                  vectorised: bool = True,
+                 mode: str | None = None,
                  cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
                  prefer: str = "process",
                  max_retries: int = 0,
@@ -724,13 +943,72 @@ class BatchSimulationEngine:
                 f"job timeout must be > 0 seconds, got {job_timeout_s}")
         self.n_workers = n_workers
         self.vectorised = vectorised
+        self.mode = resolve_mode(mode, vectorised)
         self.cache_resolution = cache_resolution
         self.prefer = prefer
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self.job_timeout_s = job_timeout_s
+        self._shared_traces = _SharedTraceRegistry()
+        self._executor = None
+        self._executor_kind: str | None = None
+        self._executor_workers = 0
+        #: How many shared pools this engine has created — stays at 1
+        #: across repeated ``run`` calls of the same kind (the reuse the
+        #: executor-persistence tests pin down).
+        self.executor_launches = 0
+        self._finalizer = weakref.finalize(self, self._shared_traces.close)
+
+    # -- lifetime ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the persistent executor and shared trace segments.
+
+        Idempotent; the engine degrades to creating a fresh pool if it
+        is (unusually) run again after closing.
+        """
+        self._drop_executor(wait=True)
+        self._shared_traces.close()
+        self._finalizer.detach()
+
+    def __enter__(self) -> "BatchSimulationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- executors -----------------------------------------------------
+
+    def _ensure_executor(self, kind: str, workers: int):
+        """The persistent shared pool, recreated only when unsuitable."""
+        if (self._executor is not None and self._executor_kind == kind
+                and self._executor_workers >= workers):
+            return self._executor
+        self._drop_executor(wait=True)
+        if kind == "process":
+            from concurrent.futures import ProcessPoolExecutor
+
+            executor = ProcessPoolExecutor(max_workers=workers)
+        else:
+            executor = ThreadPoolExecutor(max_workers=workers)
+        self._executor = executor
+        self._executor_kind = kind
+        self._executor_workers = workers
+        self.executor_launches += 1
+        return executor
+
+    def _drop_executor(self, wait: bool = False) -> None:
+        """Discard the persistent pool (gracefully or by killing it)."""
+        if self._executor is None:
+            return
+        executor, kind = self._executor, self._executor_kind
+        self._executor = None
+        self._executor_kind = None
+        self._executor_workers = 0
+        if wait:
+            executor.shutdown(wait=True)
+        else:
+            self._kill_executor(executor, kind)
 
     @property
     def _budget(self) -> int:
@@ -742,8 +1020,31 @@ class BatchSimulationEngine:
         if self.retry_backoff_s > 0:
             time.sleep(self.retry_backoff_s * 2 ** (attempts - 1))
 
-    def _submit(self, executor, job: SimulationJob) -> Future:
-        return executor.submit(_execute_job, job, self.vectorised,
+    def _payload(self, job: SimulationJob) -> _JobPayload:
+        """Zero-copy payload: the job with its trace swapped for a ref.
+
+        Trace subclasses are pickled whole — rebuilding them from a bare
+        plane in the worker would strip their overridden behaviour.
+        """
+        if type(job.trace) is WorkloadTrace:
+            trace_ref, trace = self._shared_traces.ref_for(job.trace), None
+        else:
+            trace_ref, trace = None, job.trace
+        return _JobPayload(
+            trace_ref=trace_ref,
+            config=job.config,
+            cpu_model=job.cpu_model,
+            teg_module=job.teg_module,
+            faults=job.faults,
+            mode=self.mode,
+            cache_resolution=self.cache_resolution,
+            trace=trace,
+        )
+
+    def _submit(self, executor, kind: str, job: SimulationJob) -> Future:
+        if kind == "process":
+            return executor.submit(_execute_payload, self._payload(job))
+        return executor.submit(_execute_job, job, self.mode,
                                self.cache_resolution)
 
     @staticmethod
@@ -783,7 +1084,7 @@ class BatchSimulationEngine:
             while True:
                 state.attempts += 1
                 try:
-                    result = _execute_job(job, self.vectorised,
+                    result = _execute_job(job, self.mode,
                                           self.cache_resolution)
                 except Exception as exc:
                     if state.attempts < self._budget:
@@ -816,7 +1117,9 @@ class BatchSimulationEngine:
             executor_cls = ProcessPoolExecutor
             # Pre-flight the pickling so unpicklable jobs degrade to the
             # thread pool instead of surfacing as per-job failures.
-            pickle.dumps(jobs)
+            # Process jobs ship a _JobPayload — config plus shared-memory
+            # trace handle — never the trace array itself.
+            pickle.dumps([self._payload(job) for job in jobs])
         else:
             executor_cls = ThreadPoolExecutor
 
@@ -826,7 +1129,7 @@ class BatchSimulationEngine:
         states = {index: _JobState(index=index, job=job)
                   for index, job in enumerate(jobs)}
 
-        executor = executor_cls(max_workers=workers)
+        executor = self._ensure_executor(kind, workers)
         clean = False
         try:
             leftovers = self._drain_shared(
@@ -834,10 +1137,10 @@ class BatchSimulationEngine:
                 timeout_s)
             clean = not leftovers
         finally:
-            if clean:
-                executor.shutdown(wait=True)
-            else:
-                self._kill_executor(executor, kind)
+            if not clean:
+                # Broken/timed-out pools are killed and forgotten; a
+                # clean pool stays alive for the next run() call.
+                self._drop_executor()
         for index in leftovers:
             self._run_isolated(executor_cls, kind, states[index],
                                results, failures, stats, timeout_s)
@@ -860,7 +1163,7 @@ class BatchSimulationEngine:
         now = time.perf_counter()
         for index, state in states.items():
             state.started_at = now
-            futures[self._submit(executor, state.job)] = index
+            futures[self._submit(executor, kind, state.job)] = index
 
         while futures:
             done, _ = wait(futures, timeout=_POLL_INTERVAL_S,
@@ -885,7 +1188,7 @@ class BatchSimulationEngine:
                         state.retries += 1
                         self._backoff(state.attempts)
                         try:
-                            futures[self._submit(executor,
+                            futures[self._submit(executor, kind,
                                                  state.job)] = index
                         except BrokenExecutor:
                             return [index] + [futures.pop(f)
@@ -958,7 +1261,7 @@ class BatchSimulationEngine:
         retryable — or ``("timeout", None)`` after killing the worker.
         """
         executor = executor_cls(max_workers=1)
-        future = self._submit(executor, job)
+        future = self._submit(executor, kind, job)
         deadline = None
         while True:
             done, _ = wait([future], timeout=_POLL_INTERVAL_S)
@@ -1059,16 +1362,27 @@ class BatchSimulationEngine:
 def run_batch(jobs: Iterable[SimulationJob],
               n_workers: int | None = None, *,
               vectorised: bool = True,
+              mode: str | None = None,
               prefer: str = "process",
               max_retries: int = 0,
               retry_backoff_s: float = 0.1,
               job_timeout_s: float | None = None) -> BatchResult:
-    """One-call convenience wrapper around :class:`BatchSimulationEngine`."""
+    """One-call convenience wrapper around :class:`BatchSimulationEngine`.
+
+    The engine (and with it the persistent executor and any shared-memory
+    trace segments) is torn down before returning; hold a
+    :class:`BatchSimulationEngine` yourself to amortise pool start-up
+    across several batches.
+    """
     engine = BatchSimulationEngine(n_workers, vectorised=vectorised,
+                                   mode=mode,
                                    prefer=prefer, max_retries=max_retries,
                                    retry_backoff_s=retry_backoff_s,
                                    job_timeout_s=job_timeout_s)
-    return engine.run(jobs)
+    try:
+        return engine.run(jobs)
+    finally:
+        engine.close()
 
 
 def compare_batch(traces: Sequence[WorkloadTrace],
@@ -1077,29 +1391,35 @@ def compare_batch(traces: Sequence[WorkloadTrace],
                   cpu_model: CpuThermalModel | None = None,
                   teg_module: TegModule | None = None,
                   vectorised: bool = True,
+                  mode: str | None = None,
                   prefer: str = "process") -> BatchResult:
     """Run the full cross product of ``traces`` x ``configs`` as one batch."""
     jobs = [SimulationJob(trace=trace, config=config, cpu_model=cpu_model,
                           teg_module=teg_module)
             for trace in traces for config in configs]
-    return run_batch(jobs, n_workers, vectorised=vectorised, prefer=prefer)
+    return run_batch(jobs, n_workers, vectorised=vectorised, mode=mode,
+                     prefer=prefer)
 
 
 __all__ = [
     "WORKERS_ENV_VAR",
     "JOB_TIMEOUT_ENV_VAR",
     "DEFAULT_CACHE_RESOLUTION",
+    "EXECUTION_MODES",
     "CacheStats",
     "CoolingDecisionCache",
     "EngineMetrics",
+    "KernelTimings",
     "BatchMetrics",
     "SimulationJob",
     "FailedJob",
     "BatchResult",
     "BatchSimulationEngine",
+    "SharedTraceRef",
     "simulate",
     "run_batch",
     "compare_batch",
+    "resolve_mode",
     "resolve_workers",
     "resolve_job_timeout",
 ]

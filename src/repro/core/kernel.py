@@ -1,0 +1,383 @@
+"""Whole-trace simulation kernel: the time dimension as NumPy planes.
+
+PR 1 vectorised *within* a control interval; this module removes the
+per-step Python loop entirely.  For a fault-free run the simulation is
+a pure function of the trace, so the kernel:
+
+1. **decides** — builds the scheduled ``(steps x servers)`` utilisation
+   plane, computes every ``(step, circulation)`` cell's binding
+   utilisation, dedupes cells through the cooling-decision cache's own
+   quantisation, and calls the policy once per unique key (primed in
+   first-occurrence order, so a shared memoising policy sees exactly
+   the serial call sequence);
+2. **evaluates** — groups cells by their clamped cooling setting and
+   runs the thermal/TEG model entry points over gathered 1-D batches,
+   scattering results into ``(steps x servers)`` planes;
+3. **reduces** — per-circulation sums/maxima over contiguous column
+   blocks, plus the facility split (chiller fraction, tower, pump) as
+   per-cell array arithmetic with the serial expression order;
+4. **folds** — accumulates circulation columns into per-step cluster
+   totals in circulation order (sequential adds, like the serial
+   ``_aggregate_step``) and emits a columnar result.
+
+Bit-identity
+------------
+Every array expression mirrors the serial arithmetic exactly:
+elementwise model calls are order-independent; per-circulation
+``sum/mean/max(axis=1)`` over a contiguous block is bit-identical to the
+serial 1-D reductions (same pairwise blocking); the cluster fold adds
+circulation columns sequentially; and capacity / strict-safety errors
+are replayed at the earliest offending cell in serial evaluation order.
+``tests/core/test_kernel.py`` and the golden fixtures enforce this.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..control.scheduling import IdealBalancer, NoScheduler
+from ..errors import CoolingFailureError
+from ..thermal.hydraulics import loop_pump_power_w
+from .results import ColumnarSteps, SafetyViolation, SimulationResult
+
+__all__ = ["KernelTimings", "run_whole_trace"]
+
+
+@dataclass
+class KernelTimings:
+    """Wall time spent in each kernel phase (attached to EngineMetrics)."""
+
+    decide_s: float = 0.0
+    evaluate_s: float = 0.0
+    reduce_s: float = 0.0
+    fold_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Total kernel time across all four phases."""
+        return self.decide_s + self.evaluate_s + self.reduce_s + self.fold_s
+
+    def summary(self) -> dict:
+        """Phase timings as a plain dictionary (for tables/JSON)."""
+        return {
+            "decide_s": round(self.decide_s, 4),
+            "evaluate_s": round(self.evaluate_s, 4),
+            "reduce_s": round(self.reduce_s, 4),
+            "fold_s": round(self.fold_s, 4),
+            "total_s": round(self.total_s, 4),
+        }
+
+
+def _scheduled_plane(sim, raw: np.ndarray) -> np.ndarray:
+    """The whole-trace scheduled utilisation plane ``U[step, server]``.
+
+    ``NoScheduler`` and ``IdealBalancer`` (the paper's two schemes) are
+    computed as array expressions; any other scheduler falls back to a
+    per-cell call so data-dependent balancers stay bit-faithful.
+    """
+    n_steps = raw.shape[0]
+    plane = np.empty_like(raw)
+    scheduler = sim._scheduler
+    for group in sim._groups:
+        start, stop = int(group[0]), int(group[0]) + group.size
+        block = raw[:, start:stop]
+        if type(scheduler) is NoScheduler:
+            plane[:, start:stop] = block
+        elif type(scheduler) is IdealBalancer:
+            means = block.mean(axis=1)
+            plane[:, start:stop] = np.repeat(means[:, None], group.size,
+                                             axis=1)
+        else:
+            for step in range(n_steps):
+                plane[step, start:stop] = scheduler.schedule(block[step])
+    return plane
+
+
+def _decide_cells(sim, plane: np.ndarray):
+    """Cooling decisions for every ``(step, circulation)`` cell.
+
+    Returns ``(setting_id, applied_settings)``: a ``(steps x circs)``
+    array of indices into the deduplicated list of clamped settings.
+    Unique ``(binding bucket, group size)`` keys are decided once, in
+    first-occurrence order, through ``sim._decide`` — so the decision
+    cache and any memoising policy are primed with exactly the vectors
+    (and in exactly the order) the serial loop would have used, and
+    duplicate cells are accounted as cache hits.
+    """
+    groups = sim._groups
+    n_steps = plane.shape[0]
+    n_circs = len(groups)
+    cells = n_steps * n_circs
+    policy = sim._policy
+    aggregation = getattr(policy, "aggregation", "max")
+
+    bindings = np.empty((n_steps, n_circs))
+    for index, group in enumerate(groups):
+        start, stop = int(group[0]), int(group[0]) + group.size
+        block = plane[:, start:stop]
+        bindings[:, index] = (block.mean(axis=1) if aggregation == "avg"
+                              else block.max(axis=1))
+
+    resolution = getattr(policy, "cache_resolution", None)
+    if resolution:
+        # Same bucketing as the policy memo and the decision cache:
+        # np.rint and round() both round half to even.
+        keys = np.rint(bindings / resolution)
+    else:
+        keys = bindings
+    sizes = np.array([group.size for group in groups], dtype=float)
+    pairs = np.column_stack((keys.ravel(),
+                             np.broadcast_to(sizes, (n_steps,
+                                                     n_circs)).ravel()))
+    uniq, inverse = np.unique(pairs, axis=0, return_inverse=True)
+    inverse = inverse.ravel()
+    # First occurrence per unique key, guaranteed (np.unique's
+    # return_index does not promise first occurrences for axis-based
+    # calls); priming must follow the serial cell order.
+    first_cell = np.full(len(uniq), cells, dtype=np.int64)
+    np.minimum.at(first_cell, inverse, np.arange(cells))
+
+    cdu = sim._circulations[0].cdu
+    decisions = [None] * len(uniq)
+    for uid in np.argsort(first_cell, kind="stable"):
+        step, circ = divmod(int(first_cell[uid]), n_circs)
+        group = groups[circ]
+        vector = plane[step, int(group[0]):int(group[0]) + group.size]
+        decisions[uid] = sim._decide(vector)
+    cache = getattr(sim, "_cache", None)
+    if cache is not None:
+        # The serial loop would have looked every cell up; duplicates
+        # were served by construction, so they count as hits.
+        cache.stats.hits += cells - len(uniq)
+
+    setting_index: dict[tuple[float, float], int] = {}
+    applied_settings = []
+    uid_to_sid = np.empty(len(uniq), dtype=np.intp)
+    for uid, decision in enumerate(decisions):
+        applied = cdu.clamp(decision.setting)
+        key = (applied.flow_l_per_h, applied.inlet_temp_c)
+        sid = setting_index.get(key)
+        if sid is None:
+            sid = setting_index[key] = len(applied_settings)
+            applied_settings.append(applied)
+        uid_to_sid[uid] = sid
+    setting_id = uid_to_sid[inverse].reshape(n_steps, n_circs)
+    return setting_id, applied_settings
+
+
+def _raise_earliest_error(sim, chiller_heat, tower_heat,
+                          cpu_temp_plane, interval_s: float) -> None:
+    """Replay the first error the serial loop would have raised.
+
+    Serial ordering inside one step: every circulation's *evaluation*
+    (chiller capacity check, then tower capacity check, per circulation
+    in order) runs before the step's aggregation (strict-safety check,
+    per circulation in order).  Across steps, the earliest step wins.
+    """
+    groups = sim._groups
+    n_circs = len(groups)
+    circulations = sim._circulations
+
+    chiller_cap = np.array([c.chiller.capacity_kw
+                            for c in circulations]) * 1000.0
+    tower_cap = np.array([c.tower.max_heat_kw
+                          for c in circulations]) * 1000.0
+    capacity_mask = ((chiller_heat > chiller_cap[None, :])
+                     | (tower_heat > tower_cap[None, :]))
+    capacity_cells = np.nonzero(capacity_mask.ravel())[0]
+    capacity_step = (int(capacity_cells[0]) // n_circs
+                     if capacity_cells.size else None)
+
+    violation_step = None
+    if sim.config.strict_safety:
+        limit = sim.cpu_model.max_operating_temp_c
+        violating = np.nonzero((cpu_temp_plane > limit).ravel())[0]
+        if violating.size:
+            violation_step = int(violating[0]) // cpu_temp_plane.shape[1]
+
+    if capacity_step is not None and (violation_step is None
+                                      or capacity_step <= violation_step):
+        step, circ = divmod(int(capacity_cells[0]), n_circs)
+        circulation = circulations[circ]
+        heat = float(chiller_heat[step, circ])
+        if heat > circulation.chiller.capacity_kw * 1000.0:
+            circulation.chiller.electricity_w_for_heat(heat)
+        circulation.tower.electricity_w_for_heat(
+            float(tower_heat[step, circ]))
+        raise AssertionError(
+            "capacity cell did not raise")  # pragma: no cover
+    if violation_step is not None:
+        flat = int(violating[0])
+        step, server = divmod(flat, cpu_temp_plane.shape[1])
+        circ = next(index for index, group in enumerate(groups)
+                    if group[0] <= server <= group[-1])
+        group = groups[circ]
+        time_s = step * interval_s
+        raise CoolingFailureError(
+            f"CPU over temperature at t={time_s:.0f}s in "
+            f"circulation starting at server {group[0]}",
+            server_id=int(server),
+            temperature_c=float(cpu_temp_plane[step, server]),
+            step_index=step,
+        )
+
+
+def run_whole_trace(sim) -> SimulationResult:
+    """Replay the full trace of a fault-free simulator as NumPy kernels.
+
+    ``sim`` is a (engine-cached) :class:`DatacenterSimulator`; its
+    scheduler, policy, partitioning, circulations and decision hook are
+    reused so the output — including the exception raised on a chiller /
+    tower capacity breach or a strict-safety violation — is bit-identical
+    to ``sim.run()``'s serial loop.  Phase timings are stored on
+    ``sim.kernel_timings``.
+    """
+    timings = KernelTimings()
+    sim.kernel_timings = timings
+    trace = sim.trace
+    raw = trace.utilisation
+    n_steps, n_servers = raw.shape
+    groups = sim._groups
+    n_circs = len(groups)
+    circulations = sim._circulations
+    interval_s = trace.interval_s
+
+    # Phase 1 — schedule + decide (cache-deduplicated).
+    clock = time.perf_counter()
+    plane = _scheduled_plane(sim, raw)
+    setting_id, applied_settings = _decide_cells(sim, plane)
+    timings.decide_s = time.perf_counter() - clock
+
+    # Phase 2 — evaluate the thermal/TEG models per unique setting.
+    clock = time.perf_counter()
+    cpu_model = sim.cpu_model
+    teg_module = sim.teg_module
+    cold_source_c = sim.config.cold_source_temp_c
+    flat_utils = plane.reshape(-1)
+    cpu_temp = np.empty(flat_utils.size)
+    cpu_power = np.empty(flat_utils.size)
+    teg_power = np.empty(flat_utils.size)
+    for sid, applied in enumerate(applied_settings):
+        mask = setting_id == sid
+        chunks = []
+        for circ in range(n_circs):
+            steps_at = np.nonzero(mask[:, circ])[0]
+            if steps_at.size:
+                chunks.append((steps_at[:, None] * n_servers
+                               + groups[circ][None, :]).ravel())
+        if not chunks:
+            continue
+        gathered = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        batch = flat_utils[gathered]
+        outlets = cpu_model.outlet_temp_c(batch, applied)
+        cpu_temp[gathered] = cpu_model.cpu_temp_c(batch, applied)
+        cpu_power[gathered] = cpu_model.cpu_power_w(batch)
+        teg_power[gathered] = teg_module.generation_w(
+            outlets, cold_source_c, applied.flow_l_per_h)
+    cpu_temp_plane = cpu_temp.reshape(n_steps, n_servers)
+    cpu_power_plane = cpu_power.reshape(n_steps, n_servers)
+    teg_power_plane = teg_power.reshape(n_steps, n_servers)
+    timings.evaluate_s = time.perf_counter() - clock
+
+    # Phase 3 — per-circulation reductions and facility accounting.
+    clock = time.perf_counter()
+    generation_c = np.empty((n_steps, n_circs))
+    heat_c = np.empty((n_steps, n_circs))
+    max_temp_c = np.empty((n_steps, n_circs))
+    for index, group in enumerate(groups):
+        start, stop = int(group[0]), int(group[0]) + group.size
+        generation_c[:, index] = teg_power_plane[:, start:stop].sum(axis=1)
+        heat_c[:, index] = cpu_power_plane[:, start:stop].sum(axis=1)
+        max_temp_c[:, index] = cpu_temp_plane[:, start:stop].max(axis=1)
+
+    tower = circulations[0].tower
+    wet_bulb_c = circulations[0].wet_bulb_c
+    coldest_c = tower.coldest_supply_c(wet_bulb_c)
+    fraction_by_sid = np.array([
+        0.0 if applied.inlet_temp_c >= coldest_c
+        else min(1.0, (coldest_c - applied.inlet_temp_c) / 10.0)
+        for applied in applied_settings])
+    inlet_by_sid = np.array([applied.inlet_temp_c
+                             for applied in applied_settings])
+    flow_by_sid = np.array([applied.flow_l_per_h
+                            for applied in applied_settings])
+    pump_by_sid = np.array([
+        loop_pump_power_w(circulations[0].pipe_segments,
+                          applied.flow_l_per_h, applied.inlet_temp_c)
+        for applied in applied_settings])
+
+    chiller_heat = heat_c * fraction_by_sid[setting_id]
+    tower_heat = heat_c - chiller_heat
+    _raise_earliest_error(sim, chiller_heat, tower_heat,
+                          cpu_temp_plane, interval_s)
+    chiller_power_c = chiller_heat / circulations[0].chiller.cop
+    tower_power_c = tower_heat / 1000.0 * tower.fan_power_w_per_kw
+    sizes = np.array([group.size for group in groups])
+    pump_power_c = sizes[None, :] * pump_by_sid[setting_id]
+    inlet_cell = inlet_by_sid[setting_id]
+    flow_cell = flow_by_sid[setting_id]
+    timings.reduce_s = time.perf_counter() - clock
+
+    # Phase 4 — fold circulations into per-step cluster aggregates, in
+    # circulation order with sequential adds (the serial accumulation).
+    clock = time.perf_counter()
+    total_generation = np.zeros(n_steps)
+    total_cpu_power = np.zeros(n_steps)
+    total_chiller = np.zeros(n_steps)
+    total_tower = np.zeros(n_steps)
+    total_pump = np.zeros(n_steps)
+    inlet_sum = np.zeros(n_steps)
+    flow_sum = np.zeros(n_steps)
+    max_cpu_temp = np.full(n_steps, -np.inf)
+    for index, group in enumerate(groups):
+        total_generation += generation_c[:, index]
+        total_cpu_power += heat_c[:, index]
+        total_chiller += chiller_power_c[:, index]
+        total_tower += tower_power_c[:, index]
+        total_pump += pump_power_c[:, index]
+        np.maximum(max_cpu_temp, max_temp_c[:, index], out=max_cpu_temp)
+        inlet_sum += inlet_cell[:, index] * group.size
+        flow_sum += flow_cell[:, index] * group.size
+
+    limit = cpu_model.max_operating_temp_c
+    violation_plane = cpu_temp_plane > limit
+    violation_steps, violation_servers = np.nonzero(violation_plane)
+    sim._violation_log = [
+        SafetyViolation(
+            server_id=int(server),
+            step_index=int(step),
+            time_s=float(step * interval_s),
+            temperature_c=float(cpu_temp_plane[step, server]),
+        )
+        for step, server in zip(violation_steps, violation_servers)]
+
+    records = ColumnarSteps({
+        "time_s": np.arange(n_steps) * interval_s,
+        "mean_utilisation": raw.mean(axis=1),
+        "max_utilisation": raw.max(axis=1),
+        "generation_per_cpu_w": total_generation / n_servers,
+        "cpu_power_per_cpu_w": total_cpu_power / n_servers,
+        "mean_inlet_temp_c": inlet_sum / n_servers,
+        "mean_flow_l_per_h": flow_sum / n_servers,
+        "max_cpu_temp_c": max_cpu_temp,
+        "chiller_power_w": total_chiller,
+        "tower_power_w": total_tower,
+        "pump_power_w": total_pump,
+        "safety_violations": violation_plane.sum(axis=1),
+        "degraded_circulations": np.zeros(n_steps, dtype=np.int64),
+        "lost_harvest_w": np.zeros(n_steps),
+        "active_faults": np.zeros(n_steps, dtype=np.int64),
+    })
+    result = SimulationResult(
+        scheme=sim.config.name,
+        trace_name=trace.name,
+        n_servers=n_servers,
+        interval_s=interval_s,
+        records=records,
+    )
+    result.violations = sim._violation_log
+    timings.fold_s = time.perf_counter() - clock
+    return result

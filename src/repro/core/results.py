@@ -4,10 +4,23 @@
 CPU power, temperatures, chosen settings) and derives the paper's headline
 metrics: average/peak per-CPU generation (Fig. 14) and PRE (Fig. 15).
 :class:`SchemeComparison` packages the Original-vs-LoadBalance contrast.
+
+Two backing stores exist for the per-step records:
+
+* the serial simulator appends :class:`StepRecord` objects to a plain
+  list, one per control interval;
+* the engine's whole-trace kernel produces a :class:`ColumnarSteps`
+  struct-of-arrays store — one NumPy column per record field — and
+  materialises :class:`StepRecord` views lazily on indexing/iteration.
+
+Both satisfy the same sequence API and compare equal element-wise, so
+callers (and the bit-identity tests) never need to care which one they
+hold; time-series properties read columns directly when available.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -69,6 +82,108 @@ class StepRecord:
         return self.generation_per_cpu_w / self.cpu_power_per_cpu_w
 
 
+#: Column layout of :class:`ColumnarSteps`: every :class:`StepRecord`
+#: field, split by the Python type its lazy views materialise.
+STEP_FLOAT_COLUMNS = (
+    "time_s", "mean_utilisation", "max_utilisation",
+    "generation_per_cpu_w", "cpu_power_per_cpu_w", "mean_inlet_temp_c",
+    "mean_flow_l_per_h", "max_cpu_temp_c", "chiller_power_w",
+    "tower_power_w", "pump_power_w", "lost_harvest_w",
+)
+STEP_INT_COLUMNS = ("safety_violations", "degraded_circulations",
+                    "active_faults")
+STEP_COLUMNS = STEP_FLOAT_COLUMNS + STEP_INT_COLUMNS
+
+
+class ColumnarSteps(Sequence):
+    """Struct-of-arrays backing store for per-step records.
+
+    The whole-trace kernel computes every :class:`StepRecord` field as a
+    length-``n_steps`` NumPy column; this container keeps those columns
+    and materialises :class:`StepRecord` objects only when indexed, so
+    the kernel never pays a per-step Python allocation while the
+    list-of-records API (indexing, slicing, iteration, equality against
+    a plain list) keeps working unchanged.
+    """
+
+    __slots__ = ("_columns", "_n", "_cache")
+
+    def __init__(self, columns: dict) -> None:
+        missing = [name for name in STEP_COLUMNS if name not in columns]
+        if missing:
+            raise ConfigurationError(
+                f"columnar step store is missing columns: {missing}")
+        self._columns = {}
+        self._n = None
+        for name in STEP_COLUMNS:
+            column = np.asarray(columns[name])
+            if self._n is None:
+                self._n = column.shape[0]
+            elif column.shape != (self._n,):
+                raise ConfigurationError(
+                    f"column {name!r} has shape {column.shape}, "
+                    f"expected ({self._n},)")
+            column = column.copy() if not column.flags.owndata else column
+            column.setflags(write=False)
+            self._columns[name] = column
+        self._cache: dict[int, StepRecord] = {}
+
+    def column(self, name: str) -> np.ndarray:
+        """The read-only NumPy column backing one record field."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no step column named {name!r}") from None
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _record(self, index: int) -> StepRecord:
+        cached = self._cache.get(index)
+        if cached is None:
+            fields = {name: float(self._columns[name][index])
+                      for name in STEP_FLOAT_COLUMNS}
+            fields.update({name: int(self._columns[name][index])
+                           for name in STEP_INT_COLUMNS})
+            cached = self._cache[index] = StepRecord(**fields)
+        return cached
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._record(i) for i in range(*index.indices(self._n))]
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError("step index out of range")
+        return self._record(index)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ColumnarSteps):
+            return self._n == other._n and all(
+                np.array_equal(self._columns[name], other._columns[name])
+                for name in STEP_COLUMNS)
+        if isinstance(other, (list, tuple)):
+            return len(other) == self._n and all(
+                self._record(i) == record
+                for i, record in enumerate(other))
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        equal = self.__eq__(other)
+        if equal is NotImplemented:
+            return equal
+        return not equal
+
+    def __repr__(self) -> str:
+        return f"ColumnarSteps(n_steps={self._n})"
+
+    def __reduce__(self):
+        # Pickle the raw columns (process-pool workers return results);
+        # the lazy record cache is rebuilt on demand.
+        return (ColumnarSteps, (dict(self._columns),))
+
+
 @dataclass
 class SimulationResult:
     """All step records of one scheme over one trace.
@@ -83,7 +198,8 @@ class SimulationResult:
     trace_name: str
     n_servers: int
     interval_s: float
-    records: list[StepRecord] = field(default_factory=list)
+    records: "list[StepRecord] | ColumnarSteps" = field(
+        default_factory=list)
     metrics: "EngineMetrics | None" = field(default=None, repr=False,
                                             compare=False)
     #: Every (server, interval) temperature violation observed by the
@@ -93,12 +209,21 @@ class SimulationResult:
                                               repr=False, compare=False)
 
     def append(self, record: StepRecord) -> None:
-        """Add one control interval's aggregates."""
+        """Add one control interval's aggregates.
+
+        Only list-backed results grow incrementally; a columnar
+        (kernel-produced) result is complete by construction.
+        """
+        if isinstance(self.records, ColumnarSteps):
+            raise ConfigurationError(
+                "cannot append to a columnar (kernel-produced) result")
         self.records.append(record)
 
     def _series(self, attribute: str) -> np.ndarray:
-        if not self.records:
+        if not len(self.records):
             raise ConfigurationError("result has no records yet")
+        if isinstance(self.records, ColumnarSteps):
+            return self.records.column(attribute)
         return np.array([getattr(record, attribute)
                          for record in self.records])
 
@@ -124,6 +249,13 @@ class SimulationResult:
     @property
     def pre_series(self) -> np.ndarray:
         """PRE over time (Fig. 15)."""
+        if isinstance(self.records, ColumnarSteps):
+            generation = self.records.column("generation_per_cpu_w")
+            cpu_power = self.records.column("cpu_power_per_cpu_w")
+            out = np.zeros(len(self.records))
+            positive = cpu_power > 0
+            out[positive] = generation[positive] / cpu_power[positive]
+            return out
         return np.array([record.pre for record in self.records])
 
     # ------------------------------------------------------------------

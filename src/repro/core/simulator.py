@@ -162,13 +162,17 @@ class DatacenterSimulator:
         corrupted) utilisations; implausible readings or a tripped pump
         stall make it fall back to the conservative safe setting instead
         of crashing.  A healthy shadow evaluation prices the harvest
-        lost to the faults.  Slower than the nominal loop (two
-        evaluations per circulation), which is why it only runs when a
-        schedule is attached.
+        lost to the faults — but only on intervals where at least one
+        fault is active: with nothing active every runtime hook is the
+        identity, the control-path state *is* the healthy state and the
+        lost harvest is exactly zero, so the shadow is skipped and
+        fault-free spans of a schedule cost one evaluation per
+        circulation instead of two.
         """
         runtime = self._fault_runtime
         time_s = step_index * self.trace.interval_s
         step_utils = self.trace.step(step_index)
+        active_faults = runtime.active_count(time_s)
         states = []
         degraded = 0
         lost_w = 0.0
@@ -177,9 +181,10 @@ class DatacenterSimulator:
             scheduled = self._scheduler.schedule(step_utils[group])
 
             # Healthy shadow: what the plant would harvest fault-free.
-            nominal_decision = self._decide(scheduled)
-            nominal_state = circulation.evaluate(
-                scheduled, nominal_decision.setting)
+            if active_faults:
+                nominal_decision = self._decide(scheduled)
+                nominal_state = circulation.evaluate(
+                    scheduled, nominal_decision.setting)
 
             # Control path: decide on what the sensors *read*.
             readings = runtime.sense(scheduled, step_index, circ_index,
@@ -201,13 +206,14 @@ class DatacenterSimulator:
                     circulation.cold_source_temp_c, time_s, circ_index),
                 teg_output_factor=runtime.teg_output_factor(
                     time_s, circ_index, group))
-            lost_w += max(0.0, nominal_state.total_generation_w
-                          - state.total_generation_w)
+            if active_faults:
+                lost_w += max(0.0, nominal_state.total_generation_w
+                              - state.total_generation_w)
             states.append(state)
         return self._aggregate_step(
             step_index, step_utils, states,
             degraded_circulations=degraded, lost_harvest_w=lost_w,
-            active_faults=runtime.active_count(time_s))
+            active_faults=active_faults)
 
     def _aggregate_step(self, step_index: int, step_utils: np.ndarray,
                         states: list[CirculationState], *,
@@ -229,6 +235,7 @@ class DatacenterSimulator:
         max_cpu_temp = -np.inf
         inlet_sum = 0.0
         flow_sum = 0.0
+        time_s = step_index * self.trace.interval_s
 
         for group, circulation, state in zip(self._groups,
                                              self._circulations, states):
@@ -244,8 +251,7 @@ class DatacenterSimulator:
             violations += len(step_violations)
             if step_violations and self.config.strict_safety:
                 raise CoolingFailureError(
-                    f"CPU over temperature at t="
-                    f"{step_index * self.trace.interval_s:.0f}s in "
+                    f"CPU over temperature at t={time_s:.0f}s in "
                     f"circulation starting at server {group[0]}",
                     server_id=int(group[step_violations[0]]),
                     temperature_c=float(state.cpu_temps_c[
@@ -254,7 +260,6 @@ class DatacenterSimulator:
                 )
             # Non-strict path: log every offending (server, interval)
             # pair, not just the count (post-mortems need identities).
-            time_s = step_index * self.trace.interval_s
             for offender in step_violations:
                 self._violation_log.append(SafetyViolation(
                     server_id=int(group[offender]),
@@ -265,7 +270,7 @@ class DatacenterSimulator:
 
         n = self.trace.n_servers
         return StepRecord(
-            time_s=step_index * self.trace.interval_s,
+            time_s=time_s,
             mean_utilisation=float(step_utils.mean()),
             max_utilisation=float(step_utils.max()),
             generation_per_cpu_w=total_generation / n,
@@ -286,17 +291,30 @@ class DatacenterSimulator:
 def compare_schemes(trace: WorkloadTrace, baseline: SimulationConfig,
                     optimised: SimulationConfig,
                     cpu_model: CpuThermalModel | None = None,
-                    teg_module: TegModule | None = None):
+                    teg_module: TegModule | None = None,
+                    mode: str | None = None):
     """Run two schemes on the same trace and return a comparison.
 
-    Convenience wrapper used by the Fig. 14/15 benchmarks.
+    Convenience wrapper used by the Fig. 14/15 benchmarks.  ``mode``
+    selects the execution path: ``None`` (default) runs the serial
+    :class:`DatacenterSimulator`; ``"kernel"``, ``"step"`` or ``"loop"``
+    route through :func:`repro.core.engine.simulate` with that engine
+    mode.  Every path is bit-identical, so the comparison is too.
     """
     from .results import SchemeComparison
 
     cpu_model = cpu_model or CpuThermalModel()
     teg_module = teg_module or default_server_module()
-    base_result = DatacenterSimulator(
-        trace, baseline, cpu_model, teg_module).run()
-    opt_result = DatacenterSimulator(
-        trace, optimised, cpu_model, teg_module).run()
+    if mode is None:
+        base_result = DatacenterSimulator(
+            trace, baseline, cpu_model, teg_module).run()
+        opt_result = DatacenterSimulator(
+            trace, optimised, cpu_model, teg_module).run()
+    else:
+        from .engine import simulate
+
+        base_result = simulate(trace, baseline, cpu_model, teg_module,
+                               mode=mode)
+        opt_result = simulate(trace, optimised, cpu_model, teg_module,
+                              mode=mode)
     return SchemeComparison(baseline=base_result, optimised=opt_result)

@@ -73,6 +73,27 @@ class WorkloadTrace:
         self._matrix.setflags(write=False)
         self.interval_s = float(interval_s)
         self.name = name
+        #: Keeps the backing ``multiprocessing.shared_memory`` segment
+        #: alive when this trace is a zero-copy view (see
+        #: :meth:`from_shared`); ``None`` for ordinary traces.
+        self._shared_block = None
+
+    @classmethod
+    def from_shared(cls, matrix: np.ndarray, interval_s: float,
+                    name: str = "trace", *,
+                    block=None) -> "WorkloadTrace":
+        """Wrap a matrix that lives in shared memory, without copying.
+
+        ``matrix`` must already satisfy the trace invariants (it was
+        validated by the owning process before export); re-validating
+        here would be redundant but harmless, so the normal constructor
+        checks still run.  ``block`` is the ``SharedMemory`` handle the
+        view was created from; the trace holds it so the mapping outlives
+        the caller's local variable.
+        """
+        trace = cls(matrix, interval_s, name=name)
+        trace._shared_block = block
+        return trace
 
     # ------------------------------------------------------------------
     # Shape and access

@@ -107,7 +107,8 @@ class TestGoldens:
     @pytest.mark.parametrize("scheme_factory",
                              [teg_original, teg_loadbalance],
                              ids=lambda f: f.__name__)
-    @pytest.mark.parametrize("runner", ["serial", "engine"])
+    @pytest.mark.parametrize("runner",
+                             ["serial", "kernel", "step", "loop"])
     def test_matches_golden(self, scheme_factory, runner):
         config = scheme_factory()
         golden = load_golden(config.name)
@@ -115,7 +116,7 @@ class TestGoldens:
         if runner == "serial":
             result = DatacenterSimulator(trace, config).run()
         else:
-            result = simulate(trace, config)
+            result = simulate(trace, config, mode=runner)
         assert len(result.records) == golden["n_steps"]
         for name in self.FIELDS:
             actual = np.array([getattr(record, name)
@@ -320,3 +321,63 @@ class TestCoolingDecisionCache:
         cache.decide(policy, utils)
         assert cache.decide(policy, utils) == \
             StaticPolicy(aggregation="avg").decide(utils)
+
+
+class TestZeroCopyDispatch:
+    """Process-pool jobs ship a trace *handle*, not the trace plane."""
+
+    def test_payload_size_independent_of_trace_length(self):
+        import pickle
+
+        short = common_trace(n_servers=40, duration_s=2 * 3600.0,
+                             interval_s=300.0, seed=12)
+        long = common_trace(n_servers=40, duration_s=48 * 3600.0,
+                            interval_s=300.0, seed=12)
+        with BatchSimulationEngine() as engine:
+            small = len(pickle.dumps(engine._payload(
+                SimulationJob(trace=short, config=teg_original()))))
+            large = len(pickle.dumps(engine._payload(
+                SimulationJob(trace=long, config=teg_original()))))
+            job_size = len(pickle.dumps(
+                SimulationJob(trace=long, config=teg_original())))
+        # The payload must not scale with the trace and must be far
+        # smaller than pickling the job (which embeds the matrix).
+        assert abs(large - small) < 128
+        assert large * 10 < job_size
+
+    def test_one_segment_per_distinct_trace(self):
+        trace = golden_trace()
+        jobs = [SimulationJob(trace=trace, config=config)
+                for config in (teg_original(), teg_loadbalance())]
+        with BatchSimulationEngine() as engine:
+            for job in jobs:
+                engine._payload(job)
+            assert len(engine._shared_traces) == 1
+        assert len(engine._shared_traces) == 0  # close() unlinked it
+
+    @pytest.mark.slow
+    def test_executor_reused_across_runs(self):
+        trace = golden_trace()
+        jobs = [SimulationJob(trace=trace, config=config)
+                for config in (teg_original(), teg_loadbalance())]
+        with BatchSimulationEngine(n_workers=2,
+                                   prefer="process") as engine:
+            first = engine.run(jobs)
+            second = engine.run(jobs)
+            assert engine.executor_launches == 1
+        assert first.metrics.executor == "process"
+        for a, b in zip(first.results, second.results):
+            assert a.records == b.records
+
+    def test_worker_side_trace_reconstruction_is_exact(self):
+        from repro.core.engine import _execute_payload
+
+        trace = golden_trace()
+        serial = DatacenterSimulator(trace, teg_original()).run()
+        with BatchSimulationEngine() as engine:
+            payload = engine._payload(
+                SimulationJob(trace=trace, config=teg_original()))
+            # Execute the payload in-process: same code path the worker
+            # runs, minus the fork.
+            result = _execute_payload(payload)
+            assert result.records == serial.records

@@ -1,0 +1,286 @@
+"""Whole-trace kernel tests: parity, columnar store, mode plumbing.
+
+The kernel pipeline (``repro.core.kernel``) collapses the simulator's
+time loop into NumPy planes.  Its contract is the same as the engine's:
+**bit-identical** records, violations and errors versus the serial
+:class:`~repro.core.simulator.DatacenterSimulator` — these tests enforce
+it on awkward shapes (trailing underpopulated circulation), on every
+policy kind, and on the error paths.
+"""
+
+import pickle
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    SimulationConfig,
+    teg_loadbalance,
+    teg_original,
+)
+from repro.core.engine import (
+    EXECUTION_MODES,
+    CoolingDecisionCache,
+    _CachedVectorisedSimulator,
+    resolve_mode,
+    simulate,
+)
+from repro.core.results import ColumnarSteps, StepRecord
+from repro.core.simulator import DatacenterSimulator, compare_schemes
+from repro.cooling.cdu import CoolingSetting
+from repro.cooling.loop import WaterCirculation
+from repro.errors import (
+    ConfigurationError,
+    CoolingFailureError,
+    PhysicalRangeError,
+)
+from repro.faults import FaultSchedule, FaultSpec
+from repro.workloads.synthetic import common_trace, drastic_trace
+from repro.workloads.trace import WorkloadTrace
+
+#: 47 servers with circulation_size=20 -> groups of 20, 20 and a
+#: trailing, underpopulated group of 7.
+TRAILING_TRACE_KWARGS = dict(n_servers=47, duration_s=2 * 3600.0,
+                             interval_s=300.0, seed=7)
+
+ALL_CONFIGS = [
+    teg_original(),
+    teg_loadbalance(),
+    SimulationConfig(name="analytic", policy="analytic"),
+    SimulationConfig(name="static", policy="static"),
+    SimulationConfig(name="threshold", scheduler="threshold",
+                     threshold_cap=0.5),
+]
+
+
+def trailing_trace():
+    return drastic_trace(**TRAILING_TRACE_KWARGS)
+
+
+class TestModeResolution:
+    def test_default_is_kernel(self):
+        assert resolve_mode(None) == "kernel"
+
+    def test_unvectorised_default_is_loop(self):
+        assert resolve_mode(None, vectorised=False) == "loop"
+
+    def test_explicit_mode_wins_over_vectorised(self):
+        assert resolve_mode("step", vectorised=False) == "step"
+
+    @pytest.mark.parametrize("mode", EXECUTION_MODES)
+    def test_known_modes_pass_through(self, mode):
+        assert resolve_mode(mode) == mode
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_mode("warp")
+
+
+class TestKernelParity:
+    """Kernel records == serial records, bit for bit."""
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+    def test_trailing_group_parity_all_modes(self, config):
+        trace = trailing_trace()
+        serial = DatacenterSimulator(trace, config).run()
+        for mode in EXECUTION_MODES:
+            fast = simulate(trace, config, mode=mode)
+            assert fast.records == serial.records, mode
+            assert fast.violations == serial.violations, mode
+
+    def test_kernel_result_is_columnar(self):
+        result = simulate(trailing_trace(), teg_original(), mode="kernel")
+        assert isinstance(result.records, ColumnarSteps)
+        assert result.metrics.mode == "kernel"
+        timings = result.metrics.kernel
+        assert timings is not None
+        assert timings.total_s > 0
+        assert set(timings.summary()) == {
+            "decide_s", "evaluate_s", "reduce_s", "fold_s", "total_s"}
+
+    def test_step_and_loop_modes_report_no_kernel_timings(self):
+        trace = trailing_trace()
+        assert simulate(trace, teg_original(),
+                        mode="step").metrics.kernel is None
+        assert simulate(trace, teg_original(),
+                        mode="loop").metrics.kernel is None
+
+    def test_compare_schemes_parity_across_paths(self):
+        trace = trailing_trace()
+        reference = compare_schemes(trace, teg_original(),
+                                    teg_loadbalance())
+        for mode in EXECUTION_MODES:
+            comparison = compare_schemes(trace, teg_original(),
+                                         teg_loadbalance(), mode=mode)
+            assert comparison.baseline.records == \
+                reference.baseline.records, mode
+            assert comparison.optimised.records == \
+                reference.optimised.records, mode
+            assert comparison.generation_improvement == \
+                reference.generation_improvement, mode
+
+    def test_violation_log_parity(self):
+        # A deliberately hot static setting produces violations the
+        # non-strict path must log identically (ids, times, temps).
+        trace = trailing_trace()
+        hot = SimulationConfig(
+            name="hot", scheduler="none", policy="static",
+            static_setting=CoolingSetting(flow_l_per_h=30.0,
+                                          inlet_temp_c=55.0))
+        serial = DatacenterSimulator(trace, hot).run()
+        kernel = simulate(trace, hot, mode="kernel")
+        assert serial.violations  # scenario must actually violate
+        assert kernel.violations == serial.violations
+        assert kernel.records == serial.records
+
+    def test_strict_safety_error_parity(self):
+        trace = trailing_trace()
+        hot = SimulationConfig(
+            name="hot", scheduler="none", policy="static",
+            strict_safety=True,
+            static_setting=CoolingSetting(flow_l_per_h=30.0,
+                                          inlet_temp_c=55.0))
+        errors = {}
+        for label, run in (
+                ("serial",
+                 DatacenterSimulator(trace, hot).run),
+                ("kernel",
+                 lambda: simulate(trace, hot, mode="kernel"))):
+            with pytest.raises(CoolingFailureError) as excinfo:
+                run()
+            exc = excinfo.value
+            errors[label] = (str(exc), exc.server_id, exc.temperature_c,
+                             exc.step_index)
+        assert errors["serial"] == errors["kernel"]
+
+    def test_tower_capacity_error_parity(self):
+        trace = trailing_trace()
+        config = teg_original()
+        errors = {}
+        for label, sim in (
+                ("serial", DatacenterSimulator(trace, config)),
+                ("kernel", _CachedVectorisedSimulator(
+                    trace, config, cache=CoolingDecisionCache(),
+                    mode="kernel"))):
+            for circulation in sim._circulations:
+                circulation.tower = replace(circulation.tower,
+                                            max_heat_kw=0.3)
+            with pytest.raises(PhysicalRangeError) as excinfo:
+                sim.run()
+            errors[label] = str(excinfo.value)
+        assert errors["serial"] == errors["kernel"]
+
+    def test_trace_subclass_falls_back_to_step_mode(self):
+        # Subclasses may override step(); the kernel reads the plane
+        # directly and would bypass them, so it must not engage.
+        class Halved(WorkloadTrace):
+            def step(self, index):
+                return super().step(index) / 2.0
+
+        base = trailing_trace()
+        halved = Halved(base.utilisation, base.interval_s, name="halved")
+        result = simulate(halved, teg_original())
+        assert result.metrics.mode == "step"
+        serial = DatacenterSimulator(halved, teg_original()).run()
+        assert result.records == serial.records
+
+
+class TestFaultShadowSkip:
+    """The healthy shadow evaluation only runs while a fault is active."""
+
+    def schedule(self):
+        # Active for exactly two control intervals: t in [600, 1200).
+        return FaultSchedule(specs=(
+            FaultSpec(kind="sensor_bias", start_s=600.0,
+                      duration_s=600.0, magnitude=0.05),), seed=3)
+
+    def test_shadow_skipped_on_inactive_steps(self, monkeypatch):
+        trace = common_trace(n_servers=40, duration_s=6 * 300.0,
+                             interval_s=300.0, seed=5)
+        calls = []
+        original = WaterCirculation.evaluate
+
+        def counting(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(WaterCirculation, "evaluate", counting)
+        sim = DatacenterSimulator(trace, teg_original(),
+                                  faults=self.schedule())
+        sim.run()
+        n_circs = sim.n_circulations
+        active_steps = 2  # t = 600 and t = 900
+        expected = (trace.n_steps + active_steps) * n_circs
+        assert len(calls) == expected
+
+    def test_inactive_schedule_matches_nominal_run(self):
+        # A schedule that never activates must leave the records
+        # bit-identical to the nominal simulator (the skip path *is*
+        # the nominal arithmetic).
+        trace = common_trace(n_servers=40, duration_s=4 * 300.0,
+                             interval_s=300.0, seed=5)
+        never = FaultSchedule(specs=(
+            FaultSpec(kind="pump_stall", start_s=1e9,
+                      duration_s=60.0),), seed=3)
+        nominal = DatacenterSimulator(trace, teg_original()).run()
+        faulted = DatacenterSimulator(trace, teg_original(),
+                                      faults=never).run()
+        assert faulted.records == nominal.records
+        assert faulted.total_lost_harvest_kwh == 0.0
+
+
+class TestColumnarSteps:
+    """The struct-of-arrays record store behind kernel results."""
+
+    def result(self):
+        return simulate(trailing_trace(), teg_original(), mode="kernel")
+
+    def test_lazy_records_match_serial_objects(self):
+        columnar = self.result().records
+        serial = DatacenterSimulator(trailing_trace(),
+                                     teg_original()).run().records
+        assert len(columnar) == len(serial)
+        assert isinstance(columnar[0], StepRecord)
+        assert columnar[0] == serial[0]
+        assert columnar[-1] == serial[-1]
+        assert columnar[2:5] == serial[2:5]
+        assert list(columnar) == serial
+
+    def test_equality_is_symmetric_with_lists(self):
+        columnar = self.result().records
+        as_list = list(columnar)
+        assert columnar == as_list
+        assert as_list == columnar  # list defers via NotImplemented
+        assert columnar == self.result().records
+        assert columnar != as_list[:-1]
+
+    def test_append_rejected(self):
+        result = self.result()
+        with pytest.raises(ConfigurationError):
+            result.append(result.records[0])
+
+    def test_pickle_round_trip(self):
+        records = self.result().records
+        clone = pickle.loads(pickle.dumps(records))
+        assert isinstance(clone, ColumnarSteps)
+        assert clone == records
+
+    def test_columns_are_read_only(self):
+        records = self.result().records
+        with pytest.raises(ValueError):
+            records.column("chiller_power_w")[0] = 1.0
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.result().records.column("enthalpy")
+
+    def test_aggregates_match_serial(self):
+        kernel = self.result()
+        serial = DatacenterSimulator(trailing_trace(),
+                                     teg_original()).run()
+        assert kernel.average_generation_w == serial.average_generation_w
+        assert kernel.peak_generation_w == serial.peak_generation_w
+        assert kernel.average_pre == serial.average_pre
+        assert kernel.total_safety_violations == \
+            serial.total_safety_violations
