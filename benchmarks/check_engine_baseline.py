@@ -29,8 +29,12 @@ BASELINE_PATH = Path(__file__).parent / "BENCH_engine.json"
 #: A mode fails the check below this fraction of its baseline steps/sec.
 TOLERANCE = 0.25
 
-#: The throughput figures the check compares.
-CHECKED_FIELDS = ("step_steps_per_s", "kernel_steps_per_s")
+#: The throughput figures the check compares: per-step vectorised,
+#: kernel with telemetry off, and kernel under a live repro.obs
+#: session (so a telemetry-hook regression is caught even though the
+#: default path has telemetry disabled).
+CHECKED_FIELDS = ("step_steps_per_s", "kernel_steps_per_s",
+                  "kernel_telemetry_steps_per_s")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,6 +60,11 @@ def main(argv: list[str] | None = None) -> int:
 
     failed = False
     for field in CHECKED_FIELDS:
+        if field not in baseline:
+            print(f"{field:<20} missing from baseline; re-run with "
+                  f"--update")
+            failed = True
+            continue
         floor = baseline[field] * TOLERANCE
         ratio = report[field] / baseline[field]
         verdict = "ok" if report[field] >= floor else "REGRESSION"
@@ -65,6 +74,9 @@ def main(argv: list[str] | None = None) -> int:
               f"{TOLERANCE:.0%})  [{verdict}]")
     print(f"{'speedup':<20} baseline {baseline['speedup']:>10.2f}  "
           f"now {report['speedup']:>10.2f}")
+    print(f"{'telemetry overhead':<20} baseline "
+          f"{baseline.get('telemetry_overhead', float('nan')):>10.2%}  "
+          f"now {report['telemetry_overhead']:>10.2%}")
     return 1 if failed else 0
 
 

@@ -47,30 +47,43 @@ def _fifty_step_trace():
 def measure_kernel_throughput(rounds: int = ROUNDS) -> dict:
     """Kernel vs per-step vectorised throughput on the 1,000 x 200 trace.
 
-    Returns a plain dict (steps/sec per mode plus the speedup) so the
-    baseline checker can serialise it; also asserts bit-identity between
-    the two modes so a fast-but-wrong kernel can never look good.
+    Measures three variants — per-step vectorised, kernel with
+    telemetry off (the default) and kernel with a live ``repro.obs``
+    session — and returns a plain dict so the baseline checker can
+    serialise it.  Bit-identity is asserted across all three so a
+    fast-but-wrong kernel (or a telemetry hook that perturbs physics)
+    can never look good.
     """
     trace = common_trace(**KERNEL_TRACE_KWARGS)
     config = teg_original()
+    variants = (
+        ("step", dict(mode="step")),
+        ("kernel", dict(mode="kernel")),
+        ("kernel+obs", dict(mode="kernel", telemetry=True)),
+    )
     measured = {}
     results = {}
-    for mode in ("step", "kernel"):
+    for name, kwargs in variants:
         best = None
         for _ in range(rounds):
-            result = simulate(trace, config, mode=mode)
+            result = simulate(trace, config, **kwargs)
             step_time = result.metrics.step_time_s
             best = step_time if best is None else min(best, step_time)
-            results[mode] = result
-        measured[mode] = trace.n_steps / best
+            results[name] = result
+        measured[name] = trace.n_steps / best
     assert results["kernel"].records == results["step"].records
+    assert results["kernel+obs"].records == results["kernel"].records
+    assert results["kernel+obs"].telemetry is not None
     kernel_metrics = results["kernel"].metrics
     return {
         "trace": dict(KERNEL_TRACE_KWARGS),
         "n_steps": trace.n_steps,
         "step_steps_per_s": round(measured["step"], 1),
         "kernel_steps_per_s": round(measured["kernel"], 1),
+        "kernel_telemetry_steps_per_s": round(measured["kernel+obs"], 1),
         "speedup": round(measured["kernel"] / measured["step"], 2),
+        "telemetry_overhead": round(
+            1.0 - measured["kernel+obs"] / measured["kernel"], 4),
         "kernel_phases": kernel_metrics.kernel.summary(),
     }
 

@@ -34,6 +34,7 @@ from .core import (
     SimulationResult,
     run_batch,
     teg_loadbalance,
+    teg_static,
     teg_original,
 )
 from .economics import BreakEvenAnalysis, TcoModel, power_reusing_efficiency
@@ -74,6 +75,7 @@ __all__ = [
     "SchemeComparison",
     "teg_original",
     "teg_loadbalance",
+    "teg_static",
     "CoolingSetting",
     "CpuThermalModel",
     "TegDevice",

@@ -4,12 +4,22 @@ Installed as the ``h2p`` console script::
 
     h2p simulate --trace common --servers 200      # Fig. 14/15 style run
     h2p batch --servers 100 --workers 4 --check    # engine sweep + identity
+    h2p batch --telemetry out/ --trace-spans       # run with observability
     h2p design --servers 1000 --sigma 6            # Sec. V-A loop sizing
     h2p tco --generation 4.177 --cpus 100000       # Table I economics
     h2p trace --name drastic --out drastic.csv     # synthetic trace export
     h2p hotspot --inlet 52 --spike 1.0             # Sec. II-B episode
 
-Every subcommand prints a plain-text report and exits 0 on success.
+Every subcommand routes its output through a
+:class:`repro.obs.Reporter`, so the global ``--quiet`` and ``--json``
+flags behave consistently: the default is the classic plain-text
+report, ``--quiet`` keeps only failure lines, and ``--json`` prints one
+JSON document of structured results.  Exit code is 0 on success.
+
+``h2p batch --telemetry DIR`` additionally records the run through
+:mod:`repro.obs` and writes ``manifest.json``, ``events.jsonl`` and a
+Prometheus ``metrics.prom`` snapshot into ``DIR`` (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ import sys
 from typing import Sequence
 
 from . import __version__
+from .obs import Reporter
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -27,6 +38,12 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Heat to Power (ISCA 2020) reproduction toolkit")
     parser.add_argument("--version", action="version",
                         version=f"h2p {__version__}")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress informational output (failure "
+                             "lines still print)")
+    parser.add_argument("--json", action="store_true",
+                        help="print one JSON document of structured "
+                             "results instead of text")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     simulate = subparsers.add_parser(
@@ -46,7 +63,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("drastic", "irregular", "common"))
     batch.add_argument("--schemes", nargs="+",
                        default=["original", "loadbalance"],
-                       choices=("original", "loadbalance"))
+                       choices=("original", "loadbalance", "static"))
     batch.add_argument("--servers", type=int, default=100)
     batch.add_argument("--workers", type=int, default=None,
                        help="parallel workers (default: REPRO_WORKERS "
@@ -68,10 +85,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("kernel", "step", "loop"),
                        help="execution mode for every job (default: "
                             "kernel)")
-    batch.add_argument("--profile", default=None, metavar="PATH",
-                       help="dump batch + per-job metrics (wall times, "
-                            "steps/sec, cache hit rate, kernel-phase "
-                            "timings) as JSON to this path")
+    batch.add_argument("--prefer", default="process",
+                       choices=("process", "thread", "serial"),
+                       help="preferred executor (default: process, "
+                            "with automatic degradation)")
+    batch.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="record the run through repro.obs and "
+                            "write manifest.json, events.jsonl and "
+                            "metrics.prom into DIR (default: "
+                            "REPRO_TELEMETRY_DIR or off); supersedes "
+                            "the old --profile JSON dump")
+    batch.add_argument("--trace-spans", action="store_true",
+                       help="enable telemetry and print the "
+                            "hierarchical span-timing tree after the "
+                            "batch")
     batch.set_defaults(handler=_cmd_batch)
 
     design = subparsers.add_parser(
@@ -153,7 +180,7 @@ def _build_parser() -> argparse.ArgumentParser:
 # Handlers
 # ----------------------------------------------------------------------
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _cmd_simulate(args: argparse.Namespace, reporter: Reporter) -> int:
     from .core.config import teg_loadbalance, teg_original
     from .core.h2p import H2PSystem
     from .workloads.synthetic import trace_by_name
@@ -163,41 +190,55 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     overrides = dict(circulation_size=args.circulation_size)
     comparison = H2PSystem().compare(
         trace, teg_original(**overrides), teg_loadbalance(**overrides))
-    print(f"trace {trace.name!r}: {trace.n_servers} servers, "
-          f"{trace.n_steps} x {trace.interval_s / 60.0:.0f}-min steps")
+    reporter.info(f"trace {trace.name!r}: {trace.n_servers} servers, "
+                  f"{trace.n_steps} x {trace.interval_s / 60.0:.0f}-min "
+                  f"steps")
     for result in (comparison.baseline, comparison.optimised):
-        print(f"  {result.scheme:<16} avg {result.average_generation_w:6.3f} W"
-              f"  peak {result.peak_generation_w:6.3f} W"
-              f"  PRE {result.average_pre:6.1%}"
-              f"  violations {result.total_safety_violations}")
-    print(f"  improvement: {comparison.generation_improvement:.1%} "
-          f"(paper: 13.08 % overall)")
+        reporter.info(
+            f"  {result.scheme:<16} avg {result.average_generation_w:6.3f} W"
+            f"  peak {result.peak_generation_w:6.3f} W"
+            f"  PRE {result.average_pre:6.1%}"
+            f"  violations {result.total_safety_violations}")
+    reporter.info(f"  improvement: {comparison.generation_improvement:.1%} "
+                  f"(paper: 13.08 % overall)")
+    reporter.result("comparison", comparison.summary())
     return 0
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    from .core.config import teg_loadbalance, teg_original
+def _cmd_batch(args: argparse.Namespace, reporter: Reporter) -> int:
+    from . import obs
+    from .core.config import teg_loadbalance, teg_original, teg_static
     from .core.engine import SimulationJob, run_batch
     from .core.simulator import DatacenterSimulator
     from .faults import FaultSchedule
     from .workloads.synthetic import trace_by_name
 
+    # Env validation happens up front: a malformed REPRO_TELEMETRY /
+    # REPRO_TELEMETRY_DIR raises ConfigurationError naming the variable
+    # before any job runs.
+    telemetry_dir = obs.resolve_telemetry_dir(args.telemetry)
+    telemetry_on = (telemetry_dir is not None or args.trace_spans
+                    or obs.telemetry_enabled())
+
     schedule = None
     if args.faults is not None:
         schedule = FaultSchedule.from_json(args.faults)
-        print(f"fault schedule: {len(schedule)} spec(s), "
-              f"seed {schedule.seed} ({args.faults})")
-    factories = {"original": teg_original, "loadbalance": teg_loadbalance}
+        reporter.info(f"fault schedule: {len(schedule)} spec(s), "
+                      f"seed {schedule.seed} ({args.faults})")
+    factories = {"original": teg_original, "loadbalance": teg_loadbalance,
+                 "static": teg_static}
     traces = [trace_by_name(name, n_servers=args.servers)
               for name in args.traces]
     jobs = [SimulationJob(trace=trace, config=factories[scheme](),
                           faults=schedule)
             for trace in traces for scheme in args.schemes]
     batch = run_batch(jobs, args.workers, mode=args.mode,
+                      prefer=args.prefer,
                       max_retries=args.max_retries,
-                      job_timeout_s=args.timeout)
-    print(f"{'scheme':<16} {'trace':<10} {'avg W':>7} {'PRE':>7} "
-          f"{'steps/s':>8} {'cache':>6}")
+                      job_timeout_s=args.timeout,
+                      telemetry=telemetry_on)
+    reporter.info(f"{'scheme':<16} {'trace':<10} {'avg W':>7} {'PRE':>7} "
+                  f"{'steps/s':>8} {'cache':>6}")
     for result in batch.results:
         metrics = result.metrics
         line = (f"{result.scheme:<16} {result.trace_name:<10} "
@@ -208,67 +249,64 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if result.degraded_steps:
             line += (f"  degraded {result.degraded_steps} steps, "
                      f"lost {result.total_lost_harvest_kwh:.3f} kWh")
-        print(line)
+        reporter.info(line)
     aggregate = batch.metrics
-    print(f"batch: {aggregate.n_jobs} jobs via {aggregate.executor} "
-          f"x{aggregate.n_workers} in {aggregate.wall_time_s:.2f} s "
-          f"({aggregate.steps_per_s:.0f} steps/s, cache "
-          f"{aggregate.cache_hit_rate:.1%})")
+    reporter.info(f"batch: {aggregate.n_jobs} jobs via {aggregate.executor} "
+                  f"x{aggregate.n_workers} in {aggregate.wall_time_s:.2f} s "
+                  f"({aggregate.steps_per_s:.0f} steps/s, cache "
+                  f"{aggregate.cache_hit_rate:.1%})")
     if aggregate.retries or aggregate.timeouts:
-        print(f"recovery: {aggregate.retries} retrie(s), "
-              f"{aggregate.timeouts} timeout(s)")
+        reporter.info(f"recovery: {aggregate.retries} retrie(s), "
+                      f"{aggregate.timeouts} timeout(s)")
     for failed in batch.failures:
-        print(f"FAILED {failed.scheme} on {failed.trace_name}: "
-              f"[{failed.error_type}] {failed.message} "
-              f"({failed.attempts} attempt(s), "
-              f"{failed.elapsed_s:.1f} s)")
-    if args.profile:
-        _write_batch_profile(args.profile, batch)
-        print(f"profile written to {args.profile}")
+        reporter.error(f"FAILED {failed.scheme} on {failed.trace_name}: "
+                       f"[{failed.error_type}] {failed.message} "
+                       f"({failed.attempts} attempt(s), "
+                       f"{failed.elapsed_s:.1f} s)")
+    reporter.result("batch", aggregate.summary())
+    reporter.result("jobs", batch.summaries())
+    reporter.result("failures", [
+        {"scheme": failed.scheme, "trace": failed.trace_name,
+         "error_type": failed.error_type, "message": failed.message,
+         "attempts": failed.attempts,
+         "elapsed_s": round(failed.elapsed_s, 4),
+         "timed_out": failed.timed_out}
+        for failed in batch.failures])
+
+    if batch.telemetry is not None:
+        if args.trace_spans:
+            reporter.info(obs.render_span_tree(
+                batch.telemetry.tracer.snapshot()))
+        reporter.result(
+            "telemetry",
+            {"metrics": batch.telemetry.registry.snapshot().to_dict(),
+             "n_events": len(batch.telemetry.events)})
+        if telemetry_dir is not None:
+            # Fold the console transcript into the event log so the
+            # artefacts carry the full story of the run.
+            batch.telemetry.events.extend(reporter.events.snapshot())
+            command = ["h2p"] + list(getattr(args, "raw_argv", []))
+            paths = obs.write_run_artifacts(
+                telemetry_dir, batch.telemetry, command=command,
+                batch=batch)
+            reporter.result("telemetry_dir", str(telemetry_dir))
+            reporter.info(f"telemetry written to {paths['manifest'].parent}")
+
     if args.check and batch.results:
         first = jobs[0]
         serial = DatacenterSimulator(first.trace, first.config,
                                      faults=first.faults).run()
         identical = serial.records == batch.results[0].records
-        print(f"serial check: {'bit-identical' if identical else 'MISMATCH'}")
-        if not identical:
+        reporter.result("serial_check", bool(identical))
+        if identical:
+            reporter.info("serial check: bit-identical")
+        else:
+            reporter.error("serial check: MISMATCH")
             return 1
     return 0 if batch.ok else 1
 
 
-def _write_batch_profile(path: str, batch) -> None:
-    """Dump BatchMetrics + per-job EngineMetrics summaries as JSON."""
-    import json
-
-    profile = {
-        "batch": batch.metrics.summary(),
-        "jobs": [
-            {
-                "scheme": result.scheme,
-                "trace": result.trace_name,
-                **(result.metrics.summary()
-                   if result.metrics is not None else {}),
-            }
-            for result in batch.results
-        ],
-        "failures": [
-            {
-                "scheme": failed.scheme,
-                "trace": failed.trace_name,
-                "error_type": failed.error_type,
-                "message": failed.message,
-                "attempts": failed.attempts,
-                "elapsed_s": round(failed.elapsed_s, 4),
-            }
-            for failed in batch.failures
-        ],
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(profile, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-
-
-def _cmd_design(args: argparse.Namespace) -> int:
+def _cmd_design(args: argparse.Namespace, reporter: Reporter) -> int:
     from .cooling.chiller import Chiller
     from .cooling.circulation_design import CirculationDesignProblem
 
@@ -277,7 +315,7 @@ def _cmd_design(args: argparse.Namespace) -> int:
         temp_sigma_c=args.sigma,
         chiller=Chiller(capacity_kw=500, capex_usd=args.chiller_capex))
     result = problem.optimise()
-    print(f"{'n/circ':>8} {'E[dT] C':>9} {'total $/yr':>14}")
+    reporter.info(f"{'n/circ':>8} {'E[dT] C':>9} {'total $/yr':>14}")
     shown = [n for n in (1, 5, 10, 20, 50, 100, 200, 500, args.servers)
              if n <= args.servers]
     for n in shown:
@@ -286,43 +324,55 @@ def _cmd_design(args: argparse.Namespace) -> int:
         except KeyError:
             cost = problem.total_cost_usd(n)
         marker = "  <- optimum" if n == result.best_n else ""
-        print(f"{n:>8} {problem.expected_inlet_reduction_c(n):>9.2f} "
-              f"{cost:>14,.0f}{marker}")
-    print(f"optimal circulation size: {result.best_n} "
-          f"(${result.best_cost_usd:,.0f}/year)")
+        reporter.info(f"{n:>8} {problem.expected_inlet_reduction_c(n):>9.2f} "
+                      f"{cost:>14,.0f}{marker}")
+    reporter.info(f"optimal circulation size: {result.best_n} "
+                  f"(${result.best_cost_usd:,.0f}/year)")
+    reporter.result("design", {"best_n": result.best_n,
+                               "best_cost_usd": result.best_cost_usd})
     return 0
 
 
-def _cmd_tco(args: argparse.Namespace) -> int:
+def _cmd_tco(args: argparse.Namespace, reporter: Reporter) -> int:
     from .economics.breakeven import BreakEvenAnalysis
     from .economics.tco import TcoModel
     from .reliability import TegDegradationModel
 
     breakdown = TcoModel().breakdown(args.generation)
     analysis = BreakEvenAnalysis(n_cpus=args.cpus)
-    print(f"average generation : {args.generation:.3f} W/CPU")
-    print(f"TCO without H2P    : ${breakdown.tco_no_teg_usd:.2f}"
-          f"/server/month")
-    print(f"TCO with H2P       : ${breakdown.tco_h2p_usd:.2f}"
-          f"/server/month")
-    print(f"reduction          : {breakdown.reduction_fraction:.2%}")
-    print(f"fleet              : {args.cpus:,} CPUs")
-    print(f"annual savings     : "
-          f"${breakdown.annual_savings_usd(args.cpus):,.0f}")
-    print(f"daily energy       : "
-          f"{analysis.daily_energy_kwh(args.generation):,.1f} kWh")
+    reporter.info(f"average generation : {args.generation:.3f} W/CPU")
+    reporter.info(f"TCO without H2P    : ${breakdown.tco_no_teg_usd:.2f}"
+                  f"/server/month")
+    reporter.info(f"TCO with H2P       : ${breakdown.tco_h2p_usd:.2f}"
+                  f"/server/month")
+    reporter.info(f"reduction          : {breakdown.reduction_fraction:.2%}")
+    reporter.info(f"fleet              : {args.cpus:,} CPUs")
+    reporter.info(f"annual savings     : "
+                  f"${breakdown.annual_savings_usd(args.cpus):,.0f}")
+    reporter.info(f"daily energy       : "
+                  f"{analysis.daily_energy_kwh(args.generation):,.1f} kWh")
     ideal = analysis.break_even_days(args.generation)
-    print(f"break-even (ideal) : {ideal:,.0f} days")
+    reporter.info(f"break-even (ideal) : {ideal:,.0f} days")
+    payload = {
+        "generation_w": args.generation,
+        "tco_no_teg_usd": breakdown.tco_no_teg_usd,
+        "tco_h2p_usd": breakdown.tco_h2p_usd,
+        "reduction_fraction": breakdown.reduction_fraction,
+        "annual_savings_usd": breakdown.annual_savings_usd(args.cpus),
+        "break_even_days": ideal,
+    }
     if args.generation > 0:
         degraded = TegDegradationModel().degraded_break_even_days(
             args.generation,
             analysis.purchase_price_usd / (args.generation * args.cpus))
-        print(f"break-even (faded) : {degraded:,.0f} days "
-              f"(0.4 %/yr output fade)")
+        reporter.info(f"break-even (faded) : {degraded:,.0f} days "
+                      f"(0.4 %/yr output fade)")
+        payload["break_even_days_faded"] = degraded
+    reporter.result("tco", payload)
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _cmd_trace(args: argparse.Namespace, reporter: Reporter) -> int:
     from .workloads.loader import save_trace_csv
     from .workloads.synthetic import trace_by_name
 
@@ -332,37 +382,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         kwargs["seed"] = args.seed
     trace = trace_by_name(args.name, **kwargs)
     stats = trace.statistics()
-    print(f"{trace!r}")
-    print(f"statistics: {stats.describe()}")
+    reporter.info(f"{trace!r}")
+    reporter.info(f"statistics: {stats.describe()}")
+    reporter.result("trace", {"name": trace.name,
+                              "servers": trace.n_servers,
+                              "steps": trace.n_steps,
+                              "statistics": stats.describe()})
     if args.classify:
         from .workloads.analysis import TraceClassifier
 
         explanation = TraceClassifier().explain(trace)
         label = explanation.pop("class")
         details = ", ".join(f"{k}={v}" for k, v in explanation.items())
-        print(f"classified as: {label} ({details})")
+        reporter.info(f"classified as: {label} ({details})")
+        reporter.result("classification", {"class": label, **explanation})
     if args.out:
         save_trace_csv(trace, args.out)
-        print(f"written to {args.out}")
+        reporter.info(f"written to {args.out}")
+        reporter.result("out", args.out)
     return 0
 
 
-def _cmd_reuse(args: argparse.Namespace) -> int:
+def _cmd_reuse(args: argparse.Namespace, reporter: Reporter) -> int:
     from .environment import CLIMATES
     from .heatreuse.comparison import ReuseComparison
 
     comparison = ReuseComparison(n_servers=args.servers,
                                  climate=CLIMATES[args.climate])
-    print(f"climate {args.climate}: {args.servers} servers shedding "
-          f"{comparison.total_heat_kw:.0f} kW of warm-water heat")
-    for option in comparison.all_options():
-        print(f"  {option.name:<22} ${option.annual_value_usd:>10,.0f}"
-              f"/year  (utilisation {option.utilisation:.0%}; "
-              f"{option.notes})")
+    reporter.info(f"climate {args.climate}: {args.servers} servers shedding "
+                  f"{comparison.total_heat_kw:.0f} kW of warm-water heat")
+    options = comparison.all_options()
+    for option in options:
+        reporter.info(f"  {option.name:<22} ${option.annual_value_usd:>10,.0f}"
+                      f"/year  (utilisation {option.utilisation:.0%}; "
+                      f"{option.notes})")
+    reporter.result("reuse", [
+        {"name": option.name,
+         "annual_value_usd": option.annual_value_usd,
+         "utilisation": option.utilisation}
+        for option in options])
     return 0
 
 
-def _cmd_audit(args: argparse.Namespace) -> int:
+def _cmd_audit(args: argparse.Namespace, reporter: Reporter) -> int:
     import numpy as np
 
     from .cooling.loop import WaterCirculation
@@ -387,11 +449,12 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         audit_simulation_result(result),
     ]
     for report in reports:
-        print(report)
+        reporter.info(str(report))
+    reporter.result("audits_ok", bool(all(report.ok for report in reports)))
     return 0 if all(report.ok for report in reports) else 1
 
 
-def _cmd_hotspot(args: argparse.Namespace) -> int:
+def _cmd_hotspot(args: argparse.Namespace, reporter: Reporter) -> int:
     from .constants import CPU_MAX_OPERATING_TEMP_C
     from .cooling.hotspot import HotSpotScenario
     from .thermal.cpu_model import CoolingSetting
@@ -402,51 +465,65 @@ def _cmd_hotspot(args: argparse.Namespace) -> int:
         setting=CoolingSetting(flow_l_per_h=args.flow,
                                inlet_temp_c=args.inlet))
     outcomes = scenario.compare()
-    print(f"spike {args.baseline:.0%} -> {args.spike:.0%} at "
-          f"{args.inlet:.0f} C inlet "
-          f"(limit {CPU_MAX_OPERATING_TEMP_C} C)")
+    reporter.info(f"spike {args.baseline:.0%} -> {args.spike:.0%} at "
+                  f"{args.inlet:.0f} C inlet "
+                  f"(limit {CPU_MAX_OPERATING_TEMP_C} C)")
+    payload = {}
     for strategy in ("none", "chiller", "tec"):
         outcome = outcomes[strategy]
         verdict = "VIOLATION" if outcome.violation else "safe"
-        print(f"  {strategy:<8} peak {outcome.peak_cpu_temp_c:6.1f} C  "
-              f"above-limit {outcome.time_above_limit_s:6.1f} s  "
-              f"TEC {outcome.tec_energy_j / 1000.0:6.1f} kJ  [{verdict}]")
+        reporter.info(f"  {strategy:<8} peak {outcome.peak_cpu_temp_c:6.1f} C  "
+                      f"above-limit {outcome.time_above_limit_s:6.1f} s  "
+                      f"TEC {outcome.tec_energy_j / 1000.0:6.1f} kJ  "
+                      f"[{verdict}]")
+        payload[strategy] = {"peak_cpu_temp_c": outcome.peak_cpu_temp_c,
+                             "time_above_limit_s":
+                                 outcome.time_above_limit_s,
+                             "violation": outcome.violation}
+    reporter.result("hotspot", payload)
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _cmd_experiment(args: argparse.Namespace, reporter: Reporter) -> int:
     from .experiments import list_experiments, run_experiment
 
     if args.id is None:
-        for experiment_id, title in list_experiments():
-            print(f"{experiment_id:<7} {title}")
+        listing = list_experiments()
+        for experiment_id, title in listing:
+            reporter.info(f"{experiment_id:<7} {title}")
+        reporter.result("experiments", [
+            {"id": experiment_id, "title": title}
+            for experiment_id, title in listing])
         return 0
     outcome = run_experiment(args.id)
-    print(outcome.describe())
+    reporter.info(outcome.describe())
+    reporter.result("experiment", {"id": args.id,
+                                   "report": outcome.describe()})
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
+def _cmd_fleet(args: argparse.Namespace, reporter: Reporter) -> int:
     from .fleet import FleetMix
     from .workloads.synthetic import trace_by_name
 
     trace = trace_by_name(args.trace, n_servers=args.servers)
     mix = FleetMix()
     outcomes = mix.run(trace)
-    print(f"{'CPU model':<18} {'servers':>7} {'T_safe C':>9} "
-          f"{'gen W/CPU':>10} {'violations':>10}")
+    reporter.info(f"{'CPU model':<18} {'servers':>7} {'T_safe C':>9} "
+                  f"{'gen W/CPU':>10} {'violations':>10}")
     for outcome in outcomes:
-        print(f"{outcome.spec.name:<18} {outcome.n_servers:>7} "
-              f"{outcome.spec.safe_temp_c:>9.1f} "
-              f"{outcome.generation_w:>10.3f} "
-              f"{outcome.result.total_safety_violations:>10}")
+        reporter.info(f"{outcome.spec.name:<18} {outcome.n_servers:>7} "
+                      f"{outcome.spec.safe_temp_c:>9.1f} "
+                      f"{outcome.generation_w:>10.3f} "
+                      f"{outcome.result.total_safety_violations:>10}")
     summary = FleetMix.aggregate(outcomes)
-    print(f"fleet: {summary['fleet_generation_w']:.3f} W/CPU, "
-          f"PRE {summary['fleet_pre']:.1%}")
+    reporter.info(f"fleet: {summary['fleet_generation_w']:.3f} W/CPU, "
+                  f"PRE {summary['fleet_pre']:.1%}")
+    reporter.result("fleet", summary)
     return 0
 
 
-def _cmd_seasonal(args: argparse.Namespace) -> int:
+def _cmd_seasonal(args: argparse.Namespace, reporter: Reporter) -> int:
     from .core.seasonal import SeasonalStudy, annual_summary
     from .environment import CLIMATES
     from .workloads.synthetic import common_trace
@@ -455,26 +532,32 @@ def _cmd_seasonal(args: argparse.Namespace) -> int:
     study = SeasonalStudy(trace=trace,
                           wet_bulb=CLIMATES[args.climate])
     outcomes = study.run()
-    print(f"{'month':<6} {'cold C':>7} {'wet bulb C':>11} "
-          f"{'gen W/CPU':>10} {'PRE':>7}")
+    reporter.info(f"{'month':<6} {'cold C':>7} {'wet bulb C':>11} "
+                  f"{'gen W/CPU':>10} {'PRE':>7}")
     for outcome in outcomes:
-        print(f"{outcome.month:<6} {outcome.cold_source_c:>7.1f} "
-              f"{outcome.wet_bulb_c:>11.1f} "
-              f"{outcome.generation_w:>10.3f} "
-              f"{outcome.result.average_pre:>6.1%}")
+        reporter.info(f"{outcome.month:<6} {outcome.cold_source_c:>7.1f} "
+                      f"{outcome.wet_bulb_c:>11.1f} "
+                      f"{outcome.generation_w:>10.3f} "
+                      f"{outcome.result.average_pre:>6.1%}")
     summary = annual_summary(outcomes)
-    print(f"annual mean {summary['generation_mean_w']:.2f} W/CPU, "
-          f"swing {summary['seasonal_swing']:.0%} "
-          f"(best {summary['best_month']}, worst "
-          f"{summary['worst_month']})")
+    reporter.info(f"annual mean {summary['generation_mean_w']:.2f} W/CPU, "
+                  f"swing {summary['seasonal_swing']:.0%} "
+                  f"(best {summary['best_month']}, worst "
+                  f"{summary['worst_month']})")
+    reporter.result("seasonal", summary)
     return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
-    args = parser.parse_args(argv)
-    return args.handler(args)
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
+    args = parser.parse_args(raw_argv)
+    args.raw_argv = raw_argv
+    reporter = Reporter(quiet=args.quiet, json_mode=args.json)
+    code = args.handler(args, reporter)
+    reporter.flush()
+    return code
 
 
 if __name__ == "__main__":

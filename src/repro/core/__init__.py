@@ -11,7 +11,8 @@
   downstream user starts from.
 """
 
-from .config import SimulationConfig, teg_original, teg_loadbalance
+from .config import (SimulationConfig, teg_original,
+                     teg_loadbalance, teg_static)
 from .results import (
     ColumnarSteps,
     SafetyViolation,
@@ -42,6 +43,7 @@ __all__ = [
     "SimulationConfig",
     "teg_original",
     "teg_loadbalance",
+    "teg_static",
     "SimulationResult",
     "StepRecord",
     "ColumnarSteps",

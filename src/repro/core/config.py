@@ -190,3 +190,15 @@ def teg_loadbalance(**overrides) -> SimulationConfig:
     config = SimulationConfig(name="TEG_LoadBalance", scheduler="ideal",
                               policy="lookup")
     return replace(config, **overrides) if overrides else config
+
+
+def teg_static(**overrides) -> SimulationConfig:
+    """The no-adjustment baseline: fixed warm-water setting, no scheduling.
+
+    The harvest floor both paper schemes are measured against — useful
+    as the third column in scheme sweeps (``h2p batch --schemes static
+    original loadbalance``).
+    """
+    config = SimulationConfig(name="TEG_Static", scheduler="none",
+                              policy="static")
+    return replace(config, **overrides) if overrides else config

@@ -49,12 +49,14 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..cooling.loop import CirculationState
 from ..errors import ConfigurationError, JobExecutionError
 from ..faults import FaultSchedule
@@ -404,7 +406,9 @@ class _CachedVectorisedSimulator(DatacenterSimulator):
             return super().run()
         self._check_trace_width()
         self._violation_log = []
-        return run_whole_trace(self)
+        result = run_whole_trace(self)
+        self._record_telemetry(result)
+        return result
 
     def _run_step(self, step_index: int):
         if self._mode != "step":
@@ -490,6 +494,7 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
              cache: CoolingDecisionCache | None = None,
              cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
              faults: FaultSchedule | None = None,
+             telemetry: bool | None = None,
              ) -> SimulationResult:
     """Run one scheme over one trace through the engine's fast path.
 
@@ -501,16 +506,35 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
     ``vectorised=False``).  Attaching a ``faults`` schedule switches
     stepping to the simulator's fault-aware serial loop (decisions stay
     cached); without one the output is unchanged down to the bit.
+
+    ``telemetry`` (explicit, else ``REPRO_TELEMETRY``) records the run
+    into a *private* :class:`repro.obs.Telemetry` session and attaches
+    its frozen :class:`~repro.obs.TelemetrySnapshot` to
+    ``result.telemetry`` — worker processes pickle that snapshot back to
+    the batch layer.  Telemetry is purely observational: records are
+    bit-identical with it on or off.
     """
     started = time.perf_counter()
     if cache is None:
         cache = CoolingDecisionCache(resolution=cache_resolution)
-    simulator = _CachedVectorisedSimulator(
-        trace, config, cpu_model, teg_module, cache=cache,
-        vectorised=vectorised, mode=mode, faults=faults)
-    setup_done = time.perf_counter()
-    result = simulator.run()
-    finished = time.perf_counter()
+    local = obs.Telemetry() if obs.telemetry_enabled(telemetry) else None
+    context = obs.session(local) if local is not None else nullcontext()
+    hits_before, misses_before = cache.stats.hits, cache.stats.misses
+    with context:
+        with obs.span("engine.simulate"):
+            with obs.span("engine.setup"):
+                simulator = _CachedVectorisedSimulator(
+                    trace, config, cpu_model, teg_module, cache=cache,
+                    vectorised=vectorised, mode=mode, faults=faults)
+            setup_done = time.perf_counter()
+            result = simulator.run()
+            finished = time.perf_counter()
+        if local is not None:
+            # Deltas, not absolutes: the cache may be shared across
+            # calls, and batch aggregation must sum per-job work only.
+            obs.add("engine.cache.hits", cache.stats.hits - hits_before)
+            obs.add("engine.cache.misses",
+                    cache.stats.misses - misses_before)
     step_time = finished - setup_done
     result.metrics = EngineMetrics(
         setup_time_s=setup_done - started,
@@ -525,16 +549,25 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
         vectorised=simulator._vectorised,
         kernel=simulator.kernel_timings,
     )
+    if local is not None:
+        result.telemetry = local.snapshot()
     return result
 
 
 def _execute_job(job: SimulationJob, mode: str,
-                 cache_resolution: float) -> SimulationResult:
-    """Worker entry point (module-level so process pools can pickle it)."""
+                 cache_resolution: float,
+                 telemetry: bool = False) -> SimulationResult:
+    """Worker entry point (module-level so process pools can pickle it).
+
+    ``telemetry`` is resolved once by the batch layer and passed
+    explicitly so all executors behave identically regardless of how
+    environment variables propagate to workers.
+    """
     return simulate(job.trace, job.config, job.cpu_model, job.teg_module,
                     mode=mode,
                     cache_resolution=cache_resolution,
-                    faults=job.faults)
+                    faults=job.faults,
+                    telemetry=telemetry)
 
 
 # ----------------------------------------------------------------------
@@ -659,6 +692,9 @@ class _JobPayload:
     mode: str
     cache_resolution: float
     trace: WorkloadTrace | None = None
+    #: Resolved by the engine before dispatch so worker processes need
+    #: no environment propagation to agree on whether to record.
+    telemetry: bool = False
 
 
 def _execute_payload(payload: _JobPayload) -> SimulationResult:
@@ -670,7 +706,8 @@ def _execute_payload(payload: _JobPayload) -> SimulationResult:
     return simulate(trace, payload.config, payload.cpu_model,
                     payload.teg_module, mode=payload.mode,
                     cache_resolution=payload.cache_resolution,
-                    faults=payload.faults)
+                    faults=payload.faults,
+                    telemetry=payload.telemetry)
 
 
 # ----------------------------------------------------------------------
@@ -734,6 +771,12 @@ class BatchResult:
     results: list[SimulationResult]
     metrics: BatchMetrics
     failures: list[FailedJob] = field(default_factory=list)
+    #: The batch-level :class:`repro.obs.Telemetry` session (``None``
+    #: when telemetry was off): every worker snapshot merged, plus the
+    #: engine's own counters, spans and events.  The CLI renders run
+    #: artefacts (manifest, events, Prometheus snapshot) from it.
+    telemetry: "obs.Telemetry | None" = field(default=None, repr=False,
+                                              compare=False)
 
     @property
     def ok(self) -> bool:
@@ -909,6 +952,14 @@ class BatchSimulationEngine:
         ``REPRO_JOB_TIMEOUT`` (unset means no timeout).  Enforced on
         pooled executors only — the serial path cannot pre-empt a job
         (see ``docs/engine.md``).
+    telemetry:
+        Record every run into :mod:`repro.obs`; ``None`` defers to
+        ``REPRO_TELEMETRY`` (unset means off).  Each job records into a
+        private session whose snapshot rides back on its result; the
+        batch merges them all into ``BatchResult.telemetry`` alongside
+        engine-level counters (``engine.jobs.*``), the ``engine.batch``
+        span and batch/job lifecycle events.  See
+        ``docs/observability.md``.
 
     Lifetime
     --------
@@ -927,7 +978,8 @@ class BatchSimulationEngine:
                  prefer: str = "process",
                  max_retries: int = 0,
                  retry_backoff_s: float = 0.1,
-                 job_timeout_s: float | None = None) -> None:
+                 job_timeout_s: float | None = None,
+                 telemetry: bool | None = None) -> None:
         if prefer not in ("process", "thread", "serial"):
             raise ConfigurationError(
                 f"prefer must be 'process', 'thread' or 'serial', "
@@ -949,6 +1001,10 @@ class BatchSimulationEngine:
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self.job_timeout_s = job_timeout_s
+        # Resolved once up front (explicit > REPRO_TELEMETRY > off) so a
+        # malformed environment fails here, not inside a worker, and all
+        # executors agree on whether jobs record.
+        self.telemetry = obs.telemetry_enabled(telemetry)
         self._shared_traces = _SharedTraceRegistry()
         self._executor = None
         self._executor_kind: str | None = None
@@ -1020,6 +1076,22 @@ class BatchSimulationEngine:
         if self.retry_backoff_s > 0:
             time.sleep(self.retry_backoff_s * 2 ** (attempts - 1))
 
+    @staticmethod
+    def _emit_job_event(kind: str, state: _JobState,
+                        exc: BaseException | None = None) -> None:
+        """Record one job lifecycle event into the batch session.
+
+        Called on the coordinating thread only, where the batch-level
+        session (if any) is installed; a no-op with telemetry off.
+        """
+        data = {"scheme": state.job.config.name,
+                "trace": state.job.trace.name,
+                "attempt": state.attempts}
+        if exc is not None:
+            data["error_type"] = type(exc).__name__
+            data["error"] = str(exc)
+        obs.emit(kind, **data)
+
     def _payload(self, job: SimulationJob) -> _JobPayload:
         """Zero-copy payload: the job with its trace swapped for a ref.
 
@@ -1039,13 +1111,14 @@ class BatchSimulationEngine:
             mode=self.mode,
             cache_resolution=self.cache_resolution,
             trace=trace,
+            telemetry=self.telemetry,
         )
 
     def _submit(self, executor, kind: str, job: SimulationJob) -> Future:
         if kind == "process":
             return executor.submit(_execute_payload, self._payload(job))
         return executor.submit(_execute_job, job, self.mode,
-                               self.cache_resolution)
+                               self.cache_resolution, self.telemetry)
 
     @staticmethod
     def _kill_executor(executor, kind: str) -> None:
@@ -1085,14 +1158,17 @@ class BatchSimulationEngine:
                 state.attempts += 1
                 try:
                     result = _execute_job(job, self.mode,
-                                          self.cache_resolution)
+                                          self.cache_resolution,
+                                          self.telemetry)
                 except Exception as exc:
                     if state.attempts < self._budget:
                         stats["retries"] += 1
                         state.retries += 1
+                        self._emit_job_event("job.retry", state, exc)
                         self._backoff(state.attempts)
                         continue
                     failures[index] = state.failed(exc)
+                    self._emit_job_event("job.failed", state, exc)
                     break
                 if result.metrics is not None:
                     result.metrics.retries = state.retries
@@ -1186,6 +1262,7 @@ class BatchSimulationEngine:
                     if state.attempts < self._budget:
                         stats["retries"] += 1
                         state.retries += 1
+                        self._emit_job_event("job.retry", state, exc)
                         self._backoff(state.attempts)
                         try:
                             futures[self._submit(executor, kind,
@@ -1195,6 +1272,7 @@ class BatchSimulationEngine:
                                               for f in list(futures)]
                     else:
                         failures[index] = state.failed(exc)
+                        self._emit_job_event("job.failed", state, exc)
                 else:
                     if result.metrics is not None:
                         result.metrics.retries = state.retries
@@ -1214,6 +1292,7 @@ class BatchSimulationEngine:
                     state.attempts += 1
                     stats["timeouts"] += 1
                     failures[index] = state.timed_out(timeout_s)
+                    self._emit_job_event("job.timeout", state)
                     futures.pop(future)
                     return [futures.pop(f) for f in list(futures)]
         return []
@@ -1243,13 +1322,16 @@ class BatchSimulationEngine:
             if verdict == "timeout":
                 stats["timeouts"] += 1
                 failures[state.index] = state.timed_out(timeout_s)
+                self._emit_job_event("job.timeout", state)
                 return
             if state.attempts < self._budget:
                 stats["retries"] += 1
                 state.retries += 1
+                self._emit_job_event("job.retry", state, payload)
                 self._backoff(state.attempts)
                 continue
             failures[state.index] = state.failed(payload)
+            self._emit_job_event("job.failed", state, payload)
             return
 
     def _attempt_isolated(self, executor_cls, kind: str,
@@ -1290,6 +1372,11 @@ class BatchSimulationEngine:
         :class:`FailedJob` record on the returned :class:`BatchResult`
         — it never aborts the batch or takes other jobs' results with
         it.
+
+        With telemetry on, the whole batch runs under one
+        :mod:`repro.obs` session: per-job worker snapshots are merged
+        into it, engine-level counters and lifecycle events are added,
+        and the live session is attached as ``BatchResult.telemetry``.
         """
         jobs = list(jobs)
         if not jobs:
@@ -1299,8 +1386,23 @@ class BatchSimulationEngine:
                 raise ConfigurationError(
                     f"jobs must be SimulationJob instances, got "
                     f"{type(job).__name__}")
+        batch_telemetry = obs.Telemetry() if self.telemetry else None
+        context = (obs.session(batch_telemetry)
+                   if batch_telemetry is not None else nullcontext())
+        with context:
+            with obs.span("engine.batch"):
+                batch = self._run_validated(jobs, batch_telemetry)
+        batch.telemetry = batch_telemetry
+        return batch
+
+    def _run_validated(self, jobs: list[SimulationJob],
+                       batch_telemetry: "obs.Telemetry | None"
+                       ) -> BatchResult:
+        """Execute a validated job list (under the batch session)."""
         workers = resolve_workers(self.n_workers, len(jobs))
         timeout_s = resolve_job_timeout(self.job_timeout_s)
+        obs.emit("batch.start", n_jobs=len(jobs), mode=self.mode,
+                 workers=workers, prefer=self.prefer)
         started = time.perf_counter()
         executor = self.prefer
         outcome = None
@@ -1340,7 +1442,7 @@ class BatchSimulationEngine:
             total_steps += metrics.n_steps
             cache_hits += metrics.cache_hits
             cache_misses += metrics.cache_misses
-        return BatchResult(
+        batch = BatchResult(
             results=results,
             failures=failures,
             metrics=BatchMetrics(
@@ -1357,6 +1459,18 @@ class BatchSimulationEngine:
                 n_failed=len(failures),
             ),
         )
+        if batch_telemetry is not None:
+            for result in results:
+                if result.telemetry is not None:
+                    batch_telemetry.merge_snapshot(result.telemetry)
+            registry = batch_telemetry.registry
+            registry.counter("engine.jobs.submitted").inc(len(jobs))
+            registry.counter("engine.jobs.completed").inc(len(results))
+            registry.counter("engine.jobs.failed").inc(len(failures))
+            registry.counter("engine.jobs.retries").inc(stats["retries"])
+            registry.counter("engine.jobs.timeouts").inc(stats["timeouts"])
+            obs.emit("batch.end", **batch.metrics.summary())
+        return batch
 
 
 def run_batch(jobs: Iterable[SimulationJob],
@@ -1366,19 +1480,22 @@ def run_batch(jobs: Iterable[SimulationJob],
               prefer: str = "process",
               max_retries: int = 0,
               retry_backoff_s: float = 0.1,
-              job_timeout_s: float | None = None) -> BatchResult:
+              job_timeout_s: float | None = None,
+              telemetry: bool | None = None) -> BatchResult:
     """One-call convenience wrapper around :class:`BatchSimulationEngine`.
 
     The engine (and with it the persistent executor and any shared-memory
     trace segments) is torn down before returning; hold a
     :class:`BatchSimulationEngine` yourself to amortise pool start-up
-    across several batches.
+    across several batches.  With ``telemetry`` on, the merged session
+    survives on ``BatchResult.telemetry``.
     """
     engine = BatchSimulationEngine(n_workers, vectorised=vectorised,
                                    mode=mode,
                                    prefer=prefer, max_retries=max_retries,
                                    retry_backoff_s=retry_backoff_s,
-                                   job_timeout_s=job_timeout_s)
+                                   job_timeout_s=job_timeout_s,
+                                   telemetry=telemetry)
     try:
         return engine.run(jobs)
     finally:

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..control.scheduling import IdealBalancer, NoScheduler
 from ..errors import CoolingFailureError
 from ..thermal.hydraulics import loop_pump_power_w
@@ -247,137 +248,143 @@ def run_whole_trace(sim) -> SimulationResult:
 
     # Phase 1 — schedule + decide (cache-deduplicated).
     clock = time.perf_counter()
-    plane = _scheduled_plane(sim, raw)
-    setting_id, applied_settings = _decide_cells(sim, plane)
+    with obs.span("kernel.decide"):
+        plane = _scheduled_plane(sim, raw)
+        setting_id, applied_settings = _decide_cells(sim, plane)
     timings.decide_s = time.perf_counter() - clock
 
     # Phase 2 — evaluate the thermal/TEG models per unique setting.
     clock = time.perf_counter()
-    cpu_model = sim.cpu_model
-    teg_module = sim.teg_module
-    cold_source_c = sim.config.cold_source_temp_c
-    flat_utils = plane.reshape(-1)
-    cpu_temp = np.empty(flat_utils.size)
-    cpu_power = np.empty(flat_utils.size)
-    teg_power = np.empty(flat_utils.size)
-    for sid, applied in enumerate(applied_settings):
-        mask = setting_id == sid
-        chunks = []
-        for circ in range(n_circs):
-            steps_at = np.nonzero(mask[:, circ])[0]
-            if steps_at.size:
-                chunks.append((steps_at[:, None] * n_servers
-                               + groups[circ][None, :]).ravel())
-        if not chunks:
-            continue
-        gathered = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
-        batch = flat_utils[gathered]
-        outlets = cpu_model.outlet_temp_c(batch, applied)
-        cpu_temp[gathered] = cpu_model.cpu_temp_c(batch, applied)
-        cpu_power[gathered] = cpu_model.cpu_power_w(batch)
-        teg_power[gathered] = teg_module.generation_w(
-            outlets, cold_source_c, applied.flow_l_per_h)
-    cpu_temp_plane = cpu_temp.reshape(n_steps, n_servers)
-    cpu_power_plane = cpu_power.reshape(n_steps, n_servers)
-    teg_power_plane = teg_power.reshape(n_steps, n_servers)
+    with obs.span("kernel.evaluate"):
+        cpu_model = sim.cpu_model
+        teg_module = sim.teg_module
+        cold_source_c = sim.config.cold_source_temp_c
+        flat_utils = plane.reshape(-1)
+        cpu_temp = np.empty(flat_utils.size)
+        cpu_power = np.empty(flat_utils.size)
+        teg_power = np.empty(flat_utils.size)
+        for sid, applied in enumerate(applied_settings):
+            mask = setting_id == sid
+            chunks = []
+            for circ in range(n_circs):
+                steps_at = np.nonzero(mask[:, circ])[0]
+                if steps_at.size:
+                    chunks.append((steps_at[:, None] * n_servers
+                                   + groups[circ][None, :]).ravel())
+            if not chunks:
+                continue
+            gathered = (np.concatenate(chunks) if len(chunks) > 1
+                        else chunks[0])
+            batch = flat_utils[gathered]
+            outlets = cpu_model.outlet_temp_c(batch, applied)
+            cpu_temp[gathered] = cpu_model.cpu_temp_c(batch, applied)
+            cpu_power[gathered] = cpu_model.cpu_power_w(batch)
+            teg_power[gathered] = teg_module.generation_w(
+                outlets, cold_source_c, applied.flow_l_per_h)
+        cpu_temp_plane = cpu_temp.reshape(n_steps, n_servers)
+        cpu_power_plane = cpu_power.reshape(n_steps, n_servers)
+        teg_power_plane = teg_power.reshape(n_steps, n_servers)
     timings.evaluate_s = time.perf_counter() - clock
 
     # Phase 3 — per-circulation reductions and facility accounting.
     clock = time.perf_counter()
-    generation_c = np.empty((n_steps, n_circs))
-    heat_c = np.empty((n_steps, n_circs))
-    max_temp_c = np.empty((n_steps, n_circs))
-    for index, group in enumerate(groups):
-        start, stop = int(group[0]), int(group[0]) + group.size
-        generation_c[:, index] = teg_power_plane[:, start:stop].sum(axis=1)
-        heat_c[:, index] = cpu_power_plane[:, start:stop].sum(axis=1)
-        max_temp_c[:, index] = cpu_temp_plane[:, start:stop].max(axis=1)
+    with obs.span("kernel.reduce"):
+        generation_c = np.empty((n_steps, n_circs))
+        heat_c = np.empty((n_steps, n_circs))
+        max_temp_c = np.empty((n_steps, n_circs))
+        for index, group in enumerate(groups):
+            start, stop = int(group[0]), int(group[0]) + group.size
+            generation_c[:, index] = teg_power_plane[:, start:stop].sum(
+                axis=1)
+            heat_c[:, index] = cpu_power_plane[:, start:stop].sum(axis=1)
+            max_temp_c[:, index] = cpu_temp_plane[:, start:stop].max(axis=1)
 
-    tower = circulations[0].tower
-    wet_bulb_c = circulations[0].wet_bulb_c
-    coldest_c = tower.coldest_supply_c(wet_bulb_c)
-    fraction_by_sid = np.array([
-        0.0 if applied.inlet_temp_c >= coldest_c
-        else min(1.0, (coldest_c - applied.inlet_temp_c) / 10.0)
-        for applied in applied_settings])
-    inlet_by_sid = np.array([applied.inlet_temp_c
-                             for applied in applied_settings])
-    flow_by_sid = np.array([applied.flow_l_per_h
-                            for applied in applied_settings])
-    pump_by_sid = np.array([
-        loop_pump_power_w(circulations[0].pipe_segments,
-                          applied.flow_l_per_h, applied.inlet_temp_c)
-        for applied in applied_settings])
+        tower = circulations[0].tower
+        wet_bulb_c = circulations[0].wet_bulb_c
+        coldest_c = tower.coldest_supply_c(wet_bulb_c)
+        fraction_by_sid = np.array([
+            0.0 if applied.inlet_temp_c >= coldest_c
+            else min(1.0, (coldest_c - applied.inlet_temp_c) / 10.0)
+            for applied in applied_settings])
+        inlet_by_sid = np.array([applied.inlet_temp_c
+                                 for applied in applied_settings])
+        flow_by_sid = np.array([applied.flow_l_per_h
+                                for applied in applied_settings])
+        pump_by_sid = np.array([
+            loop_pump_power_w(circulations[0].pipe_segments,
+                              applied.flow_l_per_h, applied.inlet_temp_c)
+            for applied in applied_settings])
 
-    chiller_heat = heat_c * fraction_by_sid[setting_id]
-    tower_heat = heat_c - chiller_heat
-    _raise_earliest_error(sim, chiller_heat, tower_heat,
-                          cpu_temp_plane, interval_s)
-    chiller_power_c = chiller_heat / circulations[0].chiller.cop
-    tower_power_c = tower_heat / 1000.0 * tower.fan_power_w_per_kw
-    sizes = np.array([group.size for group in groups])
-    pump_power_c = sizes[None, :] * pump_by_sid[setting_id]
-    inlet_cell = inlet_by_sid[setting_id]
-    flow_cell = flow_by_sid[setting_id]
+        chiller_heat = heat_c * fraction_by_sid[setting_id]
+        tower_heat = heat_c - chiller_heat
+        _raise_earliest_error(sim, chiller_heat, tower_heat,
+                              cpu_temp_plane, interval_s)
+        chiller_power_c = chiller_heat / circulations[0].chiller.cop
+        tower_power_c = tower_heat / 1000.0 * tower.fan_power_w_per_kw
+        sizes = np.array([group.size for group in groups])
+        pump_power_c = sizes[None, :] * pump_by_sid[setting_id]
+        inlet_cell = inlet_by_sid[setting_id]
+        flow_cell = flow_by_sid[setting_id]
     timings.reduce_s = time.perf_counter() - clock
 
     # Phase 4 — fold circulations into per-step cluster aggregates, in
     # circulation order with sequential adds (the serial accumulation).
     clock = time.perf_counter()
-    total_generation = np.zeros(n_steps)
-    total_cpu_power = np.zeros(n_steps)
-    total_chiller = np.zeros(n_steps)
-    total_tower = np.zeros(n_steps)
-    total_pump = np.zeros(n_steps)
-    inlet_sum = np.zeros(n_steps)
-    flow_sum = np.zeros(n_steps)
-    max_cpu_temp = np.full(n_steps, -np.inf)
-    for index, group in enumerate(groups):
-        total_generation += generation_c[:, index]
-        total_cpu_power += heat_c[:, index]
-        total_chiller += chiller_power_c[:, index]
-        total_tower += tower_power_c[:, index]
-        total_pump += pump_power_c[:, index]
-        np.maximum(max_cpu_temp, max_temp_c[:, index], out=max_cpu_temp)
-        inlet_sum += inlet_cell[:, index] * group.size
-        flow_sum += flow_cell[:, index] * group.size
+    with obs.span("kernel.fold"):
+        total_generation = np.zeros(n_steps)
+        total_cpu_power = np.zeros(n_steps)
+        total_chiller = np.zeros(n_steps)
+        total_tower = np.zeros(n_steps)
+        total_pump = np.zeros(n_steps)
+        inlet_sum = np.zeros(n_steps)
+        flow_sum = np.zeros(n_steps)
+        max_cpu_temp = np.full(n_steps, -np.inf)
+        for index, group in enumerate(groups):
+            total_generation += generation_c[:, index]
+            total_cpu_power += heat_c[:, index]
+            total_chiller += chiller_power_c[:, index]
+            total_tower += tower_power_c[:, index]
+            total_pump += pump_power_c[:, index]
+            np.maximum(max_cpu_temp, max_temp_c[:, index], out=max_cpu_temp)
+            inlet_sum += inlet_cell[:, index] * group.size
+            flow_sum += flow_cell[:, index] * group.size
 
-    limit = cpu_model.max_operating_temp_c
-    violation_plane = cpu_temp_plane > limit
-    violation_steps, violation_servers = np.nonzero(violation_plane)
-    sim._violation_log = [
-        SafetyViolation(
-            server_id=int(server),
-            step_index=int(step),
-            time_s=float(step * interval_s),
-            temperature_c=float(cpu_temp_plane[step, server]),
+        limit = cpu_model.max_operating_temp_c
+        violation_plane = cpu_temp_plane > limit
+        violation_steps, violation_servers = np.nonzero(violation_plane)
+        sim._violation_log = [
+            SafetyViolation(
+                server_id=int(server),
+                step_index=int(step),
+                time_s=float(step * interval_s),
+                temperature_c=float(cpu_temp_plane[step, server]),
+            )
+            for step, server in zip(violation_steps, violation_servers)]
+
+        records = ColumnarSteps({
+            "time_s": np.arange(n_steps) * interval_s,
+            "mean_utilisation": raw.mean(axis=1),
+            "max_utilisation": raw.max(axis=1),
+            "generation_per_cpu_w": total_generation / n_servers,
+            "cpu_power_per_cpu_w": total_cpu_power / n_servers,
+            "mean_inlet_temp_c": inlet_sum / n_servers,
+            "mean_flow_l_per_h": flow_sum / n_servers,
+            "max_cpu_temp_c": max_cpu_temp,
+            "chiller_power_w": total_chiller,
+            "tower_power_w": total_tower,
+            "pump_power_w": total_pump,
+            "safety_violations": violation_plane.sum(axis=1),
+            "degraded_circulations": np.zeros(n_steps, dtype=np.int64),
+            "lost_harvest_w": np.zeros(n_steps),
+            "active_faults": np.zeros(n_steps, dtype=np.int64),
+        })
+        result = SimulationResult(
+            scheme=sim.config.name,
+            trace_name=trace.name,
+            n_servers=n_servers,
+            interval_s=interval_s,
+            records=records,
         )
-        for step, server in zip(violation_steps, violation_servers)]
-
-    records = ColumnarSteps({
-        "time_s": np.arange(n_steps) * interval_s,
-        "mean_utilisation": raw.mean(axis=1),
-        "max_utilisation": raw.max(axis=1),
-        "generation_per_cpu_w": total_generation / n_servers,
-        "cpu_power_per_cpu_w": total_cpu_power / n_servers,
-        "mean_inlet_temp_c": inlet_sum / n_servers,
-        "mean_flow_l_per_h": flow_sum / n_servers,
-        "max_cpu_temp_c": max_cpu_temp,
-        "chiller_power_w": total_chiller,
-        "tower_power_w": total_tower,
-        "pump_power_w": total_pump,
-        "safety_violations": violation_plane.sum(axis=1),
-        "degraded_circulations": np.zeros(n_steps, dtype=np.int64),
-        "lost_harvest_w": np.zeros(n_steps),
-        "active_faults": np.zeros(n_steps, dtype=np.int64),
-    })
-    result = SimulationResult(
-        scheme=sim.config.name,
-        trace_name=trace.name,
-        n_servers=n_servers,
-        interval_s=interval_s,
-        records=records,
-    )
-    result.violations = sim._violation_log
+        result.violations = sim._violation_log
     timings.fold_s = time.perf_counter() - clock
     return result

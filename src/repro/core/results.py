@@ -29,6 +29,7 @@ import numpy as np
 from ..errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import TelemetrySnapshot
     from .engine import EngineMetrics
 
 
@@ -207,6 +208,12 @@ class SimulationResult:
     #: ``metrics``: excluded from equality.
     violations: list[SafetyViolation] = field(default_factory=list,
                                               repr=False, compare=False)
+    #: Per-job telemetry delta (:mod:`repro.obs`): attached by
+    #: :func:`repro.core.engine.simulate` when telemetry is enabled so
+    #: worker-process sessions ride back to the batch layer through the
+    #: existing pickle path.  Observational: excluded from equality.
+    telemetry: "TelemetrySnapshot | None" = field(default=None, repr=False,
+                                                 compare=False)
 
     def append(self, record: StepRecord) -> None:
         """Add one control interval's aggregates.

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..control.cooling_policy import conservative_setting
 from ..cooling.loop import CirculationState, WaterCirculation
 from ..errors import ConfigurationError, CoolingFailureError
@@ -130,10 +131,32 @@ class DatacenterSimulator:
             n_servers=self.trace.n_servers,
             interval_s=self.trace.interval_s,
         )
-        for step_index in range(self.trace.n_steps):
-            result.append(self._run_step(step_index))
+        with obs.span("sim.run"):
+            for step_index in range(self.trace.n_steps):
+                result.append(self._run_step(step_index))
         result.violations = self._violation_log
+        self._record_telemetry(result)
         return result
+
+    def _record_telemetry(self, result: SimulationResult) -> None:
+        """Fold the finished run into the current telemetry session.
+
+        A no-op when no :mod:`repro.obs` session is installed (one
+        context-variable read), so the nominal path costs nothing with
+        telemetry off.  Purely observational — never touches ``result``
+        records, so bit-identity across execution paths is preserved.
+        """
+        if obs.current() is None:
+            return
+        obs.record_result(result)
+        if self._fault_runtime is None:
+            return
+        duration_s = self.trace.n_steps * self.trace.interval_s
+        activations = self._fault_runtime.activation_events(duration_s)
+        obs.add("faults.activations", len(activations))
+        for payload in activations:
+            obs.emit("fault.activation", scheme=self.config.name,
+                     trace=self.trace.name, **payload)
 
     def _decide(self, scheduled: np.ndarray):
         """Pick the cooling setting for one circulation's scheduled load.

@@ -176,6 +176,29 @@ class FaultRuntime:
                 factor = factor * self.degradation.output_factor(aged_years)
         return factor
 
+    def activation_events(self, duration_s: float) -> list[dict]:
+        """One JSON-ready payload per spec that activates within a run.
+
+        Used by the telemetry layer (:mod:`repro.obs`) to emit
+        ``fault.activation`` events: every spec whose window intersects
+        ``[0, duration_s)`` yields its schedule position, kind, window
+        and magnitude.  ``end_s`` is ``None`` for permanent faults.
+        """
+        events: list[dict] = []
+        for index, spec in enumerate(self.schedule):
+            if spec.start_s >= duration_s:
+                continue
+            end_s = spec.start_s + spec.duration_s
+            events.append({
+                "spec_index": index,
+                "fault": spec.kind,
+                "start_s": spec.start_s,
+                "end_s": None if not np.isfinite(end_s) else end_s,
+                "magnitude": spec.magnitude,
+                "circulation": spec.circulation,
+            })
+        return events
+
     def cold_source_temp_c(self, nominal_c: float, time_s: float,
                            circ_index: int) -> float:
         """TEG cold-side temperature after chiller-loop excursions."""

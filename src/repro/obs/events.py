@@ -1,0 +1,96 @@
+"""Structured run events and their JSONL log.
+
+An :class:`Event` is one timestamped, machine-readable fact about a run:
+the batch started, a job was retried, a fault activated, a CPU crossed
+its safety limit.  An :class:`EventLog` accumulates events in memory
+(appending is a hot-path no-op when telemetry is off — the session layer
+never calls it) and serialises to JSON Lines, one event per line, so
+logs stream, concatenate and grep cleanly.
+
+Worker-side events ride back to the batch layer inside the telemetry
+snapshot (events are plain data) and are re-emitted into the batch
+log, tagged with the job that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence: a kind, a wall-clock stamp, a payload."""
+
+    kind: str
+    ts: float
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (kind and ts first, then payload)."""
+        out = {"kind": self.kind, "ts": round(self.ts, 6)}
+        out.update(self.data)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Event":
+        payload = {key: value for key, value in data.items()
+                   if key not in ("kind", "ts")}
+        return cls(kind=data["kind"], ts=float(data.get("ts", 0.0)),
+                   data=payload)
+
+
+class EventLog:
+    """Append-only in-memory event list with JSONL serialisation."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def emit(self, kind: str, **data) -> Event:
+        """Record one event now and return it."""
+        event = Event(kind=kind, ts=time.time(), data=data)
+        self._events.append(event)
+        return event
+
+    def extend(self, events: Sequence[Event]) -> None:
+        """Append already-built events (merging worker logs)."""
+        self._events.extend(events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """Every event whose kind matches exactly."""
+        return [event for event in self._events if event.kind == kind]
+
+    def snapshot(self) -> list[Event]:
+        """A shallow copy of the event list (events are immutable)."""
+        return list(self._events)
+
+    def to_jsonl(self) -> str:
+        """The log as JSON Lines (one compact object per event)."""
+        return "".join(json.dumps(event.to_dict(), sort_keys=True) + "\n"
+                       for event in self._events)
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write the log to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "EventLog":
+        """Parse a JSONL document back into a log."""
+        log = cls()
+        for line in text.splitlines():
+            if line.strip():
+                log._events.append(Event.from_dict(json.loads(line)))
+        return log

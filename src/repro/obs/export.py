@@ -1,0 +1,110 @@
+"""Exporters: Prometheus text format and the console span-tree renderer.
+
+Everything here consumes *snapshots* (plain data), never live sessions,
+so exporters work identically on a local run and on merged worker
+telemetry.  JSONL export lives on :class:`repro.obs.events.EventLog`
+itself; the run manifest is assembled in :mod:`repro.obs.manifest`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .metrics import MetricsSnapshot
+
+__all__ = [
+    "prometheus_name",
+    "prometheus_text",
+    "write_prometheus",
+    "render_span_tree",
+]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, suffix: str = "") -> str:
+    """Map a dotted metric name onto the Prometheus grammar.
+
+    ``engine.cache.hits`` -> ``repro_engine_cache_hits``; any character
+    outside ``[a-zA-Z0-9_:]`` becomes ``_``.
+    """
+    return "repro_" + _NAME_OK.sub("_", name) + suffix
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(snapshot: MetricsSnapshot) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition format.
+
+    Counters gain the conventional ``_total`` suffix; histograms emit
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    The output is deterministic (sorted by metric name).
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.counters):
+        metric = prometheus_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(snapshot.counters[name])}")
+    for name in sorted(snapshot.gauges):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snapshot.gauges[name])}")
+    for name in sorted(snapshot.histograms):
+        hist = snapshot.histograms[name]
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} '
+                f"{cumulative}")
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.total}')
+        lines.append(f"{metric}_sum {_format_value(hist.sum)}")
+        lines.append(f"{metric}_count {hist.total}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(snapshot: MetricsSnapshot, path: str | Path) -> Path:
+    """Write the Prometheus rendering of ``snapshot`` to ``path``."""
+    path = Path(path)
+    path.write_text(prometheus_text(snapshot), encoding="utf-8")
+    return path
+
+
+def render_span_tree(tree: dict, indent: str = "  ") -> str:
+    """Render a serialised span tree as an aligned console listing.
+
+    ``tree`` is the ``Tracer.snapshot()`` shape: top-level span names
+    mapping to ``{count, wall_s, cpu_s, children}`` dicts.  Children are
+    shown in recorded order, indented under their parent, with each
+    node's share of its parent's wall time.
+    """
+    rows: list[tuple[str, int, float, float, str]] = []
+
+    def walk(name: str, node: dict, depth: int, parent_wall: float) -> None:
+        wall = float(node.get("wall_s", 0.0))
+        share = ""
+        if parent_wall > 0:
+            share = f"{wall / parent_wall:6.1%}"
+        rows.append((indent * depth + name, int(node.get("count", 0)),
+                     wall, float(node.get("cpu_s", 0.0)), share))
+        for child_name, child in node.get("children", {}).items():
+            walk(child_name, child, depth + 1, wall)
+
+    for name, node in tree.items():
+        walk(name, node, 0, 0.0)
+    if not rows:
+        return "(no spans recorded)"
+    name_width = max(len(row[0]) for row in rows + [("span", 0, 0, 0, "")])
+    lines = [f"{'span':<{name_width}}  {'calls':>7} {'wall s':>10} "
+             f"{'cpu s':>10} {'parent%':>7}"]
+    for name, count, wall, cpu, share in rows:
+        lines.append(f"{name:<{name_width}}  {count:>7} {wall:>10.4f} "
+                     f"{cpu:>10.4f} {share:>7}")
+    return "\n".join(lines)

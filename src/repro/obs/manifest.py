@@ -1,0 +1,137 @@
+"""Structured run manifests for reproducibility audits.
+
+A manifest is one ``manifest.json`` capturing everything needed to
+explain (and re-run) a batch: the exact invocation, the environment
+(git SHA, Python/NumPy versions, platform), the jobs that ran, batch
+metrics, the merged metric snapshot and the span tree.  Alongside it the
+run directory gets ``events.jsonl`` (the structured event log) and
+``metrics.prom`` (a Prometheus text-format snapshot) so a perf
+regression can be diagnosed from the artefacts alone — no re-run
+needed.  The CLI writes one per ``h2p batch --telemetry DIR`` run; the
+CI slow job uploads its golden-run manifest as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from .export import write_prometheus
+from .session import Telemetry
+
+__all__ = ["MANIFEST_SCHEMA", "git_revision", "build_manifest",
+           "write_run_artifacts"]
+
+#: Schema identifier stamped into every manifest (bump on breaking
+#: layout changes so auditing tools can dispatch).
+MANIFEST_SCHEMA = "repro.obs/manifest/v1"
+
+
+def git_revision(cwd: str | Path | None = None) -> dict | None:
+    """The repository revision the run executed from, or ``None``.
+
+    Best-effort: installs outside a git checkout (wheels, tarballs)
+    simply record ``None`` rather than failing the run.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=5.0, check=True).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd, capture_output=True,
+            text=True, timeout=5.0, check=True).stdout
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if not sha:
+        return None
+    return {"sha": sha, "dirty": bool(status.strip())}
+
+
+def build_manifest(telemetry: Telemetry, *,
+                   command: list[str] | None = None,
+                   batch=None,
+                   extra: dict | None = None) -> dict:
+    """Assemble the manifest dictionary for one run.
+
+    Parameters
+    ----------
+    telemetry:
+        The (already merged) batch-level session.
+    command:
+        The invocation argv, recorded verbatim.
+    batch:
+        An optional :class:`~repro.core.engine.BatchResult`; its
+        aggregate metrics, per-job summaries and failure records are
+        embedded so manifest totals can be audited against the result
+        object.
+    extra:
+        Caller-specific entries merged into the top level (seeds,
+        experiment ids, ...).
+    """
+    import numpy
+
+    from .. import __version__
+
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "created_unix": round(time.time(), 3),
+        "command": list(command) if command is not None else None,
+        "environment": {
+            "repro_version": __version__,
+            "python": sys.version.split()[0],
+            "numpy": numpy.__version__,
+            "platform": platform.platform(),
+            "git": git_revision(),
+        },
+        "metrics": telemetry.registry.snapshot().to_dict(),
+        "spans": telemetry.tracer.snapshot(),
+        "n_events": len(telemetry.events),
+    }
+    if batch is not None:
+        manifest["batch"] = batch.metrics.summary()
+        manifest["jobs"] = batch.summaries()
+        manifest["failures"] = [
+            {
+                "scheme": failed.scheme,
+                "trace": failed.trace_name,
+                "error_type": failed.error_type,
+                "message": failed.message,
+                "attempts": failed.attempts,
+                "elapsed_s": round(failed.elapsed_s, 4),
+                "timed_out": failed.timed_out,
+            }
+            for failed in batch.failures
+        ]
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_run_artifacts(directory: str | Path, telemetry: Telemetry, *,
+                        command: list[str] | None = None,
+                        batch=None,
+                        extra: dict | None = None) -> dict[str, Path]:
+    """Write ``manifest.json``, ``events.jsonl`` and ``metrics.prom``.
+
+    Creates ``directory`` (and parents) if needed; returns the path of
+    every artefact written, keyed by artefact name.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = build_manifest(telemetry, command=command, batch=batch,
+                              extra=extra)
+    manifest["artifacts"] = {"events": "events.jsonl",
+                             "prometheus": "metrics.prom"}
+    manifest_path = directory / "manifest.json"
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    events_path = telemetry.events.write_jsonl(directory / "events.jsonl")
+    prom_path = write_prometheus(telemetry.registry.snapshot(),
+                                 directory / "metrics.prom")
+    return {"manifest": manifest_path, "events": events_path,
+            "prometheus": prom_path}

@@ -1,0 +1,276 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.
+Worker processes record into their own registry, snapshot it into a
+plain-data :class:`MetricsSnapshot`, and ship the snapshot back with the
+job result; the batch layer merges snapshots into its own registry with
+:meth:`MetricsRegistry.merge`.  Merge semantics are order-free so the
+aggregate is identical whichever executor (serial, thread, process) ran
+the jobs:
+
+* counters add;
+* gauges combine with ``max`` (the only order-free combiner that is
+  useful for the quantities we track — peak temperatures, high-water
+  marks);
+* histograms add per-bucket counts (buckets must match).
+
+Nothing here imports beyond NumPy and the package's error types, and no
+instrument ever raises on the hot path once created.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_TEG_POWER_BUCKETS_W",
+]
+
+#: Default bucket upper bounds for the per-CPU TEG power histogram
+#: (``teg.power_w``).  The paper's headline band is 3.7-4.2 W/CPU;
+#: the buckets bracket it with room for degraded and ZT-optimistic runs.
+DEFAULT_TEG_POWER_BUCKETS_W = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0)
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0: counters never go down)."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; cross-process merge keeps the maximum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the latest observation."""
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Keep the larger of the current and the new value."""
+        value = float(value)
+        if self.value is None or value > self.value:
+            self.value = value
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Plain-data view of one histogram (picklable, mergeable)."""
+
+    buckets: tuple[float, ...]
+    counts: tuple[int, ...]  # len(buckets) + 1: last bucket is +inf
+    total: int
+    sum: float
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        if self.buckets != other.buckets:
+            raise ConfigurationError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}")
+        return HistogramSnapshot(
+            buckets=self.buckets,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            total=self.total + other.total,
+            sum=self.sum + other.sum,
+        )
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts exported Prometheus-style).
+
+    ``buckets`` are upper bounds, strictly increasing; an implicit
+    ``+inf`` bucket catches overflow.  :meth:`observe_many` is the fast
+    path: one ``np.histogram`` call per array, so whole time series can
+    be folded in without a per-step Python loop.
+    """
+
+    __slots__ = ("name", "buckets", "_edges", "_counts", "_sum", "_total")
+
+    def __init__(self, name: str,
+                 buckets: tuple[float, ...] = DEFAULT_TEG_POWER_BUCKETS_W
+                 ) -> None:
+        buckets = tuple(float(b) for b in buckets)
+        if not buckets:
+            raise ConfigurationError(
+                f"histogram {name!r} needs at least one bucket bound")
+        if any(b >= c for b, c in zip(buckets, buckets[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be strictly increasing, "
+                f"got {buckets}")
+        self.name = name
+        self.buckets = buckets
+        self._edges = np.concatenate(
+            ([-np.inf], np.asarray(buckets), [np.inf]))
+        self._counts = np.zeros(len(buckets) + 1, dtype=np.int64)
+        self._sum = 0.0
+        self._total = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.observe_many(np.asarray([value], dtype=float))
+
+    def observe_many(self, values: np.ndarray) -> None:
+        """Record a whole array of observations in one histogram pass."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        counts, _ = np.histogram(values, bins=self._edges)
+        self._counts += counts
+        self._sum += float(values.sum())
+        self._total += values.size
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Freeze the current state into plain data."""
+        return HistogramSnapshot(
+            buckets=self.buckets,
+            counts=tuple(int(c) for c in self._counts),
+            total=self._total,
+            sum=self._sum,
+        )
+
+    def restore(self, snap: HistogramSnapshot) -> None:
+        """Merge a snapshot's counts into this histogram."""
+        if snap.buckets != self.buckets:
+            raise ConfigurationError(
+                f"cannot merge histogram {self.name!r}: bucket bounds "
+                f"differ ({snap.buckets} vs {self.buckets})")
+        self._counts += np.asarray(snap.counts, dtype=np.int64)
+        self._sum += snap.sum
+        self._total += snap.total
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Every instrument of one registry, frozen to plain data.
+
+    The shape process-pool workers pickle back to the batch layer;
+    ``merge`` implements the same order-free semantics as
+    :meth:`MetricsRegistry.merge` so snapshots can be pre-combined.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0.0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            gauges[name] = max(gauges[name], value) \
+                if name in gauges else value
+        histograms = dict(self.histograms)
+        for name, snap in other.histograms.items():
+            histograms[name] = histograms[name].merge(snap) \
+                if name in histograms else snap
+        return MetricsSnapshot(counters=counters, gauges=gauges,
+                               histograms=histograms)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (manifest / exporters)."""
+        return {
+            "counters": {name: value for name, value
+                         in sorted(self.counters.items())},
+            "gauges": {name: value for name, value
+                       in sorted(self.gauges.items())},
+            "histograms": {
+                name: {
+                    "buckets": list(snap.buckets),
+                    "counts": list(snap.counts),
+                    "total": snap.total,
+                    "sum": snap.sum,
+                }
+                for name, snap in sorted(self.histograms.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """A flat, process-local namespace of named instruments.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create; asking for an
+    existing name with a different instrument kind raises — a registry
+    never silently aliases two meanings onto one series.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def _get(self, name: str, kind: type, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory()
+        elif not isinstance(instrument, kind):
+            raise ConfigurationError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = DEFAULT_TEG_POWER_BUCKETS_W
+                  ) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze every instrument into a picklable snapshot."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, HistogramSnapshot] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                if instrument.value is not None:
+                    gauges[name] = instrument.value
+            else:
+                histograms[name] = instrument.snapshot()
+        return MetricsSnapshot(counters=counters, gauges=gauges,
+                               histograms=histograms)
+
+    def merge(self, snap: MetricsSnapshot) -> None:
+        """Fold a snapshot in: counters add, gauges max, histograms add."""
+        for name, value in snap.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snap.gauges.items():
+            self.gauge(name).set_max(value)
+        for name, hist_snap in snap.histograms.items():
+            self.histogram(name, hist_snap.buckets).restore(hist_snap)

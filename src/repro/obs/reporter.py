@@ -1,0 +1,80 @@
+"""CLI output routing backed by :mod:`repro.obs` events.
+
+Every subcommand of the ``h2p`` CLI talks to the terminal through one
+:class:`Reporter` instead of bare ``print`` calls, which gives all
+commands the same three output contracts:
+
+* default — human-readable lines on stdout, byte-identical to the
+  pre-Reporter CLI;
+* ``--quiet`` — informational lines suppressed, failure lines kept;
+* ``--json`` — nothing printed until the end, then one JSON document
+  built from the handler's :meth:`Reporter.result` payloads.
+
+Everything the reporter says is also recorded as structured
+``cli.info`` / ``cli.error`` / ``cli.result`` events in an
+:class:`~repro.obs.events.EventLog`, so a ``--telemetry`` run can fold
+the console transcript into its ``events.jsonl`` artefact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, TextIO
+
+from .events import EventLog
+
+__all__ = ["Reporter"]
+
+
+class Reporter:
+    """Routes CLI output: text lines, JSON payloads, structured events.
+
+    Parameters
+    ----------
+    quiet:
+        Suppress :meth:`info` lines (``error`` lines still print).
+    json_mode:
+        Print nothing until :meth:`flush`, which emits one JSON document
+        of every :meth:`result` payload.
+    stream:
+        Output stream (default: ``sys.stdout``, resolved per call so
+        pytest's ``capsys`` and friends see the output).
+    """
+
+    def __init__(self, *, quiet: bool = False, json_mode: bool = False,
+                 stream: TextIO | None = None) -> None:
+        self.quiet = quiet
+        self.json_mode = json_mode
+        self._stream = stream
+        #: Structured transcript of everything reported.
+        self.events = EventLog()
+        #: Accumulated machine-readable payloads (the ``--json`` body).
+        self.payload: dict[str, Any] = {}
+
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stdout
+
+    def info(self, text: str = "") -> None:
+        """One informational line (hidden by ``--quiet`` / ``--json``)."""
+        self.events.emit("cli.info", text=text)
+        if not self.quiet and not self.json_mode:
+            print(text, file=self.stream)
+
+    def error(self, text: str) -> None:
+        """One failure line — printed even under ``--quiet``."""
+        self.events.emit("cli.error", text=text)
+        if not self.json_mode:
+            print(text, file=self.stream)
+
+    def result(self, key: str, value: Any) -> None:
+        """Attach one machine-readable payload under ``key``."""
+        self.events.emit("cli.result", key=key)
+        self.payload[key] = value
+
+    def flush(self) -> None:
+        """Emit the JSON document (no-op outside ``--json`` mode)."""
+        if self.json_mode:
+            print(json.dumps(self.payload, indent=2, sort_keys=True,
+                             default=str), file=self.stream)

@@ -1,0 +1,139 @@
+"""Nestable tracing spans producing a hierarchical timing tree.
+
+A :class:`Tracer` keeps a stack of :class:`SpanNode`\\ s; entering
+``tracer.span("kernel.decide")`` pushes a child of the current node and
+accumulates wall and CPU time (plus a call count) on exit.  Re-entering
+the same name under the same parent accumulates into one node, so hot
+paths produce a compact tree however many times they run.
+
+Span trees serialise to nested plain dicts (``Tracer.snapshot``), merge
+additively (``Tracer.merge``) so worker trees fold into the batch
+layer's tree, and render as a console tree
+(:func:`repro.obs.export.render_span_tree`).
+
+When telemetry is disabled there is no tracer at all — the module-level
+``span()`` helper in :mod:`repro.obs` returns a shared no-op context
+manager, keeping the disabled path at one context-variable read.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["SpanNode", "Tracer", "NULL_SPAN"]
+
+
+class SpanNode:
+    """One name in the timing tree: call count, wall/CPU time, children."""
+
+    __slots__ = ("name", "count", "wall_s", "cpu_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.children: dict[str, SpanNode] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested representation."""
+        out = {
+            "count": self.count,
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+        }
+        if self.children:
+            out["children"] = {name: node.to_dict()
+                               for name, node in self.children.items()}
+        return out
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold a serialised subtree (``to_dict`` shape) into this node."""
+        self.count += int(data.get("count", 0))
+        self.wall_s += float(data.get("wall_s", 0.0))
+        self.cpu_s += float(data.get("cpu_s", 0.0))
+        for name, child in data.get("children", {}).items():
+            self.child(name).merge_dict(child)
+
+
+class _Span:
+    """Context manager for one active span (entered once, not reentrant)."""
+
+    __slots__ = ("_tracer", "_name", "_wall0", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self._name)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        self._tracer._pop(wall, cpu)
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Stack-based builder of one span tree.
+
+    Not thread-safe by design: every telemetry session (and therefore
+    every tracer) is local to one job or to the batch layer's main
+    thread — see :mod:`repro.obs`.
+    """
+
+    def __init__(self) -> None:
+        self.root = SpanNode("")
+        self._stack: list[SpanNode] = [self.root]
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing one entry of ``name``."""
+        return _Span(self, name)
+
+    def _push(self, name: str) -> None:
+        self._stack.append(self._stack[-1].child(name))
+
+    def _pop(self, wall_s: float, cpu_s: float) -> None:
+        node = self._stack.pop()
+        node.count += 1
+        node.wall_s += wall_s
+        node.cpu_s += cpu_s
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return len(self._stack) - 1
+
+    def snapshot(self) -> dict:
+        """The tree as nested plain dicts (top-level spans keyed by name)."""
+        return {name: node.to_dict()
+                for name, node in self.root.children.items()}
+
+    def merge(self, tree: dict) -> None:
+        """Fold a serialised tree (``snapshot`` shape) into the root."""
+        for name, data in tree.items():
+            self.root.child(name).merge_dict(data)

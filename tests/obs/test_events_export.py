@@ -1,0 +1,112 @@
+"""Event log JSONL round-trips, Prometheus rendering, span-tree output."""
+
+import json
+
+from repro.obs import (
+    Event,
+    EventLog,
+    MetricsRegistry,
+    Tracer,
+    prometheus_name,
+    prometheus_text,
+    render_span_tree,
+    write_prometheus,
+)
+
+
+class TestEventLog:
+    def test_emit_and_filter(self):
+        log = EventLog()
+        log.emit("job.retry", scheme="a")
+        log.emit("job.failed", scheme="b")
+        log.emit("job.retry", scheme="c")
+        assert len(log) == 3
+        assert [event.data["scheme"] for event in log.of_kind("job.retry")] \
+            == ["a", "c"]
+
+    def test_jsonl_roundtrip(self):
+        log = EventLog()
+        log.emit("batch.start", n_jobs=4, mode="kernel")
+        log.emit("sim.safety_violation", server_id=3, temperature_c=91.2)
+        restored = EventLog.from_jsonl(log.to_jsonl())
+        assert len(restored) == 2
+        first, second = restored
+        assert first.kind == "batch.start"
+        assert first.data == {"n_jobs": 4, "mode": "kernel"}
+        assert second.data["server_id"] == 3
+
+    def test_jsonl_lines_are_independent_json(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            payload = json.loads(line)
+            assert {"kind", "ts"} <= set(payload)
+
+    def test_write_jsonl(self, tmp_path):
+        log = EventLog()
+        log.emit("x", k=1)
+        path = log.write_jsonl(tmp_path / "events.jsonl")
+        assert path.read_text().count("\n") == 1
+
+    def test_event_to_dict_flattens_payload(self):
+        event = Event(kind="e", ts=1.5, data={"a": 1})
+        assert event.to_dict() == {"kind": "e", "ts": 1.5, "a": 1}
+
+
+class TestPrometheus:
+    def test_name_mapping(self):
+        assert prometheus_name("engine.cache.hits") \
+            == "repro_engine_cache_hits"
+        assert prometheus_name("sim.steps", "_total") \
+            == "repro_sim_steps_total"
+        assert prometheus_name("weird name!") == "repro_weird_name_"
+
+    def test_counter_and_gauge_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.steps").inc(48)
+        registry.gauge("sim.max_cpu_temp_c").set_max(83.25)
+        text = prometheus_text(registry.snapshot())
+        assert "# TYPE repro_sim_steps_total counter" in text
+        assert "repro_sim_steps_total 48" in text
+        assert "# TYPE repro_sim_max_cpu_temp_c gauge" in text
+        assert "repro_sim_max_cpu_temp_c 83.25" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("teg.power_w", buckets=(1.0, 2.0))
+        hist.observe_many([0.5, 1.5, 1.7, 9.0])
+        text = prometheus_text(registry.snapshot())
+        assert 'repro_teg_power_w_bucket{le="1"} 1' in text
+        assert 'repro_teg_power_w_bucket{le="2"} 3' in text
+        assert 'repro_teg_power_w_bucket{le="+Inf"} 4' in text
+        assert "repro_teg_power_w_count 4" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert prometheus_text(MetricsRegistry().snapshot()) == ""
+
+    def test_write_prometheus(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        path = write_prometheus(registry.snapshot(), tmp_path / "m.prom")
+        assert "repro_c_total 1" in path.read_text()
+
+
+class TestRenderSpanTree:
+    def test_indents_children_and_shows_share(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        text = render_span_tree(tracer.snapshot())
+        lines = text.splitlines()
+        assert lines[0].startswith("span")
+        assert any(line.lstrip().startswith("outer") for line in lines)
+        assert any("  inner" in line for line in lines)
+        assert "%" in text
+
+    def test_empty_tree(self):
+        assert render_span_tree({}) == "(no spans recorded)"

@@ -1,0 +1,66 @@
+"""Run manifests and the three-artefact output directory."""
+
+import json
+
+from repro import obs
+from repro.obs import MANIFEST_SCHEMA, Telemetry, build_manifest
+
+
+def _session_with_data() -> Telemetry:
+    telemetry = Telemetry()
+    with obs.session(telemetry):
+        obs.add("sim.steps", 48)
+        obs.gauge_max("sim.max_cpu_temp_c", 80.5)
+        obs.observe("teg.power_w", [3.9, 4.1])
+        obs.emit("batch.start", n_jobs=2)
+        with obs.span("engine.batch"):
+            pass
+    return telemetry
+
+
+class TestBuildManifest:
+    def test_core_fields(self):
+        manifest = build_manifest(_session_with_data(),
+                                  command=["h2p", "batch"])
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["command"] == ["h2p", "batch"]
+        env = manifest["environment"]
+        assert env["python"] and env["numpy"] and env["repro_version"]
+        assert manifest["metrics"]["counters"]["sim.steps"] == 48
+        assert manifest["spans"]["engine.batch"]["count"] == 1
+        assert manifest["n_events"] == 1
+
+    def test_git_revision_shape(self):
+        revision = obs.git_revision()
+        if revision is not None:  # running outside a checkout is fine
+            assert set(revision) == {"sha", "dirty"}
+            assert len(revision["sha"]) == 40
+
+    def test_extra_entries_merge_into_top_level(self):
+        manifest = build_manifest(Telemetry(), extra={"seed": 7})
+        assert manifest["seed"] == 7
+
+    def test_is_json_serialisable(self):
+        json.dumps(build_manifest(_session_with_data()))
+
+
+class TestWriteRunArtifacts:
+    def test_writes_all_three(self, tmp_path):
+        run_dir = tmp_path / "nested" / "run"
+        paths = obs.write_run_artifacts(run_dir, _session_with_data(),
+                                        command=["h2p"])
+        assert set(paths) == {"manifest", "events", "prometheus"}
+        manifest = json.loads(paths["manifest"].read_text())
+        assert manifest["artifacts"] == {"events": "events.jsonl",
+                                         "prometheus": "metrics.prom"}
+        assert "repro_sim_steps_total 48" in \
+            paths["prometheus"].read_text()
+        events = obs.EventLog.from_jsonl(paths["events"].read_text())
+        assert events.of_kind("batch.start")
+
+    def test_manifest_metrics_match_session(self, tmp_path):
+        telemetry = _session_with_data()
+        paths = obs.write_run_artifacts(tmp_path, telemetry)
+        manifest = json.loads(paths["manifest"].read_text())
+        assert manifest["metrics"] \
+            == telemetry.registry.snapshot().to_dict()

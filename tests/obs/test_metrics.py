@@ -1,0 +1,163 @@
+"""Metric instruments and their order-free snapshot/merge semantics.
+
+The batch layer's correctness guarantee — identical aggregates whatever
+executor ran the jobs — rests entirely on the merge algebra tested
+here: counters add, gauges combine with max, histograms add per-bucket,
+and every combination is associative and commutative.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            Counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_overwrites_set_max_keeps_peak(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.set(5.0)
+        assert gauge.value == 5.0
+        gauge.set_max(3.0)
+        assert gauge.value == 5.0
+        gauge.set_max(7.0)
+        assert gauge.value == 7.0
+
+    def test_unset_gauge_absent_from_snapshot(self):
+        registry = MetricsRegistry()
+        registry.gauge("g")
+        assert "g" not in registry.snapshot().gauges
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe_many(np.array([0.5, 1.5, 1.7, 99.0]))
+        snap = hist.snapshot()
+        assert snap.counts == (1, 2, 1)  # <=1, <=2, +inf
+        assert snap.total == 4
+        assert snap.sum == pytest.approx(102.7)
+
+    def test_observe_one_equals_observe_many(self):
+        one, many = Histogram("a"), Histogram("b")
+        values = [0.2, 3.9, 4.1, 7.5, 12.0]
+        for value in values:
+            one.observe(value)
+        many.observe_many(np.array(values))
+        assert one.snapshot().counts == many.snapshot().counts
+        assert one.snapshot().sum == pytest.approx(many.snapshot().sum)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigurationError, match="at least one"):
+            Histogram("h", buckets=())
+
+    def test_merge_requires_matching_buckets(self):
+        a = Histogram("h", buckets=(1.0,)).snapshot()
+        b = Histogram("h", buckets=(2.0,)).snapshot()
+        with pytest.raises(ConfigurationError, match="buckets"):
+            a.merge(b)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert len(registry) == 1
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError, match="Counter"):
+            registry.gauge("x")
+
+    def test_snapshot_roundtrip_through_pickle(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set_max(4.5)
+        registry.histogram("h").observe(3.9)
+        snap = pickle.loads(pickle.dumps(registry.snapshot()))
+        assert snap.counters["c"] == 3
+        assert snap.gauges["g"] == 4.5
+        assert snap.histograms["h"].total == 1
+
+
+snapshot_strategy = st.builds(
+    lambda counters, gauges: MetricsSnapshot(counters=counters,
+                                             gauges=gauges),
+    st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                    st.floats(min_value=0, max_value=100), max_size=3),
+    st.dictionaries(st.sampled_from(["g", "h"]),
+                    st.floats(min_value=-50, max_value=50), max_size=2),
+)
+
+
+class TestMergeAlgebra:
+    @given(snapshot_strategy, snapshot_strategy)
+    def test_merge_commutes(self, a, b):
+        left, right = a.merge(b), b.merge(a)
+        assert left.counters == pytest.approx(right.counters)
+        assert left.gauges == pytest.approx(right.gauges)
+
+    @given(snapshot_strategy, snapshot_strategy, snapshot_strategy)
+    def test_merge_associates(self, a, b, c):
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.counters == pytest.approx(right.counters)
+        assert left.gauges == pytest.approx(right.gauges)
+
+    def test_histogram_merge_adds_per_bucket(self):
+        a, b = Histogram("h", buckets=(1.0, 2.0)), \
+            Histogram("h", buckets=(1.0, 2.0))
+        a.observe_many(np.array([0.5, 1.5]))
+        b.observe_many(np.array([1.5, 9.0]))
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.counts == (1, 2, 1)
+        assert merged.total == 4
+
+    def test_registry_merge_matches_snapshot_merge(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(5)
+        worker.gauge("g").set_max(60.0)
+        worker.histogram("h").observe(3.0)
+        batch = MetricsRegistry()
+        batch.counter("c").inc(1)
+        batch.gauge("g").set_max(55.0)
+        batch.merge(worker.snapshot())
+        snap = batch.snapshot()
+        assert snap.counters["c"] == 6
+        assert snap.gauges["g"] == 60.0
+        assert snap.histograms["h"].total == 1
+
+    def test_to_dict_is_sorted_and_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        payload = registry.snapshot().to_dict()
+        assert list(payload["counters"]) == ["a", "b"]
+        json.dumps(payload)  # must not raise

@@ -1,0 +1,203 @@
+"""Telemetry sessions, env-var validation and result recording.
+
+The environment knobs follow the same contract as
+``resolve_workers``/``REPRO_WORKERS``: malformed values raise
+``ConfigurationError`` naming the variable, so a typo fails fast
+instead of silently disabling telemetry.
+"""
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.core.config import teg_original
+from repro.core.simulator import DatacenterSimulator
+from repro.errors import ConfigurationError
+from repro.obs import Telemetry, TelemetrySnapshot
+from repro.workloads.synthetic import common_trace
+
+
+class TestTelemetryEnabled:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        assert obs.telemetry_enabled(False) is False
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        assert obs.telemetry_enabled(True) is True
+
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert obs.telemetry_enabled() is False
+
+    @pytest.mark.parametrize("word,expected", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("false", False), ("No", False), ("off", False),
+        ("", False),
+    ])
+    def test_boolean_words(self, monkeypatch, word, expected):
+        monkeypatch.setenv("REPRO_TELEMETRY", word)
+        assert obs.telemetry_enabled() is expected
+
+    def test_malformed_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "maybe")
+        with pytest.raises(ConfigurationError, match="REPRO_TELEMETRY"):
+            obs.telemetry_enabled()
+
+
+class TestResolveTelemetryDir:
+    def test_explicit_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "env"))
+        assert obs.resolve_telemetry_dir(tmp_path / "cli") \
+            == tmp_path / "cli"
+
+    def test_env_fallback_and_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path))
+        assert obs.resolve_telemetry_dir() == tmp_path
+        monkeypatch.delenv("REPRO_TELEMETRY_DIR")
+        assert obs.resolve_telemetry_dir() is None
+
+    def test_blank_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", "   ")
+        with pytest.raises(ConfigurationError,
+                           match="REPRO_TELEMETRY_DIR"):
+            obs.resolve_telemetry_dir()
+
+    def test_existing_file_rejected(self, tmp_path):
+        path = tmp_path / "file.txt"
+        path.write_text("x")
+        with pytest.raises(ConfigurationError, match="not a"):
+            obs.resolve_telemetry_dir(path)
+
+
+class TestSession:
+    def test_helpers_noop_without_session(self):
+        # Must not raise and must not create any state.
+        obs.add("nowhere", 5)
+        obs.gauge_max("nowhere", 1.0)
+        obs.observe("nowhere", [1.0])
+        obs.emit("nowhere")
+        with obs.span("nowhere"):
+            pass
+        assert obs.current() is None
+
+    def test_helpers_record_into_current_session(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            assert obs.current() is telemetry
+            obs.add("c", 2)
+            obs.gauge_max("g", 9.0)
+            obs.observe("h", [3.9, 4.1])
+            obs.emit("e", detail=1)
+            with obs.span("s"):
+                pass
+        assert obs.current() is None
+        snap = telemetry.snapshot()
+        assert snap.metrics.counters["c"] == 2
+        assert snap.metrics.gauges["g"] == 9.0
+        assert snap.metrics.histograms["h"].total == 2
+        assert snap.spans["s"]["count"] == 1
+        assert snap.events[0].kind == "e"
+
+    def test_session_none_shields_nested_code(self):
+        outer = Telemetry()
+        with obs.session(outer):
+            with obs.session(None):
+                obs.add("hidden")
+            obs.add("visible")
+        counters = outer.snapshot().metrics.counters
+        assert counters == {"visible": 1}
+
+    def test_sessions_nest_and_restore(self):
+        outer, inner = Telemetry(), Telemetry()
+        with obs.session(outer):
+            with obs.session(inner):
+                obs.add("c")
+            assert obs.current() is outer
+        assert inner.snapshot().metrics.counters["c"] == 1
+        assert outer.snapshot().metrics.counters == {}
+
+
+class TestTelemetrySnapshot:
+    def test_pickles(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            obs.add("c", 3)
+            obs.observe("h", [4.0])
+            obs.emit("e")
+            with obs.span("s"):
+                pass
+        snap = pickle.loads(pickle.dumps(telemetry.snapshot()))
+        assert isinstance(snap, TelemetrySnapshot)
+        assert snap.metrics.counters["c"] == 3
+        assert snap.events[0].kind == "e"
+
+    def test_merge_snapshot_accumulates(self):
+        worker = Telemetry()
+        with obs.session(worker):
+            obs.add("c", 4)
+            with obs.span("s"):
+                pass
+        batch = Telemetry()
+        batch.registry.counter("c").inc(1)
+        batch.merge_snapshot(worker.snapshot())
+        batch.merge_snapshot(worker.snapshot())
+        assert batch.registry.snapshot().counters["c"] == 9
+        assert batch.tracer.snapshot()["s"]["count"] == 2
+
+    def test_snapshot_merge_is_order_free(self):
+        from repro.obs import MetricsSnapshot
+
+        a = TelemetrySnapshot(metrics=MetricsSnapshot(
+            counters={"c": 1.0}, gauges={"g": 5.0}))
+        b = TelemetrySnapshot(metrics=MetricsSnapshot(
+            counters={"c": 2.0}, gauges={"g": 3.0}))
+        assert a.merge(b).metrics.counters \
+            == b.merge(a).metrics.counters
+        assert a.merge(b).metrics.gauges == {"g": 5.0}
+
+
+class TestRecordResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        trace = common_trace(n_servers=40, duration_s=2 * 3600.0,
+                             interval_s=300.0, seed=12)
+        return DatacenterSimulator(trace, teg_original()).run()
+
+    def test_counters_match_result(self, result):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            obs.record_result(result)
+        counters = telemetry.registry.snapshot().counters
+        assert counters["sim.runs"] == 1
+        assert counters["sim.steps"] == len(result.records)
+        assert counters["sim.safety_violations"] \
+            == result.total_safety_violations
+        assert counters["sim.degraded_steps"] == result.degraded_steps
+
+    def test_histogram_covers_every_step(self, result):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            obs.record_result(result)
+        hist = telemetry.registry.snapshot().histograms["teg.power_w"]
+        assert hist.total == len(result.records)
+        assert hist.sum == pytest.approx(
+            float(result.generation_series_w.sum()))
+
+    def test_simulator_records_when_session_active(self):
+        trace = common_trace(n_servers=40, duration_s=3600.0,
+                             interval_s=300.0, seed=3)
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            result = DatacenterSimulator(trace, teg_original()).run()
+        counters = telemetry.registry.snapshot().counters
+        assert counters["sim.runs"] == 1
+        assert counters["sim.steps"] == len(result.records)
+        assert telemetry.tracer.snapshot()["sim.run"]["count"] == 1
+
+    def test_simulator_is_bit_identical_with_telemetry(self):
+        trace = common_trace(n_servers=40, duration_s=3600.0,
+                             interval_s=300.0, seed=3)
+        plain = DatacenterSimulator(trace, teg_original()).run()
+        with obs.session(Telemetry()):
+            observed = DatacenterSimulator(trace, teg_original()).run()
+        assert observed.records == plain.records

@@ -1,0 +1,91 @@
+"""Tracer span trees: nesting, accumulation, serialisation, merging."""
+
+import time
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class TestTracer:
+    def test_nesting_builds_hierarchy(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        tree = tracer.snapshot()
+        assert list(tree) == ["outer"]
+        outer = tree["outer"]
+        assert outer["count"] == 1
+        assert outer["children"]["inner"]["count"] == 2
+
+    def test_reentry_accumulates_into_one_node(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("hot"):
+                pass
+        tree = tracer.snapshot()
+        assert tree["hot"]["count"] == 3
+        assert "children" not in tree["hot"]
+
+    def test_times_are_positive_and_nested_le_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        tree = tracer.snapshot()
+        outer, inner = tree["outer"], tree["outer"]["children"]["inner"]
+        assert inner["wall_s"] >= 0.01
+        assert outer["wall_s"] >= inner["wall_s"]
+
+    def test_depth_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.depth == 0
+        with tracer.span("a"):
+            assert tracer.depth == 1
+            with tracer.span("b"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+
+    def test_exception_still_pops(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("risky"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert tracer.depth == 0
+        assert tracer.snapshot()["risky"]["count"] == 1
+
+    def test_merge_adds_counts_and_times(self):
+        a, b = Tracer(), Tracer()
+        for tracer in (a, b):
+            with tracer.span("run"):
+                with tracer.span("phase"):
+                    pass
+        a.merge(b.snapshot())
+        tree = a.snapshot()
+        assert tree["run"]["count"] == 2
+        assert tree["run"]["children"]["phase"]["count"] == 2
+
+    def test_merge_into_empty_reproduces_tree(self):
+        source = Tracer()
+        with source.span("x"):
+            with source.span("y"):
+                pass
+        target = Tracer()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+
+class TestNullSpan:
+    def test_is_a_shared_noop_context_manager(self):
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+        # Reentrant and exception-transparent.
+        try:
+            with NULL_SPAN:
+                with NULL_SPAN:
+                    raise KeyError("x")
+        except KeyError:
+            pass
