@@ -13,6 +13,12 @@ CI runners are noisy and heterogeneous; the check exists to catch
 large, real regressions (an accidentally quadratic loop, a lost fast
 path), not small scheduling jitter.  With ``--update`` it rewrites the
 baseline from a fresh measurement instead.
+
+``--fleet`` switches both measurement and baseline to the fleet-scale
+sharded scenario (12,500 servers x 8,900 steps through the sharded
+engine, ``BENCH_fleet.json``); the measurement itself asserts
+shard/unshard bit-parity and the bounded worker payload, so the CI
+step guards correctness at scale as well as throughput.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from pathlib import Path
 from test_bench_engine import measure_kernel_throughput
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_engine.json"
+FLEET_BASELINE_PATH = Path(__file__).parent / "BENCH_fleet.json"
 
 #: A mode fails the check below this fraction of its baseline steps/sec.
 TOLERANCE = 0.25
@@ -36,16 +43,34 @@ TOLERANCE = 0.25
 CHECKED_FIELDS = ("step_steps_per_s", "kernel_steps_per_s",
                   "kernel_telemetry_steps_per_s")
 
+#: The fleet (``--fleet``) figures, from ``BENCH_fleet.json``: the
+#: sharded engine on the 12,500 x 8,900 synthetic-Google scenario.
+FLEET_CHECKED_FIELDS = ("sharded_cells_per_s", "unsharded_cells_per_s")
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline instead of checking")
-    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
-                        help=f"baseline file (default: {BASELINE_PATH})")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file (default: BENCH_engine.json, "
+                             "or BENCH_fleet.json with --fleet)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="check the fleet-scale sharded scenario "
+                             "(12,500 x 8,900) instead of the kernel one")
     args = parser.parse_args(argv)
+    if args.baseline is None:
+        args.baseline = (FLEET_BASELINE_PATH if args.fleet
+                         else BASELINE_PATH)
+    checked_fields = (FLEET_CHECKED_FIELDS if args.fleet
+                      else CHECKED_FIELDS)
 
-    report = measure_kernel_throughput()
+    if args.fleet:
+        from test_bench_fleet_scale import measure_fleet_throughput
+
+        report = measure_fleet_throughput()
+    else:
+        report = measure_kernel_throughput()
     if args.update:
         args.baseline.write_text(
             json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -59,7 +84,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     failed = False
-    for field in CHECKED_FIELDS:
+    for field in checked_fields:
         if field not in baseline:
             print(f"{field:<20} missing from baseline; re-run with "
                   f"--update")
@@ -72,11 +97,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{field:<20} baseline {baseline[field]:>10.1f}  "
               f"now {report[field]:>10.1f}  ({ratio:>5.2f}x, floor "
               f"{TOLERANCE:.0%})  [{verdict}]")
-    print(f"{'speedup':<20} baseline {baseline['speedup']:>10.2f}  "
-          f"now {report['speedup']:>10.2f}")
-    print(f"{'telemetry overhead':<20} baseline "
-          f"{baseline.get('telemetry_overhead', float('nan')):>10.2%}  "
-          f"now {report['telemetry_overhead']:>10.2%}")
+    if args.fleet:
+        print(f"{'shards':<20} baseline "
+              f"{baseline.get('n_shards', 0):>10}  "
+              f"now {report['n_shards']:>10}")
+        print(f"{'payload bytes':<20} baseline "
+              f"{baseline.get('payload_bytes', 0):>10}  "
+              f"now {report['payload_bytes']:>10}")
+        print(f"{'sharded/unsharded':<20} baseline "
+              f"{baseline.get('sharded_vs_unsharded', float('nan')):>10.2f}  "
+              f"now {report['sharded_vs_unsharded']:>10.2f}")
+    else:
+        print(f"{'speedup':<20} baseline {baseline['speedup']:>10.2f}  "
+              f"now {report['speedup']:>10.2f}")
+        print(f"{'telemetry overhead':<20} baseline "
+              f"{baseline.get('telemetry_overhead', float('nan')):>10.2%}  "
+              f"now {report['telemetry_overhead']:>10.2%}")
     return 1 if failed else 0
 
 

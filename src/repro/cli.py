@@ -89,6 +89,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("process", "thread", "serial"),
                        help="preferred executor (default: process, "
                             "with automatic degradation)")
+    batch.add_argument("--shard", default=None, action="store_true",
+                       help="force fleet-scale sharding of every job "
+                            "(default: automatic above "
+                            "%d trace cells)" % 2_000_000)
+    batch.add_argument("--no-shard", dest="shard", action="store_false",
+                       help="never shard, even above the automatic "
+                            "threshold")
+    batch.add_argument("--shard-servers", type=int, default=None,
+                       metavar="N",
+                       help="target shard width in servers (rounded "
+                            "down to whole circulations; default: "
+                            "REPRO_SHARD_SERVERS or 2500)")
+    batch.add_argument("--shard-steps", type=int, default=None,
+                       metavar="N",
+                       help="shard time-window length in control "
+                            "intervals (default: REPRO_SHARD_STEPS "
+                            "or 2500)")
     batch.add_argument("--telemetry", default=None, metavar="DIR",
                        help="record the run through repro.obs and "
                             "write manifest.json, events.jsonl and "
@@ -236,7 +253,10 @@ def _cmd_batch(args: argparse.Namespace, reporter: Reporter) -> int:
                       prefer=args.prefer,
                       max_retries=args.max_retries,
                       job_timeout_s=args.timeout,
-                      telemetry=telemetry_on)
+                      telemetry=telemetry_on,
+                      shard=args.shard,
+                      shard_servers=args.shard_servers,
+                      shard_steps=args.shard_steps)
     reporter.info(f"{'scheme':<16} {'trace':<10} {'avg W':>7} {'PRE':>7} "
                   f"{'steps/s':>8} {'cache':>6}")
     for result in batch.results:
@@ -251,10 +271,12 @@ def _cmd_batch(args: argparse.Namespace, reporter: Reporter) -> int:
                      f"lost {result.total_lost_harvest_kwh:.3f} kWh")
         reporter.info(line)
     aggregate = batch.metrics
+    shard_note = (f", {aggregate.shards} shard(s)"
+                  if aggregate.shards else "")
     reporter.info(f"batch: {aggregate.n_jobs} jobs via {aggregate.executor} "
                   f"x{aggregate.n_workers} in {aggregate.wall_time_s:.2f} s "
                   f"({aggregate.steps_per_s:.0f} steps/s, cache "
-                  f"{aggregate.cache_hit_rate:.1%})")
+                  f"{aggregate.cache_hit_rate:.1%}{shard_note})")
     if aggregate.retries or aggregate.timeouts:
         reporter.info(f"recovery: {aggregate.retries} retrie(s), "
                       f"{aggregate.timeouts} timeout(s)")

@@ -7,6 +7,9 @@
   produces Fig. 14 / Fig. 15;
 * :mod:`repro.core.engine` — the parallel batch execution layer (many
   (scheme x trace) runs through one API, cached and vectorised);
+* :mod:`repro.core.shard` — fleet-scale sharded execution: one huge
+  trace split into circulation-block x time-window tiles, dispatched
+  over the engine's executor and merged back bit-identically;
 * :mod:`repro.core.h2p` — the top-level :class:`H2PSystem` facade a
   downstream user starts from.
 """
@@ -35,6 +38,14 @@ from .engine import (
     run_batch,
     simulate,
 )
+from .shard import (
+    ShardOutcome,
+    ShardSpec,
+    merge_shard_outcomes,
+    plan_shards,
+    run_shard,
+    simulate_sharded,
+)
 from .h2p import H2PSystem
 from .facility import FacilityModel, FacilityReport
 from .seasonal import SeasonalStudy, MonthOutcome, annual_summary
@@ -59,6 +70,12 @@ __all__ = [
     "SharedTraceRef",
     "EXECUTION_MODES",
     "CoolingDecisionCache",
+    "ShardSpec",
+    "ShardOutcome",
+    "plan_shards",
+    "run_shard",
+    "merge_shard_outcomes",
+    "simulate_sharded",
     "simulate",
     "run_batch",
     "compare_batch",

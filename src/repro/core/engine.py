@@ -50,7 +50,7 @@ from concurrent.futures import (
     wait,
 )
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import shared_memory
 from typing import Iterable, Sequence
 
@@ -239,6 +239,9 @@ class EngineMetrics:
     retries:
         How many failed attempts preceded the one that produced this
         result (0 on a first-try success); filled in by the batch layer.
+    n_shards:
+        How many shards this job was split into (0 when it ran whole;
+        see :mod:`repro.core.shard`).
     """
 
     setup_time_s: float = 0.0
@@ -255,6 +258,7 @@ class EngineMetrics:
     executor: str = "serial"
     n_workers: int = 1
     retries: int = 0
+    n_shards: int = 0
 
     def summary(self) -> dict:
         """Headline metrics as a plain dictionary (for tables/JSON)."""
@@ -268,6 +272,8 @@ class EngineMetrics:
             "n_workers": self.n_workers,
             "retries": self.retries,
         }
+        if self.n_shards:
+            summary["shards"] = self.n_shards
         if self.kernel is not None:
             summary["kernel"] = self.kernel.summary()
         return summary
@@ -294,6 +300,8 @@ class BatchMetrics:
     retries: int = 0
     timeouts: int = 0
     n_failed: int = 0
+    #: Total shards dispatched across all sharded jobs (0 = none).
+    shards: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -305,7 +313,7 @@ class BatchMetrics:
 
     def summary(self) -> dict:
         """Headline metrics as a plain dictionary (for tables/JSON)."""
-        return {
+        summary = {
             "jobs": self.n_jobs,
             "executor": self.executor,
             "workers": self.n_workers,
@@ -316,6 +324,9 @@ class BatchMetrics:
             "timeouts": self.timeouts,
             "failed": self.n_failed,
         }
+        if self.shards:
+            summary["shards"] = self.shards
+        return summary
 
 
 # ----------------------------------------------------------------------
@@ -365,13 +376,17 @@ class _CachedVectorisedSimulator(DatacenterSimulator):
                  cache: CoolingDecisionCache | None = None,
                  vectorised: bool = True,
                  mode: str | None = None,
-                 faults: FaultSchedule | None = None) -> None:
+                 faults: FaultSchedule | None = None,
+                 step_offset: int = 0,
+                 server_offset: int = 0) -> None:
         kwargs = {}
         if cpu_model is not None:
             kwargs["cpu_model"] = cpu_model
         if teg_module is not None:
             kwargs["teg_module"] = teg_module
-        super().__init__(trace, config, faults=faults, **kwargs)
+        super().__init__(trace, config, faults=faults,
+                         step_offset=step_offset,
+                         server_offset=server_offset, **kwargs)
         # `is None` check: an empty cache is falsy (it has __len__).
         self._cache = cache if cache is not None else CoolingDecisionCache()
         # Fault injection needs the parent's fault-aware serial step
@@ -583,6 +598,13 @@ class SharedTraceRef:
     the NumPy view, and the trace metadata.  The segment is owned by the
     :class:`BatchSimulationEngine` that created it and stays alive until
     the engine is closed (see ``docs/engine.md`` for the contract).
+
+    ``row_start:row_stop`` / ``col_start:col_stop`` select a rectangular
+    window of the plane (``None`` stops mean "to the end"): a shard of a
+    fleet-scale trace ships the *same* segment name with different
+    window bounds, so worker payload size stays independent of both the
+    trace length and the shard count, and the worker maps the segment
+    exactly once however many windows of it it is asked to run.
     """
 
     shm_name: str
@@ -590,6 +612,10 @@ class SharedTraceRef:
     dtype: str
     interval_s: float
     name: str
+    row_start: int = 0
+    row_stop: int | None = None
+    col_start: int = 0
+    col_stop: int | None = None
 
 
 class _SharedTraceRegistry:
@@ -646,28 +672,38 @@ class _SharedTraceRegistry:
                 pass
 
 
-#: Per-worker cache of attached shared traces, keyed by segment name.
-#: Entries live for the worker process's lifetime — attaching, validating
-#: and wrapping a plane happens once per (worker, trace), and every
-#: subsequent job ships only the :class:`SharedTraceRef`.
-_WORKER_TRACES: dict[str, WorkloadTrace] = {}
+#: Per-worker cache of attached shared-memory segments, keyed by segment
+#: name: one ``(SharedMemory, full plane)`` pair per segment for the
+#: worker process's lifetime, however many windows of it are dispatched.
+_WORKER_BLOCKS: dict[str, tuple[shared_memory.SharedMemory,
+                                np.ndarray]] = {}
+
+#: Per-worker cache of wrapped trace (windows), keyed by the full ref —
+#: window bounds included — so validating and wrapping happens once per
+#: distinct window and every subsequent job ships only the ref.
+_WORKER_TRACES: dict[SharedTraceRef, WorkloadTrace] = {}
 
 
 def _trace_from_ref(ref: SharedTraceRef) -> WorkloadTrace:
-    """Attach (or reuse) the shared trace named by ``ref`` in a worker."""
-    trace = _WORKER_TRACES.get(ref.shm_name)
+    """Attach (or reuse) the shared trace window named by ``ref``."""
+    trace = _WORKER_TRACES.get(ref)
     if trace is not None:
         return trace
-    # Attaching re-registers the segment with the resource tracker the
-    # worker shares with the engine's process; registration is
-    # set-idempotent, and the engine's own unlink balances it, so no
-    # unregister dance is needed here.
-    block = shared_memory.SharedMemory(name=ref.shm_name)
-    matrix = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
-                        buffer=block.buf)
-    trace = WorkloadTrace.from_shared(matrix, ref.interval_s,
+    entry = _WORKER_BLOCKS.get(ref.shm_name)
+    if entry is None:
+        # Attaching re-registers the segment with the resource tracker
+        # the worker shares with the engine's process; registration is
+        # set-idempotent, and the engine's own unlink balances it, so no
+        # unregister dance is needed here.
+        block = shared_memory.SharedMemory(name=ref.shm_name)
+        matrix = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype),
+                            buffer=block.buf)
+        entry = _WORKER_BLOCKS[ref.shm_name] = (block, matrix)
+    block, matrix = entry
+    view = matrix[ref.row_start:ref.row_stop, ref.col_start:ref.col_stop]
+    trace = WorkloadTrace.from_shared(view, ref.interval_s,
                                       name=ref.name, block=block)
-    _WORKER_TRACES[ref.shm_name] = trace
+    _WORKER_TRACES[ref] = trace
     return trace
 
 
@@ -960,6 +996,20 @@ class BatchSimulationEngine:
         engine-level counters (``engine.jobs.*``), the ``engine.batch``
         span and batch/job lifecycle events.  See
         ``docs/observability.md``.
+    shard:
+        Fleet-scale sharding of individual jobs (see
+        :mod:`repro.core.shard` and ``docs/engine.md``).  ``None``
+        (default) auto-shards a kernel job once its trace plane reaches
+        ``AUTO_SHARD_MIN_CELLS`` cells — or whenever a shard size is
+        given explicitly or via the environment; ``True`` forces
+        sharding; ``False`` disables it.
+    shard_servers / shard_steps:
+        Target shard tile size (servers wide, steps long); ``None``
+        defers to ``REPRO_SHARD_SERVERS`` / ``REPRO_SHARD_STEPS``, else
+        the defaults.  The engine validates these against each job's
+        trace **before** dispatch: non-positive values or values
+        exceeding the trace dimensions raise ``ConfigurationError`` on
+        the coordinator, never a worker-side crash.
 
     Lifetime
     --------
@@ -979,7 +1029,10 @@ class BatchSimulationEngine:
                  max_retries: int = 0,
                  retry_backoff_s: float = 0.1,
                  job_timeout_s: float | None = None,
-                 telemetry: bool | None = None) -> None:
+                 telemetry: bool | None = None,
+                 shard: bool | None = None,
+                 shard_servers: int | None = None,
+                 shard_steps: int | None = None) -> None:
         if prefer not in ("process", "thread", "serial"):
             raise ConfigurationError(
                 f"prefer must be 'process', 'thread' or 'serial', "
@@ -993,6 +1046,14 @@ class BatchSimulationEngine:
         if job_timeout_s is not None and job_timeout_s <= 0:
             raise ConfigurationError(
                 f"job timeout must be > 0 seconds, got {job_timeout_s}")
+        for label, value in (("shard_servers", shard_servers),
+                             ("shard_steps", shard_steps)):
+            if value is not None and value <= 0:
+                raise ConfigurationError(
+                    f"{label} must be > 0, got {value}")
+        self.shard = shard
+        self.shard_servers = shard_servers
+        self.shard_steps = shard_steps
         self.n_workers = n_workers
         self.vectorised = vectorised
         self.mode = resolve_mode(mode, vectorised)
@@ -1364,6 +1425,226 @@ class BatchSimulationEngine:
                 self._kill_executor(executor, kind)
                 return ("timeout", None)
 
+    # -- sharded jobs --------------------------------------------------
+
+    def _shard_plan(self, job: SimulationJob,
+                    shard_servers: int | None,
+                    shard_steps: int | None):
+        """Shard specs for one job, or ``None`` to run it whole.
+
+        Validation is coordinator-side by design (the satellite fix of
+        the sharding PR): a knob that is non-positive or exceeds the
+        job's trace dimensions raises :class:`ConfigurationError` here,
+        before anything is dispatched to a worker.
+        """
+        from .shard import (
+            AUTO_SHARD_MIN_CELLS,
+            DEFAULT_SHARD_SERVERS,
+            DEFAULT_SHARD_STEPS,
+            SHARD_SERVERS_ENV_VAR,
+            SHARD_STEPS_ENV_VAR,
+            plan_shards,
+        )
+
+        if self.shard is False:
+            return None
+        trace = job.trace
+        if type(trace) is not WorkloadTrace:
+            # Subclasses can carry behaviour (an overridden step());
+            # window views would strip it, exactly like the kernel and
+            # the zero-copy dispatch, so such jobs run whole.
+            return None
+        has_faults = job.faults is not None and len(job.faults) > 0
+        if not has_faults and self.mode != "kernel":
+            # "step"/"loop" exist to cross-check the kernel; sharding
+            # only accelerates the kernel and fault paths.
+            return None
+        if trace.n_servers < job.config.circulation_size:
+            # The unsharded path raises the proper ConfigurationError.
+            return None
+        explicit = shard_servers is not None or shard_steps is not None
+        cells = trace.n_steps * trace.n_servers
+        if (not self.shard and not explicit
+                and cells < AUTO_SHARD_MIN_CELLS):
+            return None
+        if shard_servers is not None and shard_servers > trace.n_servers:
+            raise ConfigurationError(
+                f"shard_servers / {SHARD_SERVERS_ENV_VAR} is "
+                f"{shard_servers} but trace {trace.name!r} has only "
+                f"{trace.n_servers} servers")
+        if shard_steps is not None and shard_steps > trace.n_steps:
+            raise ConfigurationError(
+                f"shard_steps / {SHARD_STEPS_ENV_VAR} is {shard_steps} "
+                f"but trace {trace.name!r} has only {trace.n_steps} "
+                f"steps")
+        servers = (shard_servers if shard_servers is not None
+                   else min(DEFAULT_SHARD_SERVERS, trace.n_servers))
+        steps = (shard_steps if shard_steps is not None
+                 else min(DEFAULT_SHARD_STEPS, trace.n_steps))
+        if has_faults:
+            servers = None  # masks span the cluster: time-only shards
+        specs = plan_shards(trace.n_steps, trace.n_servers,
+                            job.config.circulation_size,
+                            shard_servers=servers, shard_steps=steps)
+        if len(specs) <= 1:
+            return None
+        return specs
+
+    def _run_sharded_job(self, job: SimulationJob, specs,
+                         kind: str, workers: int) -> SimulationResult:
+        """Dispatch one job's shards, merge, and attach metrics.
+
+        Process executors ship :class:`~repro.core.shard._ShardPayload`
+        objects — a windowed :class:`SharedTraceRef` plus the spec and
+        the :func:`~repro.core.shard.prime_decisions` cache — so
+        payload size is independent of trace length and shard count.
+        A broken pool degrades to running the remaining shards
+        in-process (the merge cannot tolerate holes); per-shard
+        failures honour ``max_retries``.  Fault-carrying jobs run their
+        time windows sequentially in-process: their cooling decisions
+        key on sensor readings, which only the serial window order can
+        prime bit-identically.  The per-job wall-clock budget is
+        **not** enforced on sharded jobs (documented in
+        ``docs/engine.md``).
+        """
+        from .shard import (
+            _ShardPayload,
+            _execute_shard_payload,
+            clone_cache,
+            prime_decisions,
+            run_shard,
+        )
+
+        started = time.perf_counter()
+        has_faults = job.faults is not None and len(job.faults) > 0
+        obs.emit("shard.dispatch", scheme=job.config.name,
+                 trace=job.trace.name, shards=len(specs),
+                 executor="sequential" if has_faults else kind)
+        obs.add("engine.shards.dispatched", len(specs))
+
+        outcomes = [None] * len(specs)
+        if has_faults:
+            shared = CoolingDecisionCache(resolution=self.cache_resolution)
+            policy = None
+            for index, spec in enumerate(specs):
+                tile = job.trace.window(spec.step_start, spec.step_stop,
+                                        spec.server_start,
+                                        spec.server_stop)
+                outcome = run_shard(
+                    tile, spec, job.config, job.cpu_model,
+                    job.teg_module, faults=job.faults,
+                    cache_resolution=self.cache_resolution,
+                    cache=shared, policy=policy,
+                    telemetry=self.telemetry)
+                policy = outcome.policy
+                outcomes[index] = outcome
+            return self._merge_sharded(job, specs, outcomes, started)
+
+        primed = prime_decisions(job.trace, job.config, job.cpu_model,
+                                 job.teg_module,
+                                 cache_resolution=self.cache_resolution)
+
+        def run_local(spec):
+            tile = job.trace.window(spec.step_start, spec.step_stop,
+                                    spec.server_start, spec.server_stop)
+            return run_shard(tile, spec, job.config, job.cpu_model,
+                             job.teg_module,
+                             cache_resolution=self.cache_resolution,
+                             cache=clone_cache(primed),
+                             telemetry=self.telemetry)
+
+        if kind in ("process", "thread"):
+            try:
+                executor = self._ensure_executor(kind, workers)
+                if kind == "process":
+                    base_ref = self._shared_traces.ref_for(job.trace)
+                    payloads = [
+                        _ShardPayload(
+                            trace_ref=replace(
+                                base_ref,
+                                row_start=spec.step_start,
+                                row_stop=spec.step_stop,
+                                col_start=spec.server_start,
+                                col_stop=spec.server_stop),
+                            spec=spec, config=job.config,
+                            cpu_model=job.cpu_model,
+                            teg_module=job.teg_module, faults=None,
+                            cache_resolution=self.cache_resolution,
+                            decisions=primed,
+                            telemetry=self.telemetry)
+                        for spec in specs]
+
+                    def submit(index):
+                        return executor.submit(_execute_shard_payload,
+                                               payloads[index])
+                else:
+                    def submit(index):
+                        return executor.submit(run_local, specs[index])
+                futures = {submit(index): (index, 0)
+                           for index in range(len(specs))}
+                try:
+                    while futures:
+                        done, _ = wait(futures,
+                                       return_when=FIRST_COMPLETED)
+                        for future in done:
+                            index, attempts = futures.pop(future)
+                            try:
+                                outcomes[index] = future.result()
+                            except BrokenExecutor:
+                                raise
+                            except Exception:
+                                attempts += 1
+                                if attempts > self.max_retries:
+                                    raise
+                                self._backoff(attempts)
+                                futures[submit(index)] = (index,
+                                                          attempts)
+                except BaseException:
+                    for future in futures:
+                        future.cancel()
+                    raise
+            except (BrokenExecutor, OSError):
+                # The pool died mid-flight (or could not start): it is
+                # untrustworthy, and the merge needs every shard — run
+                # whatever is missing in-process.
+                self._drop_executor()
+        for index, spec in enumerate(specs):
+            if outcomes[index] is None:
+                outcomes[index] = run_local(spec)
+        return self._merge_sharded(job, specs, outcomes, started)
+
+    def _merge_sharded(self, job: SimulationJob, specs, outcomes,
+                       started: float) -> SimulationResult:
+        """Merge one sharded job's outcomes and attach metrics/events."""
+        from .shard import _merged_telemetry, merge_shard_outcomes
+
+        result = merge_shard_outcomes(job.trace, job.config, outcomes)
+        snapshot = _merged_telemetry(outcomes)
+        if snapshot is not None:
+            result.telemetry = snapshot
+        wall = time.perf_counter() - started
+        cache_hits = sum(o.cache_hits for o in outcomes)
+        cache_misses = sum(o.cache_misses for o in outcomes)
+        lookups = cache_hits + cache_misses
+        has_faults = job.faults is not None and len(job.faults) > 0
+        result.metrics = EngineMetrics(
+            wall_time_s=wall,
+            step_time_s=wall,
+            n_steps=job.trace.n_steps,
+            steps_per_s=(job.trace.n_steps / wall if wall > 0 else 0.0),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            cache_hit_rate=cache_hits / lookups if lookups else 0.0,
+            mode="loop" if has_faults else "kernel",
+            vectorised=not has_faults,
+            n_shards=len(specs),
+        )
+        obs.add("engine.shards.completed", len(specs))
+        obs.emit("shard.merge", scheme=job.config.name,
+                 trace=job.trace.name, shards=len(specs),
+                 wall_time_s=round(wall, 4))
+        return result
+
     def run(self, jobs: Iterable[SimulationJob]) -> BatchResult:
         """Execute every job; return partial results plus failures.
 
@@ -1398,23 +1679,52 @@ class BatchSimulationEngine:
     def _run_validated(self, jobs: list[SimulationJob],
                        batch_telemetry: "obs.Telemetry | None"
                        ) -> BatchResult:
-        """Execute a validated job list (under the batch session)."""
-        workers = resolve_workers(self.n_workers, len(jobs))
+        """Execute a validated job list (under the batch session).
+
+        Jobs that shard (see :meth:`_shard_plan`) are peeled off the
+        normal dispatch: the worker count is resolved against the total
+        unit count (whole jobs + shards), the remaining jobs run
+        through the usual serial/pool machinery, and each sharded job
+        is then fanned out over the same persistent executor and merged
+        back into a single result in place.
+        """
+        from .shard import (
+            SHARD_SERVERS_ENV_VAR,
+            SHARD_STEPS_ENV_VAR,
+            resolve_shard_size,
+        )
+
+        shard_servers = resolve_shard_size(self.shard_servers,
+                                           SHARD_SERVERS_ENV_VAR)
+        shard_steps = resolve_shard_size(self.shard_steps,
+                                         SHARD_STEPS_ENV_VAR)
+        plans = {}
+        for index, job in enumerate(jobs):
+            specs = self._shard_plan(job, shard_servers, shard_steps)
+            if specs is not None:
+                plans[index] = specs
+        total_shards = sum(len(specs) for specs in plans.values())
+        normal = [index for index in range(len(jobs))
+                  if index not in plans]
+        n_units = len(normal) + total_shards
+        workers = resolve_workers(self.n_workers, n_units)
         timeout_s = resolve_job_timeout(self.job_timeout_s)
         obs.emit("batch.start", n_jobs=len(jobs), mode=self.mode,
-                 workers=workers, prefer=self.prefer)
+                 workers=workers, prefer=self.prefer,
+                 shards=total_shards)
         started = time.perf_counter()
         executor = self.prefer
         outcome = None
-        if workers <= 1 or self.prefer == "serial" or len(jobs) == 1:
+        normal_jobs = [jobs[index] for index in normal]
+        if workers <= 1 or self.prefer == "serial" or n_units == 1:
             executor = "serial"
-            outcome = self._run_serial(jobs)
-        else:
+            outcome = self._run_serial(normal_jobs)
+        elif normal_jobs:
             kinds = (["process", "thread"] if self.prefer == "process"
                      else ["thread"])
             for kind in kinds:
                 try:
-                    outcome = self._run_pool(jobs, workers, kind,
+                    outcome = self._run_pool(normal_jobs, workers, kind,
                                              timeout_s)
                     executor = kind
                     break
@@ -1422,8 +1732,24 @@ class BatchSimulationEngine:
                     continue
             if outcome is None:
                 executor = "serial"
-                outcome = self._run_serial(jobs)
-        results_map, failures_map, stats = outcome
+                outcome = self._run_serial(normal_jobs)
+        else:
+            outcome = ({}, {}, {"retries": 0, "timeouts": 0})
+        sub_results, sub_failures, stats = outcome
+        results_map = {normal[sub]: result
+                       for sub, result in sub_results.items()}
+        failures_map = {normal[sub]: failed
+                        for sub, failed in sub_failures.items()}
+        for index, specs in plans.items():
+            state = _JobState(index=index, job=jobs[index],
+                              started_at=time.perf_counter())
+            state.attempts = 1
+            try:
+                results_map[index] = self._run_sharded_job(
+                    jobs[index], specs, executor, workers)
+            except Exception as exc:
+                failures_map[index] = state.failed(exc)
+                self._emit_job_event("job.failed", state, exc)
         wall = time.perf_counter() - started
         if executor == "serial":
             workers = 1
@@ -1457,6 +1783,7 @@ class BatchSimulationEngine:
                 retries=stats["retries"],
                 timeouts=stats["timeouts"],
                 n_failed=len(failures),
+                shards=total_shards,
             ),
         )
         if batch_telemetry is not None:
@@ -1481,7 +1808,10 @@ def run_batch(jobs: Iterable[SimulationJob],
               max_retries: int = 0,
               retry_backoff_s: float = 0.1,
               job_timeout_s: float | None = None,
-              telemetry: bool | None = None) -> BatchResult:
+              telemetry: bool | None = None,
+              shard: bool | None = None,
+              shard_servers: int | None = None,
+              shard_steps: int | None = None) -> BatchResult:
     """One-call convenience wrapper around :class:`BatchSimulationEngine`.
 
     The engine (and with it the persistent executor and any shared-memory
@@ -1495,7 +1825,10 @@ def run_batch(jobs: Iterable[SimulationJob],
                                    prefer=prefer, max_retries=max_retries,
                                    retry_backoff_s=retry_backoff_s,
                                    job_timeout_s=job_timeout_s,
-                                   telemetry=telemetry)
+                                   telemetry=telemetry,
+                                   shard=shard,
+                                   shard_servers=shard_servers,
+                                   shard_steps=shard_steps)
     try:
         return engine.run(jobs)
     finally:

@@ -20,6 +20,15 @@ a pure function of the trace, so the kernel:
    totals in circulation order (sequential adds, like the serial
    ``_aggregate_step``) and emits a columnar result.
 
+Phases 1–3 are exposed separately as :func:`run_kernel_columns` (their
+output, a :class:`KernelColumns`, is per-``(step, circulation)``) and
+phase 4 as :func:`fold_columns`, because the fleet-scale sharding layer
+(:mod:`repro.core.shard`) runs 1–3 on rectangular trace tiles, stitches
+the tiles' columns back into whole-cluster planes, and replays the fold
+once over the full-length columns — the only order that keeps the merge
+bit-identical (float addition is not associative, so summing per-shard
+subtotals would not be).
+
 Bit-identity
 ------------
 Every array expression mirrors the serial arithmetic exactly:
@@ -34,17 +43,24 @@ are replayed at the earliest offending cell in serial evaluation order.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import obs
 from ..control.scheduling import IdealBalancer, NoScheduler
-from ..errors import CoolingFailureError
+from ..errors import CoolingFailureError, PhysicalRangeError
 from ..thermal.hydraulics import loop_pump_power_w
 from .results import ColumnarSteps, SafetyViolation, SimulationResult
 
-__all__ = ["KernelTimings", "run_whole_trace"]
+__all__ = [
+    "KernelColumns",
+    "KernelError",
+    "KernelTimings",
+    "fold_columns",
+    "run_kernel_columns",
+    "run_whole_trace",
+]
 
 
 @dataclass
@@ -70,6 +86,52 @@ class KernelTimings:
             "fold_s": round(self.fold_s, 4),
             "total_s": round(self.total_s, 4),
         }
+
+
+@dataclass(frozen=True)
+class KernelError:
+    """The earliest error of a kernel run, in serial evaluation order.
+
+    ``step`` / ``circ`` are *local* indices into the kernel's own trace;
+    the sharding merge translates them into the global frame to pick the
+    globally-earliest error across shards.  ``phase`` encodes the serial
+    intra-step ordering: every circulation's *evaluation* (capacity
+    checks, phase 0) runs before the step's *aggregation* (strict-safety
+    check, phase 1), so on equal steps the lower phase raised first.
+    The carried ``exception`` already has its message and attributes in
+    the simulator's global frame (via ``step_offset``/``server_offset``).
+    """
+
+    exception: Exception
+    phase: int
+    step: int
+    circ: int
+
+
+@dataclass
+class KernelColumns:
+    """Pre-fold kernel output: per-``(step, circulation)`` planes.
+
+    Everything phase 4 needs to fold into per-step cluster aggregates —
+    and everything the sharding merge needs to stitch tiles from
+    different shards back into whole-cluster planes before that fold.
+    All plane arrays have shape ``(n_steps, n_circs)``; ``sizes`` has
+    one entry per circulation; ``violations`` carry cluster-global
+    server/step identities.
+    """
+
+    generation_c: np.ndarray
+    heat_c: np.ndarray
+    chiller_power_c: np.ndarray
+    tower_power_c: np.ndarray
+    pump_power_c: np.ndarray
+    max_temp_c: np.ndarray
+    inlet_cell: np.ndarray
+    flow_cell: np.ndarray
+    sizes: np.ndarray
+    violation_counts: np.ndarray
+    violations: list = field(default_factory=list)
+    error: KernelError | None = None
 
 
 def _scheduled_plane(sim, raw: np.ndarray) -> np.ndarray:
@@ -169,14 +231,17 @@ def _decide_cells(sim, plane: np.ndarray):
     return setting_id, applied_settings
 
 
-def _raise_earliest_error(sim, chiller_heat, tower_heat,
-                          cpu_temp_plane, interval_s: float) -> None:
-    """Replay the first error the serial loop would have raised.
+def _earliest_error(sim, chiller_heat, tower_heat,
+                    cpu_temp_plane, interval_s: float) -> KernelError | None:
+    """The first error the serial loop would have raised, or ``None``.
 
     Serial ordering inside one step: every circulation's *evaluation*
     (chiller capacity check, then tower capacity check, per circulation
     in order) runs before the step's aggregation (strict-safety check,
     per circulation in order).  Across steps, the earliest step wins.
+    The error is *captured*, not raised, so a shard can report it to
+    the merge, which decides whether this shard's error is the globally
+    earliest one.
     """
     groups = sim._groups
     n_circs = len(groups)
@@ -192,6 +257,7 @@ def _raise_earliest_error(sim, chiller_heat, tower_heat,
     capacity_step = (int(capacity_cells[0]) // n_circs
                      if capacity_cells.size else None)
 
+    violating = np.empty(0, dtype=np.int64)
     violation_step = None
     if sim.config.strict_safety:
         limit = sim.cpu_model.max_operating_temp_c
@@ -204,10 +270,13 @@ def _raise_earliest_error(sim, chiller_heat, tower_heat,
         step, circ = divmod(int(capacity_cells[0]), n_circs)
         circulation = circulations[circ]
         heat = float(chiller_heat[step, circ])
-        if heat > circulation.chiller.capacity_kw * 1000.0:
-            circulation.chiller.electricity_w_for_heat(heat)
-        circulation.tower.electricity_w_for_heat(
-            float(tower_heat[step, circ]))
+        try:
+            if heat > circulation.chiller.capacity_kw * 1000.0:
+                circulation.chiller.electricity_w_for_heat(heat)
+            circulation.tower.electricity_w_for_heat(
+                float(tower_heat[step, circ]))
+        except PhysicalRangeError as exc:
+            return KernelError(exception=exc, phase=0, step=step, circ=circ)
         raise AssertionError(
             "capacity cell did not raise")  # pragma: no cover
     if violation_step is not None:
@@ -216,25 +285,33 @@ def _raise_earliest_error(sim, chiller_heat, tower_heat,
         circ = next(index for index, group in enumerate(groups)
                     if group[0] <= server <= group[-1])
         group = groups[circ]
-        time_s = step * interval_s
-        raise CoolingFailureError(
+        time_s = (sim.step_offset + step) * interval_s
+        exc = CoolingFailureError(
             f"CPU over temperature at t={time_s:.0f}s in "
-            f"circulation starting at server {group[0]}",
-            server_id=int(server),
+            f"circulation starting at server "
+            f"{int(group[0]) + sim.server_offset}",
+            server_id=int(server) + sim.server_offset,
             temperature_c=float(cpu_temp_plane[step, server]),
-            step_index=step,
+            step_index=sim.step_offset + step,
         )
+        return KernelError(exception=exc, phase=1, step=step, circ=circ)
+    return None
 
 
-def run_whole_trace(sim) -> SimulationResult:
-    """Replay the full trace of a fault-free simulator as NumPy kernels.
+def run_kernel_columns(sim) -> KernelColumns:
+    """Phases 1–3 for ``sim``'s whole trace: per-circulation columns.
 
     ``sim`` is a (engine-cached) :class:`DatacenterSimulator`; its
     scheduler, policy, partitioning, circulations and decision hook are
-    reused so the output — including the exception raised on a chiller /
-    tower capacity breach or a strict-safety violation — is bit-identical
-    to ``sim.run()``'s serial loop.  Phase timings are stored on
-    ``sim.kernel_timings``.
+    reused so the columns — including the captured exception of a
+    chiller / tower capacity breach or a strict-safety violation — are
+    bit-identical to what ``sim.run()``'s serial loop computes.  Phase
+    timings are stored on a fresh ``sim.kernel_timings`` (the caller
+    adds ``fold_s`` after :func:`fold_columns`).
+
+    Violation records and error attributes are emitted in the
+    simulator's global frame (``step_offset`` / ``server_offset``), so
+    a shard's columns can be merged without rewriting them.
     """
     timings = KernelTimings()
     sim.kernel_timings = timings
@@ -317,63 +394,123 @@ def run_whole_trace(sim) -> SimulationResult:
 
         chiller_heat = heat_c * fraction_by_sid[setting_id]
         tower_heat = heat_c - chiller_heat
-        _raise_earliest_error(sim, chiller_heat, tower_heat,
-                              cpu_temp_plane, interval_s)
+        # Power splits are safe arithmetic even past a capacity breach,
+        # so compute them unconditionally; the merge discards them when
+        # an error wins.
         chiller_power_c = chiller_heat / circulations[0].chiller.cop
         tower_power_c = tower_heat / 1000.0 * tower.fan_power_w_per_kw
         sizes = np.array([group.size for group in groups])
         pump_power_c = sizes[None, :] * pump_by_sid[setting_id]
         inlet_cell = inlet_by_sid[setting_id]
         flow_cell = flow_by_sid[setting_id]
+
+        error = _earliest_error(sim, chiller_heat, tower_heat,
+                                cpu_temp_plane, interval_s)
+        violations: list[SafetyViolation] = []
+        violation_counts = np.zeros(n_steps, dtype=np.int64)
+        if error is None:
+            limit = cpu_model.max_operating_temp_c
+            violation_plane = cpu_temp_plane > limit
+            violation_counts = violation_plane.sum(axis=1)
+            violation_steps, violation_servers = np.nonzero(violation_plane)
+            violations = [
+                SafetyViolation(
+                    server_id=int(server) + sim.server_offset,
+                    step_index=int(step) + sim.step_offset,
+                    time_s=float((step + sim.step_offset) * interval_s),
+                    temperature_c=float(cpu_temp_plane[step, server]),
+                )
+                for step, server in zip(violation_steps, violation_servers)]
     timings.reduce_s = time.perf_counter() - clock
+
+    return KernelColumns(
+        generation_c=generation_c,
+        heat_c=heat_c,
+        chiller_power_c=chiller_power_c,
+        tower_power_c=tower_power_c,
+        pump_power_c=pump_power_c,
+        max_temp_c=max_temp_c,
+        inlet_cell=inlet_cell,
+        flow_cell=flow_cell,
+        sizes=sizes,
+        violation_counts=violation_counts,
+        violations=violations,
+        error=error,
+    )
+
+
+def fold_columns(columns: KernelColumns, n_servers: int) -> dict:
+    """Phase 4: fold circulation columns into per-step cluster columns.
+
+    Sequential adds in circulation order over *full-length* columns —
+    exactly the serial ``_aggregate_step`` accumulation.  The sharding
+    merge calls this once on stitched whole-cluster columns rather than
+    summing per-shard subtotals, because float addition is not
+    associative and only this order reproduces the unsharded fold bit
+    for bit.
+    """
+    n_steps, n_circs = columns.heat_c.shape
+    total_generation = np.zeros(n_steps)
+    total_cpu_power = np.zeros(n_steps)
+    total_chiller = np.zeros(n_steps)
+    total_tower = np.zeros(n_steps)
+    total_pump = np.zeros(n_steps)
+    inlet_sum = np.zeros(n_steps)
+    flow_sum = np.zeros(n_steps)
+    max_cpu_temp = np.full(n_steps, -np.inf)
+    for index in range(n_circs):
+        size = int(columns.sizes[index])
+        total_generation += columns.generation_c[:, index]
+        total_cpu_power += columns.heat_c[:, index]
+        total_chiller += columns.chiller_power_c[:, index]
+        total_tower += columns.tower_power_c[:, index]
+        total_pump += columns.pump_power_c[:, index]
+        np.maximum(max_cpu_temp, columns.max_temp_c[:, index],
+                   out=max_cpu_temp)
+        inlet_sum += columns.inlet_cell[:, index] * size
+        flow_sum += columns.flow_cell[:, index] * size
+    return {
+        "generation_per_cpu_w": total_generation / n_servers,
+        "cpu_power_per_cpu_w": total_cpu_power / n_servers,
+        "mean_inlet_temp_c": inlet_sum / n_servers,
+        "mean_flow_l_per_h": flow_sum / n_servers,
+        "max_cpu_temp_c": max_cpu_temp,
+        "chiller_power_w": total_chiller,
+        "tower_power_w": total_tower,
+        "pump_power_w": total_pump,
+    }
+
+
+def run_whole_trace(sim) -> SimulationResult:
+    """Replay the full trace of a fault-free simulator as NumPy kernels.
+
+    ``sim`` is a (engine-cached) :class:`DatacenterSimulator`; its
+    scheduler, policy, partitioning, circulations and decision hook are
+    reused so the output — including the exception raised on a chiller /
+    tower capacity breach or a strict-safety violation — is bit-identical
+    to ``sim.run()``'s serial loop.  Phase timings are stored on
+    ``sim.kernel_timings``.
+    """
+    columns = run_kernel_columns(sim)
+    if columns.error is not None:
+        raise columns.error.exception
+    timings = sim.kernel_timings
+    trace = sim.trace
+    raw = trace.utilisation
+    n_steps, n_servers = raw.shape
+    interval_s = trace.interval_s
 
     # Phase 4 — fold circulations into per-step cluster aggregates, in
     # circulation order with sequential adds (the serial accumulation).
     clock = time.perf_counter()
     with obs.span("kernel.fold"):
-        total_generation = np.zeros(n_steps)
-        total_cpu_power = np.zeros(n_steps)
-        total_chiller = np.zeros(n_steps)
-        total_tower = np.zeros(n_steps)
-        total_pump = np.zeros(n_steps)
-        inlet_sum = np.zeros(n_steps)
-        flow_sum = np.zeros(n_steps)
-        max_cpu_temp = np.full(n_steps, -np.inf)
-        for index, group in enumerate(groups):
-            total_generation += generation_c[:, index]
-            total_cpu_power += heat_c[:, index]
-            total_chiller += chiller_power_c[:, index]
-            total_tower += tower_power_c[:, index]
-            total_pump += pump_power_c[:, index]
-            np.maximum(max_cpu_temp, max_temp_c[:, index], out=max_cpu_temp)
-            inlet_sum += inlet_cell[:, index] * group.size
-            flow_sum += flow_cell[:, index] * group.size
-
-        limit = cpu_model.max_operating_temp_c
-        violation_plane = cpu_temp_plane > limit
-        violation_steps, violation_servers = np.nonzero(violation_plane)
-        sim._violation_log = [
-            SafetyViolation(
-                server_id=int(server),
-                step_index=int(step),
-                time_s=float(step * interval_s),
-                temperature_c=float(cpu_temp_plane[step, server]),
-            )
-            for step, server in zip(violation_steps, violation_servers)]
-
+        sim._violation_log = columns.violations
         records = ColumnarSteps({
-            "time_s": np.arange(n_steps) * interval_s,
+            "time_s": (sim.step_offset + np.arange(n_steps)) * interval_s,
             "mean_utilisation": raw.mean(axis=1),
             "max_utilisation": raw.max(axis=1),
-            "generation_per_cpu_w": total_generation / n_servers,
-            "cpu_power_per_cpu_w": total_cpu_power / n_servers,
-            "mean_inlet_temp_c": inlet_sum / n_servers,
-            "mean_flow_l_per_h": flow_sum / n_servers,
-            "max_cpu_temp_c": max_cpu_temp,
-            "chiller_power_w": total_chiller,
-            "tower_power_w": total_tower,
-            "pump_power_w": total_pump,
-            "safety_violations": violation_plane.sum(axis=1),
+            **fold_columns(columns, n_servers),
+            "safety_violations": columns.violation_counts,
             "degraded_circulations": np.zeros(n_steps, dtype=np.int64),
             "lost_harvest_w": np.zeros(n_steps),
             "active_faults": np.zeros(n_steps, dtype=np.int64),

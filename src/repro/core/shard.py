@@ -1,0 +1,697 @@
+"""Fleet-scale sharded simulation: split, run, and merge bit-identically.
+
+The paper's Google trace is 12.5k servers for a month (~8,900 control
+intervals); one kernel invocation over that plane is a double-digit-GB
+working set and a single-core job.  Cooling decisions are per
+circulation and the facility split is per-``(step, circulation)`` cell,
+so the plane factors cleanly into **rectangular tiles**: blocks of whole
+circulations times bounded time windows.  This module
+
+* plans the tiling (:func:`plan_shards` — server boundaries always land
+  on circulation boundaries, time windows may be ragged at the end),
+* runs kernel phases 1–3 on one tile (:func:`run_shard`, returning a
+  :class:`ShardOutcome` of per-circulation columns), and
+* stitches the tiles back into whole-cluster columns and replays the
+  phase-4 fold once over them (:func:`merge_shard_outcomes`).
+
+Bit-identity
+------------
+The merge is **bit-identical** to the unsharded kernel because nothing
+numeric is ever combined *across* shards:
+
+* every ``(step, circulation)`` cell is computed exactly once, by
+  exactly the arithmetic the unsharded kernel would use (the scheduled
+  plane, decisions, model batches and per-circulation reductions of a
+  tile depend only on that tile's cells);
+* the cluster fold (:func:`repro.core.kernel.fold_columns`) runs once,
+  on the stitched full-length columns, in circulation order — the same
+  sequential float adds as unsharded (summing per-shard subtotals would
+  not be, since float addition is not associative);
+* violations and errors are emitted in the global frame by the shard
+  itself (``step_offset`` / ``server_offset``) and the globally earliest
+  error is selected by the serial evaluation order ``(step, phase,
+  circulation)``.
+
+One subtlety breaks naive tiling: a memoising policy
+(:class:`~repro.control.cooling_policy.LookupSpacePolicy`) derives a
+quantised bucket's decision from the **exact** binding utilisation that
+first lands in the bucket, so decisions are path-dependent on priming
+order — and a shard's tile-local first occurrences need not match the
+global serial ones.  :func:`prime_decisions` therefore replays kernel
+phase 1 over the *full* plane on the coordinator, priming one decision
+cache in global first-occurrence order; every shard runs against (a
+clone of) that cache, so all shard-side lookups hit and the policy is
+never consulted out of order.  The primed store is bounded by the
+policy's quantisation (a few hundred entries), keeping worker payloads
+independent of trace length.
+
+Fault-carrying runs shard by **time only**: fault masks are drawn once
+over the whole cluster and sensor-noise RNG streams are keyed on global
+step indices, so a time window replays exactly its slice of the
+unsharded fault run, and merging is plain record concatenation.
+Decisions in a fault run key on noisy sensor readings that no pre-pass
+can enumerate, so fault windows execute **sequentially in time order**,
+sharing one decision cache and one policy instance — reproducing the
+serial priming sequence exactly.
+
+``tests/core/test_shard_parity.py`` enforces all of this, golden
+fixtures and hypothesis property tests included.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from .. import obs
+from ..errors import (
+    ConfigurationError,
+    CoolingFailureError,
+    PhysicalRangeError,
+)
+from ..control.scheduling import NoScheduler
+from ..faults import FaultSchedule
+from ..teg.module import TegModule
+from ..thermal.cpu_model import CpuThermalModel
+from ..workloads.trace import WorkloadTrace
+from .config import SimulationConfig
+from .engine import (
+    DEFAULT_CACHE_RESOLUTION,
+    CacheStats,
+    CoolingDecisionCache,
+    EngineMetrics,
+    SharedTraceRef,
+    _CachedVectorisedSimulator,
+    _trace_from_ref,
+)
+from .kernel import (
+    KernelColumns,
+    _decide_cells,
+    _scheduled_plane,
+    fold_columns,
+    run_kernel_columns,
+)
+from .results import ColumnarSteps, SimulationResult
+
+__all__ = [
+    "AUTO_SHARD_MIN_CELLS",
+    "DEFAULT_SHARD_SERVERS",
+    "DEFAULT_SHARD_STEPS",
+    "SHARD_SERVERS_ENV_VAR",
+    "SHARD_STEPS_ENV_VAR",
+    "ShardError",
+    "ShardOutcome",
+    "ShardSpec",
+    "clone_cache",
+    "merge_shard_outcomes",
+    "plan_shards",
+    "prime_decisions",
+    "resolve_shard_size",
+    "run_shard",
+    "simulate_sharded",
+]
+
+#: Environment variables overriding the shard tile size (servers wide,
+#: steps long).  Explicit engine arguments win over the environment.
+SHARD_SERVERS_ENV_VAR = "REPRO_SHARD_SERVERS"
+SHARD_STEPS_ENV_VAR = "REPRO_SHARD_STEPS"
+
+#: A kernel job auto-shards once its plane reaches this many cells
+#: (steps x servers) — about the point where splitting pays for the
+#: merge.  12.5k x 8,900 is ~111M cells, 55 default tiles.
+AUTO_SHARD_MIN_CELLS = 2_000_000
+
+#: Default tile dimensions when auto-sharding (clamped to the trace).
+DEFAULT_SHARD_SERVERS = 2500
+DEFAULT_SHARD_STEPS = 2500
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One rectangular tile of a ``(steps x servers)`` trace plane.
+
+    ``server_start:server_stop`` always covers whole circulations
+    ``circ_start:circ_stop`` of the *global* partitioning (the planner
+    guarantees it), so a shard's circulation columns slot directly into
+    the stitched whole-cluster arrays.
+    """
+
+    index: int
+    step_start: int
+    step_stop: int
+    server_start: int
+    server_stop: int
+    circ_start: int
+    circ_stop: int
+
+    @property
+    def n_steps(self) -> int:
+        """Time-window length of the tile."""
+        return self.step_stop - self.step_start
+
+    @property
+    def n_servers(self) -> int:
+        """Server width of the tile."""
+        return self.server_stop - self.server_start
+
+    @property
+    def n_circs(self) -> int:
+        """Whole circulations covered by the tile."""
+        return self.circ_stop - self.circ_start
+
+    @property
+    def n_cells(self) -> int:
+        """Trace cells (steps x servers) the tile covers."""
+        return self.n_steps * self.n_servers
+
+
+@dataclass(frozen=True)
+class ShardError:
+    """The earliest error one shard would have raised, in global frame.
+
+    ``order`` reproduces the serial raise order across shards: earliest
+    step first; within a step every circulation's evaluation (capacity
+    checks, phase 0) precedes the aggregation (strict safety, phase 1);
+    within a phase, circulations raise in index order.
+    """
+
+    exception: Exception
+    phase: int
+    step: int
+    circ: int
+
+    @property
+    def order(self) -> tuple[int, int, int]:
+        """Sort key ``(step, phase, circ)`` of the serial raise order."""
+        return (self.step, self.phase, self.circ)
+
+
+@dataclass
+class ShardOutcome:
+    """What one executed shard ships back to the merge.
+
+    Kernel shards carry ``columns`` (pre-fold per-circulation planes,
+    violations already in the global frame); fault shards carry the
+    serial loop's ``records`` list instead.  ``error`` is set when the
+    shard's slice of the run would have raised — the merge decides
+    whether it is the globally earliest one.
+    """
+
+    spec: ShardSpec
+    columns: KernelColumns | None = None
+    records: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+    error: ShardError | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+    n_cells: int = 0
+    telemetry: "obs.TelemetrySnapshot | None" = None
+    #: The policy instance a fault shard decided with — the sequential
+    #: fault orchestration carries it into the next time window so a
+    #: memoising policy replays the serial priming sequence.  Kernel
+    #: shards leave it ``None`` (they run off a pre-primed cache).
+    policy: object = field(default=None, repr=False, compare=False)
+
+
+def resolve_shard_size(explicit: int | None, env_var: str) -> int | None:
+    """One shard dimension: explicit > environment > ``None`` (unset).
+
+    Raises
+    ------
+    ConfigurationError
+        When the explicit value or the environment variable is
+        non-positive or not an integer.
+    """
+    if explicit is not None:
+        if explicit <= 0:
+            raise ConfigurationError(
+                f"shard size must be > 0, got {explicit}")
+        return int(explicit)
+    env = os.environ.get(env_var)
+    if env is None:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ConfigurationError(
+            f"{env_var} must be an integer, got {env!r}") from None
+    if value <= 0:
+        raise ConfigurationError(f"{env_var} must be > 0, got {value}")
+    return value
+
+
+def plan_shards(n_steps: int, n_servers: int, circulation_size: int,
+                shard_servers: int | None = None,
+                shard_steps: int | None = None) -> list[ShardSpec]:
+    """Tile a ``(n_steps x n_servers)`` plane along both dimensions.
+
+    ``shard_servers`` / ``shard_steps`` are *targets*: the server target
+    is rounded **down** to whole circulations (never below one), both
+    are clamped to the trace, and ``None`` leaves that dimension
+    unsplit.  The last tile of either dimension may be ragged.  Tiles
+    are ordered server-block-major, time-window-minor, and cover every
+    cell exactly once.
+
+    Raises
+    ------
+    ConfigurationError
+        On non-positive dimensions or targets.
+    """
+    if n_steps <= 0 or n_servers <= 0:
+        raise ConfigurationError(
+            f"trace plane must be non-empty, got "
+            f"{n_steps} x {n_servers}")
+    if circulation_size <= 0:
+        raise ConfigurationError(
+            f"circulation_size must be > 0, got {circulation_size}")
+    for label, value in (("shard_servers", shard_servers),
+                         ("shard_steps", shard_steps)):
+        if value is not None and value <= 0:
+            raise ConfigurationError(
+                f"{label} must be > 0, got {value}")
+
+    # Global circulation partitioning (trailing ragged group kept),
+    # mirroring DatacenterSimulator._partition_servers.
+    n_circs = -(-n_servers // circulation_size)
+    if shard_servers is None:
+        circs_per_shard = n_circs
+    else:
+        circs_per_shard = max(
+            1, min(shard_servers, n_servers) // circulation_size)
+    step_width = (n_steps if shard_steps is None
+                  else min(shard_steps, n_steps))
+
+    specs: list[ShardSpec] = []
+    for circ_start in range(0, n_circs, circs_per_shard):
+        circ_stop = min(circ_start + circs_per_shard, n_circs)
+        server_start = circ_start * circulation_size
+        server_stop = min(circ_stop * circulation_size, n_servers)
+        for step_start in range(0, n_steps, step_width):
+            specs.append(ShardSpec(
+                index=len(specs),
+                step_start=step_start,
+                step_stop=min(step_start + step_width, n_steps),
+                server_start=server_start,
+                server_stop=server_stop,
+                circ_start=circ_start,
+                circ_stop=circ_stop,
+            ))
+    return specs
+
+
+def prime_decisions(trace: WorkloadTrace, config: SimulationConfig,
+                    cpu_model: CpuThermalModel | None = None,
+                    teg_module: TegModule | None = None, *,
+                    cache_resolution: float = DEFAULT_CACHE_RESOLUTION
+                    ) -> CoolingDecisionCache | None:
+    """Every cooling decision of ``trace``, primed in serial order.
+
+    A memoising policy (``LookupSpacePolicy`` exposes
+    ``cache_resolution``) derives a quantised bucket's decision from the
+    *exact* binding utilisation that first lands in the bucket — so its
+    decisions are path-dependent on priming order, and a shard's
+    tile-local first occurrences need not match the global serial ones.
+    This pre-pass replays kernel phase 1 (schedule + decide) over the
+    full plane, priming one :class:`CoolingDecisionCache` with every
+    ``(bucket, group size)`` key in global first-occurrence order.  A
+    shard running against this cache answers every decision lookup from
+    the store and never consults the policy, restoring bit-identity.
+
+    Returns ``None`` for pure policies (analytic, static — no internal
+    memo): their decisions are pure functions of the exact binding, so
+    shard-local computation is already bit-identical and an exact-key
+    table could grow with the trace.  The primed store is bounded by
+    the policy's quantisation (a few hundred entries), independent of
+    trace length.  Stats are reset before returning — shards account
+    their own lookups.
+    """
+    sim = _CachedVectorisedSimulator(
+        trace, config, cpu_model, teg_module,
+        cache=CoolingDecisionCache(resolution=cache_resolution),
+        mode="kernel")
+    if not getattr(sim._policy, "cache_resolution", None):
+        return None
+    raw = trace.utilisation
+    # NoScheduler leaves the plane untouched; skip the full-plane copy
+    # (at fleet scale it is the size of the trace itself).
+    plane = (raw if type(sim._scheduler) is NoScheduler
+             else _scheduled_plane(sim, raw))
+    _decide_cells(sim, plane)
+    cache = sim._cache
+    cache.stats = CacheStats()
+    return cache
+
+
+def clone_cache(primed: CoolingDecisionCache | None
+                ) -> CoolingDecisionCache | None:
+    """A private copy of a primed cache (store shared-by-value, fresh stats).
+
+    Concurrent shards must not share one mutable stats object; the store
+    itself is tiny (see :func:`prime_decisions`) and never grows on a
+    shard — every lookup hits — so a shallow dict copy suffices.
+    """
+    if primed is None:
+        return None
+    clone = CoolingDecisionCache(resolution=primed.resolution)
+    clone._store = dict(primed._store)
+    return clone
+
+
+def run_shard(tile: WorkloadTrace, spec: ShardSpec,
+              config: SimulationConfig,
+              cpu_model: CpuThermalModel | None = None,
+              teg_module: TegModule | None = None, *,
+              faults: FaultSchedule | None = None,
+              cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
+              cache: CoolingDecisionCache | None = None,
+              policy: object = None,
+              telemetry: bool = False) -> ShardOutcome:
+    """Execute one tile and return its mergeable :class:`ShardOutcome`.
+
+    ``tile`` is the windowed trace (``trace.window(...)`` on the
+    coordinator, or a sliced shared-memory view in a worker); ``spec``
+    places it in the global plane.  Kernel tiles run phases 1–3 of
+    :mod:`repro.core.kernel` with the simulator's global offsets set, so
+    violations and errors come back already in cluster coordinates.
+    Fault tiles must span the full server width (masks are drawn over
+    the whole cluster) and step the fault-aware serial loop.
+
+    ``cache`` supplies the decision cache to run against — for kernel
+    tiles a :func:`prime_decisions` pre-pass (required for bit-identity
+    under memoising policies), for fault windows the shared cache the
+    sequential orchestration carries across windows; ``None`` builds a
+    fresh one (bit-exact only for pure policies or single-tile plans).
+    ``policy`` injects the shared policy instance of a sequential fault
+    run; the instance actually used rides back on the outcome.  Cache
+    hit/miss counters on the outcome are deltas, so shared caches
+    account correctly.
+
+    With ``telemetry`` on, the shard records into a private
+    :mod:`repro.obs` session whose snapshot rides back on the outcome —
+    the same contract worker jobs already follow.
+    """
+    if (tile.n_steps, tile.n_servers) != (spec.n_steps, spec.n_servers):
+        raise ConfigurationError(
+            f"tile is {tile.n_steps} x {tile.n_servers} but shard "
+            f"{spec.index} expects {spec.n_steps} x {spec.n_servers}")
+    if faults is not None and spec.server_start != 0:
+        raise ConfigurationError(
+            "fault-carrying runs shard by time only: fault masks are "
+            "drawn over the whole cluster, so a shard starting at "
+            f"server {spec.server_start} cannot replay them")
+
+    shard_config = config
+    if spec.n_servers < config.circulation_size:
+        # A tile holding only the global trailing ragged circulation:
+        # partition it as the single underpopulated group it is.  The
+        # decision-cache key carries the vector size, so the narrowed
+        # config cannot alias a full circulation's decisions.
+        shard_config = replace(config, circulation_size=spec.n_servers)
+
+    local = obs.Telemetry() if telemetry else None
+    outcome = ShardOutcome(spec=spec, n_cells=spec.n_cells)
+    if cache is None:
+        cache = CoolingDecisionCache(resolution=cache_resolution)
+    hits_before = cache.stats.hits
+    misses_before = cache.stats.misses
+    with obs.session(local) if local is not None else nullcontext():
+        with obs.span("engine.shard"):
+            obs.add("shard.cells", spec.n_cells)
+            if faults is not None:
+                _run_fault_shard(tile, spec, shard_config, cpu_model,
+                                 teg_module, faults, cache, policy,
+                                 outcome)
+            else:
+                _run_kernel_shard(tile, spec, shard_config, cpu_model,
+                                  teg_module, cache, outcome)
+        outcome.cache_hits = cache.stats.hits - hits_before
+        outcome.cache_misses = cache.stats.misses - misses_before
+        if local is not None:
+            obs.add("engine.cache.hits", outcome.cache_hits)
+            obs.add("engine.cache.misses", outcome.cache_misses)
+    if local is not None:
+        outcome.telemetry = local.snapshot()
+    return outcome
+
+
+def _run_kernel_shard(tile, spec, config, cpu_model, teg_module, cache,
+                      outcome) -> None:
+    """Kernel phases 1–3 over one tile, offsets in the global frame."""
+    sim = _CachedVectorisedSimulator(
+        tile, config, cpu_model, teg_module, cache=cache, mode="kernel",
+        step_offset=spec.step_start, server_offset=spec.server_start)
+    columns = run_kernel_columns(sim)
+    outcome.columns = columns
+    outcome.violations = columns.violations
+    if columns.error is not None:
+        outcome.error = ShardError(
+            exception=columns.error.exception,
+            phase=columns.error.phase,
+            step=spec.step_start + columns.error.step,
+            circ=spec.circ_start + columns.error.circ,
+        )
+
+
+def _run_fault_shard(tile, spec, config, cpu_model, teg_module, faults,
+                     cache, policy, outcome) -> None:
+    """The fault-aware serial loop over one full-width time window."""
+    sim = _CachedVectorisedSimulator(
+        tile, config, cpu_model, teg_module, cache=cache, mode="loop",
+        faults=faults, step_offset=spec.step_start)
+    if policy is not None:
+        # Sequential fault windows share one policy so a memoising
+        # policy's buckets are primed in the serial call order.
+        sim._policy = policy
+    outcome.policy = sim._policy
+    try:
+        result = sim.run()
+    except CoolingFailureError as exc:
+        # step_index is already global (the simulator applied its
+        # offset); windows are disjoint in time, so this key orders
+        # correctly against every other shard's error.
+        outcome.error = ShardError(exception=exc, phase=1,
+                                   step=exc.step_index, circ=0)
+    except PhysicalRangeError as exc:
+        # Capacity breaches carry no step; the window start preserves
+        # the across-window order (one error per disjoint window).
+        outcome.error = ShardError(exception=exc, phase=0,
+                                   step=spec.step_start, circ=0)
+    else:
+        outcome.records = list(result.records)
+        outcome.violations = list(result.violations)
+
+
+def merge_shard_outcomes(trace: WorkloadTrace, config: SimulationConfig,
+                         outcomes: Sequence[ShardOutcome]
+                         ) -> SimulationResult:
+    """Stitch shard outcomes back into one whole-cluster result.
+
+    Raises the globally earliest shard error (serial raise order) when
+    any shard reported one.  Kernel outcomes are stitched column-wise
+    and folded once; fault outcomes (time windows) are concatenated in
+    window order.  Either way the result is bit-identical to running
+    the trace unsharded.
+    """
+    if not outcomes:
+        raise ConfigurationError("cannot merge zero shard outcomes")
+    errors = [o.error for o in outcomes if o.error is not None]
+    if errors:
+        raise min(errors, key=lambda e: e.order).exception
+
+    n_steps, n_servers = trace.n_steps, trace.n_servers
+    interval_s = trace.interval_s
+    ordered = sorted(outcomes, key=lambda o: (o.spec.server_start,
+                                              o.spec.step_start))
+    if ordered[0].columns is None:
+        # Fault path: full-width time windows; plain concatenation in
+        # window order replays the serial append order exactly.
+        records: list = []
+        violations: list = []
+        for outcome in ordered:
+            records.extend(outcome.records)
+            violations.extend(outcome.violations)
+        result = SimulationResult(
+            scheme=config.name, trace_name=trace.name,
+            n_servers=n_servers, interval_s=interval_s, records=records)
+        result.violations = violations
+        return result
+
+    n_circs = max(o.spec.circ_stop for o in ordered)
+    plane = lambda: np.empty((n_steps, n_circs))  # noqa: E731
+    merged = KernelColumns(
+        generation_c=plane(), heat_c=plane(), chiller_power_c=plane(),
+        tower_power_c=plane(), pump_power_c=plane(), max_temp_c=plane(),
+        inlet_cell=plane(), flow_cell=plane(),
+        sizes=np.empty(n_circs, dtype=np.int64),
+        violation_counts=np.zeros(n_steps, dtype=np.int64),
+    )
+    for outcome in ordered:
+        spec, columns = outcome.spec, outcome.columns
+        rows = slice(spec.step_start, spec.step_stop)
+        cols = slice(spec.circ_start, spec.circ_stop)
+        merged.generation_c[rows, cols] = columns.generation_c
+        merged.heat_c[rows, cols] = columns.heat_c
+        merged.chiller_power_c[rows, cols] = columns.chiller_power_c
+        merged.tower_power_c[rows, cols] = columns.tower_power_c
+        merged.pump_power_c[rows, cols] = columns.pump_power_c
+        merged.max_temp_c[rows, cols] = columns.max_temp_c
+        merged.inlet_cell[rows, cols] = columns.inlet_cell
+        merged.flow_cell[rows, cols] = columns.flow_cell
+        merged.sizes[cols] = columns.sizes
+        # Integer counts: addition is exact and order-free.
+        merged.violation_counts[rows] += columns.violation_counts
+        merged.violations.extend(outcome.violations)
+
+    # The unsharded kernel emits violations in row-major (step, server)
+    # order; shard violations are already globally identified, so a
+    # sort restores exactly that order.
+    merged.violations.sort(key=lambda v: (v.step_index, v.server_id))
+
+    raw = trace.utilisation
+    records = ColumnarSteps({
+        "time_s": np.arange(n_steps) * interval_s,
+        "mean_utilisation": raw.mean(axis=1),
+        "max_utilisation": raw.max(axis=1),
+        **fold_columns(merged, n_servers),
+        "safety_violations": merged.violation_counts,
+        "degraded_circulations": np.zeros(n_steps, dtype=np.int64),
+        "lost_harvest_w": np.zeros(n_steps),
+        "active_faults": np.zeros(n_steps, dtype=np.int64),
+    })
+    result = SimulationResult(
+        scheme=config.name, trace_name=trace.name, n_servers=n_servers,
+        interval_s=interval_s, records=records)
+    result.violations = merged.violations
+    return result
+
+
+def _merged_telemetry(outcomes: Sequence[ShardOutcome]):
+    """One :class:`repro.obs.TelemetrySnapshot` over all shard sessions."""
+    telemetry = obs.Telemetry()
+    merged_any = False
+    for outcome in outcomes:
+        if outcome.telemetry is not None:
+            telemetry.merge_snapshot(outcome.telemetry)
+            merged_any = True
+    return telemetry.snapshot() if merged_any else None
+
+
+def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
+                     cpu_model: CpuThermalModel | None = None,
+                     teg_module: TegModule | None = None, *,
+                     shard_servers: int | None = None,
+                     shard_steps: int | None = None,
+                     faults: FaultSchedule | None = None,
+                     cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
+                     telemetry: bool | None = None) -> SimulationResult:
+    """Split → run → merge one trace in-process (the reference path).
+
+    Bit-identical to ``simulate(trace, config, ...)``; the parity suite
+    pins that down.  The batch engine dispatches the same shards over
+    its executor instead — this function is the executable
+    specification the engine path is tested against, and a convenient
+    way to bound peak memory on a single core.
+    """
+    started = time.perf_counter()
+    if trace.n_servers < config.circulation_size:
+        # Same failure the unsharded simulator raises at construction;
+        # sharding must not silently "fix" an invalid cluster.
+        raise ConfigurationError(
+            f"trace has {trace.n_servers} servers but a single "
+            f"circulation needs {config.circulation_size}")
+    shard_servers = resolve_shard_size(shard_servers, SHARD_SERVERS_ENV_VAR)
+    shard_steps = resolve_shard_size(shard_steps, SHARD_STEPS_ENV_VAR)
+    has_faults = faults is not None and len(faults) > 0
+    if has_faults:
+        shard_servers = None  # masks span the cluster: time-only shards
+    record = obs.telemetry_enabled(telemetry)
+    specs = plan_shards(trace.n_steps, trace.n_servers,
+                        config.circulation_size,
+                        shard_servers=shard_servers,
+                        shard_steps=shard_steps)
+    outcomes = []
+    if has_faults:
+        # Sequential time windows sharing one cache and one policy:
+        # exactly the serial decision sequence (see the module note).
+        shared = CoolingDecisionCache(resolution=cache_resolution)
+        policy = None
+        for spec in specs:
+            outcome = run_shard(
+                trace.window(spec.step_start, spec.step_stop,
+                             spec.server_start, spec.server_stop),
+                spec, config, cpu_model, teg_module, faults=faults,
+                cache_resolution=cache_resolution, cache=shared,
+                policy=policy, telemetry=record)
+            policy = outcome.policy
+            outcomes.append(outcome)
+    else:
+        primed = prime_decisions(trace, config, cpu_model, teg_module,
+                                 cache_resolution=cache_resolution)
+        outcomes = [
+            run_shard(trace.window(spec.step_start, spec.step_stop,
+                                   spec.server_start, spec.server_stop),
+                      spec, config, cpu_model, teg_module,
+                      cache_resolution=cache_resolution,
+                      cache=clone_cache(primed), telemetry=record)
+            for spec in specs]
+    result = merge_shard_outcomes(trace, config, outcomes)
+    wall = time.perf_counter() - started
+    cache_hits = sum(o.cache_hits for o in outcomes)
+    cache_misses = sum(o.cache_misses for o in outcomes)
+    lookups = cache_hits + cache_misses
+    result.metrics = EngineMetrics(
+        wall_time_s=wall,
+        step_time_s=wall,
+        n_steps=trace.n_steps,
+        steps_per_s=trace.n_steps / wall if wall > 0 else 0.0,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        cache_hit_rate=cache_hits / lookups if lookups else 0.0,
+        mode="loop" if has_faults else "kernel",
+        vectorised=not has_faults,
+        n_shards=len(specs),
+    )
+    if record:
+        result.telemetry = _merged_telemetry(outcomes)
+    return result
+
+
+@dataclass(frozen=True)
+class _ShardPayload:
+    """What a process-pool shard pickles: the spec plus a windowed ref.
+
+    The trace plane rides as a :class:`~repro.core.engine.SharedTraceRef`
+    whose window bounds select this shard's tile out of the one shared
+    segment — payload size is independent of both the trace length and
+    the shard count (the zero-copy property the fleet-scale benchmark
+    and the dispatch tests pin down).  ``decisions`` is the
+    :func:`prime_decisions` cache (pickling gives each worker a private
+    copy); its store is bounded by the policy's quantisation, so the
+    size independence survives.
+    """
+
+    trace_ref: SharedTraceRef
+    spec: ShardSpec
+    config: SimulationConfig
+    cpu_model: CpuThermalModel | None
+    teg_module: TegModule | None
+    faults: FaultSchedule | None
+    cache_resolution: float
+    decisions: CoolingDecisionCache | None = None
+    telemetry: bool = False
+
+
+def _execute_shard_payload(payload: _ShardPayload) -> ShardOutcome:
+    """Process-worker entry point for shared-memory dispatched shards."""
+    tile = _trace_from_ref(payload.trace_ref)
+    return run_shard(tile, payload.spec, payload.config,
+                     payload.cpu_model, payload.teg_module,
+                     faults=payload.faults,
+                     cache_resolution=payload.cache_resolution,
+                     cache=payload.decisions,
+                     telemetry=payload.telemetry)

@@ -52,6 +52,16 @@ class DatacenterSimulator:
     #: Optional fault schedule; ``None`` keeps the nominal, bit-exact
     #: code path.  See :mod:`repro.faults` and ``docs/faults.md``.
     faults: FaultSchedule | None = None
+    #: Global frame of this simulator when its trace is one shard of a
+    #: larger cluster (:mod:`repro.core.shard`): local step ``i`` is
+    #: global step ``step_offset + i`` and local server ``j`` is global
+    #: server ``server_offset + j``.  The offsets feed timestamps,
+    #: violation identities, error messages and the fault runtime's
+    #: deterministic RNG keys, so a shard reproduces exactly the slice
+    #: of the unsharded run it covers.  Both are 0 for a whole-cluster
+    #: simulator, which keeps every existing path bit-identical.
+    step_offset: int = 0
+    server_offset: int = 0
 
     def __post_init__(self) -> None:
         if self.trace.n_servers < self.config.circulation_size:
@@ -193,7 +203,7 @@ class DatacenterSimulator:
         circulation instead of two.
         """
         runtime = self._fault_runtime
-        time_s = step_index * self.trace.interval_s
+        time_s = (self.step_offset + step_index) * self.trace.interval_s
         step_utils = self.trace.step(step_index)
         active_faults = runtime.active_count(time_s)
         states = []
@@ -209,9 +219,12 @@ class DatacenterSimulator:
                 nominal_state = circulation.evaluate(
                     scheduled, nominal_decision.setting)
 
-            # Control path: decide on what the sensors *read*.
-            readings = runtime.sense(scheduled, step_index, circ_index,
-                                     time_s)
+            # Control path: decide on what the sensors *read*.  Sensor
+            # noise is keyed on the *global* step index so a time shard
+            # draws the same series the unsharded run would.
+            readings = runtime.sense(scheduled,
+                                     self.step_offset + step_index,
+                                     circ_index, time_s)
             tripped = runtime.pump_stalled(time_s, circ_index)
             if tripped or not plausible_readings(readings):
                 setting = conservative_setting(self._policy)
@@ -258,7 +271,7 @@ class DatacenterSimulator:
         max_cpu_temp = -np.inf
         inlet_sum = 0.0
         flow_sum = 0.0
-        time_s = step_index * self.trace.interval_s
+        time_s = (self.step_offset + step_index) * self.trace.interval_s
 
         for group, circulation, state in zip(self._groups,
                                              self._circulations, states):
@@ -275,18 +288,20 @@ class DatacenterSimulator:
             if step_violations and self.config.strict_safety:
                 raise CoolingFailureError(
                     f"CPU over temperature at t={time_s:.0f}s in "
-                    f"circulation starting at server {group[0]}",
-                    server_id=int(group[step_violations[0]]),
+                    f"circulation starting at server "
+                    f"{int(group[0]) + self.server_offset}",
+                    server_id=(int(group[step_violations[0]])
+                               + self.server_offset),
                     temperature_c=float(state.cpu_temps_c[
                         step_violations[0]]),
-                    step_index=step_index,
+                    step_index=self.step_offset + step_index,
                 )
             # Non-strict path: log every offending (server, interval)
             # pair, not just the count (post-mortems need identities).
             for offender in step_violations:
                 self._violation_log.append(SafetyViolation(
-                    server_id=int(group[offender]),
-                    step_index=step_index,
+                    server_id=int(group[offender]) + self.server_offset,
+                    step_index=self.step_offset + step_index,
                     time_s=time_s,
                     temperature_c=float(state.cpu_temps_c[offender]),
                 ))

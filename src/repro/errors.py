@@ -45,6 +45,15 @@ class CoolingFailureError(ReproError):
         self.temperature_c = temperature_c
         self.step_index = step_index
 
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*args)``, which would
+        # drop the keyword-only attributes when a process-pool worker or
+        # a shard outcome carries this error back to the coordinator.
+        return (self.__class__, (str(self),),
+                {"server_id": self.server_id,
+                 "temperature_c": self.temperature_c,
+                 "step_index": self.step_index})
+
 
 class FaultInjectionError(ReproError):
     """A fault specification or schedule is invalid or cannot be applied.
@@ -79,6 +88,13 @@ class JobExecutionError(ReproError):
         self.attempts = attempts
         self.elapsed_s = elapsed_s
         self.timed_out = timed_out
+
+    def __reduce__(self):
+        # See :meth:`CoolingFailureError.__reduce__`.
+        return (self.__class__, (str(self),),
+                {"scheme": self.scheme, "trace_name": self.trace_name,
+                 "attempts": self.attempts, "elapsed_s": self.elapsed_s,
+                 "timed_out": self.timed_out})
 
 
 class TraceFormatError(ReproError):

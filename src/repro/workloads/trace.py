@@ -180,6 +180,28 @@ class WorkloadTrace:
         return WorkloadTrace(self._matrix[:, start:stop], self.interval_s,
                              name=f"{self.name}[{start}:{stop}]")
 
+    def window(self, step_start: int, step_stop: int,
+               server_start: int, server_stop: int) -> "WorkloadTrace":
+        """A rectangular tile ``[step_start:step_stop, server_start:server_stop]``.
+
+        Unlike :meth:`slice_servers` / :meth:`slice_time` the tile is a
+        zero-copy *view* on this trace's matrix — the property the
+        fleet-scale sharding layer (:mod:`repro.core.shard`) depends on —
+        and it keeps any backing shared-memory segment alive.  The tile
+        keeps the parent's name: a shard is an execution detail, not a
+        new trace identity.
+        """
+        if not (0 <= step_start < step_stop <= self.n_steps
+                and 0 <= server_start < server_stop <= self.n_servers):
+            raise TraceFormatError(
+                f"invalid window [{step_start}:{step_stop}, "
+                f"{server_start}:{server_stop}] for a "
+                f"{self.n_steps} x {self.n_servers} trace")
+        view = self._matrix[step_start:step_stop, server_start:server_stop]
+        return WorkloadTrace.from_shared(view, self.interval_s,
+                                         name=self.name,
+                                         block=self._shared_block)
+
     def slice_time(self, start_s: float, stop_s: float) -> "WorkloadTrace":
         """A trace restricted to the window ``[start_s, stop_s)``."""
         start_idx = int(np.floor(start_s / self.interval_s))

@@ -1,0 +1,309 @@
+"""Unit tests for the fleet-scale sharding layer (repro.core.shard).
+
+Planner geometry, knob/environment validation (coordinator-side, the
+satellite fix of the sharding PR), decision priming, and the
+payload-size independence the zero-copy dispatch promises.  Numerical
+parity between sharded and unsharded runs lives in
+``tests/core/test_shard_parity.py``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import SimulationConfig, teg_original
+from repro.core.engine import (
+    BatchSimulationEngine,
+    SharedTraceRef,
+    SimulationJob,
+)
+from repro.core.shard import (
+    AUTO_SHARD_MIN_CELLS,
+    SHARD_SERVERS_ENV_VAR,
+    SHARD_STEPS_ENV_VAR,
+    ShardSpec,
+    _ShardPayload,
+    clone_cache,
+    plan_shards,
+    prime_decisions,
+    resolve_shard_size,
+    run_shard,
+    simulate_sharded,
+)
+from repro.errors import ConfigurationError
+from repro.faults import FaultSchedule, FaultSpec
+from repro.workloads.synthetic import drastic_trace
+
+
+def small_trace(n_servers=47, steps=24, seed=7):
+    return drastic_trace(n_servers=n_servers, duration_s=steps * 300.0,
+                         interval_s=300.0, seed=seed)
+
+
+class TestPlanShards:
+    """Tiling geometry: every cell exactly once, circulation-aligned."""
+
+    def covers_exactly_once(self, specs, n_steps, n_servers):
+        seen = set()
+        for spec in specs:
+            for step in range(spec.step_start, spec.step_stop):
+                for server in range(spec.server_start, spec.server_stop):
+                    assert (step, server) not in seen
+                    seen.add((step, server))
+        assert len(seen) == n_steps * n_servers
+
+    def test_single_tile_when_unsplit(self):
+        specs = plan_shards(100, 60, 20)
+        assert len(specs) == 1
+        spec = specs[0]
+        assert (spec.step_start, spec.step_stop) == (0, 100)
+        assert (spec.server_start, spec.server_stop) == (0, 60)
+        assert (spec.circ_start, spec.circ_stop) == (0, 3)
+
+    def test_covers_plane_exactly_once(self):
+        specs = plan_shards(10, 47, 20, shard_servers=20, shard_steps=3)
+        self.covers_exactly_once(specs, 10, 47)
+
+    def test_server_boundaries_on_circulations(self):
+        specs = plan_shards(10, 100, 20, shard_servers=50)
+        for spec in specs:
+            assert spec.server_start % 20 == 0
+            assert spec.server_start == spec.circ_start * 20
+
+    def test_ragged_trailing_circulation(self):
+        # 47 servers at circulation 20 -> groups of 20, 20, 7.
+        specs = plan_shards(5, 47, 20, shard_servers=20)
+        widths = sorted(spec.n_servers for spec in specs)
+        assert widths == [7, 20, 20]
+        last = max(specs, key=lambda s: s.server_start)
+        assert (last.server_start, last.server_stop) == (40, 47)
+
+    def test_ragged_time_window(self):
+        specs = plan_shards(10, 20, 20, shard_steps=4)
+        lengths = [spec.n_steps for spec in specs]
+        assert lengths == [4, 4, 2]
+
+    def test_width_below_circulation_clamps_to_one_circ(self):
+        # A 1-server target still ships whole circulations.
+        specs = plan_shards(5, 40, 20, shard_servers=1)
+        assert all(spec.n_circs == 1 for spec in specs)
+        self.covers_exactly_once(specs, 5, 40)
+
+    def test_width_above_trace_clamps(self):
+        specs = plan_shards(5, 40, 20, shard_servers=10_000)
+        assert len(specs) == 1
+
+    def test_order_is_server_major_time_minor(self):
+        specs = plan_shards(6, 40, 20, shard_servers=20, shard_steps=3)
+        keys = [(spec.server_start, spec.step_start) for spec in specs]
+        assert keys == sorted(keys)
+        assert [spec.index for spec in specs] == list(range(len(specs)))
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_steps=0, n_servers=10, circulation_size=5),
+        dict(n_steps=10, n_servers=0, circulation_size=5),
+        dict(n_steps=10, n_servers=10, circulation_size=0),
+        dict(n_steps=10, n_servers=10, circulation_size=5,
+             shard_servers=-1),
+        dict(n_steps=10, n_servers=10, circulation_size=5, shard_steps=0),
+    ])
+    def test_invalid_inputs_raise(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            plan_shards(**kwargs)
+
+
+class TestResolveShardSize:
+    """Explicit argument > environment > None; malformed values raise."""
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(SHARD_SERVERS_ENV_VAR, "100")
+        assert resolve_shard_size(7, SHARD_SERVERS_ENV_VAR) == 7
+
+    def test_env_used_when_unset(self, monkeypatch):
+        monkeypatch.setenv(SHARD_STEPS_ENV_VAR, "250")
+        assert resolve_shard_size(None, SHARD_STEPS_ENV_VAR) == 250
+
+    def test_unset_returns_none(self, monkeypatch):
+        monkeypatch.delenv(SHARD_STEPS_ENV_VAR, raising=False)
+        assert resolve_shard_size(None, SHARD_STEPS_ENV_VAR) is None
+
+    @pytest.mark.parametrize("value", ["abc", "-3", "0", "2.5", ""])
+    def test_malformed_env_raises_naming_variable(self, monkeypatch,
+                                                  value):
+        monkeypatch.setenv(SHARD_SERVERS_ENV_VAR, value)
+        with pytest.raises(ConfigurationError, match=SHARD_SERVERS_ENV_VAR):
+            resolve_shard_size(None, SHARD_SERVERS_ENV_VAR)
+
+    @pytest.mark.parametrize("value", [0, -4])
+    def test_non_positive_explicit_raises(self, value):
+        with pytest.raises(ConfigurationError):
+            resolve_shard_size(value, SHARD_SERVERS_ENV_VAR)
+
+
+class TestEngineKnobValidation:
+    """The engine rejects bad knobs before anything reaches a worker."""
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(shard_servers=0),
+        dict(shard_servers=-5),
+        dict(shard_steps=0),
+        dict(shard_steps=-1),
+    ])
+    def test_constructor_rejects_non_positive(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BatchSimulationEngine(**kwargs)
+
+    def test_env_malformed_fails_run_not_worker(self, monkeypatch):
+        monkeypatch.setenv(SHARD_STEPS_ENV_VAR, "soon")
+        engine = BatchSimulationEngine(n_workers=1, prefer="serial")
+        job = SimulationJob(trace=small_trace(), config=teg_original())
+        try:
+            with pytest.raises(ConfigurationError,
+                               match=SHARD_STEPS_ENV_VAR):
+                engine.run([job])
+        finally:
+            engine.close()
+
+    def test_knob_exceeding_trace_dimensions_raises(self):
+        trace = small_trace(n_servers=47, steps=24)
+        engine = BatchSimulationEngine(n_workers=1, prefer="serial",
+                                       shard=True, shard_servers=48)
+        job = SimulationJob(trace=trace, config=teg_original())
+        try:
+            with pytest.raises(ConfigurationError,
+                               match=SHARD_SERVERS_ENV_VAR):
+                engine.run([job])
+        finally:
+            engine.close()
+
+    def test_steps_knob_exceeding_trace_raises(self):
+        trace = small_trace(steps=24)
+        engine = BatchSimulationEngine(n_workers=1, prefer="serial",
+                                       shard=True, shard_steps=25)
+        job = SimulationJob(trace=trace, config=teg_original())
+        try:
+            with pytest.raises(ConfigurationError,
+                               match=SHARD_STEPS_ENV_VAR):
+                engine.run([job])
+        finally:
+            engine.close()
+
+    def test_shard_false_never_shards(self):
+        trace = small_trace()
+        engine = BatchSimulationEngine(n_workers=1, prefer="serial",
+                                       shard=False, shard_servers=20)
+        job = SimulationJob(trace=trace, config=teg_original())
+        try:
+            batch = engine.run([job])
+        finally:
+            engine.close()
+        assert not batch.failures
+        assert batch.results[0].metrics.n_shards == 0
+
+    def test_auto_shard_threshold(self):
+        # Below the cell threshold and with no knobs, jobs run whole.
+        trace = small_trace()
+        assert trace.n_steps * trace.n_servers < AUTO_SHARD_MIN_CELLS
+        engine = BatchSimulationEngine(n_workers=1, prefer="serial")
+        job = SimulationJob(trace=trace, config=teg_original())
+        try:
+            batch = engine.run([job])
+        finally:
+            engine.close()
+        assert batch.results[0].metrics.n_shards == 0
+        assert batch.metrics.shards == 0
+
+
+class TestRunShardValidation:
+    def test_tile_shape_mismatch_raises(self):
+        trace = small_trace()
+        spec = ShardSpec(index=0, step_start=0, step_stop=5,
+                         server_start=0, server_stop=20,
+                         circ_start=0, circ_stop=1)
+        with pytest.raises(ConfigurationError, match="expects"):
+            run_shard(trace, spec, teg_original())
+
+    def test_fault_shard_must_span_cluster(self):
+        trace = small_trace()
+        spec = ShardSpec(index=0, step_start=0, step_stop=trace.n_steps,
+                         server_start=20, server_stop=40,
+                         circ_start=1, circ_stop=2)
+        tile = trace.window(0, trace.n_steps, 20, 40)
+        faults = FaultSchedule(specs=[FaultSpec(kind="sensor_bias",
+                                                magnitude=0.05)], seed=1)
+        with pytest.raises(ConfigurationError, match="time only"):
+            run_shard(tile, spec, teg_original(), faults=faults)
+
+    def test_trace_narrower_than_circulation_raises(self):
+        trace = small_trace(n_servers=10)
+        with pytest.raises(ConfigurationError, match="circulation"):
+            simulate_sharded(trace, teg_original(), shard_steps=5)
+
+
+class TestPrimeDecisions:
+    def test_memoising_policy_gets_primed_cache(self):
+        trace = small_trace()
+        cache = prime_decisions(trace, teg_original())
+        assert cache is not None
+        assert len(cache) > 0
+        # Stats are reset: shards account their own lookups.
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_pure_policies_skip_priming(self):
+        trace = small_trace()
+        for policy in ("analytic", "static"):
+            config = SimulationConfig(name=policy, policy=policy)
+            assert prime_decisions(trace, config) is None
+
+    def test_store_bounded_by_quantisation(self):
+        # Twice the steps must not grow the store past the bucket bound
+        # (#buckets x #distinct group sizes) — the payload-size
+        # independence hinges on this.
+        config = teg_original()
+        short = prime_decisions(small_trace(steps=24), config)
+        resolution = 0.005  # LookupSpacePolicy default
+        bound = (int(1 / resolution) + 2) * 2  # two group sizes (20, 7)
+        assert len(short) <= bound
+
+    def test_clone_cache_shares_store_not_stats(self):
+        trace = small_trace()
+        primed = prime_decisions(trace, teg_original())
+        clone = clone_cache(primed)
+        assert clone is not primed
+        assert clone._store == primed._store
+        clone.stats.hits += 5
+        assert primed.stats.hits == 0
+        assert clone_cache(None) is None
+
+
+class TestPayloadSizeIndependence:
+    """Worker payloads must not grow with the trace or the shard count."""
+
+    def payload_for(self, steps):
+        trace = small_trace(steps=steps)
+        ref = SharedTraceRef(shm_name="test-segment",
+                             shape=(trace.n_steps, trace.n_servers),
+                             dtype="float64",
+                             interval_s=trace.interval_s,
+                             name=trace.name,
+                             row_start=0, row_stop=min(8, trace.n_steps),
+                             col_start=0, col_stop=trace.n_servers)
+        spec = ShardSpec(index=0, step_start=0,
+                         step_stop=min(8, trace.n_steps),
+                         server_start=0, server_stop=trace.n_servers,
+                         circ_start=0, circ_stop=3)
+        return _ShardPayload(
+            trace_ref=ref, spec=spec, config=teg_original(),
+            cpu_model=None, teg_module=None, faults=None,
+            cache_resolution=0.005,
+            decisions=prime_decisions(trace, teg_original()))
+
+    def test_pickled_size_independent_of_trace_length(self):
+        small = len(pickle.dumps(self.payload_for(steps=24)))
+        large = len(pickle.dumps(self.payload_for(steps=24 * 40)))
+        # The primed store is bounded by the policy quantisation (at
+        # most one entry per (bucket, group size) pair), so a 40x
+        # longer trace cannot scale the payload with it — only fill in
+        # more of the bounded bucket range.
+        assert large < small * 4
+        assert large < 64 * 1024

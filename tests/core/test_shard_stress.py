@@ -1,0 +1,113 @@
+"""Soak the sharded path: shared-memory and fd lifecycle under load.
+
+Many sharded batches flow through one persistent engine; afterwards the
+process must hold no extra ``/dev/shm`` segments and (to a small slack)
+no extra file descriptors, and the executor must have been launched
+exactly once.  These are marked ``slow`` — they trade runtime for
+leak coverage the fast suite cannot afford.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import teg_loadbalance, teg_original
+from repro.core.engine import BatchSimulationEngine, SimulationJob
+from repro.core.shard import simulate_sharded
+from repro.faults import FaultSchedule, FaultSpec
+from repro.workloads.synthetic import common_trace, drastic_trace
+
+SHM_DIR = Path("/dev/shm")
+FD_DIR = Path("/proc/self/fd")
+
+pytestmark = pytest.mark.slow
+
+
+def shm_segments():
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-Linux fallback
+        return set()
+    return {entry.name for entry in SHM_DIR.iterdir()}
+
+
+def open_fds():
+    if not FD_DIR.is_dir():  # pragma: no cover - non-Linux fallback
+        return 0
+    return len(list(FD_DIR.iterdir()))
+
+
+def make_jobs(seed):
+    trace = common_trace(n_servers=40, duration_s=4 * 3600.0,
+                         interval_s=300.0, seed=seed)
+    return [SimulationJob(trace=trace, config=config)
+            for config in (teg_original(), teg_loadbalance())]
+
+
+class TestSharedMemorySoak:
+
+    @pytest.mark.parametrize("prefer", ["process", "thread"])
+    def test_many_batches_leak_nothing(self, prefer):
+        segments_before = shm_segments()
+        fds_before = open_fds()
+        with BatchSimulationEngine(n_workers=2, prefer=prefer,
+                                   shard=True, shard_servers=20,
+                                   shard_steps=13) as engine:
+            for round_index in range(4):
+                batch = engine.run(make_jobs(seed=round_index))
+                assert not batch.failures
+                assert batch.metrics.shards > 0
+                # Segments are cached one-per-distinct-trace for reuse;
+                # growth beyond that (e.g. one per shard) is a leak.
+                assert len(engine._shared_traces) <= round_index + 1
+            assert engine.executor_launches == 1
+        assert shm_segments() == segments_before
+        # A couple of fds of slack: the pool's control pipes come and
+        # go, but growth proportional to batch count is a leak.
+        assert open_fds() <= fds_before + 4
+
+    def test_interleaved_sharded_and_whole_jobs(self):
+        segments_before = shm_segments()
+        with BatchSimulationEngine(n_workers=2, prefer="process",
+                                   shard=True, shard_servers=20,
+                                   shard_steps=13) as engine:
+            sharded = engine.run(make_jobs(seed=0))
+            engine.shard = False
+            whole = engine.run(make_jobs(seed=0))
+            engine.shard = True
+            assert engine.executor_launches == 1
+        assert sharded.metrics.shards > 0
+        for a, b in zip(sharded.results, whole.results):
+            assert a.records == b.records
+        assert shm_segments() == segments_before
+
+    def test_fault_jobs_soak(self):
+        # Fault shards run sequentially in-process; soak them too so the
+        # carried policy/cache chain cannot pin memory or segments.
+        segments_before = shm_segments()
+        faults = FaultSchedule(
+            specs=(FaultSpec(kind="sensor_noise", magnitude=0.4,
+                             start_s=600.0),),
+            seed=11)
+        trace = drastic_trace(n_servers=47, duration_s=2 * 3600.0,
+                              interval_s=300.0, seed=7)
+        with BatchSimulationEngine(n_workers=2, prefer="process",
+                                   shard=True, shard_steps=5) as engine:
+            for _ in range(3):
+                batch = engine.run([SimulationJob(
+                    trace=trace, config=teg_original(), faults=faults)])
+                assert not batch.failures
+                assert batch.metrics.shards > 0
+        assert shm_segments() == segments_before
+
+    def test_repeated_direct_simulate_sharded(self):
+        # The convenience entry point spins its own engine per call;
+        # hammer it to catch unlink-on-close regressions.
+        segments_before = shm_segments()
+        trace = drastic_trace(n_servers=47, duration_s=2 * 3600.0,
+                              interval_s=300.0, seed=7)
+        results = [simulate_sharded(trace, teg_original(),
+                                    shard_servers=20, shard_steps=5)
+                   for _ in range(5)]
+        for result in results[1:]:
+            assert result.records == results[0].records
+        assert shm_segments() == segments_before
