@@ -18,7 +18,11 @@ baseline from a fresh measurement instead.
 sharded scenario (12,500 servers x 8,900 steps through the sharded
 engine, ``BENCH_fleet.json``); the measurement itself asserts
 shard/unshard bit-parity and the bounded worker payload, so the CI
-step guards correctness at scale as well as throughput.
+step guards correctness at scale as well as throughput.  The fleet
+check also enforces the checkpoint-off envelope: with no checkpoint
+directory configured, the sharded path must stay within 3 % of its
+committed baseline (machine-normalised against the unsharded kernel,
+which carries no checkpoint plumbing).
 """
 
 from __future__ import annotations
@@ -47,6 +51,15 @@ CHECKED_FIELDS = ("step_steps_per_s", "kernel_steps_per_s",
 #: sharded engine on the 12,500 x 8,900 synthetic-Google scenario.
 FLEET_CHECKED_FIELDS = ("sharded_cells_per_s", "unsharded_cells_per_s")
 
+#: With checkpointing *disabled* (the default), the sharded path must
+#: stay within this fraction of its committed baseline — the same 3 %
+#: envelope the telemetry-off guard uses.  The ratio is normalised by
+#: the unsharded kernel figure measured in the same run: the kernel
+#: path carries no checkpoint plumbing, so a uniformly slower runner
+#: cancels out and only a sharded-path-specific slowdown (the
+#: checkpoint branches) can trip the guard.
+FLEET_CHECKPOINT_OFF_TOLERANCE = 0.03
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -68,7 +81,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.fleet:
         from test_bench_fleet_scale import measure_fleet_throughput
 
-        report = measure_fleet_throughput()
+        # Best-of-two: the checkpoint-off envelope is tight (3 %), and
+        # single-shot wall times at this scale carry that much jitter.
+        report = measure_fleet_throughput(rounds=2)
     else:
         report = measure_kernel_throughput()
     if args.update:
@@ -107,6 +122,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'sharded/unsharded':<20} baseline "
               f"{baseline.get('sharded_vs_unsharded', float('nan')):>10.2f}  "
               f"now {report['sharded_vs_unsharded']:>10.2f}")
+        if all(baseline.get(f) for f in FLEET_CHECKED_FIELDS):
+            direct = (report["sharded_cells_per_s"]
+                      / baseline["sharded_cells_per_s"])
+            machine = (report["unsharded_cells_per_s"]
+                       / baseline["unsharded_cells_per_s"])
+            # Take the kinder of the direct and machine-normalised
+            # ratios (see FLEET_CHECKPOINT_OFF_TOLERANCE).
+            ratio = max(direct, direct / machine)
+            ok = ratio >= 1.0 - FLEET_CHECKPOINT_OFF_TOLERANCE
+            failed = failed or not ok
+            print(f"{'ckpt-off overhead':<20} sharded at {ratio:>9.2f}x "
+                  f"baseline (floor "
+                  f"{1.0 - FLEET_CHECKPOINT_OFF_TOLERANCE:.0%})  "
+                  f"[{'ok' if ok else 'REGRESSION'}]")
     else:
         print(f"{'speedup':<20} baseline {baseline['speedup']:>10.2f}  "
               f"now {report['speedup']:>10.2f}")

@@ -106,6 +106,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="shard time-window length in control "
                             "intervals (default: REPRO_SHARD_STEPS "
                             "or 2500)")
+    batch.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="persist completed shards/jobs into DIR "
+                            "(crash-safe, content-keyed; see "
+                            "docs/checkpoint.md); without --resume any "
+                            "matching state in DIR is discarded and "
+                            "the run starts fresh")
+    batch.add_argument("--resume", action="store_true",
+                       help="with --checkpoint: skip work already "
+                            "completed in DIR by a previous "
+                            "(interrupted) run of the same batch; "
+                            "results are bit-identical to an "
+                            "uninterrupted run")
+    batch.add_argument("--shard-straggler", type=float, default=None,
+                       metavar="SECONDS",
+                       help="speculatively re-dispatch a shard that "
+                            "has been running longer than this; first "
+                            "completion wins (default: "
+                            "REPRO_SHARD_STRAGGLER or off)")
     batch.add_argument("--telemetry", default=None, metavar="DIR",
                        help="record the run through repro.obs and "
                             "write manifest.json, events.jsonl and "
@@ -227,6 +245,7 @@ def _cmd_batch(args: argparse.Namespace, reporter: Reporter) -> int:
     from .core.config import teg_loadbalance, teg_original, teg_static
     from .core.engine import SimulationJob, run_batch
     from .core.simulator import DatacenterSimulator
+    from .errors import ConfigurationError
     from .faults import FaultSchedule
     from .workloads.synthetic import trace_by_name
 
@@ -249,6 +268,8 @@ def _cmd_batch(args: argparse.Namespace, reporter: Reporter) -> int:
     jobs = [SimulationJob(trace=trace, config=factories[scheme](),
                           faults=schedule)
             for trace in traces for scheme in args.schemes]
+    if args.resume and args.checkpoint is None:
+        raise ConfigurationError("--resume requires --checkpoint DIR")
     batch = run_batch(jobs, args.workers, mode=args.mode,
                       prefer=args.prefer,
                       max_retries=args.max_retries,
@@ -256,7 +277,10 @@ def _cmd_batch(args: argparse.Namespace, reporter: Reporter) -> int:
                       telemetry=telemetry_on,
                       shard=args.shard,
                       shard_servers=args.shard_servers,
-                      shard_steps=args.shard_steps)
+                      shard_steps=args.shard_steps,
+                      shard_straggler_s=args.shard_straggler,
+                      checkpoint=args.checkpoint,
+                      resume=args.resume)
     reporter.info(f"{'scheme':<16} {'trace':<10} {'avg W':>7} {'PRE':>7} "
                   f"{'steps/s':>8} {'cache':>6}")
     for result in batch.results:
@@ -280,6 +304,10 @@ def _cmd_batch(args: argparse.Namespace, reporter: Reporter) -> int:
     if aggregate.retries or aggregate.timeouts:
         reporter.info(f"recovery: {aggregate.retries} retrie(s), "
                       f"{aggregate.timeouts} timeout(s)")
+    if aggregate.shards_resumed or aggregate.jobs_resumed:
+        reporter.info(f"resumed from checkpoint: "
+                      f"{aggregate.shards_resumed} shard(s), "
+                      f"{aggregate.jobs_resumed} whole job(s)")
     for failed in batch.failures:
         reporter.error(f"FAILED {failed.scheme} on {failed.trace_name}: "
                        f"[{failed.error_type}] {failed.message} "

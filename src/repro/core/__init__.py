@@ -35,17 +35,20 @@ from .engine import (
     SharedTraceRef,
     SimulationJob,
     compare_batch,
+    reap_orphaned_segments,
     run_batch,
     simulate,
 )
 from .shard import (
     ShardOutcome,
     ShardSpec,
+    audit_merged_result,
     merge_shard_outcomes,
     plan_shards,
     run_shard,
     simulate_sharded,
 )
+from .checkpoint import CheckpointStore, RunKey, run_key, trace_digest
 from .h2p import H2PSystem
 from .facility import FacilityModel, FacilityReport
 from .seasonal import SeasonalStudy, MonthOutcome, annual_summary
@@ -75,7 +78,13 @@ __all__ = [
     "plan_shards",
     "run_shard",
     "merge_shard_outcomes",
+    "audit_merged_result",
     "simulate_sharded",
+    "CheckpointStore",
+    "RunKey",
+    "run_key",
+    "trace_digest",
+    "reap_orphaned_segments",
     "simulate",
     "run_batch",
     "compare_batch",

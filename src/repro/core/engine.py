@@ -38,9 +38,12 @@ enforce this equivalence.
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
+import signal
 import time
+import uuid
 import weakref
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -52,13 +55,18 @@ from concurrent.futures import (
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from multiprocessing import shared_memory
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from .. import obs
 from ..cooling.loop import CirculationState
-from ..errors import ConfigurationError, JobExecutionError
+from ..errors import (
+    ConfigurationError,
+    JobExecutionError,
+    ShardExecutionError,
+)
 from ..faults import FaultSchedule
 from ..teg.module import TegModule
 from ..thermal.cpu_model import CpuThermalModel
@@ -77,6 +85,11 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 #: Enforced on pooled executors; see ``docs/engine.md`` for the exact
 #: guarantees per executor kind.
 JOB_TIMEOUT_ENV_VAR = "REPRO_JOB_TIMEOUT"
+
+#: Environment variable setting the shard straggler deadline (seconds):
+#: a dispatched shard that has been *running* this long is speculatively
+#: re-dispatched once; first completion wins, the loser is cancelled.
+SHARD_STRAGGLER_ENV_VAR = "REPRO_SHARD_STRAGGLER"
 
 #: How often the batch layer polls in-flight futures for completion,
 #: timeouts and pool breakage.
@@ -242,6 +255,10 @@ class EngineMetrics:
     n_shards:
         How many shards this job was split into (0 when it ran whole;
         see :mod:`repro.core.shard`).
+    shards_resumed:
+        How many of those shards were loaded from a checkpoint
+        directory instead of computed (see
+        :mod:`repro.core.checkpoint`).
     """
 
     setup_time_s: float = 0.0
@@ -259,6 +276,7 @@ class EngineMetrics:
     n_workers: int = 1
     retries: int = 0
     n_shards: int = 0
+    shards_resumed: int = 0
 
     def summary(self) -> dict:
         """Headline metrics as a plain dictionary (for tables/JSON)."""
@@ -274,6 +292,8 @@ class EngineMetrics:
         }
         if self.n_shards:
             summary["shards"] = self.n_shards
+        if self.shards_resumed:
+            summary["shards_resumed"] = self.shards_resumed
         if self.kernel is not None:
             summary["kernel"] = self.kernel.summary()
         return summary
@@ -302,6 +322,10 @@ class BatchMetrics:
     n_failed: int = 0
     #: Total shards dispatched across all sharded jobs (0 = none).
     shards: int = 0
+    #: Shards loaded from a checkpoint directory instead of computed.
+    shards_resumed: int = 0
+    #: Whole (non-sharded) jobs answered from a checkpointed result.
+    jobs_resumed: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -326,6 +350,10 @@ class BatchMetrics:
         }
         if self.shards:
             summary["shards"] = self.shards
+        if self.shards_resumed:
+            summary["shards_resumed"] = self.shards_resumed
+        if self.jobs_resumed:
+            summary["jobs_resumed"] = self.jobs_resumed
         return summary
 
 
@@ -618,6 +646,109 @@ class SharedTraceRef:
     col_stop: int | None = None
 
 
+#: Name prefix of every shared-memory segment this package creates.
+#: The owning pid is embedded right after it
+#: (``repro-shm-{pid}-{token}``) so the reaper can tell a crashed run's
+#: orphan from a live run's segment without guessing.
+SEGMENT_PREFIX = "repro-shm-"
+
+#: Every live registry in this process; the janitor (atexit + SIGTERM)
+#: closes whatever is still here when the coordinator dies, so segments
+#: cannot outlive it on any exit path short of SIGKILL.
+_LIVE_REGISTRIES: "weakref.WeakSet[_SharedTraceRegistry]" = weakref.WeakSet()
+
+_JANITOR_INSTALLED = False
+
+
+def _close_live_registries() -> None:
+    """Unlink every segment still owned by this process (best effort).
+
+    Forked workers inherit ``_LIVE_REGISTRIES`` (and the SIGTERM
+    handler) from the coordinator; the owner-pid check keeps a dying
+    worker from unlinking segments the coordinator is still serving.
+    """
+    for registry in list(_LIVE_REGISTRIES):
+        if registry.owner_pid != os.getpid():
+            continue
+        try:
+            registry.close()
+        except Exception:  # pragma: no cover - dying anyway
+            pass
+
+
+def _install_segment_janitor() -> None:
+    """One-time atexit + SIGTERM hook that unlinks owned segments.
+
+    The SIGTERM handler chains to whatever handler was installed before
+    it (or re-raises the default disposition), so embedding
+    applications keep their own shutdown behaviour.  Installing from a
+    non-main thread silently keeps the atexit half only — CPython
+    forbids signal handlers elsewhere.
+    """
+    global _JANITOR_INSTALLED
+    if _JANITOR_INSTALLED:
+        return
+    _JANITOR_INSTALLED = True
+    atexit.register(_close_live_registries)
+    try:
+        previous = signal.getsignal(signal.SIGTERM)
+
+        def _on_sigterm(signum, frame):
+            _close_live_registries()
+            if callable(previous):
+                previous(signum, frame)
+            else:
+                signal.signal(signal.SIGTERM, signal.SIG_DFL)
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` exists (signal-0 probe; EPERM counts as alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    except OSError:  # pragma: no cover - exotic platform
+        return True
+    return True
+
+
+def reap_orphaned_segments(directory: str | os.PathLike = "/dev/shm"
+                           ) -> list[str]:
+    """Unlink ``repro``-tagged segments whose owning process is dead.
+
+    SIGKILL (OOM killer, ``kill -9``) gives the janitor no chance to
+    run, so a crashed coordinator can leave its trace segments behind.
+    Their names embed the owner pid; any segment whose pid no longer
+    exists is an orphan and is removed.  Segments of live processes —
+    including this one — are never touched.  Returns the names reaped.
+    """
+    root = Path(directory)
+    if not root.is_dir():  # pragma: no cover - non-POSIX-shm platform
+        return []
+    reaped = []
+    for path in root.glob(SEGMENT_PREFIX + "*"):
+        tail = path.name[len(SEGMENT_PREFIX):]
+        try:
+            pid = int(tail.split("-", 1)[0])
+        except ValueError:
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - concurrent reaper
+            continue
+        reaped.append(path.name)
+    return reaped
+
+
 class _SharedTraceRegistry:
     """Owner-side registry of shared-memory trace segments.
 
@@ -629,15 +760,41 @@ class _SharedTraceRegistry:
     every segment; workers that still hold a mapping keep it until they
     drop it (POSIX unlink semantics), so no copy is ever torn out from
     under a running job.
+
+    Segments are named ``repro-shm-{pid}-{token}`` and every registry
+    joins the module janitor (atexit + SIGTERM), so normal and
+    signalled exits unlink them; only SIGKILL can orphan one, and
+    :func:`reap_orphaned_segments` picks those up on the next run.
     """
 
     def __init__(self) -> None:
         self._entries: dict[int, tuple[WorkloadTrace,
                                        shared_memory.SharedMemory,
                                        SharedTraceRef]] = {}
+        #: Only this pid may unlink the registry's segments — a forked
+        #: worker inherits the object but never owns it.
+        self.owner_pid = os.getpid()
+        _LIVE_REGISTRIES.add(self)
+        _install_segment_janitor()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @staticmethod
+    def _create_segment(size: int) -> shared_memory.SharedMemory:
+        """A fresh segment with a ``repro``-tagged, pid-stamped name."""
+        for _ in range(8):
+            name = f"{SEGMENT_PREFIX}{os.getpid()}-{uuid.uuid4().hex[:8]}"
+            try:
+                return shared_memory.SharedMemory(name=name, create=True,
+                                                  size=size)
+            except FileExistsError:  # pragma: no cover - token collision
+                continue
+        # Eight collisions means something is squatting on the
+        # namespace; an anonymous name still works, it just cannot be
+        # reaped after a SIGKILL.
+        return shared_memory.SharedMemory(  # pragma: no cover
+            create=True, size=size)
 
     def ref_for(self, trace: WorkloadTrace) -> SharedTraceRef:
         """The (possibly freshly uploaded) shared handle for ``trace``."""
@@ -645,27 +802,48 @@ class _SharedTraceRegistry:
         if entry is not None:
             return entry[2]
         matrix = trace.utilisation
-        block = shared_memory.SharedMemory(create=True, size=matrix.nbytes)
-        np.ndarray(matrix.shape, dtype=matrix.dtype,
-                   buffer=block.buf)[:] = matrix
-        ref = SharedTraceRef(
-            shm_name=block.name,
-            shape=matrix.shape,
-            dtype=str(matrix.dtype),
-            interval_s=trace.interval_s,
-            name=trace.name,
-        )
-        self._entries[id(trace)] = (trace, block, ref)
+        block = self._create_segment(matrix.nbytes)
+        try:
+            np.ndarray(matrix.shape, dtype=matrix.dtype,
+                       buffer=block.buf)[:] = matrix
+            ref = SharedTraceRef(
+                shm_name=block.name,
+                shape=matrix.shape,
+                dtype=str(matrix.dtype),
+                interval_s=trace.interval_s,
+                name=trace.name,
+            )
+            self._entries[id(trace)] = (trace, block, ref)
+        except BaseException:
+            # The upload died between create and registration: unlink
+            # now or nobody ever will.
+            try:
+                block.close()
+            except OSError:  # pragma: no cover - already unmapped
+                pass
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            raise
         return ref
 
     def close(self) -> None:
-        """Unmap and unlink every owned segment (idempotent)."""
+        """Unmap and unlink every owned segment (idempotent).
+
+        A process that merely inherited the registry across ``fork``
+        unmaps but never unlinks — the segments still belong to the
+        coordinator.
+        """
+        unlink = os.getpid() == self.owner_pid
         while self._entries:
             _, (_, block, _) = self._entries.popitem()
             try:
                 block.close()
             except OSError:  # pragma: no cover - already unmapped
                 pass
+            if not unlink:
+                continue
             try:
                 block.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
@@ -911,6 +1089,39 @@ def resolve_job_timeout(timeout_s: float | None = None) -> float | None:
     return timeout_s
 
 
+def resolve_shard_straggler(deadline_s: float | None = None
+                            ) -> float | None:
+    """Straggler deadline: explicit > ``REPRO_SHARD_STRAGGLER`` > none.
+
+    Returns ``None`` when speculative re-dispatch is off.
+
+    Raises
+    ------
+    ConfigurationError
+        When ``REPRO_SHARD_STRAGGLER`` (or an explicit argument) is
+        non-numeric or non-positive.
+    """
+    if deadline_s is None:
+        env = os.environ.get(SHARD_STRAGGLER_ENV_VAR)
+        if env is None:
+            return None
+        try:
+            deadline_s = float(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{SHARD_STRAGGLER_ENV_VAR} must be a number of "
+                f"seconds, got {env!r}") from None
+        if deadline_s <= 0:
+            raise ConfigurationError(
+                f"{SHARD_STRAGGLER_ENV_VAR} must be > 0, got {env!r}")
+        return deadline_s
+    if deadline_s <= 0:
+        raise ConfigurationError(
+            f"shard straggler deadline must be > 0 seconds, "
+            f"got {deadline_s}")
+    return deadline_s
+
+
 @dataclass
 class _JobState:
     """Book-keeping for one job while the batch executes it."""
@@ -952,6 +1163,33 @@ class _JobState:
             elapsed_s=elapsed,
             timed_out=True,
         )
+
+
+def _fs_slug(name: str, limit: int = 48) -> str:
+    """A filesystem-safe rendering of a scheme/trace label."""
+    cleaned = "".join(c if c.isalnum() or c in "._-" else "-"
+                      for c in name).strip("-")
+    return (cleaned or "run")[:limit]
+
+
+class _CheckpointingResults(dict):
+    """A results map that persists whole-job results as they land.
+
+    The serial and pooled paths both assign ``results[sub] = result``
+    the moment a job completes; routing that through this dict means a
+    coordinator crash one job into a 50-job batch still leaves the
+    finished jobs' results on disk, whatever executor ran them.
+    """
+
+    def __init__(self, stores: "dict[int, object]") -> None:
+        super().__init__()
+        self._stores = stores
+
+    def __setitem__(self, sub: int, result) -> None:
+        super().__setitem__(sub, result)
+        store = self._stores.get(sub)
+        if store is not None:
+            store.save_result(result)
 
 
 class BatchSimulationEngine:
@@ -1010,6 +1248,25 @@ class BatchSimulationEngine:
         trace **before** dispatch: non-positive values or values
         exceeding the trace dimensions raise ``ConfigurationError`` on
         the coordinator, never a worker-side crash.
+    shard_straggler_s:
+        Deadline in seconds after which a *running* shard is
+        speculatively re-dispatched (once); the first copy to finish
+        wins and the loser is cancelled or its result discarded.
+        ``None`` defers to ``REPRO_SHARD_STRAGGLER`` (unset means off).
+        Results are unaffected — shards are deterministic — only tail
+        latency is.
+    checkpoint:
+        Root directory for durable checkpoint state (see
+        :mod:`repro.core.checkpoint` and ``docs/checkpoint.md``).  Each
+        job gets a content-keyed subdirectory; sharded jobs persist
+        every completed shard as it finishes, whole jobs persist their
+        result.  ``None`` (default) disables checkpointing.
+    resume:
+        With ``checkpoint`` set: ``True`` (default) loads completed
+        work from a matching checkpoint and raises
+        :class:`~repro.errors.CheckpointError` when the directory
+        belongs to a different run; ``False`` wipes per-job state and
+        starts fresh.
 
     Lifetime
     --------
@@ -1032,7 +1289,10 @@ class BatchSimulationEngine:
                  telemetry: bool | None = None,
                  shard: bool | None = None,
                  shard_servers: int | None = None,
-                 shard_steps: int | None = None) -> None:
+                 shard_steps: int | None = None,
+                 shard_straggler_s: float | None = None,
+                 checkpoint: "str | os.PathLike | None" = None,
+                 resume: bool = True) -> None:
         if prefer not in ("process", "thread", "serial"):
             raise ConfigurationError(
                 f"prefer must be 'process', 'thread' or 'serial', "
@@ -1046,6 +1306,10 @@ class BatchSimulationEngine:
         if job_timeout_s is not None and job_timeout_s <= 0:
             raise ConfigurationError(
                 f"job timeout must be > 0 seconds, got {job_timeout_s}")
+        if shard_straggler_s is not None and shard_straggler_s <= 0:
+            raise ConfigurationError(
+                f"shard straggler deadline must be > 0 seconds, "
+                f"got {shard_straggler_s}")
         for label, value in (("shard_servers", shard_servers),
                              ("shard_steps", shard_steps)):
             if value is not None and value <= 0:
@@ -1054,6 +1318,13 @@ class BatchSimulationEngine:
         self.shard = shard
         self.shard_servers = shard_servers
         self.shard_steps = shard_steps
+        self.shard_straggler_s = shard_straggler_s
+        self.checkpoint = (None if checkpoint is None
+                           else Path(os.fspath(checkpoint)))
+        self.resume = resume
+        #: Trace plane digests keyed by object identity (strong ref kept
+        #: alongside, so an id can never be recycled while cached).
+        self._trace_digests: dict[int, tuple[WorkloadTrace, str]] = {}
         self.n_workers = n_workers
         self.vectorised = vectorised
         self.mode = resolve_mode(mode, vectorised)
@@ -1207,9 +1478,10 @@ class BatchSimulationEngine:
             if process.is_alive():
                 process.kill()
 
-    def _run_serial(self, jobs: Sequence[SimulationJob]):
+    def _run_serial(self, jobs: Sequence[SimulationJob],
+                    results: "dict[int, SimulationResult] | None" = None):
         """In-process execution with retry; no timeout enforcement."""
-        results: dict[int, SimulationResult] = {}
+        results = {} if results is None else results
         failures: dict[int, FailedJob] = {}
         stats = {"retries": 0, "timeouts": 0}
         for index, job in enumerate(jobs):
@@ -1238,7 +1510,8 @@ class BatchSimulationEngine:
         return results, failures, stats
 
     def _run_pool(self, jobs: Sequence[SimulationJob], workers: int,
-                  kind: str, timeout_s: float | None):
+                  kind: str, timeout_s: float | None,
+                  results: "dict[int, SimulationResult] | None" = None):
         """Pooled execution: shared pool fast path, isolated recovery.
 
         All jobs start on one shared pool.  When that pool can no
@@ -1260,7 +1533,7 @@ class BatchSimulationEngine:
         else:
             executor_cls = ThreadPoolExecutor
 
-        results: dict[int, SimulationResult] = {}
+        results = {} if results is None else results
         failures: dict[int, FailedJob] = {}
         stats = {"retries": 0, "timeouts": 0}
         states = {index: _JobState(index=index, job=job)
@@ -1490,8 +1763,76 @@ class BatchSimulationEngine:
             return None
         return specs
 
+    # -- checkpointing -------------------------------------------------
+
+    def _trace_hash(self, trace: WorkloadTrace) -> str:
+        """Content digest of ``trace``, hashed at most once per engine."""
+        from .checkpoint import trace_digest
+
+        entry = self._trace_digests.get(id(trace))
+        if entry is None:
+            entry = (trace, trace_digest(trace))
+            self._trace_digests[id(trace)] = entry
+        return entry[1]
+
+    def _job_store(self, job: SimulationJob, specs):
+        """The per-job checkpoint store under the engine's root.
+
+        Each job owns a subdirectory named after its scheme, trace and
+        the 12-hex content key, so two different runs can never collide
+        in one root — a key mismatch simply lands in a different
+        directory.  ``specs`` is the job's shard plan (``None`` runs
+        whole and checkpoints at job granularity).
+        """
+        from .checkpoint import CheckpointStore, run_key
+
+        has_faults = job.faults is not None and len(job.faults) > 0
+        key = run_key(
+            job.trace, job.config, job.cpu_model, job.teg_module,
+            faults=job.faults if has_faults else None,
+            cache_resolution=self.cache_resolution,
+            specs=specs,
+            extra=() if specs is not None else (("mode", self.mode),),
+            trace_hash=self._trace_hash(job.trace))
+        name = "--".join((_fs_slug(job.config.name),
+                          _fs_slug(job.trace.name), key.short))
+        kind = ("fault" if has_faults
+                else "kernel" if specs is not None else "whole")
+        return CheckpointStore(
+            self.checkpoint / name, key,
+            n_shards=len(specs) if specs is not None else 0,
+            kind=kind, resume=self.resume)
+
+    def _shard_retry(self, job: SimulationJob, spec, attempt: int,
+                     exc: BaseException) -> bool:
+        """Record one shard failure; True when it should be retried.
+
+        The emitted event always carries the shard's coordinates,
+        attempt number and (when the worker wrapped it as a
+        :class:`~repro.errors.ShardExecutionError`) the worker pid.
+        """
+        if isinstance(exc, ShardExecutionError):
+            exc.attempt = attempt
+            context = dict(exc.context())
+        else:
+            context = {"shard_index": spec.index,
+                       "step_start": spec.step_start,
+                       "step_stop": spec.step_stop,
+                       "server_start": spec.server_start,
+                       "server_stop": spec.server_stop,
+                       "attempt": attempt, "worker_pid": None}
+        retrying = attempt <= self.max_retries
+        obs.emit("shard.retry" if retrying else "shard.failed",
+                 scheme=job.config.name, trace=job.trace.name,
+                 error_type=type(exc).__name__, error=str(exc),
+                 **context)
+        if retrying:
+            obs.add("engine.shards.retried", 1)
+        return retrying
+
     def _run_sharded_job(self, job: SimulationJob, specs,
-                         kind: str, workers: int) -> SimulationResult:
+                         kind: str, workers: int,
+                         store=None) -> SimulationResult:
         """Dispatch one job's shards, merge, and attach metrics.
 
         Process executors ship :class:`~repro.core.shard._ShardPayload`
@@ -1505,7 +1846,13 @@ class BatchSimulationEngine:
         key on sensor readings, which only the serial window order can
         prime bit-identically.  The per-job wall-clock budget is
         **not** enforced on sharded jobs (documented in
-        ``docs/engine.md``).
+        ``docs/engine.md``); shards that run past the straggler
+        deadline are speculatively re-dispatched instead.
+
+        With a ``store``, every completed shard is persisted the moment
+        it lands and already-persisted shards are never re-dispatched,
+        so a resumed run is bit-identical to an uninterrupted one (see
+        ``docs/checkpoint.md``).
         """
         from .shard import (
             _ShardPayload,
@@ -1526,19 +1873,59 @@ class BatchSimulationEngine:
         if has_faults:
             shared = CoolingDecisionCache(resolution=self.cache_resolution)
             policy = None
-            for index, spec in enumerate(specs):
+            for spec in specs:
+                saved = (store.load_shard(spec.index)
+                         if store is not None else None)
+                if saved is not None:
+                    outcome = saved["outcome"]
+                    # Restore the path-dependent state the next window
+                    # needs: the shared cache as it stood after this
+                    # window, and the policy instance it handed on.
+                    if saved.get("cache_store") is not None:
+                        shared._store = dict(saved["cache_store"])
+                    if outcome.policy is not None:
+                        policy = outcome.policy
+                    outcomes[spec.index] = outcome
+                    continue
                 tile = job.trace.window(spec.step_start, spec.step_stop,
                                         spec.server_start,
                                         spec.server_stop)
-                outcome = run_shard(
-                    tile, spec, job.config, job.cpu_model,
-                    job.teg_module, faults=job.faults,
-                    cache_resolution=self.cache_resolution,
-                    cache=shared, policy=policy,
-                    telemetry=self.telemetry)
+                attempt = 0
+                while True:
+                    try:
+                        outcome = run_shard(
+                            tile, spec, job.config, job.cpu_model,
+                            job.teg_module, faults=job.faults,
+                            cache_resolution=self.cache_resolution,
+                            cache=shared, policy=policy,
+                            telemetry=self.telemetry)
+                        break
+                    except Exception as exc:
+                        attempt += 1
+                        if not self._shard_retry(job, spec, attempt,
+                                                 exc):
+                            raise
+                        self._backoff(attempt)
                 policy = outcome.policy
-                outcomes[index] = outcome
-            return self._merge_sharded(job, specs, outcomes, started)
+                outcomes[spec.index] = outcome
+                if store is not None:
+                    store.save_shard(spec.index, outcome,
+                                     cache_store=dict(shared._store))
+            return self._merge_sharded(job, specs, outcomes, started,
+                                       store=store)
+
+        if store is not None:
+            for spec in specs:
+                saved = store.load_shard(spec.index)
+                if saved is not None:
+                    outcomes[spec.index] = saved["outcome"]
+        missing = [index for index in range(len(specs))
+                   if outcomes[index] is None]
+        if not missing:
+            # Fully resumed: skip the pre-pass entirely — no shard
+            # will run, so nothing needs the primed cache.
+            return self._merge_sharded(job, specs, outcomes, started,
+                                       store=store)
 
         primed = prime_decisions(job.trace, job.config, job.cpu_model,
                                  job.teg_module,
@@ -1553,6 +1940,7 @@ class BatchSimulationEngine:
                              cache=clone_cache(primed),
                              telemetry=self.telemetry)
 
+        straggler_s = resolve_shard_straggler(self.shard_straggler_s)
         if kind in ("process", "thread"):
             try:
                 executor = self._ensure_executor(kind, workers)
@@ -1580,25 +1968,77 @@ class BatchSimulationEngine:
                 else:
                     def submit(index):
                         return executor.submit(run_local, specs[index])
-                futures = {submit(index): (index, 0)
-                           for index in range(len(specs))}
+
+                futures: dict[Future, int] = {}
+                attempts = {index: 0 for index in missing}
+                running_since: dict[Future, float] = {}
+                speculated: set[int] = set()
+                for index in missing:
+                    futures[submit(index)] = index
                 try:
                     while futures:
-                        done, _ = wait(futures,
-                                       return_when=FIRST_COMPLETED)
+                        done, _ = wait(
+                            futures,
+                            timeout=(_POLL_INTERVAL_S
+                                     if straggler_s is not None
+                                     else None),
+                            return_when=FIRST_COMPLETED)
                         for future in done:
-                            index, attempts = futures.pop(future)
+                            index = futures.pop(future)
+                            running_since.pop(future, None)
+                            if (future.cancelled()
+                                    or outcomes[index] is not None):
+                                # A speculative duplicate lost the
+                                # race; its twin's result already
+                                # landed.
+                                continue
                             try:
-                                outcomes[index] = future.result()
+                                outcome = future.result()
                             except BrokenExecutor:
                                 raise
-                            except Exception:
-                                attempts += 1
-                                if attempts > self.max_retries:
+                            except Exception as exc:
+                                attempts[index] += 1
+                                if not self._shard_retry(
+                                        job, specs[index],
+                                        attempts[index], exc):
                                     raise
-                                self._backoff(attempts)
-                                futures[submit(index)] = (index,
-                                                          attempts)
+                                self._backoff(attempts[index])
+                                futures[submit(index)] = index
+                            else:
+                                outcomes[index] = outcome
+                                if store is not None:
+                                    store.save_shard(index, outcome)
+                                for twin, twin_index in list(
+                                        futures.items()):
+                                    if twin_index == index:
+                                        twin.cancel()
+                        if straggler_s is None:
+                            continue
+                        now = time.perf_counter()
+                        for future, index in list(futures.items()):
+                            if future not in running_since:
+                                if future.running():
+                                    running_since[future] = now
+                                continue
+                            if (index in speculated
+                                    or outcomes[index] is not None
+                                    or now - running_since[future]
+                                    < straggler_s):
+                                continue
+                            # One speculative copy per shard: slow is
+                            # retried, but a systematically slow shard
+                            # must not fork-bomb the pool.
+                            speculated.add(index)
+                            obs.add("engine.shards.speculated", 1)
+                            obs.emit(
+                                "shard.straggler",
+                                scheme=job.config.name,
+                                trace=job.trace.name,
+                                shard=specs[index].index,
+                                deadline_s=straggler_s,
+                                running_s=round(
+                                    now - running_since[future], 3))
+                            futures[submit(index)] = index
                 except BaseException:
                     for future in futures:
                         future.cancel()
@@ -1611,11 +2051,20 @@ class BatchSimulationEngine:
         for index, spec in enumerate(specs):
             if outcomes[index] is None:
                 outcomes[index] = run_local(spec)
-        return self._merge_sharded(job, specs, outcomes, started)
+                if store is not None:
+                    store.save_shard(index, outcomes[index])
+        return self._merge_sharded(job, specs, outcomes, started,
+                                   store=store)
 
     def _merge_sharded(self, job: SimulationJob, specs, outcomes,
-                       started: float) -> SimulationResult:
-        """Merge one sharded job's outcomes and attach metrics/events."""
+                       started: float, store=None) -> SimulationResult:
+        """Merge one sharded job's outcomes and attach metrics/events.
+
+        The merge runs the post-merge invariant auditor (see
+        :func:`repro.core.shard.audit_merged_result`) before the result
+        escapes, so a buggy resume or a corrupted shard can never leak
+        a physically impossible result into downstream tables.
+        """
         from .shard import _merged_telemetry, merge_shard_outcomes
 
         result = merge_shard_outcomes(job.trace, job.config, outcomes)
@@ -1627,6 +2076,7 @@ class BatchSimulationEngine:
         cache_misses = sum(o.cache_misses for o in outcomes)
         lookups = cache_hits + cache_misses
         has_faults = job.faults is not None and len(job.faults) > 0
+        resumed = len(store.loaded) if store is not None else 0
         result.metrics = EngineMetrics(
             wall_time_s=wall,
             step_time_s=wall,
@@ -1638,11 +2088,12 @@ class BatchSimulationEngine:
             mode="loop" if has_faults else "kernel",
             vectorised=not has_faults,
             n_shards=len(specs),
+            shards_resumed=resumed,
         )
         obs.add("engine.shards.completed", len(specs))
         obs.emit("shard.merge", scheme=job.config.name,
                  trace=job.trace.name, shards=len(specs),
-                 wall_time_s=round(wall, 4))
+                 resumed=resumed, wall_time_s=round(wall, 4))
         return result
 
     def run(self, jobs: Iterable[SimulationJob]) -> BatchResult:
@@ -1694,6 +2145,11 @@ class BatchSimulationEngine:
             resolve_shard_size,
         )
 
+        reaped = reap_orphaned_segments()
+        if reaped:
+            obs.add("engine.shm.reaped", len(reaped))
+            obs.emit("shm.reap", segments=len(reaped))
+
         shard_servers = resolve_shard_size(self.shard_servers,
                                            SHARD_SERVERS_ENV_VAR)
         shard_steps = resolve_shard_size(self.shard_steps,
@@ -1704,40 +2160,62 @@ class BatchSimulationEngine:
             if specs is not None:
                 plans[index] = specs
         total_shards = sum(len(specs) for specs in plans.values())
+
+        # Checkpointing: one content-keyed store per job.  Whole jobs
+        # with a saved result are answered from disk before any worker
+        # is resolved; sharded jobs resume shard-by-shard inside
+        # _run_sharded_job.
+        stores: dict[int, object] = {}
+        resumed_results: dict[int, SimulationResult] = {}
+        if self.checkpoint is not None:
+            for index, job in enumerate(jobs):
+                stores[index] = self._job_store(job, plans.get(index))
+            for index in range(len(jobs)):
+                if index in plans:
+                    continue
+                cached = stores[index].load_result()
+                if cached is not None:
+                    resumed_results[index] = cached
+
         normal = [index for index in range(len(jobs))
-                  if index not in plans]
+                  if index not in plans and index not in resumed_results]
         n_units = len(normal) + total_shards
         workers = resolve_workers(self.n_workers, n_units)
         timeout_s = resolve_job_timeout(self.job_timeout_s)
         obs.emit("batch.start", n_jobs=len(jobs), mode=self.mode,
                  workers=workers, prefer=self.prefer,
-                 shards=total_shards)
+                 shards=total_shards, resumed=len(resumed_results))
         started = time.perf_counter()
         executor = self.prefer
         outcome = None
         normal_jobs = [jobs[index] for index in normal]
+        sub_stores = {sub: stores[index]
+                      for sub, index in enumerate(normal)
+                      if index in stores}
+        sink = _CheckpointingResults(sub_stores) if sub_stores else None
         if workers <= 1 or self.prefer == "serial" or n_units == 1:
             executor = "serial"
-            outcome = self._run_serial(normal_jobs)
+            outcome = self._run_serial(normal_jobs, sink)
         elif normal_jobs:
             kinds = (["process", "thread"] if self.prefer == "process"
                      else ["thread"])
             for kind in kinds:
                 try:
                     outcome = self._run_pool(normal_jobs, workers, kind,
-                                             timeout_s)
+                                             timeout_s, sink)
                     executor = kind
                     break
                 except Exception:  # pool unavailable: degrade gracefully
                     continue
             if outcome is None:
                 executor = "serial"
-                outcome = self._run_serial(normal_jobs)
+                outcome = self._run_serial(normal_jobs, sink)
         else:
             outcome = ({}, {}, {"retries": 0, "timeouts": 0})
         sub_results, sub_failures, stats = outcome
         results_map = {normal[sub]: result
                        for sub, result in sub_results.items()}
+        results_map.update(resumed_results)
         failures_map = {normal[sub]: failed
                         for sub, failed in sub_failures.items()}
         for index, specs in plans.items():
@@ -1746,7 +2224,8 @@ class BatchSimulationEngine:
             state.attempts = 1
             try:
                 results_map[index] = self._run_sharded_job(
-                    jobs[index], specs, executor, workers)
+                    jobs[index], specs, executor, workers,
+                    store=stores.get(index))
             except Exception as exc:
                 failures_map[index] = state.failed(exc)
                 self._emit_job_event("job.failed", state, exc)
@@ -1759,15 +2238,22 @@ class BatchSimulationEngine:
         total_steps = 0
         cache_hits = 0
         cache_misses = 0
-        for result in results:
-            metrics = result.metrics
+        shards_resumed = 0
+        for index in sorted(results_map):
+            metrics = results_map[index].metrics
             if metrics is None:
+                continue
+            if index in resumed_results:
+                # A result answered from the checkpoint keeps the
+                # metrics of the run that computed it; nothing here
+                # executed, so nothing is re-labelled or re-counted.
                 continue
             metrics.executor = executor
             metrics.n_workers = workers
             total_steps += metrics.n_steps
             cache_hits += metrics.cache_hits
             cache_misses += metrics.cache_misses
+            shards_resumed += metrics.shards_resumed
         batch = BatchResult(
             results=results,
             failures=failures,
@@ -1784,18 +2270,28 @@ class BatchSimulationEngine:
                 timeouts=stats["timeouts"],
                 n_failed=len(failures),
                 shards=total_shards,
+                shards_resumed=shards_resumed,
+                jobs_resumed=len(resumed_results),
             ),
         )
         if batch_telemetry is not None:
-            for result in results:
-                if result.telemetry is not None:
-                    batch_telemetry.merge_snapshot(result.telemetry)
+            for index in sorted(results_map):
+                if index in resumed_results:
+                    # A checkpoint-answered job's snapshot records the
+                    # run that computed it, not this one.
+                    continue
+                if results_map[index].telemetry is not None:
+                    batch_telemetry.merge_snapshot(
+                        results_map[index].telemetry)
             registry = batch_telemetry.registry
             registry.counter("engine.jobs.submitted").inc(len(jobs))
             registry.counter("engine.jobs.completed").inc(len(results))
             registry.counter("engine.jobs.failed").inc(len(failures))
             registry.counter("engine.jobs.retries").inc(stats["retries"])
             registry.counter("engine.jobs.timeouts").inc(stats["timeouts"])
+            if resumed_results:
+                registry.counter("engine.jobs.resumed").inc(
+                    len(resumed_results))
             obs.emit("batch.end", **batch.metrics.summary())
         return batch
 
@@ -1811,7 +2307,10 @@ def run_batch(jobs: Iterable[SimulationJob],
               telemetry: bool | None = None,
               shard: bool | None = None,
               shard_servers: int | None = None,
-              shard_steps: int | None = None) -> BatchResult:
+              shard_steps: int | None = None,
+              shard_straggler_s: float | None = None,
+              checkpoint: "str | os.PathLike | None" = None,
+              resume: bool = True) -> BatchResult:
     """One-call convenience wrapper around :class:`BatchSimulationEngine`.
 
     The engine (and with it the persistent executor and any shared-memory
@@ -1828,7 +2327,10 @@ def run_batch(jobs: Iterable[SimulationJob],
                                    telemetry=telemetry,
                                    shard=shard,
                                    shard_servers=shard_servers,
-                                   shard_steps=shard_steps)
+                                   shard_steps=shard_steps,
+                                   shard_straggler_s=shard_straggler_s,
+                                   checkpoint=checkpoint,
+                                   resume=resume)
     try:
         return engine.run(jobs)
     finally:
@@ -1854,6 +2356,8 @@ def compare_batch(traces: Sequence[WorkloadTrace],
 __all__ = [
     "WORKERS_ENV_VAR",
     "JOB_TIMEOUT_ENV_VAR",
+    "SHARD_STRAGGLER_ENV_VAR",
+    "SEGMENT_PREFIX",
     "DEFAULT_CACHE_RESOLUTION",
     "EXECUTION_MODES",
     "CacheStats",
@@ -1872,4 +2376,6 @@ __all__ = [
     "resolve_mode",
     "resolve_workers",
     "resolve_job_timeout",
+    "resolve_shard_straggler",
+    "reap_orphaned_segments",
 ]

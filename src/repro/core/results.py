@@ -254,6 +254,11 @@ class SimulationResult:
         return self._series("mean_utilisation")
 
     @property
+    def max_cpu_temp_series_c(self) -> np.ndarray:
+        """Hottest CPU per step (what the safety audit checks)."""
+        return self._series("max_cpu_temp_c")
+
+    @property
     def pre_series(self) -> np.ndarray:
         """PRE over time (Fig. 15)."""
         if isinstance(self.records, ColumnarSteps):

@@ -73,6 +73,8 @@ from ..errors import (
     ConfigurationError,
     CoolingFailureError,
     PhysicalRangeError,
+    ResultIntegrityError,
+    ShardExecutionError,
 )
 from ..control.scheduling import NoScheduler
 from ..faults import FaultSchedule
@@ -107,6 +109,7 @@ __all__ = [
     "ShardError",
     "ShardOutcome",
     "ShardSpec",
+    "audit_merged_result",
     "clone_cache",
     "merge_shard_outcomes",
     "plan_shards",
@@ -422,13 +425,34 @@ def run_shard(tile: WorkloadTrace, spec: ShardSpec,
     with obs.session(local) if local is not None else nullcontext():
         with obs.span("engine.shard"):
             obs.add("shard.cells", spec.n_cells)
-            if faults is not None:
-                _run_fault_shard(tile, spec, shard_config, cpu_model,
-                                 teg_module, faults, cache, policy,
-                                 outcome)
-            else:
-                _run_kernel_shard(tile, spec, shard_config, cpu_model,
-                                  teg_module, cache, outcome)
+            try:
+                if faults is not None:
+                    _run_fault_shard(tile, spec, shard_config, cpu_model,
+                                     teg_module, faults, cache, policy,
+                                     outcome)
+                else:
+                    _run_kernel_shard(tile, spec, shard_config, cpu_model,
+                                      teg_module, cache, outcome)
+            except (ConfigurationError, ShardExecutionError):
+                raise
+            except Exception as exc:
+                # Never let a shard failure surface as a bare exception:
+                # the coordinator (and its telemetry) must always see
+                # which tile failed and in which worker.  Simulation
+                # errors (cooling failure, capacity breach) are already
+                # captured as ``outcome.error`` by the helpers above —
+                # anything landing here is unexpected.
+                raise ShardExecutionError(
+                    f"shard {spec.index} (steps [{spec.step_start}, "
+                    f"{spec.step_stop}), servers [{spec.server_start}, "
+                    f"{spec.server_stop})) failed in worker pid "
+                    f"{os.getpid()}: [{type(exc).__name__}] {exc}",
+                    shard_index=spec.index,
+                    step_start=spec.step_start,
+                    step_stop=spec.step_stop,
+                    server_start=spec.server_start,
+                    server_stop=spec.server_stop,
+                    worker_pid=os.getpid()) from exc
         outcome.cache_hits = cache.stats.hits - hits_before
         outcome.cache_misses = cache.stats.misses - misses_before
         if local is not None:
@@ -486,16 +510,75 @@ def _run_fault_shard(tile, spec, config, cpu_model, teg_module, faults,
         outcome.violations = list(result.violations)
 
 
+def audit_merged_result(trace: WorkloadTrace, config: SimulationConfig,
+                        result: SimulationResult) -> None:
+    """Invariant audit of a merged result; raises on any finding.
+
+    A stitching bug (a tile written to the wrong rows, a lost window, a
+    double-counted circulation) would corrupt results silently — the
+    merge is pure array surgery with no arithmetic to fail.  This
+    auditor re-derives the invariants every correctly merged run must
+    satisfy and refuses to return a result that breaks one:
+
+    * **step count** — exactly one record per trace step;
+    * **time base** — ``t_k == k * interval_s`` bit-exactly, strictly
+      increasing (a shuffled or duplicated window cannot pass);
+    * **energy-balance closure** — generation within ``[0, CPU power]``
+      (PRE in ``[0, 1]``), facility powers finite and non-negative,
+      every series finite (from
+      :func:`repro.validation.audit_simulation_result`);
+    * **violation consistency** — the per-step violation counts sum to
+      the number of recorded :class:`SafetyViolation` objects, and no
+      over-limit temperature goes unrecorded.
+
+    Raises
+    ------
+    ResultIntegrityError
+        Carrying every finding on ``issues``.
+    """
+    from ..validation import audit_simulation_result
+
+    issues: list[str] = []
+    n_steps = trace.n_steps
+    if len(result.records) != n_steps:
+        issues.append(f"merged result has {len(result.records)} records "
+                      f"for a {n_steps}-step trace")
+    else:
+        expected = np.arange(n_steps) * trace.interval_s
+        if not np.array_equal(result.times_s, expected):
+            issues.append("time base is not exactly "
+                          "k * interval_s per step")
+        for name in ("chiller_power_w", "tower_power_w",
+                     "pump_power_w"):
+            series = result._series(name)
+            if not np.all(np.isfinite(series)):
+                issues.append(f"non-finite {name} series")
+            elif np.any(series < 0):
+                issues.append(f"negative {name}")
+        recorded = len(result.violations)
+        counted = result.total_safety_violations
+        if recorded != counted:
+            issues.append(f"{counted} violations counted per step but "
+                          f"{recorded} violation records attached")
+        issues.extend(audit_simulation_result(result).issues)
+    if issues:
+        raise ResultIntegrityError(
+            f"merged result for {config.name!r} on {trace.name!r} "
+            f"failed {len(issues)} integrity check(s): "
+            + "; ".join(issues), issues=tuple(issues))
+
+
 def merge_shard_outcomes(trace: WorkloadTrace, config: SimulationConfig,
-                         outcomes: Sequence[ShardOutcome]
-                         ) -> SimulationResult:
+                         outcomes: Sequence[ShardOutcome], *,
+                         audit: bool = True) -> SimulationResult:
     """Stitch shard outcomes back into one whole-cluster result.
 
     Raises the globally earliest shard error (serial raise order) when
     any shard reported one.  Kernel outcomes are stitched column-wise
     and folded once; fault outcomes (time windows) are concatenated in
     window order.  Either way the result is bit-identical to running
-    the trace unsharded.
+    the trace unsharded, and (unless ``audit=False``) the merged result
+    must pass :func:`audit_merged_result` before it is returned.
     """
     if not outcomes:
         raise ConfigurationError("cannot merge zero shard outcomes")
@@ -519,6 +602,8 @@ def merge_shard_outcomes(trace: WorkloadTrace, config: SimulationConfig,
             scheme=config.name, trace_name=trace.name,
             n_servers=n_servers, interval_s=interval_s, records=records)
         result.violations = violations
+        if audit:
+            audit_merged_result(trace, config, result)
         return result
 
     n_circs = max(o.spec.circ_stop for o in ordered)
@@ -567,6 +652,8 @@ def merge_shard_outcomes(trace: WorkloadTrace, config: SimulationConfig,
         scheme=config.name, trace_name=trace.name, n_servers=n_servers,
         interval_s=interval_s, records=records)
     result.violations = merged.violations
+    if audit:
+        audit_merged_result(trace, config, result)
     return result
 
 
@@ -588,7 +675,9 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
                      shard_steps: int | None = None,
                      faults: FaultSchedule | None = None,
                      cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
-                     telemetry: bool | None = None) -> SimulationResult:
+                     telemetry: bool | None = None,
+                     checkpoint: "str | os.PathLike | None" = None,
+                     resume: bool = True) -> SimulationResult:
     """Split → run → merge one trace in-process (the reference path).
 
     Bit-identical to ``simulate(trace, config, ...)``; the parity suite
@@ -596,6 +685,15 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
     its executor instead — this function is the executable
     specification the engine path is tested against, and a convenient
     way to bound peak memory on a single core.
+
+    ``checkpoint`` names a directory in which every completed shard is
+    persisted as it finishes (atomic write-then-rename, content-keyed
+    manifest — see :mod:`repro.core.checkpoint`).  A rerun against the
+    same directory with ``resume=True`` (the default) skips completed
+    shards and produces results bit-identical to an uninterrupted run,
+    fault windows included: each saved window carries the shared
+    decision-cache snapshot and policy instance the next window needs.
+    ``resume=False`` discards any prior state and starts over.
     """
     started = time.perf_counter()
     if trace.n_servers < config.circulation_size:
@@ -614,13 +712,39 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
                         config.circulation_size,
                         shard_servers=shard_servers,
                         shard_steps=shard_steps)
-    outcomes = []
+    store = None
+    if checkpoint is not None:
+        from .checkpoint import CheckpointStore, run_key
+
+        store = CheckpointStore(
+            checkpoint,
+            run_key(trace, config, cpu_model, teg_module,
+                    faults=faults if has_faults else None,
+                    cache_resolution=cache_resolution, specs=specs),
+            n_shards=len(specs),
+            kind="fault" if has_faults else "kernel",
+            resume=resume)
+
+    outcomes: list = [None] * len(specs)
     if has_faults:
         # Sequential time windows sharing one cache and one policy:
         # exactly the serial decision sequence (see the module note).
+        # A saved window restores both the outcome and the cache store
+        # its successor depends on, so resuming replays the identical
+        # sequence from the first missing window onward.
         shared = CoolingDecisionCache(resolution=cache_resolution)
         policy = None
-        for spec in specs:
+        for index, spec in enumerate(specs):
+            saved = (store.load_shard(spec.index)
+                     if store is not None else None)
+            if saved is not None:
+                outcome = saved["outcome"]
+                if saved.get("cache_store") is not None:
+                    shared._store = dict(saved["cache_store"])
+                if outcome.policy is not None:
+                    policy = outcome.policy
+                outcomes[index] = outcome
+                continue
             outcome = run_shard(
                 trace.window(spec.step_start, spec.step_stop,
                              spec.server_start, spec.server_stop),
@@ -628,17 +752,37 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
                 cache_resolution=cache_resolution, cache=shared,
                 policy=policy, telemetry=record)
             policy = outcome.policy
-            outcomes.append(outcome)
+            outcomes[index] = outcome
+            if store is not None:
+                store.save_shard(spec.index, outcome,
+                                 cache_store=dict(shared._store))
     else:
-        primed = prime_decisions(trace, config, cpu_model, teg_module,
-                                 cache_resolution=cache_resolution)
-        outcomes = [
-            run_shard(trace.window(spec.step_start, spec.step_stop,
-                                   spec.server_start, spec.server_stop),
-                      spec, config, cpu_model, teg_module,
-                      cache_resolution=cache_resolution,
-                      cache=clone_cache(primed), telemetry=record)
-            for spec in specs]
+        missing: list[ShardSpec] = []
+        for spec in specs:
+            saved = (store.load_shard(spec.index)
+                     if store is not None else None)
+            if saved is not None:
+                outcomes[spec.index] = saved["outcome"]
+            else:
+                missing.append(spec)
+        primed = None
+        if missing:
+            # The pre-pass is deterministic, so recomputing it on
+            # resume hands the remaining shards the same primed cache
+            # an uninterrupted run would have.
+            primed = prime_decisions(trace, config, cpu_model,
+                                     teg_module,
+                                     cache_resolution=cache_resolution)
+        for spec in missing:
+            outcome = run_shard(
+                trace.window(spec.step_start, spec.step_stop,
+                             spec.server_start, spec.server_stop),
+                spec, config, cpu_model, teg_module,
+                cache_resolution=cache_resolution,
+                cache=clone_cache(primed), telemetry=record)
+            outcomes[spec.index] = outcome
+            if store is not None:
+                store.save_shard(spec.index, outcome)
     result = merge_shard_outcomes(trace, config, outcomes)
     wall = time.perf_counter() - started
     cache_hits = sum(o.cache_hits for o in outcomes)
@@ -655,6 +799,7 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
         mode="loop" if has_faults else "kernel",
         vectorised=not has_faults,
         n_shards=len(specs),
+        shards_resumed=len(store.loaded) if store is not None else 0,
     )
     if record:
         result.telemetry = _merged_telemetry(outcomes)

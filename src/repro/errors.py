@@ -97,6 +97,88 @@ class JobExecutionError(ReproError):
                  "timed_out": self.timed_out})
 
 
+class ShardExecutionError(JobExecutionError):
+    """One shard of a sharded job failed permanently.
+
+    Wraps the worker-side exception so the coordinator (and its
+    telemetry events) always see *which* tile failed and where it ran:
+    the shard index, its global ``[step_start:step_stop) x
+    [server_start:server_stop)`` bounds, the attempt number, and the pid
+    of the worker that executed the failing attempt.
+    """
+
+    def __init__(self, message: str, *, shard_index: int | None = None,
+                 step_start: int | None = None,
+                 step_stop: int | None = None,
+                 server_start: int | None = None,
+                 server_stop: int | None = None,
+                 attempt: int = 1, worker_pid: int | None = None,
+                 scheme: str | None = None, trace_name: str | None = None,
+                 elapsed_s: float = 0.0) -> None:
+        super().__init__(message, scheme=scheme, trace_name=trace_name,
+                         attempts=attempt, elapsed_s=elapsed_s)
+        self.shard_index = shard_index
+        self.step_start = step_start
+        self.step_stop = step_stop
+        self.server_start = server_start
+        self.server_stop = server_stop
+        self.attempt = attempt
+        self.worker_pid = worker_pid
+
+    def __reduce__(self):
+        # See :meth:`CoolingFailureError.__reduce__`.
+        return (self.__class__, (str(self),),
+                {"shard_index": self.shard_index,
+                 "step_start": self.step_start,
+                 "step_stop": self.step_stop,
+                 "server_start": self.server_start,
+                 "server_stop": self.server_stop,
+                 "attempt": self.attempt, "attempts": self.attempts,
+                 "worker_pid": self.worker_pid, "scheme": self.scheme,
+                 "trace_name": self.trace_name,
+                 "elapsed_s": self.elapsed_s,
+                 "timed_out": self.timed_out})
+
+    def context(self) -> dict:
+        """The shard coordinates as a flat dict (for telemetry events)."""
+        return {"shard_index": self.shard_index,
+                "step_start": self.step_start,
+                "step_stop": self.step_stop,
+                "server_start": self.server_start,
+                "server_stop": self.server_stop,
+                "attempt": self.attempt,
+                "worker_pid": self.worker_pid}
+
+
+class CheckpointError(ReproError):
+    """A checkpoint directory cannot be used for this run.
+
+    Raised when a checkpoint manifest's format version is unknown, its
+    run key does not match the run being (re)started, or the directory
+    contents are structurally invalid.  Individually corrupt shard files
+    are *not* fatal — they are discarded and recomputed.
+    """
+
+
+class ResultIntegrityError(ReproError):
+    """A merged sharded result violates a physical or structural invariant.
+
+    Raised by the post-merge auditor (:func:`repro.core.shard.
+    audit_merged_result`) before a merged result is returned: step count
+    or time base wrong, non-finite series, out-of-range PRE/utilisation,
+    or violations inconsistent with the recorded counts.  Carries the
+    individual findings on ``issues``.
+    """
+
+    def __init__(self, message: str,
+                 issues: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.issues = tuple(issues)
+
+    def __reduce__(self):
+        return (self.__class__, (str(self), self.issues))
+
+
 class TraceFormatError(ReproError):
     """A workload trace file or array does not have the expected layout."""
 

@@ -116,7 +116,7 @@ def audit_simulation_result(result: SimulationResult) -> AuditReport:
     if np.any(result.pre_series < 0) or np.any(result.pre_series > 1.0):
         report.add("PRE outside [0, 1] — generation exceeds CPU power?")
 
-    max_temps = np.array([r.max_cpu_temp_c for r in result.records])
+    max_temps = result.max_cpu_temp_series_c
     recorded = result.total_safety_violations
     if recorded == 0 and np.any(
             max_temps > CPU_MAX_OPERATING_TEMP_C + 1e-9):

@@ -102,3 +102,25 @@ class TestHotspot:
         out = capsys.readouterr().out
         assert code == 0
         assert "VIOLATION" not in out
+
+
+class TestBatchCheckpoint:
+    ARGS = ["batch", "--traces", "common", "--schemes", "original",
+            "--servers", "40", "--workers", "1", "--mode", "kernel",
+            "--shard", "--shard-steps", "12"]
+
+    def test_resume_requires_checkpoint(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError,
+                           match="requires --checkpoint"):
+            main(["batch", "--traces", "common", "--servers", "40",
+                  "--resume"])
+
+    def test_checkpoint_then_resume_reports_skipped_work(
+            self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(self.ARGS + ["--checkpoint", ckpt]) == 0
+        assert "resumed from checkpoint" not in capsys.readouterr().out
+        assert main(self.ARGS + ["--checkpoint", ckpt, "--resume"]) == 0
+        assert "resumed from checkpoint" in capsys.readouterr().out
