@@ -23,6 +23,12 @@ check also enforces the checkpoint-off envelope: with no checkpoint
 directory configured, the sharded path must stay within 3 % of its
 committed baseline (machine-normalised against the unsharded kernel,
 which carries no checkpoint plumbing).
+
+``--cache`` switches to the result-cache scenario (the same fleet
+trace through ``simulate_sharded``, ``BENCH_cache.json``): it checks
+the warm-hit speedup floor and enforces the cache-off envelope — with
+``result_cache=False`` the sharded path must stay within 3 % of its
+committed baseline, machine-normalised the same way.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from test_bench_engine import measure_kernel_throughput
 
 BASELINE_PATH = Path(__file__).parent / "BENCH_engine.json"
 FLEET_BASELINE_PATH = Path(__file__).parent / "BENCH_fleet.json"
+CACHE_BASELINE_PATH = Path(__file__).parent / "BENCH_cache.json"
 
 #: A mode fails the check below this fraction of its baseline steps/sec.
 TOLERANCE = 0.25
@@ -50,6 +57,23 @@ CHECKED_FIELDS = ("step_steps_per_s", "kernel_steps_per_s",
 #: The fleet (``--fleet``) figures, from ``BENCH_fleet.json``: the
 #: sharded engine on the 12,500 x 8,900 synthetic-Google scenario.
 FLEET_CHECKED_FIELDS = ("sharded_cells_per_s", "unsharded_cells_per_s")
+
+#: The result-cache (``--cache``) figures, from ``BENCH_cache.json``:
+#: the cache-off recompute, the kernel normaliser and the warm hit.
+CACHE_CHECKED_FIELDS = ("direct_cells_per_s", "kernel_cells_per_s",
+                        "warm_cells_per_s")
+
+#: With the result cache *disabled* (``result_cache=False``), the
+#: sharded path must stay within this fraction of its committed
+#: baseline — same envelope and same kernel normalisation as the
+#: checkpoint-off guard (the kernel path shares the cache branches'
+#: host but not their cost, so only a cache-plumbing slowdown trips
+#: it).
+CACHE_OFF_TOLERANCE = 0.03
+
+#: The committed warm-hit speedup may degrade to no less than this
+#: floor (the ISSUE 8 acceptance criterion).
+CACHE_WARM_SPEEDUP_FLOOR = 20.0
 
 #: With checkpointing *disabled* (the default), the sharded path must
 #: stay within this fraction of its committed baseline — the same 3 %
@@ -71,11 +95,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fleet", action="store_true",
                         help="check the fleet-scale sharded scenario "
                              "(12,500 x 8,900) instead of the kernel one")
+    parser.add_argument("--cache", action="store_true",
+                        help="check the result-cache scenario (fleet "
+                             "trace; warm hits and cache-off envelope)")
     args = parser.parse_args(argv)
+    if args.fleet and args.cache:
+        parser.error("--fleet and --cache are mutually exclusive")
     if args.baseline is None:
         args.baseline = (FLEET_BASELINE_PATH if args.fleet
+                         else CACHE_BASELINE_PATH if args.cache
                          else BASELINE_PATH)
     checked_fields = (FLEET_CHECKED_FIELDS if args.fleet
+                      else CACHE_CHECKED_FIELDS if args.cache
                       else CHECKED_FIELDS)
 
     if args.fleet:
@@ -84,6 +115,10 @@ def main(argv: list[str] | None = None) -> int:
         # Best-of-two: the checkpoint-off envelope is tight (3 %), and
         # single-shot wall times at this scale carry that much jitter.
         report = measure_fleet_throughput(rounds=2)
+    elif args.cache:
+        from test_bench_cache import measure_cache_throughput
+
+        report = measure_cache_throughput(rounds=2)
     else:
         report = measure_kernel_throughput()
     if args.update:
@@ -135,6 +170,31 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{'ckpt-off overhead':<20} sharded at {ratio:>9.2f}x "
                   f"baseline (floor "
                   f"{1.0 - FLEET_CHECKPOINT_OFF_TOLERANCE:.0%})  "
+                  f"[{'ok' if ok else 'REGRESSION'}]")
+    elif args.cache:
+        print(f"{'entry bytes':<20} baseline "
+              f"{baseline.get('entry_bytes', 0):>10}  "
+              f"now {report['entry_bytes']:>10}")
+        speedup_ok = report["warm_speedup"] >= CACHE_WARM_SPEEDUP_FLOOR
+        failed = failed or not speedup_ok
+        print(f"{'warm speedup':<20} baseline "
+              f"{baseline.get('warm_speedup', float('nan')):>9.1f}x "
+              f"now {report['warm_speedup']:>9.1f}x (floor "
+              f"{CACHE_WARM_SPEEDUP_FLOOR:.0f}x)  "
+              f"[{'ok' if speedup_ok else 'REGRESSION'}]")
+        if all(baseline.get(f) for f in ("direct_cells_per_s",
+                                         "kernel_cells_per_s")):
+            direct = (report["direct_cells_per_s"]
+                      / baseline["direct_cells_per_s"])
+            machine = (report["kernel_cells_per_s"]
+                       / baseline["kernel_cells_per_s"])
+            # Take the kinder of the direct and machine-normalised
+            # ratios (see CACHE_OFF_TOLERANCE).
+            ratio = max(direct, direct / machine)
+            ok = ratio >= 1.0 - CACHE_OFF_TOLERANCE
+            failed = failed or not ok
+            print(f"{'cache-off overhead':<20} direct at {ratio:>9.2f}x "
+                  f"baseline (floor {1.0 - CACHE_OFF_TOLERANCE:.0%})  "
                   f"[{'ok' if ok else 'REGRESSION'}]")
     else:
         print(f"{'speedup':<20} baseline {baseline['speedup']:>10.2f}  "

@@ -118,6 +118,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(interrupted) run of the same batch; "
                             "results are bit-identical to an "
                             "uninterrupted run")
+    batch.add_argument("--cache", default=None, metavar="DIR",
+                       help="serve repeated jobs from a "
+                            "content-addressed result cache in DIR "
+                            "(bit-identical to recompute; see "
+                            "docs/cache.md; default: REPRO_CACHE / "
+                            "REPRO_CACHE_DIR or off)")
+    batch.add_argument("--no-cache", dest="cache", action="store_const",
+                       const=False,
+                       help="ignore REPRO_CACHE and run everything "
+                            "fresh")
     batch.add_argument("--shard-straggler", type=float, default=None,
                        metavar="SECONDS",
                        help="speculatively re-dispatch a shard that "
@@ -280,7 +290,8 @@ def _cmd_batch(args: argparse.Namespace, reporter: Reporter) -> int:
                       shard_steps=args.shard_steps,
                       shard_straggler_s=args.shard_straggler,
                       checkpoint=args.checkpoint,
-                      resume=args.resume)
+                      resume=args.resume,
+                      cache=args.cache)
     reporter.info(f"{'scheme':<16} {'trace':<10} {'avg W':>7} {'PRE':>7} "
                   f"{'steps/s':>8} {'cache':>6}")
     for result in batch.results:
@@ -308,6 +319,12 @@ def _cmd_batch(args: argparse.Namespace, reporter: Reporter) -> int:
         reporter.info(f"resumed from checkpoint: "
                       f"{aggregate.shards_resumed} shard(s), "
                       f"{aggregate.jobs_resumed} whole job(s)")
+    if aggregate.result_cache_hits:
+        reporter.info(f"served from cache: {aggregate.result_cache_hits}"
+                      f"/{aggregate.n_jobs} job(s)")
+    if aggregate.jobs_deduped:
+        reporter.info(f"deduplicated within batch: "
+                      f"{aggregate.jobs_deduped} job(s)")
     for failed in batch.failures:
         reporter.error(f"FAILED {failed.scheme} on {failed.trace_name}: "
                        f"[{failed.error_type}] {failed.message} "

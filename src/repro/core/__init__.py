@@ -49,6 +49,8 @@ from .shard import (
     simulate_sharded,
 )
 from .checkpoint import CheckpointStore, RunKey, run_key, trace_digest
+from .cache import (ResultCache, ResultCacheStats, resolve_result_cache,
+                    result_key, warm_keys)
 from .h2p import H2PSystem
 from .facility import FacilityModel, FacilityReport
 from .seasonal import SeasonalStudy, MonthOutcome, annual_summary
@@ -84,6 +86,11 @@ __all__ = [
     "RunKey",
     "run_key",
     "trace_digest",
+    "ResultCache",
+    "ResultCacheStats",
+    "resolve_result_cache",
+    "result_key",
+    "warm_keys",
     "reap_orphaned_segments",
     "simulate",
     "run_batch",

@@ -72,6 +72,7 @@ from ..teg.module import TegModule
 from ..thermal.cpu_model import CpuThermalModel
 from ..thermal.hydraulics import loop_pump_power_w
 from ..workloads.trace import WorkloadTrace
+from .cache import ResultCache, resolve_result_cache, result_key, warm_keys
 from .config import SimulationConfig
 from .kernel import KernelTimings, run_whole_trace
 from .results import SimulationResult
@@ -277,6 +278,9 @@ class EngineMetrics:
     retries: int = 0
     n_shards: int = 0
     shards_resumed: int = 0
+    #: Whether this result was served from the content-addressed result
+    #: cache (:mod:`repro.core.cache`) instead of being computed.
+    result_cache_hit: bool = False
 
     def summary(self) -> dict:
         """Headline metrics as a plain dictionary (for tables/JSON)."""
@@ -294,6 +298,8 @@ class EngineMetrics:
             summary["shards"] = self.n_shards
         if self.shards_resumed:
             summary["shards_resumed"] = self.shards_resumed
+        if self.result_cache_hit:
+            summary["result_cache_hit"] = True
         if self.kernel is not None:
             summary["kernel"] = self.kernel.summary()
         return summary
@@ -326,6 +332,12 @@ class BatchMetrics:
     shards_resumed: int = 0
     #: Whole (non-sharded) jobs answered from a checkpointed result.
     jobs_resumed: int = 0
+    #: Jobs served from the content-addressed result cache.
+    result_cache_hits: int = 0
+    #: Jobs whose cache lookup missed (and were then computed).
+    result_cache_misses: int = 0
+    #: Duplicate jobs answered by fanning out another job's result.
+    jobs_deduped: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -354,6 +366,11 @@ class BatchMetrics:
             summary["shards_resumed"] = self.shards_resumed
         if self.jobs_resumed:
             summary["jobs_resumed"] = self.jobs_resumed
+        if self.result_cache_hits or self.result_cache_misses:
+            summary["result_cache_hits"] = self.result_cache_hits
+            summary["result_cache_misses"] = self.result_cache_misses
+        if self.jobs_deduped:
+            summary["jobs_deduped"] = self.jobs_deduped
         return summary
 
 
@@ -538,6 +555,7 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
              cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
              faults: FaultSchedule | None = None,
              telemetry: bool | None = None,
+             result_cache=None,
              ) -> SimulationResult:
     """Run one scheme over one trace through the engine's fast path.
 
@@ -556,10 +574,31 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
     ``result.telemetry`` — worker processes pickle that snapshot back to
     the batch layer.  Telemetry is purely observational: records are
     bit-identical with it on or off.
+
+    ``result_cache`` (a :class:`~repro.core.cache.ResultCache`, a
+    directory, ``True``/``False``, or ``None`` to consult
+    ``REPRO_CACHE``) memoises the whole run on disk: a content-key hit
+    returns the persisted result — bit-identical records — without
+    simulating, a miss stores the computed result, and the run's
+    cooling-decision state is saved as a warm-start snapshot for
+    near-miss runs (see ``docs/cache.md``).
     """
     started = time.perf_counter()
     if cache is None:
         cache = CoolingDecisionCache(resolution=cache_resolution)
+    store = resolve_result_cache(result_cache)
+    key = None
+    has_faults = faults is not None and len(faults) > 0
+    if store is not None and type(trace) is WorkloadTrace:
+        effective_mode = "loop" if has_faults else resolve_mode(
+            mode, vectorised)
+        key = result_key(trace, config, cpu_model, teg_module,
+                         faults=faults if has_faults else None,
+                         cache_resolution=cache.resolution,
+                         mode=effective_mode)
+        cached = store.load(key)
+        if cached is not None:
+            return cached
     local = obs.Telemetry() if obs.telemetry_enabled(telemetry) else None
     context = obs.session(local) if local is not None else nullcontext()
     hits_before, misses_before = cache.stats.hits, cache.stats.misses
@@ -569,6 +608,10 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
                 simulator = _CachedVectorisedSimulator(
                     trace, config, cpu_model, teg_module, cache=cache,
                     vectorised=vectorised, mode=mode, faults=faults)
+                warmed = None
+                if key is not None and not has_faults:
+                    warmed = _warm_restore(store, simulator, trace,
+                                           config, cpu_model, teg_module)
             setup_done = time.perf_counter()
             result = simulator.run()
             finished = time.perf_counter()
@@ -594,23 +637,111 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
     )
     if local is not None:
         result.telemetry = local.snapshot()
+    if key is not None:
+        store.store(key, result)
+        if not has_faults and warmed != "direct":
+            _warm_save(store, simulator, trace, config, cpu_model,
+                       teg_module)
     return result
+
+
+def _warm_restore(store: ResultCache, simulator, trace, config,
+                  cpu_model, teg_module, *,
+                  trace_hash: str | None = None) -> str | None:
+    """Prime a simulator's decision cache from a warm-start snapshot.
+
+    Returns ``"direct"`` when the snapshot's decision key (W1) matched
+    and the saved decisions were installed verbatim (re-tagged to this
+    run's cache context), ``"replay"`` when only the binding key (W2)
+    matched and each saved bucket's representative binding was replayed
+    through the *current* policy, or ``None`` when nothing usable was
+    found.  Either path installs exactly the decisions a cold run would
+    compute, so warmed runs stay bit-identical (see ``docs/cache.md``).
+    """
+    policy = simulator._policy
+    resolution = getattr(policy, "cache_resolution", None)
+    if not resolution:
+        return None
+    aggregation = getattr(policy, "aggregation", "max")
+    w1, w2 = warm_keys(trace, config, cpu_model, teg_module,
+                       aggregation=aggregation,
+                       policy_resolution=resolution,
+                       trace_hash=trace_hash)
+    payload = store.load_warm(w2)
+    if payload is None:
+        return None
+    context = simulator._context
+    cache_store = simulator._cache._store
+    if payload.get("w1") == w1:
+        for agg, size, binding_key, decision in payload["entries"]:
+            cache_store.setdefault((context, agg, size, binding_key),
+                                   decision)
+        return "direct"
+    for agg, size, binding_key, decision in payload["entries"]:
+        cache_key = (context, agg, size, binding_key)
+        if cache_key in cache_store:
+            continue
+        # Replay the bucket's representative binding through the
+        # current policy.  A single-element vector aggregates (max or
+        # mean) to exactly that binding, so this both primes the
+        # policy's own memo and yields the decision a cold run would
+        # compute for the bucket — the engine-cache key must carry the
+        # *saved* vector size, hence the manual insert.
+        replayed = policy.decide(
+            np.asarray([decision.binding_utilisation]))
+        cache_store[cache_key] = replayed
+    return "replay"
+
+
+def _warm_save(store: ResultCache, simulator, trace, config,
+               cpu_model, teg_module, *,
+               trace_hash: str | None = None) -> None:
+    """Persist a completed run's decision-cache state as a warm snapshot.
+
+    Entries are filtered to this run's cache context (one shared cache
+    may serve several configs) and stored context-free in
+    first-occurrence order, so a replay re-derives the policy memo in
+    the same order a cold run would fill it.
+    """
+    policy = simulator._policy
+    resolution = getattr(policy, "cache_resolution", None)
+    if not resolution:
+        return
+    context = simulator._context
+    entries = [(agg, size, binding_key, decision)
+               for (ctx, agg, size, binding_key), decision
+               in simulator._cache._store.items() if ctx == context]
+    if not entries:
+        return
+    aggregation = getattr(policy, "aggregation", "max")
+    w1, w2 = warm_keys(trace, config, cpu_model, teg_module,
+                       aggregation=aggregation,
+                       policy_resolution=resolution,
+                       trace_hash=trace_hash)
+    store.store_warm(w1, w2, entries)
 
 
 def _execute_job(job: SimulationJob, mode: str,
                  cache_resolution: float,
-                 telemetry: bool = False) -> SimulationResult:
+                 telemetry: bool = False,
+                 cache_dir=None) -> SimulationResult:
     """Worker entry point (module-level so process pools can pickle it).
 
-    ``telemetry`` is resolved once by the batch layer and passed
-    explicitly so all executors behave identically regardless of how
-    environment variables propagate to workers.
+    ``telemetry`` and ``cache_dir`` are resolved once by the batch
+    layer and passed explicitly so all executors behave identically
+    regardless of how environment variables propagate to workers
+    (``cache_dir=None`` means caching stays off even if the worker's
+    environment would enable it).  In-process executors pass the
+    engine's shared :class:`~repro.core.cache.ResultCache` instance
+    rather than a directory string, so all threads write through one
+    store.
     """
     return simulate(job.trace, job.config, job.cpu_model, job.teg_module,
                     mode=mode,
                     cache_resolution=cache_resolution,
                     faults=job.faults,
-                    telemetry=telemetry)
+                    telemetry=telemetry,
+                    result_cache=cache_dir if cache_dir else False)
 
 
 # ----------------------------------------------------------------------
@@ -909,6 +1040,9 @@ class _JobPayload:
     #: Resolved by the engine before dispatch so worker processes need
     #: no environment propagation to agree on whether to record.
     telemetry: bool = False
+    #: Result-cache directory, resolved by the engine before dispatch
+    #: (``None`` keeps caching off in the worker whatever its env says).
+    cache_dir: str | None = None
 
 
 def _execute_payload(payload: _JobPayload) -> SimulationResult:
@@ -921,7 +1055,9 @@ def _execute_payload(payload: _JobPayload) -> SimulationResult:
                     payload.teg_module, mode=payload.mode,
                     cache_resolution=payload.cache_resolution,
                     faults=payload.faults,
-                    telemetry=payload.telemetry)
+                    telemetry=payload.telemetry,
+                    result_cache=(payload.cache_dir if payload.cache_dir
+                                  else False))
 
 
 # ----------------------------------------------------------------------
@@ -1292,7 +1428,8 @@ class BatchSimulationEngine:
                  shard_steps: int | None = None,
                  shard_straggler_s: float | None = None,
                  checkpoint: "str | os.PathLike | None" = None,
-                 resume: bool = True) -> None:
+                 resume: bool = True,
+                 cache=None) -> None:
         if prefer not in ("process", "thread", "serial"):
             raise ConfigurationError(
                 f"prefer must be 'process', 'thread' or 'serial', "
@@ -1337,6 +1474,11 @@ class BatchSimulationEngine:
         # malformed environment fails here, not inside a worker, and all
         # executors agree on whether jobs record.
         self.telemetry = obs.telemetry_enabled(telemetry)
+        # Same treatment for the result cache (explicit > REPRO_CACHE):
+        # workers receive the resolved directory, never the env.
+        self.result_cache = resolve_result_cache(cache)
+        self._cache_dir = (str(self.result_cache.directory)
+                           if self.result_cache is not None else None)
         self._shared_traces = _SharedTraceRegistry()
         self._executor = None
         self._executor_kind: str | None = None
@@ -1444,13 +1586,15 @@ class BatchSimulationEngine:
             cache_resolution=self.cache_resolution,
             trace=trace,
             telemetry=self.telemetry,
+            cache_dir=self._cache_dir,
         )
 
     def _submit(self, executor, kind: str, job: SimulationJob) -> Future:
         if kind == "process":
             return executor.submit(_execute_payload, self._payload(job))
         return executor.submit(_execute_job, job, self.mode,
-                               self.cache_resolution, self.telemetry)
+                               self.cache_resolution, self.telemetry,
+                               self.result_cache)
 
     @staticmethod
     def _kill_executor(executor, kind: str) -> None:
@@ -1492,7 +1636,8 @@ class BatchSimulationEngine:
                 try:
                     result = _execute_job(job, self.mode,
                                           self.cache_resolution,
-                                          self.telemetry)
+                                          self.telemetry,
+                                          self.result_cache)
                 except Exception as exc:
                     if state.attempts < self._budget:
                         stats["retries"] += 1
@@ -1775,6 +1920,33 @@ class BatchSimulationEngine:
             self._trace_digests[id(trace)] = entry
         return entry[1]
 
+    def _content_key(self, job: SimulationJob, specs):
+        """The result-cache / dedup identity of one job.
+
+        Matches the key a worker's :func:`simulate` derives for the
+        same job (same mode resolution, same decision-cache
+        resolution), so a result stored by a worker is found by the
+        coordinator on the next run and vice versa.  Trace subclasses
+        can carry behaviour the plane digest cannot see, so they key on
+        object identity — good enough for within-batch dedup, never
+        persisted.
+        """
+        has_faults = job.faults is not None and len(job.faults) > 0
+        if type(job.trace) is WorkloadTrace:
+            trace_hash = self._trace_hash(job.trace)
+        else:
+            trace_hash = f"id:{id(job.trace)}"
+        if has_faults:
+            mode = "loop"
+        else:
+            mode = "kernel" if specs is not None else self.mode
+        return result_key(job.trace, job.config, job.cpu_model,
+                          job.teg_module,
+                          faults=job.faults if has_faults else None,
+                          cache_resolution=self.cache_resolution,
+                          mode=mode, specs=specs,
+                          trace_hash=trace_hash)
+
     def _job_store(self, job: SimulationJob, specs):
         """The per-job checkpoint store under the engine's root.
 
@@ -1858,7 +2030,7 @@ class BatchSimulationEngine:
             _ShardPayload,
             _execute_shard_payload,
             clone_cache,
-            prime_decisions,
+            primed_or_warm,
             run_shard,
         )
 
@@ -1927,9 +2099,13 @@ class BatchSimulationEngine:
             return self._merge_sharded(job, specs, outcomes, started,
                                        store=store)
 
-        primed = prime_decisions(job.trace, job.config, job.cpu_model,
-                                 job.teg_module,
-                                 cache_resolution=self.cache_resolution)
+        primed = primed_or_warm(job.trace, job.config, job.cpu_model,
+                                job.teg_module,
+                                cache_resolution=self.cache_resolution,
+                                result_cache=self.result_cache,
+                                trace_hash=(self._trace_hash(job.trace)
+                                            if self.result_cache is not None
+                                            else None))
 
         def run_local(spec):
             tile = job.trace.window(spec.step_start, spec.step_stop,
@@ -2177,14 +2353,52 @@ class BatchSimulationEngine:
                 if cached is not None:
                     resumed_results[index] = cached
 
+        # Result cache: sharded jobs are pre-checked here, before any
+        # shard plan is primed or dispatched (whole jobs check inside
+        # simulate() in their worker, which also gives them warm
+        # starts).  A hit drops the job's plan entirely.
+        cache_keys: dict[int, object] = {}
+        cache_results: dict[int, SimulationResult] = {}
+        if self.result_cache is not None:
+            for index, job in enumerate(jobs):
+                if index in resumed_results or index not in plans:
+                    continue
+                if type(job.trace) is not WorkloadTrace:
+                    continue
+                key = self._content_key(job, plans[index])
+                cache_keys[index] = key
+                cached = self.result_cache.load(key)
+                if cached is not None:
+                    cache_results[index] = cached
+                    plans.pop(index)
+
+        # Within-batch dedup: identical (trace, config, models, faults,
+        # mode/plan) jobs execute once; duplicates fan the
+        # representative's result out at collection time.
+        dup_of: dict[int, int] = {}
+        seen_keys: dict = {}
+        for index, job in enumerate(jobs):
+            if index in resumed_results or index in cache_results:
+                continue
+            dedup_key = self._content_key(job, plans.get(index))
+            rep = seen_keys.setdefault(dedup_key, index)
+            if rep != index:
+                dup_of[index] = rep
+                plans.pop(index, None)
+        if dup_of:
+            obs.add("engine.jobs.deduped", len(dup_of))
+        total_shards = sum(len(specs) for specs in plans.values())
+
         normal = [index for index in range(len(jobs))
-                  if index not in plans and index not in resumed_results]
+                  if index not in plans and index not in resumed_results
+                  and index not in cache_results and index not in dup_of]
         n_units = len(normal) + total_shards
         workers = resolve_workers(self.n_workers, n_units)
         timeout_s = resolve_job_timeout(self.job_timeout_s)
         obs.emit("batch.start", n_jobs=len(jobs), mode=self.mode,
                  workers=workers, prefer=self.prefer,
-                 shards=total_shards, resumed=len(resumed_results))
+                 shards=total_shards, resumed=len(resumed_results),
+                 deduped=len(dup_of), cache_hits=len(cache_results))
         started = time.perf_counter()
         executor = self.prefer
         outcome = None
@@ -2229,6 +2443,19 @@ class BatchSimulationEngine:
             except Exception as exc:
                 failures_map[index] = state.failed(exc)
                 self._emit_job_event("job.failed", state, exc)
+            else:
+                if index in cache_keys:
+                    self.result_cache.store(cache_keys[index],
+                                            results_map[index])
+        results_map.update(cache_results)
+        for index, rep in dup_of.items():
+            # Duplicates share the representative's result object (or
+            # its failure record) — the content key proved them the
+            # same run.
+            if rep in results_map:
+                results_map[index] = results_map[rep]
+            elif rep in failures_map:
+                failures_map[index] = failures_map[rep]
         wall = time.perf_counter() - started
         if executor == "serial":
             workers = 1
@@ -2239,6 +2466,7 @@ class BatchSimulationEngine:
         cache_hits = 0
         cache_misses = 0
         shards_resumed = 0
+        result_cache_hits = 0
         for index in sorted(results_map):
             metrics = results_map[index].metrics
             if metrics is None:
@@ -2248,12 +2476,27 @@ class BatchSimulationEngine:
                 # metrics of the run that computed it; nothing here
                 # executed, so nothing is re-labelled or re-counted.
                 continue
+            if index in dup_of:
+                # Shares its representative's result object — counted
+                # once, under the representative's index.
+                continue
+            if metrics.result_cache_hit:
+                # Same contract as checkpoint-resumed jobs: the metrics
+                # describe the run that computed the entry.
+                result_cache_hits += 1
+                continue
             metrics.executor = executor
             metrics.n_workers = workers
             total_steps += metrics.n_steps
             cache_hits += metrics.cache_hits
             cache_misses += metrics.cache_misses
             shards_resumed += metrics.shards_resumed
+        cache_eligible = 0
+        if self.result_cache is not None:
+            cache_eligible = sum(
+                1 for index, job in enumerate(jobs)
+                if index not in resumed_results and index not in dup_of
+                and type(job.trace) is WorkloadTrace)
         batch = BatchResult(
             results=results,
             failures=failures,
@@ -2272,13 +2515,23 @@ class BatchSimulationEngine:
                 shards=total_shards,
                 shards_resumed=shards_resumed,
                 jobs_resumed=len(resumed_results),
+                result_cache_hits=result_cache_hits,
+                result_cache_misses=max(
+                    0, cache_eligible - result_cache_hits),
+                jobs_deduped=len(dup_of),
             ),
         )
         if batch_telemetry is not None:
             for index in sorted(results_map):
-                if index in resumed_results:
+                if index in resumed_results or index in dup_of:
                     # A checkpoint-answered job's snapshot records the
-                    # run that computed it, not this one.
+                    # run that computed it, not this one; a duplicate
+                    # shares its representative's snapshot.
+                    continue
+                metrics = results_map[index].metrics
+                if metrics is not None and metrics.result_cache_hit:
+                    # A cache-served job's snapshot likewise records
+                    # the original run.
                     continue
                 if results_map[index].telemetry is not None:
                     batch_telemetry.merge_snapshot(
@@ -2292,6 +2545,19 @@ class BatchSimulationEngine:
             if resumed_results:
                 registry.counter("engine.jobs.resumed").inc(
                     len(resumed_results))
+            if self.result_cache is not None:
+                # Serial/thread workers and the coordinator's sharded
+                # pre-checks already counted themselves through the
+                # live session; process workers could not.  Top the
+                # counters up to the authoritative BatchMetrics totals
+                # so the manifest always agrees with them.
+                for name, target in (
+                        ("engine.cache.hit", result_cache_hits),
+                        ("engine.cache.miss",
+                         max(0, cache_eligible - result_cache_hits))):
+                    counter = registry.counter(name)
+                    if target > counter.value:
+                        counter.inc(target - counter.value)
             obs.emit("batch.end", **batch.metrics.summary())
         return batch
 
@@ -2310,7 +2576,8 @@ def run_batch(jobs: Iterable[SimulationJob],
               shard_steps: int | None = None,
               shard_straggler_s: float | None = None,
               checkpoint: "str | os.PathLike | None" = None,
-              resume: bool = True) -> BatchResult:
+              resume: bool = True,
+              cache=None) -> BatchResult:
     """One-call convenience wrapper around :class:`BatchSimulationEngine`.
 
     The engine (and with it the persistent executor and any shared-memory
@@ -2330,7 +2597,8 @@ def run_batch(jobs: Iterable[SimulationJob],
                                    shard_steps=shard_steps,
                                    shard_straggler_s=shard_straggler_s,
                                    checkpoint=checkpoint,
-                                   resume=resume)
+                                   resume=resume,
+                                   cache=cache)
     try:
         return engine.run(jobs)
     finally:
@@ -2344,13 +2612,14 @@ def compare_batch(traces: Sequence[WorkloadTrace],
                   teg_module: TegModule | None = None,
                   vectorised: bool = True,
                   mode: str | None = None,
-                  prefer: str = "process") -> BatchResult:
+                  prefer: str = "process",
+                  cache=None) -> BatchResult:
     """Run the full cross product of ``traces`` x ``configs`` as one batch."""
     jobs = [SimulationJob(trace=trace, config=config, cpu_model=cpu_model,
                           teg_module=teg_module)
             for trace in traces for config in configs]
     return run_batch(jobs, n_workers, vectorised=vectorised, mode=mode,
-                     prefer=prefer)
+                     prefer=prefer, cache=cache)
 
 
 __all__ = [
@@ -2369,6 +2638,7 @@ __all__ = [
     "FailedJob",
     "BatchResult",
     "BatchSimulationEngine",
+    "ResultCache",
     "SharedTraceRef",
     "simulate",
     "run_batch",

@@ -77,14 +77,19 @@ class H2PSystem:
     def compare(self, trace: WorkloadTrace,
                 baseline: SimulationConfig | None = None,
                 optimised: SimulationConfig | None = None,
-                ) -> SchemeComparison:
-        """The paper's headline comparison on one trace (Fig. 14)."""
+                result_cache=None) -> SchemeComparison:
+        """The paper's headline comparison on one trace (Fig. 14).
+
+        ``result_cache`` forwards to :func:`~repro.core.simulator.
+        compare_schemes` (see :mod:`repro.core.cache`).
+        """
         return compare_schemes(
             trace,
             baseline or teg_original(),
             optimised or teg_loadbalance(),
             self.cpu_model,
             self.teg_module,
+            result_cache=result_cache,
         )
 
     # ------------------------------------------------------------------

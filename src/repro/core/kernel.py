@@ -215,6 +215,8 @@ def _decide_cells(sim, plane: np.ndarray):
         # The serial loop would have looked every cell up; duplicates
         # were served by construction, so they count as hits.
         cache.stats.hits += cells - len(uniq)
+    obs.add("engine.kernel.decide_cells", cells)
+    obs.add("engine.kernel.unique_decisions", len(uniq))
 
     setting_index: dict[tuple[float, float], int] = {}
     applied_settings = []

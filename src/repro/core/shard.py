@@ -82,6 +82,7 @@ from ..teg.module import TegModule
 from ..thermal.cpu_model import CpuThermalModel
 from ..workloads.trace import WorkloadTrace
 from .config import SimulationConfig
+from .cache import ResultCache, resolve_result_cache, result_key
 from .engine import (
     DEFAULT_CACHE_RESOLUTION,
     CacheStats,
@@ -90,6 +91,8 @@ from .engine import (
     SharedTraceRef,
     _CachedVectorisedSimulator,
     _trace_from_ref,
+    _warm_restore,
+    _warm_save,
 )
 from .kernel import (
     KernelColumns,
@@ -114,6 +117,7 @@ __all__ = [
     "merge_shard_outcomes",
     "plan_shards",
     "prime_decisions",
+    "primed_or_warm",
     "resolve_shard_size",
     "run_shard",
     "simulate_sharded",
@@ -333,18 +337,53 @@ def prime_decisions(trace: WorkloadTrace, config: SimulationConfig,
     trace length.  Stats are reset before returning — shards account
     their own lookups.
     """
+    return primed_or_warm(trace, config, cpu_model, teg_module,
+                          cache_resolution=cache_resolution)
+
+
+def primed_or_warm(trace: WorkloadTrace, config: SimulationConfig,
+                   cpu_model: CpuThermalModel | None = None,
+                   teg_module: TegModule | None = None, *,
+                   cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
+                   result_cache: ResultCache | None = None,
+                   trace_hash: str | None = None
+                   ) -> CoolingDecisionCache | None:
+    """:func:`prime_decisions` with a cross-run warm start.
+
+    With a ``result_cache``, the decision pre-pass first tries the
+    cache's warm-start store (see ``docs/cache.md``): a snapshot saved
+    by an earlier run over the same trace and scheduling either
+    restores the decisions verbatim (matching decision key) or replays
+    each bucket's representative binding through the current policy —
+    both reproduce exactly the cache :func:`prime_decisions` would
+    build, at a fraction of the full-plane cost.  A cold prime saves
+    its snapshot for the next run.  Without a ``result_cache`` this is
+    exactly :func:`prime_decisions`.
+    """
     sim = _CachedVectorisedSimulator(
         trace, config, cpu_model, teg_module,
         cache=CoolingDecisionCache(resolution=cache_resolution),
         mode="kernel")
     if not getattr(sim._policy, "cache_resolution", None):
         return None
-    raw = trace.utilisation
-    # NoScheduler leaves the plane untouched; skip the full-plane copy
-    # (at fleet scale it is the size of the trace itself).
-    plane = (raw if type(sim._scheduler) is NoScheduler
-             else _scheduled_plane(sim, raw))
-    _decide_cells(sim, plane)
+    restored = None
+    if result_cache is not None:
+        restored = _warm_restore(result_cache, sim, trace, config,
+                                 cpu_model, teg_module,
+                                 trace_hash=trace_hash)
+    if restored is None:
+        raw = trace.utilisation
+        # NoScheduler leaves the plane untouched; skip the full-plane
+        # copy (at fleet scale it is the size of the trace itself).
+        plane = (raw if type(sim._scheduler) is NoScheduler
+                 else _scheduled_plane(sim, raw))
+        _decide_cells(sim, plane)
+    if result_cache is not None and restored != "direct":
+        # Cold primes publish their snapshot; replays refresh it under
+        # the current decision key so the next same-config run restores
+        # directly.
+        _warm_save(result_cache, sim, trace, config, cpu_model,
+                   teg_module, trace_hash=trace_hash)
     cache = sim._cache
     cache.stats = CacheStats()
     return cache
@@ -677,7 +716,8 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
                      cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
                      telemetry: bool | None = None,
                      checkpoint: "str | os.PathLike | None" = None,
-                     resume: bool = True) -> SimulationResult:
+                     resume: bool = True,
+                     result_cache=None) -> SimulationResult:
     """Split → run → merge one trace in-process (the reference path).
 
     Bit-identical to ``simulate(trace, config, ...)``; the parity suite
@@ -694,6 +734,13 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
     fault windows included: each saved window carries the shared
     decision-cache snapshot and policy instance the next window needs.
     ``resume=False`` discards any prior state and starts over.
+
+    ``result_cache`` (see :mod:`repro.core.cache`) memoises the merged
+    result at whole-run granularity, keyed on the exact shard plan: a
+    hit skips planning, priming and every shard; a miss composes with
+    ``checkpoint`` — per-shard resume still applies — and stores the
+    merged result for next time.  Warm-start snapshots accelerate the
+    decision pre-pass either way.
     """
     started = time.perf_counter()
     if trace.n_servers < config.circulation_size:
@@ -712,6 +759,17 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
                         config.circulation_size,
                         shard_servers=shard_servers,
                         shard_steps=shard_steps)
+    results_store = resolve_result_cache(result_cache)
+    cache_key = None
+    if results_store is not None and type(trace) is WorkloadTrace:
+        cache_key = result_key(trace, config, cpu_model, teg_module,
+                               faults=faults if has_faults else None,
+                               cache_resolution=cache_resolution,
+                               mode="loop" if has_faults else "kernel",
+                               specs=specs)
+        cached = results_store.load(cache_key)
+        if cached is not None:
+            return cached
     store = None
     if checkpoint is not None:
         from .checkpoint import CheckpointStore, run_key
@@ -769,10 +827,12 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
         if missing:
             # The pre-pass is deterministic, so recomputing it on
             # resume hands the remaining shards the same primed cache
-            # an uninterrupted run would have.
-            primed = prime_decisions(trace, config, cpu_model,
-                                     teg_module,
-                                     cache_resolution=cache_resolution)
+            # an uninterrupted run would have.  A warm-start snapshot
+            # (result cache) reproduces it without the full-plane pass.
+            primed = primed_or_warm(trace, config, cpu_model,
+                                    teg_module,
+                                    cache_resolution=cache_resolution,
+                                    result_cache=results_store)
         for spec in missing:
             outcome = run_shard(
                 trace.window(spec.step_start, spec.step_stop,
@@ -803,6 +863,8 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
     )
     if record:
         result.telemetry = _merged_telemetry(outcomes)
+    if cache_key is not None:
+        results_store.store(cache_key, result)
     return result
 
 

@@ -160,6 +160,17 @@ class CheckpointError(ReproError):
     """
 
 
+class CacheError(ReproError):
+    """A result-cache directory cannot be used for this process.
+
+    Raised when a cache manifest (or a cached entry) declares a format
+    version newer than this build understands, or when the directory's
+    manifest is structurally invalid.  Individually corrupt or
+    truncated entries are *not* fatal — they are discarded and the
+    result recomputed.
+    """
+
+
 class ResultIntegrityError(ReproError):
     """A merged sharded result violates a physical or structural invariant.
 

@@ -151,19 +151,23 @@ def fig13_data(u_max: float = 0.7, u_avg: float = 0.25,
 def fig14_15_data(trace_names: Sequence[str] = ("drastic", "irregular",
                                                 "common"),
                   n_servers: int = 400,
-                  n_workers: int | None = None) -> dict:
+                  n_workers: int | None = None,
+                  cache=None) -> dict:
     """Figs. 14-15: generation and PRE series per trace and scheme.
 
     This is the expensive one; all (trace x scheme) pairs run as one
     :class:`~repro.core.engine.BatchSimulationEngine` batch (parallel
     across simulations, bit-identical to the serial simulator).  Worker
     count follows ``n_workers``, then ``REPRO_WORKERS``, then the CPU
-    count.
+    count.  ``cache`` (a directory, ``True``/``False`` or ``None`` to
+    consult ``REPRO_CACHE``) memoises per-job results, so regenerating
+    the figure data after an unrelated change is free (see
+    :mod:`repro.core.cache`).
     """
     traces = [trace_by_name(name, n_servers=n_servers)
               for name in trace_names]
     batch = compare_batch(traces, [teg_original(), teg_loadbalance()],
-                          n_workers=n_workers)
+                          n_workers=n_workers, cache=cache)
     out = {}
     for name, trace in zip(trace_names, traces):
         baseline = batch.get("TEG_Original", trace.name)

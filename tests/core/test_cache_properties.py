@@ -1,0 +1,86 @@
+"""Property tests: cache hits are bit-identical under any history.
+
+The hard contract of :mod:`repro.core.cache` is that a hit returns
+records byte-equal to recomputing the run — regardless of the order
+jobs were executed in, how often they repeat, or where LRU eviction
+struck in between.  Hypothesis drives arbitrary interleavings of a
+small job pool with eviction points injected between executions and
+checks every answer against an uncached golden run.
+"""
+
+from hypothesis import given, settings, strategies as st
+import numpy as np
+import pytest
+
+from repro.core.cache import ResultCache, result_key
+from repro.core.config import teg_loadbalance, teg_original, teg_static
+from repro.core.engine import SimulationJob, run_batch, simulate
+from repro.workloads.trace import WorkloadTrace
+
+CONFIGS = (teg_original, teg_loadbalance, teg_static)
+
+
+def make_trace(seed):
+    rng = np.random.default_rng(seed)
+    return WorkloadTrace(rng.random((10, 20)), 300.0,
+                         name=f"prop-{seed}")
+
+
+#: The job pool: (trace seed, config factory index) pairs.
+JOB_IDS = [(seed, cfg) for seed in (0, 1) for cfg in range(len(CONFIGS))]
+
+#: One history step: execute job i (0..5), or -1 = evict everything.
+steps = st.lists(st.integers(min_value=-1, max_value=len(JOB_IDS) - 1),
+                 min_size=1, max_size=12)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Uncached reference results, one per distinct job."""
+    return {
+        (seed, cfg): simulate(make_trace(seed), CONFIGS[cfg]())
+        for seed, cfg in JOB_IDS
+    }
+
+
+class TestHitBitIdentity:
+    @given(history=steps)
+    @settings(max_examples=20, deadline=None)
+    def test_any_order_any_eviction(self, history, golden, tmp_path_factory):
+        store = ResultCache(tmp_path_factory.mktemp("cache"))
+        for step in history:
+            if step < 0:
+                # An eviction point: the cap shrinks to nothing and
+                # every entry (results and warm snapshots) goes.
+                store.max_bytes = 1
+                store._evict()
+                store.max_bytes = None
+                continue
+            seed, cfg = JOB_IDS[step]
+            result = simulate(make_trace(seed), CONFIGS[cfg](),
+                              result_cache=store)
+            reference = golden[(seed, cfg)]
+            assert result.records == reference.records
+            assert result.violations == reference.violations
+            assert result.scheme == reference.scheme
+            assert result.trace_name == reference.trace_name
+
+    @given(order=st.permutations(list(range(len(JOB_IDS)))),
+           repeat=st.integers(min_value=0, max_value=len(JOB_IDS) - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_batch_orders(self, order, repeat, golden, tmp_path_factory):
+        store = ResultCache(tmp_path_factory.mktemp("cache"))
+        ids = [JOB_IDS[i] for i in order] + [JOB_IDS[repeat]]
+        jobs = [SimulationJob(make_trace(seed), CONFIGS[cfg]())
+                for seed, cfg in ids]
+        cold = run_batch(jobs, 2, prefer="thread", cache=store)
+        assert cold.ok
+        assert cold.metrics.jobs_deduped == 1
+        hot = run_batch(jobs, 2, prefer="thread", cache=store)
+        assert hot.ok
+        assert hot.metrics.result_cache_hits == len(JOB_IDS)
+        for batch in (cold, hot):
+            for (seed, cfg), result in zip(ids, batch.results):
+                reference = golden[(seed, cfg)]
+                assert result.records == reference.records
+                assert result.violations == reference.violations
