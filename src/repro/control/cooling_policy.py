@@ -63,6 +63,19 @@ class CoolingPolicy(Protocol):
         ...
 
 
+def _check_bindings(bindings: Sequence[float]) -> np.ndarray:
+    """Validate a batch of pre-aggregated binding utilisations.
+
+    Mirrors the element validation in :func:`_binding_utilisation` (the
+    error class and message match the scalar path) but accepts an empty
+    batch — ``decide_batch([])`` is a no-op, not a misconfiguration.
+    """
+    utils = np.asarray([float(b) for b in bindings], dtype=float)
+    if utils.size and np.any((utils < 0) | (utils > 1)):
+        raise PhysicalRangeError("all utilisations must be in [0, 1]")
+    return utils
+
+
 def _binding_utilisation(utilisations: Sequence[float],
                          aggregation: str) -> float:
     utils = np.asarray(list(utilisations), dtype=float)
@@ -129,6 +142,32 @@ class StaticPolicy:
             predicted_generation_w=generation,
         )
 
+    def decide_batch(self, bindings: Sequence[float]
+                     ) -> list[PolicyDecision]:
+        """Decisions for many pre-aggregated binding utilisations.
+
+        Element ``i`` equals ``decide([bindings[i]])``: the model and
+        TEG arithmetic is elementwise, so evaluating the whole batch in
+        one pass reproduces each scalar prediction bit for bit.
+        """
+        utils = _check_bindings(bindings)
+        if utils.size == 0:
+            return []
+        cpu_temps = self.model.cpu_temp_c(utils, self.setting)
+        outlets = self.model.outlet_temp_c(utils, self.setting)
+        generations = self.teg_module.generation_w(
+            outlets, self.cold_source_temp_c, self.setting.flow_l_per_h)
+        return [
+            PolicyDecision(
+                setting=self.setting,
+                binding_utilisation=float(utils[i]),
+                predicted_cpu_temp_c=float(cpu_temps[i]),
+                predicted_outlet_temp_c=float(outlets[i]),
+                predicted_generation_w=float(generations[i]),
+            )
+            for i in range(utils.size)
+        ]
+
 
 @dataclass
 class LookupSpacePolicy:
@@ -170,6 +209,79 @@ class LookupSpacePolicy:
         decision = self._decide_uncached(binding)
         self._cache[key] = decision
         return decision
+
+    def decide_batch(self, bindings: Sequence[float]
+                     ) -> list[PolicyDecision]:
+        """Decisions for many pre-aggregated binding utilisations.
+
+        Element ``i`` equals ``decide([bindings[i]])`` bit for bit, and
+        the memo ends up in the same state: bindings that miss the memo
+        are evaluated against the interpolated planes in one vectorised
+        pass, then inserted in first-occurrence order — exactly the
+        order the scalar loop would have primed them in.
+        """
+        utils = _check_bindings(bindings)
+        keys = [round(float(b) / self.cache_resolution) for b in utils]
+        novel: dict[int, float] = {}
+        for key, binding in zip(keys, utils):
+            if key not in self._cache and key not in novel:
+                novel[key] = float(binding)
+        if novel:
+            computed = self._decide_uncached_batch(list(novel.values()))
+            for key, decision in zip(novel, computed):
+                self._cache[key] = decision
+        return [self._cache[key] for key in keys]
+
+    def _decide_uncached_batch(self, bindings: Sequence[float]
+                               ) -> list[PolicyDecision]:
+        """Vectorised :meth:`_decide_uncached` over many bindings.
+
+        The scalar search scans the ``(flow, inlet)`` grid flow-major
+        and keeps the first strict maximum; ``np.argmax`` over the
+        ``-inf``-masked, flow-major-raveled power plane picks the same
+        point, so each row reproduces the scalar decision bit for bit
+        (including the fallback and emergency branches).
+        """
+        if self.tolerance_c <= 0:
+            # The scalar path raises this from safe_region on every miss.
+            raise PhysicalRangeError(
+                f"tolerance must be > 0, got {self.tolerance_c}")
+        cpu, outlet = self.space.plane_temperatures_batch(bindings)
+        power = np.empty_like(outlet)
+        for j, flow in enumerate(self.space.flow_grid):
+            power[:, j, :] = self.teg_module.generation_w(
+                outlet[:, j, :], self.cold_source_temp_c, float(flow))
+        in_band = np.abs(cpu - self.safe_temp_c) <= self.tolerance_c
+        below_band = cpu <= self.safe_temp_c + self.tolerance_c
+        n_inlets = len(self.space.inlet_grid)
+        decisions = []
+        for i, binding in enumerate(bindings):
+            mask = in_band[i] if in_band[i].any() else below_band[i]
+            if mask.any():
+                masked = np.where(mask, power[i], -np.inf).ravel()
+                flat = int(np.argmax(masked))
+                j, k = divmod(flat, n_inlets)
+                flow = float(self.space.flow_grid[j])
+                inlet = float(self.space.inlet_grid[k])
+                cpu_temp = float(cpu[i, j, k])
+                out_temp = float(outlet[i, j, k])
+                best_power = float(masked[flat])
+            else:
+                # Overload: every setting overshoots; emergency-cool.
+                flow = float(self.space.flow_grid[-1])
+                inlet = float(self.space.inlet_grid[0])
+                cpu_temp = float(cpu[i, -1, 0])
+                out_temp = float(outlet[i, -1, 0])
+                best_power = float(power[i, -1, 0])
+            decisions.append(PolicyDecision(
+                setting=CoolingSetting(flow_l_per_h=flow,
+                                       inlet_temp_c=inlet),
+                binding_utilisation=float(binding),
+                predicted_cpu_temp_c=cpu_temp,
+                predicted_outlet_temp_c=out_temp,
+                predicted_generation_w=best_power,
+            ))
+        return decisions
 
     def _decide_uncached(self, binding: float) -> PolicyDecision:
         region = self.space.safe_region(binding, self.safe_temp_c,
@@ -312,3 +424,101 @@ class AnalyticPolicy:
                     outlet, self.cold_source_temp_c, flow),
             )
         return best
+
+    def decide_batch(self, bindings: Sequence[float]
+                     ) -> list[PolicyDecision]:
+        """Decisions for many pre-aggregated binding utilisations.
+
+        Element ``i`` equals ``decide([bindings[i]])`` bit for bit: the
+        flow candidates are scanned in the same order with the same
+        first-strict-maximum update, and every per-flow quantity is the
+        elementwise-identical array form of the scalar arithmetic.  The
+        only scalar expression that does not broadcast — the inlet
+        clamp and the ``max(inlet_factor, 0.0)`` inside the outlet
+        model — is mirrored with ``np.minimum``/``np.maximum``, which
+        agree with Python ``min``/``max`` on every finite input.
+        """
+        utils = _check_bindings(bindings)
+        n = utils.size
+        if n == 0:
+            return []
+        best_objective = np.full(n, -np.inf)
+        best_flow = np.empty(n)
+        best_inlet = np.empty(n)
+        best_cpu = np.empty(n)
+        best_outlet = np.empty(n)
+        best_generation = np.empty(n)
+        found = np.zeros(n, dtype=bool)
+        outlet_model = self.model.outlet_model
+        # Loop-invariant: the scalar path recomputes this per flow but
+        # the value is identical each time.
+        power = self.model.cpu_power_w(utils)
+        for flow in self.flow_candidates:
+            inlet = self.model.inlet_for_cpu_temp(utils, flow,
+                                                  self.safe_temp_c)
+            inlet = np.minimum(np.maximum(inlet, self.inlet_min_c),
+                               self.inlet_max_c)
+            # cpu_temp_c / outlet_temp_c with a per-binding inlet array
+            # (CoolingSetting holds one scalar inlet, so the model calls
+            # are inlined with the same expressions).
+            cpu_temp = (self.model.slope(flow) * inlet
+                        + self.model.thermal_resistance_k_per_w(flow)
+                        * power)
+            if outlet_model.mode == "physical":
+                delta = outlet_model.delta_c(utils, flow, 0.0)
+            else:
+                base = (outlet_model.base_delta_c
+                        + outlet_model.load_delta_c * utils)
+                flow_factor = (
+                    flow / outlet_model.reference_flow_l_per_h
+                ) ** outlet_model.flow_exponent
+                inlet_factor = 1.0 + outlet_model.inlet_sensitivity_per_c * (
+                    inlet - outlet_model.reference_inlet_c)
+                delta = base * flow_factor * np.maximum(inlet_factor, 0.0)
+            outlet = inlet + delta
+            generation = self.teg_module.generation_w(
+                outlet, self.cold_source_temp_c, flow)
+            objective = generation
+            if self.net_of_pump:
+                objective = objective - np.array([
+                    loop_pump_power_w(self.pipe_segments, flow, float(v))
+                    for v in inlet])
+            admissible = cpu_temp <= self.safe_temp_c + 1.0
+            better = admissible & (objective > best_objective)
+            best_objective[better] = objective[better]
+            best_flow[better] = flow
+            best_inlet[better] = inlet[better]
+            best_cpu[better] = cpu_temp[better]
+            best_outlet[better] = outlet[better]
+            best_generation[better] = generation[better]
+            found |= better
+        decisions: list[PolicyDecision | None] = [None] * n
+        for i in np.flatnonzero(found):
+            decisions[i] = PolicyDecision(
+                setting=CoolingSetting(flow_l_per_h=float(best_flow[i]),
+                                       inlet_temp_c=float(best_inlet[i])),
+                binding_utilisation=float(utils[i]),
+                predicted_cpu_temp_c=float(best_cpu[i]),
+                predicted_outlet_temp_c=float(best_outlet[i]),
+                predicted_generation_w=float(best_generation[i]),
+            )
+        missing = np.flatnonzero(~found)
+        if missing.size:
+            # Even the coldest admissible inlet overheats: emergency cool.
+            flow = max(self.flow_candidates)
+            setting = CoolingSetting(flow_l_per_h=flow,
+                                     inlet_temp_c=self.inlet_min_c)
+            subset = utils[missing]
+            outlets = self.model.outlet_temp_c(subset, setting)
+            cpu_temps = self.model.cpu_temp_c(subset, setting)
+            generations = self.teg_module.generation_w(
+                outlets, self.cold_source_temp_c, flow)
+            for pos, i in enumerate(missing):
+                decisions[i] = PolicyDecision(
+                    setting=setting,
+                    binding_utilisation=float(utils[i]),
+                    predicted_cpu_temp_c=float(cpu_temps[pos]),
+                    predicted_outlet_temp_c=float(outlets[pos]),
+                    predicted_generation_w=float(generations[pos]),
+                )
+        return decisions

@@ -151,6 +151,37 @@ class LookupSpace:
         return (self._cpu_interp(points).reshape(shape),
                 self._outlet_interp(points).reshape(shape))
 
+    def plane_temperatures_batch(self, utilisations
+                                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Interpolated ``(T_CPU, T_out)`` planes for many utilisations.
+
+        One interpolator call covering every ``(u, flow, inlet)``
+        combination.  Row ``i`` of each returned array is bit-identical
+        to ``plane_temperatures(utilisations[i])`` — the interpolator
+        evaluates each query point independently, so batching changes
+        neither the arithmetic nor its order.  Both returned arrays have
+        shape ``(len(utilisations), len(flow_grid), len(inlet_grid))``.
+        """
+        utils = np.asarray(utilisations, dtype=float)
+        if utils.ndim != 1:
+            raise ConfigurationError(
+                f"utilisations must be 1-D, got shape {utils.shape}")
+        in_range = (utils >= 0.0) & (utils <= 1.0)
+        if not np.all(in_range):
+            offending = utils[~in_range][0]
+            raise PhysicalRangeError(
+                f"utilisation must be in [0, 1], got {offending}")
+        flows = np.repeat(self.flow_grid, len(self.inlet_grid))
+        inlets = np.tile(self.inlet_grid, len(self.flow_grid))
+        points = np.column_stack([
+            np.repeat(utils, flows.size),
+            np.tile(flows, utils.size),
+            np.tile(inlets, utils.size),
+        ])
+        shape = (utils.size, len(self.flow_grid), len(self.inlet_grid))
+        return (self._cpu_interp(points).reshape(shape),
+                self._outlet_interp(points).reshape(shape))
+
     def safe_region(self, utilisation: float,
                     safe_temp_c: float = CPU_SAFE_TEMP_C,
                     tolerance_c: float = 1.0) -> list[SpacePoint]:

@@ -220,6 +220,53 @@ class CoolingDecisionCache:
         self.stats.misses += 1
         return decision
 
+    def decide_batch(self, policy, bindings: np.ndarray,
+                     sizes: np.ndarray, context: tuple = ()) -> list:
+        """Memoised decisions for pre-aggregated ``(binding, size)`` pairs.
+
+        The batched counterpart of :meth:`decide` for callers (the
+        columnar kernel) that have already reduced each utilisation
+        vector to its binding value.  ``bindings[i]`` must be bit-equal
+        to the aggregation :meth:`decide` would compute from the full
+        vector, and ``sizes[i]`` is that vector's length; the cache key
+        is then identical to the scalar path's.  Misses are answered by
+        one ``policy.decide_batch`` call and inserted in input order, so
+        the store's insertion order (which the warm-start exporter
+        consumes) matches a scalar-loop replay exactly.
+
+        Callers must ensure the pairs map to *distinct* cache keys (the
+        kernel's unique-cell dedup guarantees this); duplicate keys
+        within one batch would each be counted and computed as a miss.
+        """
+        aggregation = getattr(policy, "aggregation", "max")
+        policy_resolution = getattr(policy, "cache_resolution", None)
+        decisions: list = [None] * len(bindings)
+        miss_at: list[int] = []
+        miss_keys: list[tuple] = []
+        miss_bindings: list[float] = []
+        for i, raw in enumerate(bindings):
+            binding = float(raw)
+            if policy_resolution:
+                binding_key = round(binding / policy_resolution)
+            else:
+                binding_key = binding
+            key = (context, aggregation, int(sizes[i]), binding_key)
+            cached = self._store.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                decisions[i] = cached
+            else:
+                miss_at.append(i)
+                miss_keys.append(key)
+                miss_bindings.append(binding)
+        if miss_at:
+            computed = policy.decide_batch(miss_bindings)
+            for i, key, decision in zip(miss_at, miss_keys, computed):
+                decisions[i] = decision
+                self._store[key] = decision
+                self.stats.misses += 1
+        return decisions
+
 
 # ----------------------------------------------------------------------
 # Metrics
@@ -460,6 +507,16 @@ class _CachedVectorisedSimulator(DatacenterSimulator):
 
     def _decide(self, scheduled: np.ndarray):
         return self._cache.decide(self._policy, scheduled, self._context)
+
+    def _decide_batch(self, bindings: np.ndarray, sizes: np.ndarray) -> list:
+        """Batched :meth:`_decide` over pre-aggregated bindings.
+
+        The columnar kernel calls this with one ``(binding, size)``
+        pair per unique decision cell; see
+        :meth:`CoolingDecisionCache.decide_batch` for the contract.
+        """
+        return self._cache.decide_batch(self._policy, bindings, sizes,
+                                        self._context)
 
     def run(self) -> SimulationResult:
         if self._mode != "kernel":
@@ -902,6 +959,10 @@ class _SharedTraceRegistry:
         self._entries: dict[int, tuple[WorkloadTrace,
                                        shared_memory.SharedMemory,
                                        SharedTraceRef]] = {}
+        #: Scratch segments (shard column blocks) keyed by name; same
+        #: pid-stamped naming and janitor coverage as trace segments,
+        #: but released per job rather than living engine-long.
+        self._scratch: dict[str, shared_memory.SharedMemory] = {}
         #: Only this pid may unlink the registry's segments — a forked
         #: worker inherits the object but never owns it.
         self.owner_pid = os.getpid()
@@ -959,6 +1020,39 @@ class _SharedTraceRegistry:
             raise
         return ref
 
+    def scratch_block(self, nbytes: int) -> shared_memory.SharedMemory:
+        """A janitor-covered scratch segment of ``nbytes``.
+
+        Same pid-stamped naming (and therefore reaping and janitor
+        coverage) as trace segments; the caller releases it with
+        :meth:`release_scratch` when the job that filled it is merged,
+        or :meth:`close` sweeps whatever is left.
+        """
+        block = self._create_segment(nbytes)
+        self._scratch[block.name] = block
+        return block
+
+    def release_scratch(self, block: shared_memory.SharedMemory) -> None:
+        """Unmap and unlink one scratch segment (idempotent).
+
+        Workers still holding a mapping keep it until they drop it
+        (POSIX unlink semantics), so a straggling speculative shard can
+        finish writing harmlessly.  A still-exported coordinator-side
+        view makes the unmap fail quietly; the unlink still runs, so
+        the segment cannot outlive the process either way.
+        """
+        self._scratch.pop(block.name, None)
+        try:
+            block.close()
+        except (OSError, BufferError):  # pragma: no cover - live views
+            pass
+        if os.getpid() != self.owner_pid:
+            return
+        try:
+            block.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
     def close(self) -> None:
         """Unmap and unlink every owned segment (idempotent).
 
@@ -967,6 +1061,18 @@ class _SharedTraceRegistry:
         coordinator.
         """
         unlink = os.getpid() == self.owner_pid
+        while self._scratch:
+            _, block = self._scratch.popitem()
+            try:
+                block.close()
+            except (OSError, BufferError):  # pragma: no cover - live views
+                pass
+            if not unlink:
+                continue
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
         while self._entries:
             _, (_, block, _) = self._entries.popitem()
             try:
@@ -1391,6 +1497,20 @@ class BatchSimulationEngine:
         ``None`` defers to ``REPRO_SHARD_STRAGGLER`` (unset means off).
         Results are unaffected — shards are deterministic — only tail
         latency is.
+    shard_autotune:
+        Re-plan a sharded job's remaining tiles from its first tile's
+        measured throughput: the first shard runs as a probe, and the
+        rest of the plane is re-tiled with wider (never narrower) time
+        windows sized for :data:`AUTOTUNE_TARGET_SHARD_S` seconds each,
+        keeping at least a pool's worth of tiles.  Results stay
+        bit-identical (tiling never affects the arithmetic — the parity
+        suite pins this); only the shard count, and with it
+        ``EngineMetrics.n_shards``, becomes throughput-dependent, which
+        is why it defaults off.  ``None`` defers to
+        ``REPRO_SHARD_AUTOTUNE`` (unset means off).  Ignored for
+        fault-carrying jobs (their windows run sequentially), resumed
+        checkpoints (saved tiles pin the plan), and explicitly sized
+        plans.
     checkpoint:
         Root directory for durable checkpoint state (see
         :mod:`repro.core.checkpoint` and ``docs/checkpoint.md``).  Each
@@ -1427,6 +1547,7 @@ class BatchSimulationEngine:
                  shard_servers: int | None = None,
                  shard_steps: int | None = None,
                  shard_straggler_s: float | None = None,
+                 shard_autotune: bool | None = None,
                  checkpoint: "str | os.PathLike | None" = None,
                  resume: bool = True,
                  cache=None) -> None:
@@ -1452,10 +1573,13 @@ class BatchSimulationEngine:
             if value is not None and value <= 0:
                 raise ConfigurationError(
                     f"{label} must be > 0, got {value}")
+        from .shard import resolve_shard_autotune
+
         self.shard = shard
         self.shard_servers = shard_servers
         self.shard_steps = shard_steps
         self.shard_straggler_s = shard_straggler_s
+        self.shard_autotune = resolve_shard_autotune(shard_autotune)
         self.checkpoint = (None if checkpoint is None
                            else Path(os.fspath(checkpoint)))
         self.resume = resume
@@ -2005,32 +2129,38 @@ class BatchSimulationEngine:
     def _run_sharded_job(self, job: SimulationJob, specs,
                          kind: str, workers: int,
                          store=None) -> SimulationResult:
-        """Dispatch one job's shards, merge, and attach metrics.
+        """Stream one job's shards through a fold-as-they-land pipeline.
 
         Process executors ship :class:`~repro.core.shard._ShardPayload`
         objects — a windowed :class:`SharedTraceRef` plus the spec and
         the :func:`~repro.core.shard.prime_decisions` cache — so
         payload size is independent of trace length and shard count.
-        A broken pool degrades to running the remaining shards
-        in-process (the merge cannot tolerate holes); per-shard
-        failures honour ``max_retries``.  Fault-carrying jobs run their
-        time windows sequentially in-process: their cooling decisions
-        key on sensor readings, which only the serial window order can
-        prime bit-identically.  The per-job wall-clock budget is
-        **not** enforced on sharded jobs (documented in
-        ``docs/engine.md``); shards that run past the straggler
-        deadline are speculatively re-dispatched instead.
+        Instead of collecting every outcome and merging behind a
+        barrier, a :class:`~repro.core.shard.StreamingMerge` folds each
+        shard into preallocated whole-cluster columns the moment it
+        completes; on the process pool (without checkpointing) workers
+        write their plane tiles straight into a shared column block, so
+        results come back zero-copy too.  A broken pool degrades to
+        running the remaining shards in-process (the merge cannot
+        tolerate holes); per-shard failures honour ``max_retries``.
+        Fault-carrying jobs run their time windows sequentially
+        in-process: their cooling decisions key on sensor readings,
+        which only the serial window order can prime bit-identically.
+        The per-job wall-clock budget is **not** enforced on sharded
+        jobs (documented in ``docs/engine.md``); shards that run past
+        the straggler deadline are speculatively re-dispatched instead.
 
         With a ``store``, every completed shard is persisted the moment
         it lands and already-persisted shards are never re-dispatched,
         so a resumed run is bit-identical to an uninterrupted one (see
-        ``docs/checkpoint.md``).
+        ``docs/checkpoint.md``).  Checkpointed jobs keep the pickled
+        column return (saved shards must be self-contained) and are
+        never autotuned (saved tiles pin the plan).
         """
         from .shard import (
-            _ShardPayload,
-            _execute_shard_payload,
-            clone_cache,
-            primed_or_warm,
+            COLUMN_PLANES,
+            ShardColumnRef,
+            StreamingMerge,
             run_shard,
         )
 
@@ -2041,8 +2171,8 @@ class BatchSimulationEngine:
                  executor="sequential" if has_faults else kind)
         obs.add("engine.shards.dispatched", len(specs))
 
-        outcomes = [None] * len(specs)
         if has_faults:
+            merge = StreamingMerge(job.trace, job.config, kind="fault")
             shared = CoolingDecisionCache(resolution=self.cache_resolution)
             policy = None
             for spec in specs:
@@ -2057,7 +2187,7 @@ class BatchSimulationEngine:
                         shared._store = dict(saved["cache_store"])
                     if outcome.policy is not None:
                         policy = outcome.policy
-                    outcomes[spec.index] = outcome
+                    merge.add(outcome)
                     continue
                 tile = job.trace.window(spec.step_start, spec.step_stop,
                                         spec.server_start,
@@ -2079,25 +2209,72 @@ class BatchSimulationEngine:
                             raise
                         self._backoff(attempt)
                 policy = outcome.policy
-                outcomes[spec.index] = outcome
                 if store is not None:
                     store.save_shard(spec.index, outcome,
                                      cache_store=dict(shared._store))
-            return self._merge_sharded(job, specs, outcomes, started,
-                                       store=store)
+                merge.add(outcome)
+            return self._finish_sharded(job, merge, started, store=store)
 
+        # Zero-copy column return: workers write plane tiles into one
+        # shared whole-cluster block instead of pickling them back.
+        # Off with a checkpoint store (saved shards must carry their
+        # own columns) and off-pool (nothing to ship).  Without shared
+        # memory the merge simply allocates its planes locally.
+        column_block = None
+        column_ref = None
+        block_planes = None
+        if kind == "process" and store is None:
+            n_steps = job.trace.n_steps
+            n_circs = -(-job.trace.n_servers
+                        // job.config.circulation_size)
+            shape = (len(COLUMN_PLANES), n_steps, n_circs)
+            try:
+                column_block = self._shared_traces.scratch_block(
+                    int(np.prod(shape)) * np.dtype(np.float64).itemsize)
+            except OSError:  # pragma: no cover - no POSIX shm
+                column_block = None
+            else:
+                block_planes = np.ndarray(shape, dtype=np.float64,
+                                          buffer=column_block.buf)
+                column_ref = ShardColumnRef(shm_name=column_block.name,
+                                            n_steps=n_steps,
+                                            n_circs=n_circs)
+        merge = StreamingMerge(job.trace, job.config, kind="kernel",
+                               plane_block=block_planes)
+        del block_planes
+        try:
+            return self._drain_shards(job, specs, kind, workers, merge,
+                                      column_ref, started, store)
+        finally:
+            if column_block is not None:
+                merge.release_planes()
+                self._shared_traces.release_scratch(column_block)
+
+    def _drain_shards(self, job: SimulationJob, specs, kind: str,
+                      workers: int, merge, column_ref,
+                      started: float, store=None) -> SimulationResult:
+        """Kernel-shard dispatch loop: resume, probe, submit, fold."""
+        from .shard import (
+            _ShardPayload,
+            _execute_shard_payload,
+            clone_cache,
+            primed_or_warm,
+            run_shard,
+        )
+
+        done = [False] * len(specs)
         if store is not None:
             for spec in specs:
                 saved = store.load_shard(spec.index)
                 if saved is not None:
-                    outcomes[spec.index] = saved["outcome"]
+                    merge.add(saved["outcome"])
+                    done[spec.index] = True
         missing = [index for index in range(len(specs))
-                   if outcomes[index] is None]
+                   if not done[index]]
         if not missing:
             # Fully resumed: skip the pre-pass entirely — no shard
             # will run, so nothing needs the primed cache.
-            return self._merge_sharded(job, specs, outcomes, started,
-                                       store=store)
+            return self._finish_sharded(job, merge, started, store=store)
 
         primed = primed_or_warm(job.trace, job.config, job.cpu_model,
                                 job.teg_module,
@@ -2115,6 +2292,16 @@ class BatchSimulationEngine:
                              cache_resolution=self.cache_resolution,
                              cache=clone_cache(primed),
                              telemetry=self.telemetry)
+
+        if (self.shard_autotune and store is None and len(specs) > 1
+                and len(missing) == len(specs)):
+            specs = self._autotune_shards(job, specs, merge, run_local,
+                                          workers)
+            done = [False] * len(specs)
+            missing = list(range(len(specs)))
+            if not missing:
+                return self._finish_sharded(job, merge, started,
+                                            store=store)
 
         straggler_s = resolve_shard_straggler(self.shard_straggler_s)
         if kind in ("process", "thread"):
@@ -2135,7 +2322,8 @@ class BatchSimulationEngine:
                             teg_module=job.teg_module, faults=None,
                             cache_resolution=self.cache_resolution,
                             decisions=primed,
-                            telemetry=self.telemetry)
+                            telemetry=self.telemetry,
+                            column_ref=column_ref)
                         for spec in specs]
 
                     def submit(index):
@@ -2153,17 +2341,16 @@ class BatchSimulationEngine:
                     futures[submit(index)] = index
                 try:
                     while futures:
-                        done, _ = wait(
+                        completed, _ = wait(
                             futures,
                             timeout=(_POLL_INTERVAL_S
                                      if straggler_s is not None
                                      else None),
                             return_when=FIRST_COMPLETED)
-                        for future in done:
+                        for future in completed:
                             index = futures.pop(future)
                             running_since.pop(future, None)
-                            if (future.cancelled()
-                                    or outcomes[index] is not None):
+                            if future.cancelled() or done[index]:
                                 # A speculative duplicate lost the
                                 # race; its twin's result already
                                 # landed.
@@ -2181,9 +2368,10 @@ class BatchSimulationEngine:
                                 self._backoff(attempts[index])
                                 futures[submit(index)] = index
                             else:
-                                outcomes[index] = outcome
+                                done[index] = True
                                 if store is not None:
                                     store.save_shard(index, outcome)
+                                merge.add(outcome)
                                 for twin, twin_index in list(
                                         futures.items()):
                                     if twin_index == index:
@@ -2197,7 +2385,7 @@ class BatchSimulationEngine:
                                     running_since[future] = now
                                 continue
                             if (index in speculated
-                                    or outcomes[index] is not None
+                                    or done[index]
                                     or now - running_since[future]
                                     < straggler_s):
                                 continue
@@ -2225,31 +2413,101 @@ class BatchSimulationEngine:
                 # whatever is missing in-process.
                 self._drop_executor()
         for index, spec in enumerate(specs):
-            if outcomes[index] is None:
-                outcomes[index] = run_local(spec)
+            if not done[index]:
+                outcome = run_local(spec)
+                done[index] = True
                 if store is not None:
-                    store.save_shard(index, outcomes[index])
-        return self._merge_sharded(job, specs, outcomes, started,
-                                   store=store)
+                    store.save_shard(index, outcome)
+                merge.add(outcome)
+        return self._finish_sharded(job, merge, started, store=store)
 
-    def _merge_sharded(self, job: SimulationJob, specs, outcomes,
-                       started: float, store=None) -> SimulationResult:
-        """Merge one sharded job's outcomes and attach metrics/events.
+    def _autotune_shards(self, job: SimulationJob, specs, merge,
+                         run_local, workers: int):
+        """Probe the first tile, then re-tile the rest for throughput.
 
-        The merge runs the post-merge invariant auditor (see
+        Runs ``specs[0]`` in-process, folds it into ``merge``, and
+        re-plans every remaining tile with a step window sized so one
+        tile takes about
+        :data:`~repro.core.shard.AUTOTUNE_TARGET_SHARD_S` seconds at
+        the measured cells/s — never narrower than planned, and halved
+        back while fewer tiles than pool workers would remain.  Tiling
+        never affects the arithmetic (the shard parity suite pins
+        this), so only the shard count changes.  Returns the remaining
+        specs, re-indexed after the probe.
+        """
+        from .shard import AUTOTUNE_TARGET_SHARD_S, ShardSpec
+
+        first = specs[0]
+        clock = time.perf_counter()
+        outcome = run_local(first)
+        probe_s = time.perf_counter() - clock
+        merge.add(outcome)
+        rest = list(specs[1:])
+        width = first.n_steps
+        rate = first.n_cells / probe_s if probe_s > 0 else 0.0
+        widest = max(spec.n_servers for spec in specs)
+        ideal = (int(rate * AUTOTUNE_TARGET_SHARD_S // widest)
+                 if rate > 0 and widest > 0 else 0)
+
+        # The remaining region, as contiguous step ranges per server
+        # block (the probe consumed the head of the first block).
+        blocks: dict[tuple, list] = {}
+        for spec in rest:
+            key = (spec.server_start, spec.server_stop,
+                   spec.circ_start, spec.circ_stop)
+            blocks.setdefault(key, []).append(spec)
+
+        def n_tiles(step_width):
+            return sum(
+                -(-(max(s.step_stop for s in olds)
+                    - min(s.step_start for s in olds)) // step_width)
+                for olds in blocks.values())
+
+        target_tiles = min(workers, len(rest))
+        new_width = max(width, ideal)
+        while new_width > width and n_tiles(new_width) < target_tiles:
+            new_width = max(width, new_width // 2)
+        if new_width <= width:
+            return rest
+        replanned = []
+        for key in sorted(blocks):
+            olds = blocks[key]
+            lo = min(s.step_start for s in olds)
+            hi = max(s.step_stop for s in olds)
+            server_start, server_stop, circ_start, circ_stop = key
+            for step_start in range(lo, hi, new_width):
+                replanned.append(ShardSpec(
+                    index=first.index + 1 + len(replanned),
+                    step_start=step_start,
+                    step_stop=min(step_start + new_width, hi),
+                    server_start=server_start,
+                    server_stop=server_stop,
+                    circ_start=circ_start,
+                    circ_stop=circ_stop))
+        obs.add("engine.shards.autotuned", 1)
+        obs.emit("shard.autotune", scheme=job.config.name,
+                 trace=job.trace.name, probe_s=round(probe_s, 4),
+                 cells_per_s=round(rate, 1), step_width=new_width,
+                 planned_width=width, shards_planned=len(specs),
+                 shards_executed=1 + len(replanned))
+        return replanned
+
+    def _finish_sharded(self, job: SimulationJob, merge,
+                        started: float, store=None) -> SimulationResult:
+        """Finalise one sharded job's streaming merge; attach metrics.
+
+        The finalise runs the post-merge invariant auditor (see
         :func:`repro.core.shard.audit_merged_result`) before the result
         escapes, so a buggy resume or a corrupted shard can never leak
         a physically impossible result into downstream tables.
         """
-        from .shard import _merged_telemetry, merge_shard_outcomes
-
-        result = merge_shard_outcomes(job.trace, job.config, outcomes)
-        snapshot = _merged_telemetry(outcomes)
+        result = merge.result()
+        snapshot = merge.telemetry_snapshot()
         if snapshot is not None:
             result.telemetry = snapshot
         wall = time.perf_counter() - started
-        cache_hits = sum(o.cache_hits for o in outcomes)
-        cache_misses = sum(o.cache_misses for o in outcomes)
+        cache_hits = merge.cache_hits
+        cache_misses = merge.cache_misses
         lookups = cache_hits + cache_misses
         has_faults = job.faults is not None and len(job.faults) > 0
         resumed = len(store.loaded) if store is not None else 0
@@ -2263,12 +2521,13 @@ class BatchSimulationEngine:
             cache_hit_rate=cache_hits / lookups if lookups else 0.0,
             mode="loop" if has_faults else "kernel",
             vectorised=not has_faults,
-            n_shards=len(specs),
+            kernel=merge.timings,
+            n_shards=merge.n_added,
             shards_resumed=resumed,
         )
-        obs.add("engine.shards.completed", len(specs))
+        obs.add("engine.shards.completed", merge.n_added)
         obs.emit("shard.merge", scheme=job.config.name,
-                 trace=job.trace.name, shards=len(specs),
+                 trace=job.trace.name, shards=merge.n_added,
                  resumed=resumed, wall_time_s=round(wall, 4))
         return result
 
@@ -2575,6 +2834,7 @@ def run_batch(jobs: Iterable[SimulationJob],
               shard_servers: int | None = None,
               shard_steps: int | None = None,
               shard_straggler_s: float | None = None,
+              shard_autotune: bool | None = None,
               checkpoint: "str | os.PathLike | None" = None,
               resume: bool = True,
               cache=None) -> BatchResult:
@@ -2596,6 +2856,7 @@ def run_batch(jobs: Iterable[SimulationJob],
                                    shard_servers=shard_servers,
                                    shard_steps=shard_steps,
                                    shard_straggler_s=shard_straggler_s,
+                                   shard_autotune=shard_autotune,
                                    checkpoint=checkpoint,
                                    resume=resume,
                                    cache=cache)

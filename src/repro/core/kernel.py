@@ -42,6 +42,7 @@ are replayed at the earliest offending cell in serial evaluation order.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -54,6 +55,7 @@ from ..thermal.hydraulics import loop_pump_power_w
 from .results import ColumnarSteps, SafetyViolation, SimulationResult
 
 __all__ = [
+    "KERNEL_BATCH_ENV_VAR",
     "KernelColumns",
     "KernelError",
     "KernelTimings",
@@ -61,6 +63,12 @@ __all__ = [
     "run_kernel_columns",
     "run_whole_trace",
 ]
+
+#: Set to ``0`` to disable the vectorised batch-decision path and run
+#: the scalar per-uid decide loop instead — the escape hatch for
+#: third-party debugging and the A/B lever the pipeline benchmark
+#: uses.  Both paths are bit-identical.
+KERNEL_BATCH_ENV_VAR = "REPRO_KERNEL_BATCH"
 
 
 @dataclass
@@ -159,6 +167,52 @@ def _scheduled_plane(sim, raw: np.ndarray) -> np.ndarray:
     return plane
 
 
+def _batched_decisions(sim, plane: np.ndarray, bindings: np.ndarray,
+                       sizes: np.ndarray, first_cell: np.ndarray,
+                       order: np.ndarray, n_circs: int) -> list | None:
+    """All unique decisions through the vectorised batch path, or ``None``.
+
+    Returns decisions in priming (first-occurrence) order, i.e. aligned
+    with ``order``.  Falls back — returning ``None`` so the caller runs
+    the scalar per-uid loop — when:
+
+    * the simulator or its policy does not implement the batch protocol
+      (third-party policies keep working through ``sim._decide``);
+    * ``REPRO_KERNEL_BATCH=0`` disables the path (an escape hatch and
+      the A/B lever the pipeline benchmark uses);
+    * the plane contains values outside ``[0, 1]`` (or NaN) — the serial
+      path raises on the first offending *vector*, inside the policy,
+      so the scalar loop must run to reproduce that exact error.
+
+    The representative binding for each unique cell is read back from
+    the precomputed ``bindings`` plane: row reductions of a C-contiguous
+    block are bit-equal to reducing the cell's 1-D vector, so the value
+    handed to the cache equals what :meth:`CoolingDecisionCache.decide`
+    would have computed from the full vector.
+    """
+    decide_batch = getattr(sim, "_decide_batch", None)
+    policy = getattr(sim, "_policy", None)
+    if decide_batch is None or policy is None:
+        return None
+    if not callable(getattr(policy, "decide_batch", None)):
+        return None
+    if os.environ.get(KERNEL_BATCH_ENV_VAR, "").strip() == "0":
+        return None
+    if plane.size == 0:
+        return None
+    lo, hi = plane.min(), plane.max()
+    if not (lo >= 0.0 and hi <= 1.0):  # NaN compares false: falls back
+        return None
+    cell = first_cell[order]
+    steps, circs = np.divmod(cell, n_circs)
+    rep_bindings = bindings[steps, circs]
+    rep_sizes = sizes[circs]
+    with obs.span("kernel.decide_batch"):
+        decisions = decide_batch(rep_bindings, rep_sizes)
+    obs.add("engine.kernel.batched_decisions", len(decisions))
+    return decisions
+
+
 def _decide_cells(sim, plane: np.ndarray):
     """Cooling decisions for every ``(step, circulation)`` cell.
 
@@ -192,35 +246,63 @@ def _decide_cells(sim, plane: np.ndarray):
     else:
         keys = bindings
     sizes = np.array([group.size for group in groups], dtype=float)
-    pairs = np.column_stack((keys.ravel(),
-                             np.broadcast_to(sizes, (n_steps,
-                                                     n_circs)).ravel()))
-    uniq, inverse = np.unique(pairs, axis=0, return_inverse=True)
-    inverse = inverse.ravel()
-    # First occurrence per unique key, guaranteed (np.unique's
-    # return_index does not promise first occurrences for axis-based
-    # calls); priming must follow the serial cell order.
-    first_cell = np.full(len(uniq), cells, dtype=np.int64)
-    np.minimum.at(first_cell, inverse, np.arange(cells))
+    first_cell = None
+    if resolution and keys.size:
+        # Quantised buckets are small integers: encode (bucket, size)
+        # into one int64 and deduplicate in 1-D, which is an order of
+        # magnitude faster than the row-wise unique below and — because
+        # the encoding is monotone in (bucket, size) — yields the same
+        # unique order, the same inverse and the same first cells.
+        # NaN/inf/overflowing buckets compare false and fall through.
+        if float(np.abs(keys).max()) < 2.0**31:
+            usizes, size_code = np.unique(sizes.astype(np.int64),
+                                          return_inverse=True)
+            codes = (keys.astype(np.int64) * len(usizes)
+                     + size_code.ravel()).ravel()
+            # 1-D unique promises first-occurrence indices.
+            _, first_cell, inverse = np.unique(
+                codes, return_index=True, return_inverse=True)
+            inverse = inverse.ravel()
+            first_cell = first_cell.astype(np.int64)
+            n_uniq = len(first_cell)
+    if first_cell is None:
+        pairs = np.column_stack((keys.ravel(),
+                                 np.broadcast_to(sizes, (n_steps,
+                                                         n_circs)).ravel()))
+        uniq, inverse = np.unique(pairs, axis=0, return_inverse=True)
+        inverse = inverse.ravel()
+        n_uniq = len(uniq)
+        # First occurrence per unique key, guaranteed (np.unique's
+        # return_index does not promise first occurrences for axis-based
+        # calls); priming must follow the serial cell order.
+        first_cell = np.full(n_uniq, cells, dtype=np.int64)
+        np.minimum.at(first_cell, inverse, np.arange(cells))
 
     cdu = sim._circulations[0].cdu
-    decisions = [None] * len(uniq)
-    for uid in np.argsort(first_cell, kind="stable"):
-        step, circ = divmod(int(first_cell[uid]), n_circs)
-        group = groups[circ]
-        vector = plane[step, int(group[0]):int(group[0]) + group.size]
-        decisions[uid] = sim._decide(vector)
+    decisions = [None] * n_uniq
+    order = np.argsort(first_cell, kind="stable")
+    batched = _batched_decisions(sim, plane, bindings, sizes, first_cell,
+                                 order, n_circs)
+    if batched is not None:
+        for uid, decision in zip(order, batched):
+            decisions[int(uid)] = decision
+    else:
+        for uid in order:
+            step, circ = divmod(int(first_cell[uid]), n_circs)
+            group = groups[circ]
+            vector = plane[step, int(group[0]):int(group[0]) + group.size]
+            decisions[uid] = sim._decide(vector)
     cache = getattr(sim, "_cache", None)
     if cache is not None:
         # The serial loop would have looked every cell up; duplicates
         # were served by construction, so they count as hits.
-        cache.stats.hits += cells - len(uniq)
+        cache.stats.hits += cells - n_uniq
     obs.add("engine.kernel.decide_cells", cells)
-    obs.add("engine.kernel.unique_decisions", len(uniq))
+    obs.add("engine.kernel.unique_decisions", n_uniq)
 
     setting_index: dict[tuple[float, float], int] = {}
     applied_settings = []
-    uid_to_sid = np.empty(len(uniq), dtype=np.intp)
+    uid_to_sid = np.empty(n_uniq, dtype=np.intp)
     for uid, decision in enumerate(decisions):
         applied = cdu.clamp(decision.setting)
         key = (applied.flow_l_per_h, applied.inlet_temp_c)

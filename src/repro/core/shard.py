@@ -64,6 +64,7 @@ import os
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
+from multiprocessing import shared_memory
 from typing import Sequence
 
 import numpy as np
@@ -96,6 +97,7 @@ from .engine import (
 )
 from .kernel import (
     KernelColumns,
+    KernelTimings,
     _decide_cells,
     _scheduled_plane,
     fold_columns,
@@ -104,20 +106,26 @@ from .kernel import (
 from .results import ColumnarSteps, SimulationResult
 
 __all__ = [
+    "AUTOTUNE_TARGET_SHARD_S",
     "AUTO_SHARD_MIN_CELLS",
+    "COLUMN_PLANES",
     "DEFAULT_SHARD_SERVERS",
     "DEFAULT_SHARD_STEPS",
+    "SHARD_AUTOTUNE_ENV_VAR",
     "SHARD_SERVERS_ENV_VAR",
     "SHARD_STEPS_ENV_VAR",
+    "ShardColumnRef",
     "ShardError",
     "ShardOutcome",
     "ShardSpec",
+    "StreamingMerge",
     "audit_merged_result",
     "clone_cache",
     "merge_shard_outcomes",
     "plan_shards",
     "prime_decisions",
     "primed_or_warm",
+    "resolve_shard_autotune",
     "resolve_shard_size",
     "run_shard",
     "simulate_sharded",
@@ -128,6 +136,12 @@ __all__ = [
 SHARD_SERVERS_ENV_VAR = "REPRO_SHARD_SERVERS"
 SHARD_STEPS_ENV_VAR = "REPRO_SHARD_STEPS"
 
+#: Environment flag enabling throughput-based shard re-planning (see
+#: :meth:`BatchSimulationEngine._autotune_shards`).  Explicit engine
+#: arguments win over the environment; default off, so planned shard
+#: counts stay deterministic unless a run opts in.
+SHARD_AUTOTUNE_ENV_VAR = "REPRO_SHARD_AUTOTUNE"
+
 #: A kernel job auto-shards once its plane reaches this many cells
 #: (steps x servers) — about the point where splitting pays for the
 #: merge.  12.5k x 8,900 is ~111M cells, 55 default tiles.
@@ -136,6 +150,11 @@ AUTO_SHARD_MIN_CELLS = 2_000_000
 #: Default tile dimensions when auto-sharding (clamped to the trace).
 DEFAULT_SHARD_SERVERS = 2500
 DEFAULT_SHARD_STEPS = 2500
+
+#: Autotuned tiles (opt-in; see ``BatchSimulationEngine``'s
+#: ``shard_autotune``) are re-sized so one tile takes about this many
+#: seconds at the first tile's measured throughput.
+AUTOTUNE_TARGET_SHARD_S = 5.0
 
 
 @dataclass(frozen=True)
@@ -218,6 +237,15 @@ class ShardOutcome:
     cache_misses: int = 0
     n_cells: int = 0
     telemetry: "obs.TelemetrySnapshot | None" = None
+    #: Kernel phase timings of this shard's run; the streaming merge
+    #: sums them into the sharded job's :class:`KernelTimings`.
+    timings: KernelTimings | None = None
+    #: Set (with ``columns`` cleared) when the worker published its
+    #: plane tiles straight into the coordinator's shared column block
+    #: (:func:`_publish_columns`): the non-plane data the fold still
+    #: needs — per-circulation sizes and per-step violation counts.
+    sizes: np.ndarray | None = None
+    violation_counts: np.ndarray | None = None
     #: The policy instance a fault shard decided with — the sequential
     #: fault orchestration carries it into the next time window so a
     #: memoising policy replays the serial priming sequence.  Kernel
@@ -250,6 +278,29 @@ def resolve_shard_size(explicit: int | None, env_var: str) -> int | None:
     if value <= 0:
         raise ConfigurationError(f"{env_var} must be > 0, got {value}")
     return value
+
+
+def resolve_shard_autotune(explicit: bool | None) -> bool:
+    """Whether shard autotuning is on: explicit > environment > off.
+
+    Raises
+    ------
+    ConfigurationError
+        When ``REPRO_SHARD_AUTOTUNE`` is set to something that is not a
+        recognisable boolean.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    env = os.environ.get(SHARD_AUTOTUNE_ENV_VAR)
+    if env is None:
+        return False
+    value = env.strip().lower()
+    if value in ("1", "true", "yes", "on"):
+        return True
+    if value in ("", "0", "false", "no", "off"):
+        return False
+    raise ConfigurationError(
+        f"{SHARD_AUTOTUNE_ENV_VAR} must be a boolean flag, got {env!r}")
 
 
 def plan_shards(n_steps: int, n_servers: int, circulation_size: int,
@@ -511,6 +562,7 @@ def _run_kernel_shard(tile, spec, config, cpu_model, teg_module, cache,
     columns = run_kernel_columns(sim)
     outcome.columns = columns
     outcome.violations = columns.violations
+    outcome.timings = sim.kernel_timings
     if columns.error is not None:
         outcome.error = ShardError(
             exception=columns.error.exception,
@@ -547,6 +599,83 @@ def _run_fault_shard(tile, spec, config, cpu_model, teg_module, faults,
     else:
         outcome.records = list(result.records)
         outcome.violations = list(result.violations)
+
+
+# ----------------------------------------------------------------------
+# Shared column blocks (zero-copy shard results)
+# ----------------------------------------------------------------------
+
+#: The plane attributes of :class:`~repro.core.kernel.KernelColumns`, in
+#: the order they are stacked inside a shared column block.  Sizes and
+#: violation counts are not planes — they ride back on the outcome.
+COLUMN_PLANES = ("generation_c", "heat_c", "chiller_power_c",
+                 "tower_power_c", "pump_power_c", "max_temp_c",
+                 "inlet_cell", "flow_cell")
+
+
+@dataclass(frozen=True)
+class ShardColumnRef:
+    """Handle to a shared ``(len(COLUMN_PLANES), n_steps, n_circs)`` block.
+
+    The coordinator preallocates one whole-cluster column block per
+    sharded job in ``multiprocessing.shared_memory`` and ships this
+    handle with every shard payload; workers write their tile's planes
+    straight into the block instead of pickling them back, so a shard's
+    return value shrinks from the full tile (megabytes at fleet scale)
+    to the spec plus two small vectors.  The segment is owned (and
+    unlinked after the merge) by the engine that created it.
+    """
+
+    shm_name: str
+    n_steps: int
+    n_circs: int
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Array shape of the block's stacked planes."""
+        return (len(COLUMN_PLANES), self.n_steps, self.n_circs)
+
+
+#: Per-worker cache of the attached column block, keyed by segment name.
+#: Sharded jobs run one at a time on the coordinator, so on attaching a
+#: new job's block every previous one is unmapped — bounding worker
+#: memory at one block however many sharded jobs a batch dispatches.
+_WORKER_COLUMN_BLOCKS: dict[str, tuple[shared_memory.SharedMemory,
+                                       np.ndarray]] = {}
+
+
+def _column_block(ref: ShardColumnRef) -> np.ndarray:
+    """Attach (or reuse) the shared column block named by ``ref``."""
+    entry = _WORKER_COLUMN_BLOCKS.get(ref.shm_name)
+    if entry is None:
+        for name in [n for n in _WORKER_COLUMN_BLOCKS if n != ref.shm_name]:
+            stale, _ = _WORKER_COLUMN_BLOCKS.pop(name)
+            try:
+                stale.close()
+            except (OSError, BufferError):  # pragma: no cover - defensive
+                pass
+        block = shared_memory.SharedMemory(name=ref.shm_name)
+        planes = np.ndarray(ref.shape, dtype=np.float64, buffer=block.buf)
+        entry = _WORKER_COLUMN_BLOCKS[ref.shm_name] = (block, planes)
+    return entry[1]
+
+
+def _publish_columns(ref: ShardColumnRef, outcome: ShardOutcome) -> None:
+    """Write an outcome's plane tiles into the shared block, then slim it.
+
+    Idempotent per tile (a retried or speculated shard rewrites the
+    same cells with the same bytes — shards are deterministic), and
+    disjoint across tiles, so concurrent workers never race on a cell.
+    """
+    spec, columns = outcome.spec, outcome.columns
+    planes = _column_block(ref)
+    rows = slice(spec.step_start, spec.step_stop)
+    cols = slice(spec.circ_start, spec.circ_stop)
+    for i, name in enumerate(COLUMN_PLANES):
+        planes[i, rows, cols] = getattr(columns, name)
+    outcome.sizes = columns.sizes
+    outcome.violation_counts = columns.violation_counts
+    outcome.columns = None
 
 
 def audit_merged_result(trace: WorkloadTrace, config: SimulationConfig,
@@ -607,11 +736,262 @@ def audit_merged_result(trace: WorkloadTrace, config: SimulationConfig,
             + "; ".join(issues), issues=tuple(issues))
 
 
+class StreamingMerge:
+    """Fold shard outcomes into whole-cluster columns as they land.
+
+    The barrier-free half of the streaming pipeline: the coordinator
+    constructs one merge from the trace/config dimensions *before*
+    dispatching anything, calls :meth:`add` on each
+    :class:`ShardOutcome` the moment it completes, and calls
+    :meth:`result` once every tile has landed.  The result is
+    bit-identical to the old stitch-everything-then-fold merge whatever
+    order outcomes arrive in, because nothing numeric is combined
+    across shards: plane tiles are disjoint array writes, violation
+    counts are exact integer adds, violation records are globally
+    sorted at the end, and the phase-4 float fold
+    (:func:`~repro.core.kernel.fold_columns`) runs exactly once, over
+    the finished full-length columns.
+
+    The integrity auditing is incremental: a tile that overlaps
+    already-folded cells raises :class:`ResultIntegrityError` at
+    :meth:`add` time (naming the offending shard, which a post-hoc
+    audit could not), an uncovered cell raises at :meth:`result`, and
+    the full :func:`audit_merged_result` still runs on the merged
+    result before it escapes.
+
+    ``plane_block`` optionally supplies the backing array for the
+    stacked planes — the engine passes a shared-memory block here so
+    workers can write their tiles into it directly
+    (:func:`_publish_columns`) and :meth:`add` folds only the small
+    non-plane remainder.  Outcomes that do carry ``columns`` (serial
+    runs, thread pools, resumed checkpoints, broken-pool fallbacks)
+    are stitched coordinator-side exactly as before; the two kinds mix
+    freely within one merge.
+    """
+
+    def __init__(self, trace: WorkloadTrace, config: SimulationConfig, *,
+                 kind: str = "kernel", audit: bool = True,
+                 plane_block: np.ndarray | None = None) -> None:
+        if kind not in ("kernel", "fault"):
+            raise ConfigurationError(
+                f"merge kind must be 'kernel' or 'fault', got {kind!r}")
+        self.trace = trace
+        self.config = config
+        self.kind = kind
+        self.audit = audit
+        #: Outcomes folded so far / decision-cache tallies across them.
+        self.n_added = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Aggregated kernel phase timings: decide/evaluate/reduce are
+        #: summed across shards, fold is the merge's own fold time.
+        self.timings: KernelTimings | None = None
+        self._fold_s = 0.0
+        self._errors: list[ShardError] = []
+        self._telemetry: obs.Telemetry | None = None
+        n_steps, n_servers = trace.n_steps, trace.n_servers
+        if kind == "kernel":
+            n_circs = -(-n_servers // config.circulation_size)
+            self._n_circs = n_circs
+            shape = (len(COLUMN_PLANES), n_steps, n_circs)
+            if plane_block is None:
+                plane_block = np.empty(shape)
+            elif plane_block.shape != shape:
+                raise ConfigurationError(
+                    f"plane block has shape {plane_block.shape}, "
+                    f"expected {shape}")
+            self._planes = plane_block
+            self._sizes = np.empty(n_circs, dtype=np.int64)
+            self._violation_counts = np.zeros(n_steps, dtype=np.int64)
+            self._violations: list = []
+            self._covered = np.zeros((n_steps, n_circs), dtype=bool)
+        else:
+            self._windows: dict[int, ShardOutcome] = {}
+            self._covered_steps = np.zeros(n_steps, dtype=bool)
+
+    def add(self, outcome: ShardOutcome) -> None:
+        """Fold one completed shard into the merged state.
+
+        Raises
+        ------
+        ResultIntegrityError
+            When the outcome's tile overlaps cells another outcome
+            already covered — a double dispatch or a corrupted resume.
+        """
+        clock = time.perf_counter()
+        with obs.span("shard.fold"):
+            if self.kind == "kernel":
+                self._fold_kernel(outcome)
+            else:
+                self._fold_fault(outcome)
+        self._fold_s += time.perf_counter() - clock
+        obs.add("engine.shards.folded", 1)
+        self.n_added += 1
+        self.cache_hits += outcome.cache_hits
+        self.cache_misses += outcome.cache_misses
+        if outcome.error is not None:
+            self._errors.append(outcome.error)
+        if outcome.telemetry is not None:
+            if self._telemetry is None:
+                self._telemetry = obs.Telemetry()
+            self._telemetry.merge_snapshot(outcome.telemetry)
+        # getattr: outcomes unpickled from a pre-streaming checkpoint
+        # lack the newer fields.
+        timings = getattr(outcome, "timings", None)
+        if timings is not None:
+            if self.timings is None:
+                self.timings = KernelTimings()
+            self.timings.decide_s += timings.decide_s
+            self.timings.evaluate_s += timings.evaluate_s
+            self.timings.reduce_s += timings.reduce_s
+
+    def _fold_kernel(self, outcome: ShardOutcome) -> None:
+        spec = outcome.spec
+        rows = slice(spec.step_start, spec.step_stop)
+        cols = slice(spec.circ_start, spec.circ_stop)
+        region = self._covered[rows, cols]
+        if region.any():
+            issue = (f"shard {spec.index} (steps [{spec.step_start}, "
+                     f"{spec.step_stop}), circulations [{spec.circ_start}, "
+                     f"{spec.circ_stop})) overlaps {int(region.sum())} "
+                     f"already-folded cell(s)")
+            raise ResultIntegrityError(issue, issues=(issue,))
+        columns = outcome.columns
+        if columns is not None:
+            for i, name in enumerate(COLUMN_PLANES):
+                self._planes[i, rows, cols] = getattr(columns, name)
+            sizes, counts = columns.sizes, columns.violation_counts
+        else:
+            # Zero-copy dispatch: the worker already wrote this tile's
+            # planes into the shared block backing ``self._planes``.
+            sizes = getattr(outcome, "sizes", None)
+            counts = getattr(outcome, "violation_counts", None)
+            if sizes is None or counts is None:
+                raise ConfigurationError(
+                    f"kernel shard {spec.index} carries neither columns "
+                    f"nor published plane summaries")
+        self._sizes[cols] = sizes
+        # Integer counts: addition is exact and order-free.
+        self._violation_counts[rows] += counts
+        self._violations.extend(outcome.violations)
+        self._covered[rows, cols] = True
+
+    def _fold_fault(self, outcome: ShardOutcome) -> None:
+        spec = outcome.spec
+        rows = slice(spec.step_start, spec.step_stop)
+        if self._covered_steps[rows].any():
+            issue = (f"fault window {spec.index} (steps "
+                     f"[{spec.step_start}, {spec.step_stop})) overlaps an "
+                     f"already-folded window")
+            raise ResultIntegrityError(issue, issues=(issue,))
+        self._windows[spec.step_start] = outcome
+        self._covered_steps[rows] = True
+
+    def release_planes(self) -> None:
+        """Drop every reference into the external plane block.
+
+        Called by the engine before closing a shared-memory backed
+        block — a still-exported buffer would make the unmap fail.  The
+        merge is unusable afterwards; call only after :meth:`result`.
+        """
+        self._planes = None
+
+    def telemetry_snapshot(self):
+        """Merged telemetry of every added outcome (``None`` if none)."""
+        return (self._telemetry.snapshot()
+                if self._telemetry is not None else None)
+
+    def result(self) -> SimulationResult:
+        """The merged whole-cluster result; every tile must have landed.
+
+        Raises the globally earliest shard error (serial raise order)
+        when any added shard reported one, and
+        :class:`ResultIntegrityError` when coverage is incomplete or
+        the final :func:`audit_merged_result` finds an inconsistency.
+        """
+        if self.n_added == 0:
+            raise ConfigurationError("cannot merge zero shard outcomes")
+        if self._errors:
+            raise min(self._errors, key=lambda e: e.order).exception
+        trace, config = self.trace, self.config
+        n_steps, n_servers = trace.n_steps, trace.n_servers
+        interval_s = trace.interval_s
+
+        if self.kind == "fault":
+            if not self._covered_steps.all():
+                uncovered = int((~self._covered_steps).sum())
+                issue = (f"{uncovered} of {n_steps} steps were never "
+                         f"covered by a fault window")
+                raise ResultIntegrityError(issue, issues=(issue,))
+            # Full-width time windows; concatenation in window order
+            # replays the serial append order exactly.
+            records: list = []
+            violations: list = []
+            for start in sorted(self._windows):
+                outcome = self._windows[start]
+                records.extend(outcome.records)
+                violations.extend(outcome.violations)
+            result = SimulationResult(
+                scheme=config.name, trace_name=trace.name,
+                n_servers=n_servers, interval_s=interval_s,
+                records=records)
+            result.violations = violations
+            if self.audit:
+                audit_merged_result(trace, config, result)
+            return result
+
+        if not self._covered.all():
+            uncovered = int((~self._covered).sum())
+            issue = (f"{uncovered} of {n_steps * self._n_circs} plane "
+                     f"cells were never covered by a shard")
+            raise ResultIntegrityError(issue, issues=(issue,))
+        clock = time.perf_counter()
+        with obs.span("shard.fold"):
+            merged = KernelColumns(
+                generation_c=self._planes[0], heat_c=self._planes[1],
+                chiller_power_c=self._planes[2],
+                tower_power_c=self._planes[3],
+                pump_power_c=self._planes[4], max_temp_c=self._planes[5],
+                inlet_cell=self._planes[6], flow_cell=self._planes[7],
+                sizes=self._sizes,
+                violation_counts=self._violation_counts,
+            )
+            # The unsharded kernel emits violations in row-major
+            # (step, server) order; shard violations are already
+            # globally identified, so a sort restores exactly that
+            # order.
+            self._violations.sort(key=lambda v: (v.step_index,
+                                                 v.server_id))
+            raw = trace.utilisation
+            records = ColumnarSteps({
+                "time_s": np.arange(n_steps) * interval_s,
+                "mean_utilisation": raw.mean(axis=1),
+                "max_utilisation": raw.max(axis=1),
+                **fold_columns(merged, n_servers),
+                "safety_violations": self._violation_counts,
+                "degraded_circulations": np.zeros(n_steps, dtype=np.int64),
+                "lost_harvest_w": np.zeros(n_steps),
+                "active_faults": np.zeros(n_steps, dtype=np.int64),
+            })
+        self._fold_s += time.perf_counter() - clock
+        if self.timings is not None:
+            self.timings.fold_s = self._fold_s
+        result = SimulationResult(
+            scheme=config.name, trace_name=trace.name,
+            n_servers=n_servers, interval_s=interval_s, records=records)
+        result.violations = self._violations
+        if self.audit:
+            audit_merged_result(trace, config, result)
+        return result
+
+
 def merge_shard_outcomes(trace: WorkloadTrace, config: SimulationConfig,
                          outcomes: Sequence[ShardOutcome], *,
                          audit: bool = True) -> SimulationResult:
     """Stitch shard outcomes back into one whole-cluster result.
 
+    A barriered veneer over :class:`StreamingMerge` (fold every outcome,
+    then finalise) for callers that already hold the full outcome list.
     Raises the globally earliest shard error (serial raise order) when
     any shard reported one.  Kernel outcomes are stitched column-wise
     and folded once; fault outcomes (time windows) are concatenated in
@@ -621,79 +1001,13 @@ def merge_shard_outcomes(trace: WorkloadTrace, config: SimulationConfig,
     """
     if not outcomes:
         raise ConfigurationError("cannot merge zero shard outcomes")
-    errors = [o.error for o in outcomes if o.error is not None]
-    if errors:
-        raise min(errors, key=lambda e: e.order).exception
-
-    n_steps, n_servers = trace.n_steps, trace.n_servers
-    interval_s = trace.interval_s
-    ordered = sorted(outcomes, key=lambda o: (o.spec.server_start,
-                                              o.spec.step_start))
-    if ordered[0].columns is None:
-        # Fault path: full-width time windows; plain concatenation in
-        # window order replays the serial append order exactly.
-        records: list = []
-        violations: list = []
-        for outcome in ordered:
-            records.extend(outcome.records)
-            violations.extend(outcome.violations)
-        result = SimulationResult(
-            scheme=config.name, trace_name=trace.name,
-            n_servers=n_servers, interval_s=interval_s, records=records)
-        result.violations = violations
-        if audit:
-            audit_merged_result(trace, config, result)
-        return result
-
-    n_circs = max(o.spec.circ_stop for o in ordered)
-    plane = lambda: np.empty((n_steps, n_circs))  # noqa: E731
-    merged = KernelColumns(
-        generation_c=plane(), heat_c=plane(), chiller_power_c=plane(),
-        tower_power_c=plane(), pump_power_c=plane(), max_temp_c=plane(),
-        inlet_cell=plane(), flow_cell=plane(),
-        sizes=np.empty(n_circs, dtype=np.int64),
-        violation_counts=np.zeros(n_steps, dtype=np.int64),
-    )
-    for outcome in ordered:
-        spec, columns = outcome.spec, outcome.columns
-        rows = slice(spec.step_start, spec.step_stop)
-        cols = slice(spec.circ_start, spec.circ_stop)
-        merged.generation_c[rows, cols] = columns.generation_c
-        merged.heat_c[rows, cols] = columns.heat_c
-        merged.chiller_power_c[rows, cols] = columns.chiller_power_c
-        merged.tower_power_c[rows, cols] = columns.tower_power_c
-        merged.pump_power_c[rows, cols] = columns.pump_power_c
-        merged.max_temp_c[rows, cols] = columns.max_temp_c
-        merged.inlet_cell[rows, cols] = columns.inlet_cell
-        merged.flow_cell[rows, cols] = columns.flow_cell
-        merged.sizes[cols] = columns.sizes
-        # Integer counts: addition is exact and order-free.
-        merged.violation_counts[rows] += columns.violation_counts
-        merged.violations.extend(outcome.violations)
-
-    # The unsharded kernel emits violations in row-major (step, server)
-    # order; shard violations are already globally identified, so a
-    # sort restores exactly that order.
-    merged.violations.sort(key=lambda v: (v.step_index, v.server_id))
-
-    raw = trace.utilisation
-    records = ColumnarSteps({
-        "time_s": np.arange(n_steps) * interval_s,
-        "mean_utilisation": raw.mean(axis=1),
-        "max_utilisation": raw.max(axis=1),
-        **fold_columns(merged, n_servers),
-        "safety_violations": merged.violation_counts,
-        "degraded_circulations": np.zeros(n_steps, dtype=np.int64),
-        "lost_harvest_w": np.zeros(n_steps),
-        "active_faults": np.zeros(n_steps, dtype=np.int64),
-    })
-    result = SimulationResult(
-        scheme=config.name, trace_name=trace.name, n_servers=n_servers,
-        interval_s=interval_s, records=records)
-    result.violations = merged.violations
-    if audit:
-        audit_merged_result(trace, config, result)
-    return result
+    kind = ("kernel" if any(o.columns is not None
+                            or getattr(o, "sizes", None) is not None
+                            for o in outcomes) else "fault")
+    merge = StreamingMerge(trace, config, kind=kind, audit=audit)
+    for outcome in outcomes:
+        merge.add(outcome)
+    return merge.result()
 
 
 def _merged_telemetry(outcomes: Sequence[ShardOutcome]):
@@ -783,7 +1097,8 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
             kind="fault" if has_faults else "kernel",
             resume=resume)
 
-    outcomes: list = [None] * len(specs)
+    merge = StreamingMerge(trace, config,
+                           kind="fault" if has_faults else "kernel")
     if has_faults:
         # Sequential time windows sharing one cache and one policy:
         # exactly the serial decision sequence (see the module note).
@@ -792,7 +1107,7 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
         # sequence from the first missing window onward.
         shared = CoolingDecisionCache(resolution=cache_resolution)
         policy = None
-        for index, spec in enumerate(specs):
+        for spec in specs:
             saved = (store.load_shard(spec.index)
                      if store is not None else None)
             if saved is not None:
@@ -801,7 +1116,7 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
                     shared._store = dict(saved["cache_store"])
                 if outcome.policy is not None:
                     policy = outcome.policy
-                outcomes[index] = outcome
+                merge.add(outcome)
                 continue
             outcome = run_shard(
                 trace.window(spec.step_start, spec.step_stop,
@@ -810,17 +1125,17 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
                 cache_resolution=cache_resolution, cache=shared,
                 policy=policy, telemetry=record)
             policy = outcome.policy
-            outcomes[index] = outcome
             if store is not None:
                 store.save_shard(spec.index, outcome,
                                  cache_store=dict(shared._store))
+            merge.add(outcome)
     else:
         missing: list[ShardSpec] = []
         for spec in specs:
             saved = (store.load_shard(spec.index)
                      if store is not None else None)
             if saved is not None:
-                outcomes[spec.index] = saved["outcome"]
+                merge.add(saved["outcome"])
             else:
                 missing.append(spec)
         primed = None
@@ -840,13 +1155,13 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
                 spec, config, cpu_model, teg_module,
                 cache_resolution=cache_resolution,
                 cache=clone_cache(primed), telemetry=record)
-            outcomes[spec.index] = outcome
             if store is not None:
                 store.save_shard(spec.index, outcome)
-    result = merge_shard_outcomes(trace, config, outcomes)
+            merge.add(outcome)
+    result = merge.result()
     wall = time.perf_counter() - started
-    cache_hits = sum(o.cache_hits for o in outcomes)
-    cache_misses = sum(o.cache_misses for o in outcomes)
+    cache_hits = merge.cache_hits
+    cache_misses = merge.cache_misses
     lookups = cache_hits + cache_misses
     result.metrics = EngineMetrics(
         wall_time_s=wall,
@@ -858,11 +1173,12 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
         cache_hit_rate=cache_hits / lookups if lookups else 0.0,
         mode="loop" if has_faults else "kernel",
         vectorised=not has_faults,
+        kernel=merge.timings,
         n_shards=len(specs),
         shards_resumed=len(store.loaded) if store is not None else 0,
     )
     if record:
-        result.telemetry = _merged_telemetry(outcomes)
+        result.telemetry = merge.telemetry_snapshot()
     if cache_key is not None:
         results_store.store(cache_key, result)
     return result
@@ -891,14 +1207,21 @@ class _ShardPayload:
     cache_resolution: float
     decisions: CoolingDecisionCache | None = None
     telemetry: bool = False
+    #: With a column ref, the worker publishes its plane tiles into the
+    #: shared block and ships back a slimmed outcome (``columns=None``)
+    #: — the streaming-pipeline zero-copy return path.
+    column_ref: ShardColumnRef | None = None
 
 
 def _execute_shard_payload(payload: _ShardPayload) -> ShardOutcome:
     """Process-worker entry point for shared-memory dispatched shards."""
     tile = _trace_from_ref(payload.trace_ref)
-    return run_shard(tile, payload.spec, payload.config,
-                     payload.cpu_model, payload.teg_module,
-                     faults=payload.faults,
-                     cache_resolution=payload.cache_resolution,
-                     cache=payload.decisions,
-                     telemetry=payload.telemetry)
+    outcome = run_shard(tile, payload.spec, payload.config,
+                        payload.cpu_model, payload.teg_module,
+                        faults=payload.faults,
+                        cache_resolution=payload.cache_resolution,
+                        cache=payload.decisions,
+                        telemetry=payload.telemetry)
+    if payload.column_ref is not None and outcome.columns is not None:
+        _publish_columns(payload.column_ref, outcome)
+    return outcome

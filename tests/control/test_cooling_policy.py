@@ -157,3 +157,90 @@ class TestAnalyticPolicy:
         ).decide(utils)
         assert analytic.predicted_generation_w >= \
             lookup.predicted_generation_w - 0.15
+
+
+# ----------------------------------------------------------------------
+# Batched decisions (the decide_batch fast path of the kernel pipeline)
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+#: Pre-aggregated binding utilisations, the decide_batch input domain.
+binding_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=12)
+
+
+class TestBatchScalarEquivalence:
+    """``decide_batch`` must reproduce the scalar ``decide`` bit for bit.
+
+    The vectorised kernel pipeline funnels every cooling decision
+    through ``decide_batch``; any divergence from the scalar path —
+    however small — would break the engine's bit-identity contract, so
+    equality here is exact (``PolicyDecision`` compares all five floats
+    with ``==``), not approximate.
+    """
+
+    def assert_equivalent(self, make_policy, bindings):
+        batch_policy = make_policy()
+        scalar_policy = make_policy()
+        batched = batch_policy.decide_batch(bindings)
+        scalar = [scalar_policy.decide([b]) for b in bindings]
+        assert batched == scalar
+        # Memoising policies must also leave the memo in the same
+        # state (same buckets, primed in the same first-occurrence
+        # order) — shards clone it, so a drifted memo breaks parity
+        # later even if this batch matched.
+        batch_memo = getattr(batch_policy, "_cache", None)
+        if batch_memo is not None:
+            scalar_memo = scalar_policy._cache
+            assert list(batch_memo) == list(scalar_memo)
+            assert batch_memo == scalar_memo
+
+    @given(bindings=binding_lists)
+    def test_static_policy(self, bindings):
+        self.assert_equivalent(StaticPolicy, bindings)
+
+    @settings(max_examples=40, deadline=None)
+    @given(bindings=binding_lists)
+    def test_analytic_policy(self, bindings):
+        self.assert_equivalent(AnalyticPolicy, bindings)
+
+    @settings(max_examples=15, deadline=None)
+    @given(bindings=binding_lists)
+    def test_analytic_policy_net_of_pump(self, bindings):
+        self.assert_equivalent(lambda: AnalyticPolicy(net_of_pump=True),
+                               bindings)
+
+    @settings(max_examples=15, deadline=None)
+    @given(bindings=binding_lists)
+    def test_lookup_policy(self, lookup_space, bindings):
+        self.assert_equivalent(
+            lambda: LookupSpacePolicy(space=lookup_space), bindings)
+
+    @settings(max_examples=10, deadline=None)
+    @given(bindings=binding_lists)
+    def test_lookup_policy_avg_aggregation(self, lookup_space, bindings):
+        self.assert_equivalent(
+            lambda: LookupSpacePolicy(space=lookup_space,
+                                      aggregation="avg"), bindings)
+
+    def test_extreme_loads_hit_fallback_branches(self, lookup_space):
+        # Deterministic anchors for the two fallback branches (idle
+        # below the band, overload above it) on top of the random
+        # sweep above.
+        self.assert_equivalent(
+            lambda: LookupSpacePolicy(space=lookup_space),
+            [0.0, 1.0, 0.5, 0.0, 1.0])
+
+    def test_empty_batch_is_noop(self, lookup_space):
+        policy = LookupSpacePolicy(space=lookup_space)
+        assert policy.decide_batch([]) == []
+        assert policy._cache == {}
+
+    def test_batch_rejects_out_of_range(self, lookup_space):
+        for policy in (StaticPolicy(), AnalyticPolicy(),
+                       LookupSpacePolicy(space=lookup_space)):
+            with pytest.raises(PhysicalRangeError):
+                policy.decide_batch([0.5, 1.5])

@@ -108,3 +108,31 @@ class TestCustomModel:
                            inlet_grid=np.linspace(30.0, 50.0, 5))
         assert space.cpu_temp_c(1.0, 20.0, 40.0) > base.cpu_temp_c(
             1.0, 20.0, 40.0) + 50.0
+
+
+class TestPlaneBatch:
+    """plane_temperatures_batch row i == plane_temperatures(u_i), bitwise."""
+
+    def test_rows_match_scalar_planes(self, lookup_space):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=20, deadline=None)
+        @given(utils=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1, max_size=6))
+        def check(utils):
+            cpu_b, out_b = lookup_space.plane_temperatures_batch(utils)
+            assert cpu_b.shape == (len(utils), len(lookup_space.flow_grid),
+                                   len(lookup_space.inlet_grid))
+            for i, u in enumerate(utils):
+                cpu, out = lookup_space.plane_temperatures(u)
+                assert np.array_equal(cpu_b[i], cpu)
+                assert np.array_equal(out_b[i], out)
+
+        check()
+
+    def test_batch_validates_like_scalar(self, lookup_space):
+        with pytest.raises(PhysicalRangeError):
+            lookup_space.plane_temperatures_batch([0.2, 1.2])
+        with pytest.raises(ConfigurationError):
+            lookup_space.plane_temperatures_batch([[0.2], [0.4]])

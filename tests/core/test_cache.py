@@ -557,3 +557,138 @@ class TestBatchIntegration:
         assert hot.metrics.result_cache_hits == 1
         assert hot.metrics.shards == 0
         assert_identical(hot.results[0], cold.results[0])
+
+
+class TestConcurrentEngines:
+    """Two engines sharing one cache directory (ISSUE 9 satellite).
+
+    The dead-pid temp sweep and the LRU hit-refresh were only ever
+    exercised through a single engine; here two
+    ``BatchSimulationEngine``s interleave over one directory while
+    eviction runs between (and under) them.
+    """
+
+    def jobs(self, seed=8):
+        trace = common_trace(n_servers=40, duration_s=30 * 300.0,
+                             seed=seed)
+        return [SimulationJob(trace, teg_original()),
+                SimulationJob(trace, teg_loadbalance())]
+
+    def two_engines(self, tmp_path):
+        return (BatchSimulationEngine(n_workers=1,
+                                      cache=ResultCache(tmp_path)),
+                BatchSimulationEngine(n_workers=1,
+                                      cache=ResultCache(tmp_path)))
+
+    def test_second_engine_hits_first_engines_entries(self, tmp_path):
+        a, b = self.two_engines(tmp_path)
+        cold = a.run(self.jobs())
+        hot = b.run(self.jobs())
+        assert cold.metrics.result_cache_misses == 2
+        assert hot.metrics.result_cache_hits == 2
+        for job in self.jobs():
+            assert_identical(hot.get(job.config.name, job.trace.name),
+                             cold.get(job.config.name, job.trace.name))
+
+    def test_peer_eviction_under_a_live_engine(self, tmp_path):
+        a, b = self.two_engines(tmp_path)
+        cold = a.run(self.jobs())
+        # B evicts everything A just stored, out from under A's
+        # still-open store.
+        b.result_cache.max_bytes = 1
+        b.result_cache._evict()
+        # Both result entries go (warm-start snapshots count too, so
+        # the tally can exceed two).
+        assert b.result_cache.stats.evictions >= 2
+        assert not list(b.result_cache._results_dir.glob("*.npz"))
+        b.result_cache.max_bytes = None
+        again = a.run(self.jobs())
+        assert again.metrics.result_cache_hits == 0
+        assert again.metrics.result_cache_misses == 2
+        for job in self.jobs():
+            assert_identical(again.get(job.config.name, job.trace.name),
+                             cold.get(job.config.name, job.trace.name))
+
+    def test_peer_hit_refreshes_lru_rank_across_engines(self, tmp_path):
+        import os
+
+        a, b = self.two_engines(tmp_path)
+        a.run(self.jobs())
+        store_a, store_b = a.result_cache, b.result_cache
+        entries = sorted(store_a._results_dir.glob("*.npz"))
+        assert len(entries) == 2
+        for i, path in enumerate(entries):
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        # B reruns only the first job: a pure hit, which must bump
+        # that entry's LRU rank for *every* engine on the directory.
+        hot = b.run(self.jobs()[:1])
+        assert hot.metrics.result_cache_hits == 1
+        refreshed = {p for p in entries
+                     if p.stat().st_mtime > 2000.0}
+        assert len(refreshed) == 1
+        (stale,) = set(entries) - refreshed
+        # Shrink the cap by exactly the stale entry's size: the LRU
+        # sweep (which also covers warm snapshots) must pick the entry
+        # B did *not* just read, even though A never touched either.
+        tracked = [p for folder in (store_a._results_dir,
+                                    store_a._warm_dir)
+                   for p in folder.iterdir()]
+        store_a.max_bytes = (sum(p.stat().st_size for p in tracked)
+                             - stale.stat().st_size)
+        store_a._evict()
+        assert store_a.stats.evictions == 1
+        assert not stale.exists()
+        assert refreshed.pop().exists()
+
+    def test_dead_writer_temp_swept_by_next_engine(self, tmp_path):
+        import os
+        import subprocess
+
+        a, _ = self.two_engines(tmp_path)
+        cold = a.run(self.jobs())
+        results_dir = a.result_cache._results_dir
+        probe = subprocess.Popen(["sleep", "0"])
+        probe.wait()
+        dead = results_dir / f"entry.npz.tmp-{probe.pid}-140001-0"
+        dead.write_bytes(b"partial write of a crashed engine")
+        ours = results_dir / f"entry.npz.tmp-{os.getpid()}-140002-0"
+        ours.write_bytes(b"another of our threads, mid-write")
+        init = results_dir / "entry.npz.tmp-1-140003-0"
+        init.write_bytes(b"a live foreign writer")
+        # A fresh engine opening the directory sweeps only the dead
+        # writer's leftover; live writers (us, pid 1) keep theirs.
+        c = BatchSimulationEngine(n_workers=1,
+                                  cache=ResultCache(tmp_path))
+        assert not dead.exists()
+        assert ours.exists()
+        assert init.exists()
+        ours.unlink()
+        init.unlink()
+        hot = c.run(self.jobs())
+        assert hot.metrics.result_cache_hits == 2
+        for job in self.jobs():
+            assert_identical(hot.get(job.config.name, job.trace.name),
+                             cold.get(job.config.name, job.trace.name))
+
+    def test_interleaved_engines_with_tiny_cap_stay_correct(self, tmp_path):
+        # Both stores evict aggressively (the cap fits at most one
+        # entry); every run must still return bit-identical results —
+        # a peer's eviction can cost a hit, never correctness.
+        reference = {}
+        for job in self.jobs():
+            result = simulate(job.trace, job.config)
+            reference[job.config.name] = result
+        cap = 12 * 1024  # roughly one ~10 KiB result entry
+        a = BatchSimulationEngine(
+            n_workers=1, cache=ResultCache(tmp_path, max_bytes=cap))
+        b = BatchSimulationEngine(
+            n_workers=1, cache=ResultCache(tmp_path, max_bytes=cap))
+        for engine in (a, b, a, b):
+            batch = engine.run(self.jobs())
+            assert batch.ok
+            for job in self.jobs():
+                assert_identical(
+                    batch.get(job.config.name, job.trace.name),
+                    reference[job.config.name])
+        assert a.result_cache.stats.evictions \
+            + b.result_cache.stats.evictions > 0

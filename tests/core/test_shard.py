@@ -307,3 +307,261 @@ class TestPayloadSizeIndependence:
         # more of the bounded bucket range.
         assert large < small * 4
         assert large < 64 * 1024
+
+
+# ----------------------------------------------------------------------
+# Streaming pipeline (ISSUE 9): barrier-free merge, autotune, zero-copy
+# ----------------------------------------------------------------------
+
+import random  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+from repro.core.engine import simulate  # noqa: E402
+from repro.core.shard import (  # noqa: E402
+    COLUMN_PLANES,
+    SHARD_AUTOTUNE_ENV_VAR,
+    ShardColumnRef,
+    StreamingMerge,
+    _WORKER_COLUMN_BLOCKS,
+    _column_block,
+    _publish_columns,
+    merge_shard_outcomes,
+    resolve_shard_autotune,
+)
+from repro.errors import ResultIntegrityError  # noqa: E402
+
+
+def sharded_outcomes(trace, config, specs):
+    """Run every spec serially against a shared primed cache."""
+    primed = prime_decisions(trace, config)
+    outcomes = []
+    for spec in specs:
+        tile = trace.window(spec.step_start, spec.step_stop,
+                            spec.server_start, spec.server_stop)
+        outcomes.append(run_shard(tile, spec, config,
+                                  cache=clone_cache(primed)))
+    return outcomes
+
+
+class TestStreamingMerge:
+    """Fold-as-they-land merge: order-free bit-identity and auditing."""
+
+    def setup_run(self):
+        trace, config = small_trace(), teg_original()
+        specs = plan_shards(trace.n_steps, trace.n_servers,
+                            config.circulation_size,
+                            shard_servers=20, shard_steps=8)
+        assert len(specs) > 3
+        return trace, config, specs, sharded_outcomes(trace, config, specs)
+
+    def test_any_completion_order_matches_unsharded(self):
+        trace, config, specs, outcomes = self.setup_run()
+        reference = simulate(trace, config, mode="kernel")
+        for seed in (0, 1, 2):
+            shuffled = list(outcomes)
+            random.Random(seed).shuffle(shuffled)
+            merge = StreamingMerge(trace, config, kind="kernel")
+            for outcome in shuffled:
+                merge.add(outcome)
+            result = merge.result()
+            assert result.records == reference.records
+            assert result.violations == reference.violations
+        assert merge.n_added == len(specs)
+
+    def test_barriered_wrapper_matches_streaming(self):
+        trace, config, _, outcomes = self.setup_run()
+        merge = StreamingMerge(trace, config, kind="kernel")
+        for outcome in outcomes:
+            merge.add(outcome)
+        streamed = merge.result()
+        stitched = merge_shard_outcomes(trace, config, outcomes)
+        assert stitched.records == streamed.records
+        assert stitched.violations == streamed.violations
+
+    def test_overlap_rejected_at_add_time(self):
+        trace, config, _, outcomes = self.setup_run()
+        merge = StreamingMerge(trace, config, kind="kernel")
+        merge.add(outcomes[0])
+        # A double dispatch is caught the moment it lands, naming the
+        # shard — not buried in a post-hoc audit.
+        with pytest.raises(ResultIntegrityError, match="overlaps"):
+            merge.add(outcomes[0])
+
+    def test_uncovered_cells_rejected_at_result_time(self):
+        trace, config, _, outcomes = self.setup_run()
+        merge = StreamingMerge(trace, config, kind="kernel")
+        merge.add(outcomes[0])
+        with pytest.raises(ResultIntegrityError, match="never covered"):
+            merge.result()
+
+    def test_zero_outcomes_rejected(self):
+        trace, config = small_trace(), teg_original()
+        with pytest.raises(ConfigurationError, match="zero shard"):
+            StreamingMerge(trace, config, kind="kernel").result()
+        with pytest.raises(ConfigurationError, match="zero shard"):
+            merge_shard_outcomes(trace, config, [])
+
+    def test_unknown_kind_rejected(self):
+        trace, config = small_trace(), teg_original()
+        with pytest.raises(ConfigurationError, match="kind"):
+            StreamingMerge(trace, config, kind="speculative")
+
+    def test_phase_timings_aggregate_across_shards(self):
+        trace, config, specs, outcomes = self.setup_run()
+        merge = StreamingMerge(trace, config, kind="kernel")
+        for outcome in outcomes:
+            assert outcome.timings is not None
+            merge.add(outcome)
+        merge.result()
+        timings = merge.timings
+        assert timings is not None
+        for phase in ("decide_s", "evaluate_s", "reduce_s"):
+            total = sum(getattr(o.timings, phase) for o in outcomes)
+            assert getattr(timings, phase) == pytest.approx(total)
+        assert timings.fold_s > 0.0
+        assert merge.cache_hits + merge.cache_misses > 0
+
+
+class TestResolveShardAutotune:
+    def test_explicit_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv(SHARD_AUTOTUNE_ENV_VAR, "on")
+        assert resolve_shard_autotune(False) is False
+        monkeypatch.setenv(SHARD_AUTOTUNE_ENV_VAR, "off")
+        assert resolve_shard_autotune(True) is True
+
+    def test_environment_words(self, monkeypatch):
+        for word, expected in (("1", True), ("true", True),
+                               ("YES", True), ("on", True),
+                               ("0", False), ("false", False),
+                               ("no", False), ("OFF", False),
+                               ("", False)):
+            monkeypatch.setenv(SHARD_AUTOTUNE_ENV_VAR, word)
+            assert resolve_shard_autotune(None) is expected
+        monkeypatch.delenv(SHARD_AUTOTUNE_ENV_VAR)
+        assert resolve_shard_autotune(None) is False
+
+    def test_garbage_rejected_naming_the_variable(self, monkeypatch):
+        monkeypatch.setenv(SHARD_AUTOTUNE_ENV_VAR, "sometimes")
+        with pytest.raises(ConfigurationError,
+                           match=SHARD_AUTOTUNE_ENV_VAR):
+            resolve_shard_autotune(None)
+
+
+class TestShardAutotune:
+    """Throughput-driven shard coarsening must never change the result."""
+
+    def run_sharded(self, trace, autotune):
+        engine = BatchSimulationEngine(
+            n_workers=2, prefer="thread", shard=True,
+            shard_servers=20, shard_steps=6, shard_autotune=autotune)
+        batch = engine.run([SimulationJob(trace, teg_original())])
+        assert batch.ok
+        return batch.results[0]
+
+    def test_autotuned_run_is_bit_identical(self):
+        trace = small_trace(n_servers=80, steps=48)
+        planned = len(plan_shards(48, 80,
+                                  teg_original().circulation_size,
+                                  shard_servers=20, shard_steps=6))
+        reference = simulate(trace, teg_original(), mode="kernel")
+        tuned = self.run_sharded(trace, autotune=True)
+        assert tuned.records == reference.records
+        assert tuned.violations == reference.violations
+        # The re-plan may coarsen (fewer shards) but never refine.
+        assert 1 <= tuned.metrics.n_shards <= planned
+
+    def test_autotune_off_executes_the_planned_tiling(self):
+        trace = small_trace(n_servers=80, steps=48)
+        planned = len(plan_shards(48, 80,
+                                  teg_original().circulation_size,
+                                  shard_servers=20, shard_steps=6))
+        fixed = self.run_sharded(trace, autotune=False)
+        assert fixed.metrics.n_shards == planned
+
+
+class TestZeroCopyColumns:
+    """Worker-published plane tiles must merge exactly like fat outcomes."""
+
+    def test_published_and_fat_outcomes_mix_bit_identically(self):
+        from multiprocessing import shared_memory
+
+        trace, config = small_trace(), teg_original()
+        reference = simulate(trace, config, mode="kernel")
+        specs = plan_shards(trace.n_steps, trace.n_servers,
+                            config.circulation_size,
+                            shard_servers=20, shard_steps=8)
+        outcomes = sharded_outcomes(trace, config, specs)
+        n_circs = -(-trace.n_servers // config.circulation_size)
+        shape = (len(COLUMN_PLANES), trace.n_steps, n_circs)
+        block = shared_memory.SharedMemory(
+            create=True, size=int(np.prod(shape)) * 8)
+        try:
+            planes = np.ndarray(shape, dtype=np.float64, buffer=block.buf)
+            ref = ShardColumnRef(shm_name=block.name,
+                                 n_steps=trace.n_steps, n_circs=n_circs)
+            assert ref.shape == shape
+            # Publish every other outcome through the worker path; the
+            # rest stay fat (the thread-pool / resume shape).  Both
+            # kinds must mix freely within one merge.
+            for outcome in outcomes[::2]:
+                _publish_columns(ref, outcome)
+                assert outcome.columns is None
+                assert outcome.sizes is not None
+                assert outcome.violation_counts is not None
+            merge = StreamingMerge(trace, config, kind="kernel",
+                                   plane_block=planes)
+            for outcome in outcomes:
+                merge.add(outcome)
+            result = merge.result()
+            assert result.records == reference.records
+            assert result.violations == reference.violations
+            merge.release_planes()
+            del planes
+        finally:
+            entry = _WORKER_COLUMN_BLOCKS.pop(block.name, None)
+            if entry is not None:
+                entry[0].close()
+            block.close()
+            block.unlink()
+
+    def test_attached_block_is_cached_and_swaps_per_job(self):
+        from multiprocessing import shared_memory
+
+        shape = (len(COLUMN_PLANES), 4, 2)
+        blocks = [shared_memory.SharedMemory(
+            create=True, size=int(np.prod(shape)) * 8) for _ in range(2)]
+        try:
+            refs = [ShardColumnRef(shm_name=b.name, n_steps=4, n_circs=2)
+                    for b in blocks]
+            first = _column_block(refs[0])
+            assert _column_block(refs[0]) is first
+            assert blocks[0].name in _WORKER_COLUMN_BLOCKS
+            # Attaching the next job's block unmaps the previous one:
+            # worker memory stays bounded at one block.
+            _column_block(refs[1])
+            assert blocks[0].name not in _WORKER_COLUMN_BLOCKS
+            assert blocks[1].name in _WORKER_COLUMN_BLOCKS
+        finally:
+            for b in blocks:
+                entry = _WORKER_COLUMN_BLOCKS.pop(b.name, None)
+                if entry is not None:
+                    entry[0].close()
+                b.close()
+                b.unlink()
+
+    def test_plane_block_shape_validated(self):
+        trace, config = small_trace(), teg_original()
+        with pytest.raises(ConfigurationError, match="plane block"):
+            StreamingMerge(trace, config, kind="kernel",
+                           plane_block=np.empty((1, 2, 3)))
+
+    def test_slimmed_outcome_without_summaries_rejected(self):
+        trace, config = small_trace(), teg_original()
+        specs = plan_shards(trace.n_steps, trace.n_servers,
+                            config.circulation_size, shard_steps=8)
+        outcome = sharded_outcomes(trace, config, specs[:1])[0]
+        outcome.columns = None  # neither columns nor published planes
+        merge = StreamingMerge(trace, config, kind="kernel")
+        with pytest.raises(ConfigurationError, match="neither columns"):
+            merge.add(outcome)
