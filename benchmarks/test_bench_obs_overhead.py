@@ -28,7 +28,8 @@ from pathlib import Path
 
 import pytest
 
-from test_bench_engine import measure_kernel_throughput
+from test_bench_engine import (KERNEL_TRACE_KWARGS,
+                               measure_kernel_throughput)
 
 from bench_utils import print_table
 
@@ -42,6 +43,11 @@ DISABLED_TOLERANCE = 0.03
 #: throughput (same-run comparison; generous because the pinned
 #: scenario is short enough that session setup is visible).
 ENABLED_MAX_OVERHEAD = 0.25
+
+#: The live scrape endpoint is an idle ``select``-looping thread when
+#: nobody scrapes; attaching it may cost at most this fraction of
+#: labelled-telemetry batch throughput (same-run, best-of-rounds).
+LIVE_ENDPOINT_MAX_OVERHEAD = 0.10
 
 
 @pytest.mark.benchmark
@@ -82,3 +88,68 @@ def test_bench_telemetry_overhead(benchmark):
     assert enabled_overhead <= ENABLED_MAX_OVERHEAD, (
         f"enabled telemetry costs {enabled_overhead:.1%} of kernel "
         f"throughput; budget is {ENABLED_MAX_OVERHEAD:.0%}")
+
+
+def measure_live_endpoint_overhead(rounds: int = 3) -> dict:
+    """Labelled-telemetry batch throughput, endpoint off vs attached.
+
+    Both variants run the pinned kernel scenario through the engine
+    with telemetry on — the sessions record fully labelled
+    (scheme/trace) series — differing only in whether a live scrape
+    endpoint is bound.  Records are asserted identical so the endpoint
+    can never look cheap by perturbing the work, and the labelled
+    series are asserted present so the measurement cannot silently
+    regress to bare names.
+    """
+    from repro.core.config import teg_original
+    from repro.core.engine import BatchSimulationEngine, SimulationJob
+    from repro.obs import series_family
+    from repro.workloads.synthetic import common_trace
+
+    trace = common_trace(**KERNEL_TRACE_KWARGS)
+    measured: dict[str, float] = {}
+    batches: dict[str, object] = {}
+    for name, extra in (("labelled", {}), ("labelled+live",
+                                           {"metrics_port": 0})):
+        best = None
+        with BatchSimulationEngine(n_workers=1, prefer="serial",
+                                   mode="kernel", telemetry=True,
+                                   **extra) as engine:
+            for _ in range(rounds):
+                batch = engine.run([SimulationJob(trace=trace,
+                                                  config=teg_original())])
+                wall = batch.metrics.wall_time_s
+                best = wall if best is None else min(best, wall)
+                batches[name] = batch
+        measured[name] = trace.n_steps / best
+    assert (batches["labelled"].results[0].records
+            == batches["labelled+live"].results[0].records)
+    counters = (batches["labelled+live"].telemetry.registry
+                .snapshot().counters)
+    labelled = [key for key in counters
+                if "{" in key and series_family(key) == "sim.runs"]
+    assert labelled, "expected labelled sim.runs series in the batch"
+    return {
+        "labelled_steps_per_s": round(measured["labelled"], 1),
+        "live_steps_per_s": round(measured["labelled+live"], 1),
+        "live_overhead": round(
+            1.0 - measured["labelled+live"] / measured["labelled"], 4),
+    }
+
+
+@pytest.mark.benchmark
+def test_bench_live_endpoint_overhead(benchmark):
+    report = benchmark.pedantic(measure_live_endpoint_overhead,
+                                rounds=1, iterations=1)
+    print_table(
+        "Live endpoint overhead — 1,000-step trace, 200 servers",
+        ["variant", "steps/s", "vs labelled"],
+        [
+            ["labelled telemetry", report["labelled_steps_per_s"], 1.0],
+            ["labelled + live endpoint", report["live_steps_per_s"],
+             1.0 - report["live_overhead"]],
+        ])
+    assert report["live_overhead"] <= LIVE_ENDPOINT_MAX_OVERHEAD, (
+        f"attaching the live endpoint costs "
+        f"{report['live_overhead']:.1%} of labelled-telemetry batch "
+        f"throughput; budget is {LIVE_ENDPOINT_MAX_OVERHEAD:.0%}")

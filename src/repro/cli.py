@@ -150,6 +150,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="enable telemetry and print the "
                             "hierarchical span-timing tree after the "
                             "batch")
+    batch.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve live GET /metrics (Prometheus text) "
+                            "and GET /healthz on 127.0.0.1:PORT while "
+                            "the batch runs (0 picks an ephemeral "
+                            "port; default: REPRO_METRICS_PORT or "
+                            "off); implies telemetry")
     batch.set_defaults(handler=_cmd_batch)
 
     design = subparsers.add_parser(
@@ -189,8 +196,19 @@ def _build_parser() -> argparse.ArgumentParser:
     reuse.set_defaults(handler=_cmd_reuse)
 
     audit = subparsers.add_parser(
-        "audit", help="run the physical-consistency self-audits")
+        "audit", help="run the physical-consistency self-audits, or "
+                      "diff two run manifests with --manifest")
     audit.add_argument("--servers", type=int, default=60)
+    audit.add_argument("--manifest", nargs=2, default=None,
+                       metavar=("A", "B"),
+                       help="compare two manifest.json files: metric "
+                            "totals (relative-tolerance aware) and "
+                            "span-tree structure; exit 1 on drift")
+    audit.add_argument("--tolerance", type=float, default=1e-6,
+                       metavar="REL",
+                       help="relative tolerance for float metric "
+                            "comparisons in --manifest mode "
+                            "(default: 1e-6)")
     audit.set_defaults(handler=_cmd_audit)
 
     experiment = subparsers.add_parser(
@@ -259,18 +277,19 @@ def _cmd_simulate(args: argparse.Namespace, reporter: Reporter) -> int:
 def _cmd_batch(args: argparse.Namespace, reporter: Reporter) -> int:
     from . import obs
     from .core.config import teg_loadbalance, teg_original, teg_static
-    from .core.engine import SimulationJob, run_batch
+    from .core.engine import BatchSimulationEngine, SimulationJob
     from .core.simulator import DatacenterSimulator
     from .errors import ConfigurationError
     from .faults import FaultSchedule
     from .workloads.synthetic import trace_by_name
 
     # Env validation happens up front: a malformed REPRO_TELEMETRY /
-    # REPRO_TELEMETRY_DIR raises ConfigurationError naming the variable
-    # before any job runs.
+    # REPRO_TELEMETRY_DIR / REPRO_METRICS_PORT raises
+    # ConfigurationError naming the variable before any job runs.
     telemetry_dir = obs.resolve_telemetry_dir(args.telemetry)
+    metrics_port = obs.resolve_metrics_port(args.metrics_port)
     telemetry_on = (telemetry_dir is not None or args.trace_spans
-                    or obs.telemetry_enabled())
+                    or metrics_port is not None or obs.telemetry_enabled())
 
     schedule = None
     if args.faults is not None:
@@ -286,19 +305,33 @@ def _cmd_batch(args: argparse.Namespace, reporter: Reporter) -> int:
             for trace in traces for scheme in args.schemes]
     if args.resume and args.checkpoint is None:
         raise ConfigurationError("--resume requires --checkpoint DIR")
-    batch = run_batch(jobs, args.workers, mode=args.mode,
-                      prefer=args.prefer,
-                      max_retries=args.max_retries,
-                      job_timeout_s=args.timeout,
-                      telemetry=telemetry_on,
-                      shard=args.shard,
-                      shard_servers=args.shard_servers,
-                      shard_steps=args.shard_steps,
-                      shard_straggler_s=args.shard_straggler,
-                      shard_autotune=args.shard_autotune,
-                      checkpoint=args.checkpoint,
-                      resume=args.resume,
-                      cache=args.cache)
+    engine = BatchSimulationEngine(args.workers, mode=args.mode,
+                                   prefer=args.prefer,
+                                   max_retries=args.max_retries,
+                                   job_timeout_s=args.timeout,
+                                   telemetry=telemetry_on,
+                                   shard=args.shard,
+                                   shard_servers=args.shard_servers,
+                                   shard_steps=args.shard_steps,
+                                   shard_straggler_s=args.shard_straggler,
+                                   shard_autotune=args.shard_autotune,
+                                   checkpoint=args.checkpoint,
+                                   resume=args.resume,
+                                   cache=args.cache,
+                                   metrics_port=metrics_port)
+    try:
+        if engine.metrics_address is not None:
+            # Printed before the run so scrapers can attach mid-flight
+            # (the port may have been resolved from an ephemeral 0).
+            reporter.info(f"live metrics: {engine.metrics_address}/metrics "
+                          f"(health: {engine.metrics_address}/healthz)")
+            reporter.result("metrics_url", engine.metrics_address)
+            # Scrapers attach by parsing this line from a pipe: push it
+            # through block buffering before the (long) run starts.
+            reporter.stream.flush()
+        batch = engine.run(jobs)
+    finally:
+        engine.close()
     reporter.info(f"{'scheme':<16} {'trace':<10} {'avg W':>7} {'PRE':>7} "
                   f"{'steps/s':>8} {'cache':>6}")
     for result in batch.results:
@@ -499,6 +532,9 @@ def _cmd_reuse(args: argparse.Namespace, reporter: Reporter) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace, reporter: Reporter) -> int:
+    if args.manifest is not None:
+        return _audit_manifests(args, reporter)
+
     import numpy as np
 
     from .cooling.loop import WaterCirculation
@@ -526,6 +562,30 @@ def _cmd_audit(args: argparse.Namespace, reporter: Reporter) -> int:
         reporter.info(str(report))
     reporter.result("audits_ok", bool(all(report.ok for report in reports)))
     return 0 if all(report.ok for report in reports) else 1
+
+
+def _audit_manifests(args: argparse.Namespace, reporter: Reporter) -> int:
+    """``h2p audit --manifest A B``: diff two run manifests.
+
+    Compares metric totals (relative-tolerance aware) and span-tree
+    structure; timing fields are ignored by construction.  Exit code 1
+    exactly when any drift beyond tolerance is found.
+    """
+    from . import obs
+    from .errors import ConfigurationError
+
+    path_a, path_b = args.manifest
+    if args.tolerance < 0:
+        raise ConfigurationError(
+            f"--tolerance must be non-negative, got {args.tolerance}")
+    diff = obs.diff_manifests(obs.load_manifest(path_a),
+                              obs.load_manifest(path_b),
+                              rel_tol=args.tolerance,
+                              name_a=path_a, name_b=path_b)
+    for line in diff.describe().splitlines():
+        (reporter.info if diff.ok else reporter.error)(line)
+    reporter.result("audit", diff.to_dict())
+    return 0 if diff.ok else 1
 
 
 def _cmd_hotspot(args: argparse.Namespace, reporter: Reporter) -> int:

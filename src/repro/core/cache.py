@@ -600,13 +600,16 @@ class ResultCache:
         except Exception:
             path.unlink(missing_ok=True)
             self.stats.corrupt += 1
-            obs.add("engine.cache.corrupt", 1)
+            obs.add("engine.cache.corrupt", 1,
+                    labels={"scheme": key.scheme,
+                            "trace": key.trace_name})
             obs.emit("engine.cache.corrupt", scheme=key.scheme,
                      trace=key.trace_name, path=path.name)
             self._miss(key)
             return None
         self.stats.hits += 1
-        obs.add("engine.cache.hit", 1)
+        obs.add("engine.cache.hit", 1,
+                labels={"scheme": key.scheme, "trace": key.trace_name})
         obs.emit("engine.cache.hit", scheme=key.scheme,
                  trace=key.trace_name, key=key.short)
         try:
@@ -619,7 +622,8 @@ class ResultCache:
 
     def _miss(self, key: RunKey) -> None:
         self.stats.misses += 1
-        obs.add("engine.cache.miss", 1)
+        obs.add("engine.cache.miss", 1,
+                labels={"scheme": key.scheme, "trace": key.trace_name})
         obs.emit("engine.cache.miss", scheme=key.scheme,
                  trace=key.trace_name, key=key.short)
 
@@ -628,7 +632,8 @@ class ResultCache:
         data = _encode_result(key, result)
         _atomic_write(self.path_for(key), data)
         self.stats.stores += 1
-        obs.add("engine.cache.store", 1)
+        obs.add("engine.cache.store", 1,
+                labels={"scheme": key.scheme, "trace": key.trace_name})
         obs.emit("engine.cache.store", scheme=key.scheme,
                  trace=key.trace_name, key=key.short, bytes=len(data))
         self._evict()

@@ -675,9 +675,11 @@ def simulate(trace: WorkloadTrace, config: SimulationConfig,
         if local is not None:
             # Deltas, not absolutes: the cache may be shared across
             # calls, and batch aggregation must sum per-job work only.
-            obs.add("engine.cache.hits", cache.stats.hits - hits_before)
+            labels = {"scheme": config.name, "trace": trace.name}
+            obs.add("engine.cache.hits", cache.stats.hits - hits_before,
+                    labels=labels)
             obs.add("engine.cache.misses",
-                    cache.stats.misses - misses_before)
+                    cache.stats.misses - misses_before, labels=labels)
     step_time = finished - setup_done
     result.metrics = EngineMetrics(
         setup_time_s=setup_done - started,
@@ -1550,7 +1552,8 @@ class BatchSimulationEngine:
                  shard_autotune: bool | None = None,
                  checkpoint: "str | os.PathLike | None" = None,
                  resume: bool = True,
-                 cache=None) -> None:
+                 cache=None,
+                 metrics_port: int | None = None) -> None:
         if prefer not in ("process", "thread", "serial"):
             raise ConfigurationError(
                 f"prefer must be 'process', 'thread' or 'serial', "
@@ -1597,7 +1600,19 @@ class BatchSimulationEngine:
         # Resolved once up front (explicit > REPRO_TELEMETRY > off) so a
         # malformed environment fails here, not inside a worker, and all
         # executors agree on whether jobs record.
+        self.metrics_port = obs.resolve_metrics_port(metrics_port)
+        if self.metrics_port is not None and telemetry is None:
+            # A scrape endpoint without a session would serve nothing.
+            telemetry = True
         self.telemetry = obs.telemetry_enabled(telemetry)
+        #: Live scrape endpoint (``/metrics`` + ``/healthz``).  Bound
+        #: eagerly so callers can report the resolved address before the
+        #: first run; each ``run()`` re-binds it to that run's session.
+        self._health = obs.RunHealth()
+        self._live_server = (obs.LiveTelemetryServer(port=self.metrics_port)
+                             if self.metrics_port is not None else None)
+        if self._live_server is not None:
+            self._live_server.bind(None, self._health)
         # Same treatment for the result cache (explicit > REPRO_CACHE):
         # workers receive the resolved directory, never the env.
         self.result_cache = resolve_result_cache(cache)
@@ -1615,12 +1630,21 @@ class BatchSimulationEngine:
 
     # -- lifetime ------------------------------------------------------
 
+    @property
+    def metrics_address(self) -> str | None:
+        """``http://host:port`` of the live scrape endpoint (or None)."""
+        return (self._live_server.url
+                if self._live_server is not None else None)
+
     def close(self) -> None:
         """Release the persistent executor and shared trace segments.
 
         Idempotent; the engine degrades to creating a fresh pool if it
         is (unusually) run again after closing.
         """
+        if self._live_server is not None:
+            self._live_server.close()
+            self._live_server = None
         self._drop_executor(wait=True)
         self._shared_traces.close()
         self._finalizer.detach()
@@ -1674,13 +1698,13 @@ class BatchSimulationEngine:
         if self.retry_backoff_s > 0:
             time.sleep(self.retry_backoff_s * 2 ** (attempts - 1))
 
-    @staticmethod
-    def _emit_job_event(kind: str, state: _JobState,
+    def _emit_job_event(self, kind: str, state: _JobState,
                         exc: BaseException | None = None) -> None:
         """Record one job lifecycle event into the batch session.
 
         Called on the coordinating thread only, where the batch-level
         session (if any) is installed; a no-op with telemetry off.
+        Terminal failure kinds also advance the ``/healthz`` progress.
         """
         data = {"scheme": state.job.config.name,
                 "trace": state.job.trace.name,
@@ -1688,6 +1712,8 @@ class BatchSimulationEngine:
         if exc is not None:
             data["error_type"] = type(exc).__name__
             data["error"] = str(exc)
+        if kind in ("job.failed", "job.timeout"):
+            self._health.job_done(failed=True)
         obs.emit(kind, **data)
 
     def _payload(self, job: SimulationJob) -> _JobPayload:
@@ -1775,6 +1801,7 @@ class BatchSimulationEngine:
                 if result.metrics is not None:
                     result.metrics.retries = state.retries
                 results[index] = result
+                self._health.job_done()
                 break
         return results, failures, stats
 
@@ -1880,6 +1907,7 @@ class BatchSimulationEngine:
                     if result.metrics is not None:
                         result.metrics.retries = state.retries
                     results[index] = result
+                    self._health.job_done()
             if timeout_s is None:
                 continue
             now = time.perf_counter()
@@ -1921,6 +1949,7 @@ class BatchSimulationEngine:
                 if payload.metrics is not None:
                     payload.metrics.retries = state.retries
                 results[state.index] = payload
+                self._health.job_done()
                 return
             if verdict == "timeout":
                 stats["timeouts"] += 1
@@ -2166,13 +2195,19 @@ class BatchSimulationEngine:
 
         started = time.perf_counter()
         has_faults = job.faults is not None and len(job.faults) > 0
+        job_labels = {"scheme": job.config.name, "trace": job.trace.name}
         obs.emit("shard.dispatch", scheme=job.config.name,
                  trace=job.trace.name, shards=len(specs),
                  executor="sequential" if has_faults else kind)
-        obs.add("engine.shards.dispatched", len(specs))
+        obs.add("engine.shards.dispatched", len(specs), labels=job_labels)
+        # With a live scrape endpoint attached, fold shard telemetry
+        # straight into the batch session as each shard lands, so a
+        # mid-run GET /metrics sees repro_shard_* series accumulate.
+        live_sink = obs.current() if self._live_server is not None else None
 
         if has_faults:
-            merge = StreamingMerge(job.trace, job.config, kind="fault")
+            merge = StreamingMerge(job.trace, job.config, kind="fault",
+                                   telemetry_sink=live_sink)
             shared = CoolingDecisionCache(resolution=self.cache_resolution)
             policy = None
             for spec in specs:
@@ -2188,6 +2223,7 @@ class BatchSimulationEngine:
                     if outcome.policy is not None:
                         policy = outcome.policy
                     merge.add(outcome)
+                    self._health.shard_done()
                     continue
                 tile = job.trace.window(spec.step_start, spec.step_stop,
                                         spec.server_start,
@@ -2213,6 +2249,7 @@ class BatchSimulationEngine:
                     store.save_shard(spec.index, outcome,
                                      cache_store=dict(shared._store))
                 merge.add(outcome)
+                self._health.shard_done()
             return self._finish_sharded(job, merge, started, store=store)
 
         # Zero-copy column return: workers write plane tiles into one
@@ -2240,7 +2277,8 @@ class BatchSimulationEngine:
                                             n_steps=n_steps,
                                             n_circs=n_circs)
         merge = StreamingMerge(job.trace, job.config, kind="kernel",
-                               plane_block=block_planes)
+                               plane_block=block_planes,
+                               telemetry_sink=live_sink)
         del block_planes
         try:
             return self._drain_shards(job, specs, kind, workers, merge,
@@ -2268,6 +2306,7 @@ class BatchSimulationEngine:
                 saved = store.load_shard(spec.index)
                 if saved is not None:
                     merge.add(saved["outcome"])
+                    self._health.shard_done()
                     done[spec.index] = True
         missing = [index for index in range(len(specs))
                    if not done[index]]
@@ -2295,8 +2334,13 @@ class BatchSimulationEngine:
 
         if (self.shard_autotune and store is None and len(specs) > 1
                 and len(missing) == len(specs)):
+            planned = len(specs)
             specs = self._autotune_shards(job, specs, merge, run_local,
                                           workers)
+            # The probe already folded one tile; re-base /healthz on
+            # the replanned denominator.
+            self._health.add_shards(1 + len(specs) - planned)
+            self._health.shard_done()
             done = [False] * len(specs)
             missing = list(range(len(specs)))
             if not missing:
@@ -2372,6 +2416,7 @@ class BatchSimulationEngine:
                                 if store is not None:
                                     store.save_shard(index, outcome)
                                 merge.add(outcome)
+                                self._health.shard_done()
                                 for twin, twin_index in list(
                                         futures.items()):
                                     if twin_index == index:
@@ -2393,7 +2438,10 @@ class BatchSimulationEngine:
                             # retried, but a systematically slow shard
                             # must not fork-bomb the pool.
                             speculated.add(index)
-                            obs.add("engine.shards.speculated", 1)
+                            obs.add("engine.shards.speculated", 1,
+                                    labels={"scheme": job.config.name,
+                                            "trace": job.trace.name})
+                            self._health.straggler()
                             obs.emit(
                                 "shard.straggler",
                                 scheme=job.config.name,
@@ -2419,6 +2467,7 @@ class BatchSimulationEngine:
                 if store is not None:
                     store.save_shard(index, outcome)
                 merge.add(outcome)
+                self._health.shard_done()
         return self._finish_sharded(job, merge, started, store=store)
 
     def _autotune_shards(self, job: SimulationJob, specs, merge,
@@ -2525,7 +2574,9 @@ class BatchSimulationEngine:
             n_shards=merge.n_added,
             shards_resumed=resumed,
         )
-        obs.add("engine.shards.completed", merge.n_added)
+        obs.add("engine.shards.completed", merge.n_added,
+                labels={"scheme": job.config.name,
+                        "trace": job.trace.name})
         obs.emit("shard.merge", scheme=job.config.name,
                  trace=job.trace.name, shards=merge.n_added,
                  resumed=resumed, wall_time_s=round(wall, 4))
@@ -2554,11 +2605,20 @@ class BatchSimulationEngine:
                     f"jobs must be SimulationJob instances, got "
                     f"{type(job).__name__}")
         batch_telemetry = obs.Telemetry() if self.telemetry else None
+        if self._live_server is not None:
+            # Point the scrape endpoint at this run's live session so a
+            # mid-run GET /metrics sees counters as they accumulate.
+            self._live_server.bind(batch_telemetry, self._health)
         context = (obs.session(batch_telemetry)
                    if batch_telemetry is not None else nullcontext())
-        with context:
-            with obs.span("engine.batch"):
-                batch = self._run_validated(jobs, batch_telemetry)
+        try:
+            with context:
+                with obs.span("engine.batch"):
+                    batch = self._run_validated(jobs, batch_telemetry)
+        except BaseException:
+            self._health.finish("failed")
+            raise
+        self._health.finish()
         batch.telemetry = batch_telemetry
         return batch
 
@@ -2652,6 +2712,11 @@ class BatchSimulationEngine:
                   if index not in plans and index not in resumed_results
                   and index not in cache_results and index not in dup_of]
         n_units = len(normal) + total_shards
+        self._health.begin(jobs_total=len(jobs), shards_total=total_shards)
+        for _ in resumed_results:
+            self._health.job_done()
+        for _ in cache_results:
+            self._health.job_done()
         workers = resolve_workers(self.n_workers, n_units)
         timeout_s = resolve_job_timeout(self.job_timeout_s)
         obs.emit("batch.start", n_jobs=len(jobs), mode=self.mode,
@@ -2703,6 +2768,7 @@ class BatchSimulationEngine:
                 failures_map[index] = state.failed(exc)
                 self._emit_job_event("job.failed", state, exc)
             else:
+                self._health.job_done()
                 if index in cache_keys:
                     self.result_cache.store(cache_keys[index],
                                             results_map[index])
@@ -2713,8 +2779,10 @@ class BatchSimulationEngine:
             # same run.
             if rep in results_map:
                 results_map[index] = results_map[rep]
+                self._health.job_done()
             elif rep in failures_map:
                 failures_map[index] = failures_map[rep]
+                self._health.job_done(failed=True)
         wall = time.perf_counter() - started
         if executor == "serial":
             workers = 1
@@ -2808,15 +2876,31 @@ class BatchSimulationEngine:
                 # Serial/thread workers and the coordinator's sharded
                 # pre-checks already counted themselves through the
                 # live session; process workers could not.  Top the
-                # counters up to the authoritative BatchMetrics totals
-                # so the manifest always agrees with them.
-                for name, target in (
-                        ("engine.cache.hit", result_cache_hits),
-                        ("engine.cache.miss",
-                         max(0, cache_eligible - result_cache_hits))):
-                    counter = registry.counter(name)
-                    if target > counter.value:
-                        counter.inc(target - counter.value)
+                # labelled counters up to the authoritative BatchMetrics
+                # totals, per (scheme, trace) series, so the manifest
+                # always agrees with them.
+                per_key: dict[tuple[str, str], list[int]] = {}
+                for index, job in enumerate(jobs):
+                    if index in resumed_results or index in dup_of:
+                        continue
+                    if type(job.trace) is not WorkloadTrace:
+                        continue
+                    per_key.setdefault(
+                        (job.config.name, job.trace.name),
+                        []).append(index)
+                for (scheme, trace_name), indices in per_key.items():
+                    hits = sum(
+                        1 for index in indices
+                        if index in results_map
+                        and results_map[index].metrics is not None
+                        and results_map[index].metrics.result_cache_hit)
+                    labels = {"scheme": scheme, "trace": trace_name}
+                    for name, target in (
+                            ("engine.cache.hit", hits),
+                            ("engine.cache.miss", len(indices) - hits)):
+                        counter = registry.counter(name, labels)
+                        if target > counter.value:
+                            counter.inc(target - counter.value)
             obs.emit("batch.end", **batch.metrics.summary())
         return batch
 
@@ -2837,7 +2921,8 @@ def run_batch(jobs: Iterable[SimulationJob],
               shard_autotune: bool | None = None,
               checkpoint: "str | os.PathLike | None" = None,
               resume: bool = True,
-              cache=None) -> BatchResult:
+              cache=None,
+              metrics_port: int | None = None) -> BatchResult:
     """One-call convenience wrapper around :class:`BatchSimulationEngine`.
 
     The engine (and with it the persistent executor and any shared-memory
@@ -2859,7 +2944,8 @@ def run_batch(jobs: Iterable[SimulationJob],
                                    shard_autotune=shard_autotune,
                                    checkpoint=checkpoint,
                                    resume=resume,
-                                   cache=cache)
+                                   cache=cache,
+                                   metrics_port=metrics_port)
     try:
         return engine.run(jobs)
     finally:
@@ -2874,13 +2960,14 @@ def compare_batch(traces: Sequence[WorkloadTrace],
                   vectorised: bool = True,
                   mode: str | None = None,
                   prefer: str = "process",
-                  cache=None) -> BatchResult:
+                  cache=None,
+                  metrics_port: int | None = None) -> BatchResult:
     """Run the full cross product of ``traces`` x ``configs`` as one batch."""
     jobs = [SimulationJob(trace=trace, config=config, cpu_model=cpu_model,
                           teg_module=teg_module)
             for trace in traces for config in configs]
     return run_batch(jobs, n_workers, vectorised=vectorised, mode=mode,
-                     prefer=prefer, cache=cache)
+                     prefer=prefer, cache=cache, metrics_port=metrics_port)
 
 
 __all__ = [

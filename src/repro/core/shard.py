@@ -514,7 +514,9 @@ def run_shard(tile: WorkloadTrace, spec: ShardSpec,
     misses_before = cache.stats.misses
     with obs.session(local) if local is not None else nullcontext():
         with obs.span("engine.shard"):
-            obs.add("shard.cells", spec.n_cells)
+            obs.add("shard.cells", spec.n_cells,
+                    labels={"scheme": config.name, "trace": tile.name,
+                            "shard": str(spec.index)})
             try:
                 if faults is not None:
                     _run_fault_shard(tile, spec, shard_config, cpu_model,
@@ -546,8 +548,11 @@ def run_shard(tile: WorkloadTrace, spec: ShardSpec,
         outcome.cache_hits = cache.stats.hits - hits_before
         outcome.cache_misses = cache.stats.misses - misses_before
         if local is not None:
-            obs.add("engine.cache.hits", outcome.cache_hits)
-            obs.add("engine.cache.misses", outcome.cache_misses)
+            labels = {"scheme": config.name, "trace": tile.name}
+            obs.add("engine.cache.hits", outcome.cache_hits,
+                    labels=labels)
+            obs.add("engine.cache.misses", outcome.cache_misses,
+                    labels=labels)
     if local is not None:
         outcome.telemetry = local.snapshot()
     return outcome
@@ -771,7 +776,8 @@ class StreamingMerge:
 
     def __init__(self, trace: WorkloadTrace, config: SimulationConfig, *,
                  kind: str = "kernel", audit: bool = True,
-                 plane_block: np.ndarray | None = None) -> None:
+                 plane_block: np.ndarray | None = None,
+                 telemetry_sink: "obs.Telemetry | None" = None) -> None:
         if kind not in ("kernel", "fault"):
             raise ConfigurationError(
                 f"merge kind must be 'kernel' or 'fault', got {kind!r}")
@@ -788,7 +794,16 @@ class StreamingMerge:
         self.timings: KernelTimings | None = None
         self._fold_s = 0.0
         self._errors: list[ShardError] = []
-        self._telemetry: obs.Telemetry | None = None
+        #: Shard telemetry destination.  Private by default (snapshotted
+        #: into ``result.telemetry`` at the end); a caller-supplied
+        #: ``telemetry_sink`` — the live-scrape path — receives every
+        #: outcome's snapshot at fold time instead, so ``GET /metrics``
+        #: sees ``repro_shard_*`` series grow while shards are still in
+        #: flight.  With an external sink :meth:`telemetry_snapshot`
+        #: returns ``None``: the sink already owns the data and the
+        #: batch layer must not merge it a second time.
+        self._telemetry: obs.Telemetry | None = telemetry_sink
+        self._external_sink = telemetry_sink is not None
         n_steps, n_servers = trace.n_steps, trace.n_servers
         if kind == "kernel":
             n_circs = -(-n_servers // config.circulation_size)
@@ -825,7 +840,9 @@ class StreamingMerge:
             else:
                 self._fold_fault(outcome)
         self._fold_s += time.perf_counter() - clock
-        obs.add("engine.shards.folded", 1)
+        obs.add("engine.shards.folded", 1,
+                labels={"scheme": self.config.name,
+                        "trace": self.trace.name})
         self.n_added += 1
         self.cache_hits += outcome.cache_hits
         self.cache_misses += outcome.cache_misses
@@ -897,9 +914,15 @@ class StreamingMerge:
         self._planes = None
 
     def telemetry_snapshot(self):
-        """Merged telemetry of every added outcome (``None`` if none)."""
-        return (self._telemetry.snapshot()
-                if self._telemetry is not None else None)
+        """Merged telemetry of every added outcome (``None`` if none).
+
+        Also ``None`` when the merge folds into an external
+        ``telemetry_sink`` — the sink holds the live aggregate and a
+        snapshot here would double count it downstream.
+        """
+        if self._external_sink or self._telemetry is None:
+            return None
+        return self._telemetry.snapshot()
 
     def result(self) -> SimulationResult:
         """The merged whole-cluster result; every tile must have landed.
@@ -1029,6 +1052,7 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
                      faults: FaultSchedule | None = None,
                      cache_resolution: float = DEFAULT_CACHE_RESOLUTION,
                      telemetry: bool | None = None,
+                     metrics_port: int | None = None,
                      checkpoint: "str | os.PathLike | None" = None,
                      resume: bool = True,
                      result_cache=None) -> SimulationResult:
@@ -1055,8 +1079,19 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
     ``checkpoint`` — per-shard resume still applies — and stores the
     merged result for next time.  Warm-start snapshots accelerate the
     decision pre-pass either way.
+
+    ``metrics_port`` (explicit, else ``REPRO_METRICS_PORT``) attaches a
+    live scrape endpoint for the duration of the run: ``GET /metrics``
+    serves the labelled series of every shard folded so far and
+    ``GET /healthz`` reports shard progress.  Setting a port implies
+    telemetry on; the endpoint is strictly observational (records are
+    bit-identical with it attached or not) and is shut down before the
+    function returns.
     """
     started = time.perf_counter()
+    live_port = obs.resolve_metrics_port(metrics_port)
+    if live_port is not None and telemetry is None:
+        telemetry = True
     if trace.n_servers < config.circulation_size:
         # Same failure the unsharded simulator raises at construction;
         # sharding must not silently "fix" an invalid cluster.
@@ -1097,90 +1132,121 @@ def simulate_sharded(trace: WorkloadTrace, config: SimulationConfig,
             kind="fault" if has_faults else "kernel",
             resume=resume)
 
+    live_server = None
+    live_sink = None
+    health = None
+    if live_port is not None:
+        live_server = obs.LiveTelemetryServer(port=live_port)
+        health = obs.RunHealth()
+        health.begin(jobs_total=1, shards_total=len(specs))
+        if record:
+            # Shard outcomes fold straight into this session, so a
+            # mid-run scrape sees every completed shard's series.
+            live_sink = obs.Telemetry()
+        live_server.bind(live_sink, health)
     merge = StreamingMerge(trace, config,
-                           kind="fault" if has_faults else "kernel")
-    if has_faults:
-        # Sequential time windows sharing one cache and one policy:
-        # exactly the serial decision sequence (see the module note).
-        # A saved window restores both the outcome and the cache store
-        # its successor depends on, so resuming replays the identical
-        # sequence from the first missing window onward.
-        shared = CoolingDecisionCache(resolution=cache_resolution)
-        policy = None
-        for spec in specs:
-            saved = (store.load_shard(spec.index)
-                     if store is not None else None)
-            if saved is not None:
-                outcome = saved["outcome"]
-                if saved.get("cache_store") is not None:
-                    shared._store = dict(saved["cache_store"])
-                if outcome.policy is not None:
-                    policy = outcome.policy
+                           kind="fault" if has_faults else "kernel",
+                           telemetry_sink=live_sink)
+    try:
+        if has_faults:
+            # Sequential time windows sharing one cache and one policy:
+            # exactly the serial decision sequence (see the module note).
+            # A saved window restores both the outcome and the cache store
+            # its successor depends on, so resuming replays the identical
+            # sequence from the first missing window onward.
+            shared = CoolingDecisionCache(resolution=cache_resolution)
+            policy = None
+            for spec in specs:
+                saved = (store.load_shard(spec.index)
+                         if store is not None else None)
+                if saved is not None:
+                    outcome = saved["outcome"]
+                    if saved.get("cache_store") is not None:
+                        shared._store = dict(saved["cache_store"])
+                    if outcome.policy is not None:
+                        policy = outcome.policy
+                    merge.add(outcome)
+                    if health is not None:
+                        health.shard_done()
+                    continue
+                outcome = run_shard(
+                    trace.window(spec.step_start, spec.step_stop,
+                                 spec.server_start, spec.server_stop),
+                    spec, config, cpu_model, teg_module, faults=faults,
+                    cache_resolution=cache_resolution, cache=shared,
+                    policy=policy, telemetry=record)
+                policy = outcome.policy
+                if store is not None:
+                    store.save_shard(spec.index, outcome,
+                                     cache_store=dict(shared._store))
                 merge.add(outcome)
-                continue
-            outcome = run_shard(
-                trace.window(spec.step_start, spec.step_stop,
-                             spec.server_start, spec.server_stop),
-                spec, config, cpu_model, teg_module, faults=faults,
-                cache_resolution=cache_resolution, cache=shared,
-                policy=policy, telemetry=record)
-            policy = outcome.policy
-            if store is not None:
-                store.save_shard(spec.index, outcome,
-                                 cache_store=dict(shared._store))
-            merge.add(outcome)
-    else:
-        missing: list[ShardSpec] = []
-        for spec in specs:
-            saved = (store.load_shard(spec.index)
-                     if store is not None else None)
-            if saved is not None:
-                merge.add(saved["outcome"])
-            else:
-                missing.append(spec)
-        primed = None
-        if missing:
-            # The pre-pass is deterministic, so recomputing it on
-            # resume hands the remaining shards the same primed cache
-            # an uninterrupted run would have.  A warm-start snapshot
-            # (result cache) reproduces it without the full-plane pass.
-            primed = primed_or_warm(trace, config, cpu_model,
-                                    teg_module,
-                                    cache_resolution=cache_resolution,
-                                    result_cache=results_store)
-        for spec in missing:
-            outcome = run_shard(
-                trace.window(spec.step_start, spec.step_stop,
-                             spec.server_start, spec.server_stop),
-                spec, config, cpu_model, teg_module,
-                cache_resolution=cache_resolution,
-                cache=clone_cache(primed), telemetry=record)
-            if store is not None:
-                store.save_shard(spec.index, outcome)
-            merge.add(outcome)
-    result = merge.result()
-    wall = time.perf_counter() - started
-    cache_hits = merge.cache_hits
-    cache_misses = merge.cache_misses
-    lookups = cache_hits + cache_misses
-    result.metrics = EngineMetrics(
-        wall_time_s=wall,
-        step_time_s=wall,
-        n_steps=trace.n_steps,
-        steps_per_s=trace.n_steps / wall if wall > 0 else 0.0,
-        cache_hits=cache_hits,
-        cache_misses=cache_misses,
-        cache_hit_rate=cache_hits / lookups if lookups else 0.0,
-        mode="loop" if has_faults else "kernel",
-        vectorised=not has_faults,
-        kernel=merge.timings,
-        n_shards=len(specs),
-        shards_resumed=len(store.loaded) if store is not None else 0,
-    )
-    if record:
-        result.telemetry = merge.telemetry_snapshot()
-    if cache_key is not None:
-        results_store.store(cache_key, result)
+                if health is not None:
+                    health.shard_done()
+        else:
+            missing: list[ShardSpec] = []
+            for spec in specs:
+                saved = (store.load_shard(spec.index)
+                         if store is not None else None)
+                if saved is not None:
+                    merge.add(saved["outcome"])
+                    if health is not None:
+                        health.shard_done()
+                else:
+                    missing.append(spec)
+            primed = None
+            if missing:
+                # The pre-pass is deterministic, so recomputing it on
+                # resume hands the remaining shards the same primed cache
+                # an uninterrupted run would have.  A warm-start snapshot
+                # (result cache) reproduces it without the full-plane pass.
+                primed = primed_or_warm(trace, config, cpu_model,
+                                        teg_module,
+                                        cache_resolution=cache_resolution,
+                                        result_cache=results_store)
+            for spec in missing:
+                outcome = run_shard(
+                    trace.window(spec.step_start, spec.step_stop,
+                                 spec.server_start, spec.server_stop),
+                    spec, config, cpu_model, teg_module,
+                    cache_resolution=cache_resolution,
+                    cache=clone_cache(primed), telemetry=record)
+                if store is not None:
+                    store.save_shard(spec.index, outcome)
+                merge.add(outcome)
+                if health is not None:
+                    health.shard_done()
+        result = merge.result()
+        wall = time.perf_counter() - started
+        cache_hits = merge.cache_hits
+        cache_misses = merge.cache_misses
+        lookups = cache_hits + cache_misses
+        result.metrics = EngineMetrics(
+            wall_time_s=wall,
+            step_time_s=wall,
+            n_steps=trace.n_steps,
+            steps_per_s=trace.n_steps / wall if wall > 0 else 0.0,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            cache_hit_rate=cache_hits / lookups if lookups else 0.0,
+            mode="loop" if has_faults else "kernel",
+            vectorised=not has_faults,
+            kernel=merge.timings,
+            n_shards=len(specs),
+            shards_resumed=len(store.loaded) if store is not None else 0,
+        )
+        if record:
+            # With a live sink the merge holds no private session; the
+            # sink is private to this call, so its snapshot is exactly
+            # the per-run telemetry the non-live path would attach.
+            result.telemetry = (live_sink.snapshot() if live_sink
+                                is not None else merge.telemetry_snapshot())
+        if cache_key is not None:
+            results_store.store(cache_key, result)
+        if health is not None:
+            health.finish()
+    finally:
+        if live_server is not None:
+            live_server.close()
     return result
 
 

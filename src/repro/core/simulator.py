@@ -158,12 +158,15 @@ class DatacenterSimulator:
         """
         if obs.current() is None:
             return
-        obs.record_result(result)
+        obs.record_result(result,
+                          circulation_size=self.config.circulation_size)
         if self._fault_runtime is None:
             return
         duration_s = self.trace.n_steps * self.trace.interval_s
         activations = self._fault_runtime.activation_events(duration_s)
-        obs.add("faults.activations", len(activations))
+        obs.add("faults.activations", len(activations),
+                labels={"scheme": self.config.name,
+                        "trace": self.trace.name})
         for payload in activations:
             obs.emit("fault.activation", scheme=self.config.name,
                      trace=self.trace.name, **payload)

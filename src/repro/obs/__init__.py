@@ -27,15 +27,27 @@ unaffected when telemetry is off::
 
 from .events import Event, EventLog
 from .export import (
+    atomic_write_text,
+    prometheus_labels,
     prometheus_name,
     prometheus_text,
     render_span_tree,
     write_prometheus,
 )
+from .live import (
+    METRICS_PORT_ENV_VAR,
+    LiveTelemetryServer,
+    RunHealth,
+    resolve_metrics_port,
+)
 from .manifest import (
     MANIFEST_SCHEMA,
+    ManifestDiff,
     build_manifest,
+    counter_totals,
+    diff_manifests,
     git_revision,
+    load_manifest,
     write_run_artifacts,
 )
 from .metrics import (
@@ -46,6 +58,17 @@ from .metrics import (
     HistogramSnapshot,
     MetricsRegistry,
     MetricsSnapshot,
+    decode_series,
+    encode_series,
+    escape_label_value,
+    series_family,
+)
+from .otel import (
+    OTLP_ENDPOINT_ENV_VAR,
+    OtlpBridge,
+    otlp_available,
+    resolve_otlp_endpoint,
+    telemetry_to_otlp,
 )
 from .reporter import Reporter
 from .session import (
@@ -96,10 +119,29 @@ __all__ = [
     "telemetry_enabled",
     "resolve_telemetry_dir",
     "prometheus_name",
+    "prometheus_labels",
     "prometheus_text",
     "write_prometheus",
     "render_span_tree",
+    "atomic_write_text",
     "git_revision",
     "build_manifest",
     "write_run_artifacts",
+    "counter_totals",
+    "load_manifest",
+    "ManifestDiff",
+    "diff_manifests",
+    "encode_series",
+    "decode_series",
+    "series_family",
+    "escape_label_value",
+    "METRICS_PORT_ENV_VAR",
+    "LiveTelemetryServer",
+    "RunHealth",
+    "resolve_metrics_port",
+    "OTLP_ENDPOINT_ENV_VAR",
+    "OtlpBridge",
+    "otlp_available",
+    "resolve_otlp_endpoint",
+    "telemetry_to_otlp",
 ]

@@ -81,10 +81,14 @@ class EventLog:
                        for event in self._events)
 
     def write_jsonl(self, path: str | Path) -> Path:
-        """Write the log to ``path`` and return it."""
-        path = Path(path)
-        path.write_text(self.to_jsonl(), encoding="utf-8")
-        return path
+        """Atomically write the log to ``path`` and return it.
+
+        Uses the same write-fsync-rename discipline as the other run
+        artefacts so a crash mid-write never truncates the log.
+        """
+        from .export import atomic_write_text
+
+        return atomic_write_text(path, self.to_jsonl())
 
     @classmethod
     def from_jsonl(cls, text: str) -> "EventLog":

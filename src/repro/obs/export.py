@@ -8,16 +8,21 @@ itself; the run manifest is assembled in :mod:`repro.obs.manifest`.
 
 from __future__ import annotations
 
+import os
 import re
+import tempfile
 from pathlib import Path
 
-from .metrics import MetricsSnapshot
+from .metrics import (MetricsSnapshot, decode_series, escape_label_value,
+                      series_family)
 
 __all__ = [
     "prometheus_name",
+    "prometheus_labels",
     "prometheus_text",
     "write_prometheus",
     "render_span_tree",
+    "atomic_write_text",
 ]
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
@@ -27,9 +32,29 @@ def prometheus_name(name: str, suffix: str = "") -> str:
     """Map a dotted metric name onto the Prometheus grammar.
 
     ``engine.cache.hits`` -> ``repro_engine_cache_hits``; any character
-    outside ``[a-zA-Z0-9_:]`` becomes ``_``.
+    outside ``[a-zA-Z0-9_:]`` becomes ``_``.  ``name`` must be a bare
+    family name — labels are rendered separately (see
+    :func:`prometheus_labels`).
     """
     return "repro_" + _NAME_OK.sub("_", name) + suffix
+
+
+def prometheus_labels(labels: dict[str, str],
+                      extra: dict[str, str] | None = None) -> str:
+    """Render a label dict as a ``{k="v",...}`` block (or ``""``).
+
+    Values are escaped per the exposition format (backslash, quote,
+    newline); ``extra`` labels (e.g. ``le``) append after the sorted
+    series labels.
+    """
+    pairs = [(key, labels[key]) for key in sorted(labels)]
+    if extra:
+        pairs.extend(extra.items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{escape_label_value(value)}"'
+                    for key, value in pairs)
+    return "{" + body + "}"
 
 
 def _format_value(value: float) -> str:
@@ -38,43 +63,98 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _families(series: dict) -> dict[str, list[str]]:
+    """Group sorted series keys by family, families sorted by name."""
+    grouped: dict[str, list[str]] = {}
+    for key in sorted(series, key=lambda k: (series_family(k), k)):
+        grouped.setdefault(series_family(key), []).append(key)
+    return grouped
+
+
 def prometheus_text(snapshot: MetricsSnapshot) -> str:
     """Render a metrics snapshot in the Prometheus text exposition format.
 
     Counters gain the conventional ``_total`` suffix; histograms emit
     cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
-    The output is deterministic (sorted by metric name).
+    Labelled series render as ``metric{k="v"}`` with one ``# TYPE`` line
+    per family.  The output is deterministic (sorted by family, then by
+    series key).
     """
     lines: list[str] = []
-    for name in sorted(snapshot.counters):
+    for name, keys in _families(snapshot.counters).items():
         metric = prometheus_name(name, "_total")
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_format_value(snapshot.counters[name])}")
-    for name in sorted(snapshot.gauges):
+        for key in keys:
+            _, labels = decode_series(key)
+            lines.append(f"{metric}{prometheus_labels(labels)} "
+                         f"{_format_value(snapshot.counters[key])}")
+    for name, keys in _families(snapshot.gauges).items():
         metric = prometheus_name(name)
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_format_value(snapshot.gauges[name])}")
-    for name in sorted(snapshot.histograms):
-        hist = snapshot.histograms[name]
+        for key in keys:
+            _, labels = decode_series(key)
+            lines.append(f"{metric}{prometheus_labels(labels)} "
+                         f"{_format_value(snapshot.gauges[key])}")
+    for name, keys in _families(snapshot.histograms).items():
         metric = prometheus_name(name)
         lines.append(f"# TYPE {metric} histogram")
-        cumulative = 0
-        for bound, count in zip(hist.buckets, hist.counts):
-            cumulative += count
-            lines.append(
-                f'{metric}_bucket{{le="{_format_value(bound)}"}} '
-                f"{cumulative}")
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.total}')
-        lines.append(f"{metric}_sum {_format_value(hist.sum)}")
-        lines.append(f"{metric}_count {hist.total}")
+        for key in keys:
+            hist = snapshot.histograms[key]
+            _, labels = decode_series(key)
+            block = prometheus_labels(labels)
+            cumulative = 0
+            for bound, count in zip(hist.buckets, hist.counts):
+                cumulative += count
+                le = prometheus_labels(labels,
+                                       {"le": _format_value(bound)})
+                lines.append(f"{metric}_bucket{le} {cumulative}")
+            le = prometheus_labels(labels, {"le": "+Inf"})
+            lines.append(f"{metric}_bucket{le} {hist.total}")
+            lines.append(f"{metric}_sum{block} {_format_value(hist.sum)}")
+            lines.append(f"{metric}_count{block} {hist.total}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def write_prometheus(snapshot: MetricsSnapshot, path: str | Path) -> Path:
-    """Write the Prometheus rendering of ``snapshot`` to ``path``."""
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Durably replace ``path`` with ``text``: write-fsync-rename.
+
+    The same discipline the checkpoint store uses — the bytes go to a
+    temporary file in the target directory, are fsynced, then renamed
+    over the destination, and the directory entry is fsynced — so a
+    SIGKILL at any point leaves either the old artifact or the new one,
+    never a truncated hybrid.
+    """
     path = Path(path)
-    path.write_text(prometheus_text(snapshot), encoding="utf-8")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return path
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
     return path
+
+
+def write_prometheus(snapshot: MetricsSnapshot, path: str | Path) -> Path:
+    """Atomically write the Prometheus rendering of ``snapshot``."""
+    return atomic_write_text(path, prometheus_text(snapshot))
 
 
 def render_span_tree(tree: dict, indent: str = "  ") -> str:

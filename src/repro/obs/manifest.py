@@ -18,13 +18,16 @@ import platform
 import subprocess
 import sys
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
-from .export import write_prometheus
+from .export import atomic_write_text, write_prometheus
+from .metrics import series_family
 from .session import Telemetry
 
 __all__ = ["MANIFEST_SCHEMA", "git_revision", "build_manifest",
-           "write_run_artifacts"]
+           "write_run_artifacts", "counter_totals", "ManifestDiff",
+           "diff_manifests", "load_manifest"]
 
 #: Schema identifier stamped into every manifest (bump on breaking
 #: layout changes so auditing tools can dispatch).
@@ -126,12 +129,180 @@ def write_run_artifacts(directory: str | Path, telemetry: Telemetry, *,
                               extra=extra)
     manifest["artifacts"] = {"events": "events.jsonl",
                              "prometheus": "metrics.prom"}
-    manifest_path = directory / "manifest.json"
-    manifest_path.write_text(
-        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8")
+    manifest_path = atomic_write_text(
+        directory / "manifest.json",
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     events_path = telemetry.events.write_jsonl(directory / "events.jsonl")
     prom_path = write_prometheus(telemetry.registry.snapshot(),
                                  directory / "metrics.prom")
     return {"manifest": manifest_path, "events": events_path,
             "prometheus": prom_path}
+
+
+def counter_totals(series: dict[str, float]) -> dict[str, float]:
+    """Aggregate a counter series dict into per-family totals.
+
+    ``series`` is the ``manifest["metrics"]["counters"]`` shape: encoded
+    series keys (``name{k="v"}``) to values.  Labelled series of one
+    family sum — the JSON twin of the snapshot dicts' bare-name lookup.
+    """
+    totals: dict[str, float] = {}
+    for key, value in series.items():
+        family = series_family(key)
+        totals[family] = totals.get(family, 0.0) + float(value)
+    return totals
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Read one ``manifest.json``; raises ``ConfigurationError`` nicely."""
+    from ..errors import ConfigurationError
+
+    path = Path(path)
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read manifest {str(path)!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"manifest {str(path)!r} is not valid JSON: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ConfigurationError(
+            f"manifest {str(path)!r} does not hold a JSON object")
+    return manifest
+
+
+@dataclass
+class ManifestDiff:
+    """The outcome of comparing two run manifests.
+
+    ``drifts`` holds one entry per disagreement: metric series whose
+    values differ beyond tolerance, series present on only one side, and
+    span-tree nodes whose path or call count differ.  Wall/CPU times are
+    *never* compared — two correct runs differ in timing.
+    """
+
+    a: str
+    b: str
+    rel_tol: float
+    drifts: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifts
+
+    def to_dict(self) -> dict:
+        return {"a": self.a, "b": self.b, "rel_tol": self.rel_tol,
+                "ok": self.ok, "n_drifts": len(self.drifts),
+                "drifts": self.drifts}
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"manifests agree: {self.a} == {self.b} "
+                    f"(rel_tol={self.rel_tol:g})")
+        lines = [f"{len(self.drifts)} drift(s) between {self.a} "
+                 f"and {self.b} (rel_tol={self.rel_tol:g}):"]
+        for drift in self.drifts:
+            lines.append(f"  [{drift['kind']}] {drift['name']}: "
+                         f"{drift['detail']}")
+        return "\n".join(lines)
+
+
+def _close(a: float, b: float, rel_tol: float) -> bool:
+    return abs(a - b) <= max(1e-12, rel_tol * max(abs(a), abs(b)))
+
+
+def _span_shapes(tree: dict, prefix: str = "") -> dict[str, int]:
+    """Flatten a serialised span tree to ``path -> count``."""
+    shapes: dict[str, int] = {}
+    for name, node in (tree or {}).items():
+        path = f"{prefix}/{name}" if prefix else name
+        shapes[path] = int(node.get("count", 0))
+        shapes.update(_span_shapes(node.get("children", {}), path))
+    return shapes
+
+
+def diff_manifests(manifest_a: dict, manifest_b: dict, *,
+                   rel_tol: float = 1e-6,
+                   name_a: str = "A", name_b: str = "B") -> ManifestDiff:
+    """Compare two manifests' metric totals and span trees.
+
+    Metric values (counter/gauge values, histogram sums) compare with
+    relative tolerance ``rel_tol``; histogram bucket counts and totals,
+    and span call counts, compare exactly.  Series or span paths present
+    on only one side are drifts.  Timing (span wall/cpu, batch
+    durations) is ignored entirely, so two honest re-runs of the same
+    workload diff clean.
+    """
+    diff = ManifestDiff(a=name_a, b=name_b, rel_tol=rel_tol)
+    metrics_a = manifest_a.get("metrics") or {}
+    metrics_b = manifest_b.get("metrics") or {}
+
+    for kind in ("counters", "gauges"):
+        series_a = metrics_a.get(kind) or {}
+        series_b = metrics_b.get(kind) or {}
+        for key in sorted(set(series_a) | set(series_b)):
+            if key not in series_a or key not in series_b:
+                present, absent = ((name_a, name_b) if key in series_a
+                                   else (name_b, name_a))
+                value = series_a.get(key, series_b.get(key))
+                if kind == "counters" and _close(float(value), 0.0,
+                                                rel_tol):
+                    continue  # an absent counter is a zero counter
+                diff.drifts.append({
+                    "kind": kind[:-1], "name": key,
+                    "a": series_a.get(key), "b": series_b.get(key),
+                    "detail": f"only in {present} (={value!r}), "
+                              f"missing from {absent}"})
+            elif not _close(float(series_a[key]), float(series_b[key]),
+                            rel_tol):
+                diff.drifts.append({
+                    "kind": kind[:-1], "name": key,
+                    "a": series_a[key], "b": series_b[key],
+                    "detail": f"{series_a[key]!r} vs {series_b[key]!r}"})
+
+    hists_a = metrics_a.get("histograms") or {}
+    hists_b = metrics_b.get("histograms") or {}
+    for key in sorted(set(hists_a) | set(hists_b)):
+        if key not in hists_a or key not in hists_b:
+            present = name_a if key in hists_a else name_b
+            absent = name_b if key in hists_a else name_a
+            diff.drifts.append({
+                "kind": "histogram", "name": key,
+                "a": hists_a.get(key), "b": hists_b.get(key),
+                "detail": f"only in {present}, missing from {absent}"})
+            continue
+        ha, hb = hists_a[key], hists_b[key]
+        if list(ha.get("buckets", [])) != list(hb.get("buckets", [])):
+            detail = "bucket bounds differ"
+        elif list(ha.get("counts", [])) != list(hb.get("counts", [])):
+            detail = (f"bucket counts differ: {ha.get('counts')} vs "
+                      f"{hb.get('counts')}")
+        elif int(ha.get("total", 0)) != int(hb.get("total", 0)):
+            detail = (f"totals differ: {ha.get('total')} vs "
+                      f"{hb.get('total')}")
+        elif not _close(float(ha.get("sum", 0.0)),
+                        float(hb.get("sum", 0.0)), rel_tol):
+            detail = f"sums differ: {ha.get('sum')} vs {hb.get('sum')}"
+        else:
+            continue
+        diff.drifts.append({"kind": "histogram", "name": key,
+                            "a": ha, "b": hb, "detail": detail})
+
+    shapes_a = _span_shapes(manifest_a.get("spans") or {})
+    shapes_b = _span_shapes(manifest_b.get("spans") or {})
+    for path in sorted(set(shapes_a) | set(shapes_b)):
+        if path not in shapes_a or path not in shapes_b:
+            present = name_a if path in shapes_a else name_b
+            absent = name_b if path in shapes_a else name_a
+            diff.drifts.append({
+                "kind": "span", "name": path,
+                "a": shapes_a.get(path), "b": shapes_b.get(path),
+                "detail": f"only in {present}, missing from {absent}"})
+        elif shapes_a[path] != shapes_b[path]:
+            diff.drifts.append({
+                "kind": "span", "name": path,
+                "a": shapes_a[path], "b": shapes_b[path],
+                "detail": f"call counts differ: {shapes_a[path]} vs "
+                          f"{shapes_b[path]}"})
+    return diff

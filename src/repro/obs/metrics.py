@@ -5,8 +5,8 @@ Worker processes record into their own registry, snapshot it into a
 plain-data :class:`MetricsSnapshot`, and ship the snapshot back with the
 job result; the batch layer merges snapshots into its own registry with
 :meth:`MetricsRegistry.merge`.  Merge semantics are order-free so the
-aggregate is identical whichever executor (serial, thread, process) ran
-the jobs:
+aggregate is identical whichever executor (serial, thread, process,
+sharded) ran the jobs:
 
 * counters add;
 * gauges combine with ``max`` (the only order-free combiner that is
@@ -14,13 +14,24 @@ the jobs:
   marks);
 * histograms add per-bucket counts (buckets must match).
 
+Instruments optionally carry **labels** (``counter(name, labels={...})``).
+A labelled series is stored under an encoded key —
+``name{k="v",k2="v2"}`` with label names sorted and values escaped per
+the Prometheus exposition format — so snapshots stay plain string-keyed
+dicts and the merge algebra above applies per series unchanged.  Looking
+up a bare family name on a snapshot dict aggregates every series of that
+family (counters sum, gauges max, histograms merge), so pre-label
+consumers keep working.
+
 Nothing here imports beyond NumPy and the package's error types, and no
 instrument ever raises on the hot path once created.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
+from functools import reduce
 
 import numpy as np
 
@@ -34,12 +45,125 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "DEFAULT_TEG_POWER_BUCKETS_W",
+    "encode_series",
+    "decode_series",
+    "series_family",
+    "escape_label_value",
 ]
 
 #: Default bucket upper bounds for the per-CPU TEG power histogram
 #: (``teg.power_w``).  The paper's headline band is 3.7-4.2 W/CPU;
 #: the buckets bracket it with room for degraded and ZT-optimistic runs.
 DEFAULT_TEG_POWER_BUCKETS_W = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0)
+
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format reserves inside a quoted label value.
+    """
+    return (str(value)
+            .replace("\\", r"\\")
+            .replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
+
+def encode_series(name: str, labels: dict[str, object] | None = None) -> str:
+    """Encode ``(name, labels)`` into the canonical series key.
+
+    The key is the bare name when there are no labels, otherwise
+    ``name{k="v",...}`` with label names sorted so equal label sets
+    always produce the same key (merge stays order-free).
+    """
+    if "{" in name or "}" in name:
+        raise ConfigurationError(
+            f"metric name {name!r} must not contain braces")
+    if not labels:
+        return name
+    for key in labels:
+        if not _LABEL_NAME_RE.match(key):
+            raise ConfigurationError(
+                f"metric {name!r} label name {key!r} is not a valid "
+                f"Prometheus label name")
+    body = ",".join(f'{key}="{escape_label_value(labels[key])}"'
+                    for key in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+def decode_series(key: str) -> tuple[str, dict[str, str]]:
+    """Split an encoded series key back into ``(name, labels)``."""
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return key, {}
+    if not rest.endswith("}"):
+        raise ConfigurationError(f"malformed series key {key!r}")
+    labels = {m.group(1): _unescape_label_value(m.group(2))
+              for m in _LABEL_PAIR_RE.finditer(rest[:-1])}
+    return name, labels
+
+
+def series_family(key: str) -> str:
+    """The bare metric name an encoded series key belongs to."""
+    return key.partition("{")[0]
+
+
+class _SeriesDict(dict):
+    """Series-keyed dict with bare-name fallback aggregation.
+
+    Exact keys (including full ``name{...}`` series keys) behave like a
+    normal dict — ``in``, ``.get`` and iteration are untouched, so the
+    merge algebra stays per-series.  Indexing a *bare family name* that
+    has only labelled series aggregates them, which keeps pre-label
+    callers (``counters["sim.runs"]``) working after relabelling.
+    """
+
+    def __missing__(self, name):
+        if "{" in name:
+            raise KeyError(name)
+        values = [value for key, value in self.items()
+                  if series_family(key) == name]
+        if not values:
+            raise KeyError(name)
+        return self._aggregate(values)
+
+    def family(self, name: str) -> dict[str, object]:
+        """Every series of one family, keyed by encoded series key."""
+        return {key: value for key, value in self.items()
+                if series_family(key) == name}
+
+
+class _CounterDict(_SeriesDict):
+    @staticmethod
+    def _aggregate(values):
+        return float(sum(values))
+
+
+class _GaugeDict(_SeriesDict):
+    @staticmethod
+    def _aggregate(values):
+        return max(values)
+
+
+class _HistogramDict(_SeriesDict):
+    @staticmethod
+    def _aggregate(values):
+        return reduce(lambda a, b: a.merge(b), values)
 
 
 class Counter:
@@ -131,19 +255,32 @@ class Histogram:
         self._sum = 0.0
         self._total = 0
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.observe_many(np.asarray([value], dtype=float))
+    def observe(self, value: float) -> int:
+        """Record one observation; returns 1 if it was non-finite."""
+        return self.observe_many(np.asarray([value], dtype=float))
 
-    def observe_many(self, values: np.ndarray) -> None:
-        """Record a whole array of observations in one histogram pass."""
+    def observe_many(self, values: np.ndarray) -> int:
+        """Record an array of observations in one histogram pass.
+
+        Non-finite values (NaN, ±inf) would poison ``sum`` forever, so
+        they are skipped; the number skipped is returned so callers can
+        surface an event instead of silently corrupting the series.
+        Empty arrays are a no-op.
+        """
         values = np.asarray(values, dtype=float).ravel()
         if values.size == 0:
-            return
+            return 0
+        finite = np.isfinite(values)
+        dropped = int(values.size) - int(np.count_nonzero(finite))
+        if dropped:
+            values = values[finite]
+            if values.size == 0:
+                return dropped
         counts, _ = np.histogram(values, bins=self._edges)
         self._counts += counts
         self._sum += float(values.sum())
-        self._total += values.size
+        self._total += int(values.size)
+        return dropped
 
     def snapshot(self) -> HistogramSnapshot:
         """Freeze the current state into plain data."""
@@ -172,11 +309,21 @@ class MetricsSnapshot:
     The shape process-pool workers pickle back to the batch layer;
     ``merge`` implements the same order-free semantics as
     :meth:`MetricsRegistry.merge` so snapshots can be pre-combined.
+    Keys are encoded series keys (see :func:`encode_series`); indexing a
+    bare family name aggregates its labelled series.
     """
 
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
     histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Wrap into the fallback-aggregating dict flavours regardless of
+        # how the snapshot was built (constructor, merge, unpickle).
+        object.__setattr__(self, "counters", _CounterDict(self.counters))
+        object.__setattr__(self, "gauges", _GaugeDict(self.gauges))
+        object.__setattr__(self, "histograms",
+                           _HistogramDict(self.histograms))
 
     def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
         counters = dict(self.counters)
@@ -217,45 +364,60 @@ class MetricsRegistry:
 
     ``counter`` / ``gauge`` / ``histogram`` get-or-create; asking for an
     existing name with a different instrument kind raises — a registry
-    never silently aliases two meanings onto one series.
+    never silently aliases two meanings onto one series.  The kind check
+    applies per *family*: ``engine.jobs`` cannot be a counter under one
+    label set and a gauge under another.
     """
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, type] = {}
 
     def __len__(self) -> int:
         return len(self._instruments)
 
-    def _get(self, name: str, kind: type, factory):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = self._instruments[name] = factory()
-        elif not isinstance(instrument, kind):
+    def _series(self, key: str, kind: type, factory):
+        name = series_family(key)
+        known = self._kinds.get(name)
+        if known is None:
+            self._kinds[name] = kind
+        elif known is not kind:
             raise ConfigurationError(
-                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"metric {name!r} is a {known.__name__}, "
                 f"not a {kind.__name__}")
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = factory(key)
         return instrument
 
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter called ``name``."""
-        return self._get(name, Counter, lambda: Counter(name))
+    def counter(self, name: str,
+                labels: dict[str, object] | None = None) -> Counter:
+        """Get or create the counter series ``name``/``labels``."""
+        return self._series(encode_series(name, labels), Counter, Counter)
 
-    def gauge(self, name: str) -> Gauge:
-        """Get or create the gauge called ``name``."""
-        return self._get(name, Gauge, lambda: Gauge(name))
+    def gauge(self, name: str,
+              labels: dict[str, object] | None = None) -> Gauge:
+        """Get or create the gauge series ``name``/``labels``."""
+        return self._series(encode_series(name, labels), Gauge, Gauge)
 
     def histogram(self, name: str,
-                  buckets: tuple[float, ...] = DEFAULT_TEG_POWER_BUCKETS_W
-                  ) -> Histogram:
-        """Get or create the histogram called ``name``."""
-        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+                  buckets: tuple[float, ...] = DEFAULT_TEG_POWER_BUCKETS_W,
+                  labels: dict[str, object] | None = None) -> Histogram:
+        """Get or create the histogram series ``name``/``labels``."""
+        return self._series(encode_series(name, labels), Histogram,
+                            lambda key: Histogram(key, buckets))
 
     def snapshot(self) -> MetricsSnapshot:
-        """Freeze every instrument into a picklable snapshot."""
+        """Freeze every instrument into a picklable snapshot.
+
+        Iterates over a point-in-time copy of the instrument table so a
+        scrape thread can snapshot while the run thread registers new
+        series (dict mutation during iteration would raise).
+        """
         counters: dict[str, float] = {}
         gauges: dict[str, float] = {}
         histograms: dict[str, HistogramSnapshot] = {}
-        for name, instrument in self._instruments.items():
+        for name, instrument in list(self._instruments.items()):
             if isinstance(instrument, Counter):
                 counters[name] = instrument.value
             elif isinstance(instrument, Gauge):
@@ -268,9 +430,12 @@ class MetricsRegistry:
 
     def merge(self, snap: MetricsSnapshot) -> None:
         """Fold a snapshot in: counters add, gauges max, histograms add."""
-        for name, value in snap.counters.items():
-            self.counter(name).inc(value)
-        for name, value in snap.gauges.items():
-            self.gauge(name).set_max(value)
-        for name, hist_snap in snap.histograms.items():
-            self.histogram(name, hist_snap.buckets).restore(hist_snap)
+        for key, value in snap.counters.items():
+            self._series(key, Counter, Counter).inc(value)
+        for key, value in snap.gauges.items():
+            self._series(key, Gauge, Gauge).set_max(value)
+        for key, hist_snap in snap.histograms.items():
+            self._series(
+                key, Histogram,
+                lambda k, b=hist_snap.buckets: Histogram(k, b),
+            ).restore(hist_snap)

@@ -1,0 +1,333 @@
+"""Gated OpenTelemetry bridge: OTLP export without a hard dependency.
+
+Two layers, deliberately separated:
+
+* **Pure converters** — :func:`telemetry_to_otlp` maps a frozen
+  :class:`~repro.obs.session.TelemetrySnapshot` onto OTLP-JSON-shaped
+  dictionaries (``resourceSpans`` / ``resourceMetrics``).  Our spans are
+  aggregates (count + wall/cpu totals, no per-call timestamps), so span
+  times are synthesised: the root starts at ``base_time_unix_nano`` and
+  children nest sequentially inside their parent's window.  Histograms
+  convert losslessly (explicit bounds + bucket counts).  No third-party
+  import anywhere — this layer is always available and fully testable.
+
+* **The SDK bridge** — :class:`OtlpBridge` replays a snapshot through
+  the OpenTelemetry SDK (tracer spans with explicit start/end times;
+  counters, gauges and per-bucket histogram series through a meter) and
+  ships it to ``REPRO_OTLP_ENDPOINT`` / an explicit endpoint via the
+  OTLP/HTTP exporters.  The SDK import is *gated*: when
+  ``opentelemetry`` is not installed, constructing a bridge raises
+  :class:`~repro.errors.ConfigurationError` naming what is missing —
+  requesting OTLP never degrades silently, and not requesting it never
+  imports anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from types import SimpleNamespace
+
+from ..errors import ConfigurationError
+from .metrics import MetricsSnapshot, decode_series
+from .session import TelemetrySnapshot
+
+__all__ = [
+    "OTLP_ENDPOINT_ENV_VAR",
+    "resolve_otlp_endpoint",
+    "otlp_available",
+    "telemetry_to_otlp",
+    "OtlpBridge",
+]
+
+#: Environment variable naming the OTLP/HTTP collector base endpoint.
+OTLP_ENDPOINT_ENV_VAR = "REPRO_OTLP_ENDPOINT"
+
+_SCOPE = {"name": "repro.obs", "version": "1"}
+
+
+def resolve_otlp_endpoint(explicit: str | None = None) -> str | None:
+    """Collector endpoint: explicit > ``REPRO_OTLP_ENDPOINT`` > ``None``.
+
+    Raises
+    ------
+    ConfigurationError
+        When the configured value is blank or not an ``http(s)`` URL.
+    """
+    if explicit is not None:
+        source, value = "otlp endpoint", explicit
+    else:
+        value = os.environ.get(OTLP_ENDPOINT_ENV_VAR)
+        if value is None:
+            return None
+        source = OTLP_ENDPOINT_ENV_VAR
+    value = value.strip()
+    if not value:
+        raise ConfigurationError(f"{source} must not be blank")
+    if not value.startswith(("http://", "https://")):
+        raise ConfigurationError(
+            f"{source} must be an http(s) URL, got {value!r}")
+    return value.rstrip("/")
+
+
+def otlp_available() -> bool:
+    """Whether the OpenTelemetry SDK (and OTLP exporters) can import."""
+    try:
+        _import_sdk()
+    except ConfigurationError:
+        return False
+    return True
+
+
+def _attributes(mapping: dict) -> list[dict]:
+    """Label dict -> OTLP keyValue list (string values, sorted keys)."""
+    return [{"key": key, "value": {"stringValue": str(mapping[key])}}
+            for key in sorted(mapping)]
+
+
+def _spans_to_otlp(tree: dict, base_ns: int) -> list[dict]:
+    """Flatten a serialised span tree into OTLP span dicts.
+
+    Synthetic clock: each node occupies ``wall_s`` of its parent's
+    window, siblings laid out sequentially from the parent's start.
+    Aggregate counts/cpu ride as attributes — the tree is a profile,
+    not a trace, and the attributes say so.
+    """
+    spans: list[dict] = []
+
+    def walk(name: str, node: dict, start_ns: int, parent_id: str,
+             path: str) -> int:
+        wall_ns = int(float(node.get("wall_s", 0.0)) * 1e9)
+        span_id = hashlib.blake2b(path.encode(),
+                                  digest_size=8).hexdigest()
+        spans.append({
+            "name": name,
+            "spanId": span_id,
+            "parentSpanId": parent_id,
+            "startTimeUnixNano": str(start_ns),
+            "endTimeUnixNano": str(start_ns + wall_ns),
+            "attributes": _attributes({
+                "repro.span.count": int(node.get("count", 0)),
+                "repro.span.cpu_s": float(node.get("cpu_s", 0.0)),
+                "repro.span.aggregate": "true",
+            }),
+        })
+        child_start = start_ns
+        for child_name, child in (node.get("children") or {}).items():
+            child_start = walk(child_name, child, child_start, span_id,
+                               f"{path}/{child_name}")
+        return start_ns + wall_ns
+
+    cursor = base_ns
+    for name, node in (tree or {}).items():
+        cursor = walk(name, node, cursor, "", name)
+    return spans
+
+
+def _metrics_to_otlp(metrics: MetricsSnapshot, base_ns: int) -> list[dict]:
+    out: list[dict] = []
+    for key, value in sorted(metrics.counters.items()):
+        name, labels = decode_series(key)
+        out.append({
+            "name": name,
+            "sum": {
+                "aggregationTemporality": 2,  # CUMULATIVE
+                "isMonotonic": True,
+                "dataPoints": [{
+                    "asDouble": float(value),
+                    "timeUnixNano": str(base_ns),
+                    "attributes": _attributes(labels),
+                }],
+            },
+        })
+    for key, value in sorted(metrics.gauges.items()):
+        name, labels = decode_series(key)
+        out.append({
+            "name": name,
+            "gauge": {
+                "dataPoints": [{
+                    "asDouble": float(value),
+                    "timeUnixNano": str(base_ns),
+                    "attributes": _attributes(labels),
+                }],
+            },
+        })
+    for key, hist in sorted(metrics.histograms.items()):
+        name, labels = decode_series(key)
+        out.append({
+            "name": name,
+            "histogram": {
+                "aggregationTemporality": 2,
+                "dataPoints": [{
+                    "count": str(hist.total),
+                    "sum": float(hist.sum),
+                    "explicitBounds": list(hist.buckets),
+                    "bucketCounts": [str(c) for c in hist.counts],
+                    "timeUnixNano": str(base_ns),
+                    "attributes": _attributes(labels),
+                }],
+            },
+        })
+    return out
+
+
+def telemetry_to_otlp(snapshot: TelemetrySnapshot, *,
+                      resource: dict | None = None,
+                      base_time_unix_nano: int = 0) -> dict:
+    """Convert one snapshot into OTLP-JSON-shaped payloads.
+
+    Pure data-in/data-out (no SDK, no clock reads): the caller picks the
+    synthetic ``base_time_unix_nano`` origin, so conversions are
+    deterministic and the shapes can be asserted in tests or shipped to
+    any OTLP/HTTP-JSON collector directly.
+    """
+    resource_obj = {"attributes": _attributes(
+        {"service.name": "repro", **(resource or {})})}
+    return {
+        "resourceSpans": [{
+            "resource": resource_obj,
+            "scopeSpans": [{
+                "scope": dict(_SCOPE),
+                "spans": _spans_to_otlp(snapshot.spans,
+                                        base_time_unix_nano),
+            }],
+        }],
+        "resourceMetrics": [{
+            "resource": resource_obj,
+            "scopeMetrics": [{
+                "scope": dict(_SCOPE),
+                "metrics": _metrics_to_otlp(snapshot.metrics,
+                                            base_time_unix_nano),
+            }],
+        }],
+    }
+
+
+def _import_sdk() -> SimpleNamespace:
+    """Import every SDK piece the bridge needs, or raise (gated)."""
+    try:
+        from opentelemetry.exporter.otlp.proto.http.metric_exporter import (
+            OTLPMetricExporter)
+        from opentelemetry.exporter.otlp.proto.http.trace_exporter import (
+            OTLPSpanExporter)
+        from opentelemetry.sdk.metrics import MeterProvider
+        from opentelemetry.sdk.metrics.export import (
+            PeriodicExportingMetricReader)
+        from opentelemetry.sdk.resources import Resource
+        from opentelemetry.sdk.trace import TracerProvider
+        from opentelemetry.sdk.trace.export import BatchSpanProcessor
+    except ImportError as exc:
+        raise ConfigurationError(
+            "OTLP export requested but the OpenTelemetry SDK is not "
+            "importable (install opentelemetry-sdk and "
+            "opentelemetry-exporter-otlp-proto-http, or unset "
+            f"{OTLP_ENDPOINT_ENV_VAR}/--otlp): {exc}") from exc
+    return SimpleNamespace(
+        Resource=Resource,
+        TracerProvider=TracerProvider,
+        BatchSpanProcessor=BatchSpanProcessor,
+        OTLPSpanExporter=OTLPSpanExporter,
+        MeterProvider=MeterProvider,
+        PeriodicExportingMetricReader=PeriodicExportingMetricReader,
+        OTLPMetricExporter=OTLPMetricExporter,
+    )
+
+
+class OtlpBridge:
+    """Replay telemetry snapshots through the OpenTelemetry SDK.
+
+    Constructing the bridge resolves the endpoint and imports the SDK —
+    both failures raise :class:`ConfigurationError` immediately, so a
+    run never gets deep into a month-class simulation before finding out
+    its telemetry sink is missing.  :meth:`export` then ships one
+    snapshot: spans as SDK spans with explicit (synthetic) timestamps,
+    counters/gauges through a meter, histograms as per-bucket ``le``
+    counter series plus ``_sum``/``_count`` (lossless under OTLP's
+    delta-free cumulative temporality).
+    """
+
+    def __init__(self, endpoint: str | None = None) -> None:
+        self.endpoint = resolve_otlp_endpoint(endpoint)
+        if self.endpoint is None:
+            raise ConfigurationError(
+                f"OTLP bridge needs an endpoint: pass one or set "
+                f"{OTLP_ENDPOINT_ENV_VAR}")
+        self._sdk = _import_sdk()
+
+    def export(self, snapshot: TelemetrySnapshot, *,
+               resource: dict | None = None) -> dict:
+        """Ship one snapshot; returns the OTLP-JSON shape it mirrors."""
+        sdk = self._sdk
+        base_ns = time.time_ns()
+        payload = telemetry_to_otlp(snapshot, resource=resource,
+                                    base_time_unix_nano=base_ns)
+        sdk_resource = sdk.Resource.create(
+            {"service.name": "repro", **(resource or {})})
+
+        tracer_provider = sdk.TracerProvider(resource=sdk_resource)
+        tracer_provider.add_span_processor(sdk.BatchSpanProcessor(
+            sdk.OTLPSpanExporter(endpoint=f"{self.endpoint}/v1/traces")))
+        tracer = tracer_provider.get_tracer(_SCOPE["name"])
+        self._replay_spans(tracer, snapshot.spans, base_ns)
+        tracer_provider.shutdown()
+
+        reader = sdk.PeriodicExportingMetricReader(
+            sdk.OTLPMetricExporter(
+                endpoint=f"{self.endpoint}/v1/metrics"),
+            export_interval_millis=60_000)
+        meter_provider = sdk.MeterProvider(resource=sdk_resource,
+                                           metric_readers=[reader])
+        self._replay_metrics(meter_provider.get_meter(_SCOPE["name"]),
+                             snapshot.metrics)
+        meter_provider.shutdown()
+        return payload
+
+    @staticmethod
+    def _replay_spans(tracer, tree: dict, base_ns: int) -> None:
+        def walk(name: str, node: dict, start_ns: int, context) -> int:
+            wall_ns = int(float(node.get("wall_s", 0.0)) * 1e9)
+            span = tracer.start_span(name, context=context,
+                                     start_time=start_ns)
+            span.set_attribute("repro.span.count",
+                               int(node.get("count", 0)))
+            span.set_attribute("repro.span.cpu_s",
+                               float(node.get("cpu_s", 0.0)))
+            try:
+                from opentelemetry import trace as trace_api
+                child_context = trace_api.set_span_in_context(span)
+            except ImportError:  # pragma: no cover - SDK without API
+                child_context = None
+            cursor = start_ns
+            for child_name, child in (node.get("children") or {}).items():
+                cursor = walk(child_name, child, cursor, child_context)
+            span.end(end_time=start_ns + wall_ns)
+            return start_ns + wall_ns
+
+        cursor = base_ns
+        for name, node in (tree or {}).items():
+            cursor = walk(name, node, cursor, None)
+
+    @staticmethod
+    def _replay_metrics(meter, metrics: MetricsSnapshot) -> None:
+        for key, value in sorted(metrics.counters.items()):
+            name, labels = decode_series(key)
+            meter.create_counter(name).add(float(value), labels)
+        for key, value in sorted(metrics.gauges.items()):
+            name, labels = decode_series(key)
+            gauge_factory = getattr(meter, "create_gauge", None)
+            if gauge_factory is not None:
+                gauge_factory(name).set(float(value), labels)
+            else:  # older SDKs: a non-monotonic counter preserves values
+                meter.create_up_down_counter(name).add(float(value),
+                                                       labels)
+        for key, hist in sorted(metrics.histograms.items()):
+            name, labels = decode_series(key)
+            counter = meter.create_counter(f"{name}_bucket")
+            bounds = [str(b) for b in hist.buckets] + ["+Inf"]
+            for bound, count in zip(bounds, hist.counts):
+                counter.add(float(count), {**labels, "le": bound})
+            meter.create_counter(f"{name}_count").add(float(hist.total),
+                                                      labels)
+            meter.create_counter(f"{name}_sum").add(float(hist.sum),
+                                                    labels)

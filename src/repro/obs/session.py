@@ -205,28 +205,39 @@ def span(name: str):
     return telemetry.tracer.span(name)
 
 
-def add(name: str, amount: float = 1.0) -> None:
+def add(name: str, amount: float = 1.0,
+        labels: dict[str, object] | None = None) -> None:
     """Increment the counter ``name`` (no-op when disabled)."""
     telemetry = _CURRENT.get()
     if telemetry is not None:
-        telemetry.registry.counter(name).inc(amount)
+        telemetry.registry.counter(name, labels).inc(amount)
 
 
-def gauge_max(name: str, value: float) -> None:
+def gauge_max(name: str, value: float,
+              labels: dict[str, object] | None = None) -> None:
     """Raise the gauge ``name`` to at least ``value`` (no-op disabled)."""
     telemetry = _CURRENT.get()
     if telemetry is not None:
-        telemetry.registry.gauge(name).set_max(value)
+        telemetry.registry.gauge(name, labels).set_max(value)
 
 
 def observe(name: str, values,
-            buckets: tuple[float, ...] = DEFAULT_TEG_POWER_BUCKETS_W
-            ) -> None:
-    """Fold observations into the histogram ``name`` (no-op disabled)."""
+            buckets: tuple[float, ...] = DEFAULT_TEG_POWER_BUCKETS_W,
+            labels: dict[str, object] | None = None) -> None:
+    """Fold observations into the histogram ``name`` (no-op disabled).
+
+    Non-finite observations are skipped by the histogram rather than
+    poisoning its sum; when any are dropped an ``obs.histogram_skipped``
+    event records the series and how many were skipped.
+    """
     telemetry = _CURRENT.get()
     if telemetry is not None:
-        telemetry.registry.histogram(name, buckets).observe_many(
-            np.asarray(values, dtype=float))
+        dropped = telemetry.registry.histogram(
+            name, buckets, labels).observe_many(
+                np.asarray(values, dtype=float))
+        if dropped:
+            telemetry.events.emit("obs.histogram_skipped", metric=name,
+                                  dropped=dropped)
 
 
 def emit(kind: str, **data) -> None:
@@ -236,7 +247,7 @@ def emit(kind: str, **data) -> None:
         telemetry.events.emit(kind, **data)
 
 
-def record_result(result) -> None:
+def record_result(result, circulation_size: int | None = None) -> None:
     """Fold one finished :class:`SimulationResult` into the session.
 
     Called by the simulator/kernel at the end of every run; the whole
@@ -245,28 +256,45 @@ def record_result(result) -> None:
     ``docs/observability.md``): ``sim.runs``, ``sim.steps``,
     ``sim.safety_violations``, ``sim.degraded_steps``,
     ``sim.lost_harvest_kwh``, gauge ``sim.max_cpu_temp_c`` and the
-    ``teg.power_w`` per-CPU generation histogram.  Safety violations are
-    additionally emitted as events (capped at
-    :data:`MAX_VIOLATION_EVENTS` per run).
+    ``teg.power_w`` per-CPU generation histogram — every series labelled
+    ``{scheme, trace}``.  When the caller supplies ``circulation_size``
+    (the simulator passes its config's), safety violations are
+    additionally broken down per circulation as
+    ``sim.circulation.safety_violations{scheme, trace, circulation}``;
+    violation ``server_id``s are already in the global frame on every
+    path that records results, so the labelled totals are identical
+    whichever executor ran the jobs.  Safety violations are also emitted
+    as events (capped at :data:`MAX_VIOLATION_EVENTS` per run).
     """
     telemetry = _CURRENT.get()
     if telemetry is None:
         return
     registry = telemetry.registry
+    labels = {"scheme": result.scheme, "trace": result.trace_name}
     n_steps = len(result.records)
-    registry.counter("sim.runs").inc()
-    registry.counter("sim.steps").inc(n_steps)
+    registry.counter("sim.runs", labels).inc()
+    registry.counter("sim.steps", labels).inc(n_steps)
     if n_steps == 0:
         return
-    registry.counter("sim.safety_violations").inc(
+    registry.counter("sim.safety_violations", labels).inc(
         result.total_safety_violations)
-    registry.counter("sim.degraded_steps").inc(result.degraded_steps)
-    registry.counter("sim.lost_harvest_kwh").inc(
+    registry.counter("sim.degraded_steps", labels).inc(
+        result.degraded_steps)
+    registry.counter("sim.lost_harvest_kwh", labels).inc(
         result.total_lost_harvest_kwh)
-    registry.gauge("sim.max_cpu_temp_c").set_max(
+    registry.gauge("sim.max_cpu_temp_c", labels).set_max(
         float(np.max(result._series("max_cpu_temp_c"))))
-    registry.histogram("teg.power_w").observe_many(
+    registry.histogram("teg.power_w", labels=labels).observe_many(
         result.generation_series_w)
+    if circulation_size is not None and circulation_size > 0:
+        per_circ: dict[int, int] = {}
+        for violation in result.violations:
+            circ = violation.server_id // circulation_size
+            per_circ[circ] = per_circ.get(circ, 0) + 1
+        for circ, count in per_circ.items():
+            registry.counter(
+                "sim.circulation.safety_violations",
+                {**labels, "circulation": str(circ)}).inc(count)
     for violation in result.violations[:MAX_VIOLATION_EVENTS]:
         telemetry.events.emit(
             "sim.safety_violation",

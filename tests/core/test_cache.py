@@ -527,8 +527,14 @@ class TestBatchIntegration:
         hot = run_batch(self.jobs(), 1, cache=tmp_path,
                         telemetry=True)
         text = prometheus_text(hot.telemetry.registry.snapshot())
-        assert "repro_engine_cache_hit_total 2" in text
+        # Cache counters carry (scheme, trace) labels; both hits here
+        # come from the same two-scheme job pair.
+        assert 'repro_engine_cache_hit_total{scheme="' in text
         assert "# TYPE repro_engine_cache_hit_total counter" in text
+        hit_lines = [line for line in text.splitlines()
+                     if line.startswith("repro_engine_cache_hit_total{")]
+        assert sum(float(line.rsplit(" ", 1)[1])
+                   for line in hit_lines) == 2
 
     def test_batch_telemetry_counts_misses(self, tmp_path):
         cold = run_batch(self.jobs(), 1, cache=tmp_path,

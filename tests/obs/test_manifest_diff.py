@@ -1,0 +1,164 @@
+"""Manifest diffing: the algebra behind ``h2p audit --manifest A B``.
+
+Two honest re-runs of the same workload must diff clean (timing is
+ignored); any change to counter totals, histogram shape, or span
+structure must surface as a drift.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import counter_totals, diff_manifests, load_manifest
+
+
+def _manifest(counters=None, gauges=None, histograms=None, spans=None):
+    return {
+        "metrics": {
+            "counters": counters or {},
+            "gauges": gauges or {},
+            "histograms": histograms or {},
+        },
+        "spans": spans or {},
+    }
+
+
+def _histogram(buckets=(1.0, 2.0), counts=(1, 0, 1), total=2, sum_=3.0):
+    return {"buckets": list(buckets), "counts": list(counts),
+            "total": total, "sum": sum_}
+
+
+class TestSelfAndCleanDiffs:
+    def test_self_diff_is_ok(self):
+        manifest = _manifest(
+            counters={'sim.runs{scheme="a"}': 2.0},
+            gauges={"sim.peak_temp_c": 61.5},
+            histograms={"teg.power_w": _histogram()},
+            spans={"engine.batch": {
+                "count": 1,
+                "children": {"engine.simulate": {"count": 2}}}})
+        diff = diff_manifests(manifest, manifest)
+        assert diff.ok
+        assert diff.to_dict()["n_drifts"] == 0
+        assert "agree" in diff.describe()
+
+    def test_timing_fields_never_compared(self):
+        a = _manifest(spans={"engine.batch": {"count": 1, "wall_s": 0.8}})
+        b = _manifest(spans={"engine.batch": {"count": 1, "wall_s": 9.9}})
+        assert diff_manifests(a, b).ok
+
+    def test_counter_within_tolerance_clean(self):
+        a = _manifest(counters={"sim.steps": 1e6})
+        b = _manifest(counters={"sim.steps": 1e6 * (1 + 1e-8)})
+        assert diff_manifests(a, b, rel_tol=1e-6).ok
+
+    def test_missing_zero_counter_tolerated(self):
+        a = _manifest(counters={"engine.cache.hit": 0.0, "sim.runs": 2.0})
+        b = _manifest(counters={"sim.runs": 2.0})
+        assert diff_manifests(a, b).ok
+
+
+class TestDriftDetection:
+    def test_counter_drift_beyond_tolerance(self):
+        a = _manifest(counters={'sim.runs{scheme="a"}': 2.0})
+        b = _manifest(counters={'sim.runs{scheme="a"}': 3.0})
+        diff = diff_manifests(a, b, name_a="left", name_b="right")
+        assert not diff.ok
+        (drift,) = diff.drifts
+        assert drift["kind"] == "counter"
+        assert drift["name"] == 'sim.runs{scheme="a"}'
+        assert drift["a"] == 2.0 and drift["b"] == 3.0
+        assert "left" in diff.describe() and "right" in diff.describe()
+
+    def test_missing_nonzero_counter_is_drift(self):
+        a = _manifest(counters={"engine.jobs.completed": 2.0})
+        diff = diff_manifests(a, _manifest())
+        (drift,) = diff.drifts
+        assert drift["kind"] == "counter"
+        assert "missing from B" in drift["detail"]
+
+    def test_gauge_drift_and_missing_gauge(self):
+        a = _manifest(gauges={"peak": 40.0, "extra": 0.0})
+        b = _manifest(gauges={"peak": 55.0})
+        diff = diff_manifests(a, b)
+        kinds = {(d["kind"], d["name"]) for d in diff.drifts}
+        # Gauges get no absent==zero grace: both entries drift.
+        assert kinds == {("gauge", "peak"), ("gauge", "extra")}
+
+    def test_histogram_counts_compare_exactly(self):
+        a = _manifest(histograms={"h": _histogram(counts=(1, 0, 1))})
+        b = _manifest(histograms={"h": _histogram(counts=(0, 1, 1))})
+        (drift,) = diff_manifests(a, b).drifts
+        assert drift["kind"] == "histogram"
+        assert "bucket counts differ" in drift["detail"]
+
+    def test_histogram_bounds_and_sum(self):
+        base = _manifest(histograms={"h": _histogram()})
+        bounds = _manifest(histograms={"h": _histogram(buckets=(1.0, 9.0))})
+        assert ("bucket bounds differ"
+                in diff_manifests(base, bounds).drifts[0]["detail"])
+        sums = _manifest(histograms={"h": _histogram(sum_=3.5)})
+        assert ("sums differ"
+                in diff_manifests(base, sums).drifts[0]["detail"])
+        close = _manifest(histograms={"h": _histogram(sum_=3.0 + 1e-9)})
+        assert diff_manifests(base, close).ok
+
+    def test_span_count_and_path_drifts(self):
+        a = _manifest(spans={"engine.batch": {
+            "count": 1,
+            "children": {"engine.simulate": {"count": 2}}}})
+        b = _manifest(spans={"engine.batch": {
+            "count": 1,
+            "children": {"engine.simulate": {"count": 3},
+                         "engine.retry": {"count": 1}}}})
+        diff = diff_manifests(a, b)
+        by_name = {d["name"]: d for d in diff.drifts}
+        assert set(by_name) == {"engine.batch/engine.simulate",
+                                "engine.batch/engine.retry"}
+        assert ("call counts differ: 2 vs 3"
+                in by_name["engine.batch/engine.simulate"]["detail"])
+        assert ("only in B"
+                in by_name["engine.batch/engine.retry"]["detail"])
+
+    def test_drifts_are_json_serialisable(self):
+        a = _manifest(counters={"sim.runs": 1.0},
+                      histograms={"h": _histogram()})
+        b = _manifest(counters={"sim.runs": 2.0})
+        payload = diff_manifests(a, b).to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["ok"] is False
+        assert payload["n_drifts"] == len(payload["drifts"])
+
+
+class TestLoadManifest:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_manifest(path)
+
+    def test_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            load_manifest(path)
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps(_manifest()), encoding="utf-8")
+        assert load_manifest(path) == _manifest()
+
+
+class TestCounterTotals:
+    def test_folds_labelled_series_per_family(self):
+        totals = counter_totals({
+            'jobs{scheme="a"}': 2.0,
+            'jobs{scheme="b"}': 3.0,
+            "steps": 7.0,
+        })
+        assert totals == {"jobs": 5.0, "steps": 7.0}

@@ -1,0 +1,280 @@
+"""Labelled metric series: encoding, aggregation, merge algebra.
+
+Labels ride inside encoded series keys (``name{k="v"}``), so the
+order-free merge algebra the executors rely on applies per series
+unchanged.  These tests pin the encoding (sorted label names, Prometheus
+escaping), the bare-name fallback aggregation that keeps pre-label
+consumers working, and — via hypothesis — that labelled snapshots merge
+commutatively, associatively, and identically across executors.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    decode_series,
+    encode_series,
+    escape_label_value,
+    series_family,
+)
+
+
+class TestSeriesEncoding:
+    def test_bare_name_passes_through(self):
+        assert encode_series("sim.runs") == "sim.runs"
+        assert encode_series("sim.runs", {}) == "sim.runs"
+
+    def test_labels_sorted_into_key(self):
+        key = encode_series("c", {"b": "2", "a": "1"})
+        assert key == 'c{a="1",b="2"}'
+        assert key == encode_series("c", {"a": "1", "b": "2"})
+
+    def test_roundtrip(self):
+        name, labels = decode_series(
+            encode_series("engine.cache.hit",
+                          {"scheme": "TEG_Original", "trace": "common"}))
+        assert name == "engine.cache.hit"
+        assert labels == {"scheme": "TEG_Original", "trace": "common"}
+
+    @pytest.mark.parametrize("raw", [
+        'quo"te', "back\\slash", "new\nline", 'all\\"\nthree',
+    ])
+    def test_escaping_roundtrips(self, raw):
+        escaped = escape_label_value(raw)
+        assert "\n" not in escaped
+        name, labels = decode_series(encode_series("m", {"v": raw}))
+        assert labels["v"] == raw
+
+    def test_non_string_values_coerced(self):
+        name, labels = decode_series(encode_series("m", {"shard": 3}))
+        assert labels == {"shard": "3"}
+
+    def test_bad_label_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="label name"):
+            encode_series("m", {"not-valid": "x"})
+
+    def test_braces_in_metric_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="braces"):
+            encode_series("m{oops", {"a": "1"})
+
+    def test_series_family(self):
+        assert series_family('c{a="1"}') == "c"
+        assert series_family("c") == "c"
+
+
+class TestFallbackAggregation:
+    def test_counters_sum_by_family(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs", {"scheme": "a"}).inc(2)
+        registry.counter("jobs", {"scheme": "b"}).inc(3)
+        counters = registry.snapshot().counters
+        assert counters['jobs{scheme="a"}'] == 2
+        assert counters["jobs"] == 5  # bare name aggregates
+
+    def test_gauges_max_by_family(self):
+        registry = MetricsRegistry()
+        registry.gauge("peak", {"zone": "a"}).set_max(40.0)
+        registry.gauge("peak", {"zone": "b"}).set_max(55.0)
+        assert registry.snapshot().gauges["peak"] == 55.0
+
+    def test_histograms_merge_by_family(self):
+        registry = MetricsRegistry()
+        registry.histogram("p", buckets=(1.0, 2.0),
+                           labels={"s": "a"}).observe(0.5)
+        registry.histogram("p", buckets=(1.0, 2.0),
+                           labels={"s": "b"}).observe(9.0)
+        merged = registry.snapshot().histograms["p"]
+        assert merged.total == 2
+        assert merged.counts == (1, 0, 1)
+
+    def test_exact_key_semantics_untouched(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs", {"scheme": "a"}).inc()
+        counters = registry.snapshot().counters
+        # Membership, get and iteration stay exact-key so merge()
+        # never double-counts through the fallback.
+        assert "jobs" not in counters
+        assert counters.get("jobs") is None
+        assert list(counters) == ['jobs{scheme="a"}']
+        with pytest.raises(KeyError):
+            counters["other"]
+
+    def test_unlabelled_series_still_exact(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(7)
+        assert registry.snapshot().counters["jobs"] == 7
+
+    def test_fallback_survives_pickle(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs", {"scheme": "a"}).inc(2)
+        registry.counter("jobs", {"scheme": "b"}).inc(3)
+        snap = pickle.loads(pickle.dumps(registry.snapshot()))
+        assert snap.counters["jobs"] == 5
+
+    def test_fallback_survives_merge(self):
+        a = MetricsSnapshot(counters={'jobs{s="x"}': 1.0})
+        b = MetricsSnapshot(counters={'jobs{s="y"}': 2.0})
+        assert a.merge(b).counters["jobs"] == 3.0
+
+
+class TestRegistryLabelKinds:
+    def test_kind_checked_per_family_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("x", {"a": "1"})
+        with pytest.raises(ConfigurationError, match="Counter"):
+            registry.gauge("x", {"a": "2"})
+        with pytest.raises(ConfigurationError, match="Counter"):
+            registry.gauge("x")
+
+    def test_labelled_series_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", {"k": "1"})
+        b = registry.counter("x", {"k": "2"})
+        assert a is not b
+        assert registry.counter("x", {"k": "1"}) is a
+
+
+class TestHistogramGuards:
+    def test_empty_array_is_noop(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.observe_many(np.array([])) == 0
+        assert hist.snapshot().total == 0
+
+    def test_nan_and_inf_skipped_and_counted(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        dropped = hist.observe_many(
+            np.array([0.5, np.nan, np.inf, -np.inf, 1.5]))
+        assert dropped == 3
+        snap = hist.snapshot()
+        assert snap.total == 2
+        assert np.isfinite(snap.sum)
+        assert snap.sum == pytest.approx(2.0)
+
+    def test_all_nonfinite_is_noop_with_count(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.observe_many(np.array([np.nan, np.nan])) == 2
+        assert hist.snapshot().total == 0
+
+    def test_session_observe_emits_skip_event(self):
+        from repro import obs
+
+        telemetry = obs.Telemetry()
+        with obs.session(telemetry):
+            obs.observe("teg.power_w", np.array([1.0, np.nan]))
+        skipped = telemetry.events.of_kind("obs.histogram_skipped")
+        assert len(skipped) == 1
+        assert skipped[0].data["metric"] == "teg.power_w"
+        assert skipped[0].data["dropped"] == 1
+        assert telemetry.registry.snapshot(
+        ).histograms["teg.power_w"].total == 1
+
+
+labelled_key = st.builds(
+    encode_series,
+    st.sampled_from(["a", "b"]),
+    st.fixed_dictionaries(
+        {},
+        optional={"scheme": st.sampled_from(["x", "y"]),
+                  "trace": st.sampled_from(["t1", "t2"])}),
+)
+labelled_snapshot = st.builds(
+    lambda counters, gauges: MetricsSnapshot(counters=counters,
+                                             gauges=gauges),
+    st.dictionaries(labelled_key,
+                    st.floats(min_value=0, max_value=100), max_size=4),
+    st.dictionaries(labelled_key,
+                    st.floats(min_value=-50, max_value=50), max_size=3),
+)
+
+
+class TestLabelledMergeAlgebra:
+    @given(labelled_snapshot, labelled_snapshot)
+    def test_merge_commutes(self, a, b):
+        left, right = a.merge(b), b.merge(a)
+        assert dict(left.counters) == pytest.approx(dict(right.counters))
+        assert dict(left.gauges) == pytest.approx(dict(right.gauges))
+
+    @given(labelled_snapshot, labelled_snapshot, labelled_snapshot)
+    def test_merge_associates(self, a, b, c):
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert dict(left.counters) == pytest.approx(dict(right.counters))
+        assert dict(left.gauges) == pytest.approx(dict(right.gauges))
+
+    @settings(max_examples=25)
+    @given(st.permutations(list(range(5))))
+    def test_fold_order_free(self, order):
+        parts = [MetricsSnapshot(counters={f'c{{i="{i % 2}"}}': float(i)})
+                 for i in range(5)]
+        folded = parts[order[0]]
+        for index in order[1:]:
+            folded = folded.merge(parts[index])
+        assert dict(folded.counters) == {'c{i="0"}': 6.0, 'c{i="1"}': 4.0}
+        assert folded.counters["c"] == 10.0
+
+
+class TestExecutorIndependence:
+    """Labelled totals must not depend on which executor ran the jobs."""
+
+    @staticmethod
+    def _jobs():
+        from repro.core.config import teg_loadbalance, teg_original
+        from repro.core.engine import SimulationJob
+        from repro.workloads.synthetic import trace_by_name
+
+        traces = [trace_by_name(name, n_servers=20)
+                  for name in ("common", "drastic")]
+        return [SimulationJob(trace=trace, config=config())
+                for trace in traces
+                for config in (teg_original, teg_loadbalance)]
+
+    @staticmethod
+    def _sim_series(batch):
+        counters = batch.telemetry.registry.snapshot().counters
+        return {key: value for key, value in counters.items()
+                if series_family(key).startswith("sim.")}
+
+    def test_serial_thread_process_identical_labelled_totals(self):
+        from repro.core.engine import run_batch
+
+        reference = None
+        for prefer in ("serial", "thread", "process"):
+            batch = run_batch(self._jobs(), 2, prefer=prefer,
+                              telemetry=True)
+            series = self._sim_series(batch)
+            assert series, f"no sim.* series under {prefer}"
+            # Every series carries (scheme, trace) labels.
+            assert all("scheme=" in key and "trace=" in key
+                       for key in series)
+            if reference is None:
+                reference = series
+            else:
+                assert series == reference, f"{prefer} diverged"
+
+    def test_sharded_labelled_totals_executor_independent(self):
+        from repro.core.config import teg_original
+        from repro.core.engine import SimulationJob, run_batch
+        from repro.workloads.synthetic import common_trace
+
+        trace = common_trace(n_servers=40)
+        totals = []
+        for prefer in ("serial", "thread", "process"):
+            batch = run_batch(
+                [SimulationJob(trace=trace, config=teg_original())], 2,
+                prefer=prefer, telemetry=True, shard=True,
+                shard_servers=20, shard_steps=48)
+            assert batch.metrics.shards > 1
+            counters = batch.telemetry.registry.snapshot().counters
+            totals.append({key: value for key, value in counters.items()
+                           if series_family(key) == "shard.cells"})
+        assert totals[0] == totals[1] == totals[2]
+        assert totals[0]
+        assert all("shard=" in key and "scheme=" in key
+                   for key in totals[0])

@@ -83,13 +83,17 @@ class TestTelemetryFlag:
             assert (run_dir / name).exists()
 
     def test_manifest_totals_match_batch_section(self, tmp_path, capsys):
+        from repro.obs import counter_totals
+
         run_dir = tmp_path / "run"
         assert main(BATCH_ARGS + ["--telemetry", str(run_dir)]) == 0
         manifest = json.loads((run_dir / "manifest.json").read_text())
-        counters = manifest["metrics"]["counters"]
-        assert counters["sim.runs"] == manifest["batch"]["jobs"] == 2
-        assert counters["engine.jobs.completed"] == 2
-        assert counters["sim.steps"] \
+        # The JSON counters dict keys labelled series (name{k="v"});
+        # counter_totals folds them back to per-family totals.
+        totals = counter_totals(manifest["metrics"]["counters"])
+        assert totals["sim.runs"] == manifest["batch"]["jobs"] == 2
+        assert totals["engine.jobs.completed"] == 2
+        assert totals["sim.steps"] \
             == sum(job["steps"] for job in manifest["jobs"])
         assert manifest["command"][0] == "h2p"
         assert "--telemetry" in manifest["command"]
@@ -125,6 +129,78 @@ class TestTelemetryFlag:
     def test_profile_flag_removed(self):
         with pytest.raises(SystemExit):
             main(BATCH_ARGS + ["--profile", "p.json"])
+
+
+class TestMetricsPortFlag:
+    def test_prints_live_metrics_url(self, capsys):
+        code = main(BATCH_ARGS + ["--metrics-port", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "live metrics: http://127.0.0.1:" in out
+        assert "/healthz" in out
+
+    def test_json_mode_records_metrics_url(self, capsys):
+        code = main(["--json"] + BATCH_ARGS + ["--metrics-port", "0"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics_url"].startswith("http://127.0.0.1:")
+
+
+class TestAuditManifest:
+    @pytest.fixture(scope="class")
+    def run_dirs(self, tmp_path_factory):
+        paths = []
+        for name in ("a", "b"):
+            run_dir = tmp_path_factory.mktemp("audit") / name
+            assert main(["--quiet"] + BATCH_ARGS
+                        + ["--telemetry", str(run_dir)]) == 0
+            paths.append(run_dir / "manifest.json")
+        return paths
+
+    def test_self_diff_exits_zero(self, run_dirs, capsys):
+        path = str(run_dirs[0])
+        assert main(["audit", "--manifest", path, path]) == 0
+        assert "agree" in capsys.readouterr().out
+
+    def test_two_honest_runs_diff_clean(self, run_dirs, capsys):
+        code = main(["audit", "--manifest",
+                     str(run_dirs[0]), str(run_dirs[1])])
+        assert code == 0
+
+    def test_drift_exits_nonzero(self, run_dirs, tmp_path, capsys):
+        manifest = json.loads(run_dirs[0].read_text())
+        key = next(iter(manifest["metrics"]["counters"]))
+        manifest["metrics"]["counters"][key] += 1.0
+        drifted = tmp_path / "drifted.json"
+        drifted.write_text(json.dumps(manifest), encoding="utf-8")
+        code = main(["audit", "--manifest",
+                     str(run_dirs[0]), str(drifted)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "drift" in out
+        assert key.split("{")[0] in out
+
+    def test_json_output_parses(self, run_dirs, capsys):
+        path = str(run_dirs[0])
+        assert main(["--json", "audit", "--manifest", path, path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["audit"]["ok"] is True
+        assert payload["audit"]["drifts"] == []
+
+    def test_negative_tolerance_rejected(self, run_dirs, capsys):
+        path = str(run_dirs[0])
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="tolerance"):
+            main(["audit", "--manifest", path, path,
+                  "--tolerance", "-1"])
+
+    def test_unreadable_manifest_raises(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        absent = str(tmp_path / "absent.json")
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            main(["audit", "--manifest", absent, absent])
 
 
 class TestTraceSpans:
